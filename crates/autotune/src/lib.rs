@@ -1,0 +1,416 @@
+//! The autotuner (paper §5): exhaustively constructs decompositions for a
+//! relation up to a bound on the number of edges, measures each candidate
+//! with a caller-supplied benchmark, and returns candidates sorted by
+//! increasing cost.
+//!
+//! Two ranking modes are provided:
+//!
+//! * [`Autotuner::tune`] — dynamic: runs an arbitrary benchmark closure per
+//!   candidate (the paper's mode; it recompiled and re-ran the program —
+//!   our interpreted runtime just rebuilds the relation),
+//! * [`Autotuner::tune_static`] — static: ranks candidates by the §4.3 cost
+//!   model over a declared [`Workload`] of query/update signatures, without
+//!   executing anything. Useful for pre-filtering the candidate set, the
+//!   way the figures in EXPERIMENTS.md select which decompositions to run.
+//!
+//! # Example
+//!
+//! ```
+//! use relic_spec::{Catalog, RelSpec};
+//! use relic_autotune::{Autotuner, Workload};
+//!
+//! let mut cat = Catalog::new();
+//! let (src, dst, w) = (cat.intern("src"), cat.intern("dst"), cat.intern("weight"));
+//! let spec = RelSpec::new(src | dst | w).with_fd(src | dst, w.into());
+//! let tuner = Autotuner::new(&spec);
+//! // Rank decompositions for a successor-query-heavy workload.
+//! let workload = Workload::new().query(src.into(), dst | w, 1.0);
+//! let ranking = tuner.tune_static(&workload);
+//! assert!(!ranking.is_empty());
+//! assert!(ranking.windows(2).all(|p| p[0].cost <= p[1].cost));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use relic_decomp::{enumerate_decompositions, Decomposition, EnumerateOptions};
+use relic_query::{CostModel, Planner};
+use relic_spec::{ColSet, RelSpec};
+
+/// A candidate decomposition with its measured (or estimated) cost.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// The candidate.
+    pub decomposition: Decomposition,
+    /// Cost; lower is better. `f64::INFINITY` marks candidates that cannot
+    /// execute the workload (no valid plan) or whose benchmark failed.
+    pub cost: f64,
+}
+
+/// A declarative workload: weighted query signatures plus mutation weights,
+/// used by static ranking.
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    queries: Vec<(ColSet, ColSet, f64)>,
+    range_queries: Vec<(ColSet, ColSet, ColSet, f64)>,
+    insert_weight: f64,
+    remove_patterns: Vec<(ColSet, f64)>,
+}
+
+impl Workload {
+    /// An empty workload.
+    pub fn new() -> Self {
+        Workload::default()
+    }
+
+    /// Adds a query signature `(pattern columns, output columns)` with a
+    /// relative weight (builder style).
+    pub fn query(mut self, avail: ColSet, out: ColSet, weight: f64) -> Self {
+        self.queries.push((avail, out, weight));
+        self
+    }
+
+    /// Adds a *comparison* query signature: `eq` columns bound by equality,
+    /// `ranged` columns carrying interval comparisons, `out` the output
+    /// columns (§2's extension). Candidates with an ordered edge in the
+    /// right position answer it with a `qrange` seek and rank accordingly.
+    pub fn query_where(mut self, eq: ColSet, ranged: ColSet, out: ColSet, weight: f64) -> Self {
+        self.range_queries.push((eq, ranged, out, weight));
+        self
+    }
+
+    /// Sets the relative weight of insertions. Inserting locates or creates
+    /// an instance along every edge, so its static cost is the sum of one
+    /// lookup per edge.
+    pub fn inserts(mut self, weight: f64) -> Self {
+        self.insert_weight = weight;
+        self
+    }
+
+    /// Adds a removal pattern with a relative weight; its static cost is the
+    /// cost of the full-tuple enumeration query for the pattern plus one
+    /// lookup per crossing edge.
+    pub fn removes(mut self, pattern: ColSet, weight: f64) -> Self {
+        self.remove_patterns.push((pattern, weight));
+        self
+    }
+}
+
+/// The autotuner for one relational specification.
+#[derive(Debug, Clone)]
+pub struct Autotuner<'a> {
+    spec: &'a RelSpec,
+    opts: EnumerateOptions,
+    relation_size: f64,
+}
+
+impl<'a> Autotuner<'a> {
+    /// Creates an autotuner with default enumeration options (≤ 4 edges,
+    /// hash tables only) and an assumed relation size of 4096 tuples.
+    pub fn new(spec: &'a RelSpec) -> Self {
+        Autotuner {
+            spec,
+            opts: EnumerateOptions::default(),
+            relation_size: 4096.0,
+        }
+    }
+
+    /// Overrides the enumeration options (edge bound, sharing, structure
+    /// palette).
+    pub fn with_options(mut self, opts: EnumerateOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Sets the assumed relation size used to derive per-edge fan-outs for
+    /// static ranking.
+    pub fn with_relation_size(mut self, n: f64) -> Self {
+        self.relation_size = n.max(1.0);
+        self
+    }
+
+    /// Derives a cost model for a candidate: an edge whose key covers a
+    /// fraction `k/m` of the relation's minimal key gets fan-out `n^(k/m)`
+    /// (so fan-outs along any key-covering path multiply to roughly the
+    /// relation size `n`); edges keyed only by non-key columns get `√n`.
+    pub fn default_model(&self, d: &Decomposition) -> CostModel {
+        let minkey = self.spec.minimal_key();
+        let m = minkey.len().max(1) as f64;
+        let n = self.relation_size;
+        let fanouts = d
+            .edges()
+            .map(|(_, e)| {
+                let k = e.key.intersection(minkey).len();
+                if k > 0 {
+                    n.powf(k as f64 / m)
+                } else {
+                    n.sqrt()
+                }
+            })
+            .collect();
+        CostModel::from_fanouts(d, fanouts)
+    }
+
+    /// The candidate decompositions (adequate, deduplicated, deterministic).
+    pub fn candidates(&self) -> Vec<Decomposition> {
+        enumerate_decompositions(self.spec, &self.opts)
+    }
+
+    /// Benchmarks every candidate with `bench` (which returns a cost, e.g.
+    /// elapsed seconds) and returns candidates sorted by increasing cost.
+    /// `NaN` costs are treated as `INFINITY`.
+    pub fn tune<F: FnMut(&Decomposition) -> f64>(&self, mut bench: F) -> Vec<TuneResult> {
+        let mut results: Vec<TuneResult> = self
+            .candidates()
+            .into_iter()
+            .map(|d| {
+                let cost = bench(&d);
+                TuneResult {
+                    decomposition: d,
+                    cost: if cost.is_nan() { f64::INFINITY } else { cost },
+                }
+            })
+            .collect();
+        results.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+        results
+    }
+
+    /// Ranks every candidate by the §4.3 cost model over `workload`, without
+    /// executing anything.
+    pub fn tune_static(&self, workload: &Workload) -> Vec<TuneResult> {
+        let mut results: Vec<TuneResult> = self
+            .candidates()
+            .into_iter()
+            .map(|d| {
+                let cost = self.static_cost(&d, workload);
+                TuneResult {
+                    decomposition: d,
+                    cost,
+                }
+            })
+            .collect();
+        results.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+        results
+    }
+
+    /// The static cost of a single candidate for a workload.
+    pub fn static_cost(&self, d: &Decomposition, workload: &Workload) -> f64 {
+        let model = self.default_model(d);
+        let planner = Planner::new(d, self.spec, model);
+        let mut total = 0.0;
+        for (avail, out, weight) in &workload.queries {
+            match planner.plan_query(*avail, *out) {
+                Ok(p) => total += weight * p.cost,
+                Err(_) => return f64::INFINITY,
+            }
+        }
+        for (eq, ranged, out, weight) in &workload.range_queries {
+            match planner.plan_query_where(*eq, *ranged, relic_spec::ColSet::EMPTY, *out) {
+                Ok(p) => total += weight * p.cost,
+                Err(_) => return f64::INFINITY,
+            }
+        }
+        if workload.insert_weight > 0.0 {
+            // One find-or-create lookup per edge.
+            let mut insert_cost = 0.0;
+            for (eid, e) in d.edges() {
+                insert_cost += e.ds.lookup_cost(planner.cost_model().fanout(eid));
+            }
+            total += workload.insert_weight * insert_cost;
+        }
+        for (pattern, weight) in &workload.remove_patterns {
+            match planner.plan_query(*pattern, self.spec.cols()) {
+                Ok(p) => {
+                    let c = relic_decomp::cut(d, self.spec.fds(), *pattern);
+                    let mut break_cost = 0.0;
+                    for e in &c.crossing {
+                        let edge = d.edge(*e);
+                        break_cost += if edge.ds.is_intrusive() {
+                            1.0
+                        } else {
+                            edge.ds.lookup_cost(planner.cost_model().fanout(*e))
+                        };
+                    }
+                    total += weight * (p.cost + break_cost);
+                }
+                Err(_) => return f64::INFINITY,
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relic_spec::Catalog;
+
+    fn graph() -> (Catalog, RelSpec) {
+        let mut cat = Catalog::new();
+        let src = cat.intern("src");
+        let dst = cat.intern("dst");
+        let weight = cat.intern("weight");
+        let spec = RelSpec::new(src | dst | weight).with_fd(src | dst, weight.into());
+        (cat, spec)
+    }
+
+    #[test]
+    fn candidates_are_adequate_and_bounded() {
+        let (_, spec) = graph();
+        let tuner = Autotuner::new(&spec).with_options(EnumerateOptions {
+            max_edges: 3,
+            ..Default::default()
+        });
+        let cs = tuner.candidates();
+        assert!(!cs.is_empty());
+        for c in &cs {
+            assert!(c.edge_count() <= 3);
+            relic_decomp::check_adequacy(c, &spec).unwrap();
+        }
+    }
+
+    #[test]
+    fn dynamic_tune_sorts_by_cost() {
+        let (_, spec) = graph();
+        let tuner = Autotuner::new(&spec).with_options(EnumerateOptions {
+            max_edges: 2,
+            ..Default::default()
+        });
+        // Fake benchmark: prefer fewer edges, penalize more nodes.
+        let results = tuner.tune(|d| (d.edge_count() * 10 + d.node_count()) as f64);
+        assert!(results.windows(2).all(|p| p[0].cost <= p[1].cost));
+    }
+
+    #[test]
+    fn nan_costs_sort_last() {
+        let (_, spec) = graph();
+        let tuner = Autotuner::new(&spec).with_options(EnumerateOptions {
+            max_edges: 2,
+            ..Default::default()
+        });
+        let mut flip = false;
+        let results = tuner.tune(|_| {
+            flip = !flip;
+            if flip {
+                f64::NAN
+            } else {
+                1.0
+            }
+        });
+        let last = results.last().unwrap();
+        assert!(last.cost.is_infinite());
+        assert_eq!(results.first().unwrap().cost, 1.0);
+    }
+
+    #[test]
+    fn static_ranking_prefers_matching_index() {
+        // For a pure successor-query workload, a decomposition keyed by src
+        // first should out-rank one keyed by weight first.
+        let (mut cat, spec) = graph();
+        let src = cat.intern("src");
+        let dst = cat.intern("dst");
+        let weight = cat.intern("weight");
+        let tuner = Autotuner::new(&spec);
+        let workload = Workload::new().query(src.into(), dst | weight, 1.0);
+        let ranking = tuner.tune_static(&workload);
+        assert!(ranking.windows(2).all(|p| p[0].cost <= p[1].cost));
+        let best = &ranking[0].decomposition;
+        // The best decomposition's root must allow a lookup on src.
+        let root_keys: Vec<_> = best
+            .node(best.root())
+            .body
+            .edges()
+            .iter()
+            .map(|e| best.edge(*e).key)
+            .collect();
+        assert!(
+            root_keys.iter().any(|k| k.is_subset(src.into())),
+            "best root keys {root_keys:?}"
+        );
+    }
+
+    #[test]
+    fn static_cost_accounts_for_intrusive_removal() {
+        // Identical shapes, one with dlist and one with ilist on the shared
+        // leaf: removal by key should be cheaper with the intrusive list.
+        let (mut cat, spec) = graph();
+        let src = cat.col("src").unwrap();
+        let dst = cat.col("dst").unwrap();
+        let mut shared = |ds: &str| {
+            relic_decomp::parse(
+                &mut cat,
+                &format!(
+                    "let w : {{src,dst}} . {{weight}} = unit {{weight}} in
+                     let y : {{src}} . {{dst,weight}} = {{dst}} -[{ds}]-> w in
+                     let z : {{dst}} . {{src,weight}} = {{src}} -[{ds}]-> w in
+                     let x : {{}} . {{src,dst,weight}} =
+                       ({{src}} -[htable]-> y) join ({{dst}} -[htable]-> z) in x"
+                ),
+            )
+            .unwrap()
+        };
+        let with_dlist = shared("dlist");
+        let with_ilist = shared("ilist");
+        let tuner = Autotuner::new(&spec).with_relation_size(4096.0);
+        let workload = Workload::new().removes(src | dst, 1.0);
+        let c_dlist = tuner.static_cost(&with_dlist, &workload);
+        let c_ilist = tuner.static_cost(&with_ilist, &workload);
+        assert!(
+            c_ilist < c_dlist,
+            "intrusive {c_ilist} should beat dlist {c_dlist}"
+        );
+    }
+
+    #[test]
+    fn range_workload_prefers_ordered_index() {
+        // A time-window-heavy workload over an event log: with trees in the
+        // palette, the statically best candidate must seek (an ordered edge
+        // whose final key column is the ranged one).
+        let mut cat = Catalog::new();
+        let host = cat.intern("host");
+        let ts = cat.intern("ts");
+        let bytes = cat.intern("bytes");
+        let spec = RelSpec::new(host | ts | bytes).with_fd(host | ts, bytes.into());
+        let tuner = Autotuner::new(&spec).with_options(EnumerateOptions {
+            max_edges: 2,
+            structures: vec![
+                relic_decomp::DsKind::HashTable,
+                relic_decomp::DsKind::AvlTree,
+            ],
+            ..Default::default()
+        });
+        let workload = Workload::new().query_where(host.into(), ts.into(), bytes.into(), 1.0);
+        let ranking = tuner.tune_static(&workload);
+        assert!(ranking.windows(2).all(|p| p[0].cost <= p[1].cost));
+        let best = &ranking[0].decomposition;
+        let planner = Planner::new(best, &spec, tuner.default_model(best));
+        let plan = planner
+            .plan_query_where(host.into(), ts.into(), ColSet::EMPTY, bytes.into())
+            .unwrap();
+        assert!(
+            plan.plan.to_string().contains("qrange"),
+            "best candidate should seek: {}",
+            plan.plan
+        );
+        // And it must strictly beat the best hash-only candidate.
+        let hash_tuner = Autotuner::new(&spec).with_options(EnumerateOptions {
+            max_edges: 2,
+            ..Default::default()
+        });
+        let hash_best = &hash_tuner.tune_static(&workload)[0];
+        assert!(ranking[0].cost < hash_best.cost);
+    }
+
+    #[test]
+    fn impossible_workload_is_infinite() {
+        let (mut cat, spec) = graph();
+        let alien = cat.intern("alien");
+        let tuner = Autotuner::new(&spec).with_options(EnumerateOptions {
+            max_edges: 2,
+            ..Default::default()
+        });
+        let workload = Workload::new().query(ColSet::EMPTY, alien.into(), 1.0);
+        let ranking = tuner.tune_static(&workload);
+        assert!(ranking.iter().all(|r| r.cost.is_infinite()));
+    }
+}

@@ -1,0 +1,115 @@
+//! Concurrent-relation scaling: throughput of a shard-disjoint insert/query
+//! mix as threads grow, coarse lock (1 shard) vs partitioned (16 shards).
+//!
+//! The PLDI 2012 follow-on's headline is that domain-locked synthesized
+//! containers scale where a global lock serializes; this bench reproduces
+//! that shape: with one shard every thread contends on one writer lock,
+//! with 16 shards shard-disjoint threads proceed in parallel.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use relic_concurrent::ConcurrentRelation;
+use relic_decomp::parse;
+use relic_spec::{Catalog, ColSet, RelSpec, Tuple, Value};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(600))
+}
+
+fn setup(cat: &mut Catalog) -> (RelSpec, relic_decomp::Decomposition) {
+    let d = parse(
+        cat,
+        "let u : {local,remote} . {bytes} = unit {bytes} in
+         let l : {local} . {remote,bytes} = {remote} -[htable]-> u in
+         let x : {} . {local,remote,bytes} = {local} -[htable]-> l in x",
+    )
+    .unwrap();
+    let local = cat.col("local").unwrap();
+    let remote = cat.col("remote").unwrap();
+    let bytes = cat.col("bytes").unwrap();
+    let spec = RelSpec::new(local | remote | bytes).with_fd(local | remote, bytes.into());
+    (spec, d)
+}
+
+/// Each thread inserts and point-queries flows for its own local-host range.
+fn run_mix(rel: &ConcurrentRelation, cat: &Catalog, threads: i64, ops: i64) {
+    let local = cat.col("local").unwrap();
+    let remote = cat.col("remote").unwrap();
+    let bytes = cat.col("bytes").unwrap();
+    std::thread::scope(|s| {
+        for th in 0..threads {
+            let rel = &rel;
+            s.spawn(move || {
+                let mut seed = 0xC0FFEEu64.wrapping_mul(th as u64 + 1);
+                for _ in 0..ops {
+                    seed ^= seed << 13;
+                    seed ^= seed >> 7;
+                    seed ^= seed << 17;
+                    let lo = th * 32 + (seed % 32) as i64;
+                    let re = (seed >> 8) as i64 % 64;
+                    let t = Tuple::from_pairs([
+                        (local, Value::from(lo)),
+                        (remote, Value::from(re)),
+                        (bytes, Value::from(0)),
+                    ]);
+                    let _ = rel.insert(t);
+                    let pat = Tuple::from_pairs([(local, Value::from(lo))]);
+                    let _ = rel.query(&pat, remote | bytes).unwrap();
+                }
+            });
+        }
+    });
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrent_scaling");
+    let mut cat = Catalog::new();
+    let (spec, d) = setup(&mut cat);
+    let local = cat.col("local").unwrap();
+    // Constant total work (8k ops) split across the worker threads: with
+    // shard-disjoint traffic and enough shards, wall time should *fall* as
+    // threads rise; with one global lock it cannot.
+    const TOTAL_OPS: i64 = 8_000;
+    for shards in [1usize, 16] {
+        for threads in [1i64, 2, 4] {
+            let label = format!("shards{shards}");
+            let cat = cat.clone();
+            let spec = spec.clone();
+            let d = d.clone();
+            group.bench_with_input(
+                BenchmarkId::new(label, threads),
+                &threads,
+                |b, &threads| {
+                    b.iter_batched(
+                        || {
+                            ConcurrentRelation::new(
+                                &cat,
+                                spec.clone(),
+                                d.clone(),
+                                ColSet::from(local),
+                                shards,
+                            )
+                            .unwrap()
+                        },
+                        |rel| {
+                            run_mix(&rel, &cat, threads, TOTAL_OPS / threads);
+                            rel.len()
+                        },
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion version of Figure 11: per-decomposition timings of the graph
+//! benchmark variants (F, F+B, F+B+D) at a reduced, fixed scale.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use relic_bench::fig11_candidates;
+use relic_systems::graph::{graph_spec, road_network, GraphBench};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400))
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let (mut cat, cols, spec) = graph_spec();
+    let workload = road_network(12, 12, 14, 0xF16);
+    // Fig. 12's three representatives plus the statically-best extras.
+    let candidates = fig11_candidates(&mut cat, &spec, 3);
+    let mut group = c.benchmark_group("fig11");
+    for cand in &candidates {
+        let label = cand.label.replace(' ', "_");
+        group.bench_function(format!("F/{label}"), |b| {
+            b.iter(|| {
+                let bench =
+                    GraphBench::build(&cat, cols, &spec, cand.decomposition.clone(), &workload)
+                        .unwrap();
+                bench.dfs_forward()
+            })
+        });
+        group.bench_function(format!("F+B/{label}"), |b| {
+            let bench = GraphBench::build(&cat, cols, &spec, cand.decomposition.clone(), &workload)
+                .unwrap();
+            b.iter(|| bench.dfs_forward() + bench.dfs_backward())
+        });
+        group.bench_function(format!("F+B+D/{label}"), |b| {
+            b.iter_batched(
+                || {
+                    GraphBench::build(&cat, cols, &spec, cand.decomposition.clone(), &workload)
+                        .unwrap()
+                },
+                |mut bench| {
+                    bench.dfs_forward();
+                    bench.dfs_backward();
+                    bench.delete_all_edges();
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_fig11
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion version of Figure 12: the three representative graph
+//! decompositions compared per phase (build, forward, backward, delete).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use relic_bench::fig12_decompositions;
+use relic_systems::graph::{graph_spec, road_network, GraphBench};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400))
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let (mut cat, cols, spec) = graph_spec();
+    let workload = road_network(12, 12, 14, 0xF16);
+    let candidates = fig12_decompositions(&mut cat);
+    let mut group = c.benchmark_group("fig12");
+    for cand in &candidates {
+        let label = match cand.label.split(' ').next() {
+            Some(l) => l.to_string(),
+            None => cand.label.clone(),
+        };
+        group.bench_function(format!("build/{label}"), |b| {
+            b.iter(|| {
+                GraphBench::build(&cat, cols, &spec, cand.decomposition.clone(), &workload)
+                    .unwrap()
+            })
+        });
+        let bench =
+            GraphBench::build(&cat, cols, &spec, cand.decomposition.clone(), &workload).unwrap();
+        group.bench_function(format!("forward/{label}"), |b| b.iter(|| bench.dfs_forward()));
+        group.bench_function(format!("backward/{label}"), |b| {
+            b.iter(|| bench.dfs_backward())
+        });
+        group.bench_function(format!("delete/{label}"), |b| {
+            b.iter_batched(
+                || {
+                    GraphBench::build(&cat, cols, &spec, cand.decomposition.clone(), &workload)
+                        .unwrap()
+                },
+                |mut bench| bench.delete_all_edges(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_fig12
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion version of Figure 13: IpCap packet accounting across ranked
+//! decompositions of the flow relation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relic_bench::fig13_candidates;
+use relic_systems::ipcap::{flow_spec, packet_trace, run_accounting, SynthFlows};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400))
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let (cat, cols, spec) = flow_spec();
+    let trace = packet_trace(4_000, 64, 512, 0xF13);
+    let candidates = fig13_candidates(&cat, &spec, 8);
+    let mut group = c.benchmark_group("fig13");
+    for cand in &candidates {
+        let label = cand.label.replace(' ', "_");
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut flows =
+                    SynthFlows::new(&cat, cols, &spec, cand.decomposition.clone()).unwrap();
+                run_accounting(&mut flows, &trace, 1_024).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_fig13
+}
+criterion_main!(benches);

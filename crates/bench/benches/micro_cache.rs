@@ -1,0 +1,60 @@
+//! §6.1 cache microbenchmark ("based on the real systems"): the thttpd-style
+//! mmap cache under a skewed request stream, across decompositions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relic_systems::thttpd::{
+    mmap_spec, request_stream, run_cache, BaselineMmapCache, SynthMmapCache,
+};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400))
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let reqs = request_stream(3_000, 400, 0xCAC4E);
+    let mut group = c.benchmark_group("micro_cache");
+    group.bench_function("baseline_hashmap", |b| {
+        b.iter(|| {
+            let mut cache = BaselineMmapCache::new();
+            run_cache(&mut cache, &reqs, 500, 800).0.len()
+        })
+    });
+    for (label, src) in [
+        (
+            "synth_htable",
+            "let w : {path} . {addr,size,stamp} = unit {addr,size,stamp} in
+             let x : {} . {path,addr,size,stamp} = {path} -[htable]-> w in x",
+        ),
+        (
+            "synth_avl",
+            "let w : {path} . {addr,size,stamp} = unit {addr,size,stamp} in
+             let x : {} . {path,addr,size,stamp} = {path} -[avl]-> w in x",
+        ),
+        (
+            "synth_sortedvec",
+            "let w : {path} . {addr,size,stamp} = unit {addr,size,stamp} in
+             let x : {} . {path,addr,size,stamp} = {path} -[sortedvec]-> w in x",
+        ),
+    ] {
+        let (mut cat, cols, spec) = mmap_spec();
+        let d = relic_decomp::parse(&mut cat, src).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cache = SynthMmapCache::new(&cat, cols, &spec, d.clone()).unwrap();
+                run_cache(&mut cache, &reqs, 500, 800).0.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_cache
+}
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! §6.1 scheduler microbenchmark: the running example's operation mix
+//! (spawn, state changes, tick accounting, enumerate-by-state, exit) across
+//! decompositions of the process relation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relic_core::SynthRelation;
+use relic_decomp::parse;
+use relic_spec::{Catalog, RelSpec, Tuple, Value};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400))
+}
+
+fn scheduler_sources() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "fig2_join_shared",
+            "let w : {ns,pid,state} . {cpu} = unit {cpu} in
+             let y : {ns} . {pid,cpu} = {pid} -[htable]-> w in
+             let z : {state} . {ns,pid,cpu} = {ns,pid} -[ilist]-> w in
+             let x : {} . {ns,pid,state,cpu} =
+               ({ns} -[htable]-> y) join ({state} -[vec]-> z) in x",
+        ),
+        (
+            "nested_hash_chain",
+            "let w : {ns,pid} . {state,cpu} = unit {state,cpu} in
+             let y : {ns} . {pid,state,cpu} = {pid} -[htable]-> w in
+             let x : {} . {ns,pid,state,cpu} = {ns} -[htable]-> y in x",
+        ),
+        (
+            "flat_avl",
+            "let w : {ns,pid} . {state,cpu} = unit {state,cpu} in
+             let x : {} . {ns,pid,state,cpu} = {ns,pid} -[avl]-> w in x",
+        ),
+    ]
+}
+
+/// One simulated scheduler epoch over `n` processes.
+fn run_epoch(cat: &Catalog, rel: &mut SynthRelation, n: i64) -> usize {
+    let ns = cat.col("ns").unwrap();
+    let pid = cat.col("pid").unwrap();
+    let state = cat.col("state").unwrap();
+    let cpu = cat.col("cpu").unwrap();
+    // Spawn.
+    for i in 0..n {
+        rel.insert(Tuple::from_pairs([
+            (ns, Value::from(i % 8)),
+            (pid, Value::from(i)),
+            (state, Value::from(if i % 3 == 0 { "R" } else { "S" })),
+            (cpu, Value::from(0)),
+        ]))
+        .unwrap();
+    }
+    // Tick accounting: charge cpu to every running process (query + update).
+    let mut running: Vec<Tuple> = Vec::new();
+    rel.query_for_each(
+        &Tuple::from_pairs([(state, Value::from("R"))]),
+        ns | pid,
+        |t| running.push(t.clone()),
+    )
+    .unwrap();
+    for key in &running {
+        rel.update(key, &Tuple::from_pairs([(cpu, Value::from(1))])).unwrap();
+    }
+    // State churn: sleep every running process.
+    for key in &running {
+        rel.update(key, &Tuple::from_pairs([(state, Value::from("S"))]))
+            .unwrap();
+    }
+    // Exit: namespace teardown.
+    let mut removed = 0;
+    for nsv in 0..8 {
+        removed += rel
+            .remove(&Tuple::from_pairs([(ns, Value::from(nsv))]))
+            .unwrap();
+    }
+    removed
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_scheduler");
+    for (label, src) in scheduler_sources() {
+        let mut cat = Catalog::new();
+        let d = parse(&mut cat, src).unwrap();
+        let spec = RelSpec::new(cat.all()).with_fd(
+            cat.col("ns").unwrap() | cat.col("pid").unwrap(),
+            cat.col("state").unwrap() | cat.col("cpu").unwrap(),
+        );
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut rel = SynthRelation::new(&cat, spec.clone(), d.clone()).unwrap();
+                rel.set_fd_checking(false);
+                run_epoch(&cat, &mut rel, 400)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_scheduler
+}
+criterion_main!(benches);

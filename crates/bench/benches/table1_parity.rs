@@ -1,0 +1,163 @@
+//! Criterion version of the §6.2 parity claim: baseline vs. synthesized
+//! implementations of the three case-study systems on identical workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relic_systems::ipcap::{
+    flow_spec, packet_trace, run_accounting, BaselineFlows, FlowStore, SynthFlows,
+};
+use relic_systems::thttpd::{
+    mmap_spec, request_stream, run_cache, BaselineMmapCache, SynthMmapCache,
+};
+use relic_systems::thttpd::{MmapCache, Outcome, Request};
+use relic_systems::ztopo::{pan_workload, run_tiles, tile_spec, BaselineTileCache, SynthTileCache};
+use std::time::Duration;
+
+/// The RELC-compiled mmap cache: the module below is *generated at build
+/// time* by relic-codegen (see build.rs) for the same relation and
+/// decomposition the interpreted `SynthMmapCache` uses.
+mod gen_mmap_cache {
+    include!(concat!(env!("OUT_DIR"), "/gen_mmap_cache.rs"));
+}
+
+struct CompiledMmapCache {
+    rel: gen_mmap_cache::Relation,
+    next_addr: i64,
+}
+
+impl CompiledMmapCache {
+    fn new() -> Self {
+        CompiledMmapCache {
+            rel: gen_mmap_cache::Relation::new(),
+            next_addr: 0,
+        }
+    }
+}
+
+impl MmapCache for CompiledMmapCache {
+    fn serve(&mut self, req: &Request) -> Outcome {
+        if self.rel.update_path_set_stamp(&req.path, req.now) {
+            return Outcome::Hit;
+        }
+        self.next_addr += 4096;
+        let size = 1024 + (req.path.len() as i64) * 7;
+        self.rel
+            .insert(req.path.clone(), self.next_addr, size, req.now);
+        Outcome::Miss
+    }
+
+    fn cleanup(&mut self, cutoff: i64) -> usize {
+        let mut stale: Vec<String> = Vec::new();
+        self.rel.query_all_to_path_stamp(|path, stamp| {
+            if *stamp < cutoff {
+                stale.push(path.clone());
+            }
+        });
+        let mut removed = 0;
+        for p in stale {
+            if self.rel.remove_by_path(&p) {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    fn live(&self) -> usize {
+        self.rel.len()
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400))
+}
+
+fn bench_parity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parity");
+
+    let reqs = request_stream(4_000, 500, 0x7177);
+    group.bench_function("thttpd/baseline", |b| {
+        b.iter(|| {
+            let mut cache = BaselineMmapCache::new();
+            run_cache(&mut cache, &reqs, 500, 1_000).0.len()
+        })
+    });
+    let (mut cat, cols, spec) = mmap_spec();
+    let d = relic_systems::thttpd::default_decomposition(&mut cat);
+    group.bench_function("thttpd/synthesized_interpreted", |b| {
+        b.iter(|| {
+            let mut cache = SynthMmapCache::new(&cat, cols, &spec, d.clone()).unwrap();
+            run_cache(&mut cache, &reqs, 500, 1_000).0.len()
+        })
+    });
+    group.bench_function("thttpd/synthesized_compiled", |b| {
+        b.iter(|| {
+            let mut cache = CompiledMmapCache::new();
+            run_cache(&mut cache, &reqs, 500, 1_000).0.len()
+        })
+    });
+    // The three implementations must agree observably.
+    {
+        let mut a = BaselineMmapCache::new();
+        let mut b = SynthMmapCache::new(&cat, cols, &spec, d.clone()).unwrap();
+        let mut c = CompiledMmapCache::new();
+        let ra = run_cache(&mut a, &reqs, 500, 1_000);
+        let rb = run_cache(&mut b, &reqs, 500, 1_000);
+        let rc = run_cache(&mut c, &reqs, 500, 1_000);
+        assert_eq!(ra, rb);
+        assert_eq!(ra, rc);
+        assert_eq!(a.live(), c.live());
+    }
+
+    let trace = packet_trace(4_000, 64, 512, 0xF13);
+    group.bench_function("ipcap/baseline", |b| {
+        b.iter(|| {
+            let mut flows = BaselineFlows::new();
+            run_accounting(&mut flows, &trace, 1_024).len()
+        })
+    });
+    let (mut fcat, fcols, fspec) = flow_spec();
+    let fd = relic_systems::ipcap::default_decomposition(&mut fcat);
+    group.bench_function("ipcap/synthesized", |b| {
+        b.iter(|| {
+            let mut flows = SynthFlows::new(&fcat, fcols, &fspec, fd.clone()).unwrap();
+            run_accounting(&mut flows, &trace, 1_024).len()
+        })
+    });
+    // Sanity: identical logs (checked once, outside timing).
+    {
+        let mut a = BaselineFlows::new();
+        let mut b = SynthFlows::new(&fcat, fcols, &fspec, fd.clone()).unwrap();
+        assert_eq!(
+            run_accounting(&mut a, &trace, 1_024),
+            run_accounting(&mut b, &trace, 1_024)
+        );
+        assert_eq!(a.live_flows(), b.live_flows());
+    }
+
+    let tiles = pan_workload(300, 24, 24, 0x2707);
+    group.bench_function("ztopo/baseline", |b| {
+        b.iter(|| {
+            let mut cache = BaselineTileCache::new(32, 96);
+            run_tiles(&mut cache, &tiles).0.len()
+        })
+    });
+    let (mut tcat, tcols, tspec) = tile_spec();
+    let td = relic_systems::ztopo::default_decomposition(&mut tcat);
+    group.bench_function("ztopo/synthesized", |b| {
+        b.iter(|| {
+            let mut cache = SynthTileCache::new(&tcat, tcols, &tspec, td.clone(), 32, 96).unwrap();
+            run_tiles(&mut cache, &tiles).0.len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_parity
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Figure 12: the three representative graph decompositions, printed in
+//! let-notation and Graphviz, with per-phase timings.
+//!
+//! Usage: `cargo run --release -p relic-bench --bin fig12 [-- <nx> <ny>]`
+
+use relic_bench::{fig12_decompositions, render_table, time_once};
+use relic_decomp::to_dot;
+use relic_systems::graph::{graph_spec, road_network, GraphBench};
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let nx = args.first().copied().unwrap_or(40);
+    let ny = args.get(1).copied().unwrap_or(40);
+    let (mut cat, cols, spec) = graph_spec();
+    let workload = road_network(nx, ny, nx * ny / 10, 0xF16);
+    println!("Figure 12 — decompositions 1, 5 and 9 of the edge relation\n");
+    let candidates = fig12_decompositions(&mut cat);
+    let mut rows = vec![vec![
+        "decomposition".to_string(),
+        "nodes".to_string(),
+        "edges".to_string(),
+        "build+F (s)".to_string(),
+        "B (s)".to_string(),
+        "D (s)".to_string(),
+    ]];
+    for c in &candidates {
+        println!("=== {} ===", c.label);
+        println!("{}", c.decomposition.to_let_notation(&cat));
+        println!("\n{}", to_dot(&c.decomposition, &cat));
+        let (t_build, bench) = time_once(|| {
+            GraphBench::build(&cat, cols, &spec, c.decomposition.clone(), &workload).unwrap()
+        });
+        let (t_f, _) = time_once(|| bench.dfs_forward());
+        let (t_b, _) = time_once(|| bench.dfs_backward());
+        let mut bench = bench;
+        let (t_d, _) = time_once(|| bench.delete_all_edges());
+        rows.push(vec![
+            c.label.clone(),
+            format!("{}", c.decomposition.node_count()),
+            format!("{}", c.decomposition.edge_count()),
+            format!("{:.3}", (t_build + t_f).as_secs_f64()),
+            format!("{:.3}", t_b.as_secs_f64()),
+            format!("{:.3}", t_d.as_secs_f64()),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+}

@@ -1,0 +1,29 @@
+//! Table 1: non-comment lines of code — hand-coded module vs. decomposition
+//! mapping + synthesized module, for the three case-study systems.
+//!
+//! Usage: `cargo run -p relic-bench --bin table1`
+
+use relic_bench::render_table;
+use relic_systems::loc::table1_rows;
+
+fn main() {
+    println!("Table 1 — non-comment lines of code (our Rust reimplementations)\n");
+    let mut rows = vec![vec![
+        "system".to_string(),
+        "hand-coded module".to_string(),
+        "decomposition".to_string(),
+        "synthesized module".to_string(),
+    ]];
+    for r in table1_rows() {
+        rows.push(vec![
+            r.system.to_string(),
+            format!("{}", r.baseline_module),
+            format!("{}", r.decomposition),
+            format!("{}", r.synth_module),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+    println!("Paper shape to check: the synthesized module plus its decomposition");
+    println!("mapping is comparable to or smaller than the hand-coded module, and the");
+    println!("mapping itself is tiny (the paper's mappings were 39-55 lines).");
+}

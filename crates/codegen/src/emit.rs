@@ -1,0 +1,1111 @@
+//! The code emitter: request → Rust source text.
+
+use crate::{CodegenError, ColType, Request};
+use relic_decomp::{check_adequacy, cut, Body, Decomposition, DsKind, EdgeId, NodeId};
+use relic_query::{CostModel, Plan, Planner, Side};
+use relic_spec::{ColId, ColSet};
+use std::fmt::Write;
+
+/// An indented source writer.
+struct Src {
+    buf: String,
+    indent: usize,
+}
+
+impl Src {
+    fn new() -> Self {
+        Src {
+            buf: String::new(),
+            indent: 0,
+        }
+    }
+
+    fn line(&mut self, s: impl AsRef<str>) {
+        for _ in 0..self.indent {
+            self.buf.push_str("    ");
+        }
+        self.buf.push_str(s.as_ref());
+        self.buf.push('\n');
+    }
+
+    fn open(&mut self, s: impl AsRef<str>) {
+        self.line(s);
+        self.indent += 1;
+    }
+
+    fn close(&mut self, s: impl AsRef<str>) {
+        self.indent -= 1;
+        self.line(s);
+    }
+
+    fn blank(&mut self) {
+        self.buf.push('\n');
+    }
+}
+
+/// Per-column value expressions available at an emission point.
+#[derive(Debug, Clone, Default)]
+struct Env {
+    exprs: Vec<Option<String>>, // by ColId index
+}
+
+impl Env {
+    fn with_cols(n: usize) -> Self {
+        Env {
+            exprs: vec![None; n],
+        }
+    }
+
+    fn bind(&mut self, c: ColId, expr: String) {
+        self.exprs[c.index()] = Some(expr);
+    }
+
+    fn get(&self, c: ColId) -> Option<&str> {
+        self.exprs[c.index()].as_deref()
+    }
+}
+
+struct Gen<'a> {
+    req: &'a Request<'a>,
+    d: &'a Decomposition,
+    planner: Planner<'a>,
+    /// Unique-suffix counter for generated local names.
+    fresh: usize,
+    /// Active range context while emitting a `query_range` body:
+    /// `(range column, lo argument name, hi argument name)`.
+    range_ctx: Option<(ColId, String, String)>,
+}
+
+pub(crate) fn node_struct_name(d: &Decomposition, id: NodeId) -> String {
+    let name = &d.node(id).name;
+    let mut s = String::from("Node");
+    let mut up = true;
+    for ch in name.chars() {
+        if up {
+            s.extend(ch.to_uppercase());
+            up = false;
+        } else {
+            s.push(ch);
+        }
+    }
+    s
+}
+
+fn col_list(cat: &relic_spec::Catalog, cols: ColSet, sep: &str) -> String {
+    cols.iter()
+        .map(|c| cat.name(c).to_string())
+        .collect::<Vec<_>>()
+        .join(sep)
+}
+
+/// Generates a self-contained Rust module implementing the relation.
+///
+/// # Errors
+///
+/// See [`CodegenError`]; notably, the decomposition must be adequate, every
+/// remove/update pattern must be a key, and the decomposition must contain a
+/// *tuple-identity node* (a node whose bound columns determine the whole
+/// tuple) for duplicate detection.
+pub fn generate(req: &Request<'_>) -> Result<String, CodegenError> {
+    check_adequacy(req.decomposition, req.spec)
+        .map_err(|e| CodegenError::Inadequate(e.to_string()))?;
+    for c in req.spec.cols().iter() {
+        if c.index() >= req.types.len() {
+            return Err(CodegenError::MissingType(c.index()));
+        }
+    }
+    let planner = Planner::new(
+        req.decomposition,
+        req.spec,
+        CostModel::uniform(req.decomposition, 16.0),
+    );
+    let mut gen = Gen {
+        req,
+        d: req.decomposition,
+        planner,
+        fresh: 0,
+        range_ctx: None,
+    };
+    gen.emit()
+}
+
+impl<'a> Gen<'a> {
+    fn ty(&self, c: ColId) -> ColType {
+        self.req.types[c.index()]
+    }
+
+    fn cname(&self, c: ColId) -> String {
+        self.req.cat.name(c).to_string()
+    }
+
+    fn fresh(&mut self, base: &str) -> String {
+        self.fresh += 1;
+        format!("{base}{}", self.fresh)
+    }
+
+    /// The key tuple type of an edge, e.g. `(i64, String)` (always a tuple,
+    /// even for arity one).
+    fn key_type(&self, key: ColSet) -> String {
+        let parts: Vec<String> = key.iter().map(|c| self.ty(c).rust().to_string()).collect();
+        format!("({},)", parts.join(", ")).replace(",,", ",")
+    }
+
+    /// A key tuple *expression* from the environment (clones non-Copy).
+    fn key_expr(&self, key: ColSet, env: &Env) -> String {
+        let parts: Vec<String> = key
+            .iter()
+            .map(|c| {
+                let e = env.get(c).expect("key column bound");
+                if self.ty(c).is_copy() {
+                    e.to_string()
+                } else {
+                    format!("{e}.clone()")
+                }
+            })
+            .collect();
+        format!("({},)", parts.join(", ")).replace(",,", ",")
+    }
+
+    fn container_type(&self, e: EdgeId) -> String {
+        let edge = self.d.edge(e);
+        let k = self.key_type(edge.key);
+        match edge.ds {
+            DsKind::HashTable => format!("HashMap<{k}, u32>"),
+            DsKind::AvlTree | DsKind::SortedVec => format!("BTreeMap<{k}, u32>"),
+            DsKind::AssocVec | DsKind::DList | DsKind::IntrusiveList => {
+                format!("Vec<({k}, u32)>")
+            }
+        }
+    }
+
+    fn is_map_backed(&self, e: EdgeId) -> bool {
+        matches!(
+            self.d.edge(e).ds,
+            DsKind::HashTable | DsKind::AvlTree | DsKind::SortedVec
+        )
+    }
+
+    /// Expression for the instance *struct* of a node given its slot
+    /// variable (root is a direct field).
+    fn inst_expr(&self, id: NodeId, slot_var: &str, mutable: bool) -> String {
+        if id == self.d.root() {
+            "self.root".to_string()
+        } else {
+            let n = &self.d.node(id).name;
+            let acc = if mutable { "as_mut" } else { "as_ref" };
+            format!("self.arena_{n}[{slot_var} as usize].{acc}().unwrap()")
+        }
+    }
+
+    fn slot_var(&self, id: NodeId) -> String {
+        format!("i_{}", self.d.node(id).name)
+    }
+
+    /// `container.get(key)`-style lookup expression yielding `Option<u32>`.
+    fn lookup_expr(&self, e: EdgeId, inst: &str, key: &str) -> String {
+        let field = format!("{inst}.e{}", e.index());
+        if self.is_map_backed(e) {
+            format!("{field}.get(&{key}).copied()")
+        } else {
+            format!("{field}.iter().find(|en| en.0 == {key}).map(|en| en.1)")
+        }
+    }
+
+    /// The ordered list of edges whose leaves live in a node's body,
+    /// left-to-right, paired with leaf indices.
+    fn unit_fields(&self, id: NodeId) -> Vec<ColId> {
+        let mut out = Vec::new();
+        for leaf in self.d.node(id).body.leaves() {
+            if let Body::Unit(c) = leaf {
+                out.extend(c.iter());
+            }
+        }
+        out
+    }
+
+    /// A node whose bound columns determine the whole tuple (used for
+    /// duplicate detection). Adequate decompositions of keyed relations
+    /// always contain one in practice.
+    fn identity_node(&self) -> Result<NodeId, CodegenError> {
+        let all = self.req.spec.cols();
+        self.d
+            .nodes()
+            .map(|(id, _)| id)
+            .find(|id| {
+                all.is_subset(self.req.spec.fds().closure(self.d.node(*id).bound))
+            })
+            .ok_or_else(|| CodegenError::Inadequate("no tuple-identity node".to_string()))
+    }
+
+    fn emit(&mut self) -> Result<String, CodegenError> {
+        let mut s = Src::new();
+        let cat = self.req.cat;
+        // Plain `//` comments and outer attributes only, so the module can
+        // be used both as a standalone file (`mod m;`) and via
+        // `include!` inside a `mod m { ... }` block.
+        s.line(format!(
+            "// Module `{}` — generated by relic-codegen. DO NOT EDIT.",
+            self.req.module_name
+        ));
+        s.line("//");
+        s.line("// Decomposition:");
+        for l in self
+            .d
+            .to_let_notation(cat)
+            .lines()
+        {
+            s.line(format!("//   {l}"));
+        }
+        s.line("//");
+        s.line("// Client obligations: tuples must satisfy the specification's");
+        s.line("// functional dependencies; inserting a conflicting tuple is a no-op.");
+        s.blank();
+        let mut uses_hash = false;
+        let mut uses_btree = false;
+        for (_, e) in self.d.edges() {
+            match e.ds {
+                DsKind::HashTable => uses_hash = true,
+                DsKind::AvlTree | DsKind::SortedVec => uses_btree = true,
+                _ => {}
+            }
+        }
+        if uses_btree {
+            s.line("use std::collections::BTreeMap;");
+        }
+        if uses_hash {
+            s.line("use std::collections::HashMap;");
+        }
+        if uses_hash || uses_btree {
+            s.blank();
+        }
+
+        // Node structs.
+        for (id, node) in self.d.nodes() {
+            let sn = node_struct_name(self.d, id);
+            s.line("#[allow(dead_code)]");
+            s.line("#[derive(Debug, Clone, Default)]");
+            s.open(format!("struct {sn} {{"));
+            for c in self.unit_fields(id) {
+                s.line(format!("f_{}: {},", self.cname(c), self.ty(c).rust()));
+            }
+            for e in node.body.edges() {
+                s.line(format!("e{}: {},", e.index(), self.container_type(e)));
+            }
+            s.close("}");
+            s.blank();
+        }
+
+        // Relation struct.
+        s.line("#[allow(dead_code)]");
+        s.line("#[derive(Debug, Default)]");
+        s.open("pub struct Relation {");
+        for (id, node) in self.d.nodes() {
+            if id != self.d.root() {
+                let sn = node_struct_name(self.d, id);
+                s.line(format!("arena_{}: Vec<Option<{sn}>>,", node.name));
+                s.line(format!("free_{}: Vec<u32>,", node.name));
+            }
+        }
+        s.line(format!(
+            "root: {},",
+            node_struct_name(self.d, self.d.root())
+        ));
+        s.line("len: usize,");
+        s.close("}");
+        s.blank();
+
+        s.line("#[allow(dead_code, unused_variables, unused_mut, clippy::all)]");
+        s.open("impl Relation {");
+        s.line("/// Creates an empty relation.");
+        s.line("pub fn new() -> Self { Self::default() }");
+        s.blank();
+        s.line("/// Number of tuples.");
+        s.line("pub fn len(&self) -> usize { self.len }");
+        s.blank();
+        s.line("/// Is the relation empty?");
+        s.line("pub fn is_empty(&self) -> bool { self.len == 0 }");
+        s.blank();
+
+        // Arena allocators.
+        for (id, node) in self.d.nodes() {
+            if id == self.d.root() {
+                continue;
+            }
+            let n = &node.name;
+            let sn = node_struct_name(self.d, id);
+            s.open(format!("fn alloc_{n}(&mut self, node: {sn}) -> u32 {{"));
+            s.open(format!("if let Some(i) = self.free_{n}.pop() {{"));
+            s.line(format!("self.arena_{n}[i as usize] = Some(node);"));
+            s.line("i");
+            s.close("} else {");
+            s.indent += 1;
+            s.line(format!("self.arena_{n}.push(Some(node));"));
+            s.line(format!("(self.arena_{n}.len() - 1) as u32"));
+            s.close("}");
+            s.close("}");
+            s.blank();
+        }
+
+        self.emit_insert(&mut s)?;
+        for (pattern, out) in self.req.ops.queries.clone() {
+            self.emit_query(&mut s, pattern, out)?;
+        }
+        for (prefix, rcol, out) in self.req.ops.ranges.clone() {
+            self.emit_query_range(&mut s, prefix, rcol, out)?;
+        }
+        let mut removes = self.req.ops.removes.clone();
+        // Structural updates are compiled as remove + insert, so ensure the
+        // matching remove exists.
+        for (key, _) in &self.req.ops.updates {
+            if !removes.contains(key) {
+                removes.push(*key);
+            }
+        }
+        for pattern in removes {
+            self.emit_remove(&mut s, pattern)?;
+        }
+        for (key, changes) in self.req.ops.updates.clone() {
+            self.emit_update(&mut s, key, changes)?;
+        }
+        s.close("}");
+        Ok(s.buf)
+    }
+
+    /// Emits `insert(all columns) -> bool` (dinsert, §4.4).
+    fn emit_insert(&mut self, s: &mut Src) -> Result<(), CodegenError> {
+        let cat = self.req.cat;
+        let cols = self.req.spec.cols();
+        let identity = self.identity_node()?;
+        let args: Vec<String> = cols
+            .iter()
+            .map(|c| format!("{}: {}", self.cname(c), self.ty(c).rust()))
+            .collect();
+        s.line("/// Inserts a tuple; returns `false` if a tuple with the same key");
+        s.line("/// already exists (duplicates and FD conflicts are both no-ops).");
+        s.open(format!(
+            "pub fn insert(&mut self, {}) -> bool {{",
+            args.join(", ")
+        ));
+        let mut env = Env::with_cols(self.req.types.len());
+        for c in cols.iter() {
+            env.bind(c, self.cname(c));
+        }
+        // Find-or-create in topological order (root first).
+        let order: Vec<NodeId> = self.d.topo_root_first().collect();
+        for id in order {
+            if id == self.d.root() {
+                continue;
+            }
+            let node = self.d.node(id);
+            let slot = self.slot_var(id);
+            // Find via each incoming edge in turn.
+            let mut find = String::new();
+            for (i, &e) in self.d.incoming_edges(id).iter().enumerate() {
+                let edge = self.d.edge(e);
+                let parent_slot = self.slot_var(edge.from);
+                let parent = self.inst_expr(edge.from, &parent_slot, false);
+                let key = self.key_expr(edge.key, &env);
+                if i > 0 {
+                    write!(find, ".or_else(|| {})", self.lookup_expr(e, &parent, &key)).unwrap();
+                } else {
+                    find = self.lookup_expr(e, &parent, &key);
+                }
+            }
+            s.line(format!("// node {} : {{{}}}", node.name, col_list(cat, node.bound, ", ")));
+            s.open(format!("let {slot} = match {find} {{"));
+            if id == identity {
+                s.line("Some(_) => return false, // key already present");
+            } else {
+                s.line("Some(i) => i,");
+            }
+            s.open("None => {");
+            let sn = node_struct_name(self.d, id);
+            let units = self.unit_fields(id);
+            if units.is_empty() {
+                s.line(format!("let i = self.alloc_{}({sn}::default());", node.name));
+            } else {
+                let fields: Vec<String> = units
+                    .iter()
+                    .map(|c| {
+                        let e = env.get(*c).unwrap();
+                        if self.ty(*c).is_copy() {
+                            format!("f_{}: {e}", self.cname(*c))
+                        } else {
+                            format!("f_{}: {e}.clone()", self.cname(*c))
+                        }
+                    })
+                    .collect();
+                s.line(format!(
+                    "let i = self.alloc_{}({sn} {{ {}, ..Default::default() }});",
+                    node.name,
+                    fields.join(", ")
+                ));
+            }
+            s.line("i");
+            s.close("}");
+            s.close("};");
+            // Link through every incoming edge not yet pointing at it.
+            for &e in self.d.incoming_edges(id) {
+                let edge = self.d.edge(e);
+                let parent_slot = self.slot_var(edge.from);
+                let parent_ro = self.inst_expr(edge.from, &parent_slot, false);
+                let parent_rw = self.inst_expr(edge.from, &parent_slot, true);
+                let key = self.key_expr(edge.key, &env);
+                s.open(format!(
+                    "if {}.is_none() {{",
+                    self.lookup_expr(e, &parent_ro, &key)
+                ));
+                if self.is_map_backed(e) {
+                    s.line(format!("{parent_rw}.e{}.insert({key}, {slot});", e.index()));
+                } else {
+                    s.line(format!("{parent_rw}.e{}.push(({key}, {slot}));", e.index()));
+                }
+                s.close("}");
+            }
+        }
+        s.line("self.len += 1;");
+        s.line("true");
+        s.close("}");
+        s.blank();
+        Ok(())
+    }
+
+    /// Emits `query_<pattern>__<out>(args, callback)`.
+    fn emit_query(&mut self, s: &mut Src, pattern: ColSet, out: ColSet) -> Result<(), CodegenError> {
+        let planned = self
+            .planner
+            .plan_query(pattern, out)
+            .map_err(|_| CodegenError::NoPlan(pattern, out))?;
+        let name = if pattern.is_empty() {
+            format!("query_all_to_{}", col_list(self.req.cat, out, "_"))
+        } else {
+            format!(
+                "query_{}_to_{}",
+                col_list(self.req.cat, pattern, "_"),
+                col_list(self.req.cat, out, "_")
+            )
+        };
+        let args: Vec<String> = pattern
+            .iter()
+            .map(|c| format!("{}: &{}", self.cname(c), self.ty(c).rust()))
+            .collect();
+        let cb_tys: Vec<String> = out
+            .iter()
+            .map(|c| format!("&{}", self.ty(c).rust()))
+            .collect();
+        s.line(format!("/// Plan: `{}` (chosen by the §4.3 planner).", planned.plan));
+        s.open(format!(
+            "pub fn {name}(&self, {}{}mut f: impl FnMut({})) {{",
+            args.join(", "),
+            if args.is_empty() { "" } else { ", " },
+            cb_tys.join(", ")
+        ));
+        let mut env = Env::with_cols(self.req.types.len());
+        for c in pattern.iter() {
+            env.bind(c, format!("(*{})", self.cname(c)));
+        }
+        let root = self.d.root();
+        let body = self.d.node(root).body.clone();
+        let plan = planned.plan.clone();
+        self.emit_plan(s, &plan, &body, root, "self.root".to_string(), &mut env, &mut |gen, s, env| {
+            let outs: Vec<String> = out
+                .iter()
+                .map(|c| format!("&{}", env.get(c).expect("out col bound")))
+                .collect();
+            let _ = gen;
+            s.line(format!("f({});", outs.join(", ")));
+        });
+        s.close("}");
+        s.blank();
+        Ok(())
+    }
+
+    /// Emits `query_<prefix>_<col>_between_to_<out>(prefix, lo, hi, f)` —
+    /// an inclusive range on `rcol` with `prefix` pinned by equality.
+    fn emit_query_range(
+        &mut self,
+        s: &mut Src,
+        prefix: ColSet,
+        rcol: ColId,
+        out: ColSet,
+    ) -> Result<(), CodegenError> {
+        let planned = self
+            .planner
+            .plan_query_where(prefix, rcol.set(), ColSet::EMPTY, out)
+            .map_err(|_| CodegenError::NoPlan(prefix | rcol.set(), out))?;
+        let cat = self.req.cat;
+        let name = if prefix.is_empty() {
+            format!(
+                "query_{}_between_to_{}",
+                self.cname(rcol),
+                col_list(cat, out, "_")
+            )
+        } else {
+            format!(
+                "query_{}_{}_between_to_{}",
+                col_list(cat, prefix, "_"),
+                self.cname(rcol),
+                col_list(cat, out, "_")
+            )
+        };
+        let rty = self.ty(rcol).rust();
+        let mut args: Vec<String> = prefix
+            .iter()
+            .map(|c| format!("{}: &{}", self.cname(c), self.ty(c).rust()))
+            .collect();
+        args.push(format!("lo: &{rty}"));
+        args.push(format!("hi: &{rty}"));
+        let cb_tys: Vec<String> = out
+            .iter()
+            .map(|c| format!("&{}", self.ty(c).rust()))
+            .collect();
+        s.line(format!(
+            "/// Plan: `{}` (chosen by the §4.3 planner; range on `{}`).",
+            planned.plan,
+            self.cname(rcol)
+        ));
+        s.open(format!(
+            "pub fn {name}(&self, {}, mut f: impl FnMut({})) {{",
+            args.join(", "),
+            cb_tys.join(", ")
+        ));
+        let mut env = Env::with_cols(self.req.types.len());
+        for c in prefix.iter() {
+            env.bind(c, format!("(*{})", self.cname(c)));
+        }
+        self.range_ctx = Some((rcol, "lo".to_string(), "hi".to_string()));
+        let root = self.d.root();
+        let body = self.d.node(root).body.clone();
+        let plan = planned.plan.clone();
+        self.emit_plan(s, &plan, &body, root, "self.root".to_string(), &mut env, &mut |gen, s, env| {
+            let outs: Vec<String> = out
+                .iter()
+                .map(|c| format!("&{}", env.get(c).expect("out col bound")))
+                .collect();
+            let _ = gen;
+            s.line(format!("f({});", outs.join(", ")));
+        });
+        self.range_ctx = None;
+        s.close("}");
+        s.blank();
+        Ok(())
+    }
+
+    /// The range-filter condition for a column expression, if the active
+    /// range context constrains `col`.
+    fn range_cond(&self, col: ColId, expr: &str) -> Option<String> {
+        let (rcol, lo, hi) = self.range_ctx.as_ref()?;
+        if *rcol != col {
+            return None;
+        }
+        Some(format!("{expr} >= *{lo} && {expr} <= *{hi}"))
+    }
+
+    /// Emits plan-execution code; `cont` emits the innermost body.
+    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::only_used_in_recursion)] // `node` keeps the plan/body walk aligned for future operators
+    fn emit_plan(
+        &mut self,
+        s: &mut Src,
+        plan: &Plan,
+        body: &Body,
+        node: NodeId,
+        inst: String,
+        env: &mut Env,
+        cont: &mut dyn FnMut(&mut Self, &mut Src, &Env),
+    ) {
+        match (plan, body) {
+            (Plan::Unit, Body::Unit(c)) => {
+                // Compare bound columns; range-check constrained unbound
+                // columns; bind the rest.
+                let mut conds = Vec::new();
+                for col in c.iter() {
+                    let field = format!("{inst}.f_{}", self.cname(col));
+                    if let Some(b) = env.get(col) {
+                        conds.push(format!("{field} == {b}"));
+                    } else if let Some(rc) = self.range_cond(col, &field) {
+                        conds.push(rc);
+                    }
+                }
+                let mut opened = false;
+                if !conds.is_empty() {
+                    s.open(format!("if {} {{", conds.join(" && ")));
+                    opened = true;
+                }
+                let mut env2 = env.clone();
+                for col in c.iter() {
+                    if env2.get(col).is_none() {
+                        env2.bind(col, format!("{inst}.f_{}", self.cname(col)));
+                    }
+                }
+                cont(self, s, &env2);
+                if opened {
+                    s.close("}");
+                }
+            }
+            (Plan::Lookup { child }, Body::Map(eid)) => {
+                let edge = self.d.edge(*eid);
+                let key = self.key_expr(edge.key, env);
+                let slot = self.fresh("q");
+                s.open(format!(
+                    "if let Some({slot}) = {} {{",
+                    self.lookup_expr(*eid, &inst, &key)
+                ));
+                let target = edge.to;
+                let tinst = self.inst_expr(target, &slot, false);
+                let tbody = self.d.node(target).body.clone();
+                self.emit_plan(s, child, &tbody, target, tinst, env, cont);
+                s.close("}");
+            }
+            (Plan::Scan { child }, Body::Map(eid)) => {
+                let edge = self.d.edge(*eid);
+                let entry = self.fresh("en");
+                if self.is_map_backed(*eid) {
+                    s.open(format!("for ({entry}_k, {entry}_v) in {inst}.e{}.iter() {{", eid.index()));
+                    s.line(format!("let {entry}_i = *{entry}_v;"));
+                } else {
+                    s.open(format!("for {entry} in {inst}.e{}.iter() {{", eid.index()));
+                    s.line(format!("let {entry}_k = &{entry}.0;"));
+                    s.line(format!("let {entry}_i = {entry}.1;"));
+                }
+                // Bind / compare the scanned key columns; range-check the
+                // constrained column if this scan binds it.
+                let mut env2 = env.clone();
+                let mut conds = Vec::new();
+                for (i, col) in edge.key.iter().enumerate() {
+                    let kexpr = format!("{entry}_k.{i}");
+                    match env2.get(col) {
+                        Some(b) => conds.push(format!("{kexpr} == {b}")),
+                        None => {
+                            if let Some(rc) = self.range_cond(col, &kexpr) {
+                                conds.push(rc);
+                            }
+                            env2.bind(col, kexpr);
+                        }
+                    }
+                }
+                let mut opened = false;
+                if !conds.is_empty() {
+                    s.open(format!("if {} {{", conds.join(" && ")));
+                    opened = true;
+                }
+                let slot = format!("{entry}_i");
+                let target = edge.to;
+                let tinst = self.inst_expr(target, &slot, false);
+                let tbody = self.d.node(target).body.clone();
+                self.emit_plan(s, child, &tbody, target, tinst, &mut env2, cont);
+                if opened {
+                    s.close("}");
+                }
+                s.close("}");
+            }
+            (Plan::Range { child }, Body::Map(eid)) => {
+                // An ordered (BTreeMap-backed) edge whose final key column
+                // carries the range: seek the contiguous run directly.
+                let edge = self.d.edge(*eid);
+                let (rcol, lo, hi) = self.range_ctx.clone().expect("range context active");
+                debug_assert_eq!(edge.key.max_col(), Some(rcol));
+                debug_assert!(self.is_map_backed(*eid), "qrange on unordered edge");
+                let bound_key = |arg: &str, gen: &Self| -> String {
+                    let parts: Vec<String> = edge
+                        .key
+                        .iter()
+                        .map(|c| {
+                            if c == rcol {
+                                if gen.ty(c).is_copy() {
+                                    format!("*{arg}")
+                                } else {
+                                    format!("{arg}.clone()")
+                                }
+                            } else {
+                                let e = env.get(c).expect("range prefix bound");
+                                if gen.ty(c).is_copy() {
+                                    e.to_string()
+                                } else {
+                                    format!("{e}.clone()")
+                                }
+                            }
+                        })
+                        .collect();
+                    format!("({},)", parts.join(", ")).replace(",,", ",")
+                };
+                let entry = self.fresh("en");
+                s.line(format!("let {entry}_lo = {};", bound_key(&lo, self)));
+                s.line(format!("let {entry}_hi = {};", bound_key(&hi, self)));
+                // BTreeMap::range panics on inverted bounds; guard empties.
+                s.open(format!("if {entry}_lo <= {entry}_hi {{"));
+                s.open(format!(
+                    "for ({entry}_k, {entry}_v) in {inst}.e{}.range({entry}_lo..={entry}_hi) {{",
+                    eid.index()
+                ));
+                s.line(format!("let {entry}_i = *{entry}_v;"));
+                // Bind the key columns (the seek already enforces both the
+                // prefix equalities and the range).
+                let mut env2 = env.clone();
+                for (i, col) in edge.key.iter().enumerate() {
+                    if env2.get(col).is_none() {
+                        env2.bind(col, format!("{entry}_k.{i}"));
+                    }
+                }
+                let slot = format!("{entry}_i");
+                let target = edge.to;
+                let tinst = self.inst_expr(target, &slot, false);
+                let tbody = self.d.node(target).body.clone();
+                self.emit_plan(s, child, &tbody, target, tinst, &mut env2, cont);
+                s.close("}");
+                s.close("}");
+            }
+            (Plan::Lr { side, inner }, Body::Join(l, r)) => {
+                let sub = match side {
+                    Side::Left => l,
+                    Side::Right => r,
+                };
+                self.emit_plan(s, inner, sub, node, inst, env, cont);
+            }
+            (
+                Plan::Join {
+                    side,
+                    first,
+                    second,
+                },
+                Body::Join(l, r),
+            ) => {
+                let (fb, sb): (Body, Body) = match side {
+                    Side::Left => ((**l).clone(), (**r).clone()),
+                    Side::Right => ((**r).clone(), (**l).clone()),
+                };
+                let second = second.clone();
+                let inst2 = inst.clone();
+                self.emit_plan(s, first, &fb, node, inst, env, &mut |gen, s, env1| {
+                    let mut env1 = env1.clone();
+                    gen.emit_plan(s, &second, &sb, node, inst2.clone(), &mut env1, cont);
+                });
+            }
+            (p, _) => unreachable!("valid plan misaligned with body: {p}"),
+        }
+    }
+
+    /// Emits locate code for a node along its canonical path; binds the slot
+    /// variable. Requires all path key columns bound in `env`. On a missing
+    /// instance the emitted code returns `false`.
+    fn emit_locate(&mut self, s: &mut Src, id: NodeId, env: &Env) {
+        if id == self.d.root() {
+            return;
+        }
+        // Canonical path: first incoming edge, recursively.
+        let e = self.d.incoming_edges(id)[0];
+        let edge = self.d.edge(e);
+        if edge.from != self.d.root() {
+            self.emit_locate(s, edge.from, env);
+        }
+        let parent_slot = self.slot_var(edge.from);
+        let parent = self.inst_expr(edge.from, &parent_slot, false);
+        let key = self.key_expr(edge.key, env);
+        let slot = self.slot_var(id);
+        s.line(format!(
+            "let Some({slot}) = {} else {{ return false; }};",
+            self.lookup_expr(e, &parent, &key)
+        ));
+    }
+
+    /// Emits `remove_by_<pattern>(args) -> bool` (cut-based removal, §4.5).
+    fn emit_remove(&mut self, s: &mut Src, pattern: ColSet) -> Result<(), CodegenError> {
+        if !self.req.spec.fds().implies(pattern, self.req.spec.cols()) {
+            return Err(CodegenError::PatternNotKey(pattern));
+        }
+        let cat = self.req.cat;
+        let rest = self.req.spec.cols() - pattern;
+        let name = format!("remove_by_{}", col_list(cat, pattern, "_"));
+        let args: Vec<String> = pattern
+            .iter()
+            .map(|c| format!("{}: &{}", self.cname(c), self.ty(c).rust()))
+            .collect();
+        s.line("/// Removes the tuple matching the key, if present (cut-based, §4.5).");
+        s.open(format!("pub fn {name}(&mut self, {}) -> bool {{", args.join(", ")));
+
+        // 1. Fetch the remaining columns of the unique matching tuple.
+        let mut env = Env::with_cols(self.req.types.len());
+        for c in pattern.iter() {
+            env.bind(c, format!("(*{})", self.cname(c)));
+        }
+        if !rest.is_empty() {
+            let tys: Vec<String> = rest.iter().map(|c| self.ty(c).rust().to_string()).collect();
+            s.line(format!(
+                "let mut fetched: Option<({},)> = None;",
+                tys.join(", ")
+            ));
+            let planned = self
+                .planner
+                .plan_query(pattern, rest)
+                .map_err(|_| CodegenError::NoPlan(pattern, rest))?;
+            let root = self.d.root();
+            let body = self.d.node(root).body.clone();
+            let plan = planned.plan.clone();
+            let rest2 = rest;
+            self.emit_plan(
+                s,
+                &plan,
+                &body,
+                root,
+                "self.root".to_string(),
+                &mut env.clone(),
+                &mut |gen, s, env2| {
+                    let parts: Vec<String> = rest2
+                        .iter()
+                        .map(|c| {
+                            let e = env2.get(c).expect("fetched col bound");
+                            if gen.ty(c).is_copy() {
+                                e.to_string()
+                            } else {
+                                format!("{e}.clone()")
+                            }
+                        })
+                        .collect();
+                    s.line(format!("fetched = Some(({},));", parts.join(", ")));
+                },
+            );
+            s.line("let Some(fetched) = fetched else { return false; };");
+            for (i, c) in rest.iter().enumerate() {
+                s.line(format!("let v_{} = fetched.{i};", self.cname(c)));
+                env.bind(c, format!("v_{}", self.cname(c)));
+            }
+        } else {
+            // Existence check via the identity node locate below.
+        }
+
+        // 2. Locate every instance on the tuple's path (above and below the
+        //    cut). Slot variables are bound in topological order (root
+        //    first) via each node's first incoming edge, so parent slots are
+        //    always in scope.
+        let c = cut(self.d, self.req.spec.fds(), pattern);
+        let order: Vec<NodeId> = self.d.topo_root_first().collect();
+        for &id in &order {
+            if id == self.d.root() {
+                continue;
+            }
+            let e = self.d.incoming_edges(id)[0];
+            let edge = self.d.edge(e);
+            let parent_slot = self.slot_var(edge.from);
+            let parent = self.inst_expr(edge.from, &parent_slot, false);
+            let key = self.key_expr(edge.key, &env);
+            let slot = self.slot_var(id);
+            s.line(format!(
+                "let Some({slot}) = {} else {{ return false; }};",
+                self.lookup_expr(e, &parent, &key)
+            ));
+        }
+
+        // 3. Break every crossing edge.
+        for &e in &c.crossing {
+            let edge = self.d.edge(e);
+            let parent_slot = self.slot_var(edge.from);
+            let parent_rw = self.inst_expr(edge.from, &parent_slot, true);
+            let key = self.key_expr(edge.key, &env);
+            if self.is_map_backed(e) {
+                s.line(format!("{parent_rw}.e{}.remove(&{key});", e.index()));
+            } else {
+                s.line(format!(
+                    "if let Some(p) = {parent_rw}.e{}.iter().position(|en| en.0 == {key}) {{ {parent_rw}.e{}.swap_remove(p); }}",
+                    e.index(),
+                    e.index()
+                ));
+            }
+        }
+
+        // 4. Free below-cut instances (each belongs solely to this tuple,
+        //    because its bound columns determine the key).
+        for (id, node) in self.d.nodes() {
+            if !c.is_below(id) || id == self.d.root() {
+                continue;
+            }
+            let slot = self.slot_var(id);
+            let n = &node.name;
+            s.line(format!("self.arena_{n}[{slot} as usize] = None;"));
+            s.line(format!("self.free_{n}.push({slot});"));
+        }
+
+        // 5. Clean up empty maps above the cut (children before parents).
+        for (id, node) in self.d.nodes() {
+            if c.is_below(id) || id == self.d.root() || !self.unit_fields(id).is_empty() {
+                continue;
+            }
+            let slot = self.slot_var(id);
+            let n = &node.name;
+            let inst_ro = self.inst_expr(id, &slot, false);
+            let empties: Vec<String> = node
+                .body
+                .edges()
+                .iter()
+                .map(|e| format!("{inst_ro}.e{}.is_empty()", e.index()))
+                .collect();
+            s.open(format!("if {} {{", empties.join(" && ")));
+            for &e in self.d.incoming_edges(id) {
+                let edge = self.d.edge(e);
+                let parent_slot = self.slot_var(edge.from);
+                let parent_rw = self.inst_expr(edge.from, &parent_slot, true);
+                let key = self.key_expr(edge.key, &env);
+                if self.is_map_backed(e) {
+                    s.line(format!("{parent_rw}.e{}.remove(&{key});", e.index()));
+                } else {
+                    s.line(format!(
+                        "if let Some(p) = {parent_rw}.e{}.iter().position(|en| en.0 == {key}) {{ {parent_rw}.e{}.swap_remove(p); }}",
+                        e.index(),
+                        e.index()
+                    ));
+                }
+            }
+            s.line(format!("self.arena_{n}[{slot} as usize] = None;"));
+            s.line(format!("self.free_{n}.push({slot});"));
+            s.close("}");
+        }
+
+        s.line("self.len -= 1;");
+        s.line("true");
+        s.close("}");
+        s.blank();
+        Ok(())
+    }
+
+    /// Emits `update_<key>__set_<changes>(args) -> bool`.
+    fn emit_update(&mut self, s: &mut Src, key: ColSet, changes: ColSet) -> Result<(), CodegenError> {
+        if !self.req.spec.fds().implies(key, self.req.spec.cols()) {
+            return Err(CodegenError::PatternNotKey(key));
+        }
+        if !key.is_disjoint(changes) {
+            return Err(CodegenError::UpdateOverlap(key & changes));
+        }
+        let cat = self.req.cat;
+        let name = format!(
+            "update_{}_set_{}",
+            col_list(cat, key, "_"),
+            col_list(cat, changes, "_")
+        );
+        let mut args: Vec<String> = key
+            .iter()
+            .map(|c| format!("{}: &{}", self.cname(c), self.ty(c).rust()))
+            .collect();
+        args.extend(
+            changes
+                .iter()
+                .map(|c| format!("new_{}: {}", self.cname(c), self.ty(c).rust())),
+        );
+        // Structural columns: any change to them moves instances around.
+        let mut structural = ColSet::EMPTY;
+        for (_, e) in self.d.edges() {
+            structural = structural | e.key;
+        }
+        for (_, n) in self.d.nodes() {
+            structural = structural | n.bound;
+        }
+        s.line("/// Updates the tuple matching the key, if present (§4.5 common case).");
+        s.open(format!("pub fn {name}(&mut self, {}) -> bool {{", args.join(", ")));
+        let mut env = Env::with_cols(self.req.types.len());
+        for c in key.iter() {
+            env.bind(c, format!("(*{})", self.cname(c)));
+        }
+        if changes.is_disjoint(structural) {
+            // In-place: rewrite unit fields on every node holding them.
+            for (id, _) in self.d.nodes() {
+                let units = self.unit_fields(id);
+                if units.iter().all(|c| !changes.contains(*c)) {
+                    continue;
+                }
+                self.emit_locate(s, id, &env);
+                let slot = self.slot_var(id);
+                let inst_rw = self.inst_expr(id, &slot, true);
+                for c in units {
+                    if changes.contains(c) {
+                        let e = format!("new_{}", self.cname(c));
+                        let val = if self.ty(c).is_copy() {
+                            e
+                        } else {
+                            format!("{e}.clone()")
+                        };
+                        s.line(format!("{inst_rw}.f_{} = {val};", self.cname(c)));
+                    }
+                }
+            }
+            s.line("true");
+        } else {
+            // Structural: fetch, remove, reinsert.
+            let rest = self.req.spec.cols() - key;
+            let fetched_cols = rest - changes;
+            if !fetched_cols.is_empty() {
+                let tys: Vec<String> = fetched_cols
+                    .iter()
+                    .map(|c| self.ty(c).rust().to_string())
+                    .collect();
+                s.line(format!(
+                    "let mut fetched: Option<({},)> = None;",
+                    tys.join(", ")
+                ));
+                let planned = self
+                    .planner
+                    .plan_query(key, fetched_cols)
+                    .map_err(|_| CodegenError::NoPlan(key, fetched_cols))?;
+                let root = self.d.root();
+                let body = self.d.node(root).body.clone();
+                let plan = planned.plan.clone();
+                self.emit_plan(
+                    s,
+                    &plan,
+                    &body,
+                    root,
+                    "self.root".to_string(),
+                    &mut env.clone(),
+                    &mut |gen, s, env2| {
+                        let parts: Vec<String> = fetched_cols
+                            .iter()
+                            .map(|c| {
+                                let e = env2.get(c).expect("fetched col bound");
+                                if gen.ty(c).is_copy() {
+                                    e.to_string()
+                                } else {
+                                    format!("{e}.clone()")
+                                }
+                            })
+                            .collect();
+                        s.line(format!("fetched = Some(({},));", parts.join(", ")));
+                    },
+                )
+                ;
+                s.line("let Some(fetched) = fetched else { return false; };");
+                for (i, c) in fetched_cols.iter().enumerate() {
+                    s.line(format!("let v_{} = fetched.{i};", self.cname(c)));
+                }
+            }
+            let remove_name = format!("remove_by_{}", col_list(cat, key, "_"));
+            let rm_args: Vec<String> = key.iter().map(|c| self.cname(c)).collect();
+            s.line(format!(
+                "if !self.{remove_name}({}) {{ return false; }}",
+                rm_args.join(", ")
+            ));
+            // Reinsert with new values.
+            let ins_args: Vec<String> = self
+                .req
+                .spec
+                .cols()
+                .iter()
+                .map(|c| {
+                    if key.contains(c) {
+                        let n = self.cname(c);
+                        if self.ty(c).is_copy() {
+                            format!("(*{n})")
+                        } else {
+                            format!("{n}.clone()")
+                        }
+                    } else if changes.contains(c) {
+                        format!("new_{}", self.cname(c))
+                    } else {
+                        format!("v_{}", self.cname(c))
+                    }
+                })
+                .collect();
+            s.line(format!("self.insert({});", ins_args.join(", ")));
+            s.line("true");
+        }
+        s.close("}");
+        s.blank();
+        Ok(())
+    }
+}

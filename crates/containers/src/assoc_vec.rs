@@ -1,0 +1,140 @@
+//! An unsorted association vector (the paper's `vector` primitive).
+
+/// A map stored as an unsorted vector of key/value entries.
+///
+/// Lookup, insert and remove are all O(n) scans, but with a very small
+/// constant and perfect cache behaviour — ideal for tiny key domains such as
+/// the scheduler's two-valued `state` column, which is exactly where the
+/// paper deploys its `vector` structure.
+#[derive(Debug, Clone)]
+pub struct AssocVec<K, V> {
+    entries: Vec<(K, V)>,
+}
+
+impl<K, V> Default for AssocVec<K, V> {
+    fn default() -> Self {
+        AssocVec {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<K: Eq, V> AssocVec<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        AssocVec::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts `k → v`, returning the previous value for `k`, if any.
+    pub fn insert(&mut self, k: K, v: V) -> Option<V> {
+        for entry in &mut self.entries {
+            if entry.0 == k {
+                return Some(std::mem::replace(&mut entry.1, v));
+            }
+        }
+        self.entries.push((k, v));
+        None
+    }
+
+    /// Looks up the value for `k`.
+    pub fn get(&self, k: &K) -> Option<&V> {
+        self.entries.iter().find(|(kk, _)| kk == k).map(|(_, v)| v)
+    }
+
+    /// Looks up the value for `k`, mutably.
+    pub fn get_mut(&mut self, k: &K) -> Option<&mut V> {
+        self.entries
+            .iter_mut()
+            .find(|(kk, _)| kk == k)
+            .map(|(_, v)| v)
+    }
+
+    /// Removes the entry for `k`, returning its value.
+    pub fn remove(&mut self, k: &K) -> Option<V> {
+        let i = self.entries.iter().position(|(kk, _)| kk == k)?;
+        Some(self.entries.swap_remove(i).1)
+    }
+
+    /// Iterates entries in insertion order (modulo `swap_remove` holes).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl<K: Eq, V> FromIterator<(K, V)> for AssocVec<K, V> {
+    fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
+        let mut m = AssocVec::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl<K: Eq, V> Extend<(K, V)> for AssocVec<K, V> {
+    fn extend<T: IntoIterator<Item = (K, V)>>(&mut self, iter: T) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn basic_ops() {
+        let mut m = AssocVec::new();
+        assert_eq!(m.insert("S", 1), None);
+        assert_eq!(m.insert("R", 2), None);
+        assert_eq!(m.insert("S", 3), Some(1));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&"R"), Some(&2));
+        assert_eq!(m.remove(&"R"), Some(2));
+        assert_eq!(m.get(&"R"), None);
+    }
+
+    #[test]
+    fn get_mut_and_clear() {
+        let mut m = AssocVec::new();
+        m.insert(1, 1);
+        *m.get_mut(&1).unwrap() = 2;
+        assert_eq!(m.get(&1), Some(&2));
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn behaves_like_std_hashmap(ops in proptest::collection::vec((0u8..3, 0i64..20, 0i64..100), 0..200)) {
+            let mut sut: AssocVec<i64, i64> = AssocVec::new();
+            let mut model: HashMap<i64, i64> = HashMap::new();
+            for (op, k, v) in ops {
+                match op {
+                    0 => prop_assert_eq!(sut.insert(k, v), model.insert(k, v)),
+                    1 => prop_assert_eq!(sut.remove(&k), model.remove(&k)),
+                    _ => prop_assert_eq!(sut.get(&k), model.get(&k)),
+                }
+                prop_assert_eq!(sut.len(), model.len());
+            }
+        }
+    }
+}

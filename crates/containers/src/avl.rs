@@ -1,0 +1,628 @@
+//! An arena-backed AVL tree map.
+//!
+//! Plays the role of the paper's ordered-tree primitive
+//! (`std::map` / `boost::intrusive::set` in the C++ implementation):
+//! O(log n) lookup/insert/remove and ordered iteration.
+//!
+//! Nodes live in a `Vec<Option<Node>>` arena with a free list, so the
+//! structure contains no `unsafe` code and reuses slots after removal.
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<K, V> {
+    key: K,
+    val: V,
+    left: u32,
+    right: u32,
+    height: i8,
+}
+
+/// An AVL tree map with keys ordered by `K: Ord`.
+#[derive(Debug, Clone)]
+pub struct AvlMap<K, V> {
+    nodes: Vec<Option<Node<K, V>>>,
+    free: Vec<u32>,
+    root: u32,
+    len: usize,
+}
+
+impl<K, V> Default for AvlMap<K, V> {
+    fn default() -> Self {
+        AvlMap {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            len: 0,
+        }
+    }
+}
+
+impl<K: Ord, V> AvlMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        AvlMap::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn node(&self, n: u32) -> &Node<K, V> {
+        self.nodes[n as usize].as_ref().expect("live node")
+    }
+
+    fn node_mut(&mut self, n: u32) -> &mut Node<K, V> {
+        self.nodes[n as usize].as_mut().expect("live node")
+    }
+
+    fn height(&self, n: u32) -> i8 {
+        if n == NIL {
+            0
+        } else {
+            self.node(n).height
+        }
+    }
+
+    fn update_height(&mut self, n: u32) {
+        let h = 1 + self.height(self.node(n).left).max(self.height(self.node(n).right));
+        self.node_mut(n).height = h;
+    }
+
+    fn balance_factor(&self, n: u32) -> i8 {
+        self.height(self.node(n).left) - self.height(self.node(n).right)
+    }
+
+    fn rotate_right(&mut self, y: u32) -> u32 {
+        let x = self.node(y).left;
+        let t2 = self.node(x).right;
+        self.node_mut(x).right = y;
+        self.node_mut(y).left = t2;
+        self.update_height(y);
+        self.update_height(x);
+        x
+    }
+
+    fn rotate_left(&mut self, x: u32) -> u32 {
+        let y = self.node(x).right;
+        let t2 = self.node(y).left;
+        self.node_mut(y).left = x;
+        self.node_mut(x).right = t2;
+        self.update_height(x);
+        self.update_height(y);
+        y
+    }
+
+    fn rebalance(&mut self, n: u32) -> u32 {
+        self.update_height(n);
+        let bf = self.balance_factor(n);
+        if bf > 1 {
+            if self.balance_factor(self.node(n).left) < 0 {
+                let l = self.node(n).left;
+                let nl = self.rotate_left(l);
+                self.node_mut(n).left = nl;
+            }
+            self.rotate_right(n)
+        } else if bf < -1 {
+            if self.balance_factor(self.node(n).right) > 0 {
+                let r = self.node(n).right;
+                let nr = self.rotate_right(r);
+                self.node_mut(n).right = nr;
+            }
+            self.rotate_left(n)
+        } else {
+            n
+        }
+    }
+
+    fn alloc(&mut self, key: K, val: V) -> u32 {
+        let node = Node {
+            key,
+            val,
+            left: NIL,
+            right: NIL,
+            height: 1,
+        };
+        if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = Some(node);
+            i
+        } else {
+            self.nodes.push(Some(node));
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Inserts `k → v`, returning the previous value for `k`, if any.
+    pub fn insert(&mut self, k: K, v: V) -> Option<V> {
+        let (root, old) = self.insert_at(self.root, k, v);
+        self.root = root;
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn insert_at(&mut self, n: u32, k: K, v: V) -> (u32, Option<V>) {
+        if n == NIL {
+            return (self.alloc(k, v), None);
+        }
+        let old = match k.cmp(&self.node(n).key) {
+            std::cmp::Ordering::Equal => {
+                let old = std::mem::replace(&mut self.node_mut(n).val, v);
+                return (n, Some(old));
+            }
+            std::cmp::Ordering::Less => {
+                let (child, old) = self.insert_at(self.node(n).left, k, v);
+                self.node_mut(n).left = child;
+                old
+            }
+            std::cmp::Ordering::Greater => {
+                let (child, old) = self.insert_at(self.node(n).right, k, v);
+                self.node_mut(n).right = child;
+                old
+            }
+        };
+        if old.is_none() {
+            (self.rebalance(n), old)
+        } else {
+            (n, old)
+        }
+    }
+
+    fn find(&self, k: &K) -> Option<u32> {
+        let mut n = self.root;
+        while n != NIL {
+            match k.cmp(&self.node(n).key) {
+                std::cmp::Ordering::Equal => return Some(n),
+                std::cmp::Ordering::Less => n = self.node(n).left,
+                std::cmp::Ordering::Greater => n = self.node(n).right,
+            }
+        }
+        None
+    }
+
+    /// Looks up the value for `k`.
+    pub fn get(&self, k: &K) -> Option<&V> {
+        self.find(k).map(|n| &self.node(n).val)
+    }
+
+    /// Looks up the value for `k`, mutably.
+    pub fn get_mut(&mut self, k: &K) -> Option<&mut V> {
+        match self.find(k) {
+            Some(n) => Some(&mut self.node_mut(n).val),
+            None => None,
+        }
+    }
+
+    /// Removes the entry for `k`, returning its value.
+    pub fn remove(&mut self, k: &K) -> Option<V> {
+        let (root, removed) = self.remove_at(self.root, k);
+        self.root = root;
+        removed.map(|i| {
+            self.len -= 1;
+            self.free.push(i);
+            self.nodes[i as usize].take().expect("removed node live").val
+        })
+    }
+
+    fn remove_at(&mut self, n: u32, k: &K) -> (u32, Option<u32>) {
+        if n == NIL {
+            return (NIL, None);
+        }
+        let (n, removed) = match k.cmp(&self.node(n).key) {
+            std::cmp::Ordering::Less => {
+                let (child, rem) = self.remove_at(self.node(n).left, k);
+                self.node_mut(n).left = child;
+                (n, rem)
+            }
+            std::cmp::Ordering::Greater => {
+                let (child, rem) = self.remove_at(self.node(n).right, k);
+                self.node_mut(n).right = child;
+                (n, rem)
+            }
+            std::cmp::Ordering::Equal => {
+                let left = self.node(n).left;
+                let right = self.node(n).right;
+                if left == NIL {
+                    return (right, Some(n));
+                }
+                if right == NIL {
+                    return (left, Some(n));
+                }
+                // Two children: detach the in-order successor and splice it
+                // into n's position; n's slot is then free.
+                let (new_right, succ) = self.detach_min(right);
+                self.node_mut(succ).left = left;
+                self.node_mut(succ).right = new_right;
+                return (self.rebalance(succ), Some(n));
+            }
+        };
+        if removed.is_some() {
+            (self.rebalance(n), removed)
+        } else {
+            (n, None)
+        }
+    }
+
+    /// Detaches the minimum node of the subtree rooted at `n`, returning the
+    /// new subtree root and the detached node's index.
+    fn detach_min(&mut self, n: u32) -> (u32, u32) {
+        if self.node(n).left == NIL {
+            return (self.node(n).right, n);
+        }
+        let (new_left, min) = self.detach_min(self.node(n).left);
+        self.node_mut(n).left = new_left;
+        (self.rebalance(n), min)
+    }
+
+    /// Calls `f` for every entry whose key lies in the interval `(lo, hi)`,
+    /// in ascending key order.
+    ///
+    /// Subtrees that cannot intersect the interval are pruned, so the walk
+    /// touches O(log n + k) nodes for k matches — the complexity the
+    /// `qrange` query operator's cost model assumes.
+    pub fn for_each_range(
+        &self,
+        lo: std::ops::Bound<&K>,
+        hi: std::ops::Bound<&K>,
+        mut f: impl FnMut(&K, &V),
+    ) {
+        self.range_rec(self.root, lo, hi, &mut f);
+    }
+
+    fn range_rec(
+        &self,
+        n: u32,
+        lo: std::ops::Bound<&K>,
+        hi: std::ops::Bound<&K>,
+        f: &mut impl FnMut(&K, &V),
+    ) {
+        use std::ops::Bound;
+        fn above_lo<K: Ord>(k: &K, lo: Bound<&K>) -> bool {
+            match lo {
+                Bound::Unbounded => true,
+                Bound::Included(l) => k >= l,
+                Bound::Excluded(l) => k > l,
+            }
+        }
+        fn below_hi<K: Ord>(k: &K, hi: Bound<&K>) -> bool {
+            match hi {
+                Bound::Unbounded => true,
+                Bound::Included(h) => k <= h,
+                Bound::Excluded(h) => k < h,
+            }
+        }
+        if n == NIL {
+            return;
+        }
+        let node = self.node(n);
+        // Keys smaller than a key failing the lower bound also fail it, and
+        // symmetrically for the upper bound — prune those subtrees.
+        if above_lo(&node.key, lo) {
+            self.range_rec(node.left, lo, hi, f);
+            if below_hi(&node.key, hi) {
+                f(&node.key, &node.val);
+            }
+        }
+        if below_hi(&node.key, hi) {
+            self.range_rec(node.right, lo, hi, f);
+        }
+    }
+
+    /// Calls `f`, in ascending key order, for every entry `classify` maps to
+    /// [`Ordering::Equal`](std::cmp::Ordering::Equal).
+    ///
+    /// `classify` must be *monotone* in key order: `Less` for keys before
+    /// the selected run, `Equal` inside it, `Greater` after it. Subtrees
+    /// wholly before or after the run are pruned (O(log n + k) nodes for k
+    /// matches). Generalizes [`for_each_range`](AvlMap::for_each_range) to
+    /// runs that plain `Bound`s cannot express, e.g. "keys with prefix `p`
+    /// whose final coordinate lies in an interval".
+    pub fn for_each_classified(
+        &self,
+        classify: impl Fn(&K) -> std::cmp::Ordering,
+        mut f: impl FnMut(&K, &V),
+    ) {
+        self.classified_rec(self.root, &classify, &mut f);
+    }
+
+    fn classified_rec(
+        &self,
+        n: u32,
+        classify: &impl Fn(&K) -> std::cmp::Ordering,
+        f: &mut impl FnMut(&K, &V),
+    ) {
+        use std::cmp::Ordering;
+        if n == NIL {
+            return;
+        }
+        let node = self.node(n);
+        match classify(&node.key) {
+            // Node before the run: the whole left subtree is too.
+            Ordering::Less => self.classified_rec(node.right, classify, f),
+            // Node after the run: the whole right subtree is too.
+            Ordering::Greater => self.classified_rec(node.left, classify, f),
+            Ordering::Equal => {
+                self.classified_rec(node.left, classify, f);
+                f(&node.key, &node.val);
+                self.classified_rec(node.right, classify, f);
+            }
+        }
+    }
+
+    /// Iterates entries in ascending key order.
+    pub fn iter(&self) -> AvlIter<'_, K, V> {
+        let mut stack = Vec::new();
+        let mut n = self.root;
+        while n != NIL {
+            stack.push(n);
+            n = self.node(n).left;
+        }
+        AvlIter { map: self, stack }
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.root = NIL;
+        self.len = 0;
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        fn rec<K: Ord, V>(m: &AvlMap<K, V>, n: u32, lo: Option<&K>, hi: Option<&K>) -> (i8, usize) {
+            if n == NIL {
+                return (0, 0);
+            }
+            let node = m.node(n);
+            if let Some(lo) = lo {
+                assert!(&node.key > lo, "BST order violated");
+            }
+            if let Some(hi) = hi {
+                assert!(&node.key < hi, "BST order violated");
+            }
+            let (lh, lc) = rec(m, node.left, lo, Some(&node.key));
+            let (rh, rc) = rec(m, node.right, Some(&node.key), hi);
+            assert!((lh - rh).abs() <= 1, "AVL balance violated");
+            assert_eq!(node.height, 1 + lh.max(rh), "height cache wrong");
+            (node.height, lc + rc + 1)
+        }
+        let (_, count) = rec(self, self.root, None, None);
+        assert_eq!(count, self.len, "len out of sync");
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for AvlMap<K, V> {
+    fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
+        let mut m = AvlMap::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl<K: Ord, V> Extend<(K, V)> for AvlMap<K, V> {
+    fn extend<T: IntoIterator<Item = (K, V)>>(&mut self, iter: T) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+/// Iterator over an [`AvlMap`] in ascending key order.
+#[derive(Debug)]
+pub struct AvlIter<'a, K, V> {
+    map: &'a AvlMap<K, V>,
+    stack: Vec<u32>,
+}
+
+impl<'a, K: Ord, V> Iterator for AvlIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.stack.pop()?;
+        let node = self.map.node(n);
+        let mut m = node.right;
+        while m != NIL {
+            self.stack.push(m);
+            m = self.map.node(m).left;
+        }
+        Some((&node.key, &node.val))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn basic_ops() {
+        let mut m = AvlMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(2, "b"), None);
+        assert_eq!(m.insert(1, "a"), None);
+        assert_eq!(m.insert(3, "c"), None);
+        assert_eq!(m.insert(2, "B"), Some("b"));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(&2), Some(&"B"));
+        assert_eq!(m.get(&9), None);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn ordered_iteration() {
+        let m: AvlMap<i32, i32> = [(5, 0), (1, 0), (3, 0), (2, 0), (4, 0)]
+            .into_iter()
+            .collect();
+        let keys: Vec<i32> = m.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn remove_all_shapes() {
+        // Removal of leaf, one-child, and two-children nodes.
+        let mut m: AvlMap<i32, i32> = (0..15).map(|i| (i, i)).collect();
+        m.check_invariants();
+        assert_eq!(m.remove(&14), Some(14)); // leaf
+        m.check_invariants();
+        assert_eq!(m.remove(&7), Some(7)); // internal (root region)
+        m.check_invariants();
+        assert_eq!(m.remove(&0), Some(0));
+        m.check_invariants();
+        assert_eq!(m.remove(&7), None);
+        assert_eq!(m.len(), 12);
+        let keys: Vec<i32> = m.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 2, 3, 4, 5, 6, 8, 9, 10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn slot_reuse_after_removal() {
+        let mut m = AvlMap::new();
+        for i in 0..100 {
+            m.insert(i, i);
+        }
+        for i in 0..100 {
+            assert_eq!(m.remove(&i), Some(i));
+        }
+        assert!(m.is_empty());
+        let arena_size = m.nodes.len();
+        for i in 0..100 {
+            m.insert(i, i);
+        }
+        assert_eq!(m.nodes.len(), arena_size, "free list should reuse slots");
+        m.check_invariants();
+    }
+
+    #[test]
+    fn ascending_and_descending_insertions_stay_balanced() {
+        let mut up = AvlMap::new();
+        for i in 0..1000 {
+            up.insert(i, ());
+        }
+        up.check_invariants();
+        let mut down = AvlMap::new();
+        for i in (0..1000).rev() {
+            down.insert(i, ());
+        }
+        down.check_invariants();
+        // AVL height bound: 1.44 log2(n + 2).
+        assert!(up.height(up.root) <= 15);
+        assert!(down.height(down.root) <= 15);
+    }
+
+    #[test]
+    fn get_mut_and_clear() {
+        let mut m = AvlMap::new();
+        m.insert("k", 1);
+        *m.get_mut(&"k").unwrap() = 9;
+        assert_eq!(m.get(&"k"), Some(&9));
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(&"k"), None);
+    }
+
+    #[test]
+    fn classified_selects_prefix_runs() {
+        use std::cmp::Ordering;
+        // Composite keys (a, b): select the run a == 5, 2 <= b < 4.
+        let m: AvlMap<(i64, i64), ()> = (0..10)
+            .flat_map(|a| (0..6).map(move |b| ((a, b), ())))
+            .collect();
+        let mut got = Vec::new();
+        m.for_each_classified(
+            |k| match k.0.cmp(&5) {
+                Ordering::Equal => {
+                    if k.1 < 2 {
+                        Ordering::Less
+                    } else if k.1 >= 4 {
+                        Ordering::Greater
+                    } else {
+                        Ordering::Equal
+                    }
+                }
+                o => o,
+            },
+            |k, _| got.push(*k),
+        );
+        assert_eq!(got, vec![(5, 2), (5, 3)]);
+    }
+
+    #[test]
+    fn range_visits_interval_in_order() {
+        use std::ops::Bound;
+        let m: AvlMap<i64, i64> = (0..100).map(|i| (i, i * 10)).collect();
+        let mut got = Vec::new();
+        m.for_each_range(Bound::Included(&10), Bound::Excluded(&15), |k, v| {
+            got.push((*k, *v));
+        });
+        assert_eq!(got, vec![(10, 100), (11, 110), (12, 120), (13, 130), (14, 140)]);
+        got.clear();
+        m.for_each_range(Bound::Excluded(&97), Bound::Unbounded, |k, _| got.push((*k, 0)));
+        assert_eq!(got.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![98, 99]);
+        got.clear();
+        m.for_each_range(Bound::Unbounded, Bound::Included(&1), |k, _| got.push((*k, 0)));
+        assert_eq!(got.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![0, 1]);
+        got.clear();
+        // Empty interval.
+        m.for_each_range(Bound::Included(&50), Bound::Excluded(&50), |k, _| got.push((*k, 0)));
+        assert!(got.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn range_agrees_with_filtered_iteration(
+            keys in proptest::collection::btree_set(0i64..200, 0..60),
+            lo in 0i64..200,
+            span in 0i64..60,
+            lo_incl in proptest::bool::ANY,
+            hi_incl in proptest::bool::ANY,
+        ) {
+            use std::ops::Bound;
+            let m: AvlMap<i64, ()> = keys.iter().map(|k| (*k, ())).collect();
+            let hi = lo + span;
+            let lo_b = if lo_incl { Bound::Included(&lo) } else { Bound::Excluded(&lo) };
+            let hi_b = if hi_incl { Bound::Included(&hi) } else { Bound::Excluded(&hi) };
+            let mut got = Vec::new();
+            m.for_each_range(lo_b, hi_b, |k, _| got.push(*k));
+            let want: Vec<i64> = keys
+                .iter()
+                .copied()
+                .filter(|k| {
+                    (if lo_incl { *k >= lo } else { *k > lo })
+                        && (if hi_incl { *k <= hi } else { *k < hi })
+                })
+                .collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn behaves_like_std_btreemap(ops in proptest::collection::vec((0u8..3, 0i64..40, 0i64..100), 0..300)) {
+            let mut sut: AvlMap<i64, i64> = AvlMap::new();
+            let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+            for (op, k, v) in ops {
+                match op {
+                    0 => prop_assert_eq!(sut.insert(k, v), model.insert(k, v)),
+                    1 => prop_assert_eq!(sut.remove(&k), model.remove(&k)),
+                    _ => prop_assert_eq!(sut.get(&k), model.get(&k)),
+                }
+                sut.check_invariants();
+                prop_assert_eq!(sut.len(), model.len());
+            }
+            let got: Vec<(i64, i64)> = sut.iter().map(|(k, v)| (*k, *v)).collect();
+            let want: Vec<(i64, i64)> = model.into_iter().collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

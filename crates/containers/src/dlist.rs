@@ -1,0 +1,327 @@
+//! An arena-backed doubly-linked list keyed map (the paper's `dlist`).
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Entry<K, V> {
+    key: K,
+    val: V,
+    prev: u32,
+    next: u32,
+}
+
+/// A doubly-linked list of key/value pairs.
+///
+/// Lookup and removal by key are O(n) scans; insertion is O(1) at the back,
+/// preserving insertion order under iteration. Entries live in a `Vec` arena
+/// with a free list (no per-entry allocation, no `unsafe`).
+///
+/// [`DListMap::remove_handle`] removes an entry in O(1) given its handle —
+/// the property intrusive lists exploit in the paper's decomposition 5
+/// discussion (Fig. 12).
+#[derive(Debug, Clone)]
+pub struct DListMap<K, V> {
+    arena: Vec<Option<Entry<K, V>>>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl<K, V> Default for DListMap<K, V> {
+    fn default() -> Self {
+        DListMap {
+            arena: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+}
+
+impl<K: Eq, V> DListMap<K, V> {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        DListMap::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the list empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn entry(&self, i: u32) -> &Entry<K, V> {
+        self.arena[i as usize].as_ref().expect("live entry")
+    }
+
+    fn entry_mut(&mut self, i: u32) -> &mut Entry<K, V> {
+        self.arena[i as usize].as_mut().expect("live entry")
+    }
+
+    fn find(&self, k: &K) -> Option<u32> {
+        let mut i = self.head;
+        while i != NIL {
+            if &self.entry(i).key == k {
+                return Some(i);
+            }
+            i = self.entry(i).next;
+        }
+        None
+    }
+
+    /// Inserts `k → v`, returning the previous value for `k`, if any.
+    /// New keys are appended at the back.
+    pub fn insert(&mut self, k: K, v: V) -> Option<V> {
+        if let Some(i) = self.find(&k) {
+            return Some(std::mem::replace(&mut self.entry_mut(i).val, v));
+        }
+        let entry = Entry {
+            key: k,
+            val: v,
+            prev: self.tail,
+            next: NIL,
+        };
+        let i = if let Some(slot) = self.free.pop() {
+            self.arena[slot as usize] = Some(entry);
+            slot
+        } else {
+            self.arena.push(Some(entry));
+            (self.arena.len() - 1) as u32
+        };
+        if self.tail != NIL {
+            self.entry_mut(self.tail).next = i;
+        } else {
+            self.head = i;
+        }
+        self.tail = i;
+        self.len += 1;
+        None
+    }
+
+    /// Looks up the value for `k` (linear scan).
+    pub fn get(&self, k: &K) -> Option<&V> {
+        self.find(k).map(|i| &self.entry(i).val)
+    }
+
+    /// Looks up the value for `k`, mutably (linear scan).
+    pub fn get_mut(&mut self, k: &K) -> Option<&mut V> {
+        match self.find(k) {
+            Some(i) => Some(&mut self.entry_mut(i).val),
+            None => None,
+        }
+    }
+
+    /// The handle of `k`'s entry, usable with [`DListMap::remove_handle`].
+    pub fn handle(&self, k: &K) -> Option<u32> {
+        self.find(k)
+    }
+
+    /// Removes the entry for `k`, returning its value (linear scan).
+    pub fn remove(&mut self, k: &K) -> Option<V> {
+        let i = self.find(k)?;
+        Some(self.unlink(i).1)
+    }
+
+    /// Removes an entry by handle in O(1), returning its key and value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not refer to a live entry.
+    pub fn remove_handle(&mut self, i: u32) -> (K, V) {
+        self.unlink(i)
+    }
+
+    fn unlink(&mut self, i: u32) -> (K, V) {
+        let entry = self.arena[i as usize].take().expect("live entry");
+        if entry.prev != NIL {
+            self.entry_mut(entry.prev).next = entry.next;
+        } else {
+            self.head = entry.next;
+        }
+        if entry.next != NIL {
+            self.entry_mut(entry.next).prev = entry.prev;
+        } else {
+            self.tail = entry.prev;
+        }
+        self.free.push(i);
+        self.len -= 1;
+        (entry.key, entry.val)
+    }
+
+    /// Iterates entries in list (insertion) order.
+    pub fn iter(&self) -> DListIter<'_, K, V> {
+        DListIter {
+            list: self,
+            cur: self.head,
+        }
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.arena.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.len = 0;
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        let mut count = 0;
+        let mut prev = NIL;
+        let mut i = self.head;
+        while i != NIL {
+            let e = self.entry(i);
+            assert_eq!(e.prev, prev, "prev link broken");
+            prev = i;
+            i = e.next;
+            count += 1;
+        }
+        assert_eq!(self.tail, prev, "tail out of sync");
+        assert_eq!(count, self.len, "len out of sync");
+    }
+}
+
+impl<K: Eq, V> FromIterator<(K, V)> for DListMap<K, V> {
+    fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
+        let mut m = DListMap::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl<K: Eq, V> Extend<(K, V)> for DListMap<K, V> {
+    fn extend<T: IntoIterator<Item = (K, V)>>(&mut self, iter: T) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+/// Iterator over a [`DListMap`] in list order.
+#[derive(Debug)]
+pub struct DListIter<'a, K, V> {
+    list: &'a DListMap<K, V>,
+    cur: u32,
+}
+
+impl<'a, K: Eq, V> Iterator for DListIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cur == NIL {
+            return None;
+        }
+        let e = self.list.entry(self.cur);
+        self.cur = e.next;
+        Some((&e.key, &e.val))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn basic_ops() {
+        let mut m = DListMap::new();
+        assert_eq!(m.insert(1, "a"), None);
+        assert_eq!(m.insert(2, "b"), None);
+        assert_eq!(m.insert(1, "A"), Some("a"));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&2), Some(&"b"));
+        assert_eq!(m.remove(&1), Some("A"));
+        assert_eq!(m.remove(&1), None);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn iteration_preserves_insertion_order() {
+        let mut m = DListMap::new();
+        for i in [5, 1, 9, 3] {
+            m.insert(i, ());
+        }
+        let keys: Vec<i32> = m.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![5, 1, 9, 3]);
+    }
+
+    #[test]
+    fn remove_head_middle_tail() {
+        let mut m: DListMap<i32, i32> = (0..5).map(|i| (i, i)).collect();
+        assert_eq!(m.remove(&0), Some(0)); // head
+        m.check_invariants();
+        assert_eq!(m.remove(&2), Some(2)); // middle
+        m.check_invariants();
+        assert_eq!(m.remove(&4), Some(4)); // tail
+        m.check_invariants();
+        let keys: Vec<i32> = m.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 3]);
+    }
+
+    #[test]
+    fn remove_by_handle_is_constant_time_unlink() {
+        let mut m: DListMap<i32, i32> = (0..5).map(|i| (i, i * 10)).collect();
+        let h = m.handle(&3).unwrap();
+        assert_eq!(m.remove_handle(h), (3, 30));
+        assert_eq!(m.get(&3), None);
+        assert_eq!(m.len(), 4);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn slot_reuse() {
+        let mut m = DListMap::new();
+        for i in 0..50 {
+            m.insert(i, i);
+        }
+        for i in 0..50 {
+            m.remove(&i);
+        }
+        let cap = m.arena.len();
+        for i in 0..50 {
+            m.insert(i, i);
+        }
+        assert_eq!(m.arena.len(), cap);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn singleton_edge_cases() {
+        let mut m = DListMap::new();
+        m.insert(1, 1);
+        assert_eq!(m.remove(&1), Some(1));
+        assert!(m.is_empty());
+        m.check_invariants();
+        m.insert(2, 2);
+        assert_eq!(m.iter().count(), 1);
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn behaves_like_std_hashmap(ops in proptest::collection::vec((0u8..3, 0i64..30, 0i64..100), 0..200)) {
+            let mut sut: DListMap<i64, i64> = DListMap::new();
+            let mut model: HashMap<i64, i64> = HashMap::new();
+            for (op, k, v) in ops {
+                match op {
+                    0 => prop_assert_eq!(sut.insert(k, v), model.insert(k, v)),
+                    1 => prop_assert_eq!(sut.remove(&k), model.remove(&k)),
+                    _ => prop_assert_eq!(sut.get(&k), model.get(&k)),
+                }
+                sut.check_invariants();
+                prop_assert_eq!(sut.len(), model.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! A separate-chaining hash table with a deterministic hasher.
+
+use std::hash::{Hash, Hasher};
+
+/// A fast, deterministic, non-cryptographic hasher (FxHash-style
+/// multiply-rotate). Determinism keeps benchmark runs and test failures
+/// reproducible; the table is not exposed to untrusted keys.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    /// Creates a hasher with the fixed initial state.
+    pub fn new() -> Self {
+        FxHasher::default()
+    }
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+}
+
+fn hash_of<K: Hash + ?Sized>(k: &K) -> u64 {
+    let mut h = FxHasher::new();
+    k.hash(&mut h);
+    h.finish()
+}
+
+/// A separate-chaining hash table (the paper's `htable` primitive).
+///
+/// Buckets are growable vectors; the table doubles when the load factor
+/// exceeds 7/8. Expected lookup cost is O(1); the query-planner cost model
+/// treats `m_htable(n)` as a small constant.
+#[derive(Debug, Clone)]
+pub struct HashTable<K, V> {
+    buckets: Vec<Vec<(K, V)>>,
+    len: usize,
+}
+
+impl<K, V> Default for HashTable<K, V> {
+    fn default() -> Self {
+        HashTable {
+            buckets: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<K: Hash + Eq, V> HashTable<K, V> {
+    /// Creates an empty table (no allocation until first insert).
+    pub fn new() -> Self {
+        HashTable::default()
+    }
+
+    /// Creates a table pre-sized for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        let nbuckets = (cap * 8 / 7).next_power_of_two().max(8);
+        HashTable {
+            buckets: (0..nbuckets).map(|_| Vec::new()).collect(),
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bucket_of(&self, k: &K) -> usize {
+        debug_assert!(!self.buckets.is_empty());
+        (hash_of(k) as usize) & (self.buckets.len() - 1)
+    }
+
+    fn grow(&mut self) {
+        let new_size = (self.buckets.len() * 2).max(8);
+        let mut new_buckets: Vec<Vec<(K, V)>> = (0..new_size).map(|_| Vec::new()).collect();
+        for bucket in self.buckets.drain(..) {
+            for (k, v) in bucket {
+                let i = (hash_of(&k) as usize) & (new_size - 1);
+                new_buckets[i].push((k, v));
+            }
+        }
+        self.buckets = new_buckets;
+    }
+
+    /// Inserts `k → v`, returning the previous value for `k`, if any.
+    pub fn insert(&mut self, k: K, v: V) -> Option<V> {
+        if self.buckets.is_empty() || self.len + 1 > self.buckets.len() * 7 / 8 {
+            self.grow();
+        }
+        let i = self.bucket_of(&k);
+        for entry in &mut self.buckets[i] {
+            if entry.0 == k {
+                return Some(std::mem::replace(&mut entry.1, v));
+            }
+        }
+        self.buckets[i].push((k, v));
+        self.len += 1;
+        None
+    }
+
+    /// Looks up the value for `k`.
+    pub fn get(&self, k: &K) -> Option<&V> {
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let i = self.bucket_of(k);
+        self.buckets[i].iter().find(|(kk, _)| kk == k).map(|(_, v)| v)
+    }
+
+    /// Looks up the value for `k`, mutably.
+    pub fn get_mut(&mut self, k: &K) -> Option<&mut V> {
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let i = self.bucket_of(k);
+        self.buckets[i]
+            .iter_mut()
+            .find(|(kk, _)| kk == k)
+            .map(|(_, v)| v)
+    }
+
+    /// Removes the entry for `k`, returning its value.
+    pub fn remove(&mut self, k: &K) -> Option<V> {
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let i = self.bucket_of(k);
+        let pos = self.buckets[i].iter().position(|(kk, _)| kk == k)?;
+        let (_, v) = self.buckets[i].swap_remove(pos);
+        self.len -= 1;
+        Some(v)
+    }
+
+    /// Iterates entries in unspecified (but deterministic) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.iter().map(|(k, v)| (k, v)))
+    }
+
+    /// Removes all entries, keeping allocated buckets.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.len = 0;
+    }
+}
+
+impl<K: Hash + Eq, V> FromIterator<(K, V)> for HashTable<K, V> {
+    fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
+        let mut t = HashTable::new();
+        for (k, v) in iter {
+            t.insert(k, v);
+        }
+        t
+    }
+}
+
+impl<K: Hash + Eq, V> Extend<(K, V)> for HashTable<K, V> {
+    fn extend<T: IntoIterator<Item = (K, V)>>(&mut self, iter: T) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn basic_ops() {
+        let mut t = HashTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(1, "a"), None);
+        assert_eq!(t.insert(2, "b"), None);
+        assert_eq!(t.insert(1, "c"), Some("a"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&1), Some(&"c"));
+        assert_eq!(t.get(&3), None);
+        assert_eq!(t.remove(&1), Some("c"));
+        assert_eq!(t.remove(&1), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t = HashTable::new();
+        t.insert("k", 1);
+        *t.get_mut(&"k").unwrap() += 10;
+        assert_eq!(t.get(&"k"), Some(&11));
+        assert_eq!(t.get_mut(&"absent"), None);
+    }
+
+    #[test]
+    fn growth_preserves_entries() {
+        let mut t = HashTable::new();
+        for i in 0..1000 {
+            t.insert(i, i * 2);
+        }
+        assert_eq!(t.len(), 1000);
+        for i in 0..1000 {
+            assert_eq!(t.get(&i), Some(&(i * 2)));
+        }
+        assert_eq!(t.iter().count(), 1000);
+    }
+
+    #[test]
+    fn with_capacity_avoids_empty_bucket_panic() {
+        let mut t = HashTable::with_capacity(100);
+        assert_eq!(t.get(&5), None);
+        t.insert(5, 5);
+        assert_eq!(t.get(&5), Some(&5));
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut t = HashTable::new();
+        for i in 0..100 {
+            t.insert(i, i);
+        }
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.get(&1), None);
+        t.insert(1, 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let t: HashTable<i32, i32> = (0..10).map(|i| (i, i)).collect();
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn hasher_is_deterministic() {
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+        assert_ne!(hash_of(&"hello"), hash_of(&"world"));
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+    }
+
+    #[test]
+    fn boxed_slice_keys() {
+        // The runtime uses Box<[Value]>-style composite keys.
+        let mut t: HashTable<Box<[i64]>, u32> = HashTable::new();
+        t.insert(vec![1, 2].into_boxed_slice(), 7);
+        assert_eq!(t.get(&vec![1, 2].into_boxed_slice()), Some(&7));
+        assert_eq!(t.get(&vec![2, 1].into_boxed_slice()), None);
+    }
+
+    proptest! {
+        #[test]
+        fn behaves_like_std_hashmap(ops in proptest::collection::vec((0u8..3, 0i64..50, 0i64..100), 0..300)) {
+            let mut sut: HashTable<i64, i64> = HashTable::new();
+            let mut model: HashMap<i64, i64> = HashMap::new();
+            for (op, k, v) in ops {
+                match op {
+                    0 => prop_assert_eq!(sut.insert(k, v), model.insert(k, v)),
+                    1 => prop_assert_eq!(sut.remove(&k), model.remove(&k)),
+                    _ => prop_assert_eq!(sut.get(&k), model.get(&k)),
+                }
+                prop_assert_eq!(sut.len(), model.len());
+            }
+            let mut got: Vec<(i64, i64)> = sut.iter().map(|(k, v)| (*k, *v)).collect();
+            let mut want: Vec<(i64, i64)> = model.into_iter().collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

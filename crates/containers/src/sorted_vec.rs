@@ -1,0 +1,269 @@
+//! A sorted-vector map with binary-search lookup.
+
+/// A map stored as a vector of entries sorted by key.
+///
+/// Lookup is O(log n) (binary search); insert and remove are O(n) due to
+/// shifting. Iteration is ordered and cache-friendly. A good choice for
+/// read-mostly edges with small fan-out.
+#[derive(Debug, Clone)]
+pub struct SortedVecMap<K, V> {
+    entries: Vec<(K, V)>,
+}
+
+impl<K, V> Default for SortedVecMap<K, V> {
+    fn default() -> Self {
+        SortedVecMap {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<K: Ord, V> SortedVecMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        SortedVecMap::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn search(&self, k: &K) -> Result<usize, usize> {
+        self.entries.binary_search_by(|(kk, _)| kk.cmp(k))
+    }
+
+    /// Inserts `k → v`, returning the previous value for `k`, if any.
+    pub fn insert(&mut self, k: K, v: V) -> Option<V> {
+        match self.search(&k) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, v)),
+            Err(i) => {
+                self.entries.insert(i, (k, v));
+                None
+            }
+        }
+    }
+
+    /// Looks up the value for `k`.
+    pub fn get(&self, k: &K) -> Option<&V> {
+        self.search(k).ok().map(|i| &self.entries[i].1)
+    }
+
+    /// Looks up the value for `k`, mutably.
+    pub fn get_mut(&mut self, k: &K) -> Option<&mut V> {
+        match self.search(k) {
+            Ok(i) => Some(&mut self.entries[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// Removes the entry for `k`, returning its value.
+    pub fn remove(&mut self, k: &K) -> Option<V> {
+        match self.search(k) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Iterates entries in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Calls `f` for every entry whose key lies in the interval `(lo, hi)`,
+    /// in ascending key order.
+    ///
+    /// The start index is found by binary search (O(log n)), then entries
+    /// are visited until the upper bound fails — O(log n + k) for k matches.
+    pub fn for_each_range(
+        &self,
+        lo: std::ops::Bound<&K>,
+        hi: std::ops::Bound<&K>,
+        mut f: impl FnMut(&K, &V),
+    ) {
+        use std::ops::Bound;
+        let start = match lo {
+            Bound::Unbounded => 0,
+            Bound::Included(l) => self.entries.partition_point(|(k, _)| k < l),
+            Bound::Excluded(l) => self.entries.partition_point(|(k, _)| k <= l),
+        };
+        for (k, v) in &self.entries[start..] {
+            let in_hi = match hi {
+                Bound::Unbounded => true,
+                Bound::Included(h) => k <= h,
+                Bound::Excluded(h) => k < h,
+            };
+            if !in_hi {
+                break;
+            }
+            f(k, v);
+        }
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Calls `f`, in ascending key order, for every entry `classify` maps to
+    /// [`Ordering::Equal`](std::cmp::Ordering::Equal).
+    ///
+    /// `classify` must be *monotone* in key order (`Less`, then `Equal`,
+    /// then `Greater`); the boundaries are found by binary search, so the
+    /// walk costs O(log n + k) for k matches.
+    pub fn for_each_classified(
+        &self,
+        classify: impl Fn(&K) -> std::cmp::Ordering,
+        mut f: impl FnMut(&K, &V),
+    ) {
+        use std::cmp::Ordering;
+        let start = self
+            .entries
+            .partition_point(|(k, _)| classify(k) == Ordering::Less);
+        for (k, v) in &self.entries[start..] {
+            if classify(k) != Ordering::Equal {
+                break;
+            }
+            f(k, v);
+        }
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for SortedVecMap<K, V> {
+    fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
+        let mut m = SortedVecMap::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl<K: Ord, V> Extend<(K, V)> for SortedVecMap<K, V> {
+    fn extend<T: IntoIterator<Item = (K, V)>>(&mut self, iter: T) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn basic_ops() {
+        let mut m = SortedVecMap::new();
+        assert_eq!(m.insert(3, "c"), None);
+        assert_eq!(m.insert(1, "a"), None);
+        assert_eq!(m.insert(1, "A"), Some("a"));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&3), Some(&"c"));
+        assert_eq!(m.remove(&3), Some("c"));
+        assert_eq!(m.remove(&3), None);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let m: SortedVecMap<i32, ()> = [(4, ()), (1, ()), (3, ())].into_iter().collect();
+        let keys: Vec<i32> = m.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn get_mut_and_clear() {
+        let mut m = SortedVecMap::new();
+        m.insert(1, 10);
+        *m.get_mut(&1).unwrap() += 1;
+        assert_eq!(m.get(&1), Some(&11));
+        assert_eq!(m.get_mut(&2), None);
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn classified_selects_contiguous_run() {
+        use std::cmp::Ordering;
+        let m: SortedVecMap<i64, ()> = (0..30).map(|i| (i, ())).collect();
+        let mut got = Vec::new();
+        m.for_each_classified(
+            |k| {
+                if *k < 10 {
+                    Ordering::Less
+                } else if *k > 13 {
+                    Ordering::Greater
+                } else {
+                    Ordering::Equal
+                }
+            },
+            |k, _| got.push(*k),
+        );
+        assert_eq!(got, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn range_visits_interval_in_order() {
+        use std::ops::Bound;
+        let m: SortedVecMap<i64, i64> = (0..20).map(|i| (i, -i)).collect();
+        let mut got = Vec::new();
+        m.for_each_range(Bound::Included(&3), Bound::Included(&6), |k, v| got.push((*k, *v)));
+        assert_eq!(got, vec![(3, -3), (4, -4), (5, -5), (6, -6)]);
+        got.clear();
+        m.for_each_range(Bound::Unbounded, Bound::Unbounded, |k, _| got.push((*k, 0)));
+        assert_eq!(got.len(), 20);
+    }
+
+    proptest! {
+        #[test]
+        fn range_agrees_with_filtered_iteration(
+            keys in proptest::collection::btree_set(0i64..200, 0..60),
+            lo in 0i64..200,
+            span in 0i64..60,
+            lo_incl in proptest::bool::ANY,
+            hi_incl in proptest::bool::ANY,
+        ) {
+            use std::ops::Bound;
+            let m: SortedVecMap<i64, ()> = keys.iter().map(|k| (*k, ())).collect();
+            let hi = lo + span;
+            let lo_b = if lo_incl { Bound::Included(&lo) } else { Bound::Excluded(&lo) };
+            let hi_b = if hi_incl { Bound::Included(&hi) } else { Bound::Excluded(&hi) };
+            let mut got = Vec::new();
+            m.for_each_range(lo_b, hi_b, |k, _| got.push(*k));
+            let want: Vec<i64> = keys
+                .iter()
+                .copied()
+                .filter(|k| {
+                    (if lo_incl { *k >= lo } else { *k > lo })
+                        && (if hi_incl { *k <= hi } else { *k < hi })
+                })
+                .collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn behaves_like_std_btreemap(ops in proptest::collection::vec((0u8..3, 0i64..40, 0i64..100), 0..200)) {
+            let mut sut: SortedVecMap<i64, i64> = SortedVecMap::new();
+            let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+            for (op, k, v) in ops {
+                match op {
+                    0 => prop_assert_eq!(sut.insert(k, v), model.insert(k, v)),
+                    1 => prop_assert_eq!(sut.remove(&k), model.remove(&k)),
+                    _ => prop_assert_eq!(sut.get(&k), model.get(&k)),
+                }
+            }
+            let got: Vec<(i64, i64)> = sut.iter().map(|(k, v)| (*k, *v)).collect();
+            let want: Vec<(i64, i64)> = model.into_iter().collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

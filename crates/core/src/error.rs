@@ -1,0 +1,139 @@
+//! Error types for the synthesis runtime.
+
+use relic_decomp::{AdequacyError, DecompError};
+use relic_query::PlanError;
+use relic_spec::{ColSet, Tuple};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when constructing a synthesized relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// The decomposition is not adequate for the specification (Fig. 6).
+    Adequacy(AdequacyError),
+    /// The decomposition is structurally invalid.
+    Structure(DecompError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Adequacy(e) => write!(f, "inadequate decomposition: {e}"),
+            BuildError::Structure(e) => write!(f, "invalid decomposition: {e}"),
+        }
+    }
+}
+
+impl Error for BuildError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BuildError::Adequacy(e) => Some(e),
+            BuildError::Structure(e) => Some(e),
+        }
+    }
+}
+
+impl From<AdequacyError> for BuildError {
+    fn from(e: AdequacyError) -> Self {
+        BuildError::Adequacy(e)
+    }
+}
+
+impl From<DecompError> for BuildError {
+    fn from(e: DecompError) -> Self {
+        BuildError::Structure(e)
+    }
+}
+
+/// Errors raised by relational operations on a synthesized relation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OpError {
+    /// An inserted tuple is not a valuation for the relation's columns.
+    ColumnMismatch {
+        /// The expected columns.
+        expected: ColSet,
+        /// The tuple's domain.
+        actual: ColSet,
+    },
+    /// A pattern or update mentions columns outside the relation.
+    ForeignColumns {
+        /// The offending columns.
+        cols: ColSet,
+    },
+    /// The operation would violate a functional dependency (the precondition
+    /// of Lemma 4): an existing tuple agrees on the dependency's determinant
+    /// but differs elsewhere.
+    FdViolation {
+        /// The offending (new) tuple.
+        tuple: Tuple,
+        /// The conflicting existing tuple.
+        existing: Tuple,
+    },
+    /// `update` requires the pattern to be a key for the relation
+    /// (`∆ ⊢fd dom s → C`, §4.5).
+    PatternNotKey {
+        /// The pattern's domain.
+        pattern: ColSet,
+    },
+    /// `update` forbids changing columns mentioned in the pattern
+    /// (`dom s ∩ dom u = ∅`, §4.5).
+    UpdateOverlapsPattern {
+        /// The overlapping columns.
+        overlap: ColSet,
+    },
+    /// The planner found no valid plan (only possible for foreign columns).
+    Plan(PlanError),
+}
+
+impl fmt::Display for OpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpError::ColumnMismatch { expected, actual } => write!(
+                f,
+                "tuple domain {actual:?} does not match relation columns {expected:?}"
+            ),
+            OpError::ForeignColumns { cols } => {
+                write!(f, "columns {cols:?} are not part of the relation")
+            }
+            OpError::FdViolation { tuple, existing } => write!(
+                f,
+                "inserting {tuple} violates a functional dependency against existing {existing}"
+            ),
+            OpError::PatternNotKey { pattern } => write!(
+                f,
+                "update pattern {pattern:?} is not a key for the relation"
+            ),
+            OpError::UpdateOverlapsPattern { overlap } => write!(
+                f,
+                "update changes pattern columns {overlap:?} (key-modifying updates are not supported)"
+            ),
+            OpError::Plan(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for OpError {}
+
+impl From<PlanError> for OpError {
+    fn from(e: PlanError) -> Self {
+        OpError::Plan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = OpError::PatternNotKey {
+            pattern: ColSet::EMPTY,
+        };
+        assert!(e.to_string().contains("not a key"));
+        let e = BuildError::Structure(DecompError::Empty);
+        assert!(e.to_string().contains("invalid decomposition"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,245 @@
+//! Query-plan execution over decomposition instances (`dqexec`, §4.1).
+//!
+//! Execution is a constant-space recursive walk: the plan tree is interpreted
+//! against the instance DAG, carrying an *accumulator* tuple of the input
+//! pattern plus all columns bound so far. Matching tuples are delivered
+//! through a callback — no intermediate data structures are built, matching
+//! the paper's constant-space query property.
+//!
+//! [`exec_where`] additionally threads the *comparison* predicates of a
+//! pattern query (§2's "comparisons other than equality" extension): scanned
+//! keys and unit tuples are filtered against them, and the `qrange` operator
+//! seeks directly to the matching run of an ordered container.
+
+use crate::instance::{InstanceRef, PrimInst, Store};
+use relic_containers::HashTable;
+use relic_decomp::{Body, Decomposition};
+use relic_query::{Plan, Side};
+use relic_spec::{ColId, Pred, Tuple, Value};
+
+/// Executes `plan` against the instance `inst` of the node whose body is
+/// `body`, with accumulated bindings `acc`. Calls `emit` once per matching
+/// binding (the accumulated tuple extended with everything the plan bound
+/// along that path).
+///
+/// `leaf` is the index of `body`'s leftmost leaf within the node's flattened
+/// prim array (0 at node roots; join traversal offsets it).
+#[allow(clippy::too_many_arguments)]
+pub fn exec(
+    store: &Store,
+    d: &Decomposition,
+    plan: &Plan,
+    body: &Body,
+    leaf: usize,
+    inst: InstanceRef,
+    acc: &Tuple,
+    emit: &mut dyn FnMut(&Tuple),
+) {
+    exec_where(store, d, plan, body, leaf, inst, acc, &[], emit);
+}
+
+/// Do all comparison predicates accept `t` on the columns `t` binds?
+/// (Columns absent from `t` are checked elsewhere along the plan.)
+fn cmp_ok(cmp: &[(ColId, Pred)], t: &Tuple) -> bool {
+    cmp.iter().all(|(c, p)| match t.get(*c) {
+        Some(v) => p.accepts(v),
+        None => true,
+    })
+}
+
+/// [`exec`] with comparison predicates: the equality part of the pattern
+/// rides in `acc` (exactly as for plain queries), while `cmp` carries the
+/// non-equality predicates, checked wherever their column surfaces and used
+/// to bound `qrange` seeks.
+///
+/// # Panics
+///
+/// Panics if the plan does not fit the decomposition body (prevented by the
+/// validity judgment) or if a `qrange` has no interval predicate for the
+/// edge's final key column (prevented by the planner).
+#[allow(clippy::too_many_arguments)]
+pub fn exec_where(
+    store: &Store,
+    d: &Decomposition,
+    plan: &Plan,
+    body: &Body,
+    leaf: usize,
+    inst: InstanceRef,
+    acc: &Tuple,
+    cmp: &[(ColId, Pred)],
+    emit: &mut dyn FnMut(&Tuple),
+) {
+    match (plan, body) {
+        (Plan::Unit, Body::Unit(_)) => {
+            let PrimInst::Unit(u) = &store.get(inst).prims[leaf] else {
+                panic!("leaf/prim misalignment: expected unit");
+            };
+            if u.matches(acc) && cmp_ok(cmp, u) {
+                emit(&acc.merge(u));
+            }
+        }
+        (Plan::Lookup { child }, Body::Map(eid)) => {
+            let e = d.edge(*eid);
+            let key = acc.key_for(e.key);
+            if let Some(target) = store.cont_get(inst, leaf, &key) {
+                let tbody = &d.node(e.to).body;
+                exec_where(store, d, child, tbody, 0, target, acc, cmp, emit);
+            }
+        }
+        (Plan::Scan { child }, Body::Map(eid)) => {
+            let e = d.edge(*eid);
+            let key_cols = e.key;
+            let tbody = &d.node(e.to).body;
+            // Collect entries first: recursion below may take further shared
+            // borrows of the store, which is fine, but the callback holds a
+            // unique borrow of `emit`, so we keep the iteration simple.
+            let mut entries: Vec<(Vec<Value>, InstanceRef)> = Vec::new();
+            store.cont_for_each(inst, leaf, |k, r| entries.push((k.to_vec(), r)));
+            for (kvals, target) in entries {
+                let ktuple = Tuple::from_parts(key_cols, kvals);
+                if ktuple.matches(acc) && cmp_ok(cmp, &ktuple) {
+                    let acc2 = acc.merge(&ktuple);
+                    exec_where(store, d, child, tbody, 0, target, &acc2, cmp, emit);
+                }
+            }
+        }
+        (Plan::Range { child }, Body::Map(eid)) => {
+            let e = d.edge(*eid);
+            let key_cols = e.key;
+            let c = key_cols.max_col().expect("range edge has key columns");
+            let pred = cmp
+                .iter()
+                .find(|(col, _)| *col == c)
+                .map(|(_, p)| p)
+                .expect("qrange requires a comparison predicate on the final key column");
+            let (lo, hi) = pred
+                .bounds()
+                .expect("qrange requires an interval predicate");
+            // Equality-bound prefix of the key (all coordinates before c).
+            let prefix: Vec<Value> = (key_cols - c.set())
+                .iter()
+                .map(|pc| {
+                    acc.get(pc)
+                        .expect("qrange prefix column not bound")
+                        .clone()
+                })
+                .collect();
+            let tbody = &d.node(e.to).body;
+            let mut entries: Vec<(Vec<Value>, InstanceRef)> = Vec::new();
+            store.cont_for_each_range(inst, leaf, &prefix, lo, hi, |k, r| {
+                entries.push((k.to_vec(), r));
+            });
+            for (kvals, target) in entries {
+                let ktuple = Tuple::from_parts(key_cols, kvals);
+                debug_assert!(ktuple.matches(acc), "range key disagrees with bindings");
+                let acc2 = acc.merge(&ktuple);
+                exec_where(store, d, child, tbody, 0, target, &acc2, cmp, emit);
+            }
+        }
+        (Plan::Lr { side, inner }, Body::Join(l, r)) => match side {
+            Side::Left => exec_where(store, d, inner, l, leaf, inst, acc, cmp, emit),
+            Side::Right => {
+                let off = leaf_count(l);
+                exec_where(store, d, inner, r, leaf + off, inst, acc, cmp, emit)
+            }
+        },
+        (
+            Plan::Join {
+                side,
+                first,
+                second,
+            },
+            Body::Join(l, r),
+        ) => {
+            let loff = leaf_count(l);
+            let (first_body, first_leaf, second_body, second_leaf) = match side {
+                Side::Left => (&**l, leaf, &**r, leaf + loff),
+                Side::Right => (&**r, leaf + loff, &**l, leaf),
+            };
+            let mut inner_emit = |acc1: &Tuple| {
+                exec_where(
+                    store,
+                    d,
+                    second,
+                    second_body,
+                    second_leaf,
+                    inst,
+                    acc1,
+                    cmp,
+                    emit,
+                );
+            };
+            exec_where(
+                store,
+                d,
+                first,
+                first_body,
+                first_leaf,
+                inst,
+                acc,
+                cmp,
+                &mut inner_emit,
+            );
+        }
+        (
+            Plan::HashJoin {
+                side,
+                first,
+                second,
+            },
+            Body::Join(l, r),
+        ) => {
+            let loff = leaf_count(l);
+            let (first_body, first_leaf, second_body, second_leaf) = match side {
+                Side::Left => (&**l, leaf, &**r, leaf + loff),
+                Side::Right => (&**r, leaf + loff, &**l, leaf),
+            };
+            // Materialize both sides — the deliberate non-constant-space
+            // trade of §4.1: each side executes exactly once.
+            let mut build: Vec<Tuple> = Vec::new();
+            exec_where(store, d, first, first_body, first_leaf, inst, acc, cmp, &mut |t| {
+                build.push(t.clone())
+            });
+            if build.is_empty() {
+                return;
+            }
+            let mut probe: Vec<Tuple> = Vec::new();
+            exec_where(store, d, second, second_body, second_leaf, inst, acc, cmp, &mut |t| {
+                probe.push(t.clone())
+            });
+            if probe.is_empty() {
+                return;
+            }
+            // Natural join on the columns both sides bind. Both sides merge
+            // the same `acc`, so the shared columns include the pattern.
+            let join_cols = build[0].dom() & probe[0].dom();
+            let mut index: HashTable<Box<[Value]>, Vec<usize>> = HashTable::new();
+            for (i, t1) in build.iter().enumerate() {
+                let k = t1.key_for(join_cols);
+                match index.get_mut(&k) {
+                    Some(v) => v.push(i),
+                    None => {
+                        index.insert(k, vec![i]);
+                    }
+                }
+            }
+            for t2 in &probe {
+                let k = t2.key_for(join_cols);
+                if let Some(hits) = index.get(&k) {
+                    for &i in hits {
+                        emit(&build[i].merge(t2));
+                    }
+                }
+            }
+        }
+        (p, _) => panic!("plan operator {p} does not match decomposition body"),
+    }
+}
+
+/// Number of leaves in a body subtree.
+pub fn leaf_count(b: &Body) -> usize {
+    match b {
+        Body::Unit(_) | Body::Map(_) => 1,
+        Body::Join(l, r) => leaf_count(l) + leaf_count(r),
+    }
+}

@@ -1,0 +1,611 @@
+//! Decomposition instances: arena-backed node instances, per-edge containers
+//! and intrusive link slots.
+//!
+//! A decomposition instance (paper §3.1, Fig. 4) is a DAG of *node
+//! instances*: node `v : B ▷ C` has one instance `v_t` per valuation `t` of
+//! `B` present in the relation. Instances live in per-node slot arenas and
+//! are addressed by copyable [`InstanceRef`] handles — the safe-Rust encoding
+//! of the paper's shared pointer structures (see DESIGN.md).
+//!
+//! Each instance stores one *primitive instance* per leaf of its node's body:
+//! a unit tuple for `unit C` leaves, or an [`EdgeContainer`] for map leaves.
+//! Intrusive lists keep their prev/next links inside the *child* instances
+//! (field `links`), one slot per incoming intrusive edge of the child's node,
+//! exactly like `boost::intrusive::list` hooks.
+
+use relic_decomp::{Body, Decomposition, DsKind, EdgeId, NodeId};
+use relic_containers::{AssocVec, AvlMap, DListMap, HashTable, SortedVecMap};
+use relic_spec::{ColSet, Tuple, Value};
+
+/// A composite container key: the values of an edge's key columns in
+/// ascending column order.
+pub type Key = Box<[Value]>;
+
+/// A handle to a node instance: `(decomposition node, arena slot)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InstanceRef {
+    /// The decomposition node this instance belongs to.
+    pub node: u16,
+    /// The slot within the node's arena.
+    pub slot: u32,
+}
+
+/// An intrusive-list link slot stored inside a child instance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Link {
+    /// The previous list element, if any.
+    pub prev: Option<InstanceRef>,
+    /// The next list element, if any.
+    pub next: Option<InstanceRef>,
+    /// Whether this slot is currently linked into a list.
+    pub in_list: bool,
+}
+
+/// A primitive instance: one per leaf of the node body.
+#[derive(Debug, Clone)]
+pub enum PrimInst {
+    /// The single tuple of a `unit C` leaf.
+    Unit(Tuple),
+    /// The container of a map leaf.
+    Map(EdgeContainer),
+}
+
+/// The physical container implementing one map edge of one node instance.
+#[derive(Debug, Clone)]
+pub enum EdgeContainer {
+    /// A hash table (`htable`).
+    Hash(HashTable<Key, InstanceRef>),
+    /// An AVL tree (`avl`).
+    Avl(AvlMap<Key, InstanceRef>),
+    /// A sorted vector (`sortedvec`).
+    Sorted(SortedVecMap<Key, InstanceRef>),
+    /// An association vector (`vec`).
+    Assoc(AssocVec<Key, InstanceRef>),
+    /// A non-intrusive doubly-linked list (`dlist`).
+    DList(DListMap<Key, InstanceRef>),
+    /// Intrusive doubly-linked list (`ilist`): only the head and length live
+    /// here; the links live in the child instances at `slot`. `kpos` maps
+    /// each key column to its position within the child's stored bound
+    /// valuation, so entry keys are recovered from the children themselves.
+    Intrusive {
+        /// First element of the list.
+        head: Option<InstanceRef>,
+        /// Number of linked elements.
+        len: usize,
+        /// Which link slot of the child instances this list threads through.
+        slot: u8,
+        /// Key-column positions within the child's bound valuation.
+        kpos: Box<[u16]>,
+    },
+}
+
+impl EdgeContainer {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            EdgeContainer::Hash(c) => c.len(),
+            EdgeContainer::Avl(c) => c.len(),
+            EdgeContainer::Sorted(c) => c.len(),
+            EdgeContainer::Assoc(c) => c.len(),
+            EdgeContainer::DList(c) => c.len(),
+            EdgeContainer::Intrusive { len, .. } => *len,
+        }
+    }
+
+    /// Is the container empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A node instance `v_t`.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// The valuation of the node's bound columns `B`, in ascending column
+    /// order (the `t` subscript of `v_t`).
+    pub key: Key,
+    /// One primitive instance per body leaf, in left-to-right leaf order.
+    pub prims: Box<[PrimInst]>,
+    /// Intrusive link slots, one per incoming intrusive edge of the node.
+    pub links: Box<[Link]>,
+    /// Number of container entries referencing this instance.
+    pub refs: u32,
+}
+
+/// A slot arena holding all instances of one decomposition node.
+#[derive(Debug, Clone, Default)]
+pub struct Arena {
+    slots: Vec<Option<Instance>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl Arena {
+    /// Number of live instances.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Iterates `(slot, instance)` for all live instances.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Instance)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|inst| (i as u32, inst)))
+    }
+}
+
+/// Static, per-decomposition layout information computed once at build time.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    /// For each edge: the index of its leaf within the source node's body.
+    pub leaf_of_edge: Vec<usize>,
+    /// For each edge: the intrusive link slot in the target node's instances
+    /// (only meaningful when the edge is intrusive).
+    pub islot_of_edge: Vec<u8>,
+    /// For each node: how many intrusive link slots its instances carry.
+    pub islots_of_node: Vec<u8>,
+    /// For each edge: for each key column (ascending), its position within
+    /// the target node's bound valuation.
+    pub kpos_of_edge: Vec<Box<[u16]>>,
+    /// For each node: a canonical path of edges from the root, used to locate
+    /// instances given a full tuple.
+    pub path_of_node: Vec<Vec<EdgeId>>,
+    /// For each node: `(leaf index, unit columns)` of each unit leaf.
+    pub unit_leaves: Vec<Vec<(usize, ColSet)>>,
+}
+
+impl Layout {
+    /// Computes the layout of a decomposition.
+    pub fn new(d: &Decomposition) -> Self {
+        let ne = d.edge_count();
+        let nn = d.node_count();
+        let mut leaf_of_edge = vec![0usize; ne];
+        let mut unit_leaves = vec![Vec::new(); nn];
+        for (id, node) in d.nodes() {
+            for (i, leaf) in node.body.leaves().iter().enumerate() {
+                match leaf {
+                    Body::Map(e) => leaf_of_edge[e.index()] = i,
+                    Body::Unit(c) => unit_leaves[id.index()].push((i, *c)),
+                    Body::Join(..) => unreachable!("leaves are not joins"),
+                }
+            }
+        }
+        let mut islot_of_edge = vec![0u8; ne];
+        let mut islots_of_node = vec![0u8; nn];
+        for (id, e) in d.edges() {
+            if e.ds.is_intrusive() {
+                let slot = islots_of_node[e.to.index()];
+                islot_of_edge[id.index()] = slot;
+                islots_of_node[e.to.index()] = slot + 1;
+            }
+        }
+        let mut kpos_of_edge = Vec::with_capacity(ne);
+        for (_, e) in d.edges() {
+            let target_bound = d.node(e.to).bound;
+            let kpos: Box<[u16]> = e
+                .key
+                .iter()
+                .map(|c| {
+                    target_bound
+                        .rank(c)
+                        .expect("edge key ⊆ target bound (binding consistency)")
+                        as u16
+                })
+                .collect();
+            kpos_of_edge.push(kpos);
+        }
+        // Canonical root paths: nodes in reverse let order are reached from
+        // already-pathed parents (root first).
+        let mut path_of_node: Vec<Option<Vec<EdgeId>>> = vec![None; nn];
+        path_of_node[d.root().index()] = Some(Vec::new());
+        for id in d.topo_root_first() {
+            if path_of_node[id.index()].is_none() {
+                let e = d.incoming_edges(id)[0];
+                let parent = d.edge(e).from;
+                let mut p = path_of_node[parent.index()]
+                    .clone()
+                    .expect("parents are pathed before children (topological order)");
+                p.push(e);
+                path_of_node[id.index()] = Some(p);
+            }
+        }
+        Layout {
+            leaf_of_edge,
+            islot_of_edge,
+            islots_of_node,
+            kpos_of_edge,
+            path_of_node: path_of_node.into_iter().map(Option::unwrap).collect(),
+            unit_leaves,
+        }
+    }
+
+    /// Creates a fresh, empty container for an edge.
+    pub fn new_container(&self, d: &Decomposition, e: EdgeId) -> EdgeContainer {
+        match d.edge(e).ds {
+            DsKind::HashTable => EdgeContainer::Hash(HashTable::new()),
+            DsKind::AvlTree => EdgeContainer::Avl(AvlMap::new()),
+            DsKind::SortedVec => EdgeContainer::Sorted(SortedVecMap::new()),
+            DsKind::AssocVec => EdgeContainer::Assoc(AssocVec::new()),
+            DsKind::DList => EdgeContainer::DList(DListMap::new()),
+            DsKind::IntrusiveList => EdgeContainer::Intrusive {
+                head: None,
+                len: 0,
+                slot: self.islot_of_edge[e.index()],
+                kpos: self.kpos_of_edge[e.index()].clone(),
+            },
+        }
+    }
+
+    /// Creates a fresh instance of `node` for bound valuation `key`, with
+    /// unit leaves initialized from `t` and empty containers elsewhere.
+    pub fn new_instance(
+        &self,
+        d: &Decomposition,
+        node: NodeId,
+        key: Key,
+        t: &Tuple,
+    ) -> Instance {
+        let leaves = d.node(node).body.leaves();
+        let prims: Vec<PrimInst> = leaves
+            .iter()
+            .map(|leaf| match leaf {
+                Body::Unit(c) => PrimInst::Unit(t.project(*c)),
+                Body::Map(e) => PrimInst::Map(self.new_container(d, *e)),
+                Body::Join(..) => unreachable!("leaves are not joins"),
+            })
+            .collect();
+        Instance {
+            key,
+            prims: prims.into_boxed_slice(),
+            links: vec![Link::default(); self.islots_of_node[node.index()] as usize]
+                .into_boxed_slice(),
+            refs: 0,
+        }
+    }
+}
+
+/// All instance arenas of a synthesized relation, one per decomposition node.
+#[derive(Debug, Clone)]
+pub struct Store {
+    arenas: Vec<Arena>,
+}
+
+impl Store {
+    /// Creates an empty store for a decomposition.
+    pub fn new(d: &Decomposition) -> Self {
+        Store {
+            arenas: (0..d.node_count()).map(|_| Arena::default()).collect(),
+        }
+    }
+
+    /// The arena of a node.
+    pub fn arena(&self, node: NodeId) -> &Arena {
+        &self.arenas[node.index()]
+    }
+
+    /// Allocates an instance, returning its handle.
+    pub fn alloc(&mut self, node: NodeId, inst: Instance) -> InstanceRef {
+        let arena = &mut self.arenas[node.index()];
+        arena.live += 1;
+        let slot = if let Some(s) = arena.free.pop() {
+            arena.slots[s as usize] = Some(inst);
+            s
+        } else {
+            arena.slots.push(Some(inst));
+            (arena.slots.len() - 1) as u32
+        };
+        InstanceRef {
+            node: node.0,
+            slot,
+        }
+    }
+
+    /// Shared access to an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is dangling.
+    pub fn get(&self, r: InstanceRef) -> &Instance {
+        self.arenas[r.node as usize].slots[r.slot as usize]
+            .as_ref()
+            .expect("live instance")
+    }
+
+    /// Is the handle live?
+    pub fn is_live(&self, r: InstanceRef) -> bool {
+        self.arenas
+            .get(r.node as usize)
+            .and_then(|a| a.slots.get(r.slot as usize))
+            .map(|s| s.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Mutable access to an instance.
+    pub fn get_mut(&mut self, r: InstanceRef) -> &mut Instance {
+        self.arenas[r.node as usize].slots[r.slot as usize]
+            .as_mut()
+            .expect("live instance")
+    }
+
+    /// Frees an instance slot, returning its contents.
+    pub fn free(&mut self, r: InstanceRef) -> Instance {
+        let arena = &mut self.arenas[r.node as usize];
+        let inst = arena.slots[r.slot as usize]
+            .take()
+            .expect("live instance");
+        arena.free.push(r.slot);
+        arena.live -= 1;
+        inst
+    }
+
+    /// Total live instances across all nodes.
+    pub fn total_live(&self) -> usize {
+        self.arenas.iter().map(|a| a.live).sum()
+    }
+
+    // -- container operations ------------------------------------------------
+    //
+    // All operations address a container as (parent instance, leaf index).
+    // Intrusive lists additionally thread link updates through the store.
+
+    /// Looks up `key` in the container at `(parent, leaf)`.
+    pub fn cont_get(&self, parent: InstanceRef, leaf: usize, key: &[Value]) -> Option<InstanceRef> {
+        match &self.get(parent).prims[leaf] {
+            PrimInst::Map(EdgeContainer::Hash(c)) => {
+                c.get(&key.to_vec().into_boxed_slice()).copied()
+            }
+            PrimInst::Map(EdgeContainer::Avl(c)) => {
+                c.get(&key.to_vec().into_boxed_slice()).copied()
+            }
+            PrimInst::Map(EdgeContainer::Sorted(c)) => {
+                c.get(&key.to_vec().into_boxed_slice()).copied()
+            }
+            PrimInst::Map(EdgeContainer::Assoc(c)) => {
+                c.get(&key.to_vec().into_boxed_slice()).copied()
+            }
+            PrimInst::Map(EdgeContainer::DList(c)) => {
+                c.get(&key.to_vec().into_boxed_slice()).copied()
+            }
+            PrimInst::Map(EdgeContainer::Intrusive {
+                head, slot, kpos, ..
+            }) => {
+                let slot = *slot;
+                let mut cur = *head;
+                while let Some(r) = cur {
+                    let child = self.get(r);
+                    if kpos
+                        .iter()
+                        .zip(key.iter())
+                        .all(|(p, v)| &child.key[*p as usize] == v)
+                    {
+                        return Some(r);
+                    }
+                    cur = child.links[slot as usize].next;
+                }
+                None
+            }
+            PrimInst::Unit(_) => panic!("cont_get on a unit leaf"),
+        }
+    }
+
+    /// Inserts `key → child` into the container at `(parent, leaf)`.
+    /// The caller must ensure the key is absent (dinsert looks up first).
+    pub fn cont_insert(&mut self, parent: InstanceRef, leaf: usize, key: Key, child: InstanceRef) {
+        // Intrusive insertion needs link surgery on instances other than the
+        // parent, so handle it without holding a borrow of the parent.
+        let intrusive = matches!(
+            &self.get(parent).prims[leaf],
+            PrimInst::Map(EdgeContainer::Intrusive { .. })
+        );
+        if intrusive {
+            let (old_head, slot) = match &self.get(parent).prims[leaf] {
+                PrimInst::Map(EdgeContainer::Intrusive { head, slot, .. }) => (*head, *slot),
+                _ => unreachable!(),
+            };
+            {
+                let link = &mut self.get_mut(child).links[slot as usize];
+                debug_assert!(!link.in_list, "child already linked in this slot");
+                *link = Link {
+                    prev: None,
+                    next: old_head,
+                    in_list: true,
+                };
+            }
+            if let Some(h) = old_head {
+                self.get_mut(h).links[slot as usize].prev = Some(child);
+            }
+            match &mut self.get_mut(parent).prims[leaf] {
+                PrimInst::Map(EdgeContainer::Intrusive { head, len, .. }) => {
+                    *head = Some(child);
+                    *len += 1;
+                }
+                _ => unreachable!(),
+            }
+        } else {
+            let prev = match &mut self.get_mut(parent).prims[leaf] {
+                PrimInst::Map(EdgeContainer::Hash(c)) => c.insert(key, child),
+                PrimInst::Map(EdgeContainer::Avl(c)) => c.insert(key, child),
+                PrimInst::Map(EdgeContainer::Sorted(c)) => c.insert(key, child),
+                PrimInst::Map(EdgeContainer::Assoc(c)) => c.insert(key, child),
+                PrimInst::Map(EdgeContainer::DList(c)) => c.insert(key, child),
+                _ => unreachable!("unit leaf or intrusive handled above"),
+            };
+            debug_assert!(prev.is_none(), "caller must check key absence first");
+        }
+        self.get_mut(child).refs += 1;
+    }
+
+    /// Removes `key` from the container at `(parent, leaf)`, returning the
+    /// unlinked child (reference count **not** yet decremented).
+    pub fn cont_remove(
+        &mut self,
+        parent: InstanceRef,
+        leaf: usize,
+        key: &[Value],
+    ) -> Option<InstanceRef> {
+        let intrusive = matches!(
+            &self.get(parent).prims[leaf],
+            PrimInst::Map(EdgeContainer::Intrusive { .. })
+        );
+        if intrusive {
+            let child = self.cont_get(parent, leaf, key)?;
+            self.intrusive_unlink(parent, leaf, child);
+            Some(child)
+        } else {
+            let boxed: Key = key.to_vec().into_boxed_slice();
+            match &mut self.get_mut(parent).prims[leaf] {
+                PrimInst::Map(EdgeContainer::Hash(c)) => c.remove(&boxed),
+                PrimInst::Map(EdgeContainer::Avl(c)) => c.remove(&boxed),
+                PrimInst::Map(EdgeContainer::Sorted(c)) => c.remove(&boxed),
+                PrimInst::Map(EdgeContainer::Assoc(c)) => c.remove(&boxed),
+                PrimInst::Map(EdgeContainer::DList(c)) => c.remove(&boxed),
+                _ => unreachable!("unit leaf or intrusive handled above"),
+            }
+        }
+    }
+
+    /// Unlinks `child` from the intrusive list at `(parent, leaf)` in O(1).
+    pub fn intrusive_unlink(&mut self, parent: InstanceRef, leaf: usize, child: InstanceRef) {
+        let slot = match &self.get(parent).prims[leaf] {
+            PrimInst::Map(EdgeContainer::Intrusive { slot, .. }) => *slot,
+            _ => panic!("intrusive_unlink on a non-intrusive container"),
+        };
+        let link = self.get(child).links[slot as usize];
+        assert!(link.in_list, "child not linked");
+        if let Some(p) = link.prev {
+            self.get_mut(p).links[slot as usize].next = link.next;
+        }
+        if let Some(n) = link.next {
+            self.get_mut(n).links[slot as usize].prev = link.prev;
+        }
+        match &mut self.get_mut(parent).prims[leaf] {
+            PrimInst::Map(EdgeContainer::Intrusive { head, len, .. }) => {
+                if *head == Some(child) {
+                    *head = link.next;
+                }
+                *len -= 1;
+            }
+            _ => unreachable!(),
+        }
+        self.get_mut(child).links[slot as usize] = Link::default();
+    }
+
+    /// Number of entries in the container at `(parent, leaf)`.
+    pub fn cont_len(&self, parent: InstanceRef, leaf: usize) -> usize {
+        match &self.get(parent).prims[leaf] {
+            PrimInst::Map(c) => c.len(),
+            PrimInst::Unit(_) => panic!("cont_len on a unit leaf"),
+        }
+    }
+
+    /// Calls `f(entry key values, child)` for every entry of the container at
+    /// `(parent, leaf)`. Iteration order is the container's own.
+    pub fn cont_for_each(
+        &self,
+        parent: InstanceRef,
+        leaf: usize,
+        mut f: impl FnMut(&[Value], InstanceRef),
+    ) {
+        match &self.get(parent).prims[leaf] {
+            PrimInst::Map(EdgeContainer::Hash(c)) => {
+                for (k, v) in c.iter() {
+                    f(k, *v);
+                }
+            }
+            PrimInst::Map(EdgeContainer::Avl(c)) => {
+                for (k, v) in c.iter() {
+                    f(k, *v);
+                }
+            }
+            PrimInst::Map(EdgeContainer::Sorted(c)) => {
+                for (k, v) in c.iter() {
+                    f(k, *v);
+                }
+            }
+            PrimInst::Map(EdgeContainer::Assoc(c)) => {
+                for (k, v) in c.iter() {
+                    f(k, *v);
+                }
+            }
+            PrimInst::Map(EdgeContainer::DList(c)) => {
+                for (k, v) in c.iter() {
+                    f(k, *v);
+                }
+            }
+            PrimInst::Map(EdgeContainer::Intrusive {
+                head, slot, kpos, ..
+            }) => {
+                let mut cur = *head;
+                let mut keybuf: Vec<Value> = Vec::with_capacity(kpos.len());
+                while let Some(r) = cur {
+                    let child = self.get(r);
+                    keybuf.clear();
+                    keybuf.extend(kpos.iter().map(|p| child.key[*p as usize].clone()));
+                    f(&keybuf, r);
+                    cur = child.links[*slot as usize].next;
+                }
+            }
+            PrimInst::Unit(_) => panic!("cont_for_each on a unit leaf"),
+        }
+    }
+
+    /// Calls `f(entry key values, child)` — in ascending key order — for
+    /// every entry of the *ordered* container at `(parent, leaf)` whose key
+    /// equals `prefix` on its leading coordinates and whose final coordinate
+    /// lies within `(lo, hi)`. Backs the `qrange` query operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a unit leaf or on an unordered container (`htable`, `vec`,
+    /// `dlist`, `ilist`) — the (QRANGE) validity rule rules both out.
+    pub fn cont_for_each_range(
+        &self,
+        parent: InstanceRef,
+        leaf: usize,
+        prefix: &[Value],
+        lo: std::ops::Bound<&Value>,
+        hi: std::ops::Bound<&Value>,
+        mut f: impl FnMut(&[Value], InstanceRef),
+    ) {
+        use std::cmp::Ordering;
+        use std::ops::Bound;
+        let m = prefix.len();
+        let classify = |k: &Key| -> Ordering {
+            debug_assert!(k.len() == m + 1, "range key arity mismatch");
+            match k[..m].cmp(prefix) {
+                Ordering::Equal => {
+                    let x = &k[m];
+                    let above_lo = match lo {
+                        Bound::Unbounded => true,
+                        Bound::Included(l) => x >= l,
+                        Bound::Excluded(l) => x > l,
+                    };
+                    if !above_lo {
+                        return Ordering::Less;
+                    }
+                    let below_hi = match hi {
+                        Bound::Unbounded => true,
+                        Bound::Included(h) => x <= h,
+                        Bound::Excluded(h) => x < h,
+                    };
+                    if !below_hi {
+                        return Ordering::Greater;
+                    }
+                    Ordering::Equal
+                }
+                o => o,
+            }
+        };
+        match &self.get(parent).prims[leaf] {
+            PrimInst::Map(EdgeContainer::Avl(c)) => {
+                c.for_each_classified(classify, |k, v| f(k, *v));
+            }
+            PrimInst::Map(EdgeContainer::Sorted(c)) => {
+                c.for_each_classified(classify, |k, v| f(k, *v));
+            }
+            PrimInst::Map(_) => panic!("cont_for_each_range on an unordered container"),
+            PrimInst::Unit(_) => panic!("cont_for_each_range on a unit leaf"),
+        }
+    }
+}

@@ -1,0 +1,1165 @@
+//! [`SynthRelation`]: the synthesized implementation of a relational
+//! specification for a chosen decomposition.
+
+use crate::alpha;
+use crate::error::{BuildError, OpError};
+use crate::exec::{exec, exec_where};
+use crate::instance::{InstanceRef, Layout, PrimInst, Store};
+use relic_decomp::{check_adequacy, cut, Body, Decomposition, NodeId};
+use relic_query::{CostModel, JoinCostMode, Plan, Planner};
+use relic_spec::{Catalog, ColSet, Pattern, Relation, RelSpec, Tuple};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Mutex;
+
+/// A relation synthesized from a [`RelSpec`] and an adequate
+/// [`Decomposition`] — the Rust analog of the C++ classes emitted by RELC.
+///
+/// Supports the five relational operations of §2 (`empty` = [`SynthRelation::new`],
+/// [`insert`](SynthRelation::insert), [`remove`](SynthRelation::remove),
+/// [`update`](SynthRelation::update), [`query`](SynthRelation::query))
+/// with per-query plans chosen by the §4.3 cost-based planner and memoized
+/// per signature.
+///
+/// Functional-dependency checking (the preconditions of Lemma 4) is **on**
+/// by default and can be disabled with
+/// [`set_fd_checking`](SynthRelation::set_fd_checking) for benchmarks.
+///
+/// # Example
+///
+/// ```
+/// use relic_spec::{Catalog, RelSpec, Tuple, Value};
+/// use relic_decomp::parse;
+/// use relic_core::SynthRelation;
+///
+/// let mut cat = Catalog::new();
+/// let d = parse(
+///     &mut cat,
+///     "let w : {ns,pid,state} . {cpu} = unit {cpu} in
+///      let y : {ns} . {pid,cpu} = {pid} -[htable]-> w in
+///      let z : {state} . {ns,pid,cpu} = {ns,pid} -[dlist]-> w in
+///      let x : {} . {ns,pid,state,cpu} =
+///        ({ns} -[htable]-> y) join ({state} -[vec]-> z) in x",
+/// )?;
+/// let (ns, pid, state, cpu) = (
+///     cat.col("ns").unwrap(),
+///     cat.col("pid").unwrap(),
+///     cat.col("state").unwrap(),
+///     cat.col("cpu").unwrap(),
+/// );
+/// let spec = RelSpec::new(cat.all()).with_fd(ns | pid, state | cpu);
+/// let mut r = SynthRelation::new(&cat, spec, d)?;
+/// r.insert(Tuple::from_pairs([
+///     (ns, Value::from(7)),
+///     (pid, Value::from(42)),
+///     (state, Value::from("R")),
+///     (cpu, Value::from(0)),
+/// ]))?;
+/// let running = r.query(&Tuple::from_pairs([(state, Value::from("R"))]), ns | pid)?;
+/// assert_eq!(running.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct SynthRelation {
+    cat: Catalog,
+    spec: RelSpec,
+    d: Decomposition,
+    layout: Layout,
+    store: Store,
+    root: InstanceRef,
+    cost: CostModel,
+    plan_cache: Mutex<HashMap<(u64, u64, u64, u64), Plan>>,
+    check_fds: bool,
+    len: usize,
+    min_key: ColSet,
+}
+
+impl SynthRelation {
+    /// `empty()`: creates an empty relation represented by `d`.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::Adequacy`] if `d` is not adequate for `spec` — i.e. the
+    /// decomposition could not represent every relation conforming to the
+    /// specification (Fig. 6, Lemma 1).
+    pub fn new(cat: &Catalog, spec: RelSpec, d: Decomposition) -> Result<Self, BuildError> {
+        check_adequacy(&d, &spec)?;
+        let layout = Layout::new(&d);
+        let mut store = Store::new(&d);
+        let root_node = d.root();
+        let root_inst = layout.new_instance(&d, root_node, Box::new([]), &Tuple::empty());
+        let root = store.alloc(root_node, root_inst);
+        let cost = CostModel::uniform(&d, 16.0);
+        let min_key = spec.minimal_key();
+        Ok(SynthRelation {
+            cat: cat.clone(),
+            spec,
+            d,
+            layout,
+            store,
+            root,
+            cost,
+            plan_cache: Mutex::new(HashMap::new()),
+            check_fds: true,
+            len: 0,
+            min_key,
+        })
+    }
+
+    /// The relation's specification.
+    pub fn spec(&self) -> &RelSpec {
+        &self.spec
+    }
+
+    /// The decomposition in use.
+    pub fn decomposition(&self) -> &Decomposition {
+        &self.d
+    }
+
+    /// The column catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.cat
+    }
+
+    /// Number of tuples in the relation.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total node instances across all arenas (a memory-shape statistic;
+    /// shared nodes are counted once).
+    pub fn instance_count(&self) -> usize {
+        self.store.total_live()
+    }
+
+    /// Enables or disables functional-dependency checking on mutations.
+    /// With checking off, operating outside Lemma 4's preconditions silently
+    /// corrupts the relation — exactly as in the paper's generated code.
+    pub fn set_fd_checking(&mut self, on: bool) {
+        self.check_fds = on;
+    }
+
+    /// Replaces the planner's cost model (e.g. with
+    /// [`observed_cost_model`](SynthRelation::observed_cost_model)) and
+    /// clears the plan cache.
+    pub fn set_cost_model(&mut self, cost: CostModel) {
+        self.cost = cost;
+        self.plan_cache.lock().expect("plan cache poisoned").clear();
+    }
+
+    /// Switches how joins are charged by the planner (and clears the plan
+    /// cache). With [`JoinCostMode::Realistic`], the planner may choose the
+    /// non-constant-space `qhashjoin` operator where nested execution would
+    /// re-run one join side per outer tuple (§4.1's noted extension); the
+    /// default optimistic mode reproduces the paper's constant-space plans.
+    pub fn set_join_cost_mode(&mut self, mode: JoinCostMode) {
+        self.cost.set_join_mode(mode);
+        self.plan_cache.lock().expect("plan cache poisoned").clear();
+    }
+
+    /// Profiles the live instance: the average fan-out of every edge, for
+    /// re-planning with measured counts (§4.3's "recorded as part of a
+    /// profiling run").
+    pub fn observed_cost_model(&self) -> CostModel {
+        let mut fanouts = Vec::with_capacity(self.d.edge_count());
+        for (eid, e) in self.d.edges() {
+            let leaf = self.layout.leaf_of_edge[eid.index()];
+            let mut total = 0usize;
+            let mut count = 0usize;
+            for (slot, _) in self.store.arena(e.from).iter() {
+                let r = InstanceRef {
+                    node: e.from.0,
+                    slot,
+                };
+                total += self.store.cont_len(r, leaf);
+                count += 1;
+            }
+            fanouts.push(if count == 0 {
+                1.0
+            } else {
+                total as f64 / count as f64
+            });
+        }
+        CostModel::from_fanouts(&self.d, fanouts)
+    }
+
+    /// The plan the relation will use for a query signature (for inspection
+    /// and tests), rendered in the paper's notation.
+    pub fn plan_for(&self, pattern_cols: ColSet, out: ColSet) -> Result<String, OpError> {
+        Ok(self.planned(pattern_cols, out)?.to_string())
+    }
+
+    fn planned(&self, avail: ColSet, out: ColSet) -> Result<Plan, OpError> {
+        self.planned_where(avail, ColSet::EMPTY, ColSet::EMPTY, out)
+    }
+
+    fn planned_where(
+        &self,
+        eq: ColSet,
+        ranged: ColSet,
+        filtered: ColSet,
+        out: ColSet,
+    ) -> Result<Plan, OpError> {
+        let key = (eq.bits(), ranged.bits(), filtered.bits(), out.bits());
+        if let Some(p) = self.plan_cache.lock().expect("plan cache poisoned").get(&key) {
+            return Ok(p.clone());
+        }
+        let planner = Planner::new(&self.d, &self.spec, self.cost.clone());
+        let planned = planner.plan_query_where(eq, ranged, filtered, out)?;
+        self.plan_cache.lock().expect("plan cache poisoned").insert(key, planned.plan.clone());
+        Ok(planned.plan)
+    }
+
+    /// `query r s C` (§2): the projection onto `out` of every tuple extending
+    /// `pattern`. Results are set-semantic, sorted, deterministic.
+    ///
+    /// # Errors
+    ///
+    /// [`OpError::ForeignColumns`] if `pattern` or `out` mention columns
+    /// outside the relation.
+    pub fn query(&self, pattern: &Tuple, out: ColSet) -> Result<Vec<Tuple>, OpError> {
+        let mut set: BTreeSet<Tuple> = BTreeSet::new();
+        self.query_for_each(pattern, out, |t| {
+            set.insert(t.clone());
+        })?;
+        Ok(set.into_iter().collect())
+    }
+
+    /// Streaming variant of [`query`](SynthRelation::query): calls `f` for
+    /// each match without materializing results. Duplicate projections may be
+    /// delivered more than once (the collecting `query` deduplicates).
+    pub fn query_for_each(
+        &self,
+        pattern: &Tuple,
+        out: ColSet,
+        mut f: impl FnMut(&Tuple),
+    ) -> Result<(), OpError> {
+        let foreign = (pattern.dom() | out) - self.spec.cols();
+        if !foreign.is_empty() {
+            return Err(OpError::ForeignColumns { cols: foreign });
+        }
+        let plan = self.planned(pattern.dom(), out)?;
+        let body = &self.d.node(self.d.root()).body;
+        exec(
+            &self.store,
+            &self.d,
+            &plan,
+            body,
+            0,
+            self.root,
+            pattern,
+            &mut |acc| f(&acc.project(out)),
+        );
+        Ok(())
+    }
+
+    /// All full tuples extending `pattern`, sorted.
+    pub fn query_full(&self, pattern: &Tuple) -> Result<Vec<Tuple>, OpError> {
+        self.query(pattern, self.spec.cols())
+    }
+
+    /// Streaming query with *duplicate elimination*: like
+    /// [`query_for_each`](SynthRelation::query_for_each), but each distinct
+    /// projection is delivered exactly once, in first-encounter order.
+    ///
+    /// §4.1 notes constant-space queries cannot deduplicate; this operator
+    /// spends O(#distinct results) space on a seen-set instead of sorting a
+    /// fully materialized result like [`query`](SynthRelation::query) does.
+    ///
+    /// # Errors
+    ///
+    /// [`OpError::ForeignColumns`] as for `query_for_each`.
+    pub fn query_distinct_for_each(
+        &self,
+        pattern: &Tuple,
+        out: ColSet,
+        mut f: impl FnMut(&Tuple),
+    ) -> Result<(), OpError> {
+        let mut seen: std::collections::HashSet<Tuple> = std::collections::HashSet::new();
+        self.query_for_each(pattern, out, |t| {
+            if seen.insert(t.clone()) {
+                f(t);
+            }
+        })
+    }
+
+    /// `query_where r P C` — §2's "comparisons other than equality"
+    /// extension: the projection onto `out` of every tuple satisfying the
+    /// predicate pattern `P`. Results are set-semantic, sorted,
+    /// deterministic.
+    ///
+    /// Equality predicates drive `qlookup` exactly as in [`query`]
+    /// (an all-equality pattern behaves identically to it); interval
+    /// predicates (`<`, `≤`, `>`, `≥`, `between`) drive the `qrange`
+    /// operator on ordered map edges (`avl`, `sortedvec`) where the
+    /// composite-index prefix rule allows, and degrade to scan-and-filter
+    /// elsewhere; `≠` predicates are always filter-checked.
+    ///
+    /// # Errors
+    ///
+    /// [`OpError::ForeignColumns`] if `pattern` or `out` mention columns
+    /// outside the relation.
+    ///
+    /// [`query`]: SynthRelation::query
+    pub fn query_where(&self, pattern: &Pattern, out: ColSet) -> Result<Vec<Tuple>, OpError> {
+        let mut set: BTreeSet<Tuple> = BTreeSet::new();
+        self.query_where_for_each(pattern, out, |t| {
+            set.insert(t.clone());
+        })?;
+        Ok(set.into_iter().collect())
+    }
+
+    /// Streaming variant of [`query_where`](SynthRelation::query_where):
+    /// calls `f` for each match without materializing results. Duplicate
+    /// projections may be delivered more than once (the collecting
+    /// `query_where` deduplicates).
+    pub fn query_where_for_each(
+        &self,
+        pattern: &Pattern,
+        out: ColSet,
+        mut f: impl FnMut(&Tuple),
+    ) -> Result<(), OpError> {
+        let foreign = (pattern.dom() | out) - self.spec.cols();
+        if !foreign.is_empty() {
+            return Err(OpError::ForeignColumns { cols: foreign });
+        }
+        let cmp = pattern.cmp_preds();
+        let ranged: ColSet = cmp
+            .iter()
+            .filter(|(_, p)| p.is_interval())
+            .fold(ColSet::EMPTY, |acc, (c, _)| acc | *c);
+        let filtered = pattern.cmp_cols() - ranged;
+        let plan = self.planned_where(pattern.eq_cols(), ranged, filtered, out)?;
+        let body = &self.d.node(self.d.root()).body;
+        let eq = pattern.eq_tuple();
+        exec_where(
+            &self.store,
+            &self.d,
+            &plan,
+            body,
+            0,
+            self.root,
+            &eq,
+            &cmp,
+            &mut |acc| f(&acc.project(out)),
+        );
+        Ok(())
+    }
+
+    /// The plan [`query_where`](SynthRelation::query_where) will use for a
+    /// pattern's signature (for inspection and tests), rendered in the
+    /// paper's notation.
+    pub fn plan_for_where(&self, pattern: &Pattern, out: ColSet) -> Result<String, OpError> {
+        let cmp = pattern.cmp_preds();
+        let ranged: ColSet = cmp
+            .iter()
+            .filter(|(_, p)| p.is_interval())
+            .fold(ColSet::EMPTY, |acc, (c, _)| acc | *c);
+        let filtered = pattern.cmp_cols() - ranged;
+        Ok(self
+            .planned_where(pattern.eq_cols(), ranged, filtered, out)?
+            .to_string())
+    }
+
+    /// Does the relation contain exactly this tuple?
+    pub fn contains(&self, t: &Tuple) -> Result<bool, OpError> {
+        Ok(self.query_full(t)?.iter().any(|x| x == t))
+    }
+
+    /// Does any tuple extend `pattern`? (An existence query with empty
+    /// output projection.)
+    pub fn contains_matching(&self, pattern: &Tuple) -> Result<bool, OpError> {
+        let mut found = false;
+        self.query_for_each(pattern, ColSet::EMPTY, |_| found = true)?;
+        Ok(found)
+    }
+
+    /// `insert r t` (§2): inserts a full tuple. Returns `Ok(false)` if the
+    /// exact tuple was already present.
+    ///
+    /// # Errors
+    ///
+    /// * [`OpError::ColumnMismatch`] — `t` is not a valuation of the
+    ///   relation's columns.
+    /// * [`OpError::FdViolation`] — inserting would violate a functional
+    ///   dependency (always detected on the relation's minimal key; detected
+    ///   on every dependency when FD checking is enabled).
+    pub fn insert(&mut self, t: Tuple) -> Result<bool, OpError> {
+        if t.dom() != self.spec.cols() {
+            return Err(OpError::ColumnMismatch {
+                expected: self.spec.cols(),
+                actual: t.dom(),
+            });
+        }
+        // Key lookup: duplicate detection and first-line FD enforcement.
+        let existing = self.query_full(&t.project(self.min_key))?;
+        if let Some(ex) = existing.first() {
+            if *ex == t {
+                return Ok(false);
+            }
+            return Err(OpError::FdViolation {
+                tuple: t,
+                existing: ex.clone(),
+            });
+        }
+        if self.check_fds {
+            self.check_fds_against(&t, None)?;
+        }
+        self.dinsert(&t);
+        self.len += 1;
+        Ok(true)
+    }
+
+    /// Checks every declared dependency of the specification against the
+    /// instance for prospective tuple `t`, ignoring `exclude` (used by
+    /// `update`, where the old version of the tuple is about to disappear).
+    fn check_fds_against(&self, t: &Tuple, exclude: Option<&Tuple>) -> Result<(), OpError> {
+        for fd in self.spec.fds().iter() {
+            let pattern = t.project(fd.lhs);
+            for ex in self.query_full(&pattern)? {
+                if Some(&ex) == exclude {
+                    continue;
+                }
+                if ex.project(fd.rhs) != t.project(fd.rhs) {
+                    return Err(OpError::FdViolation {
+                        tuple: t.clone(),
+                        existing: ex,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The `dinsert` operation (§4.4): find-or-create instances in
+    /// topological order, then link them through every incoming edge.
+    fn dinsert(&mut self, t: &Tuple) {
+        let nn = self.d.node_count();
+        let mut resolved: Vec<Option<InstanceRef>> = vec![None; nn];
+        let order: Vec<NodeId> = self.d.topo_root_first().collect();
+        for node in order {
+            let inst = if node == self.d.root() {
+                self.root
+            } else {
+                let mut found = None;
+                for &e in self.d.incoming_edges(node) {
+                    let edge = self.d.edge(e);
+                    let parent = resolved[edge.from.index()]
+                        .expect("parents resolved before children (topological order)");
+                    let ekey = t.key_for(edge.key);
+                    if let Some(r) =
+                        self.store
+                            .cont_get(parent, self.layout.leaf_of_edge[e.index()], &ekey)
+                    {
+                        found = Some(r);
+                        break;
+                    }
+                }
+                found.unwrap_or_else(|| {
+                    let key = t.key_for(self.d.node(node).bound);
+                    let inst = self.layout.new_instance(&self.d, node, key, t);
+                    self.store.alloc(node, inst)
+                })
+            };
+            for &e in self.d.incoming_edges(node) {
+                let edge = self.d.edge(e);
+                let parent = resolved[edge.from.index()].expect("topological order");
+                let leaf = self.layout.leaf_of_edge[e.index()];
+                let ekey = t.key_for(edge.key);
+                if self.store.cont_get(parent, leaf, &ekey).is_none() {
+                    self.store.cont_insert(parent, leaf, ekey, inst);
+                }
+            }
+            resolved[node.index()] = Some(inst);
+        }
+    }
+
+    /// `remove r s` (§2, §4.5): removes every tuple extending `pattern` by
+    /// breaking the edges that cross the decomposition cut for
+    /// `dom pattern`. Returns the number of tuples removed.
+    ///
+    /// # Errors
+    ///
+    /// [`OpError::ForeignColumns`] if the pattern mentions columns outside
+    /// the relation.
+    pub fn remove(&mut self, pattern: &Tuple) -> Result<usize, OpError> {
+        let foreign = pattern.dom() - self.spec.cols();
+        if !foreign.is_empty() {
+            return Err(OpError::ForeignColumns { cols: foreign });
+        }
+        let matching = self.query_full(pattern)?;
+        if matching.is_empty() {
+            return Ok(0);
+        }
+        let c = cut(&self.d, self.spec.fds(), pattern.dom());
+        if c.is_below(self.d.root()) {
+            // The root itself only represents matching tuples: every tuple
+            // matches, so clear the whole store.
+            debug_assert_eq!(matching.len(), self.len);
+            let n = self.len;
+            self.clear();
+            return Ok(n);
+        }
+        for t in &matching {
+            self.remove_tuple(t, &c);
+        }
+        self.len -= matching.len();
+        Ok(matching.len())
+    }
+
+    /// `remove_where r P` — removal by comparison pattern, the mutation
+    /// counterpart of [`query_where`](SynthRelation::query_where): removes
+    /// every tuple satisfying `P`. This is the idiom thttpd's cache uses
+    /// ("traverses through the mappings removing those older than a certain
+    /// threshold", §6.2), expressed as one relational operation.
+    ///
+    /// The decomposition cut (§4.5) depends only on the pattern's *columns*,
+    /// so the same cut machinery applies: matching tuples are located with
+    /// the comparison-aware planner, then their crossing edges are broken
+    /// exactly as for [`remove`](SynthRelation::remove). Returns the number
+    /// of tuples removed.
+    ///
+    /// # Errors
+    ///
+    /// [`OpError::ForeignColumns`] if the pattern mentions columns outside
+    /// the relation.
+    pub fn remove_where(&mut self, pattern: &Pattern) -> Result<usize, OpError> {
+        let foreign = pattern.dom() - self.spec.cols();
+        if !foreign.is_empty() {
+            return Err(OpError::ForeignColumns { cols: foreign });
+        }
+        let matching = self.query_where(pattern, self.spec.cols())?;
+        if matching.is_empty() {
+            return Ok(0);
+        }
+        let c = cut(&self.d, self.spec.fds(), pattern.dom());
+        if c.is_below(self.d.root()) {
+            // ∅ determines the pattern columns: all tuples agree on them,
+            // so one match means every tuple matches.
+            debug_assert_eq!(matching.len(), self.len);
+            let n = self.len;
+            self.clear();
+            return Ok(n);
+        }
+        for t in &matching {
+            self.remove_tuple(t, &c);
+        }
+        self.len -= matching.len();
+        Ok(matching.len())
+    }
+
+    /// Removes every tuple (constant-time reset of the store).
+    pub fn clear(&mut self) {
+        self.store = Store::new(&self.d);
+        let root_node = self.d.root();
+        let root_inst = self
+            .layout
+            .new_instance(&self.d, root_node, Box::new([]), &Tuple::empty());
+        self.root = self.store.alloc(root_node, root_inst);
+        self.len = 0;
+    }
+
+    fn remove_tuple(&mut self, t: &Tuple, c: &relic_decomp::Cut) {
+        let nn = self.d.node_count();
+        // Resolve the above-cut instances along t's path.
+        let mut resolved: Vec<Option<InstanceRef>> = vec![None; nn];
+        let order: Vec<NodeId> = self.d.topo_root_first().collect();
+        for node in &order {
+            if c.is_below(*node) {
+                continue;
+            }
+            let inst = if *node == self.d.root() {
+                Some(self.root)
+            } else {
+                let mut found = None;
+                for &e in self.d.incoming_edges(*node) {
+                    let edge = self.d.edge(e);
+                    if let Some(parent) = resolved[edge.from.index()] {
+                        let ekey = t.key_for(edge.key);
+                        if let Some(r) = self.store.cont_get(
+                            parent,
+                            self.layout.leaf_of_edge[e.index()],
+                            &ekey,
+                        ) {
+                            found = Some(r);
+                            break;
+                        }
+                    }
+                }
+                found
+            };
+            resolved[node.index()] = inst;
+        }
+        // Break every crossing edge for this tuple.
+        for &e in &c.crossing {
+            let edge = self.d.edge(e);
+            let Some(parent) = resolved[edge.from.index()] else {
+                continue;
+            };
+            let leaf = self.layout.leaf_of_edge[e.index()];
+            let ekey = t.key_for(edge.key);
+            if let Some(child) = self.store.cont_remove(parent, leaf, &ekey) {
+                self.decref(child);
+            }
+        }
+        // Deallocate empty maps above the cut (children before parents, i.e.
+        // ascending let order), cascading upwards.
+        for i in 0..nn {
+            let node = NodeId(i as u16);
+            if c.is_below(node) || node == self.d.root() {
+                continue;
+            }
+            let Some(inst) = resolved[i] else { continue };
+            if !self.store.is_live(inst) || !self.instance_is_empty(node, inst) {
+                continue;
+            }
+            for &e in self.d.incoming_edges(node) {
+                let edge = self.d.edge(e);
+                let Some(parent) = resolved[edge.from.index()] else {
+                    continue;
+                };
+                if !self.store.is_live(parent) {
+                    continue;
+                }
+                let leaf = self.layout.leaf_of_edge[e.index()];
+                let ekey = t.key_for(edge.key);
+                if let Some(child) = self.store.cont_remove(parent, leaf, &ekey) {
+                    debug_assert_eq!(child, inst);
+                    self.store.get_mut(child).refs -= 1;
+                }
+            }
+            if self.store.get(inst).refs == 0 {
+                let _ = self.store.free(inst);
+            }
+        }
+    }
+
+    /// True when the instance holds no data: no unit leaves and all maps
+    /// empty.
+    fn instance_is_empty(&self, node: NodeId, inst: InstanceRef) -> bool {
+        let leaves = self.d.node(node).body.leaves();
+        leaves.iter().enumerate().all(|(i, leaf)| match leaf {
+            Body::Unit(_) => false,
+            Body::Map(_) => self.store.cont_len(inst, i) == 0,
+            Body::Join(..) => unreachable!("leaves are not joins"),
+        })
+    }
+
+    /// Decrements an instance's reference count, freeing (recursively) at
+    /// zero.
+    fn decref(&mut self, r: InstanceRef) {
+        let inst = self.store.get_mut(r);
+        inst.refs -= 1;
+        if inst.refs == 0 {
+            self.free_recursive(r);
+        }
+    }
+
+    fn free_recursive(&mut self, r: InstanceRef) {
+        let node = NodeId(r.node);
+        let leaves_len = self.d.node(node).body.leaves().len();
+        let mut children: Vec<InstanceRef> = Vec::new();
+        let mut intrusive_children: Vec<(usize, InstanceRef)> = Vec::new();
+        for i in 0..leaves_len {
+            match &self.store.get(r).prims[i] {
+                PrimInst::Map(crate::instance::EdgeContainer::Intrusive { slot, .. }) => {
+                    let slot = *slot as usize;
+                    self.store
+                        .cont_for_each(r, i, |_, c| intrusive_children.push((slot, c)));
+                }
+                PrimInst::Map(_) => {
+                    self.store.cont_for_each(r, i, |_, c| children.push(c));
+                }
+                PrimInst::Unit(_) => {}
+            }
+        }
+        let _ = self.store.free(r);
+        // Intrusive children carry stale links to the freed parent's list;
+        // reset them before releasing the reference.
+        for (slot, c) in intrusive_children {
+            self.store.get_mut(c).links[slot] = crate::instance::Link::default();
+            self.decref(c);
+        }
+        for c in children {
+            self.decref(c);
+        }
+    }
+
+    /// `update r s u` (§2, §4.5): merges `changes` into the unique tuple
+    /// matching key pattern `pattern`. Returns `Ok(false)` when no tuple
+    /// matches.
+    ///
+    /// As in the paper, only the common case is supported: the pattern must
+    /// be a key for the relation and must not overlap the changed columns —
+    /// so updates never merge tuples. When the changed columns appear only
+    /// in unit leaves, the update is performed in place; otherwise it
+    /// executes as remove + insert, reusing the relation's machinery.
+    ///
+    /// # Errors
+    ///
+    /// * [`OpError::PatternNotKey`] — `∆ ⊬ dom s → C`.
+    /// * [`OpError::UpdateOverlapsPattern`] — `dom s ∩ dom u ≠ ∅`.
+    /// * [`OpError::ForeignColumns`] — columns outside the relation.
+    /// * [`OpError::FdViolation`] — the updated relation would violate `∆`
+    ///   (checked when FD checking is enabled).
+    pub fn update(&mut self, pattern: &Tuple, changes: &Tuple) -> Result<bool, OpError> {
+        let foreign = (pattern.dom() | changes.dom()) - self.spec.cols();
+        if !foreign.is_empty() {
+            return Err(OpError::ForeignColumns { cols: foreign });
+        }
+        if !self.spec.fds().implies(pattern.dom(), self.spec.cols()) {
+            return Err(OpError::PatternNotKey {
+                pattern: pattern.dom(),
+            });
+        }
+        let overlap = pattern.dom() & changes.dom();
+        if !overlap.is_empty() {
+            return Err(OpError::UpdateOverlapsPattern { overlap });
+        }
+        let matching = self.query_full(pattern)?;
+        let Some(t_old) = matching.first() else {
+            return Ok(false);
+        };
+        debug_assert_eq!(matching.len(), 1, "key pattern matches at most one tuple");
+        let t_old = t_old.clone();
+        let t_new = t_old.merge(changes);
+        if t_new == t_old {
+            return Ok(true);
+        }
+        if self.check_fds {
+            self.check_fds_against(&t_new, Some(&t_old))?;
+        }
+        let changed: ColSet = t_new
+            .dom()
+            .iter()
+            .filter(|c| t_new.get(*c) != t_old.get(*c))
+            .collect();
+        let structural = self.structural_cols();
+        if changed.is_disjoint(structural) {
+            // In-place fast path: only unit payloads change.
+            self.update_units_in_place(&t_old, &t_new, changed);
+        } else {
+            let removed = self.remove(&t_old)?;
+            debug_assert_eq!(removed, 1);
+            let inserted = self.insert(t_new)?;
+            debug_assert!(inserted);
+        }
+        Ok(true)
+    }
+
+    /// Columns appearing in any edge key or node binding — changes to these
+    /// require structural (remove + insert) updates.
+    fn structural_cols(&self) -> ColSet {
+        let mut s = ColSet::EMPTY;
+        for (_, e) in self.d.edges() {
+            s = s | e.key;
+        }
+        for (_, n) in self.d.nodes() {
+            s = s | n.bound;
+        }
+        s
+    }
+
+    fn update_units_in_place(&mut self, t_old: &Tuple, t_new: &Tuple, changed: ColSet) {
+        for (id, _) in self.d.nodes() {
+            let units = self.layout.unit_leaves[id.index()].clone();
+            if units.iter().all(|(_, c)| c.is_disjoint(changed)) {
+                continue;
+            }
+            let Some(inst) = self.locate(id, t_old) else {
+                continue;
+            };
+            for (leaf, cols) in units {
+                if cols.is_disjoint(changed) {
+                    continue;
+                }
+                match &mut self.store.get_mut(inst).prims[leaf] {
+                    PrimInst::Unit(u) => *u = t_new.project(cols),
+                    PrimInst::Map(_) => unreachable!("unit leaf expected"),
+                }
+            }
+        }
+    }
+
+    /// Locates the instance of `node` on `t`'s path via the canonical root
+    /// path.
+    fn locate(&self, node: NodeId, t: &Tuple) -> Option<InstanceRef> {
+        let mut inst = self.root;
+        for &e in &self.layout.path_of_node[node.index()] {
+            let edge = self.d.edge(e);
+            let ekey = t.key_for(edge.key);
+            inst = self
+                .store
+                .cont_get(inst, self.layout.leaf_of_edge[e.index()], &ekey)?;
+        }
+        Some(inst)
+    }
+
+    /// The abstraction function α: the reference [`Relation`] this instance
+    /// represents (§3.2). Intended for tests and debugging — linear in the
+    /// relation's size.
+    pub fn to_relation(&self) -> Relation {
+        let mut memo = HashMap::new();
+        alpha::alpha_node(&self.store, &self.d, self.d.root(), self.root, &mut memo)
+    }
+
+    /// Deep well-formedness validation (Fig. 5) plus implementation
+    /// invariants (reference counts, reachability, length bookkeeping,
+    /// functional dependencies). Expensive; for tests and debugging.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        alpha::validate(&self.store, &self.d, &self.layout, self.root)?;
+        let rel = self.to_relation();
+        if rel.len() != self.len {
+            return Err(format!(
+                "length bookkeeping: α has {} tuples, len() says {}",
+                rel.len(),
+                self.len
+            ));
+        }
+        if !self.spec.fds().holds_on(&rel) {
+            return Err("represented relation violates the specification's FDs".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relic_decomp::parse;
+    use relic_spec::Value;
+
+    fn scheduler() -> (Catalog, SynthRelation) {
+        let mut cat = Catalog::new();
+        let d = parse(
+            &mut cat,
+            "let w : {ns,pid,state} . {cpu} = unit {cpu} in
+             let y : {ns} . {pid,cpu} = {pid} -[htable]-> w in
+             let z : {state} . {ns,pid,cpu} = {ns,pid} -[ilist]-> w in
+             let x : {} . {ns,pid,state,cpu} =
+               ({ns} -[htable]-> y) join ({state} -[vec]-> z) in x",
+        )
+        .unwrap();
+        let spec = RelSpec::new(cat.all()).with_fd(
+            cat.col("ns").unwrap() | cat.col("pid").unwrap(),
+            cat.col("state").unwrap() | cat.col("cpu").unwrap(),
+        );
+        let r = SynthRelation::new(&cat, spec, d).unwrap();
+        (cat, r)
+    }
+
+    fn proc(cat: &Catalog, ns: i64, pid: i64, state: &str, cpu: i64) -> Tuple {
+        Tuple::from_pairs([
+            (cat.col("ns").unwrap(), Value::from(ns)),
+            (cat.col("pid").unwrap(), Value::from(pid)),
+            (cat.col("state").unwrap(), Value::from(state)),
+            (cat.col("cpu").unwrap(), Value::from(cpu)),
+        ])
+    }
+
+    fn rs(cat: &Catalog, r: &mut SynthRelation) {
+        // The paper's example relation r_s (Equation 1).
+        r.insert(proc(cat, 1, 1, "S", 7)).unwrap();
+        r.insert(proc(cat, 1, 2, "R", 4)).unwrap();
+        r.insert(proc(cat, 2, 1, "S", 5)).unwrap();
+    }
+
+    #[test]
+    fn empty_relation_is_well_formed() {
+        let (_, r) = scheduler();
+        assert!(r.is_empty());
+        r.validate().unwrap();
+        assert_eq!(r.to_relation().len(), 0);
+    }
+
+    #[test]
+    fn paper_example_inserts_and_queries() {
+        let (cat, mut r) = scheduler();
+        rs(&cat, &mut r);
+        assert_eq!(r.len(), 3);
+        r.validate().unwrap();
+        let state = cat.col("state").unwrap();
+        let ns = cat.col("ns").unwrap();
+        let pid = cat.col("pid").unwrap();
+        let cpu = cat.col("cpu").unwrap();
+        // Sleeping processes: (1,1) and (2,1).
+        let sleeping = r
+            .query(&Tuple::from_pairs([(state, Value::from("S"))]), ns | pid)
+            .unwrap();
+        assert_eq!(sleeping.len(), 2);
+        // Point query.
+        let got = r
+            .query(
+                &Tuple::from_pairs([(ns, Value::from(1)), (pid, Value::from(2))]),
+                state | cpu,
+            )
+            .unwrap();
+        assert_eq!(
+            got,
+            vec![Tuple::from_pairs([
+                (state, Value::from("R")),
+                (cpu, Value::from(4))
+            ])]
+        );
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let (cat, mut r) = scheduler();
+        rs(&cat, &mut r);
+        assert!(!r.insert(proc(&cat, 1, 1, "S", 7)).unwrap());
+        assert_eq!(r.len(), 3);
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn fd_violation_detected() {
+        let (cat, mut r) = scheduler();
+        rs(&cat, &mut r);
+        let err = r.insert(proc(&cat, 1, 1, "R", 9)).unwrap_err();
+        assert!(matches!(err, OpError::FdViolation { .. }));
+        assert_eq!(r.len(), 3);
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn update_in_place_cpu() {
+        let (cat, mut r) = scheduler();
+        rs(&cat, &mut r);
+        let ns = cat.col("ns").unwrap();
+        let pid = cat.col("pid").unwrap();
+        let cpu = cat.col("cpu").unwrap();
+        let ok = r
+            .update(
+                &Tuple::from_pairs([(ns, Value::from(1)), (pid, Value::from(1))]),
+                &Tuple::from_pairs([(cpu, Value::from(99))]),
+            )
+            .unwrap();
+        assert!(ok);
+        r.validate().unwrap();
+        let got = r
+            .query(
+                &Tuple::from_pairs([(ns, Value::from(1)), (pid, Value::from(1))]),
+                cpu.into(),
+            )
+            .unwrap();
+        assert_eq!(got, vec![Tuple::from_pairs([(cpu, Value::from(99))])]);
+    }
+
+    #[test]
+    fn update_structural_state_change() {
+        // Marking process (1,2) sleeping moves it between the z-lists.
+        let (cat, mut r) = scheduler();
+        rs(&cat, &mut r);
+        let ns = cat.col("ns").unwrap();
+        let pid = cat.col("pid").unwrap();
+        let state = cat.col("state").unwrap();
+        r.update(
+            &Tuple::from_pairs([(ns, Value::from(1)), (pid, Value::from(2))]),
+            &Tuple::from_pairs([(state, Value::from("S"))]),
+        )
+        .unwrap();
+        r.validate().unwrap();
+        let sleeping = r
+            .query(
+                &Tuple::from_pairs([(state, Value::from("S"))]),
+                ns | pid,
+            )
+            .unwrap();
+        assert_eq!(sleeping.len(), 3);
+        let running = r
+            .query(
+                &Tuple::from_pairs([(state, Value::from("R"))]),
+                ns | pid,
+            )
+            .unwrap();
+        assert!(running.is_empty());
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn remove_by_key() {
+        let (cat, mut r) = scheduler();
+        rs(&cat, &mut r);
+        let ns = cat.col("ns").unwrap();
+        let pid = cat.col("pid").unwrap();
+        let n = r
+            .remove(&Tuple::from_pairs([(ns, Value::from(2)), (pid, Value::from(1))]))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(r.len(), 2);
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn remove_by_partial_pattern() {
+        let (cat, mut r) = scheduler();
+        rs(&cat, &mut r);
+        let ns = cat.col("ns").unwrap();
+        let n = r.remove(&Tuple::from_pairs([(ns, Value::from(1))])).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(r.len(), 1);
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn remove_by_state_pattern_uses_state_cut() {
+        let (cat, mut r) = scheduler();
+        rs(&cat, &mut r);
+        let state = cat.col("state").unwrap();
+        let n = r
+            .remove(&Tuple::from_pairs([(state, Value::from("S"))]))
+            .unwrap();
+        assert_eq!(n, 2);
+        r.validate().unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn remove_everything_with_empty_pattern() {
+        let (cat, mut r) = scheduler();
+        rs(&cat, &mut r);
+        let n = r.remove(&Tuple::empty()).unwrap();
+        assert_eq!(n, 3);
+        assert!(r.is_empty());
+        r.validate().unwrap();
+        // The relation remains usable.
+        r.insert(proc(&cat, 5, 5, "R", 1)).unwrap();
+        assert_eq!(r.len(), 1);
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn reinsertion_after_removal() {
+        let (cat, mut r) = scheduler();
+        rs(&cat, &mut r);
+        let ns = cat.col("ns").unwrap();
+        let pid = cat.col("pid").unwrap();
+        r.remove(&Tuple::from_pairs([(ns, Value::from(1)), (pid, Value::from(2))]))
+            .unwrap();
+        r.insert(proc(&cat, 1, 2, "S", 11)).unwrap();
+        r.validate().unwrap();
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn matches_reference_relation() {
+        let (cat, mut r) = scheduler();
+        rs(&cat, &mut r);
+        let mut reference = Relation::empty(cat.all());
+        reference.insert(proc(&cat, 1, 1, "S", 7));
+        reference.insert(proc(&cat, 1, 2, "R", 4));
+        reference.insert(proc(&cat, 2, 1, "S", 5));
+        assert_eq!(r.to_relation(), reference);
+    }
+
+    #[test]
+    fn update_rejects_non_key_and_overlap() {
+        let (cat, mut r) = scheduler();
+        rs(&cat, &mut r);
+        let ns = cat.col("ns").unwrap();
+        let pid = cat.col("pid").unwrap();
+        let cpu = cat.col("cpu").unwrap();
+        let err = r
+            .update(
+                &Tuple::from_pairs([(ns, Value::from(1))]),
+                &Tuple::from_pairs([(cpu, Value::from(0))]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, OpError::PatternNotKey { .. }));
+        let err = r
+            .update(
+                &Tuple::from_pairs([(ns, Value::from(1)), (pid, Value::from(1))]),
+                &Tuple::from_pairs([(pid, Value::from(9))]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, OpError::UpdateOverlapsPattern { .. }));
+    }
+
+    #[test]
+    fn update_missing_tuple_returns_false() {
+        let (cat, mut r) = scheduler();
+        rs(&cat, &mut r);
+        let ns = cat.col("ns").unwrap();
+        let pid = cat.col("pid").unwrap();
+        let cpu = cat.col("cpu").unwrap();
+        let ok = r
+            .update(
+                &Tuple::from_pairs([(ns, Value::from(9)), (pid, Value::from(9))]),
+                &Tuple::from_pairs([(cpu, Value::from(1))]),
+            )
+            .unwrap();
+        assert!(!ok);
+    }
+
+    #[test]
+    fn foreign_columns_rejected() {
+        let (mut cat, mut r) = scheduler();
+        rs(&cat, &mut r);
+        let alien = cat.intern("alien");
+        let t = Tuple::from_pairs([(alien, Value::from(1))]);
+        assert!(matches!(
+            r.query(&t, alien.into()),
+            Err(OpError::ForeignColumns { .. })
+        ));
+        assert!(matches!(
+            r.remove(&t),
+            Err(OpError::ForeignColumns { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_node_is_physically_shared() {
+        let (cat, mut r) = scheduler();
+        rs(&cat, &mut r);
+        // 3 tuples: instances = 1 root + 2 y (ns 1,2) + 2 z (S,R) + 3 w.
+        assert_eq!(r.instance_count(), 8);
+        let _ = cat;
+    }
+
+    #[test]
+    fn plan_cache_and_inspection() {
+        let (cat, mut r) = scheduler();
+        rs(&cat, &mut r);
+        let ns = cat.col("ns").unwrap();
+        let pid = cat.col("pid").unwrap();
+        let cpu = cat.col("cpu").unwrap();
+        let plan = r.plan_for(ns | pid, cpu.into()).unwrap();
+        assert_eq!(plan, "qlr(qlookup(qlookup(qunit)), left)");
+        // Re-planning with observed fan-outs keeps answers identical.
+        let observed = r.observed_cost_model();
+        r.set_cost_model(observed);
+        let got = r
+            .query(
+                &Tuple::from_pairs([(ns, Value::from(1)), (pid, Value::from(1))]),
+                cpu.into(),
+            )
+            .unwrap();
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn len_and_instance_accounting_after_churn() {
+        let (cat, mut r) = scheduler();
+        for i in 0..50 {
+            r.insert(proc(&cat, i % 5, i, if i % 2 == 0 { "S" } else { "R" }, i))
+                .unwrap();
+        }
+        assert_eq!(r.len(), 50);
+        r.validate().unwrap();
+        let ns = cat.col("ns").unwrap();
+        for i in 0..5 {
+            r.remove(&Tuple::from_pairs([(ns, Value::from(i))])).unwrap();
+        }
+        assert!(r.is_empty());
+        r.validate().unwrap();
+    }
+}

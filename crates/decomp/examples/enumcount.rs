@@ -1,0 +1,16 @@
+use relic_decomp::{enumerate_shapes, EnumerateOptions};
+use relic_spec::{Catalog, RelSpec};
+fn main() {
+    let mut cat = Catalog::new();
+    let src = cat.intern("src");
+    let dst = cat.intern("dst");
+    let weight = cat.intern("weight");
+    let spec = RelSpec::new(src | dst | weight).with_fd(src | dst, weight.into());
+    for max in 1..=4 {
+        for br in [2usize, 3, 4] {
+            let n = enumerate_shapes(&spec, &EnumerateOptions { max_edges: max, max_branches: br, ..Default::default() }).len();
+            print!("edges<={max} branches<={br}: {n}   ");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,349 @@
+//! The adequacy judgment of Fig. 6.
+//!
+//! A decomposition `dˆ` is *adequate* for relations with columns `C`
+//! satisfying FDs `∆` when `·; ∅ ⊢a,∆ dˆ; C` is derivable. Adequacy is a
+//! sufficient condition for the decomposition to represent **every** relation
+//! conforming to the specification (Lemma 1); the runtime refuses to
+//! instantiate inadequate decompositions.
+
+use crate::{AdequacyError, Body, Decomposition, NodeId};
+use relic_spec::{ColSet, RelSpec};
+
+/// Checks `·; ∅ ⊢a,∆ dˆ; C` for the given decomposition and specification.
+///
+/// The implementation walks nodes in let order (rule (ALET)), checking each
+/// node's body under its bound context (rules (AUNIT)/(AMAP)/(AJOIN)) and
+/// finally checks the root (rule (AVAR)).
+///
+/// # Errors
+///
+/// Returns the first rule violation found, naming the offending nodes and
+/// column sets (see [`AdequacyError`]).
+pub fn check_adequacy(d: &Decomposition, spec: &RelSpec) -> Result<(), AdequacyError> {
+    // All mentioned columns must belong to the specification.
+    let mut mentioned = ColSet::EMPTY;
+    for (_, n) in d.nodes() {
+        mentioned = mentioned | n.bound | n.cols;
+    }
+    if !mentioned.is_subset(spec.cols()) {
+        return Err(AdequacyError::ForeignColumns {
+            cols: mentioned - spec.cols(),
+        });
+    }
+
+    // (ALET): check each binding in order.
+    for (id, node) in d.nodes() {
+        check_body(d, spec, id, &node.body, node.bound)?;
+    }
+
+    // (AVAR): the root must be bound by ∅ (enforced structurally by the
+    // builder) and must represent exactly the relation's columns.
+    let root = d.node(d.root());
+    if root.cols != spec.cols() {
+        return Err(AdequacyError::WrongColumns {
+            expected: spec.cols(),
+            actual: root.cols,
+        });
+    }
+    Ok(())
+}
+
+/// Checks `Σ; A ⊢a,∆ pˆ; B`, returning the represented columns `B`.
+fn check_body(
+    d: &Decomposition,
+    spec: &RelSpec,
+    node: NodeId,
+    body: &Body,
+    context: ColSet,
+) -> Result<ColSet, AdequacyError> {
+    let fds = spec.fds();
+    match body {
+        // (AUNIT): A ≠ ∅ and ∆ ⊢ A → C.
+        Body::Unit(c) => {
+            if context.is_empty() {
+                return Err(AdequacyError::UnitAtRoot {
+                    node: d.node(node).name.clone(),
+                });
+            }
+            if !fds.implies(context, *c) {
+                return Err(AdequacyError::UnitNotDetermined {
+                    node: d.node(node).name.clone(),
+                    context,
+                    unit: *c,
+                });
+            }
+            Ok(*c)
+        }
+        // (AMAP): with (v: A ▷ D) ∈ Σ, require ∆ ⊢ B ∪ C → A and A ⊇ B ∪ C.
+        Body::Map(eid) => {
+            let e = d.edge(*eid);
+            let target = d.node(e.to);
+            let path = context | e.key;
+            if !fds.implies(path, target.bound) {
+                return Err(AdequacyError::MapNotDetermined {
+                    node: d.node(node).name.clone(),
+                    target: target.name.clone(),
+                    from: path,
+                    to: target.bound,
+                });
+            }
+            if !path.is_subset(target.bound) {
+                return Err(AdequacyError::MapBindingTooNarrow {
+                    node: d.node(node).name.clone(),
+                    target: target.name.clone(),
+                    path,
+                    to: target.bound,
+                });
+            }
+            Ok(e.key | target.cols)
+        }
+        // (AJOIN): ∆ ⊢ A ∪ (B ∩ C) → B ⊖ C.
+        Body::Join(l, r) => {
+            let b = check_body(d, spec, node, l, context)?;
+            let c = check_body(d, spec, node, r, context)?;
+            let premise = context | (b & c);
+            let anomaly = b.symmetric_difference(c);
+            if !fds.implies(premise, anomaly) {
+                return Err(AdequacyError::JoinAmbiguous {
+                    node: d.node(node).name.clone(),
+                    left: b,
+                    right: c,
+                });
+            }
+            Ok(b | c)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DecompBuilder, DsKind, Prim};
+    use relic_spec::{Catalog, ColId};
+
+    struct Sched {
+        ns: ColId,
+        pid: ColId,
+        state: ColId,
+        cpu: ColId,
+    }
+
+    fn sched() -> Sched {
+        let mut cat = Catalog::new();
+        let ns = cat.intern("ns");
+        let pid = cat.intern("pid");
+        let state = cat.intern("state");
+        let cpu = cat.intern("cpu");
+        Sched {
+            ns,
+            pid,
+            state,
+            cpu,
+        }
+    }
+
+    fn sched_spec(s: &Sched) -> RelSpec {
+        RelSpec::new(s.ns | s.pid | s.state | s.cpu).with_fd(s.ns | s.pid, s.state | s.cpu)
+    }
+
+    fn paper_decomposition(s: &Sched) -> Decomposition {
+        let mut b = DecompBuilder::new();
+        let w = b
+            .node("w", s.ns | s.pid | s.state, Prim::Unit(s.cpu.into()))
+            .unwrap();
+        let y = b
+            .node("y", s.ns.into(), Prim::Map(s.pid.into(), DsKind::HashTable, w))
+            .unwrap();
+        let z = b
+            .node(
+                "z",
+                s.state.into(),
+                Prim::Map(s.ns | s.pid, DsKind::DList, w),
+            )
+            .unwrap();
+        b.node(
+            "x",
+            ColSet::EMPTY,
+            Prim::join(
+                Prim::Map(s.ns.into(), DsKind::HashTable, y),
+                Prim::Map(s.state.into(), DsKind::AssocVec, z),
+            ),
+        )
+        .unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn paper_decomposition_is_adequate() {
+        let s = sched();
+        let d = paper_decomposition(&s);
+        check_adequacy(&d, &sched_spec(&s)).unwrap();
+    }
+
+    #[test]
+    fn adequacy_requires_fd() {
+        // Without ns,pid → state,cpu the shared node w is no longer
+        // determined by either access path, and the unit fails (AUNIT).
+        let s = sched();
+        let d = paper_decomposition(&s);
+        let no_fds = RelSpec::new(s.ns | s.pid | s.state | s.cpu);
+        let err = check_adequacy(&d, &no_fds).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AdequacyError::UnitNotDetermined { .. } | AdequacyError::MapNotDetermined { .. }
+            ),
+            "unexpected error {err:?}"
+        );
+    }
+
+    #[test]
+    fn unit_at_root_rejected() {
+        // A root-level unit cannot represent the empty relation.
+        let s = sched();
+        let mut b = DecompBuilder::new();
+        b.node(
+            "x",
+            ColSet::EMPTY,
+            Prim::Unit(s.ns | s.pid | s.state | s.cpu),
+        )
+        .unwrap();
+        let d = b.finish().unwrap();
+        let err = check_adequacy(&d, &sched_spec(&s)).unwrap_err();
+        assert!(matches!(err, AdequacyError::UnitAtRoot { .. }));
+    }
+
+    #[test]
+    fn missing_columns_rejected() {
+        // A decomposition that never stores `cpu`.
+        let s = sched();
+        let mut b = DecompBuilder::new();
+        let w = b
+            .node("w", s.ns | s.pid, Prim::Unit(s.state.into()))
+            .unwrap();
+        b.node(
+            "x",
+            ColSet::EMPTY,
+            Prim::Map(s.ns | s.pid, DsKind::HashTable, w),
+        )
+        .unwrap();
+        let d = b.finish().unwrap();
+        let err = check_adequacy(&d, &sched_spec(&s)).unwrap_err();
+        assert!(matches!(err, AdequacyError::WrongColumns { .. }));
+    }
+
+    #[test]
+    fn join_without_matching_fd_rejected() {
+        // Splitting {a, b} into two independent maps loses the association
+        // between a and b unless one determines the other.
+        let mut cat = Catalog::new();
+        let a = cat.intern("a");
+        let b_ = cat.intern("b");
+        let spec = RelSpec::new(a | b_); // no FDs
+        let mut bld = DecompBuilder::new();
+        let ua = bld.node("ua", a.into(), Prim::Unit(ColSet::EMPTY)).unwrap();
+        let ub = bld.node("ub", b_.into(), Prim::Unit(ColSet::EMPTY)).unwrap();
+        bld.node(
+            "x",
+            ColSet::EMPTY,
+            Prim::join(
+                Prim::Map(a.into(), DsKind::HashTable, ua),
+                Prim::Map(b_.into(), DsKind::HashTable, ub),
+            ),
+        )
+        .unwrap();
+        let d = bld.finish().unwrap();
+        let err = check_adequacy(&d, &spec).unwrap_err();
+        assert!(matches!(err, AdequacyError::JoinAmbiguous { .. }));
+    }
+
+    #[test]
+    fn join_with_key_overlap_accepted() {
+        // The graph join decomposition: both branches bind {src, dst}, so the
+        // symmetric difference is determined trivially.
+        let mut cat = Catalog::new();
+        let src = cat.intern("src");
+        let dst = cat.intern("dst");
+        let weight = cat.intern("weight");
+        let spec = RelSpec::new(src | dst | weight).with_fd(src | dst, weight.into());
+        let mut bld = DecompBuilder::new();
+        let l = bld
+            .node("l", src | dst, Prim::Unit(weight.into()))
+            .unwrap();
+        let r = bld
+            .node("r", src | dst, Prim::Unit(weight.into()))
+            .unwrap();
+        let y = bld
+            .node("y", src.into(), Prim::Map(dst.into(), DsKind::HashTable, l))
+            .unwrap();
+        let z = bld
+            .node("z", dst.into(), Prim::Map(src.into(), DsKind::HashTable, r))
+            .unwrap();
+        bld.node(
+            "x",
+            ColSet::EMPTY,
+            Prim::join(
+                Prim::Map(src.into(), DsKind::HashTable, y),
+                Prim::Map(dst.into(), DsKind::HashTable, z),
+            ),
+        )
+        .unwrap();
+        let d = bld.finish().unwrap();
+        check_adequacy(&d, &spec).unwrap();
+    }
+
+    #[test]
+    fn shared_node_requires_path_determinacy() {
+        // Sharing w between a {ns}-path and a {state}-path is only adequate
+        // because ns,pid → state holds; dropping state from w's binding is a
+        // structural error, but weakening the FD to ns,pid → cpu only should
+        // break (AMAP)/(AUNIT).
+        let s = sched();
+        let d = paper_decomposition(&s);
+        let weak = RelSpec::new(s.ns | s.pid | s.state | s.cpu).with_fd(s.ns | s.pid, s.cpu.into());
+        assert!(check_adequacy(&d, &weak).is_err());
+    }
+
+    #[test]
+    fn foreign_columns_rejected() {
+        let s = sched();
+        let d = paper_decomposition(&s);
+        // Specification missing `cpu` entirely.
+        let narrow = RelSpec::new(s.ns | s.pid | s.state);
+        let err = check_adequacy(&d, &narrow).unwrap_err();
+        assert!(matches!(err, AdequacyError::ForeignColumns { .. }));
+    }
+
+    #[test]
+    fn chain_decomposition_adequate_for_graph() {
+        // Fig. 12 decomposition 1.
+        let mut cat = Catalog::new();
+        let src = cat.intern("src");
+        let dst = cat.intern("dst");
+        let weight = cat.intern("weight");
+        let spec = RelSpec::new(src | dst | weight).with_fd(src | dst, weight.into());
+        let mut bld = DecompBuilder::new();
+        let z = bld.node("z", src | dst, Prim::Unit(weight.into())).unwrap();
+        let y = bld
+            .node("y", src.into(), Prim::Map(dst.into(), DsKind::AvlTree, z))
+            .unwrap();
+        bld.node("x", ColSet::EMPTY, Prim::Map(src.into(), DsKind::AvlTree, y))
+            .unwrap();
+        let d = bld.finish().unwrap();
+        check_adequacy(&d, &spec).unwrap();
+    }
+
+    #[test]
+    fn empty_unit_leaf_makes_sets_representable() {
+        // A set relation {id} as id -> unit {}.
+        let mut cat = Catalog::new();
+        let id = cat.intern("id");
+        let spec = RelSpec::new(id.into());
+        let mut bld = DecompBuilder::new();
+        let u = bld.node("u", id.into(), Prim::Unit(ColSet::EMPTY)).unwrap();
+        bld.node("x", ColSet::EMPTY, Prim::Map(id.into(), DsKind::HashTable, u))
+            .unwrap();
+        let d = bld.finish().unwrap();
+        check_adequacy(&d, &spec).unwrap();
+    }
+}

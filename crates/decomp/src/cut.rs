@@ -1,0 +1,159 @@
+//! Decomposition cuts (paper §4.5).
+//!
+//! Given a tuple pattern with domain `C`, a *cut* partitions the nodes of a
+//! decomposition into `X` (nodes that may represent tuples **not** matching
+//! the pattern) and `Y` (nodes that can only represent matching tuples):
+//! `v ∈ Y ⟺ ∆ ⊢fd B_v → C`. Removal breaks exactly the edges crossing from
+//! `X` into `Y`; everything below becomes unreachable and is reclaimed.
+
+use crate::{Decomposition, EdgeId, NodeId};
+use relic_spec::{ColSet, FdSet};
+
+/// The cut of a decomposition for a pattern domain (paper Fig. 10).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cut {
+    /// The pattern columns `C` the cut was computed for.
+    pub cols: ColSet,
+    /// `below[v]` is true iff node `v ∈ Y` (only represents matching tuples).
+    pub below: Vec<bool>,
+    /// The edges crossing from `X` to `Y`, in edge order.
+    pub crossing: Vec<EdgeId>,
+}
+
+impl Cut {
+    /// Is node `v` below the cut (in `Y`)?
+    pub fn is_below(&self, v: NodeId) -> bool {
+        self.below[v.index()]
+    }
+}
+
+/// Computes the cut of `d` for pattern columns `cols` under dependencies
+/// `fds`.
+///
+/// The cut always exists and is unique (a consequence of adequacy, per the
+/// paper); for structurally valid decompositions no edge points from `Y`
+/// back into `X`, which this function asserts in debug builds.
+pub fn cut(d: &Decomposition, fds: &FdSet, cols: ColSet) -> Cut {
+    let below: Vec<bool> = d
+        .nodes()
+        .map(|(_, n)| cols.is_subset(fds.closure(n.bound)))
+        .collect();
+    let mut crossing = Vec::new();
+    for (id, e) in d.edges() {
+        let from_below = below[e.from.index()];
+        let to_below = below[e.to.index()];
+        debug_assert!(
+            !from_below || to_below,
+            "cut direction violated: edge from Y into X"
+        );
+        if !from_below && to_below {
+            crossing.push(id);
+        }
+    }
+    Cut {
+        cols,
+        below,
+        crossing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DecompBuilder, DsKind, Prim};
+    use relic_spec::{Catalog, ColId, RelSpec};
+
+    fn scheduler() -> (Catalog, RelSpec, Decomposition, [ColId; 4]) {
+        let mut cat = Catalog::new();
+        let ns = cat.intern("ns");
+        let pid = cat.intern("pid");
+        let state = cat.intern("state");
+        let cpu = cat.intern("cpu");
+        let spec = RelSpec::new(ns | pid | state | cpu).with_fd(ns | pid, state | cpu);
+        let mut b = DecompBuilder::new();
+        let w = b.node("w", ns | pid | state, Prim::Unit(cpu.into())).unwrap();
+        let y = b
+            .node("y", ns.into(), Prim::Map(pid.into(), DsKind::HashTable, w))
+            .unwrap();
+        let z = b
+            .node("z", state.into(), Prim::Map(ns | pid, DsKind::DList, w))
+            .unwrap();
+        b.node(
+            "x",
+            ColSet::EMPTY,
+            Prim::join(
+                Prim::Map(ns.into(), DsKind::HashTable, y),
+                Prim::Map(state.into(), DsKind::AssocVec, z),
+            ),
+        )
+        .unwrap();
+        (cat, spec, b.finish().unwrap(), [ns, pid, state, cpu])
+    }
+
+    #[test]
+    fn fig10a_cut_for_ns_pid() {
+        // Fig. 10(a): cutting on {ns, pid} puts only w below the cut; both
+        // edges into w cross.
+        let (_, spec, d, [ns, pid, _, _]) = scheduler();
+        let c = cut(&d, spec.fds(), ns | pid);
+        let w = d.node_by_name("w").unwrap();
+        let x = d.node_by_name("x").unwrap();
+        let y = d.node_by_name("y").unwrap();
+        let z = d.node_by_name("z").unwrap();
+        assert!(c.is_below(w));
+        assert!(!c.is_below(x) && !c.is_below(y) && !c.is_below(z));
+        assert_eq!(c.crossing.len(), 2);
+        for e in &c.crossing {
+            assert_eq!(d.edge(*e).to, w);
+        }
+    }
+
+    #[test]
+    fn fig10b_cut_for_state() {
+        // Fig. 10(b): cutting on {state} puts z and w below the cut; the
+        // crossing edges are x→z and y→w.
+        let (_, spec, d, [_, _, state, _]) = scheduler();
+        let c = cut(&d, spec.fds(), state.into());
+        let w = d.node_by_name("w").unwrap();
+        let z = d.node_by_name("z").unwrap();
+        let y = d.node_by_name("y").unwrap();
+        assert!(c.is_below(w) && c.is_below(z));
+        assert!(!c.is_below(y));
+        let crossing_targets: Vec<_> = c.crossing.iter().map(|e| d.edge(*e).to).collect();
+        assert!(crossing_targets.contains(&w));
+        assert!(crossing_targets.contains(&z));
+        assert_eq!(c.crossing.len(), 2);
+    }
+
+    #[test]
+    fn full_tuple_cut_only_excludes_root_region() {
+        let (_, spec, d, [ns, pid, state, cpu]) = scheduler();
+        let c = cut(&d, spec.fds(), ns | pid | state | cpu);
+        // Only w (bound {ns,pid,state} whose closure adds cpu) is below.
+        let w = d.node_by_name("w").unwrap();
+        assert!(c.is_below(w));
+        assert_eq!(c.below.iter().filter(|b| **b).count(), 1);
+    }
+
+    #[test]
+    fn empty_pattern_puts_everything_below() {
+        // Removing with an empty pattern clears the relation: every node's
+        // bound closure contains ∅, so all nodes (even the root) are in Y.
+        let (_, spec, d, _) = scheduler();
+        let c = cut(&d, spec.fds(), ColSet::EMPTY);
+        assert!(c.below.iter().all(|b| *b));
+        assert!(c.crossing.is_empty());
+    }
+
+    #[test]
+    fn closure_extends_cut_membership() {
+        // Cutting on {cpu}: w's bound {ns,pid,state} determines cpu via the
+        // FD, so w is below even though cpu ∉ B_w.
+        let (_, spec, d, [_, _, _, cpu]) = scheduler();
+        let c = cut(&d, spec.fds(), cpu.into());
+        let w = d.node_by_name("w").unwrap();
+        assert!(c.is_below(w));
+        let x = d.node_by_name("x").unwrap();
+        assert!(!c.is_below(x));
+    }
+}

@@ -1,0 +1,122 @@
+//! Primitive data-structure kinds available to map edges.
+
+use std::fmt;
+
+/// The data structure `ψ` implementing a map edge `C -[ψ]-> v`.
+///
+/// The set is extensible in principle (the paper wraps STL/Boost containers);
+/// here it enumerates the containers of `relic-containers` plus the intrusive
+/// list implemented by the runtime. Each kind carries the cost shape
+/// `m_ψ(n)` used by the query planner (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DsKind {
+    /// Separate-chaining hash table: expected O(1) lookup.
+    HashTable,
+    /// AVL tree: O(log n) lookup, ordered iteration.
+    AvlTree,
+    /// Sorted vector: O(log n) lookup, O(n) mutation.
+    SortedVec,
+    /// Unsorted association vector: O(n) everything, tiny constants.
+    AssocVec,
+    /// Non-intrusive doubly-linked list: O(n) lookup, O(1) insert.
+    DList,
+    /// Intrusive doubly-linked list: links live in the child instances, so
+    /// the runtime can unlink a child in O(1) given only its handle
+    /// (cf. `boost::intrusive::list` in the paper's Fig. 12 discussion).
+    IntrusiveList,
+}
+
+impl DsKind {
+    /// All kinds, in display order.
+    pub const ALL: [DsKind; 6] = [
+        DsKind::HashTable,
+        DsKind::AvlTree,
+        DsKind::SortedVec,
+        DsKind::AssocVec,
+        DsKind::DList,
+        DsKind::IntrusiveList,
+    ];
+
+    /// The concrete-syntax name (`-[name]->`).
+    pub fn name(self) -> &'static str {
+        match self {
+            DsKind::HashTable => "htable",
+            DsKind::AvlTree => "avl",
+            DsKind::SortedVec => "sortedvec",
+            DsKind::AssocVec => "vec",
+            DsKind::DList => "dlist",
+            DsKind::IntrusiveList => "ilist",
+        }
+    }
+
+    /// Parses a concrete-syntax name.
+    pub fn from_name(s: &str) -> Option<DsKind> {
+        DsKind::ALL.iter().copied().find(|d| d.name() == s)
+    }
+
+    /// The expected number of memory accesses to look up a key among `n`
+    /// entries — the paper's `m_ψ(n)` (§4.3). `m_btree(n) = log₂ n`,
+    /// `m_dlist(n) = n`, hash tables are treated as a small constant.
+    pub fn lookup_cost(self, n: f64) -> f64 {
+        let n = n.max(1.0);
+        match self {
+            DsKind::HashTable => 1.5,
+            DsKind::AvlTree | DsKind::SortedVec => n.log2().max(1.0),
+            DsKind::AssocVec => (n / 2.0).max(1.0),
+            DsKind::DList | DsKind::IntrusiveList => n,
+        }
+    }
+
+    /// Whether links are stored in the child instances (enabling O(1)
+    /// unlink-by-handle during removal).
+    pub fn is_intrusive(self) -> bool {
+        matches!(self, DsKind::IntrusiveList)
+    }
+
+    /// Whether iteration yields keys in sorted order.
+    pub fn is_ordered(self) -> bool {
+        matches!(self, DsKind::AvlTree | DsKind::SortedVec)
+    }
+}
+
+impl fmt::Display for DsKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for d in DsKind::ALL {
+            assert_eq!(DsKind::from_name(d.name()), Some(d));
+        }
+        assert_eq!(DsKind::from_name("zipper"), None);
+    }
+
+    #[test]
+    fn cost_shapes() {
+        // Hash lookup is flat; list lookup is linear; tree is logarithmic.
+        assert_eq!(
+            DsKind::HashTable.lookup_cost(10.0),
+            DsKind::HashTable.lookup_cost(10_000.0)
+        );
+        assert!(DsKind::DList.lookup_cost(1000.0) > DsKind::AvlTree.lookup_cost(1000.0));
+        assert!(DsKind::AvlTree.lookup_cost(1000.0) > DsKind::HashTable.lookup_cost(1000.0));
+        // Costs are at least one access, even for tiny n.
+        for d in DsKind::ALL {
+            assert!(d.lookup_cost(0.0) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn intrusive_flags() {
+        assert!(DsKind::IntrusiveList.is_intrusive());
+        assert!(!DsKind::DList.is_intrusive());
+        assert!(DsKind::AvlTree.is_ordered());
+        assert!(!DsKind::HashTable.is_ordered());
+    }
+}

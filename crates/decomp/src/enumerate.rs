@@ -1,0 +1,626 @@
+//! Exhaustive enumeration of adequate decompositions (paper §5).
+//!
+//! The autotuner "exhaustively constructs all decompositions for [a] relation
+//! up to a given bound on the number of edges". We enumerate in three stages:
+//!
+//! 1. **Tree shapes.** Every node body is either `unit C` (all remaining
+//!    columns) or a multiset of map branches (a join when there is more than
+//!    one). Branch keys and per-branch column coverage range over all
+//!    subsets; canonical branch ordering avoids permutation duplicates.
+//! 2. **Sharing.** For every tree, nodes with structurally identical subtrees
+//!    form merge classes; every subset of classes is merged, yielding DAGs
+//!    with shared nodes (e.g. Fig. 12's decomposition 5 vs 9).
+//! 3. **Filtering.** Every candidate is run through the real adequacy checker
+//!    ([`crate::check_adequacy`]) and deduplicated by canonical form; only
+//!    adequate decompositions survive.
+//!
+//! Data-structure assignment is a separate, final stage
+//! ([`enumerate_decompositions`]): the cartesian product of a palette over
+//! the shape's edges, mirroring the paper's treatment of decompositions that
+//! are "isomorphic up to the choice of data structures" as one shape.
+
+use crate::{check_adequacy, Body, DecompBuilder, Decomposition, DsKind, EdgeId, NodeId, Prim};
+use relic_spec::{ColId, ColSet, FdSet, RelSpec};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Options controlling enumeration.
+#[derive(Debug, Clone)]
+pub struct EnumerateOptions {
+    /// Maximum number of map edges (the paper's decomposition "size").
+    pub max_edges: usize,
+    /// Maximum number of map branches joined in a single node body.
+    pub max_branches: usize,
+    /// Whether to enumerate shared-node variants (stage 2).
+    pub sharing: bool,
+    /// Data-structure palette for [`enumerate_decompositions`]. Shapes are
+    /// expanded into every assignment of these kinds to their edges.
+    pub structures: Vec<DsKind>,
+}
+
+impl Default for EnumerateOptions {
+    fn default() -> Self {
+        EnumerateOptions {
+            max_edges: 4,
+            max_branches: 3,
+            sharing: true,
+            structures: vec![DsKind::HashTable],
+        }
+    }
+}
+
+fn bits(c: ColSet) -> u64 {
+    c.iter().fold(0u64, |a, c| a | (1u64 << c.index()))
+}
+
+fn unbits(b: u64) -> ColSet {
+    (0..64)
+        .filter(|i| b & (1u64 << i) != 0)
+        .map(ColId::from_index)
+        .collect()
+}
+
+/// A node subtree shape annotated with the columns it represents.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Shape {
+    /// Bitset of the columns this subtree represents.
+    cols: u64,
+    body: ShapeBody,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum ShapeBody {
+    /// `unit C` where `C` is the subtree's columns.
+    Unit,
+    /// A multiset of map branches `(key bits, child shape)`, kept sorted.
+    Branches(Vec<(u64, Shape)>),
+}
+
+fn shape_edges(s: &Shape) -> usize {
+    match &s.body {
+        ShapeBody::Unit => 0,
+        ShapeBody::Branches(bs) => bs.iter().map(|(_, c)| 1 + shape_edges(c)).sum(),
+    }
+}
+
+struct Gen<'a> {
+    fds: &'a FdSet,
+    max_branches: usize,
+    memo: HashMap<(u64, u64, usize), Vec<Shape>>,
+}
+
+impl<'a> Gen<'a> {
+    /// All shapes for a node with bound columns `bound` representing exactly
+    /// `need`, using at most `budget` edges.
+    fn node_shapes(&mut self, bound: ColSet, need: ColSet, budget: usize) -> Vec<Shape> {
+        let key = (bits(bound), bits(need), budget);
+        if let Some(s) = self.memo.get(&key) {
+            return s.clone();
+        }
+        let mut out: BTreeSet<Shape> = BTreeSet::new();
+        // unit: represent all remaining columns in place. Adequacy ((AUNIT))
+        // demands a non-empty bound context and ∆ ⊢ bound → need.
+        if !bound.is_empty() && self.fds.implies(bound, need) {
+            out.insert(Shape {
+                cols: bits(need),
+                body: ShapeBody::Unit,
+            });
+        }
+        if budget >= 1 && !need.is_empty() {
+            let mut acc = Vec::new();
+            self.branches(bound, need, ColSet::EMPTY, budget, None, &mut acc, &mut out);
+        }
+        let v: Vec<Shape> = out.into_iter().collect();
+        self.memo.insert(key, v.clone());
+        v
+    }
+
+    /// Recursively chooses the next branch `(key, child)` in non-decreasing
+    /// canonical order; emits a shape whenever accumulated branches cover
+    /// `need`.
+    #[allow(clippy::too_many_arguments)]
+    fn branches(
+        &mut self,
+        bound: ColSet,
+        need: ColSet,
+        covered: ColSet,
+        budget: usize,
+        min_branch: Option<&(u64, Shape)>,
+        acc: &mut Vec<(u64, Shape)>,
+        out: &mut BTreeSet<Shape>,
+    ) {
+        if !acc.is_empty() && covered == need {
+            out.insert(Shape {
+                cols: bits(need),
+                body: ShapeBody::Branches(acc.clone()),
+            });
+            // Note: branches with *redundant column coverage* are still
+            // enumerated below — a join of two access paths over the same
+            // columns (the paper's forward + backward graph indexes) changes
+            // the physical representation even though it adds no columns.
+        }
+        if acc.len() >= self.max_branches || budget == 0 {
+            return;
+        }
+        let need_bits = bits(need);
+        for kbits in 1..=need_bits {
+            if kbits & !need_bits != 0 {
+                continue;
+            }
+            let k = unbits(kbits);
+            let rest = need - k;
+            for d in rest.subsets() {
+                for child in self.node_shapes(bound | k, d, budget - 1) {
+                    let edges = 1 + shape_edges(&child);
+                    if edges > budget {
+                        continue;
+                    }
+                    let branch = (kbits, child);
+                    if let Some(min) = min_branch {
+                        // Strictly increasing branch order: canonical and
+                        // excludes exactly-duplicated branches.
+                        if &branch <= min {
+                            continue;
+                        }
+                    }
+                    acc.push(branch.clone());
+                    self.branches(
+                        bound,
+                        need,
+                        covered | k | d,
+                        budget - edges,
+                        Some(&branch),
+                        acc,
+                        out,
+                    );
+                    acc.pop();
+                }
+            }
+        }
+    }
+}
+
+/// Builds a (tree) [`Decomposition`] from a shape with every edge using `ds`.
+fn build_shape(shape: &Shape, ds: DsKind) -> Decomposition {
+    fn add(
+        b: &mut DecompBuilder,
+        shape: &Shape,
+        bound: ColSet,
+        ds: DsKind,
+        counter: &mut usize,
+    ) -> NodeId {
+        let prim = match &shape.body {
+            ShapeBody::Unit => Prim::Unit(unbits(shape.cols)),
+            ShapeBody::Branches(bs) => {
+                let mut prims: Vec<Prim> = Vec::new();
+                for (kbits, child) in bs {
+                    let k = unbits(*kbits);
+                    let target = add(b, child, bound | k, ds, counter);
+                    prims.push(Prim::Map(k, ds, target));
+                }
+                let mut it = prims.into_iter();
+                let first = it.next().unwrap();
+                it.fold(first, Prim::join)
+            }
+        };
+        let name = format!("n{}", *counter);
+        *counter += 1;
+        b.node(&name, bound, prim).expect("tree build cannot fail")
+    }
+    let mut b = DecompBuilder::new();
+    let mut counter = 0usize;
+    add(&mut b, shape, ColSet::EMPTY, ds, &mut counter);
+    b.finish().expect("enumerated trees are structurally valid")
+}
+
+/// Enumerates all adequate decomposition *shapes* (one representative per
+/// isomorphism class, all edges using `DsKind::HashTable`) with at most
+/// `opts.max_edges` map edges.
+///
+/// The result is deterministic: sorted by (edge count, canonical string).
+pub fn enumerate_shapes(spec: &RelSpec, opts: &EnumerateOptions) -> Vec<Decomposition> {
+    let mut gen = Gen {
+        fds: spec.fds(),
+        max_branches: opts.max_branches,
+        memo: HashMap::new(),
+    };
+    let shapes = gen.node_shapes(ColSet::EMPTY, spec.cols(), opts.max_edges);
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut out: Vec<Decomposition> = Vec::new();
+    for s in shapes {
+        let tree = build_shape(&s, DsKind::HashTable);
+        let mut candidates = vec![tree.clone()];
+        if opts.sharing {
+            candidates.extend(sharing_variants(&tree));
+        }
+        for d in candidates {
+            if check_adequacy(&d, spec).is_err() {
+                continue;
+            }
+            let canon = d.canonical_string(false);
+            if seen.insert(canon) {
+                out.push(d);
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        (a.edge_count(), a.canonical_string(false))
+            .cmp(&(b.edge_count(), b.canonical_string(false)))
+    });
+    out
+}
+
+/// Enumerates adequate decompositions with data structures assigned: every
+/// shape from [`enumerate_shapes`] expanded by the cartesian product of
+/// `opts.structures` over its edges.
+pub fn enumerate_decompositions(spec: &RelSpec, opts: &EnumerateOptions) -> Vec<Decomposition> {
+    let shapes = enumerate_shapes(spec, opts);
+    let palette = if opts.structures.is_empty() {
+        vec![DsKind::HashTable]
+    } else {
+        opts.structures.clone()
+    };
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut out = Vec::new();
+    for shape in &shapes {
+        let ne = shape.edge_count();
+        let combos = palette.len().pow(ne as u32);
+        for idx in 0..combos {
+            let mut assignment = Vec::with_capacity(ne);
+            let mut rem = idx;
+            for _ in 0..ne {
+                assignment.push(palette[rem % palette.len()]);
+                rem /= palette.len();
+            }
+            let d = reassign_structures(shape, &assignment);
+            if check_adequacy(&d, spec).is_err() {
+                continue;
+            }
+            let canon = d.canonical_string(true);
+            if seen.insert(canon) {
+                out.push(d);
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        (a.edge_count(), a.canonical_string(true))
+            .cmp(&(b.edge_count(), b.canonical_string(true)))
+    });
+    out
+}
+
+/// Rebuilds `d` with the `i`-th edge (in edge order) using `assignment[i]`.
+///
+/// # Panics
+///
+/// Panics if `assignment.len() != d.edge_count()`.
+pub fn reassign_structures(d: &Decomposition, assignment: &[DsKind]) -> Decomposition {
+    assert_eq!(assignment.len(), d.edge_count(), "one kind per edge");
+    let mut b = DecompBuilder::new();
+    let mut newid: HashMap<NodeId, NodeId> = HashMap::new();
+    for (v, node) in d.nodes() {
+        let prim = prim_of(d, &node.body, &|t| t, &newid, Some(assignment));
+        let id = b
+            .node(&node.name, node.bound, prim)
+            .expect("structure-preserving rebuild cannot fail");
+        newid.insert(v, id);
+    }
+    b.finish().expect("structure-preserving rebuild cannot fail")
+}
+
+/// All sharing variants of a tree decomposition: for every non-empty subset
+/// of merge classes (groups of non-root nodes with identical subtree
+/// structure), merge each selected class into a single shared node.
+fn sharing_variants(d: &Decomposition) -> Vec<Decomposition> {
+    let mut keys: HashMap<NodeId, String> = HashMap::new();
+    let mut classes: HashMap<String, Vec<NodeId>> = HashMap::new();
+    for (id, _) in d.nodes() {
+        let key = subtree_key(d, id, &mut keys);
+        if id != d.root() {
+            classes.entry(key).or_default().push(id);
+        }
+    }
+    let mut classes: Vec<Vec<NodeId>> = classes.into_values().filter(|v| v.len() >= 2).collect();
+    classes.sort();
+    if classes.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for mask in 1..(1usize << classes.len()) {
+        let mut rep: HashMap<NodeId, NodeId> = HashMap::new();
+        for (i, class) in classes.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                for &m in &class[1..] {
+                    rep.insert(m, class[0]);
+                }
+            }
+        }
+        if let Some(merged) = merge(d, &rep) {
+            out.push(merged);
+        }
+    }
+    out
+}
+
+fn subtree_key(d: &Decomposition, id: NodeId, memo: &mut HashMap<NodeId, String>) -> String {
+    if let Some(s) = memo.get(&id) {
+        return s.clone();
+    }
+    let body = body_key(d, &d.node(id).body, memo);
+    let key = format!("[{:x}]{}", bits(d.node(id).cols), body);
+    memo.insert(id, key.clone());
+    key
+}
+
+fn body_key(d: &Decomposition, b: &Body, memo: &mut HashMap<NodeId, String>) -> String {
+    match b {
+        Body::Unit(c) => format!("u{:x}", bits(*c)),
+        Body::Map(e) => {
+            let e = d.edge(*e);
+            format!(
+                "m{:x}[{}]({})",
+                bits(e.key),
+                e.ds,
+                subtree_key(d, e.to, memo)
+            )
+        }
+        Body::Join(l, r) => {
+            let mut parts = [body_key(d, l, memo), body_key(d, r, memo)];
+            parts.sort();
+            format!("j({},{})", parts[0], parts[1])
+        }
+    }
+}
+
+/// Rebuilds `d` with node targets redirected through `rep` and bound columns
+/// recomputed. Returns `None` if the merged graph is structurally invalid.
+fn merge(d: &Decomposition, rep: &HashMap<NodeId, NodeId>) -> Option<Decomposition> {
+    let resolve = |v: NodeId| *rep.get(&v).unwrap_or(&v);
+    // 1. Reachability from the root through resolved targets.
+    let mut reachable = vec![false; d.node_count()];
+    let mut stack = vec![d.root()];
+    while let Some(v) = stack.pop() {
+        if reachable[v.index()] {
+            continue;
+        }
+        reachable[v.index()] = true;
+        for e in d.node(v).body.edges() {
+            stack.push(resolve(d.edge(e).to));
+        }
+    }
+    // 2. Recompute bound columns root-first (decreasing index ⇒ parents
+    //    first, since nodes are stored in let order).
+    let mut bound = vec![ColSet::EMPTY; d.node_count()];
+    for i in (0..d.node_count()).rev() {
+        if !reachable[i] {
+            continue;
+        }
+        let v = NodeId(i as u16);
+        for e in d.node(v).body.edges() {
+            let edge = d.edge(e);
+            let t = resolve(edge.to);
+            bound[t.index()] = bound[t.index()] | bound[i] | edge.key;
+        }
+    }
+    // 3. Rebuild child-first through the public builder.
+    let mut b = DecompBuilder::new();
+    let mut newid: HashMap<NodeId, NodeId> = HashMap::new();
+    for i in 0..d.node_count() {
+        if !reachable[i] {
+            continue;
+        }
+        let v = NodeId(i as u16);
+        let prim = prim_of(d, &d.node(v).body, &resolve, &newid, None);
+        let id = b.node(&d.node(v).name, bound[i], prim).ok()?;
+        newid.insert(v, id);
+    }
+    b.finish().ok()
+}
+
+/// Converts a stored body back to a builder [`Prim`], redirecting targets
+/// through `resolve`/`newid` and optionally reassigning data structures.
+fn prim_of(
+    d: &Decomposition,
+    body: &Body,
+    resolve: &impl Fn(NodeId) -> NodeId,
+    newid: &HashMap<NodeId, NodeId>,
+    ds_assignment: Option<&[DsKind]>,
+) -> Prim {
+    match body {
+        Body::Unit(c) => Prim::Unit(*c),
+        Body::Map(e) => {
+            let edge = d.edge(*e);
+            let t = resolve(edge.to);
+            let ds = match ds_assignment {
+                Some(a) => a[EdgeId::index(*e)],
+                None => edge.ds,
+            };
+            Prim::Map(edge.key, ds, newid[&t])
+        }
+        Body::Join(l, r) => Prim::join(
+            prim_of(d, l, resolve, newid, ds_assignment),
+            prim_of(d, r, resolve, newid, ds_assignment),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relic_spec::Catalog;
+
+    fn graph_spec() -> (Catalog, RelSpec) {
+        let mut cat = Catalog::new();
+        let src = cat.intern("src");
+        let dst = cat.intern("dst");
+        let weight = cat.intern("weight");
+        let spec = RelSpec::new(src | dst | weight).with_fd(src | dst, weight.into());
+        (cat, spec)
+    }
+
+    #[test]
+    fn enumerates_adequate_shapes_only() {
+        let (_, spec) = graph_spec();
+        let shapes = enumerate_shapes(&spec, &EnumerateOptions::default());
+        assert!(!shapes.is_empty());
+        for d in &shapes {
+            check_adequacy(d, &spec).unwrap();
+            assert!(d.edge_count() <= 4);
+        }
+    }
+
+    #[test]
+    fn shapes_are_distinct() {
+        let (_, spec) = graph_spec();
+        let shapes = enumerate_shapes(&spec, &EnumerateOptions::default());
+        let canon: HashSet<String> = shapes.iter().map(|d| d.canonical_string(false)).collect();
+        assert_eq!(canon.len(), shapes.len());
+    }
+
+    #[test]
+    fn includes_fig12_decompositions() {
+        // Fig. 12 #1: src -> dst -> unit{weight} (a 2-edge chain);
+        // Fig. 12 #9: (src -> dst -> unit) join (dst -> src -> unit);
+        // Fig. 12 #5: same with the two units shared.
+        let (mut cat, spec) = graph_spec();
+        let shapes = enumerate_shapes(&spec, &EnumerateOptions::default());
+        let canon: HashSet<String> = shapes.iter().map(|d| d.canonical_string(false)).collect();
+
+        let chain = crate::parse(
+            &mut cat,
+            "let z : {src,dst} . {weight} = unit {weight} in
+             let y : {src} . {dst,weight} = {dst} -[htable]-> z in
+             let x : {} . {src,dst,weight} = {src} -[htable]-> y in x",
+        )
+        .unwrap();
+        assert!(canon.contains(&chain.canonical_string(false)), "missing chain");
+
+        let unshared = crate::parse(
+            &mut cat,
+            "let l : {src,dst} . {weight} = unit {weight} in
+             let r : {src,dst} . {weight} = unit {weight} in
+             let y : {src} . {dst,weight} = {dst} -[htable]-> l in
+             let z : {dst} . {src,weight} = {src} -[htable]-> r in
+             let x : {} . {src,dst,weight} =
+               ({src} -[htable]-> y) join ({dst} -[htable]-> z) in x",
+        )
+        .unwrap();
+        assert!(
+            canon.contains(&unshared.canonical_string(false)),
+            "missing unshared join"
+        );
+
+        let shared = crate::parse(
+            &mut cat,
+            "let w : {src,dst} . {weight} = unit {weight} in
+             let y : {src} . {dst,weight} = {dst} -[htable]-> w in
+             let z : {dst} . {src,weight} = {src} -[htable]-> w in
+             let x : {} . {src,dst,weight} =
+               ({src} -[htable]-> y) join ({dst} -[htable]-> z) in x",
+        )
+        .unwrap();
+        assert!(
+            canon.contains(&shared.canonical_string(false)),
+            "missing shared join"
+        );
+    }
+
+    #[test]
+    fn sharing_toggle_changes_count() {
+        let (_, spec) = graph_spec();
+        let with = enumerate_shapes(&spec, &EnumerateOptions::default());
+        let without = enumerate_shapes(
+            &spec,
+            &EnumerateOptions {
+                sharing: false,
+                ..Default::default()
+            },
+        );
+        assert!(with.len() > without.len());
+    }
+
+    #[test]
+    fn ds_assignment_expands_shapes() {
+        let (_, spec) = graph_spec();
+        let opts = EnumerateOptions {
+            max_edges: 2,
+            structures: vec![DsKind::HashTable, DsKind::AvlTree],
+            ..Default::default()
+        };
+        let shapes = enumerate_shapes(&spec, &opts);
+        let ds = enumerate_decompositions(&spec, &opts);
+        assert!(ds.len() > shapes.len());
+        let shape_canon: HashSet<String> =
+            shapes.iter().map(|d| d.canonical_string(false)).collect();
+        for d in &ds {
+            assert!(shape_canon.contains(&d.canonical_string(false)));
+        }
+    }
+
+    #[test]
+    fn reassign_structures_changes_only_ds() {
+        let (_, spec) = graph_spec();
+        let shapes = enumerate_shapes(
+            &spec,
+            &EnumerateOptions {
+                max_edges: 2,
+                ..Default::default()
+            },
+        );
+        let d = &shapes[0];
+        let all_avl: Vec<DsKind> = vec![DsKind::AvlTree; d.edge_count()];
+        let d2 = reassign_structures(d, &all_avl);
+        assert_eq!(d.canonical_string(false), d2.canonical_string(false));
+        assert!(d2.edges().all(|(_, e)| e.ds == DsKind::AvlTree));
+    }
+
+    #[test]
+    fn single_column_set_relation() {
+        let mut cat = Catalog::new();
+        let id = cat.intern("id");
+        let spec = RelSpec::new(id.into());
+        let shapes = enumerate_shapes(
+            &spec,
+            &EnumerateOptions {
+                max_edges: 2,
+                ..Default::default()
+            },
+        );
+        assert!(!shapes.is_empty());
+        for d in &shapes {
+            check_adequacy(d, &spec).unwrap();
+        }
+    }
+
+    #[test]
+    fn edge_budget_is_respected() {
+        let (_, spec) = graph_spec();
+        for max in 1..=4 {
+            let shapes = enumerate_shapes(
+                &spec,
+                &EnumerateOptions {
+                    max_edges: max,
+                    ..Default::default()
+                },
+            );
+            assert!(shapes.iter().all(|d| d.edge_count() <= max));
+        }
+    }
+
+    #[test]
+    fn shape_counts_grow_with_budget() {
+        let (_, spec) = graph_spec();
+        let counts: Vec<usize> = (1..=4)
+            .map(|max| {
+                enumerate_shapes(
+                    &spec,
+                    &EnumerateOptions {
+                        max_edges: max,
+                        ..Default::default()
+                    },
+                )
+                .len()
+            })
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+}

@@ -1,0 +1,231 @@
+//! Error types for the decomposition layer.
+
+use relic_spec::ColSet;
+use std::error::Error;
+use std::fmt;
+
+/// Structural errors raised while building a decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecompError {
+    /// A let binding reused an existing variable name.
+    DuplicateName(String),
+    /// A map primitive referenced a variable that is not (yet) bound.
+    UnknownNode(String),
+    /// The builder was finalized without any nodes.
+    Empty,
+    /// The root node's bound column set must be `∅`.
+    RootBound(String),
+    /// A non-root node is the target of no map edge.
+    UnreachableNode(String),
+    /// A node's declared bound columns disagree with the union of
+    /// `B_parent ∪ K` over its incoming edges.
+    BindingMismatch {
+        /// The offending node.
+        node: String,
+        /// The declared `B`.
+        declared: ColSet,
+        /// The bound set derived from incoming edges.
+        derived: ColSet,
+    },
+}
+
+impl fmt::Display for DecompError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompError::DuplicateName(n) => write!(f, "duplicate node name `{n}`"),
+            DecompError::UnknownNode(n) => write!(f, "unknown node `{n}`"),
+            DecompError::Empty => write!(f, "decomposition has no nodes"),
+            DecompError::RootBound(n) => {
+                write!(f, "root node `{n}` must have empty bound columns")
+            }
+            DecompError::BindingMismatch {
+                node,
+                declared,
+                derived,
+            } => write!(
+                f,
+                "node `{node}` declares bound columns {declared:?} but its incoming edges bind {derived:?}"
+            ),
+            DecompError::UnreachableNode(n) => {
+                write!(f, "node `{n}` is not referenced by any map edge")
+            }
+        }
+    }
+}
+
+impl Error for DecompError {}
+
+/// Violations of the adequacy judgment (paper Fig. 6). Each variant names the
+/// rule whose premise failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AdequacyError {
+    /// (AUNIT) A unit primitive appears where the bound context is `∅`
+    /// (e.g. at the root) — the empty relation could not be represented.
+    UnitAtRoot {
+        /// The node containing the unit.
+        node: String,
+    },
+    /// (AUNIT) The bound context does not functionally determine the unit's
+    /// columns: `∆ ⊬ A → C`.
+    UnitNotDetermined {
+        /// The node containing the unit.
+        node: String,
+        /// The context columns `A`.
+        context: ColSet,
+        /// The unit columns `C`.
+        unit: ColSet,
+    },
+    /// (AMAP) The map's context and key do not functionally determine the
+    /// target's bound columns: `∆ ⊬ B ∪ C → A`.
+    MapNotDetermined {
+        /// The source node.
+        node: String,
+        /// The target node.
+        target: String,
+        /// `B ∪ C` (context plus key).
+        from: ColSet,
+        /// The target's bound columns `A`.
+        to: ColSet,
+    },
+    /// (AMAP) The shared target's bound columns do not include this path's
+    /// bound columns: `A ⊉ B ∪ C`.
+    MapBindingTooNarrow {
+        /// The source node.
+        node: String,
+        /// The target node.
+        target: String,
+        /// `B ∪ C` on this path.
+        path: ColSet,
+        /// The target's bound columns `A`.
+        to: ColSet,
+    },
+    /// (AJOIN) The join sides cannot be matched without anomalies:
+    /// `∆ ⊬ A ∪ (B ∩ C) → B ⊖ C`.
+    JoinAmbiguous {
+        /// The node containing the join.
+        node: String,
+        /// Left branch columns `B`.
+        left: ColSet,
+        /// Right branch columns `C`.
+        right: ColSet,
+    },
+    /// (AVAR) The root does not represent exactly the relation's columns.
+    WrongColumns {
+        /// Columns required by the specification.
+        expected: ColSet,
+        /// Columns represented by the decomposition.
+        actual: ColSet,
+    },
+    /// The decomposition mentions columns outside the specification.
+    ForeignColumns {
+        /// The offending columns.
+        cols: ColSet,
+    },
+}
+
+impl fmt::Display for AdequacyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdequacyError::UnitAtRoot { node } => write!(
+                f,
+                "(AUNIT) unit primitive in node `{node}` has empty bound context; \
+                 the empty relation would be unrepresentable"
+            ),
+            AdequacyError::UnitNotDetermined {
+                node,
+                context,
+                unit,
+            } => write!(
+                f,
+                "(AUNIT) in node `{node}`, bound context {context:?} does not determine unit columns {unit:?}"
+            ),
+            AdequacyError::MapNotDetermined {
+                node,
+                target,
+                from,
+                to,
+            } => write!(
+                f,
+                "(AMAP) edge `{node}` -> `{target}`: {from:?} does not determine target binding {to:?}"
+            ),
+            AdequacyError::MapBindingTooNarrow {
+                node,
+                target,
+                path,
+                to,
+            } => write!(
+                f,
+                "(AMAP) edge `{node}` -> `{target}`: target binding {to:?} does not include path columns {path:?}"
+            ),
+            AdequacyError::JoinAmbiguous { node, left, right } => write!(
+                f,
+                "(AJOIN) join in node `{node}` of branches {left:?} and {right:?} may produce anomalies"
+            ),
+            AdequacyError::WrongColumns { expected, actual } => write!(
+                f,
+                "(AVAR) decomposition represents {actual:?} but the relation has columns {expected:?}"
+            ),
+            AdequacyError::ForeignColumns { cols } => {
+                write!(f, "decomposition mentions foreign columns {cols:?}")
+            }
+        }
+    }
+}
+
+impl Error for AdequacyError {}
+
+/// Errors from the let-notation parser, with 1-based line/column positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: usize, col: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_rule() {
+        let e = AdequacyError::UnitAtRoot {
+            node: "x".to_string(),
+        };
+        assert!(e.to_string().contains("(AUNIT)"));
+        let e = AdequacyError::JoinAmbiguous {
+            node: "x".to_string(),
+            left: ColSet::EMPTY,
+            right: ColSet::EMPTY,
+        };
+        assert!(e.to_string().contains("(AJOIN)"));
+    }
+
+    #[test]
+    fn parse_error_position() {
+        let e = ParseError::new(3, 7, "expected `in`");
+        assert_eq!(e.to_string(), "parse error at 3:7: expected `in`");
+    }
+}

@@ -1,0 +1,68 @@
+//! The decomposition language of "Data Representation Synthesis" (§3).
+//!
+//! A *decomposition* is a rooted DAG describing how to represent a relation
+//! as a combination of primitive data structures:
+//!
+//! ```text
+//! pˆ ::= unit C  |  C -[ψ]-> v  |  pˆ₁ ⋈ pˆ₂      (primitives)
+//! dˆ ::= let v : B ▷ C = pˆ in dˆ  |  v             (decompositions)
+//! ψ  ::= htable | avl | sortedvec | vec | dlist | ilist
+//! ```
+//!
+//! This crate provides:
+//!
+//! * [`Decomposition`] / [`DecompBuilder`] — the graph AST with structural
+//!   validation (distinct names, acyclicity, binding consistency),
+//! * [`parse`] / [`Decomposition::to_let_notation`] — a concrete let-notation
+//!   syntax with a hand-written lexer/parser and pretty-printer,
+//! * [`check_adequacy`] — the adequacy judgment of Fig. 6, which guarantees a
+//!   decomposition can represent *every* relation satisfying the
+//!   specification's functional dependencies (Lemma 1),
+//! * [`cut`] — decomposition cuts (§4.5), the basis of `remove`/`update`,
+//! * `enumerate` — exhaustive enumeration of adequate decompositions up to
+//!   an edge bound, used by the autotuner (§5).
+//!
+//! # Example
+//!
+//! The scheduler decomposition of Fig. 2(a):
+//!
+//! ```
+//! use relic_spec::{Catalog, RelSpec};
+//! use relic_decomp::{parse, check_adequacy};
+//!
+//! let mut cat = Catalog::new();
+//! let d = parse(
+//!     &mut cat,
+//!     "let w : {ns,pid,state} . {cpu} = unit {cpu} in
+//!      let y : {ns} . {pid,cpu} = {pid} -[htable]-> w in
+//!      let z : {state} . {ns,pid,cpu} = {ns,pid} -[dlist]-> w in
+//!      let x : {} . {ns,pid,state,cpu} =
+//!        ({ns} -[htable]-> y) join ({state} -[vec]-> z) in
+//!      x",
+//! )?;
+//! let cols = cat.all();
+//! let key = cat.intern_set(&["ns", "pid"]);
+//! let rest = cat.intern_set(&["state", "cpu"]);
+//! let spec = RelSpec::new(cols).with_fd(key, rest);
+//! check_adequacy(&d, &spec)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adequacy;
+mod cut;
+mod ds;
+mod enumerate;
+mod error;
+mod graph;
+mod parse;
+
+pub use adequacy::check_adequacy;
+pub use cut::{cut, Cut};
+pub use ds::DsKind;
+pub use enumerate::{enumerate_decompositions, enumerate_shapes, EnumerateOptions};
+pub use error::{AdequacyError, DecompError, ParseError};
+pub use graph::{to_dot, Body, DecompBuilder, Decomposition, Edge, EdgeId, Node, NodeId, Prim};
+pub use parse::parse;

@@ -1,0 +1,100 @@
+//! Properties of decomposition cuts (§4.5) over *enumerated* adequate
+//! decompositions: the paper states the cut for a decomposition and a
+//! column set always exists, is unique, and crossing edges point only from
+//! X (above) into Y (below).
+
+use proptest::prelude::*;
+use relic_decomp::{cut, enumerate_decompositions, DsKind, EnumerateOptions};
+use relic_spec::{Catalog, ColSet, RelSpec};
+
+fn graph_setup() -> (Catalog, RelSpec, Vec<relic_decomp::Decomposition>) {
+    let mut cat = Catalog::new();
+    let src = cat.intern("src");
+    let dst = cat.intern("dst");
+    let weight = cat.intern("weight");
+    let spec = RelSpec::new(src | dst | weight).with_fd(src | dst, weight.into());
+    let opts = EnumerateOptions {
+        max_edges: 3,
+        structures: vec![DsKind::HashTable],
+        ..Default::default()
+    };
+    let ds = enumerate_decompositions(&spec, &opts);
+    assert!(!ds.is_empty());
+    (cat, spec, ds)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For every decomposition and every pattern column set: Y is exactly
+    /// the set of nodes whose bound columns determine the pattern columns,
+    /// and no edge points from Y back into X.
+    #[test]
+    fn cut_membership_and_direction(which in 0usize..1000, subset_bits in 0u64..8) {
+        let (cat, spec, ds) = graph_setup();
+        let d = &ds[which % ds.len()];
+        // Map the three low bits onto the three columns.
+        let all: Vec<_> = cat.all().iter().collect();
+        let mut cols = ColSet::EMPTY;
+        for (i, c) in all.iter().enumerate() {
+            if subset_bits & (1 << i) != 0 {
+                cols = cols | *c;
+            }
+        }
+        let k = cut(d, spec.fds(), cols);
+        for (id, node) in d.nodes() {
+            let below = spec.fds().implies(node.bound, cols);
+            prop_assert_eq!(
+                k.is_below(id),
+                below,
+                "node {} bound {:?} vs pattern {:?}",
+                node.name,
+                node.bound,
+                cols
+            );
+        }
+        for (eid, e) in d.edges() {
+            // Never from below (Y) into above (X).
+            prop_assert!(
+                !k.is_below(e.from) || k.is_below(e.to),
+                "edge {eid:?} crosses upward"
+            );
+        }
+    }
+
+    /// Determinism/uniqueness: recomputing the cut yields the same
+    /// partition, and crossing edges are exactly the X→Y edges.
+    #[test]
+    fn cut_is_deterministic_and_crossings_complete(which in 0usize..1000) {
+        let (cat, spec, ds) = graph_setup();
+        let d = &ds[which % ds.len()];
+        let cols = cat.col("src").unwrap() | cat.col("dst").unwrap();
+        let k1 = cut(d, spec.fds(), cols);
+        let k2 = cut(d, spec.fds(), cols);
+        let mut want = Vec::new();
+        for (eid, e) in d.edges() {
+            prop_assert_eq!(k1.is_below(e.from), k2.is_below(e.from));
+            if !k1.is_below(e.from) && k1.is_below(e.to) {
+                want.push(eid);
+            }
+        }
+        prop_assert_eq!(k1.crossing.clone(), want);
+        prop_assert_eq!(k1.crossing, k2.crossing);
+    }
+
+    /// The full-tuple cut puts every non-root-determined node below; the
+    /// empty-pattern cut puts every node below (∅ → ∅ holds trivially).
+    #[test]
+    fn cut_boundary_cases(which in 0usize..1000) {
+        let (cat, spec, ds) = graph_setup();
+        let d = &ds[which % ds.len()];
+        let empty = cut(d, spec.fds(), ColSet::EMPTY);
+        for (id, _) in d.nodes() {
+            prop_assert!(empty.is_below(id), "∅ is determined by anything");
+        }
+        let full = cut(d, spec.fds(), cat.all());
+        // The root (bound = ∅) determines all columns only if the relation
+        // is a singleton, which the FD set does not imply here.
+        prop_assert!(!full.is_below(d.root()));
+    }
+}

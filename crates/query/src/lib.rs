@@ -1,0 +1,69 @@
+//! Query plans, validity and the query planner (paper §4.1–§4.3).
+//!
+//! A *query plan* is a tree of operators superimposed on a decomposition:
+//!
+//! ```text
+//! q ::= qunit | qscan(q) | qlookup(q) | qrange(q) | qlr(q, lr) | qjoin(q₁, q₂, lr)
+//! ```
+//!
+//! (`qrange` is not in the paper's Fig. 7; it implements §2's "comparisons
+//! other than equality" extension on ordered map edges.)
+//!
+//! * [`Plan`] — the operator tree, aligned node-for-node with decomposition
+//!   bodies,
+//! * [`check_valid`] / [`check_valid_where`] — the validity judgment of
+//!   Fig. 8 (a sufficient condition for a plan to faithfully answer a
+//!   query, Lemma 2), plus the (QRANGE) rule for comparison patterns,
+//! * [`checked_cols`] — a strengthening of Fig. 8 used by the planner: every
+//!   pattern column must be *checked* somewhere along every emitted path
+//!   (Fig. 8 alone admits plans that never test a pattern column on a
+//!   skipped join branch),
+//! * [`CostModel`] / [`Planner`] — the §4.3 cost estimator `E` (per-edge
+//!   fanout counts `c(u,v)` and per-structure lookup costs `m_ψ(n)`) and the
+//!   exhaustive minimum-cost planner.
+//!
+//! Plans are *interpreted* by `relic-core` (`dqexec`) and *compiled* by
+//! `relic-codegen`.
+//!
+//! # Example
+//!
+//! ```
+//! use relic_spec::{Catalog, RelSpec};
+//! use relic_decomp::parse;
+//! use relic_query::{CostModel, Planner};
+//!
+//! let mut cat = Catalog::new();
+//! let d = parse(
+//!     &mut cat,
+//!     "let z : {src,dst} . {weight} = unit {weight} in
+//!      let y : {src} . {dst,weight} = {dst} -[htable]-> z in
+//!      let x : {} . {src,dst,weight} = {src} -[htable]-> y in x",
+//! )?;
+//! let (src, dst, weight) = (
+//!     cat.col("src").unwrap(),
+//!     cat.col("dst").unwrap(),
+//!     cat.col("weight").unwrap(),
+//! );
+//! let spec = RelSpec::new(src | dst | weight).with_fd(src | dst, weight.into());
+//! let planner = Planner::new(&d, &spec, CostModel::uniform(&d, 8.0));
+//! // Point query: both keys available → two lookups.
+//! let plan = planner.plan_query(src | dst, weight.into())?.plan;
+//! assert_eq!(plan.to_string(), "qlookup(qlookup(qunit))");
+//! // Successor query: scan the second level.
+//! let plan = planner.plan_query(src.into(), dst.into())?.plan;
+//! assert_eq!(plan.to_string(), "qlookup(qscan(qunit))");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod plan;
+mod planner;
+mod validity;
+
+pub use cost::{CostModel, JoinCostMode};
+pub use plan::{Plan, Side};
+pub use planner::{PlanError, PlannedQuery, Planner};
+pub use validity::{check_valid, check_valid_where, checked_cols, ValidityError};

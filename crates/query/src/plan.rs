@@ -1,0 +1,261 @@
+//! The query-plan operator tree (paper Fig. 7).
+
+use std::fmt;
+
+/// Which side of a join decomposition an operator addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The left operand of `pˆ₁ ⋈ pˆ₂`.
+    Left,
+    /// The right operand.
+    Right,
+}
+
+impl Side {
+    /// The opposite side.
+    pub fn flip(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Side::Left => write!(f, "left"),
+            Side::Right => write!(f, "right"),
+        }
+    }
+}
+
+/// A query plan, aligned structurally with a decomposition body:
+/// `Unit` sits on `unit C` leaves, `Lookup`/`Scan` on map edges (recursing
+/// into the target node's body), and `Lr`/`Join` on join nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Plan {
+    /// `qunit` — emit the unit tuple if it matches the input.
+    Unit,
+    /// `qlookup(q)` — look up the (already bound) key columns, then run `q`
+    /// on the target instance.
+    Lookup {
+        /// Sub-plan for the map target's body.
+        child: Box<Plan>,
+    },
+    /// `qscan(q)` — iterate all entries whose keys match the input, running
+    /// `q` on each target instance.
+    Scan {
+        /// Sub-plan for the map target's body.
+        child: Box<Plan>,
+    },
+    /// `qrange(q)` — iterate, in key order, only the entries of an *ordered*
+    /// map edge whose final key column lies within the input pattern's
+    /// comparison interval, running `q` on each target instance.
+    ///
+    /// This operator is not in the paper's Fig. 7; it implements §2's
+    /// "comparisons other than equality" extension. It is only valid when
+    /// the edge's data structure is ordered (`avl`, `sortedvec`), the
+    /// range-constrained column is the edge's maximal key column, and every
+    /// other key column is equality-bound (the composite-index prefix rule).
+    Range {
+        /// Sub-plan for the map target's body.
+        child: Box<Plan>,
+    },
+    /// `qlr(q, lr)` — query one side of a join, ignoring the other.
+    Lr {
+        /// Which side to query.
+        side: Side,
+        /// The sub-plan for that side.
+        inner: Box<Plan>,
+    },
+    /// `qjoin(q₁, q₂, lr)` — run `first` on side `side`; for each result,
+    /// run `second` on the other side; emit the natural join.
+    Join {
+        /// The side `first` runs on.
+        side: Side,
+        /// The outer sub-plan.
+        first: Box<Plan>,
+        /// The inner sub-plan, run once per outer result.
+        second: Box<Plan>,
+    },
+    /// `qhashjoin(q₁, q₂, lr)` — run `first` on side `side`, materializing
+    /// its results in a temporary hash index; then run `second` *once* on
+    /// the other side, probing the index; emit the natural join.
+    ///
+    /// Not in the paper's Fig. 7: §4.1 observes that its operators are
+    /// constant-space, which "can also be a disadvantage; for example, the
+    /// current restrictions would not allow a 'hash-join' strategy", and
+    /// that extending the language with non-constant-space operators is
+    /// straightforward. This is that operator: each side executes exactly
+    /// once (O(n₁ + n₂) instead of O(n₁ × n₂)), at the price of O(n₁) space.
+    HashJoin {
+        /// The side `first` runs on (the build side).
+        side: Side,
+        /// The build sub-plan, run once and materialized.
+        first: Box<Plan>,
+        /// The probe sub-plan, run once against the index.
+        second: Box<Plan>,
+    },
+}
+
+impl Plan {
+    /// `qlookup(child)`.
+    pub fn lookup(child: Plan) -> Plan {
+        Plan::Lookup {
+            child: Box::new(child),
+        }
+    }
+
+    /// `qscan(child)`.
+    pub fn scan(child: Plan) -> Plan {
+        Plan::Scan {
+            child: Box::new(child),
+        }
+    }
+
+    /// `qrange(child)`.
+    pub fn range(child: Plan) -> Plan {
+        Plan::Range {
+            child: Box::new(child),
+        }
+    }
+
+    /// `qlr(inner, side)`.
+    pub fn lr(side: Side, inner: Plan) -> Plan {
+        Plan::Lr {
+            side,
+            inner: Box::new(inner),
+        }
+    }
+
+    /// `qjoin(first, second, side)`.
+    pub fn join(side: Side, first: Plan, second: Plan) -> Plan {
+        Plan::Join {
+            side,
+            first: Box::new(first),
+            second: Box::new(second),
+        }
+    }
+
+    /// `qhashjoin(first, second, side)`.
+    pub fn hash_join(side: Side, first: Plan, second: Plan) -> Plan {
+        Plan::HashJoin {
+            side,
+            first: Box::new(first),
+            second: Box::new(second),
+        }
+    }
+
+    /// Does the plan allocate beyond constant space during execution?
+    /// (`qhashjoin` materializes its build side; everything in the paper's
+    /// Fig. 7 is constant-space.)
+    pub fn is_constant_space(&self) -> bool {
+        match self {
+            Plan::Unit => true,
+            Plan::Lookup { child } | Plan::Scan { child } | Plan::Range { child } => {
+                child.is_constant_space()
+            }
+            Plan::Lr { inner, .. } => inner.is_constant_space(),
+            Plan::Join { first, second, .. } => {
+                first.is_constant_space() && second.is_constant_space()
+            }
+            Plan::HashJoin { .. } => false,
+        }
+    }
+
+    /// Number of operators in the plan.
+    pub fn size(&self) -> usize {
+        match self {
+            Plan::Unit => 1,
+            Plan::Lookup { child } | Plan::Scan { child } | Plan::Range { child } => {
+                1 + child.size()
+            }
+            Plan::Lr { inner, .. } => 1 + inner.size(),
+            Plan::Join { first, second, .. } | Plan::HashJoin { first, second, .. } => {
+                1 + first.size() + second.size()
+            }
+        }
+    }
+
+    /// Number of `qscan` operators — a quick measure of how much of the plan
+    /// iterates rather than looks up (`qrange` counts as a bounded scan and
+    /// is excluded).
+    pub fn scan_count(&self) -> usize {
+        match self {
+            Plan::Unit => 0,
+            Plan::Lookup { child } | Plan::Range { child } => child.scan_count(),
+            Plan::Scan { child } => 1 + child.scan_count(),
+            Plan::Lr { inner, .. } => inner.scan_count(),
+            Plan::Join { first, second, .. } | Plan::HashJoin { first, second, .. } => {
+                first.scan_count() + second.scan_count()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    /// Renders in the paper's notation, e.g.
+    /// `qjoin(qlookup(qscan(qunit)), qlookup(qlookup(qunit)), left)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Plan::Unit => write!(f, "qunit"),
+            Plan::Lookup { child } => write!(f, "qlookup({child})"),
+            Plan::Scan { child } => write!(f, "qscan({child})"),
+            Plan::Range { child } => write!(f, "qrange({child})"),
+            Plan::Lr { side, inner } => write!(f, "qlr({inner}, {side})"),
+            Plan::Join {
+                side,
+                first,
+                second,
+            } => write!(f, "qjoin({first}, {second}, {side})"),
+            Plan::HashJoin {
+                side,
+                first,
+                second,
+            } => write!(f, "qhashjoin({first}, {second}, {side})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        // The paper's q_cpu example: qlr(qlookup(qlookup(qunit)), left).
+        let q = Plan::lr(Side::Left, Plan::lookup(Plan::lookup(Plan::Unit)));
+        assert_eq!(q.to_string(), "qlr(qlookup(qlookup(qunit)), left)");
+        // The paper's q1: qjoin(qlookup(qscan(qunit)), qlookup(qlookup(qunit)), left).
+        let q1 = Plan::join(
+            Side::Left,
+            Plan::lookup(Plan::scan(Plan::Unit)),
+            Plan::lookup(Plan::lookup(Plan::Unit)),
+        );
+        assert_eq!(
+            q1.to_string(),
+            "qjoin(qlookup(qscan(qunit)), qlookup(qlookup(qunit)), left)"
+        );
+    }
+
+    #[test]
+    fn size_and_scan_count() {
+        let q = Plan::join(
+            Side::Left,
+            Plan::lookup(Plan::scan(Plan::Unit)),
+            Plan::lookup(Plan::lookup(Plan::Unit)),
+        );
+        assert_eq!(q.size(), 7);
+        assert_eq!(q.scan_count(), 1);
+        assert_eq!(Plan::Unit.size(), 1);
+        assert_eq!(Plan::Unit.scan_count(), 0);
+    }
+
+    #[test]
+    fn side_flip() {
+        assert_eq!(Side::Left.flip(), Side::Right);
+        assert_eq!(Side::Right.flip(), Side::Left);
+        assert_eq!(Side::Left.to_string(), "left");
+    }
+}

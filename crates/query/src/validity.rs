@@ -1,0 +1,525 @@
+//! The query-plan validity judgment (paper Fig. 8) and the pattern-coverage
+//! strengthening used by the planner.
+
+use crate::{Plan, Side};
+use relic_spec::{ColSet, FdSet};
+use relic_decomp::{Body, Decomposition};
+use std::error::Error;
+use std::fmt;
+
+/// Reasons a plan fails the validity judgment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ValidityError {
+    /// The plan's operator does not match the decomposition body's shape
+    /// (e.g. `qscan` on a unit).
+    StructureMismatch {
+        /// Rendering of the offending operator.
+        operator: String,
+    },
+    /// (QLOOKUP) A lookup's key columns are not all bound in the input.
+    KeyNotAvailable {
+        /// The key columns required.
+        key: ColSet,
+        /// The columns actually available.
+        avail: ColSet,
+    },
+    /// (QJOIN) The two subqueries do not bind enough columns to match their
+    /// results unambiguously.
+    JoinUnderdetermined {
+        /// Columns bound by the outer subquery (plus input).
+        outer: ColSet,
+        /// Columns bound by the inner subquery.
+        inner: ColSet,
+    },
+    /// (QRANGE) A range was placed on an edge whose data structure does not
+    /// iterate in key order.
+    RangeNotOrdered {
+        /// The offending structure.
+        ds: relic_decomp::DsKind,
+    },
+    /// (QRANGE) The edge's key columns do not fit the composite-index prefix
+    /// rule: the range column must be the edge's maximal key column, present
+    /// in the pattern's comparison columns, and every other key column must
+    /// be equality-bound.
+    RangeColumnMismatch {
+        /// The edge's key columns.
+        key: ColSet,
+        /// The pattern's range-constrained columns.
+        ranged: ColSet,
+        /// The equality-bound columns at this point.
+        avail: ColSet,
+    },
+}
+
+impl fmt::Display for ValidityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidityError::StructureMismatch { operator } => {
+                write!(f, "plan operator {operator} does not match the decomposition shape")
+            }
+            ValidityError::KeyNotAvailable { key, avail } => write!(
+                f,
+                "(QLOOKUP) key columns {key:?} not bound in available columns {avail:?}"
+            ),
+            ValidityError::JoinUnderdetermined { outer, inner } => write!(
+                f,
+                "(QJOIN) join sides underdetermined: {outer:?} vs {inner:?}"
+            ),
+            ValidityError::RangeNotOrdered { ds } => {
+                write!(f, "(QRANGE) data structure {ds} does not iterate in key order")
+            }
+            ValidityError::RangeColumnMismatch { key, ranged, avail } => write!(
+                f,
+                "(QRANGE) key {key:?} does not split into an equality-bound prefix \
+                 (bound: {avail:?}) plus a final range column (ranged: {ranged:?})"
+            ),
+        }
+    }
+}
+
+impl Error for ValidityError {}
+
+/// Checks `Γˆ, dˆ, A ⊢q,∆ q, B` (Fig. 8) for `plan` against `body`, with
+/// input columns `avail`; returns the output columns `B`.
+///
+/// # Errors
+///
+/// Returns a [`ValidityError`] naming the violated rule.
+pub fn check_valid(
+    d: &Decomposition,
+    fds: &FdSet,
+    body: &Body,
+    avail: ColSet,
+    plan: &Plan,
+) -> Result<ColSet, ValidityError> {
+    check_valid_where(d, fds, body, avail, ColSet::EMPTY, plan)
+}
+
+/// Validity for pattern (comparison) queries: like [`check_valid`], with
+/// `avail` the *equality-bound* columns and `ranged` the columns carrying an
+/// interval comparison. Adds the rule
+///
+/// ```text
+/// (QRANGE)  ψ ordered   K = E ∪ {c}   c = max K   c ∈ ranged \ A
+///           E ⊆ A       Γˆ, Γˆ(v), A ∪ K ⊢q q, B
+///           ─────────────────────────────────────────────
+///           Γˆ, K -[ψ]-> v, A ⊢q qrange(q), B ∪ K
+/// ```
+///
+/// to Fig. 8 (the composite-index prefix rule: an ordered structure can seek
+/// a contiguous run only when the range column is its last key coordinate
+/// and the coordinates before it are pinned).
+///
+/// # Errors
+///
+/// Returns a [`ValidityError`] naming the violated rule.
+pub fn check_valid_where(
+    d: &Decomposition,
+    fds: &FdSet,
+    body: &Body,
+    avail: ColSet,
+    ranged: ColSet,
+    plan: &Plan,
+) -> Result<ColSet, ValidityError> {
+    match (plan, body) {
+        // (QRANGE): ordered structure, equality-bound prefix, final range
+        // column; the sub-query runs with the whole key bound.
+        (Plan::Range { child }, Body::Map(eid)) => {
+            let e = d.edge(*eid);
+            if !e.ds.is_ordered() {
+                return Err(ValidityError::RangeNotOrdered { ds: e.ds });
+            }
+            let c = e.key.max_col();
+            let ok = match c {
+                Some(c) => {
+                    ranged.contains(c)
+                        && !avail.contains(c)
+                        && (e.key - c.set()).is_subset(avail)
+                }
+                None => false,
+            };
+            if !ok {
+                return Err(ValidityError::RangeColumnMismatch {
+                    key: e.key,
+                    ranged,
+                    avail,
+                });
+            }
+            let b = check_valid_where(d, fds, &d.node(e.to).body, avail | e.key, ranged, child)?;
+            Ok(b | e.key)
+        }
+        _ => check_valid_inner(d, fds, body, avail, ranged, plan),
+    }
+}
+
+fn check_valid_inner(
+    d: &Decomposition,
+    fds: &FdSet,
+    body: &Body,
+    avail: ColSet,
+    ranged: ColSet,
+    plan: &Plan,
+) -> Result<ColSet, ValidityError> {
+    match (plan, body) {
+        (Plan::Range { .. }, _) => Err(ValidityError::StructureMismatch {
+            operator: plan.to_string(),
+        }),
+        // (QUNIT): querying a unit binds its fields.
+        (Plan::Unit, Body::Unit(c)) => Ok(*c),
+        // (QLOOKUP): keys must already be bound; the sub-query runs with the
+        // same available columns.
+        (Plan::Lookup { child }, Body::Map(eid)) => {
+            let e = d.edge(*eid);
+            if !e.key.is_subset(avail) {
+                return Err(ValidityError::KeyNotAvailable {
+                    key: e.key,
+                    avail,
+                });
+            }
+            let b = check_valid_where(d, fds, &d.node(e.to).body, avail, ranged, child)?;
+            Ok(b | e.key)
+        }
+        // (QSCAN): scanning binds the keys both for the sub-query and in the
+        // output.
+        (Plan::Scan { child }, Body::Map(eid)) => {
+            let e = d.edge(*eid);
+            let b = check_valid_where(d, fds, &d.node(e.to).body, avail | e.key, ranged, child)?;
+            Ok(b | e.key)
+        }
+        // (QLR): query one side only.
+        (Plan::Lr { side, inner }, Body::Join(l, r)) => {
+            let sub = match side {
+                Side::Left => l,
+                Side::Right => r,
+            };
+            check_valid_where(d, fds, sub, avail, ranged, inner)
+        }
+        // (QJOIN): the inner side runs with the outer side's bindings; both
+        // directions must be functionally determined so results match
+        // without ambiguity.
+        (
+            Plan::Join {
+                side,
+                first,
+                second,
+            },
+            Body::Join(l, r),
+        ) => {
+            let (outer_body, inner_body) = match side {
+                Side::Left => (l, r),
+                Side::Right => (r, l),
+            };
+            let b1 = check_valid_where(d, fds, outer_body, avail, ranged, first)?;
+            let b2 = check_valid_where(d, fds, inner_body, avail | b1, ranged, second)?;
+            if !fds.implies(avail | b1, b2) || !fds.implies(avail | b2, b1) {
+                return Err(ValidityError::JoinUnderdetermined {
+                    outer: avail | b1,
+                    inner: b2,
+                });
+            }
+            Ok(b1 | b2)
+        }
+        // (QHASHJOIN): like (QJOIN), except the probe side runs *once* with
+        // only the original input columns — its lookups cannot consume the
+        // build side's bindings. The same determinacy conditions guarantee
+        // unambiguous matching on the common bound columns.
+        (
+            Plan::HashJoin {
+                side,
+                first,
+                second,
+            },
+            Body::Join(l, r),
+        ) => {
+            let (outer_body, inner_body) = match side {
+                Side::Left => (l, r),
+                Side::Right => (r, l),
+            };
+            let b1 = check_valid_where(d, fds, outer_body, avail, ranged, first)?;
+            let b2 = check_valid_where(d, fds, inner_body, avail, ranged, second)?;
+            if !fds.implies(avail | b1, b2) || !fds.implies(avail | b2, b1) {
+                return Err(ValidityError::JoinUnderdetermined {
+                    outer: avail | b1,
+                    inner: b2,
+                });
+            }
+            Ok(b1 | b2)
+        }
+        (p, _) => Err(ValidityError::StructureMismatch {
+            operator: p.to_string(),
+        }),
+    }
+}
+
+/// The columns a plan *checks* against the input pattern along every emitted
+/// path: lookup/scan keys and visited unit columns.
+///
+/// Fig. 8 validity alone admits plans that bind the requested output columns
+/// but never compare a pattern column appearing only on a skipped join
+/// branch; the planner therefore additionally requires
+/// `pattern ⊆ checked_cols(plan)`. The always-valid scan-everything `qjoin`
+/// plan checks every column of the relation, so a plan satisfying the
+/// requirement always exists.
+pub fn checked_cols(d: &Decomposition, body: &Body, plan: &Plan) -> ColSet {
+    match (plan, body) {
+        (Plan::Unit, Body::Unit(c)) => *c,
+        (Plan::Lookup { child }, Body::Map(eid))
+        | (Plan::Scan { child }, Body::Map(eid))
+        | (Plan::Range { child }, Body::Map(eid)) => {
+            let e = d.edge(*eid);
+            e.key | checked_cols(d, &d.node(e.to).body, child)
+        }
+        (Plan::Lr { side, inner }, Body::Join(l, r)) => {
+            let sub = match side {
+                Side::Left => l,
+                Side::Right => r,
+            };
+            checked_cols(d, sub, inner)
+        }
+        (
+            Plan::Join {
+                side,
+                first,
+                second,
+            }
+            | Plan::HashJoin {
+                side,
+                first,
+                second,
+            },
+            Body::Join(l, r),
+        ) => {
+            let (outer, inner) = match side {
+                Side::Left => (l, r),
+                Side::Right => (r, l),
+            };
+            checked_cols(d, outer, first) | checked_cols(d, inner, second)
+        }
+        _ => ColSet::EMPTY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relic_decomp::parse;
+    use relic_spec::{Catalog, RelSpec};
+
+    fn scheduler() -> (Catalog, RelSpec, Decomposition) {
+        let mut cat = Catalog::new();
+        let d = parse(
+            &mut cat,
+            "let w : {ns,pid,state} . {cpu} = unit {cpu} in
+             let y : {ns} . {pid,cpu} = {pid} -[htable]-> w in
+             let z : {state} . {ns,pid,cpu} = {ns,pid} -[dlist]-> w in
+             let x : {} . {ns,pid,state,cpu} =
+               ({ns} -[htable]-> y) join ({state} -[vec]-> z) in x",
+        )
+        .unwrap();
+        let spec = RelSpec::new(cat.all()).with_fd(
+            cat.col("ns").unwrap() | cat.col("pid").unwrap(),
+            cat.col("state").unwrap() | cat.col("cpu").unwrap(),
+        );
+        (cat, spec, d)
+    }
+
+    #[test]
+    fn paper_qcpu_plan_is_valid() {
+        // query r ⟨ns, pid⟩ {cpu} via the left path.
+        let (cat, spec, d) = scheduler();
+        let ns = cat.col("ns").unwrap();
+        let pid = cat.col("pid").unwrap();
+        let cpu = cat.col("cpu").unwrap();
+        let q = Plan::lr(Side::Left, Plan::lookup(Plan::lookup(Plan::Unit)));
+        let body = &d.node(d.root()).body;
+        let out = check_valid(&d, spec.fds(), body, ns | pid, &q).unwrap();
+        assert!(cpu.set().is_subset(out | ns | pid));
+        assert!(out.contains(cpu));
+    }
+
+    #[test]
+    fn paper_q1_join_plan_is_valid() {
+        // query r ⟨ns, state⟩ {pid} via qjoin(left lookup+scan, right lookups).
+        let (cat, spec, d) = scheduler();
+        let ns = cat.col("ns").unwrap();
+        let state = cat.col("state").unwrap();
+        let pid = cat.col("pid").unwrap();
+        let q1 = Plan::join(
+            Side::Left,
+            Plan::lookup(Plan::scan(Plan::Unit)),
+            Plan::lookup(Plan::lookup(Plan::Unit)),
+        );
+        let body = &d.node(d.root()).body;
+        let out = check_valid(&d, spec.fds(), body, ns | state, &q1).unwrap();
+        assert!(out.contains(pid));
+    }
+
+    #[test]
+    fn paper_q2_right_scan_plan_is_valid() {
+        let (cat, spec, d) = scheduler();
+        let ns = cat.col("ns").unwrap();
+        let state = cat.col("state").unwrap();
+        let q2 = Plan::lr(Side::Right, Plan::lookup(Plan::scan(Plan::Unit)));
+        let body = &d.node(d.root()).body;
+        let out = check_valid(&d, spec.fds(), body, ns | state, &q2).unwrap();
+        assert!(out.contains(cat.col("pid").unwrap()));
+    }
+
+    #[test]
+    fn lookup_without_key_rejected() {
+        let (cat, spec, d) = scheduler();
+        let state = cat.col("state").unwrap();
+        // Looking up ns on the left without ns bound.
+        let q = Plan::lr(Side::Left, Plan::lookup(Plan::lookup(Plan::Unit)));
+        let body = &d.node(d.root()).body;
+        let err = check_valid(&d, spec.fds(), body, state.into(), &q).unwrap_err();
+        assert!(matches!(err, ValidityError::KeyNotAvailable { .. }));
+    }
+
+    #[test]
+    fn structure_mismatch_rejected() {
+        let (_, spec, d) = scheduler();
+        // qscan applied at the root join.
+        let q = Plan::scan(Plan::Unit);
+        let body = &d.node(d.root()).body;
+        let err = check_valid(&d, spec.fds(), body, ColSet::EMPTY, &q).unwrap_err();
+        assert!(matches!(err, ValidityError::StructureMismatch { .. }));
+    }
+
+    #[test]
+    fn join_requires_determinacy() {
+        // Join two sides that do not determine each other: an {a,b} relation
+        // with no FDs split as a-keyed and b-keyed paths is not joinable
+        // without ambiguity... but such a decomposition is already rejected
+        // by adequacy. Instead check determinacy machinery on the scheduler:
+        // joining with *no* input columns, the left side scan binds
+        // {ns,pid,cpu}, right side binds {state,ns,pid,cpu}: A∪B1 → B2 holds
+        // via ns,pid → state. Dropping the FD breaks it.
+        let (_, _, d) = scheduler();
+        let no_fds = relic_spec::FdSet::new();
+        let q = Plan::join(
+            Side::Left,
+            Plan::scan(Plan::scan(Plan::Unit)),
+            Plan::scan(Plan::scan(Plan::Unit)),
+        );
+        let body = &d.node(d.root()).body;
+        let err = check_valid(&d, &no_fds, body, ColSet::EMPTY, &q).unwrap_err();
+        assert!(matches!(err, ValidityError::JoinUnderdetermined { .. }));
+    }
+
+    #[test]
+    fn scan_everything_join_is_always_valid() {
+        let (cat, spec, d) = scheduler();
+        let q = Plan::join(
+            Side::Left,
+            Plan::scan(Plan::scan(Plan::Unit)),
+            Plan::scan(Plan::scan(Plan::Unit)),
+        );
+        let body = &d.node(d.root()).body;
+        let out = check_valid(&d, spec.fds(), body, ColSet::EMPTY, &q).unwrap();
+        assert_eq!(out, cat.all());
+        assert_eq!(checked_cols(&d, body, &q), cat.all());
+    }
+
+    fn event_log() -> (Catalog, RelSpec, Decomposition) {
+        let mut cat = Catalog::new();
+        let d = parse(
+            &mut cat,
+            "let u : {host,ts} . {bytes} = unit {bytes} in
+             let h : {host} . {ts,bytes} = {ts} -[avl]-> u in
+             let x : {} . {host,ts,bytes} = {host} -[htable]-> h in x",
+        )
+        .unwrap();
+        let spec = RelSpec::new(cat.all()).with_fd(
+            cat.col("host").unwrap() | cat.col("ts").unwrap(),
+            cat.col("bytes").unwrap().set(),
+        );
+        (cat, spec, d)
+    }
+
+    #[test]
+    fn qrange_valid_on_ordered_edge() {
+        let (cat, spec, d) = event_log();
+        let host = cat.col("host").unwrap();
+        let ts = cat.col("ts").unwrap();
+        let bytes = cat.col("bytes").unwrap();
+        let q = Plan::lookup(Plan::range(Plan::Unit));
+        let body = &d.node(d.root()).body;
+        let out =
+            check_valid_where(&d, spec.fds(), body, host.set(), ts.set(), &q).unwrap();
+        assert!(out.contains(ts) && out.contains(bytes));
+    }
+
+    #[test]
+    fn qrange_rejected_on_unordered_edge() {
+        // Root edge (htable, keyed by host) is unordered.
+        let (cat, spec, d) = event_log();
+        let host = cat.col("host").unwrap();
+        let q = Plan::range(Plan::scan(Plan::Unit));
+        let body = &d.node(d.root()).body;
+        let err =
+            check_valid_where(&d, spec.fds(), body, ColSet::EMPTY, host.set(), &q).unwrap_err();
+        assert!(matches!(err, ValidityError::RangeNotOrdered { .. }), "{err}");
+    }
+
+    #[test]
+    fn qrange_rejected_without_range_predicate() {
+        // ts not in the ranged set → mismatch.
+        let (cat, spec, d) = event_log();
+        let host = cat.col("host").unwrap();
+        let q = Plan::lookup(Plan::range(Plan::Unit));
+        let body = &d.node(d.root()).body;
+        let err =
+            check_valid_where(&d, spec.fds(), body, host.set(), ColSet::EMPTY, &q).unwrap_err();
+        assert!(matches!(err, ValidityError::RangeColumnMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn qrange_rejected_on_non_map_body() {
+        let (_, spec, d) = event_log();
+        let q = Plan::range(Plan::Unit);
+        // Apply qrange against a unit body (node u).
+        let u = d
+            .nodes()
+            .find(|(_, n)| n.name == "u")
+            .map(|(id, _)| id)
+            .unwrap();
+        let err = check_valid_where(
+            &d,
+            spec.fds(),
+            &d.node(u).body,
+            ColSet::EMPTY,
+            ColSet::EMPTY,
+            &q,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ValidityError::StructureMismatch { .. }));
+    }
+
+    #[test]
+    fn checked_cols_counts_range_keys() {
+        let (cat, _, d) = event_log();
+        let host = cat.col("host").unwrap();
+        let ts = cat.col("ts").unwrap();
+        let q = Plan::lookup(Plan::range(Plan::Unit));
+        let body = &d.node(d.root()).body;
+        let checked = checked_cols(&d, body, &q);
+        assert!(checked.contains(host) && checked.contains(ts));
+    }
+
+    #[test]
+    fn checked_cols_sees_through_lr() {
+        let (cat, _, d) = scheduler();
+        let ns = cat.col("ns").unwrap();
+        let pid = cat.col("pid").unwrap();
+        let cpu = cat.col("cpu").unwrap();
+        let state = cat.col("state").unwrap();
+        let q = Plan::lr(Side::Left, Plan::lookup(Plan::scan(Plan::Unit)));
+        let body = &d.node(d.root()).body;
+        let checked = checked_cols(&d, body, &q);
+        // Left path checks ns, pid and (via the unit) cpu — but never state.
+        assert!(checked.contains(ns) && checked.contains(pid) && checked.contains(cpu));
+        assert!(!checked.contains(state));
+    }
+}

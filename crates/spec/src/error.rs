@@ -1,0 +1,42 @@
+//! Error types for the specification layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing specification-level objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// A tuple literal mentioned the same column (by index) twice.
+    DuplicateColumn(usize),
+    /// A tuple was missing a required column (by index).
+    MissingColumn(usize),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::DuplicateColumn(i) => write!(f, "duplicate column #{i} in tuple"),
+            SpecError::MissingColumn(i) => write!(f, "missing column #{i} in tuple"),
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SpecError::DuplicateColumn(3).to_string(),
+            "duplicate column #3 in tuple"
+        );
+        assert_eq!(
+            SpecError::MissingColumn(1).to_string(),
+            "missing column #1 in tuple"
+        );
+    }
+}

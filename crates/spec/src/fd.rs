@@ -1,0 +1,236 @@
+//! Functional dependencies and their inference (paper §2).
+//!
+//! A relation `r` has the functional dependency `C₁ → C₂` when any two tuples
+//! equal on `C₁` are equal on `C₂`. The inference judgment `∆ ⊢fd A → B` is
+//! decided with the standard attribute-closure algorithm, which is sound and
+//! complete for Armstrong's axioms.
+
+use crate::{ColSet, Relation};
+use std::fmt;
+
+/// A single functional dependency `lhs → rhs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fd {
+    /// Determinant columns.
+    pub lhs: ColSet,
+    /// Determined columns.
+    pub rhs: ColSet,
+}
+
+impl Fd {
+    /// Creates the dependency `lhs → rhs`.
+    pub fn new(lhs: ColSet, rhs: ColSet) -> Self {
+        Fd { lhs, rhs }
+    }
+
+    /// Is the dependency trivial (`rhs ⊆ lhs`)?
+    pub fn is_trivial(&self) -> bool {
+        self.rhs.is_subset(self.lhs)
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let l: Vec<String> = self.lhs.iter().map(|c| format!("#{}", c.index())).collect();
+        let r: Vec<String> = self.rhs.iter().map(|c| format!("#{}", c.index())).collect();
+        write!(f, "{} -> {}", l.join(","), r.join(","))
+    }
+}
+
+/// A set of functional dependencies `∆`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FdSet {
+    fds: Vec<Fd>,
+}
+
+impl FdSet {
+    /// Creates an empty dependency set.
+    pub fn new() -> Self {
+        FdSet::default()
+    }
+
+    /// Builds a dependency set from `(lhs, rhs)` pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (ColSet, ColSet)>>(pairs: I) -> Self {
+        FdSet {
+            fds: pairs
+                .into_iter()
+                .map(|(l, r)| Fd::new(l, r))
+                .collect(),
+        }
+    }
+
+    /// Adds a dependency.
+    pub fn add(&mut self, fd: Fd) {
+        self.fds.push(fd);
+    }
+
+    /// The stored (non-derived) dependencies.
+    pub fn iter(&self) -> impl Iterator<Item = &Fd> {
+        self.fds.iter()
+    }
+
+    /// Number of stored dependencies.
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// The attribute closure `A⁺` of `a` under the dependency set: the largest
+    /// set `B` with `∆ ⊢fd A → B`.
+    pub fn closure(&self, a: ColSet) -> ColSet {
+        let mut acc = a;
+        loop {
+            let mut changed = false;
+            for fd in &self.fds {
+                if fd.lhs.is_subset(acc) && !fd.rhs.is_subset(acc) {
+                    acc = acc | fd.rhs;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return acc;
+            }
+        }
+    }
+
+    /// The inference judgment `∆ ⊢fd lhs → rhs`.
+    pub fn implies(&self, lhs: ColSet, rhs: ColSet) -> bool {
+        rhs.is_subset(self.closure(lhs))
+    }
+
+    /// Is `a` a key for a relation with columns `all` (`∆ ⊢fd a → all`)?
+    pub fn is_key(&self, a: ColSet, all: ColSet) -> bool {
+        self.implies(a, all)
+    }
+
+    /// A minimal key for columns `all`: starts from `all` and greedily drops
+    /// columns while the remainder still determines `all`.
+    pub fn minimal_key(&self, all: ColSet) -> ColSet {
+        let mut key = all;
+        for c in all.iter() {
+            let candidate = key - c;
+            if self.implies(candidate, all) {
+                key = candidate;
+            }
+        }
+        key
+    }
+
+    /// The satisfaction judgment `r |=fd ∆`: every stored dependency holds on
+    /// the relation. Quadratic in `|r|`; intended for tests and validation.
+    pub fn holds_on(&self, r: &Relation) -> bool {
+        self.fds.iter().all(|fd| {
+            let tuples: Vec<_> = r.iter().collect();
+            tuples.iter().enumerate().all(|(i, t)| {
+                tuples[i + 1..].iter().all(|u| {
+                    t.project(fd.lhs) != u.project(fd.lhs) || t.project(fd.rhs) == u.project(fd.rhs)
+                })
+            })
+        })
+    }
+}
+
+impl FromIterator<Fd> for FdSet {
+    fn from_iter<T: IntoIterator<Item = Fd>>(iter: T) -> Self {
+        FdSet {
+            fds: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Catalog, ColId, Tuple, Value};
+
+    fn scheduler() -> (Catalog, ColId, ColId, ColId, ColId, FdSet) {
+        let mut cat = Catalog::new();
+        let ns = cat.intern("ns");
+        let pid = cat.intern("pid");
+        let state = cat.intern("state");
+        let cpu = cat.intern("cpu");
+        let fds = FdSet::from_pairs([(ns | pid, state | cpu)]);
+        (cat, ns, pid, state, cpu, fds)
+    }
+
+    #[test]
+    fn closure_basic() {
+        let (_, ns, pid, state, cpu, fds) = scheduler();
+        assert_eq!(fds.closure(ns | pid), ns | pid | state | cpu);
+        assert_eq!(fds.closure(ns.set()), ns.set());
+        assert_eq!(fds.closure(ColSet::EMPTY), ColSet::EMPTY);
+    }
+
+    #[test]
+    fn closure_is_transitive() {
+        let mut cat = Catalog::new();
+        let a = cat.intern("a");
+        let b = cat.intern("b");
+        let c = cat.intern("c");
+        let d = cat.intern("d");
+        let fds = FdSet::from_pairs([(a.set(), b.set()), (b.set(), c.set()), (c.set(), d.set())]);
+        assert_eq!(fds.closure(a.set()), a | b | c | d);
+        assert!(fds.implies(a.set(), d.set()));
+        assert!(!fds.implies(b.set(), a.set()));
+    }
+
+    #[test]
+    fn implies_includes_reflexivity() {
+        let (_, ns, pid, _, _, fds) = scheduler();
+        // Trivial (projective) dependencies always hold.
+        assert!(fds.implies(ns | pid, ns.set()));
+        assert!(fds.implies(ColSet::EMPTY, ColSet::EMPTY));
+    }
+
+    #[test]
+    fn key_detection() {
+        let (_, ns, pid, state, cpu, fds) = scheduler();
+        let all = ns | pid | state | cpu;
+        assert!(fds.is_key(ns | pid, all));
+        assert!(!fds.is_key(ns.set(), all));
+        assert!(fds.is_key(all, all));
+        assert_eq!(fds.minimal_key(all), ns | pid);
+    }
+
+    #[test]
+    fn minimal_key_without_fds() {
+        let mut cat = Catalog::new();
+        let a = cat.intern("a");
+        let b = cat.intern("b");
+        let fds = FdSet::new();
+        assert_eq!(fds.minimal_key(a | b), a | b);
+    }
+
+    #[test]
+    fn holds_on_detects_violations() {
+        let (_, ns, pid, state, cpu, fds) = scheduler();
+        let all = ns | pid | state | cpu;
+        let mut r = Relation::empty(all);
+        r.insert(Tuple::from_pairs([
+            (ns, Value::from(1)),
+            (pid, Value::from(2)),
+            (state, Value::from("S")),
+            (cpu, Value::from(42)),
+        ]));
+        assert!(fds.holds_on(&r));
+        // The paper's §3.4 counterexample r′: same (ns, pid), two states.
+        r.insert(Tuple::from_pairs([
+            (ns, Value::from(1)),
+            (pid, Value::from(2)),
+            (state, Value::from("R")),
+            (cpu, Value::from(34)),
+        ]));
+        assert!(!fds.holds_on(&r));
+    }
+
+    #[test]
+    fn trivial_fd() {
+        let (_, ns, pid, _, _, _) = scheduler();
+        assert!(Fd::new(ns | pid, pid.set()).is_trivial());
+        assert!(!Fd::new(ns.set(), pid.set()).is_trivial());
+    }
+}

@@ -1,0 +1,166 @@
+//! Relational specifications for data representation synthesis.
+//!
+//! This crate implements the *relational abstraction* of the paper
+//! "Data Representation Synthesis" (Hawkins et al., PLDI 2011), §2:
+//!
+//! * [`Value`] — untyped values drawn from a universe `V` (integers, strings,
+//!   booleans),
+//! * [`ColId`] / [`ColSet`] / [`Catalog`] — interned column names and compact
+//!   column *sets* (bitsets over at most 64 columns),
+//! * [`Tuple`] — finite maps from columns to values, with the paper's
+//!   operations: domain, projection, extension (`t ⊇ s`), matching (`t ∼ s`)
+//!   and merge (`s ⊕ u`),
+//! * [`Relation`] — the *reference* (model) implementation of relations as
+//!   deterministic sets of tuples, together with the five relational
+//!   operations (`empty`, `insert`, `remove`, `update`, `query`) and the
+//!   relational-algebra operators used by the formal development,
+//! * [`Fd`] / [`FdSet`] — functional dependencies with attribute closure and
+//!   the inference judgment `∆ ⊢fd A → B`,
+//! * [`RelSpec`] — a relational specification: a set of columns plus a set of
+//!   functional dependencies.
+//!
+//! Everything here is *specification-level*: simple, obviously-correct code
+//! that the synthesized representations in `relic-core` are tested against.
+//!
+//! # Example
+//!
+//! The paper's process-scheduler relation:
+//!
+//! ```
+//! use relic_spec::{Catalog, RelSpec, Relation, Tuple, Value};
+//!
+//! let mut cat = Catalog::new();
+//! let (ns, pid, state, cpu) = (
+//!     cat.intern("ns"),
+//!     cat.intern("pid"),
+//!     cat.intern("state"),
+//!     cat.intern("cpu"),
+//! );
+//! let cols = ns | pid | state | cpu;
+//! let spec = RelSpec::new(cols).with_fd(ns | pid, state | cpu);
+//!
+//! let mut r = Relation::empty(cols);
+//! r.insert(Tuple::from_pairs([
+//!     (ns, Value::from(7)),
+//!     (pid, Value::from(42)),
+//!     (state, Value::from("R")),
+//!     (cpu, Value::from(0)),
+//! ]));
+//! assert!(spec.fds().holds_on(&r));
+//! let running = r.query(&Tuple::from_pairs([(state, Value::from("R"))]), ns | pid);
+//! assert_eq!(running.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod column;
+mod error;
+mod fd;
+mod pattern_parse;
+mod pred;
+mod relation;
+mod tuple;
+mod value;
+
+pub use column::{Catalog, ColId, ColSet, ColSetIter};
+pub use error::SpecError;
+pub use fd::{Fd, FdSet};
+pub use pattern_parse::{parse_pattern, ParsePatternError};
+pub use pred::{Pattern, Pred};
+pub use relation::Relation;
+pub use tuple::Tuple;
+pub use value::Value;
+
+/// A relational specification: a set of columns `C` and a set of functional
+/// dependencies `∆` (paper §2).
+///
+/// A relation `r` conforms to the specification when `dom r = C` and
+/// `r |=fd ∆`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelSpec {
+    cols: ColSet,
+    fds: FdSet,
+}
+
+impl RelSpec {
+    /// Creates a specification over `cols` with no functional dependencies.
+    pub fn new(cols: ColSet) -> Self {
+        RelSpec {
+            cols,
+            fds: FdSet::new(),
+        }
+    }
+
+    /// Adds the functional dependency `lhs → rhs` (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lhs` or `rhs` mention columns outside the specification.
+    pub fn with_fd(mut self, lhs: ColSet, rhs: ColSet) -> Self {
+        assert!(
+            lhs.is_subset(self.cols) && rhs.is_subset(self.cols),
+            "functional dependency mentions columns outside the relation"
+        );
+        self.fds.add(Fd::new(lhs, rhs));
+        self
+    }
+
+    /// The columns of the relation.
+    pub fn cols(&self) -> ColSet {
+        self.cols
+    }
+
+    /// The functional dependencies of the relation.
+    pub fn fds(&self) -> &FdSet {
+        &self.fds
+    }
+
+    /// Returns a minimal key for the relation: a subset `K ⊆ C` such that
+    /// `∆ ⊢fd K → C`, minimized greedily (dropping one column at a time).
+    ///
+    /// Every relation has a key (at worst, all columns).
+    pub fn minimal_key(&self) -> ColSet {
+        self.fds.minimal_key(self.cols)
+    }
+
+    /// Checks that a tuple is a valuation for exactly the specification's
+    /// columns.
+    pub fn admits(&self, t: &Tuple) -> bool {
+        t.dom() == self.cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_minimal_key_scheduler() {
+        let mut cat = Catalog::new();
+        let ns = cat.intern("ns");
+        let pid = cat.intern("pid");
+        let state = cat.intern("state");
+        let cpu = cat.intern("cpu");
+        let spec = RelSpec::new(ns | pid | state | cpu).with_fd(ns | pid, state | cpu);
+        assert_eq!(spec.minimal_key(), ns | pid);
+    }
+
+    #[test]
+    fn spec_minimal_key_no_fds_is_all_columns() {
+        let mut cat = Catalog::new();
+        let a = cat.intern("a");
+        let b = cat.intern("b");
+        let spec = RelSpec::new(a | b);
+        assert_eq!(spec.minimal_key(), a | b);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the relation")]
+    fn spec_rejects_foreign_fd() {
+        let mut cat = Catalog::new();
+        let a = cat.intern("a");
+        let b = cat.intern("b");
+        let _ = RelSpec::new(a.into()).with_fd(a.into(), b.into());
+    }
+}

@@ -1,0 +1,336 @@
+//! Concrete syntax for predicate patterns.
+//!
+//! A small companion to the decomposition let-notation parser: patterns can
+//! be written as comma-separated per-column comparisons, handy in examples,
+//! tests and REPL-style tooling.
+//!
+//! ```text
+//! pattern    := [ constraint { ',' constraint } ]
+//! constraint := column op value
+//!             | column 'between' value 'and' value
+//! op         := '=' | '!=' | '≠' | '<' | '<=' | '≤' | '>' | '>=' | '≥'
+//! value      := integer | '"' chars '"' | 'true' | 'false'
+//! ```
+
+use crate::{Catalog, Pattern, Pred, Value};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by [`parse_pattern`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParsePatternError {
+    /// A column name not present in the catalog.
+    UnknownColumn(String),
+    /// The same column was constrained twice.
+    DuplicateColumn(String),
+    /// A malformed comparison operator.
+    BadOperator(String),
+    /// A malformed value literal.
+    BadValue(String),
+    /// Trailing or missing input at the given description.
+    Syntax(String),
+}
+
+impl fmt::Display for ParsePatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePatternError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            ParsePatternError::DuplicateColumn(c) => {
+                write!(f, "column `{c}` constrained more than once")
+            }
+            ParsePatternError::BadOperator(o) => write!(f, "unrecognized operator `{o}`"),
+            ParsePatternError::BadValue(v) => write!(f, "malformed value `{v}`"),
+            ParsePatternError::Syntax(s) => write!(f, "syntax error: {s}"),
+        }
+    }
+}
+
+impl Error for ParsePatternError {}
+
+struct Lexer<'a> {
+    rest: &'a str,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Op(String),
+    Int(i64),
+    Str(String),
+    Comma,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(s: &'a str) -> Self {
+        Lexer { rest: s }
+    }
+
+    fn next_tok(&mut self) -> Result<Option<Tok>, ParsePatternError> {
+        self.rest = self.rest.trim_start();
+        let mut chars = self.rest.chars();
+        let Some(c) = chars.next() else {
+            return Ok(None);
+        };
+        match c {
+            ',' => {
+                self.rest = &self.rest[1..];
+                Ok(Some(Tok::Comma))
+            }
+            '"' => {
+                let body = &self.rest[1..];
+                let Some(end) = body.find('"') else {
+                    return Err(ParsePatternError::BadValue(self.rest.to_string()));
+                };
+                let s = body[..end].to_string();
+                self.rest = &body[end + 1..];
+                Ok(Some(Tok::Str(s)))
+            }
+            '=' | '!' | '<' | '>' | '≠' | '≤' | '≥' => {
+                let mut len = c.len_utf8();
+                if matches!(c, '!' | '<' | '>') && self.rest[len..].starts_with('=') {
+                    len += 1;
+                }
+                let op = self.rest[..len].to_string();
+                self.rest = &self.rest[len..];
+                Ok(Some(Tok::Op(op)))
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let end = self.rest[1..]
+                    .find(|ch: char| !ch.is_ascii_digit())
+                    .map(|i| i + 1)
+                    .unwrap_or(self.rest.len());
+                let text = &self.rest[..end];
+                let n: i64 = text
+                    .parse()
+                    .map_err(|_| ParsePatternError::BadValue(text.to_string()))?;
+                self.rest = &self.rest[end..];
+                Ok(Some(Tok::Int(n)))
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let end = self
+                    .rest
+                    .find(|ch: char| !(ch.is_alphanumeric() || ch == '_'))
+                    .unwrap_or(self.rest.len());
+                let word = self.rest[..end].to_string();
+                self.rest = &self.rest[end..];
+                Ok(Some(Tok::Ident(word)))
+            }
+            other => Err(ParsePatternError::Syntax(format!(
+                "unexpected character `{other}`"
+            ))),
+        }
+    }
+}
+
+fn value_of(tok: Tok) -> Result<Value, ParsePatternError> {
+    match tok {
+        Tok::Int(n) => Ok(Value::from(n)),
+        Tok::Str(s) => Ok(Value::from(s.as_str())),
+        Tok::Ident(w) if w == "true" => Ok(Value::from(true)),
+        Tok::Ident(w) if w == "false" => Ok(Value::from(false)),
+        other => Err(ParsePatternError::BadValue(format!("{other:?}"))),
+    }
+}
+
+/// Parses a [`Pattern`] from its concrete syntax, resolving column names in
+/// `cat` (columns are *looked up*, never interned — a typo is an error).
+///
+/// # Errors
+///
+/// [`ParsePatternError`] on unknown columns, duplicate constraints, or
+/// malformed operators/values.
+///
+/// # Example
+///
+/// ```
+/// use relic_spec::{parse_pattern, Catalog, Pred, Value};
+///
+/// let mut cat = Catalog::new();
+/// let host = cat.intern("host");
+/// let ts = cat.intern("ts");
+/// let p = parse_pattern(&cat, r#"host = 3, ts between 10 and 20"#)?;
+/// assert_eq!(p.pred(host), Some(&Pred::Eq(Value::from(3))));
+/// assert_eq!(
+///     p.pred(ts),
+///     Some(&Pred::Between(Value::from(10), Value::from(20)))
+/// );
+/// # Ok::<(), relic_spec::ParsePatternError>(())
+/// ```
+pub fn parse_pattern(cat: &Catalog, input: &str) -> Result<Pattern, ParsePatternError> {
+    let mut lex = Lexer::new(input);
+    let mut pattern = Pattern::new();
+    let mut first = true;
+    loop {
+        let tok = match lex.next_tok()? {
+            None => break,
+            Some(t) => t,
+        };
+        let tok = if first {
+            first = false;
+            tok
+        } else {
+            if tok != Tok::Comma {
+                return Err(ParsePatternError::Syntax(format!(
+                    "expected `,` between constraints, got {tok:?}"
+                )));
+            }
+            lex.next_tok()?
+                .ok_or_else(|| ParsePatternError::Syntax("trailing `,`".to_string()))?
+        };
+        let Tok::Ident(name) = tok else {
+            return Err(ParsePatternError::Syntax(format!(
+                "expected a column name, got {tok:?}"
+            )));
+        };
+        let col = cat
+            .col(&name)
+            .ok_or_else(|| ParsePatternError::UnknownColumn(name.clone()))?;
+        if pattern.pred(col).is_some() {
+            return Err(ParsePatternError::DuplicateColumn(name));
+        }
+        let op = lex
+            .next_tok()?
+            .ok_or_else(|| ParsePatternError::Syntax(format!("missing operator after `{name}`")))?;
+        let pred = match op {
+            Tok::Ident(w) if w == "between" => {
+                let lo = value_of(lex.next_tok()?.ok_or_else(|| {
+                    ParsePatternError::Syntax("missing lower bound".to_string())
+                })?)?;
+                match lex.next_tok()? {
+                    Some(Tok::Ident(a)) if a == "and" => {}
+                    other => {
+                        return Err(ParsePatternError::Syntax(format!(
+                            "expected `and`, got {other:?}"
+                        )))
+                    }
+                }
+                let hi = value_of(lex.next_tok()?.ok_or_else(|| {
+                    ParsePatternError::Syntax("missing upper bound".to_string())
+                })?)?;
+                Pred::Between(lo, hi)
+            }
+            Tok::Op(sym) => {
+                let v = value_of(lex.next_tok()?.ok_or_else(|| {
+                    ParsePatternError::Syntax(format!("missing value after `{sym}`"))
+                })?)?;
+                match sym.as_str() {
+                    "=" => Pred::Eq(v),
+                    "!=" | "≠" => Pred::Ne(v),
+                    "<" => Pred::Lt(v),
+                    "<=" | "≤" => Pred::Le(v),
+                    ">" => Pred::Gt(v),
+                    ">=" | "≥" => Pred::Ge(v),
+                    other => return Err(ParsePatternError::BadOperator(other.to_string())),
+                }
+            }
+            other => {
+                return Err(ParsePatternError::BadOperator(format!("{other:?}")));
+            }
+        };
+        pattern = pattern.with(col, pred);
+    }
+    Ok(pattern)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cat() -> Catalog {
+        let mut c = Catalog::new();
+        c.intern("host");
+        c.intern("ts");
+        c.intern("name");
+        c.intern("ok");
+        c
+    }
+
+    #[test]
+    fn parses_every_operator() {
+        let cat = cat();
+        let ts = cat.col("ts").unwrap();
+        for (src, want) in [
+            ("ts = 5", Pred::Eq(Value::from(5))),
+            ("ts != 5", Pred::Ne(Value::from(5))),
+            ("ts ≠ 5", Pred::Ne(Value::from(5))),
+            ("ts < 5", Pred::Lt(Value::from(5))),
+            ("ts <= 5", Pred::Le(Value::from(5))),
+            ("ts ≤ 5", Pred::Le(Value::from(5))),
+            ("ts > 5", Pred::Gt(Value::from(5))),
+            ("ts >= 5", Pred::Ge(Value::from(5))),
+            ("ts ≥ 5", Pred::Ge(Value::from(5))),
+            (
+                "ts between -2 and 7",
+                Pred::Between(Value::from(-2), Value::from(7)),
+            ),
+        ] {
+            let p = parse_pattern(&cat, src).unwrap_or_else(|e| panic!("{src}: {e}"));
+            assert_eq!(p.pred(ts), Some(&want), "{src}");
+        }
+    }
+
+    #[test]
+    fn parses_conjunctions_and_literals() {
+        let cat = cat();
+        let p = parse_pattern(&cat, r#"host = 3, name = "index.html", ok = true, ts >= 10"#)
+            .unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(
+            p.pred(cat.col("name").unwrap()),
+            Some(&Pred::Eq(Value::from("index.html")))
+        );
+        assert_eq!(
+            p.pred(cat.col("ok").unwrap()),
+            Some(&Pred::Eq(Value::from(true)))
+        );
+    }
+
+    #[test]
+    fn empty_input_is_the_empty_pattern() {
+        let cat = cat();
+        let p = parse_pattern(&cat, "   ").unwrap();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        let cat = cat();
+        assert!(matches!(
+            parse_pattern(&cat, "zap = 1"),
+            Err(ParsePatternError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            parse_pattern(&cat, "ts = 1, ts < 2"),
+            Err(ParsePatternError::DuplicateColumn(_))
+        ));
+        assert!(matches!(
+            parse_pattern(&cat, "ts ~ 1"),
+            Err(ParsePatternError::Syntax(_))
+        ));
+        assert!(matches!(
+            parse_pattern(&cat, "ts ="),
+            Err(ParsePatternError::Syntax(_))
+        ));
+        assert!(matches!(
+            parse_pattern(&cat, "ts between 1 or 2"),
+            Err(ParsePatternError::Syntax(_))
+        ));
+        assert!(matches!(
+            parse_pattern(&cat, r#"ts = "unterminated"#),
+            Err(ParsePatternError::BadValue(_))
+        ));
+        assert!(matches!(
+            parse_pattern(&cat, "ts = 1 host = 2"),
+            Err(ParsePatternError::Syntax(_))
+        ));
+    }
+
+    #[test]
+    fn round_trips_display_for_ints() {
+        let cat = cat();
+        let p = parse_pattern(&cat, "host = 3, ts between 10 and 20").unwrap();
+        let shown = p.display(&cat);
+        assert_eq!(shown, "⟨host = 3, ts between 10 and 20⟩");
+    }
+}

@@ -1,0 +1,420 @@
+//! The reference (model) implementation of relations.
+//!
+//! [`Relation`] implements the paper's five relational operations (§2) and
+//! the relational-algebra operators used by the abstraction function and the
+//! formal development. It is deliberately simple — a sorted set of tuples —
+//! and serves as the executable specification against which the synthesized
+//! representations of `relic-core` are tested (Theorem 5).
+
+use crate::{ColSet, Tuple};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A relation: a set of tuples over identical columns.
+///
+/// Iteration order is deterministic (tuples are kept sorted), which keeps
+/// tests and benchmarks reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    cols: ColSet,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// `empty()`: a new relation over `cols` with no tuples.
+    pub fn empty(cols: ColSet) -> Self {
+        Relation {
+            cols,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// Builds a relation from tuples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some tuple is not a valuation for `cols`.
+    pub fn from_tuples<I: IntoIterator<Item = Tuple>>(cols: ColSet, tuples: I) -> Self {
+        let mut r = Relation::empty(cols);
+        for t in tuples {
+            r.insert(t);
+        }
+        r
+    }
+
+    /// The relation's columns.
+    pub fn cols(&self) -> ColSet {
+        self.cols
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Does the relation contain exactly this tuple?
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Iterates the tuples in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// `insert r t`: adds tuple `t`. Returns `true` if newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dom t` differs from the relation's columns.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        assert_eq!(
+            t.dom(),
+            self.cols,
+            "inserted tuple must be a valuation for the relation's columns"
+        );
+        self.tuples.insert(t)
+    }
+
+    /// `remove r s`: removes all tuples `t ⊇ s`. Returns the number removed.
+    pub fn remove(&mut self, s: &Tuple) -> usize {
+        let before = self.tuples.len();
+        self.tuples.retain(|t| !t.extends(s));
+        before - self.tuples.len()
+    }
+
+    /// `update r s u`: replaces every `t ⊇ s` by `t ⊕ u`.
+    ///
+    /// Mirrors the paper's semantics exactly: updating may merge tuples
+    /// (shrink the relation) if `u` maps two old tuples to the same new one.
+    pub fn update(&mut self, s: &Tuple, u: &Tuple) {
+        let updated: BTreeSet<Tuple> = self
+            .tuples
+            .iter()
+            .map(|t| if t.extends(s) { t.merge(u) } else { t.clone() })
+            .collect();
+        self.tuples = updated;
+    }
+
+    /// `query r s C`: the projection onto `out` of all tuples extending `s`.
+    ///
+    /// Results are set-semantic (duplicates collapse) and sorted.
+    pub fn query(&self, s: &Tuple, out: ColSet) -> Vec<Tuple> {
+        let set: BTreeSet<Tuple> = self
+            .tuples
+            .iter()
+            .filter(|t| t.extends(s))
+            .map(|t| t.project(out))
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// `query_where r P C`: the projection onto `out` of all tuples accepted
+    /// by the predicate pattern `P` — the comparison extension of §2.
+    ///
+    /// Results are set-semantic (duplicates collapse) and sorted. An
+    /// all-equality pattern coincides with [`query`](Relation::query).
+    pub fn query_where(&self, p: &crate::Pattern, out: ColSet) -> Vec<Tuple> {
+        let set: BTreeSet<Tuple> = self
+            .tuples
+            .iter()
+            .filter(|t| p.accepts(t))
+            .map(|t| t.project(out))
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// `remove_where r P`: removes the tuples accepted by the predicate
+    /// pattern `P`, returning how many were removed.
+    pub fn remove_where(&mut self, p: &crate::Pattern) -> usize {
+        let before = self.tuples.len();
+        self.tuples.retain(|t| !p.accepts(t));
+        before - self.tuples.len()
+    }
+
+    /// σ-by-predicate: the sub-relation of tuples accepted by `p`.
+    pub fn select_where(&self, p: &crate::Pattern) -> Relation {
+        Relation {
+            cols: self.cols,
+            tuples: self.tuples.iter().filter(|t| p.accepts(t)).cloned().collect(),
+        }
+    }
+
+    /// σ-by-pattern: the sub-relation of tuples extending `s`.
+    pub fn select(&self, s: &Tuple) -> Relation {
+        Relation {
+            cols: self.cols,
+            tuples: self.tuples.iter().filter(|t| t.extends(s)).cloned().collect(),
+        }
+    }
+
+    /// Projection `π_C r`.
+    pub fn project(&self, cs: ColSet) -> Relation {
+        Relation {
+            cols: self.cols & cs,
+            tuples: self.tuples.iter().map(|t| t.project(cs)).collect(),
+        }
+    }
+
+    /// Natural join `r₁ ⋈ r₂`.
+    pub fn natural_join(&self, other: &Relation) -> Relation {
+        let mut out = Relation::empty(self.cols | other.cols);
+        for t in &self.tuples {
+            for u in &other.tuples {
+                if t.matches(u) {
+                    out.tuples.insert(t.merge(u));
+                }
+            }
+        }
+        out
+    }
+
+    /// Union `r₁ ∪ r₂`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column sets differ.
+    pub fn union(&self, other: &Relation) -> Relation {
+        assert_eq!(self.cols, other.cols, "union requires identical columns");
+        Relation {
+            cols: self.cols,
+            tuples: self.tuples.union(&other.tuples).cloned().collect(),
+        }
+    }
+
+    /// Difference `r₁ \ r₂`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column sets differ.
+    pub fn difference(&self, other: &Relation) -> Relation {
+        assert_eq!(self.cols, other.cols, "difference requires identical columns");
+        Relation {
+            cols: self.cols,
+            tuples: self.tuples.difference(&other.tuples).cloned().collect(),
+        }
+    }
+
+    /// Symmetric difference `r₁ ⊖ r₂`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column sets differ.
+    pub fn symmetric_difference(&self, other: &Relation) -> Relation {
+        assert_eq!(
+            self.cols, other.cols,
+            "symmetric difference requires identical columns"
+        );
+        Relation {
+            cols: self.cols,
+            tuples: self
+                .tuples
+                .symmetric_difference(&other.tuples)
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{{")?;
+        for t in &self.tuples {
+            writeln!(f, "  {t},")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Tuple> for Relation {
+    /// Builds a relation whose columns are taken from the first tuple.
+    /// An empty iterator yields an empty relation over no columns.
+    fn from_iter<T: IntoIterator<Item = Tuple>>(iter: T) -> Self {
+        let mut it = iter.into_iter().peekable();
+        let cols = it.peek().map(|t| t.dom()).unwrap_or(ColSet::EMPTY);
+        Relation::from_tuples(cols, it)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Catalog, ColId, Value};
+
+    fn setup() -> (Catalog, ColId, ColId, ColId, ColId, Relation) {
+        let mut cat = Catalog::new();
+        let ns = cat.intern("ns");
+        let pid = cat.intern("pid");
+        let state = cat.intern("state");
+        let cpu = cat.intern("cpu");
+        // The paper's example relation r_s, Equation (1).
+        let rel = Relation::from_tuples(
+            ns | pid | state | cpu,
+            [
+                Tuple::from_pairs([
+                    (ns, Value::from(1)),
+                    (pid, Value::from(1)),
+                    (state, Value::from("S")),
+                    (cpu, Value::from(7)),
+                ]),
+                Tuple::from_pairs([
+                    (ns, Value::from(1)),
+                    (pid, Value::from(2)),
+                    (state, Value::from("R")),
+                    (cpu, Value::from(4)),
+                ]),
+                Tuple::from_pairs([
+                    (ns, Value::from(2)),
+                    (pid, Value::from(1)),
+                    (state, Value::from("S")),
+                    (cpu, Value::from(5)),
+                ]),
+            ],
+        );
+        (cat, ns, pid, state, cpu, rel)
+    }
+
+    #[test]
+    fn insert_is_set_semantic() {
+        let (_, ns, pid, state, cpu, mut r) = setup();
+        assert_eq!(r.len(), 3);
+        let dup = Tuple::from_pairs([
+            (ns, Value::from(1)),
+            (pid, Value::from(1)),
+            (state, Value::from("S")),
+            (cpu, Value::from(7)),
+        ]);
+        assert!(!r.insert(dup));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "valuation")]
+    fn insert_wrong_columns_panics() {
+        let (_, ns, _, _, _, mut r) = setup();
+        r.insert(Tuple::from_pairs([(ns, Value::from(1))]));
+    }
+
+    #[test]
+    fn paper_queries() {
+        let (_, ns, pid, state, cpu, r) = setup();
+        // query r ⟨state: S⟩ {ns, pid} — the sleeping processes.
+        let sleeping = r.query(&Tuple::from_pairs([(state, Value::from("S"))]), ns | pid);
+        assert_eq!(sleeping.len(), 2);
+        // query r ⟨ns: 1, pid: 2⟩ {state, cpu}.
+        let got = r.query(
+            &Tuple::from_pairs([(ns, Value::from(1)), (pid, Value::from(2))]),
+            state | cpu,
+        );
+        assert_eq!(
+            got,
+            vec![Tuple::from_pairs([
+                (state, Value::from("R")),
+                (cpu, Value::from(4))
+            ])]
+        );
+        // Query with the empty pattern returns everything.
+        assert_eq!(r.query(&Tuple::empty(), ns | pid | state | cpu).len(), 3);
+    }
+
+    #[test]
+    fn query_deduplicates_projections() {
+        let (_, _, _, state, _, r) = setup();
+        let states = r.query(&Tuple::empty(), state.set());
+        assert_eq!(states.len(), 2); // S and R, not three rows.
+    }
+
+    #[test]
+    fn remove_by_partial_tuple() {
+        let (_, ns, _, _, _, mut r) = setup();
+        let n = r.remove(&Tuple::from_pairs([(ns, Value::from(1))]));
+        assert_eq!(n, 2);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.remove(&Tuple::from_pairs([(ns, Value::from(9))])), 0);
+    }
+
+    #[test]
+    fn update_merges_changes() {
+        let (_, ns, pid, state, cpu, mut r) = setup();
+        // Mark process (1, 2) as sleeping — the paper's update example.
+        r.update(
+            &Tuple::from_pairs([(ns, Value::from(1)), (pid, Value::from(2))]),
+            &Tuple::from_pairs([(state, Value::from("S"))]),
+        );
+        let got = r.query(
+            &Tuple::from_pairs([(ns, Value::from(1)), (pid, Value::from(2))]),
+            state | cpu,
+        );
+        assert_eq!(
+            got,
+            vec![Tuple::from_pairs([
+                (state, Value::from("S")),
+                (cpu, Value::from(4))
+            ])]
+        );
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn update_can_merge_tuples() {
+        let (_, ns, pid, state, cpu, mut r) = setup();
+        // Updating every tuple to identical values collapses the set.
+        r.update(
+            &Tuple::empty(),
+            &Tuple::from_pairs([
+                (ns, Value::from(0)),
+                (pid, Value::from(0)),
+                (state, Value::from("S")),
+                (cpu, Value::from(0)),
+            ]),
+        );
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn algebra_join_project_select() {
+        let (_, ns, pid, state, cpu, r) = setup();
+        let left = r.project(ns | pid | cpu);
+        let right = r.project(state | ns | pid);
+        let joined = left.natural_join(&right);
+        assert_eq!(joined, r);
+        let selected = r.select(&Tuple::from_pairs([(state, Value::from("S"))]));
+        assert_eq!(selected.len(), 2);
+        assert_eq!(selected.cols(), r.cols());
+        // π over disjoint columns gives empty-domain tuples that collapse.
+        let unit = r.project(ColSet::EMPTY);
+        assert_eq!(unit.len(), 1);
+        assert_eq!(r.project(cpu.set()).len(), 3);
+    }
+
+    #[test]
+    fn algebra_set_ops() {
+        let (_, ns, _, _, _, r) = setup();
+        let a = r.select(&Tuple::from_pairs([(ns, Value::from(1))]));
+        let b = r.select(&Tuple::from_pairs([(ns, Value::from(2))]));
+        assert_eq!(a.union(&b), r);
+        assert_eq!(r.difference(&a), b);
+        assert_eq!(a.symmetric_difference(&r), b);
+        assert!(a.difference(&a).is_empty());
+    }
+
+    #[test]
+    fn from_iterator_infers_columns() {
+        let (_, ns, pid, _, _, _) = setup();
+        let r: Relation = [
+            Tuple::from_pairs([(ns, Value::from(1)), (pid, Value::from(1))]),
+            Tuple::from_pairs([(ns, Value::from(1)), (pid, Value::from(2))]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(r.cols(), ns | pid);
+        assert_eq!(r.len(), 2);
+        let empty: Relation = std::iter::empty::<Tuple>().collect();
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,320 @@
+//! Tuples: finite maps from columns to values (paper §2).
+
+use crate::{ColId, ColSet, SpecError, Value};
+use std::fmt;
+
+/// A tuple `t = ⟨c₁: v₁, c₂: v₂, …⟩` mapping a set of columns to values.
+///
+/// The representation is canonical: a [`ColSet`] domain plus values stored in
+/// ascending column order, so structural equality coincides with map equality
+/// and tuples can live in ordered/hashed containers.
+///
+/// Terminology from the paper:
+/// * `dom t` — the tuple's columns ([`Tuple::dom`]),
+/// * `t ⊇ s` — `t` *extends* `s` ([`Tuple::extends`]),
+/// * `t ∼ s` — `t` *matches* `s`: equal on all common columns
+///   ([`Tuple::matches`]),
+/// * `s ⊕ u` — merge, taking `u`'s value on disagreement ([`Tuple::merge`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple {
+    cols: ColSet,
+    vals: Box<[Value]>,
+}
+
+impl Tuple {
+    /// The empty tuple `⟨⟩`.
+    pub fn empty() -> Self {
+        Tuple::default()
+    }
+
+    /// Builds a tuple from `(column, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a column appears twice. Use [`Tuple::try_from_pairs`] for a
+    /// fallible variant.
+    pub fn from_pairs<I: IntoIterator<Item = (ColId, Value)>>(pairs: I) -> Self {
+        Tuple::try_from_pairs(pairs).expect("duplicate column in tuple literal")
+    }
+
+    /// Builds a tuple from `(column, value)` pairs, failing on duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::DuplicateColumn`] if a column appears twice.
+    pub fn try_from_pairs<I: IntoIterator<Item = (ColId, Value)>>(
+        pairs: I,
+    ) -> Result<Self, SpecError> {
+        let mut pairs: Vec<(ColId, Value)> = pairs.into_iter().collect();
+        pairs.sort_by_key(|(c, _)| *c);
+        let mut cols = ColSet::empty();
+        for (c, _) in &pairs {
+            if cols.contains(*c) {
+                return Err(SpecError::DuplicateColumn(c.index()));
+            }
+            cols = cols | *c;
+        }
+        let vals = pairs.into_iter().map(|(_, v)| v).collect();
+        Ok(Tuple { cols, vals })
+    }
+
+    /// Reconstructs a tuple from a domain and values in ascending column
+    /// order. This is the inverse of [`Tuple::values`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals.len() != cols.len()`.
+    pub fn from_parts(cols: ColSet, vals: Vec<Value>) -> Self {
+        assert_eq!(
+            cols.len(),
+            vals.len(),
+            "tuple arity mismatch: {} columns vs {} values",
+            cols.len(),
+            vals.len()
+        );
+        Tuple {
+            cols,
+            vals: vals.into_boxed_slice(),
+        }
+    }
+
+    /// The tuple's domain `dom t`.
+    pub fn dom(&self) -> ColSet {
+        self.cols
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Is this the empty tuple?
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// The value of column `c`, written `t(c)` in the paper.
+    pub fn get(&self, c: ColId) -> Option<&Value> {
+        self.cols.rank(c).map(|i| &self.vals[i])
+    }
+
+    /// The values in ascending column order.
+    pub fn values(&self) -> &[Value] {
+        &self.vals
+    }
+
+    /// Iterates `(column, value)` pairs in ascending column order.
+    pub fn iter(&self) -> impl Iterator<Item = (ColId, &Value)> {
+        self.cols.iter().zip(self.vals.iter())
+    }
+
+    /// Projection `π_C t` onto `cs ∩ dom t`.
+    ///
+    /// Columns of `cs` absent from the tuple are silently dropped (callers
+    /// that require `cs ⊆ dom t` should assert it; the synthesis runtime
+    /// does).
+    pub fn project(&self, cs: ColSet) -> Tuple {
+        let keep = self.cols & cs;
+        if keep == self.cols {
+            return self.clone();
+        }
+        let vals: Vec<Value> = keep
+            .iter()
+            .map(|c| self.vals[self.cols.rank(c).unwrap()].clone())
+            .collect();
+        Tuple {
+            cols: keep,
+            vals: vals.into_boxed_slice(),
+        }
+    }
+
+    /// The values of columns `cs` in ascending column order, as a boxed slice
+    /// suitable for use as a container key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cs ⊄ dom t`.
+    pub fn key_for(&self, cs: ColSet) -> Box<[Value]> {
+        assert!(
+            cs.is_subset(self.cols),
+            "key columns not all present in tuple"
+        );
+        cs.iter()
+            .map(|c| self.vals[self.cols.rank(c).unwrap()].clone())
+            .collect()
+    }
+
+    /// `t ⊇ s`: does `self` extend `s` (agreeing on all of `s`'s columns)?
+    pub fn extends(&self, s: &Tuple) -> bool {
+        if !s.cols.is_subset(self.cols) {
+            return false;
+        }
+        s.iter().all(|(c, v)| self.get(c) == Some(v))
+    }
+
+    /// `t ∼ s`: do the tuples agree on all common columns?
+    pub fn matches(&self, s: &Tuple) -> bool {
+        let common = self.cols & s.cols;
+        common
+            .iter()
+            .all(|c| self.get(c) == s.get(c))
+    }
+
+    /// Merge `self ⊕ u`: union of the two tuples, taking values from `u`
+    /// wherever the two disagree on a column's value (paper's `s ⊕ u`, written
+    /// `s 2 u` in the text).
+    pub fn merge(&self, u: &Tuple) -> Tuple {
+        let cols = self.cols | u.cols;
+        let vals: Vec<Value> = cols
+            .iter()
+            .map(|c| {
+                u.get(c)
+                    .or_else(|| self.get(c))
+                    .expect("column in union must come from one side")
+                    .clone()
+            })
+            .collect();
+        Tuple {
+            cols,
+            vals: vals.into_boxed_slice(),
+        }
+    }
+
+    /// Renders the tuple as `⟨a: 1, b: "x"⟩` using names from `cat`.
+    pub fn display(&self, cat: &crate::Catalog) -> String {
+        let parts: Vec<String> = self
+            .iter()
+            .map(|(c, v)| format!("{}: {}", cat.name(c), v))
+            .collect();
+        format!("⟨{}⟩", parts.join(", "))
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .iter()
+            .map(|(c, v)| format!("#{}: {}", c.index(), v))
+            .collect();
+        write!(f, "⟨{}⟩", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Catalog;
+
+    fn cols() -> (Catalog, ColId, ColId, ColId, ColId) {
+        let mut cat = Catalog::new();
+        let ns = cat.intern("ns");
+        let pid = cat.intern("pid");
+        let state = cat.intern("state");
+        let cpu = cat.intern("cpu");
+        (cat, ns, pid, state, cpu)
+    }
+
+    fn proc1(ns: ColId, pid: ColId, state: ColId, cpu: ColId) -> Tuple {
+        Tuple::from_pairs([
+            (ns, Value::from(1)),
+            (pid, Value::from(1)),
+            (state, Value::from("S")),
+            (cpu, Value::from(7)),
+        ])
+    }
+
+    #[test]
+    fn construction_is_order_independent() {
+        let (_, ns, pid, _, _) = cols();
+        let t1 = Tuple::from_pairs([(ns, Value::from(1)), (pid, Value::from(2))]);
+        let t2 = Tuple::from_pairs([(pid, Value::from(2)), (ns, Value::from(1))]);
+        assert_eq!(t1, t2);
+        assert_eq!(t1.len(), 2);
+        assert_eq!(t1.get(pid), Some(&Value::from(2)));
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let (_, ns, _, _, _) = cols();
+        let r = Tuple::try_from_pairs([(ns, Value::from(1)), (ns, Value::from(2))]);
+        assert!(matches!(r, Err(SpecError::DuplicateColumn(_))));
+    }
+
+    #[test]
+    fn projection() {
+        let (_, ns, pid, state, cpu) = cols();
+        let t = proc1(ns, pid, state, cpu);
+        let p = t.project(ns | state);
+        assert_eq!(p.dom(), ns | state);
+        assert_eq!(p.get(ns), Some(&Value::from(1)));
+        assert_eq!(p.get(state), Some(&Value::from("S")));
+        assert_eq!(p.get(cpu), None);
+        // Projecting onto a superset keeps only the present columns.
+        let q = p.project(ns | pid | state | cpu);
+        assert_eq!(q, p);
+        assert_eq!(t.project(ColSet::EMPTY), Tuple::empty());
+    }
+
+    #[test]
+    fn extends_and_matches() {
+        let (_, ns, pid, state, cpu) = cols();
+        let t = proc1(ns, pid, state, cpu);
+        let s = Tuple::from_pairs([(ns, Value::from(1)), (pid, Value::from(1))]);
+        assert!(t.extends(&s));
+        assert!(!s.extends(&t));
+        assert!(t.matches(&s) && s.matches(&t));
+        let other = Tuple::from_pairs([(ns, Value::from(2))]);
+        assert!(!t.extends(&other));
+        assert!(!t.matches(&other));
+        // Disjoint domains always match.
+        let disjoint = Tuple::from_pairs([(cpu, Value::from(99))]);
+        assert!(s.matches(&disjoint));
+        // Every tuple extends and matches the empty tuple.
+        assert!(t.extends(&Tuple::empty()) && t.matches(&Tuple::empty()));
+    }
+
+    #[test]
+    fn merge_prefers_update_side() {
+        let (_, ns, pid, state, cpu) = cols();
+        let t = proc1(ns, pid, state, cpu);
+        let u = Tuple::from_pairs([(state, Value::from("R")), (cpu, Value::from(8))]);
+        let m = t.merge(&u);
+        assert_eq!(m.dom(), ns | pid | state | cpu);
+        assert_eq!(m.get(state), Some(&Value::from("R")));
+        assert_eq!(m.get(cpu), Some(&Value::from(8)));
+        assert_eq!(m.get(ns), Some(&Value::from(1)));
+    }
+
+    #[test]
+    fn key_for_orders_by_column() {
+        let (_, ns, pid, state, cpu) = cols();
+        let t = proc1(ns, pid, state, cpu);
+        let k = t.key_for(pid | ns);
+        assert_eq!(&*k, &[Value::from(1), Value::from(1)]);
+        let k2 = t.key_for(cpu | state);
+        assert_eq!(&*k2, &[Value::from("S"), Value::from(7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "key columns")]
+    fn key_for_missing_column_panics() {
+        let (_, ns, pid, _, _) = cols();
+        let t = Tuple::from_pairs([(ns, Value::from(1))]);
+        let _ = t.key_for(ns | pid);
+    }
+
+    #[test]
+    fn from_parts_round_trip() {
+        let (_, ns, pid, state, cpu) = cols();
+        let t = proc1(ns, pid, state, cpu);
+        let t2 = Tuple::from_parts(t.dom(), t.values().to_vec());
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn display_named() {
+        let (cat, ns, pid, _, _) = cols();
+        let t = Tuple::from_pairs([(ns, Value::from(1)), (pid, Value::from(2))]);
+        assert_eq!(t.display(&cat), "⟨ns: 1, pid: 2⟩");
+    }
+}

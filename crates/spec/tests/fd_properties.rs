@@ -1,0 +1,125 @@
+//! Properties of the functional-dependency theory (§2): the attribute
+//! closure is a closure operator, the inference judgment `∆ ⊢fd A → B`
+//! satisfies Armstrong's axioms, and inference is sound with respect to
+//! concrete relations (`r |=fd ∆`).
+
+use proptest::prelude::*;
+use relic_spec::{Catalog, ColSet, Fd, FdSet, Relation, Tuple, Value};
+
+const NCOLS: usize = 5;
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    for i in 0..NCOLS {
+        cat.intern(&format!("c{i}"));
+    }
+    cat
+}
+
+fn colset(bits: u64) -> ColSet {
+    ColSet::from_bits(bits & ((1 << NCOLS) - 1))
+}
+
+fn fdset(raw: &[(u64, u64)]) -> FdSet {
+    let mut fds = FdSet::new();
+    for (l, r) in raw {
+        fds.add(Fd::new(colset(*l), colset(*r)));
+    }
+    fds
+}
+
+prop_compose! {
+    fn arb_fds()(raw in proptest::collection::vec((0u64..32, 0u64..32), 0..5)) -> FdSet {
+        fdset(&raw)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Closure is extensive, monotone and idempotent.
+    #[test]
+    fn closure_is_a_closure_operator(fds in arb_fds(), a in 0u64..32, b in 0u64..32) {
+        let a = colset(a);
+        let b = colset(b);
+        let ca = fds.closure(a);
+        // Extensive: A ⊆ A⁺.
+        prop_assert!(a.is_subset(ca));
+        // Idempotent: (A⁺)⁺ = A⁺.
+        prop_assert_eq!(fds.closure(ca), ca);
+        // Monotone: A ⊆ B ⇒ A⁺ ⊆ B⁺.
+        if a.is_subset(b) {
+            prop_assert!(ca.is_subset(fds.closure(b)));
+        }
+    }
+
+    /// `implies` coincides with membership in the closure.
+    #[test]
+    fn implies_iff_closure_contains(fds in arb_fds(), a in 0u64..32, b in 0u64..32) {
+        let a = colset(a);
+        let b = colset(b);
+        prop_assert_eq!(fds.implies(a, b), b.is_subset(fds.closure(a)));
+    }
+
+    /// Armstrong's axioms hold for the inference judgment.
+    #[test]
+    fn armstrong_axioms(fds in arb_fds(), a in 0u64..32, b in 0u64..32, c in 0u64..32) {
+        let a = colset(a);
+        let b = colset(b);
+        let c = colset(c);
+        // Reflexivity: B ⊆ A ⇒ A → B.
+        if b.is_subset(a) {
+            prop_assert!(fds.implies(a, b));
+        }
+        // Augmentation: A → B ⇒ A∪C → B∪C.
+        if fds.implies(a, b) {
+            prop_assert!(fds.implies(a | c, b | c));
+        }
+        // Transitivity: A → B ∧ B → C ⇒ A → C.
+        if fds.implies(a, b) && fds.implies(b, c) {
+            prop_assert!(fds.implies(a, c));
+        }
+    }
+
+    /// Soundness of inference against concrete data: if `r |=fd ∆` and
+    /// `∆ ⊢fd A → B`, then the semantic dependency A → B holds on `r`.
+    #[test]
+    fn inference_sound_on_satisfying_relations(
+        fds in arb_fds(),
+        rows in proptest::collection::vec(proptest::collection::vec(0i64..3, NCOLS), 0..12),
+        a in 0u64..32,
+        b in 0u64..32,
+    ) {
+        let cat = catalog();
+        let mut r = Relation::empty(cat.all());
+        for row in rows {
+            r.insert(Tuple::from_pairs(
+                row.iter()
+                    .enumerate()
+                    .map(|(i, v)| (cat.col(&format!("c{i}")).unwrap(), Value::from(*v))),
+            ));
+        }
+        prop_assume!(fds.holds_on(&r));
+        let a = colset(a);
+        let b = colset(b);
+        if fds.implies(a, b) {
+            // Semantic check: tuples equal on A are equal on B.
+            let single = FdSet::from_iter([Fd::new(a, b)]);
+            prop_assert!(single.holds_on(&r), "∆ ⊢ A → B but r violates A → B");
+        }
+    }
+
+    /// A minimal key determines all columns and no strict subset of it does.
+    #[test]
+    fn minimal_key_is_minimal(fds in arb_fds()) {
+        let all = colset(31);
+        let key = fds.minimal_key(all);
+        prop_assert!(fds.implies(key, all));
+        for c in key.iter() {
+            prop_assert!(
+                !fds.implies(key - c.set(), all),
+                "dropping {c:?} still a key — not minimal"
+            );
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! The three case-study systems of the paper's §6.2 — a web-server mmap
+//! cache (thttpd), a network-flow accounting daemon (IpCap) and a map-tile
+//! cache (ZTopo) — plus the workload generators and the non-comment
+//! line-counter used to regenerate Table 1.
+//!
+//! Each system comes in two functionally equivalent flavours behind one
+//! trait:
+//!
+//! * a **baseline** module, hand-coded the way the original C/C++ programs
+//!   kept their data (open-coded maps plus manually maintained side
+//!   structures and invariants), and
+//! * a **synthesized** module, which delegates all data management to a
+//!   [`relic_core::SynthRelation`] and a decomposition.
+//!
+//! The equivalence tests in each module and the `parity`/`table1` harnesses
+//! in `relic-bench` reproduce the paper's claims: same observable behaviour,
+//! comparable performance, and less hand-written code.
+//!
+//! Since the original inputs (live HTTP traffic, gateway packet captures,
+//! USGS topo tiles, the NW-USA road network) are unavailable, every workload
+//! here is generated deterministically from a seed — see DESIGN.md's
+//! substitution table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod ipcap;
+pub mod loc;
+pub mod thttpd;
+pub mod zipf;
+pub mod ztopo;

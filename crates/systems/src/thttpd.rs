@@ -1,0 +1,341 @@
+//! The thttpd `mmap()` cache (§6.2).
+//!
+//! thttpd caches file→memory mappings: a request for a file first consults
+//! the cache; a hit reuses the existing mapping (refreshing its timestamp),
+//! a miss creates one. When the cache grows past its high-water mark, a
+//! cleanup pass removes mappings older than a threshold.
+//!
+//! The cache is the relation `maps⟨path, addr, size, stamp⟩` with
+//! `path → addr, size, stamp` (and `addr → path, size, stamp`: mapped
+//! addresses are unique).
+//!
+//! [`BaselineMmapCache`] is the hand-coded original (open-coded hash map +
+//! manual sweep); [`SynthMmapCache`] delegates to a [`SynthRelation`].
+
+use crate::zipf::Zipf;
+use relic_core::SynthRelation;
+use relic_decomp::Decomposition;
+use relic_spec::{Catalog, ColId, Pattern, Pred, RelSpec, Tuple, Value};
+use std::collections::HashMap;
+
+/// A cache request: fetch `path` at (logical) time `now`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Requested file path.
+    pub path: String,
+    /// Logical timestamp of the request.
+    pub now: i64,
+}
+
+/// Generates a deterministic Zipf-popular request stream over `files`
+/// distinct paths.
+pub fn request_stream(requests: usize, files: usize, seed: u64) -> Vec<Request> {
+    let mut z = Zipf::new(files, 1.0, seed);
+    (0..requests)
+        .map(|i| Request {
+            path: format!("/www/site/file-{:05}.html", z.sample()),
+            now: i as i64,
+        })
+        .collect()
+}
+
+/// Observable outcome of one request (used to check behavioural parity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The mapping existed.
+    Hit,
+    /// A new mapping was created.
+    Miss,
+}
+
+/// The cache interface both implementations provide.
+pub trait MmapCache {
+    /// Serves one request, returning hit/miss.
+    fn serve(&mut self, req: &Request) -> Outcome;
+    /// Removes mappings with `stamp < cutoff`, returning how many were
+    /// unmapped.
+    fn cleanup(&mut self, cutoff: i64) -> usize;
+    /// Number of live mappings.
+    fn live(&self) -> usize;
+}
+
+/// Drives a request stream with periodic cleanups (every `sweep_every`
+/// requests, dropping entries older than `max_age`); returns per-request
+/// outcomes plus the total number of unmapped entries.
+pub fn run_cache<C: MmapCache>(
+    cache: &mut C,
+    reqs: &[Request],
+    sweep_every: usize,
+    max_age: i64,
+) -> (Vec<Outcome>, usize) {
+    let mut outcomes = Vec::with_capacity(reqs.len());
+    let mut unmapped = 0;
+    for (i, r) in reqs.iter().enumerate() {
+        outcomes.push(cache.serve(r));
+        if sweep_every > 0 && (i + 1) % sweep_every == 0 {
+            unmapped += cache.cleanup(r.now - max_age);
+        }
+    }
+    (outcomes, unmapped)
+}
+
+// [baseline:begin]
+/// Hand-coded mmap cache: a hash map keyed by path, swept linearly.
+#[derive(Debug, Default)]
+pub struct BaselineMmapCache {
+    table: HashMap<String, (i64, i64, i64)>, // path -> (addr, size, stamp)
+    next_addr: i64,
+}
+
+impl BaselineMmapCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        BaselineMmapCache::default()
+    }
+}
+
+impl MmapCache for BaselineMmapCache {
+    fn serve(&mut self, req: &Request) -> Outcome {
+        if let Some(entry) = self.table.get_mut(&req.path) {
+            entry.2 = req.now;
+            return Outcome::Hit;
+        }
+        self.next_addr += 4096;
+        let size = 1024 + (req.path.len() as i64) * 7;
+        self.table
+            .insert(req.path.clone(), (self.next_addr, size, req.now));
+        Outcome::Miss
+    }
+
+    fn cleanup(&mut self, cutoff: i64) -> usize {
+        let before = self.table.len();
+        self.table.retain(|_, (_, _, stamp)| *stamp >= cutoff);
+        before - self.table.len()
+    }
+
+    fn live(&self) -> usize {
+        self.table.len()
+    }
+}
+// [baseline:end]
+
+/// Column handles for the mmap-cache relation.
+#[derive(Debug, Clone, Copy)]
+pub struct MmapCols {
+    /// File path.
+    pub path: ColId,
+    /// Mapped address.
+    pub addr: ColId,
+    /// Mapping size.
+    pub size: ColId,
+    /// Last-used timestamp.
+    pub stamp: ColId,
+}
+
+/// Creates the mmap-cache relation's catalog, columns and specification.
+pub fn mmap_spec() -> (Catalog, MmapCols, RelSpec) {
+    let mut cat = Catalog::new();
+    let cols = MmapCols {
+        path: cat.intern("path"),
+        addr: cat.intern("addr"),
+        size: cat.intern("size"),
+        stamp: cat.intern("stamp"),
+    };
+    let all = cols.path | cols.addr | cols.size | cols.stamp;
+    let spec = RelSpec::new(all)
+        .with_fd(cols.path.into(), cols.addr | cols.size | cols.stamp)
+        .with_fd(cols.addr.into(), cols.path | cols.size | cols.stamp);
+    (cat, cols, spec)
+}
+
+/// The default decomposition: a hash table from path to a unit holding the
+/// mapping; the sweep is a scan, as in the original.
+pub fn default_decomposition(cat: &mut Catalog) -> Decomposition {
+    relic_decomp::parse(
+        cat,
+        "let w : {path} . {addr,size,stamp} = unit {addr,size,stamp} in
+         let x : {} . {path,addr,size,stamp} = {path} -[htable]-> w in x",
+    )
+    .expect("default decomposition parses")
+}
+
+/// An age-indexed decomposition: the path hash joined with an ordered stamp
+/// index sharing the mapping leaf. Point lookups stay O(1); the cleanup
+/// sweep (`stamp < cutoff`) becomes an ordered seek over exactly the stale
+/// run (`qrange`) instead of a full scan — a representation change the
+/// client code never sees.
+pub fn ordered_decomposition(cat: &mut Catalog) -> Decomposition {
+    relic_decomp::parse(
+        cat,
+        "let w : {path,stamp} . {addr,size} = unit {addr,size} in
+         let y : {path} . {stamp,addr,size} = {stamp} -[vec]-> w in
+         let z : {stamp} . {path,addr,size} = {path} -[htable]-> w in
+         let x : {} . {path,addr,size,stamp} =
+           ({path} -[htable]-> y) join ({stamp} -[avl]-> z) in x",
+    )
+    .expect("ordered decomposition parses")
+}
+
+// [synth:begin]
+/// The synthesized mmap cache.
+#[derive(Debug)]
+pub struct SynthMmapCache {
+    rel: SynthRelation,
+    cols: MmapCols,
+    next_addr: i64,
+}
+
+impl SynthMmapCache {
+    /// Creates a cache over any adequate decomposition of the relation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates adequacy failures.
+    pub fn new(
+        cat: &Catalog,
+        cols: MmapCols,
+        spec: &RelSpec,
+        d: Decomposition,
+    ) -> Result<Self, relic_core::BuildError> {
+        let mut rel = SynthRelation::new(cat, spec.clone(), d)?;
+        rel.set_fd_checking(false);
+        Ok(SynthMmapCache {
+            rel,
+            cols,
+            next_addr: 0,
+        })
+    }
+
+    /// Access to the underlying relation (for validation in tests).
+    pub fn relation(&self) -> &SynthRelation {
+        &self.rel
+    }
+}
+
+impl MmapCache for SynthMmapCache {
+    fn serve(&mut self, req: &Request) -> Outcome {
+        let key = Tuple::from_pairs([(self.cols.path, Value::from(req.path.as_str()))]);
+        if self.rel.contains_matching(&key).expect("in-relation query") {
+            self.rel
+                .update(
+                    &key,
+                    &Tuple::from_pairs([(self.cols.stamp, Value::from(req.now))]),
+                )
+                .expect("touch existing mapping");
+            return Outcome::Hit;
+        }
+        self.next_addr += 4096;
+        let size = 1024 + (req.path.len() as i64) * 7;
+        self.rel
+            .insert(key.merge(&Tuple::from_pairs([
+                (self.cols.addr, Value::from(self.next_addr)),
+                (self.cols.size, Value::from(size)),
+                (self.cols.stamp, Value::from(req.now)),
+            ])))
+            .expect("new mapping");
+        Outcome::Miss
+    }
+
+    fn cleanup(&mut self, cutoff: i64) -> usize {
+        // The paper's description of this module — "removes those older
+        // than a certain threshold" — is one predicate removal. With an
+        // ordered decomposition (e.g. a stamp index) the planner seeks the
+        // stale run instead of scanning.
+        let stale = Pattern::new().with(self.cols.stamp, Pred::Lt(Value::from(cutoff)));
+        self.rel.remove_where(&stale).expect("sweep stale mappings")
+    }
+
+    fn live(&self) -> usize {
+        self.rel.len()
+    }
+}
+// [synth:end]
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_and_skewed() {
+        let a = request_stream(500, 50, 3);
+        let b = request_stream(500, 50, 3);
+        assert_eq!(a, b);
+        // The hottest file should recur.
+        let hot = a.iter().filter(|r| r.path.contains("file-00000")).count();
+        assert!(hot > 10, "hot file appeared {hot} times");
+    }
+
+    #[test]
+    fn baseline_and_synth_agree() {
+        let reqs = request_stream(800, 40, 21);
+        let mut base = BaselineMmapCache::new();
+        let (mut cat, cols, spec) = mmap_spec();
+        let d = default_decomposition(&mut cat);
+        let mut synth = SynthMmapCache::new(&cat, cols, &spec, d).unwrap();
+        let (o1, u1) = run_cache(&mut base, &reqs, 100, 150);
+        let (o2, u2) = run_cache(&mut synth, &reqs, 100, 150);
+        assert_eq!(o1, o2);
+        assert_eq!(u1, u2);
+        assert_eq!(base.live(), synth.live());
+        synth.relation().validate().unwrap();
+    }
+
+    #[test]
+    fn ordered_decomposition_agrees_and_seeks() {
+        let reqs = request_stream(600, 32, 5);
+        let mut base = BaselineMmapCache::new();
+        let (mut cat, cols, spec) = mmap_spec();
+        let d = ordered_decomposition(&mut cat);
+        let mut synth = SynthMmapCache::new(&cat, cols, &spec, d).unwrap();
+        // The stale-sweep pattern plans to an ordered seek on this layout.
+        let stale = Pattern::new().with(cols.stamp, Pred::Lt(Value::from(0)));
+        let plan = synth
+            .relation()
+            .plan_for_where(&stale, cat.all())
+            .unwrap();
+        assert!(plan.contains("qrange"), "{plan}");
+        let (o1, u1) = run_cache(&mut base, &reqs, 80, 120);
+        let (o2, u2) = run_cache(&mut synth, &reqs, 80, 120);
+        assert_eq!(o1, o2);
+        assert_eq!(u1, u2);
+        assert_eq!(base.live(), synth.live());
+        synth.relation().validate().unwrap();
+    }
+
+    #[test]
+    fn cleanup_removes_only_stale() {
+        let (mut cat, cols, spec) = mmap_spec();
+        let d = default_decomposition(&mut cat);
+        let mut synth = SynthMmapCache::new(&cat, cols, &spec, d).unwrap();
+        for (i, path) in ["/a", "/b", "/c"].iter().enumerate() {
+            synth.serve(&Request {
+                path: path.to_string(),
+                now: i as i64 * 10,
+            });
+        }
+        assert_eq!(synth.cleanup(15), 2); // /a (0) and /b (10) are stale
+        assert_eq!(synth.live(), 1);
+        synth.relation().validate().unwrap();
+    }
+
+    #[test]
+    fn hits_refresh_stamps() {
+        let (mut cat, cols, spec) = mmap_spec();
+        let d = default_decomposition(&mut cat);
+        let mut synth = SynthMmapCache::new(&cat, cols, &spec, d).unwrap();
+        synth.serve(&Request {
+            path: "/hot".into(),
+            now: 0,
+        });
+        assert_eq!(
+            synth.serve(&Request {
+                path: "/hot".into(),
+                now: 100
+            }),
+            Outcome::Hit
+        );
+        // Refreshed: a cleanup at cutoff 50 keeps it.
+        assert_eq!(synth.cleanup(50), 0);
+        assert_eq!(synth.live(), 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! A seeded Zipf-distributed sampler (implemented in-repo; `rand` provides
+//! only uniform primitives we build on).
+//!
+//! Skewed key popularity is what makes cache and flow-accounting workloads
+//! interesting: a few hot keys dominate. The classic Zipf distribution with
+//! exponent `s` assigns rank `k` (1-based) probability `∝ 1/k^s`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Zipf sampler over ranks `0..n` with exponent `s`, backed by a
+/// precomputed CDF and binary search (O(log n) per sample).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `s`, seeded
+    /// deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64, seed: u64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf {
+            cdf,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the next rank in `0..n`. Rank 0 is the most popular.
+    pub fn sample(&mut self) -> usize {
+        let u: f64 = self.rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_in_range() {
+        let mut z = Zipf::new(100, 1.0, 7);
+        for _ in 0..1000 {
+            assert!(z.sample() < 100);
+        }
+    }
+
+    #[test]
+    fn skew_prefers_low_ranks() {
+        let mut z = Zipf::new(1000, 1.2, 42);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..20_000 {
+            counts[z.sample()] += 1;
+        }
+        let head: usize = counts[..10].iter().sum();
+        let tail: usize = counts[500..].iter().sum();
+        assert!(
+            head > tail * 3,
+            "top-10 ({head}) should dwarf ranks 500+ ({tail})"
+        );
+        assert!(counts[0] >= counts[100], "rank 0 at least as hot as rank 100");
+    }
+
+    #[test]
+    fn zero_exponent_is_uniformish() {
+        let mut z = Zipf::new(10, 0.0, 3);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample()] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "approximately uniform, got {c}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Zipf::new(50, 1.0, 11);
+        let mut b = Zipf::new(50, 1.0, 11);
+        let sa: Vec<usize> = (0..100).map(|_| a.sample()).collect();
+        let sb: Vec<usize> = (0..100).map(|_| b.sample()).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = Zipf::new(0, 1.0, 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! The RELC compiler analog as a demo: print the specialized Rust module
+//! generated for the scheduler relation and its Fig. 2 decomposition.
+//!
+//! ```sh
+//! cargo run -p relic-bench --example codegen_demo > scheduler_generated.rs
+//! ```
+
+use relic_codegen::{generate, ColType, OpSet, Request};
+use relic_decomp::parse;
+use relic_spec::{Catalog, RelSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cat = Catalog::new();
+    let d = parse(
+        &mut cat,
+        "let w : {ns,pid,state} . {cpu} = unit {cpu} in
+         let y : {ns} . {pid,cpu} = {pid} -[htable]-> w in
+         let z : {state} . {ns,pid,cpu} = {ns,pid} -[dlist]-> w in
+         let x : {} . {ns,pid,state,cpu} =
+           ({ns} -[htable]-> y) join ({state} -[vec]-> z) in x",
+    )?;
+    let ns = cat.col("ns").unwrap();
+    let pid = cat.col("pid").unwrap();
+    let state = cat.col("state").unwrap();
+    let cpu = cat.col("cpu").unwrap();
+    let spec = RelSpec::new(cat.all()).with_fd(ns | pid, state | cpu);
+    // The instantiations the paper's §2 class exposes.
+    let ops = OpSet::new()
+        .query(state.into(), ns | pid)
+        .query(ns | pid, state | cpu)
+        .remove(ns | pid)
+        .update(ns | pid, cpu | state);
+    let code = generate(&Request {
+        module_name: "scheduler_relation".into(),
+        cat: &cat,
+        spec: &spec,
+        decomposition: &d,
+        types: vec![ColType::I64, ColType::I64, ColType::Str, ColType::I64],
+        ops,
+    })?;
+    println!("{code}");
+    Ok(())
+}

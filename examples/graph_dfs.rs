@@ -1,0 +1,43 @@
+//! The §6.1 graph benchmark as a demo: build the edge relation under two
+//! decompositions and watch the representation choice change traversal cost
+//! without changing a line of client code.
+//!
+//! ```sh
+//! cargo run --release -p relic-bench --example graph_dfs
+//! ```
+
+use relic_bench::fig12_decompositions;
+use relic_systems::graph::{graph_spec, road_network, GraphBench};
+use std::time::Instant;
+
+fn main() {
+    let (mut cat, cols, spec) = graph_spec();
+    let workload = road_network(30, 30, 90, 42);
+    println!(
+        "synthetic road network: {} nodes, {} edges\n",
+        workload.nodes,
+        workload.edges.len()
+    );
+    for cand in fig12_decompositions(&mut cat) {
+        println!("=== {} ===", cand.label);
+        let t0 = Instant::now();
+        let bench = GraphBench::build(&cat, cols, &spec, cand.decomposition, &workload).unwrap();
+        let t_build = t0.elapsed();
+        let t0 = Instant::now();
+        let fwd = bench.dfs_forward();
+        let t_fwd = t0.elapsed();
+        let t0 = Instant::now();
+        let bwd = bench.dfs_backward();
+        let t_bwd = t0.elapsed();
+        let mut bench = bench;
+        let t0 = Instant::now();
+        bench.delete_all_edges();
+        let t_del = t0.elapsed();
+        println!("  build: {t_build:?}");
+        println!("  forward DFS ({fwd} nodes): {t_fwd:?}");
+        println!("  backward DFS ({bwd} nodes): {t_bwd:?}");
+        println!("  delete all edges: {t_del:?}");
+        println!();
+    }
+    println!("Same client code, same answers — only the decomposition changed.");
+}

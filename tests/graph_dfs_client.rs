@@ -1,0 +1,70 @@
+//! The §6.1 graph-benchmark client code, across the Fig. 12 decompositions:
+//! results must be identical regardless of representation, removal must
+//! reclaim everything, and re-planning with profiled fan-outs must not
+//! change answers.
+
+use relic_bench::{fig11_candidates, fig12_decompositions};
+use relic_systems::graph::{graph_spec, road_network, skewed_graph, GraphBench};
+
+#[test]
+fn fig12_decompositions_agree_on_dfs() {
+    let (mut cat, cols, spec) = graph_spec();
+    let workload = road_network(8, 8, 12, 1);
+    let benches: Vec<GraphBench> = fig12_decompositions(&mut cat)
+        .into_iter()
+        .map(|c| GraphBench::build(&cat, cols, &spec, c.decomposition, &workload).unwrap())
+        .collect();
+    let forwards: Vec<usize> = benches.iter().map(|b| b.dfs_forward()).collect();
+    let backwards: Vec<usize> = benches.iter().map(|b| b.dfs_backward()).collect();
+    assert!(forwards.windows(2).all(|w| w[0] == w[1]), "{forwards:?}");
+    assert!(backwards.windows(2).all(|w| w[0] == w[1]), "{backwards:?}");
+    assert_eq!(forwards[0], 64, "grid is strongly connected");
+}
+
+#[test]
+fn edge_deletion_reclaims_all_instances() {
+    let (mut cat, cols, spec) = graph_spec();
+    let workload = skewed_graph(40, 250, 7);
+    for c in fig12_decompositions(&mut cat) {
+        let mut bench =
+            GraphBench::build(&cat, cols, &spec, c.decomposition.clone(), &workload).unwrap();
+        let label = c.label.clone();
+        assert_eq!(bench.edge_count(), 250, "{label}");
+        bench.delete_all_edges();
+        assert_eq!(bench.edge_count(), 0, "{label}");
+        bench.rel.validate().unwrap_or_else(|e| panic!("{label}: {e}"));
+        // Only the root instance should remain after deleting every edge.
+        assert_eq!(bench.rel.instance_count(), 1, "{label}");
+    }
+}
+
+#[test]
+fn observed_cost_model_preserves_answers() {
+    let (mut cat, cols, spec) = graph_spec();
+    let workload = road_network(6, 6, 8, 3);
+    for c in fig12_decompositions(&mut cat) {
+        let mut bench =
+            GraphBench::build(&cat, cols, &spec, c.decomposition, &workload).unwrap();
+        let before = (bench.dfs_forward(), bench.dfs_backward());
+        let observed = bench.rel.observed_cost_model();
+        bench.rel.set_cost_model(observed);
+        let after = (bench.dfs_forward(), bench.dfs_backward());
+        assert_eq!(before, after);
+    }
+}
+
+#[test]
+fn fig11_candidate_set_all_execute_correctly() {
+    // Every candidate the Fig. 11 harness would run produces identical DFS
+    // results on a small graph.
+    let (mut cat, cols, spec) = graph_spec();
+    let workload = road_network(5, 5, 6, 9);
+    let candidates = fig11_candidates(&mut cat, &spec, 6);
+    assert!(candidates.len() >= 9);
+    let mut results = Vec::new();
+    for c in candidates {
+        let bench = GraphBench::build(&cat, cols, &spec, c.decomposition, &workload).unwrap();
+        results.push((bench.dfs_forward(), bench.dfs_backward()));
+    }
+    assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
+}
