@@ -63,7 +63,10 @@ fn bench_intrusive(c: &mut Criterion) {
     let (mut cat, cols, spec) = graph_spec();
     let workload = skewed_graph(60, 1_500, 0xAB2);
     let mut group = c.benchmark_group("ablation_intrusive");
-    for (label, list_kind) in [("intrusive_ilist", "ilist"), ("non_intrusive_dlist", "dlist")] {
+    for (label, list_kind) in [
+        ("intrusive_ilist", "ilist"),
+        ("non_intrusive_dlist", "dlist"),
+    ] {
         let src = format!(
             "let w : {{src,dst}} . {{weight}} = unit {{weight}} in
              let y : {{src}} . {{dst,weight}} = {{dst}} -[{list_kind}]-> w in
@@ -151,11 +154,7 @@ fn bench_planner(c: &mut Criterion) {
         .unwrap();
     }
     // Plans for query ⟨ns, state⟩ → {pid}.
-    let planner = relic_query::Planner::new(
-        &d,
-        &spec,
-        rel.observed_cost_model(),
-    );
+    let planner = relic_query::Planner::new(&d, &spec, rel.observed_cost_model());
     let best = planner.plan_query(ns | state, pid.into()).unwrap();
     let worst = planner.plan_query_worst(ns | state, pid.into()).unwrap();
     assert!(worst.cost >= best.cost);
@@ -168,8 +167,7 @@ fn bench_planner(c: &mut Criterion) {
         b.iter(|| {
             let mut n = 0;
             for v in 0..50i64 {
-                let pat =
-                    Tuple::from_pairs([(ns, Value::from(v)), (state, Value::from("R"))]);
+                let pat = Tuple::from_pairs([(ns, Value::from(v)), (state, Value::from("R"))]);
                 rel.query_for_each(&pat, pid.into(), |_| n += 1).unwrap();
             }
             n
@@ -180,8 +178,7 @@ fn bench_planner(c: &mut Criterion) {
             let mut n = 0;
             for v in 0..50i64 {
                 rel.query_for_each(&Tuple::empty(), cat.all(), |t| {
-                    if t.get(ns) == Some(&Value::from(v))
-                        && t.get(state) == Some(&Value::from("R"))
+                    if t.get(ns) == Some(&Value::from(v)) && t.get(state) == Some(&Value::from("R"))
                     {
                         n += 1;
                     }
@@ -240,7 +237,8 @@ fn bench_range(c: &mut Criterion) {
                     let p = Pattern::new()
                         .with(host, Pred::Eq(Value::from(h)))
                         .with(ts, Pred::Between(Value::from(1_000), Value::from(1_031)));
-                    rel.query_where_for_each(&p, bytes.into(), |_| n += 1).unwrap();
+                    rel.query_where_for_each(&p, bytes.into(), |_| n += 1)
+                        .unwrap();
                 }
                 n
             })
@@ -283,20 +281,28 @@ fn bench_hashjoin(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_hashjoin");
     group.sample_size(10);
     rel.set_join_cost_mode(JoinCostMode::Optimistic);
-    assert!(rel.plan_for(relic_spec::ColSet::EMPTY, cat.all()).unwrap().contains("qjoin"));
+    assert!(rel
+        .plan_for(relic_spec::ColSet::EMPTY, cat.all())
+        .unwrap()
+        .contains("qjoin"));
     group.bench_function("nested_join", |bch| {
         bch.iter(|| {
             let mut n = 0usize;
-            rel.query_for_each(&Tuple::empty(), cat.all(), |_| n += 1).unwrap();
+            rel.query_for_each(&Tuple::empty(), cat.all(), |_| n += 1)
+                .unwrap();
             n
         })
     });
     rel.set_join_cost_mode(JoinCostMode::Realistic);
-    assert!(rel.plan_for(relic_spec::ColSet::EMPTY, cat.all()).unwrap().contains("qhashjoin"));
+    assert!(rel
+        .plan_for(relic_spec::ColSet::EMPTY, cat.all())
+        .unwrap()
+        .contains("qhashjoin"));
     group.bench_function("hash_join", |bch| {
         bch.iter(|| {
             let mut n = 0usize;
-            rel.query_for_each(&Tuple::empty(), cat.all(), |_| n += 1).unwrap();
+            rel.query_for_each(&Tuple::empty(), cat.all(), |_| n += 1)
+                .unwrap();
             n
         })
     });

@@ -79,29 +79,25 @@ fn bench_scaling(c: &mut Criterion) {
             let cat = cat.clone();
             let spec = spec.clone();
             let d = d.clone();
-            group.bench_with_input(
-                BenchmarkId::new(label, threads),
-                &threads,
-                |b, &threads| {
-                    b.iter_batched(
-                        || {
-                            ConcurrentRelation::new(
-                                &cat,
-                                spec.clone(),
-                                d.clone(),
-                                ColSet::from(local),
-                                shards,
-                            )
-                            .unwrap()
-                        },
-                        |rel| {
-                            run_mix(&rel, &cat, threads, TOTAL_OPS / threads);
-                            rel.len()
-                        },
-                        BatchSize::LargeInput,
-                    )
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, &threads| {
+                b.iter_batched(
+                    || {
+                        ConcurrentRelation::new(
+                            &cat,
+                            spec.clone(),
+                            d.clone(),
+                            ColSet::from(local),
+                            shards,
+                        )
+                        .unwrap()
+                    },
+                    |rel| {
+                        run_mix(&rel, &cat, threads, TOTAL_OPS / threads);
+                        rel.len()
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
         }
     }
     group.finish();

@@ -25,13 +25,14 @@ fn bench_fig12(c: &mut Criterion) {
         };
         group.bench_function(format!("build/{label}"), |b| {
             b.iter(|| {
-                GraphBench::build(&cat, cols, &spec, cand.decomposition.clone(), &workload)
-                    .unwrap()
+                GraphBench::build(&cat, cols, &spec, cand.decomposition.clone(), &workload).unwrap()
             })
         });
         let bench =
             GraphBench::build(&cat, cols, &spec, cand.decomposition.clone(), &workload).unwrap();
-        group.bench_function(format!("forward/{label}"), |b| b.iter(|| bench.dfs_forward()));
+        group.bench_function(format!("forward/{label}"), |b| {
+            b.iter(|| bench.dfs_forward())
+        });
         group.bench_function(format!("backward/{label}"), |b| {
             b.iter(|| bench.dfs_backward())
         });

@@ -2,6 +2,8 @@
 //! mmap cache under a skewed request stream, across decompositions.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use relic_core::Bindings;
+use relic_spec::{Tuple, Value};
 use relic_systems::thttpd::{
     mmap_spec, request_stream, run_cache, BaselineMmapCache, SynthMmapCache,
 };
@@ -52,9 +54,55 @@ fn bench_cache(c: &mut Criterion) {
     group.finish();
 }
 
+/// The warm hit path in isolation: point lookups by path against a standing
+/// cache, through the tuple-materializing API versus the zero-allocation
+/// bindings API.
+fn bench_hit_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_cache_hit_path");
+    let (mut cat, cols, spec) = mmap_spec();
+    let d = relic_decomp::parse(
+        &mut cat,
+        "let w : {path} . {addr,size,stamp} = unit {addr,size,stamp} in
+         let x : {} . {path,addr,size,stamp} = {path} -[htable]-> w in x",
+    )
+    .unwrap();
+    let mut cache = SynthMmapCache::new(&cat, cols, &spec, d).unwrap();
+    // Populate with the skewed stream, no cleanup: lookups below all hit.
+    let reqs = request_stream(2_000, 400, 0xCAC4E);
+    run_cache(&mut cache, &reqs, 0, i64::MAX);
+    let rel = cache.relation();
+    let patterns: Vec<Tuple> = reqs
+        .iter()
+        .take(400)
+        .map(|r| Tuple::from_pairs([(cols.path, Value::from(r.path.as_str()))]))
+        .collect();
+    group.bench_function("lookup_tuple", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for p in &patterns {
+                rel.query_for_each(p, cols.addr.into(), |_| hits += 1)
+                    .unwrap();
+            }
+            hits
+        })
+    });
+    group.bench_function("lookup_bindings", |b| {
+        let mut scratch = Bindings::new();
+        b.iter(|| {
+            let mut hits = 0usize;
+            for p in &patterns {
+                rel.query_for_each_bindings(&mut scratch, p, cols.addr.into(), |_| hits += 1)
+                    .unwrap();
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_cache
+    targets = bench_cache, bench_hit_path
 }
 criterion_main!(benches);

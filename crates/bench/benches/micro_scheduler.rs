@@ -3,7 +3,7 @@
 //! decompositions of the process relation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use relic_core::SynthRelation;
+use relic_core::{Bindings, SynthRelation};
 use relic_decomp::parse;
 use relic_spec::{Catalog, RelSpec, Tuple, Value};
 use std::time::Duration;
@@ -64,7 +64,8 @@ fn run_epoch(cat: &Catalog, rel: &mut SynthRelation, n: i64) -> usize {
     )
     .unwrap();
     for key in &running {
-        rel.update(key, &Tuple::from_pairs([(cpu, Value::from(1))])).unwrap();
+        rel.update(key, &Tuple::from_pairs([(cpu, Value::from(1))]))
+            .unwrap();
     }
     // State churn: sleep every running process.
     for key in &running {
@@ -101,9 +102,80 @@ fn bench_scheduler(c: &mut Criterion) {
     group.finish();
 }
 
+/// The warm planned-query hot path on a standing relation: the same point
+/// lookups and state scans through the tuple-materializing compatibility
+/// API versus the zero-allocation bindings API.
+fn bench_hot_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_hot_path");
+    let (label, src) = scheduler_sources()[0];
+    let mut cat = Catalog::new();
+    let d = parse(&mut cat, src).unwrap();
+    let spec = RelSpec::new(cat.all()).with_fd(
+        cat.col("ns").unwrap() | cat.col("pid").unwrap(),
+        cat.col("state").unwrap() | cat.col("cpu").unwrap(),
+    );
+    let ns = cat.col("ns").unwrap();
+    let pid = cat.col("pid").unwrap();
+    let state = cat.col("state").unwrap();
+    let cpu = cat.col("cpu").unwrap();
+    let mut rel = SynthRelation::new(&cat, spec, d).unwrap();
+    rel.set_fd_checking(false);
+    for i in 0..1000i64 {
+        rel.insert(Tuple::from_pairs([
+            (ns, Value::from(i % 16)),
+            (pid, Value::from(i)),
+            (state, Value::from(if i % 3 == 0 { "R" } else { "S" })),
+            (cpu, Value::from(i % 7)),
+        ]))
+        .unwrap();
+    }
+    let points: Vec<Tuple> = (0..1000i64)
+        .map(|i| Tuple::from_pairs([(ns, Value::from(i % 16)), (pid, Value::from(i))]))
+        .collect();
+    let scan_pat = Tuple::from_pairs([(state, Value::from("R"))]);
+    group.bench_function(format!("point_tuple/{label}"), |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for p in &points {
+                rel.query_for_each(p, cpu.into(), |_| hits += 1).unwrap();
+            }
+            hits
+        })
+    });
+    group.bench_function(format!("point_bindings/{label}"), |b| {
+        let mut scratch = Bindings::new();
+        b.iter(|| {
+            let mut hits = 0usize;
+            for p in &points {
+                rel.query_for_each_bindings(&mut scratch, p, cpu.into(), |_| hits += 1)
+                    .unwrap();
+            }
+            hits
+        })
+    });
+    group.bench_function(format!("scan_tuple/{label}"), |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            rel.query_for_each(&scan_pat, ns | pid, |_| hits += 1)
+                .unwrap();
+            hits
+        })
+    });
+    group.bench_function(format!("scan_bindings/{label}"), |b| {
+        let mut scratch = Bindings::new();
+        b.iter(|| {
+            let mut hits = 0usize;
+            rel.query_for_each_bindings(&mut scratch, &scan_pat, ns | pid, |_| hits += 1)
+                .unwrap();
+            hits
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_scheduler
+    targets = bench_scheduler, bench_hot_path
 }
 criterion_main!(benches);

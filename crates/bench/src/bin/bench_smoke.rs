@@ -1,0 +1,228 @@
+//! Perf-trajectory smoke harness: runs the `micro_cache` and
+//! `micro_scheduler` workloads a fixed number of times each and emits
+//! machine-readable JSON timings (mean ns per workload repetition), so every
+//! PR from this one onward can compare against the recorded `BENCH_1.json`.
+//!
+//! Usage: `cargo run --release --bin bench_smoke [-- OUTPUT.json]`
+//! (default output path: `BENCH_1.json` in the current directory).
+
+use relic_core::{Bindings, SynthRelation};
+use relic_decomp::parse;
+use relic_spec::{Catalog, RelSpec, Tuple, Value};
+use relic_systems::thttpd::{mmap_spec, request_stream, run_cache, SynthMmapCache};
+use std::time::Instant;
+
+/// Times `f` over `reps` repetitions after `warmup` untimed ones, returning
+/// mean nanoseconds per repetition.
+fn time_mean_ns(warmup: usize, reps: usize, mut f: impl FnMut() -> usize) -> f64 {
+    let mut sink = 0usize;
+    for _ in 0..warmup {
+        sink = sink.wrapping_add(std::hint::black_box(f()));
+    }
+    let start = Instant::now();
+    for _ in 0..reps {
+        sink = sink.wrapping_add(std::hint::black_box(f()));
+    }
+    let elapsed = start.elapsed().as_nanos() as f64 / reps as f64;
+    std::hint::black_box(sink);
+    elapsed
+}
+
+/// `micro_cache`: the thttpd-style mmap cache under a skewed request stream
+/// (one repetition = build + 3k requests), per decomposition.
+fn bench_micro_cache(out: &mut Vec<(String, f64)>) {
+    let reqs = request_stream(3_000, 400, 0xCAC4E);
+    for (label, src) in [
+        (
+            "micro_cache/synth_htable",
+            "let w : {path} . {addr,size,stamp} = unit {addr,size,stamp} in
+             let x : {} . {path,addr,size,stamp} = {path} -[htable]-> w in x",
+        ),
+        (
+            "micro_cache/synth_avl",
+            "let w : {path} . {addr,size,stamp} = unit {addr,size,stamp} in
+             let x : {} . {path,addr,size,stamp} = {path} -[avl]-> w in x",
+        ),
+        (
+            "micro_cache/synth_sortedvec",
+            "let w : {path} . {addr,size,stamp} = unit {addr,size,stamp} in
+             let x : {} . {path,addr,size,stamp} = {path} -[sortedvec]-> w in x",
+        ),
+    ] {
+        let (mut cat, cols, spec) = mmap_spec();
+        let d = parse(&mut cat, src).unwrap();
+        let ns = time_mean_ns(2, 6, || {
+            let mut cache = SynthMmapCache::new(&cat, cols, &spec, d.clone()).unwrap();
+            run_cache(&mut cache, &reqs, 500, 800).0.len()
+        });
+        out.push((label.to_string(), ns));
+    }
+}
+
+/// `micro_scheduler`: the running example's epoch mix (spawn, tick, churn,
+/// teardown over 400 processes), per decomposition.
+fn bench_micro_scheduler(out: &mut Vec<(String, f64)>) {
+    for (label, src) in [
+        (
+            "micro_scheduler/fig2_join_shared",
+            "let w : {ns,pid,state} . {cpu} = unit {cpu} in
+             let y : {ns} . {pid,cpu} = {pid} -[htable]-> w in
+             let z : {state} . {ns,pid,cpu} = {ns,pid} -[ilist]-> w in
+             let x : {} . {ns,pid,state,cpu} =
+               ({ns} -[htable]-> y) join ({state} -[vec]-> z) in x",
+        ),
+        (
+            "micro_scheduler/nested_hash_chain",
+            "let w : {ns,pid} . {state,cpu} = unit {state,cpu} in
+             let y : {ns} . {pid,state,cpu} = {pid} -[htable]-> w in
+             let x : {} . {ns,pid,state,cpu} = {ns} -[htable]-> y in x",
+        ),
+        (
+            "micro_scheduler/flat_avl",
+            "let w : {ns,pid} . {state,cpu} = unit {state,cpu} in
+             let x : {} . {ns,pid,state,cpu} = {ns,pid} -[avl]-> w in x",
+        ),
+    ] {
+        let mut cat = Catalog::new();
+        let d = parse(&mut cat, src).unwrap();
+        let spec = RelSpec::new(cat.all()).with_fd(
+            cat.col("ns").unwrap() | cat.col("pid").unwrap(),
+            cat.col("state").unwrap() | cat.col("cpu").unwrap(),
+        );
+        let ns_col = cat.col("ns").unwrap();
+        let pid = cat.col("pid").unwrap();
+        let state = cat.col("state").unwrap();
+        let cpu = cat.col("cpu").unwrap();
+        let ns = time_mean_ns(2, 6, || {
+            let mut rel = SynthRelation::new(&cat, spec.clone(), d.clone()).unwrap();
+            rel.set_fd_checking(false);
+            let n = 400i64;
+            for i in 0..n {
+                rel.insert(Tuple::from_pairs([
+                    (ns_col, Value::from(i % 8)),
+                    (pid, Value::from(i)),
+                    (state, Value::from(if i % 3 == 0 { "R" } else { "S" })),
+                    (cpu, Value::from(0)),
+                ]))
+                .unwrap();
+            }
+            let mut running: Vec<Tuple> = Vec::new();
+            rel.query_for_each(
+                &Tuple::from_pairs([(state, Value::from("R"))]),
+                ns_col | pid,
+                |t| running.push(t.clone()),
+            )
+            .unwrap();
+            for key in &running {
+                rel.update(key, &Tuple::from_pairs([(cpu, Value::from(1))]))
+                    .unwrap();
+            }
+            for key in &running {
+                rel.update(key, &Tuple::from_pairs([(state, Value::from("S"))]))
+                    .unwrap();
+            }
+            let mut removed = 0;
+            for nsv in 0..8 {
+                removed += rel
+                    .remove(&Tuple::from_pairs([(ns_col, Value::from(nsv))]))
+                    .unwrap();
+            }
+            removed
+        });
+        out.push((label.to_string(), ns));
+    }
+}
+
+/// Warm planned-query hot path: point lookups and state scans against a
+/// standing relation (one repetition = 1000 queries through the plan cache).
+fn bench_query_hot_path(out: &mut Vec<(String, f64)>) {
+    let mut cat = Catalog::new();
+    let d = parse(
+        &mut cat,
+        "let w : {ns,pid,state} . {cpu} = unit {cpu} in
+         let y : {ns} . {pid,cpu} = {pid} -[htable]-> w in
+         let z : {state} . {ns,pid,cpu} = {ns,pid} -[ilist]-> w in
+         let x : {} . {ns,pid,state,cpu} =
+           ({ns} -[htable]-> y) join ({state} -[vec]-> z) in x",
+    )
+    .unwrap();
+    let spec = RelSpec::new(cat.all()).with_fd(
+        cat.col("ns").unwrap() | cat.col("pid").unwrap(),
+        cat.col("state").unwrap() | cat.col("cpu").unwrap(),
+    );
+    let ns_col = cat.col("ns").unwrap();
+    let pid = cat.col("pid").unwrap();
+    let state = cat.col("state").unwrap();
+    let cpu = cat.col("cpu").unwrap();
+    let mut rel = SynthRelation::new(&cat, spec, d).unwrap();
+    rel.set_fd_checking(false);
+    for i in 0..1000i64 {
+        rel.insert(Tuple::from_pairs([
+            (ns_col, Value::from(i % 16)),
+            (pid, Value::from(i)),
+            (state, Value::from(if i % 3 == 0 { "R" } else { "S" })),
+            (cpu, Value::from(i % 7)),
+        ]))
+        .unwrap();
+    }
+    let point_pats: Vec<Tuple> = (0..1000i64)
+        .map(|i| Tuple::from_pairs([(ns_col, Value::from(i % 16)), (pid, Value::from(i))]))
+        .collect();
+    let ns = time_mean_ns(3, 10, || {
+        let mut hits = 0usize;
+        for p in &point_pats {
+            rel.query_for_each(p, cpu.into(), |_| hits += 1).unwrap();
+        }
+        hits
+    });
+    out.push(("query_hot_path/point_lookup_1k".to_string(), ns));
+    let scan_pat = Tuple::from_pairs([(state, Value::from("R"))]);
+    let ns = time_mean_ns(3, 10, || {
+        let mut hits = 0usize;
+        for _ in 0..100 {
+            rel.query_for_each(&scan_pat, ns_col | pid, |_| hits += 1)
+                .unwrap();
+        }
+        hits
+    });
+    out.push(("query_hot_path/state_scan_100x".to_string(), ns));
+    // The zero-allocation bindings path over the same workloads.
+    let mut scratch = Bindings::new();
+    let ns = time_mean_ns(3, 10, || {
+        let mut hits = 0usize;
+        for p in &point_pats {
+            rel.query_for_each_bindings(&mut scratch, p, cpu.into(), |_| hits += 1)
+                .unwrap();
+        }
+        hits
+    });
+    out.push(("query_hot_path/point_lookup_1k_raw".to_string(), ns));
+    let ns = time_mean_ns(3, 10, || {
+        let mut hits = 0usize;
+        for _ in 0..100 {
+            rel.query_for_each_bindings(&mut scratch, &scan_pat, ns_col | pid, |_| hits += 1)
+                .unwrap();
+        }
+        hits
+    });
+    out.push(("query_hot_path/state_scan_100x_raw".to_string(), ns));
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_1.json".to_string());
+    let mut results: Vec<(String, f64)> = Vec::new();
+    bench_micro_cache(&mut results);
+    bench_micro_scheduler(&mut results);
+    bench_query_hot_path(&mut results);
+    let mut json = String::from("{\n  \"schema\": \"relic-bench-smoke-v1\",\n  \"results\": {\n");
+    for (i, (label, ns)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!("    \"{label}\": {ns:.0}{comma}\n"));
+        println!("{label:<44} {ns:>14.0} ns");
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, json).expect("write bench output");
+    println!("wrote {out_path}");
+}

@@ -21,7 +21,9 @@ fn main() {
         workload.nodes,
         workload.edges.len()
     );
-    println!("Variants: F = build + forward DFS; F+B = + backward DFS; F+B+D = + delete all edges.\n");
+    println!(
+        "Variants: F = build + forward DFS; F+B = + backward DFS; F+B+D = + delete all edges.\n"
+    );
 
     let candidates = fig11_candidates(&mut cat, &spec, extra);
     let mut rows = vec![vec![

@@ -5,9 +5,7 @@
 //! Usage: `cargo run --release -p relic-bench --bin parity [-- <scale>]`
 
 use relic_bench::{render_table, time_once};
-use relic_systems::ipcap::{
-    flow_spec, packet_trace, run_accounting, BaselineFlows, SynthFlows,
-};
+use relic_systems::ipcap::{flow_spec, packet_trace, run_accounting, BaselineFlows, SynthFlows};
 use relic_systems::thttpd::{
     mmap_spec, request_stream, run_cache, BaselineMmapCache, SynthMmapCache,
 };

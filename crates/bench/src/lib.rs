@@ -209,7 +209,10 @@ mod tests {
             check_adequacy(&c.decomposition, &spec).unwrap();
         }
         // #5 shares the leaf: one fewer node than #9.
-        assert_eq!(cs[1].decomposition.node_count() + 1, cs[2].decomposition.node_count());
+        assert_eq!(
+            cs[1].decomposition.node_count() + 1,
+            cs[2].decomposition.node_count()
+        );
     }
 
     #[test]

@@ -231,9 +231,7 @@ impl<'a> Gen<'a> {
         self.d
             .nodes()
             .map(|(id, _)| id)
-            .find(|id| {
-                all.is_subset(self.req.spec.fds().closure(self.d.node(*id).bound))
-            })
+            .find(|id| all.is_subset(self.req.spec.fds().closure(self.d.node(*id).bound)))
             .ok_or_else(|| CodegenError::Inadequate("no tuple-identity node".to_string()))
     }
 
@@ -249,11 +247,7 @@ impl<'a> Gen<'a> {
         ));
         s.line("//");
         s.line("// Decomposition:");
-        for l in self
-            .d
-            .to_let_notation(cat)
-            .lines()
-        {
+        for l in self.d.to_let_notation(cat).lines() {
             s.line(format!("//   {l}"));
         }
         s.line("//");
@@ -411,7 +405,11 @@ impl<'a> Gen<'a> {
                     find = self.lookup_expr(e, &parent, &key);
                 }
             }
-            s.line(format!("// node {} : {{{}}}", node.name, col_list(cat, node.bound, ", ")));
+            s.line(format!(
+                "// node {} : {{{}}}",
+                node.name,
+                col_list(cat, node.bound, ", ")
+            ));
             s.open(format!("let {slot} = match {find} {{"));
             if id == identity {
                 s.line("Some(_) => return false, // key already present");
@@ -422,7 +420,10 @@ impl<'a> Gen<'a> {
             let sn = node_struct_name(self.d, id);
             let units = self.unit_fields(id);
             if units.is_empty() {
-                s.line(format!("let i = self.alloc_{}({sn}::default());", node.name));
+                s.line(format!(
+                    "let i = self.alloc_{}({sn}::default());",
+                    node.name
+                ));
             } else {
                 let fields: Vec<String> = units
                     .iter()
@@ -471,7 +472,12 @@ impl<'a> Gen<'a> {
     }
 
     /// Emits `query_<pattern>__<out>(args, callback)`.
-    fn emit_query(&mut self, s: &mut Src, pattern: ColSet, out: ColSet) -> Result<(), CodegenError> {
+    fn emit_query(
+        &mut self,
+        s: &mut Src,
+        pattern: ColSet,
+        out: ColSet,
+    ) -> Result<(), CodegenError> {
         let planned = self
             .planner
             .plan_query(pattern, out)
@@ -493,7 +499,10 @@ impl<'a> Gen<'a> {
             .iter()
             .map(|c| format!("&{}", self.ty(c).rust()))
             .collect();
-        s.line(format!("/// Plan: `{}` (chosen by the §4.3 planner).", planned.plan));
+        s.line(format!(
+            "/// Plan: `{}` (chosen by the §4.3 planner).",
+            planned.plan
+        ));
         s.open(format!(
             "pub fn {name}(&self, {}{}mut f: impl FnMut({})) {{",
             args.join(", "),
@@ -507,14 +516,22 @@ impl<'a> Gen<'a> {
         let root = self.d.root();
         let body = self.d.node(root).body.clone();
         let plan = planned.plan.clone();
-        self.emit_plan(s, &plan, &body, root, "self.root".to_string(), &mut env, &mut |gen, s, env| {
-            let outs: Vec<String> = out
-                .iter()
-                .map(|c| format!("&{}", env.get(c).expect("out col bound")))
-                .collect();
-            let _ = gen;
-            s.line(format!("f({});", outs.join(", ")));
-        });
+        self.emit_plan(
+            s,
+            &plan,
+            &body,
+            root,
+            "self.root".to_string(),
+            &mut env,
+            &mut |gen, s, env| {
+                let outs: Vec<String> = out
+                    .iter()
+                    .map(|c| format!("&{}", env.get(c).expect("out col bound")))
+                    .collect();
+                let _ = gen;
+                s.line(format!("f({});", outs.join(", ")));
+            },
+        );
         s.close("}");
         s.blank();
         Ok(())
@@ -577,14 +594,22 @@ impl<'a> Gen<'a> {
         let root = self.d.root();
         let body = self.d.node(root).body.clone();
         let plan = planned.plan.clone();
-        self.emit_plan(s, &plan, &body, root, "self.root".to_string(), &mut env, &mut |gen, s, env| {
-            let outs: Vec<String> = out
-                .iter()
-                .map(|c| format!("&{}", env.get(c).expect("out col bound")))
-                .collect();
-            let _ = gen;
-            s.line(format!("f({});", outs.join(", ")));
-        });
+        self.emit_plan(
+            s,
+            &plan,
+            &body,
+            root,
+            "self.root".to_string(),
+            &mut env,
+            &mut |gen, s, env| {
+                let outs: Vec<String> = out
+                    .iter()
+                    .map(|c| format!("&{}", env.get(c).expect("out col bound")))
+                    .collect();
+                let _ = gen;
+                s.line(format!("f({});", outs.join(", ")));
+            },
+        );
         self.range_ctx = None;
         s.close("}");
         s.blank();
@@ -661,7 +686,10 @@ impl<'a> Gen<'a> {
                 let edge = self.d.edge(*eid);
                 let entry = self.fresh("en");
                 if self.is_map_backed(*eid) {
-                    s.open(format!("for ({entry}_k, {entry}_v) in {inst}.e{}.iter() {{", eid.index()));
+                    s.open(format!(
+                        "for ({entry}_k, {entry}_v) in {inst}.e{}.iter() {{",
+                        eid.index()
+                    ));
                     s.line(format!("let {entry}_i = *{entry}_v;"));
                 } else {
                     s.open(format!("for {entry} in {inst}.e{}.iter() {{", eid.index()));
@@ -821,7 +849,10 @@ impl<'a> Gen<'a> {
             .map(|c| format!("{}: &{}", self.cname(c), self.ty(c).rust()))
             .collect();
         s.line("/// Removes the tuple matching the key, if present (cut-based, §4.5).");
-        s.open(format!("pub fn {name}(&mut self, {}) -> bool {{", args.join(", ")));
+        s.open(format!(
+            "pub fn {name}(&mut self, {}) -> bool {{",
+            args.join(", ")
+        ));
 
         // 1. Fetch the remaining columns of the unique matching tuple.
         let mut env = Env::with_cols(self.req.types.len());
@@ -967,7 +998,12 @@ impl<'a> Gen<'a> {
     }
 
     /// Emits `update_<key>__set_<changes>(args) -> bool`.
-    fn emit_update(&mut self, s: &mut Src, key: ColSet, changes: ColSet) -> Result<(), CodegenError> {
+    fn emit_update(
+        &mut self,
+        s: &mut Src,
+        key: ColSet,
+        changes: ColSet,
+    ) -> Result<(), CodegenError> {
         if !self.req.spec.fds().implies(key, self.req.spec.cols()) {
             return Err(CodegenError::PatternNotKey(key));
         }
@@ -998,7 +1034,10 @@ impl<'a> Gen<'a> {
             structural = structural | n.bound;
         }
         s.line("/// Updates the tuple matching the key, if present (§4.5 common case).");
-        s.open(format!("pub fn {name}(&mut self, {}) -> bool {{", args.join(", ")));
+        s.open(format!(
+            "pub fn {name}(&mut self, {}) -> bool {{",
+            args.join(", ")
+        ));
         let mut env = Env::with_cols(self.req.types.len());
         for c in key.iter() {
             env.bind(c, format!("(*{})", self.cname(c)));
@@ -1067,8 +1106,7 @@ impl<'a> Gen<'a> {
                             .collect();
                         s.line(format!("fetched = Some(({},));", parts.join(", ")));
                     },
-                )
-                ;
+                );
                 s.line("let Some(fetched) = fetched else { return false; };");
                 for (i, c) in fetched_cols.iter().enumerate() {
                     s.line(format!("let v_{} = fetched.{i};", self.cname(c)));

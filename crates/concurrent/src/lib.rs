@@ -225,7 +225,10 @@ impl ConcurrentRelation {
                 .insert(t);
         }
         let i = self.route(&t);
-        self.shards[i].write().expect("shard lock poisoned").insert(t)
+        self.shards[i]
+            .write()
+            .expect("shard lock poisoned")
+            .insert(t)
     }
 
     /// `remove r s` — one shard if `pattern` pins the shard columns, all
@@ -372,11 +375,7 @@ impl ConcurrentRelation {
     /// # Panics
     ///
     /// Panics if `key` does not bind every shard column.
-    pub fn with_partition_mut<T>(
-        &self,
-        key: &Tuple,
-        f: impl FnOnce(&mut SynthRelation) -> T,
-    ) -> T {
+    pub fn with_partition_mut<T>(&self, key: &Tuple, f: impl FnOnce(&mut SynthRelation) -> T) -> T {
         assert!(
             self.pins(key.dom()),
             "with_partition_mut requires all shard columns bound"
@@ -508,10 +507,16 @@ mod tests {
         assert_eq!(r.len(), m.len());
         // Pinned query (single shard).
         let pat = Tuple::from_pairs([(host, Value::from(3))]);
-        assert_eq!(r.query(&pat, ts | bytes).unwrap(), m.query(&pat, ts | bytes));
+        assert_eq!(
+            r.query(&pat, ts | bytes).unwrap(),
+            m.query(&pat, ts | bytes)
+        );
         // Unpinned query (all shards, merged + sorted).
         let pat = Tuple::from_pairs([(ts, Value::from(7))]);
-        assert_eq!(r.query(&pat, host | bytes).unwrap(), m.query(&pat, host | bytes));
+        assert_eq!(
+            r.query(&pat, host | bytes).unwrap(),
+            m.query(&pat, host | bytes)
+        );
         // Unpinned remove crosses shards.
         let n = r.remove(&pat).unwrap();
         assert_eq!(n, m.remove(&pat));
@@ -538,11 +543,17 @@ mod tests {
             }
         }
         let p = Pattern::new().with(ts, Pred::Between(Value::from(5), Value::from(8)));
-        assert_eq!(r.query_where(&p, host | ts).unwrap(), m.query_where(&p, host | ts));
+        assert_eq!(
+            r.query_where(&p, host | ts).unwrap(),
+            m.query_where(&p, host | ts)
+        );
         let p = Pattern::new()
             .with(host, Pred::Eq(Value::from(1)))
             .with(ts, Pred::Ge(Value::from(17)));
-        assert_eq!(r.query_where(&p, ts.set()).unwrap(), m.query_where(&p, ts.set()));
+        assert_eq!(
+            r.query_where(&p, ts.set()).unwrap(),
+            m.query_where(&p, ts.set())
+        );
     }
 
     #[test]
@@ -629,8 +640,7 @@ mod tests {
                         let pat = Tuple::from_pairs([(host, Value::from(h))]);
                         let n = r.query(&pat, ColSet::EMPTY).map(|v| v.len()).unwrap();
                         let _ = n;
-                        let full = r
-                            .with_partition(&pat, |shard| shard.len());
+                        let full = r.with_partition(&pat, |shard| shard.len());
                         assert!(full >= last);
                         last = full;
                     }

@@ -46,22 +46,38 @@ impl<K: Eq, V> AssocVec<K, V> {
         None
     }
 
-    /// Looks up the value for `k`.
-    pub fn get(&self, k: &K) -> Option<&V> {
-        self.entries.iter().find(|(kk, _)| kk == k).map(|(_, v)| v)
-    }
-
-    /// Looks up the value for `k`, mutably.
-    pub fn get_mut(&mut self, k: &K) -> Option<&mut V> {
+    /// Looks up the value for `k`, which may be any borrowed form of the key
+    /// (e.g. `&[Value]` for a `Box<[Value]>`-keyed map).
+    pub fn get<Q>(&self, k: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
         self.entries
-            .iter_mut()
-            .find(|(kk, _)| kk == k)
+            .iter()
+            .find(|(kk, _)| kk.borrow() == k)
             .map(|(_, v)| v)
     }
 
-    /// Removes the entry for `k`, returning its value.
-    pub fn remove(&mut self, k: &K) -> Option<V> {
-        let i = self.entries.iter().position(|(kk, _)| kk == k)?;
+    /// Looks up the value for `k` (any borrowed form), mutably.
+    pub fn get_mut<Q>(&mut self, k: &Q) -> Option<&mut V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
+        self.entries
+            .iter_mut()
+            .find(|(kk, _)| kk.borrow() == k)
+            .map(|(_, v)| v)
+    }
+
+    /// Removes the entry for `k` (any borrowed form), returning its value.
+    pub fn remove<Q>(&mut self, k: &Q) -> Option<V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
+        let i = self.entries.iter().position(|(kk, _)| kk.borrow() == k)?;
         Some(self.entries.swap_remove(i).1)
     }
 

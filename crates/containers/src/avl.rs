@@ -71,7 +71,9 @@ impl<K: Ord, V> AvlMap<K, V> {
     }
 
     fn update_height(&mut self, n: u32) {
-        let h = 1 + self.height(self.node(n).left).max(self.height(self.node(n).right));
+        let h = 1 + self
+            .height(self.node(n).left)
+            .max(self.height(self.node(n).right));
         self.node_mut(n).height = h;
     }
 
@@ -175,10 +177,17 @@ impl<K: Ord, V> AvlMap<K, V> {
         }
     }
 
-    fn find(&self, k: &K) -> Option<u32> {
+    /// Descends to `k`'s node by comparing through the key's borrowed form,
+    /// so probes need not own a key. The `Borrow` contract guarantees the
+    /// borrowed ordering agrees with the owned ordering used at insertion.
+    fn find<Q>(&self, k: &Q) -> Option<u32>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
         let mut n = self.root;
         while n != NIL {
-            match k.cmp(&self.node(n).key) {
+            match k.cmp(self.node(n).key.borrow()) {
                 std::cmp::Ordering::Equal => return Some(n),
                 std::cmp::Ordering::Less => n = self.node(n).left,
                 std::cmp::Ordering::Greater => n = self.node(n).right,
@@ -187,35 +196,55 @@ impl<K: Ord, V> AvlMap<K, V> {
         None
     }
 
-    /// Looks up the value for `k`.
-    pub fn get(&self, k: &K) -> Option<&V> {
+    /// Looks up the value for `k`, which may be any borrowed form of the key
+    /// (e.g. `&[Value]` for a `Box<[Value]>`-keyed map).
+    pub fn get<Q>(&self, k: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
         self.find(k).map(|n| &self.node(n).val)
     }
 
-    /// Looks up the value for `k`, mutably.
-    pub fn get_mut(&mut self, k: &K) -> Option<&mut V> {
+    /// Looks up the value for `k` (any borrowed form), mutably.
+    pub fn get_mut<Q>(&mut self, k: &Q) -> Option<&mut V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
         match self.find(k) {
             Some(n) => Some(&mut self.node_mut(n).val),
             None => None,
         }
     }
 
-    /// Removes the entry for `k`, returning its value.
-    pub fn remove(&mut self, k: &K) -> Option<V> {
+    /// Removes the entry for `k` (any borrowed form), returning its value.
+    pub fn remove<Q>(&mut self, k: &Q) -> Option<V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
         let (root, removed) = self.remove_at(self.root, k);
         self.root = root;
         removed.map(|i| {
             self.len -= 1;
             self.free.push(i);
-            self.nodes[i as usize].take().expect("removed node live").val
+            self.nodes[i as usize]
+                .take()
+                .expect("removed node live")
+                .val
         })
     }
 
-    fn remove_at(&mut self, n: u32, k: &K) -> (u32, Option<u32>) {
+    fn remove_at<Q>(&mut self, n: u32, k: &Q) -> (u32, Option<u32>)
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
         if n == NIL {
             return (NIL, None);
         }
-        let (n, removed) = match k.cmp(&self.node(n).key) {
+        let (n, removed) = match k.cmp(self.node(n).key.borrow()) {
             std::cmp::Ordering::Less => {
                 let (child, rem) = self.remove_at(self.node(n).left, k);
                 self.node_mut(n).left = child;
@@ -565,16 +594,28 @@ mod tests {
         m.for_each_range(Bound::Included(&10), Bound::Excluded(&15), |k, v| {
             got.push((*k, *v));
         });
-        assert_eq!(got, vec![(10, 100), (11, 110), (12, 120), (13, 130), (14, 140)]);
+        assert_eq!(
+            got,
+            vec![(10, 100), (11, 110), (12, 120), (13, 130), (14, 140)]
+        );
         got.clear();
-        m.for_each_range(Bound::Excluded(&97), Bound::Unbounded, |k, _| got.push((*k, 0)));
-        assert_eq!(got.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![98, 99]);
+        m.for_each_range(Bound::Excluded(&97), Bound::Unbounded, |k, _| {
+            got.push((*k, 0))
+        });
+        assert_eq!(
+            got.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![98, 99]
+        );
         got.clear();
-        m.for_each_range(Bound::Unbounded, Bound::Included(&1), |k, _| got.push((*k, 0)));
+        m.for_each_range(Bound::Unbounded, Bound::Included(&1), |k, _| {
+            got.push((*k, 0))
+        });
         assert_eq!(got.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![0, 1]);
         got.clear();
         // Empty interval.
-        m.for_each_range(Bound::Included(&50), Bound::Excluded(&50), |k, _| got.push((*k, 0)));
+        m.for_each_range(Bound::Included(&50), Bound::Excluded(&50), |k, _| {
+            got.push((*k, 0))
+        });
         assert!(got.is_empty());
     }
 

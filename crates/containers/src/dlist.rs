@@ -64,10 +64,16 @@ impl<K: Eq, V> DListMap<K, V> {
         self.arena[i as usize].as_mut().expect("live entry")
     }
 
-    fn find(&self, k: &K) -> Option<u32> {
+    /// Scans for `k` comparing through the key's borrowed form, so probes
+    /// need not own a key.
+    fn find<Q>(&self, k: &Q) -> Option<u32>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
         let mut i = self.head;
         while i != NIL {
-            if &self.entry(i).key == k {
+            if self.entry(i).key.borrow() == k {
                 return Some(i);
             }
             i = self.entry(i).next;
@@ -104,13 +110,22 @@ impl<K: Eq, V> DListMap<K, V> {
         None
     }
 
-    /// Looks up the value for `k` (linear scan).
-    pub fn get(&self, k: &K) -> Option<&V> {
+    /// Looks up the value for `k` (linear scan; `k` may be any borrowed form
+    /// of the key, e.g. `&[Value]` for a `Box<[Value]>`-keyed list).
+    pub fn get<Q>(&self, k: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
         self.find(k).map(|i| &self.entry(i).val)
     }
 
-    /// Looks up the value for `k`, mutably (linear scan).
-    pub fn get_mut(&mut self, k: &K) -> Option<&mut V> {
+    /// Looks up the value for `k` (any borrowed form), mutably.
+    pub fn get_mut<Q>(&mut self, k: &Q) -> Option<&mut V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
         match self.find(k) {
             Some(i) => Some(&mut self.entry_mut(i).val),
             None => None,
@@ -118,12 +133,21 @@ impl<K: Eq, V> DListMap<K, V> {
     }
 
     /// The handle of `k`'s entry, usable with [`DListMap::remove_handle`].
-    pub fn handle(&self, k: &K) -> Option<u32> {
+    pub fn handle<Q>(&self, k: &Q) -> Option<u32>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
         self.find(k)
     }
 
-    /// Removes the entry for `k`, returning its value (linear scan).
-    pub fn remove(&mut self, k: &K) -> Option<V> {
+    /// Removes the entry for `k` (any borrowed form), returning its value
+    /// (linear scan).
+    pub fn remove<Q>(&mut self, k: &Q) -> Option<V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
         let i = self.find(k)?;
         Some(self.unlink(i).1)
     }

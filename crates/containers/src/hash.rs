@@ -1,5 +1,6 @@
 //! A separate-chaining hash table with a deterministic hasher.
 
+use std::borrow::Borrow;
 use std::hash::{Hash, Hasher};
 
 /// A fast, deterministic, non-cryptographic hasher (FxHash-style
@@ -116,7 +117,16 @@ impl<K: Hash + Eq, V> HashTable<K, V> {
         self.len == 0
     }
 
-    fn bucket_of(&self, k: &K) -> usize {
+    /// The bucket index for any borrowed form of a key. Because `Hash` for a
+    /// key and for its `Borrow` target are required to agree (the `Borrow`
+    /// contract, and what [`FxHasher`]'s structural hashing provides for
+    /// slice-like keys), borrowed-key probes land in the same bucket as the
+    /// owned insertion did.
+    fn bucket_of<Q>(&self, k: &Q) -> usize
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         debug_assert!(!self.buckets.is_empty());
         (hash_of(k) as usize) & (self.buckets.len() - 1)
     }
@@ -149,34 +159,53 @@ impl<K: Hash + Eq, V> HashTable<K, V> {
         None
     }
 
-    /// Looks up the value for `k`.
-    pub fn get(&self, k: &K) -> Option<&V> {
+    /// Looks up the value for `k`, which may be any borrowed form of the key
+    /// (e.g. `&[Value]` for a `Box<[Value]>`-keyed table) — the zero-copy
+    /// probe the query hot path relies on.
+    pub fn get<Q>(&self, k: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         if self.buckets.is_empty() {
             return None;
         }
         let i = self.bucket_of(k);
-        self.buckets[i].iter().find(|(kk, _)| kk == k).map(|(_, v)| v)
+        self.buckets[i]
+            .iter()
+            .find(|(kk, _)| kk.borrow() == k)
+            .map(|(_, v)| v)
     }
 
-    /// Looks up the value for `k`, mutably.
-    pub fn get_mut(&mut self, k: &K) -> Option<&mut V> {
+    /// Looks up the value for `k` (any borrowed form), mutably.
+    pub fn get_mut<Q>(&mut self, k: &Q) -> Option<&mut V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         if self.buckets.is_empty() {
             return None;
         }
         let i = self.bucket_of(k);
         self.buckets[i]
             .iter_mut()
-            .find(|(kk, _)| kk == k)
+            .find(|(kk, _)| kk.borrow() == k)
             .map(|(_, v)| v)
     }
 
-    /// Removes the entry for `k`, returning its value.
-    pub fn remove(&mut self, k: &K) -> Option<V> {
+    /// Removes the entry for `k` (any borrowed form), returning its value.
+    pub fn remove<Q>(&mut self, k: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         if self.buckets.is_empty() {
             return None;
         }
         let i = self.bucket_of(k);
-        let pos = self.buckets[i].iter().position(|(kk, _)| kk == k)?;
+        let pos = self.buckets[i]
+            .iter()
+            .position(|(kk, _)| kk.borrow() == k)?;
         let (_, v) = self.buckets[i].swap_remove(pos);
         self.len -= 1;
         Some(v)

@@ -34,8 +34,14 @@ impl<K: Ord, V> SortedVecMap<K, V> {
         self.entries.is_empty()
     }
 
-    fn search(&self, k: &K) -> Result<usize, usize> {
-        self.entries.binary_search_by(|(kk, _)| kk.cmp(k))
+    /// Binary search through the keys' borrowed form, so probes need not own
+    /// a key (`Borrow` guarantees the orderings agree).
+    fn search<Q>(&self, k: &Q) -> Result<usize, usize>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.entries.binary_search_by(|(kk, _)| kk.borrow().cmp(k))
     }
 
     /// Inserts `k → v`, returning the previous value for `k`, if any.
@@ -49,21 +55,34 @@ impl<K: Ord, V> SortedVecMap<K, V> {
         }
     }
 
-    /// Looks up the value for `k`.
-    pub fn get(&self, k: &K) -> Option<&V> {
+    /// Looks up the value for `k`, which may be any borrowed form of the key
+    /// (e.g. `&[Value]` for a `Box<[Value]>`-keyed map).
+    pub fn get<Q>(&self, k: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
         self.search(k).ok().map(|i| &self.entries[i].1)
     }
 
-    /// Looks up the value for `k`, mutably.
-    pub fn get_mut(&mut self, k: &K) -> Option<&mut V> {
+    /// Looks up the value for `k` (any borrowed form), mutably.
+    pub fn get_mut<Q>(&mut self, k: &Q) -> Option<&mut V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
         match self.search(k) {
             Ok(i) => Some(&mut self.entries[i].1),
             Err(_) => None,
         }
     }
 
-    /// Removes the entry for `k`, returning its value.
-    pub fn remove(&mut self, k: &K) -> Option<V> {
+    /// Removes the entry for `k` (any borrowed form), returning its value.
+    pub fn remove<Q>(&mut self, k: &Q) -> Option<V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
         match self.search(k) {
             Ok(i) => Some(self.entries.remove(i).1),
             Err(_) => None,
@@ -214,7 +233,9 @@ mod tests {
         use std::ops::Bound;
         let m: SortedVecMap<i64, i64> = (0..20).map(|i| (i, -i)).collect();
         let mut got = Vec::new();
-        m.for_each_range(Bound::Included(&3), Bound::Included(&6), |k, v| got.push((*k, *v)));
+        m.for_each_range(Bound::Included(&3), Bound::Included(&6), |k, v| {
+            got.push((*k, *v))
+        });
         assert_eq!(got, vec![(3, -3), (4, -4), (5, -5), (6, -6)]);
         got.clear();
         m.for_each_range(Bound::Unbounded, Bound::Unbounded, |k, _| got.push((*k, 0)));

@@ -1,0 +1,138 @@
+//! Borrowed-key lookups must agree exactly with owned-key lookups across all
+//! five container kinds: for `Box<[T]>`-style composite keys (the runtime's
+//! `Key = Box<[Value]>`), probing with a `&[T]` slice must find precisely the
+//! entries an owned `Box<[T]>` probe finds — same hash (for `htable`), same
+//! ordering (for `avl`/`sortedvec`), same equality (for `vec`/`dlist`).
+//!
+//! This is the container-level contract the zero-allocation query hot path
+//! is built on.
+
+use proptest::prelude::*;
+use relic_containers::{AssocVec, AvlMap, DListMap, HashTable, SortedVecMap};
+
+type K = Box<[i64]>;
+
+fn owned(k: &[i64]) -> K {
+    k.to_vec().into_boxed_slice()
+}
+
+/// Drives one container kind through the same op sequence twice — once
+/// probing with owned keys, once with borrowed slices — and checks the
+/// results coincide op by op.
+macro_rules! check_container {
+    ($ops:expr, $make:expr) => {{
+        let mut by_owned = $make;
+        let mut by_borrowed = $make;
+        for (op, ref key, v) in $ops.iter().cloned() {
+            let k: &[i64] = key;
+            match op {
+                // Insert always takes an owned key (entries are stored).
+                0 => {
+                    let a = by_owned.insert(owned(k), v);
+                    let b = by_borrowed.insert(owned(k), v);
+                    prop_assert_eq!(a, b);
+                }
+                1 => {
+                    let a = by_owned.remove(&owned(k));
+                    let b = by_borrowed.remove(k);
+                    prop_assert_eq!(a, b);
+                }
+                2 => {
+                    let a = by_owned.get(&owned(k));
+                    let b = by_borrowed.get(k);
+                    prop_assert_eq!(a, b);
+                }
+                _ => {
+                    let a = by_owned.get_mut(&owned(k)).map(|v| {
+                        *v += 1;
+                        *v
+                    });
+                    let b = by_borrowed.get_mut(k).map(|v| {
+                        *v += 1;
+                        *v
+                    });
+                    prop_assert_eq!(a, b);
+                }
+            }
+            prop_assert_eq!(by_owned.len(), by_borrowed.len());
+        }
+        // Final contents identical (sorted comparison covers unordered kinds).
+        let mut a: Vec<(K, i64)> = by_owned.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        let mut b: Vec<(K, i64)> = by_borrowed.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }};
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Owned and borrowed probes agree for every container kind, on
+    /// composite keys with shared prefixes (the adversarial case for
+    /// ordering- and hash-consistency).
+    #[test]
+    fn borrowed_agrees_with_owned(
+        ops in proptest::collection::vec(
+            (0u8..4, proptest::collection::vec(-3i64..3, 1..3), 0i64..100),
+            0..120,
+        )
+    ) {
+        check_container!(ops, HashTable::<K, i64>::new());
+        check_container!(ops, AvlMap::<K, i64>::new());
+        check_container!(ops, SortedVecMap::<K, i64>::new());
+        check_container!(ops, AssocVec::<K, i64>::new());
+        check_container!(ops, DListMap::<K, i64>::new());
+    }
+}
+
+/// The ordered kinds must see borrowed and owned keys at the same position:
+/// a borrowed probe for a key that sorts between two stored keys must miss,
+/// and range iteration order must match the owned keys' order.
+#[test]
+fn ordered_kinds_place_borrowed_keys_consistently() {
+    let keys: Vec<Vec<i64>> = vec![vec![0, 0], vec![0, 5], vec![1, -2], vec![1, 0], vec![2, 7]];
+    let avl: AvlMap<K, usize> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (owned(k), i))
+        .collect();
+    let sv: SortedVecMap<K, usize> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (owned(k), i))
+        .collect();
+    for (i, k) in keys.iter().enumerate() {
+        assert_eq!(avl.get(k.as_slice()), Some(&i));
+        assert_eq!(sv.get(k.as_slice()), Some(&i));
+    }
+    // Misses that interleave the stored keys.
+    for miss in [vec![0, 1], vec![1, -3], vec![3, 0], vec![0]] {
+        assert_eq!(avl.get(miss.as_slice()), None);
+        assert_eq!(sv.get(miss.as_slice()), None);
+    }
+}
+
+/// A borrowed probe must hash identically to the owned key even after the
+/// table grows through several doublings (bucket index depends on the hash).
+#[test]
+fn hash_table_growth_keeps_borrowed_probes_consistent() {
+    let mut t: HashTable<K, i64> = HashTable::new();
+    let mut keys = Vec::new();
+    for a in 0..40i64 {
+        for b in 0..5i64 {
+            let k = vec![a, b, a ^ b];
+            t.insert(owned(&k), a * 10 + b);
+            keys.push(k);
+        }
+    }
+    assert_eq!(t.len(), 200);
+    for k in &keys {
+        assert_eq!(
+            t.get(k.as_slice()),
+            t.get(&owned(k)),
+            "borrowed and owned probes disagree for {k:?}"
+        );
+        assert!(t.get(k.as_slice()).is_some());
+    }
+}

@@ -1,12 +1,33 @@
 //! Query-plan execution over decomposition instances (`dqexec`, §4.1).
 //!
 //! Execution is a constant-space recursive walk: the plan tree is interpreted
-//! against the instance DAG, carrying an *accumulator* tuple of the input
-//! pattern plus all columns bound so far. Matching tuples are delivered
-//! through a callback — no intermediate data structures are built, matching
-//! the paper's constant-space query property.
+//! against the instance DAG, carrying a reusable *scratch accumulator*
+//! ([`Bindings`]) of the input pattern plus all columns bound so far.
+//! Matching tuples are delivered through a callback — no intermediate data
+//! structures are built, matching the paper's constant-space query property.
 //!
-//! [`exec_where`] additionally threads the *comparison* predicates of a
+//! # Allocation discipline (the hot path)
+//!
+//! The seed implementation allocated per step: a `Box<[Value]>` per container
+//! probe, a `k.to_vec()` per scanned entry, and a fresh `Tuple` per merge and
+//! per emitted binding. This version performs **zero heap allocations per
+//! emitted tuple once warm**:
+//!
+//! * column bindings are pushed into / popped from a slot array indexed by
+//!   [`ColId`] (`Value` clones are heap-free: ints and bools are plain copies
+//!   and strings are `Arc` bumps),
+//! * container probes borrow a pooled key buffer and use the containers'
+//!   `Borrow`-based lookups (no owned key is built),
+//! * scanned entry keys are bound in place and unbound after the recursive
+//!   call (the "push/pop value bindings on a stack" of the scratch-tuple
+//!   design) — the undo information is just a [`ColSet`] of newly-bound
+//!   columns, because a column that was already bound must have compared
+//!   equal and therefore needs no restoration.
+//!
+//! The only allocating operator is `qhashjoin`, which is *defined* as
+//! non-constant-space (§4.1's noted extension) and materializes its sides.
+//!
+//! [`exec_plan`] additionally threads the *comparison* predicates of a
 //! pattern query (§2's "comparisons other than equality" extension): scanned
 //! keys and unit tuples are filtered against them, and the `qrange` operator
 //! seeks directly to the matching run of an ordered container.
@@ -15,99 +36,289 @@ use crate::instance::{InstanceRef, PrimInst, Store};
 use relic_containers::HashTable;
 use relic_decomp::{Body, Decomposition};
 use relic_query::{Plan, Side};
-use relic_spec::{ColId, Pred, Tuple, Value};
+use relic_spec::{ColId, ColSet, Pred, Tuple, Value};
+
+/// The reusable scratch accumulator for query execution: the current
+/// valuation of every bound column, plus a pool of key buffers for container
+/// probes.
+///
+/// A `Bindings` owns no per-query state between runs — reusing one across
+/// queries (via [`SynthRelation::query_for_each_bindings`]) makes the warm
+/// query path allocation-free. Callbacks receive `&Bindings` and read the
+/// emitted valuation through [`Bindings::get`] / [`Bindings::project`].
+///
+/// [`SynthRelation::query_for_each_bindings`]:
+///     crate::SynthRelation::query_for_each_bindings
+#[derive(Debug, Default)]
+pub struct Bindings {
+    /// `slots[c.index()]` holds the value bound to column `c`, if any.
+    slots: Vec<Option<Value>>,
+    /// The set of currently-bound columns (the accumulator's domain).
+    bound: ColSet,
+    /// Recycled key buffers for lookup probes and range prefixes.
+    pool: Vec<Vec<Value>>,
+}
+
+/// Outcome of binding one column against the current accumulator.
+enum Bind {
+    /// The column was unbound; it is now bound to the given value.
+    New,
+    /// The column was already bound to an equal value.
+    Same,
+    /// The column is bound to a different value — the entry does not match.
+    Conflict,
+}
+
+impl Bindings {
+    /// Creates an empty scratch accumulator.
+    pub fn new() -> Self {
+        Bindings::default()
+    }
+
+    /// The set of currently-bound columns. During an emit callback this is
+    /// the domain of the emitted valuation (pattern plus everything the plan
+    /// bound along the path).
+    pub fn dom(&self) -> ColSet {
+        self.bound
+    }
+
+    /// The value bound to `c`, if any.
+    pub fn get(&self, c: ColId) -> Option<&Value> {
+        if self.bound.contains(c) {
+            self.slots[c.index()].as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// The projection of the current valuation onto `cs ∩ dom` as a fresh
+    /// [`Tuple`]. Allocates — intended for compatibility wrappers and error
+    /// paths, not for per-tuple hot-path use.
+    pub fn project(&self, cs: ColSet) -> Tuple {
+        let keep = self.bound & cs;
+        let vals: Vec<Value> = keep
+            .iter()
+            .map(|c| {
+                self.slots[c.index()]
+                    .clone()
+                    .expect("bound column has a value")
+            })
+            .collect();
+        Tuple::from_parts(keep, vals)
+    }
+
+    /// The full current valuation as a fresh [`Tuple`] (allocates).
+    pub fn to_tuple(&self) -> Tuple {
+        self.project(self.bound)
+    }
+
+    /// Grows the slot table to cover column `c`.
+    fn ensure(&mut self, c: ColId) {
+        if self.slots.len() <= c.index() {
+            self.slots.resize(c.index() + 1, None);
+        }
+    }
+
+    /// Clears all bindings and loads the equality pattern `t`.
+    pub(crate) fn load_pattern(&mut self, t: &Tuple) {
+        self.clear_bindings();
+        for (c, v) in t.iter() {
+            self.ensure(c);
+            self.slots[c.index()] = Some(v.clone());
+            self.bound = self.bound | c;
+        }
+    }
+
+    /// Clears all bindings and loads `t`'s projection onto `cs` — the
+    /// pattern-loading path used by mutation-side probes, which avoids
+    /// materializing the projected pattern tuple.
+    pub(crate) fn load_pattern_cols(&mut self, t: &Tuple, cs: ColSet) {
+        self.clear_bindings();
+        for c in cs.iter() {
+            let v = t.get(c).expect("pattern column present in source tuple");
+            self.ensure(c);
+            self.slots[c.index()] = Some(v.clone());
+            self.bound = self.bound | c;
+        }
+    }
+
+    /// Unbinds everything (keeps slot capacity and pooled buffers).
+    pub(crate) fn clear_bindings(&mut self) {
+        for c in self.bound.iter() {
+            self.slots[c.index()] = None;
+        }
+        self.bound = ColSet::EMPTY;
+    }
+
+    /// Binds `c` to `v`, checking agreement with an existing binding.
+    fn bind_checked(&mut self, c: ColId, v: &Value) -> Bind {
+        if self.bound.contains(c) {
+            if self.slots[c.index()].as_ref() == Some(v) {
+                Bind::Same
+            } else {
+                Bind::Conflict
+            }
+        } else {
+            self.ensure(c);
+            self.slots[c.index()] = Some(v.clone());
+            self.bound = self.bound | c;
+            Bind::New
+        }
+    }
+
+    /// Pops the bindings of `newly` (the stack-discipline undo: columns that
+    /// were already bound compared equal, so only newly-bound ones restore).
+    fn unbind(&mut self, newly: ColSet) {
+        for c in newly.iter() {
+            self.slots[c.index()] = None;
+        }
+        self.bound = self.bound - newly;
+    }
+
+    /// Takes a cleared key buffer from the pool (allocation-free when warm).
+    fn take_buf(&mut self) -> Vec<Value> {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a key buffer to the pool.
+    fn put_buf(&mut self, mut buf: Vec<Value>) {
+        buf.clear();
+        self.pool.push(buf);
+    }
+}
+
+/// Do the comparison predicates on column `c` (if any) accept `v`?
+#[inline]
+fn cmp_accepts(cmp: &[(ColId, Pred)], c: ColId, v: &Value) -> bool {
+    cmp.iter().all(|(cc, p)| *cc != c || p.accepts(v))
+}
+
+/// Binds the columns of `cols` to the parallel values `vals` on top of `b`,
+/// checking agreement and comparison predicates. On success returns the set
+/// of newly-bound columns; on mismatch undoes partial work and returns
+/// `None`.
+#[inline]
+fn bind_row(
+    b: &mut Bindings,
+    cmp: &[(ColId, Pred)],
+    cols: ColSet,
+    vals: &[Value],
+) -> Option<ColSet> {
+    let mut newly = ColSet::EMPTY;
+    for (c, v) in cols.iter().zip(vals.iter()) {
+        if !cmp_accepts(cmp, c, v) {
+            b.unbind(newly);
+            return None;
+        }
+        match b.bind_checked(c, v) {
+            Bind::New => newly = newly | c,
+            Bind::Same => {}
+            Bind::Conflict => {
+                b.unbind(newly);
+                return None;
+            }
+        }
+    }
+    Some(newly)
+}
+
+/// Shared read-only context for one plan execution.
+pub(crate) struct ExecEnv<'a> {
+    /// The instance store.
+    pub store: &'a Store,
+    /// The decomposition being executed against.
+    pub d: &'a Decomposition,
+    /// Non-equality predicates of the pattern (empty for plain queries).
+    pub cmp: &'a [(ColId, Pred)],
+}
 
 /// Executes `plan` against the instance `inst` of the node whose body is
-/// `body`, with accumulated bindings `acc`. Calls `emit` once per matching
-/// binding (the accumulated tuple extended with everything the plan bound
-/// along that path).
+/// `body`, with accumulated bindings `b`. Calls `emit` once per matching
+/// binding; the accumulator passed to `emit` holds the pattern extended with
+/// everything the plan bound along that path, and is restored before
+/// `exec_plan` returns.
 ///
 /// `leaf` is the index of `body`'s leftmost leaf within the node's flattened
 /// prim array (0 at node roots; join traversal offsets it).
-#[allow(clippy::too_many_arguments)]
-pub fn exec(
-    store: &Store,
-    d: &Decomposition,
-    plan: &Plan,
-    body: &Body,
-    leaf: usize,
-    inst: InstanceRef,
-    acc: &Tuple,
-    emit: &mut dyn FnMut(&Tuple),
-) {
-    exec_where(store, d, plan, body, leaf, inst, acc, &[], emit);
-}
-
-/// Do all comparison predicates accept `t` on the columns `t` binds?
-/// (Columns absent from `t` are checked elsewhere along the plan.)
-fn cmp_ok(cmp: &[(ColId, Pred)], t: &Tuple) -> bool {
-    cmp.iter().all(|(c, p)| match t.get(*c) {
-        Some(v) => p.accepts(v),
-        None => true,
-    })
-}
-
-/// [`exec`] with comparison predicates: the equality part of the pattern
-/// rides in `acc` (exactly as for plain queries), while `cmp` carries the
-/// non-equality predicates, checked wherever their column surfaces and used
-/// to bound `qrange` seeks.
 ///
 /// # Panics
 ///
 /// Panics if the plan does not fit the decomposition body (prevented by the
 /// validity judgment) or if a `qrange` has no interval predicate for the
 /// edge's final key column (prevented by the planner).
-#[allow(clippy::too_many_arguments)]
-pub fn exec_where(
-    store: &Store,
-    d: &Decomposition,
+pub(crate) fn exec_plan(
+    env: &ExecEnv<'_>,
     plan: &Plan,
     body: &Body,
     leaf: usize,
     inst: InstanceRef,
-    acc: &Tuple,
-    cmp: &[(ColId, Pred)],
-    emit: &mut dyn FnMut(&Tuple),
+    b: &mut Bindings,
+    emit: &mut dyn FnMut(&mut Bindings),
 ) {
     match (plan, body) {
         (Plan::Unit, Body::Unit(_)) => {
-            let PrimInst::Unit(u) = &store.get(inst).prims[leaf] else {
+            let PrimInst::Unit(u) = &env.store.get(inst).prims[leaf] else {
                 panic!("leaf/prim misalignment: expected unit");
             };
-            if u.matches(acc) && cmp_ok(cmp, u) {
-                emit(&acc.merge(u));
+            let mut newly = ColSet::EMPTY;
+            let mut ok = true;
+            for (c, v) in u.iter() {
+                if !cmp_accepts(env.cmp, c, v) {
+                    ok = false;
+                    break;
+                }
+                match b.bind_checked(c, v) {
+                    Bind::New => newly = newly | c,
+                    Bind::Same => {}
+                    Bind::Conflict => {
+                        ok = false;
+                        break;
+                    }
+                }
             }
+            if ok {
+                emit(b);
+            }
+            b.unbind(newly);
         }
         (Plan::Lookup { child }, Body::Map(eid)) => {
-            let e = d.edge(*eid);
-            let key = acc.key_for(e.key);
-            if let Some(target) = store.cont_get(inst, leaf, &key) {
-                let tbody = &d.node(e.to).body;
-                exec_where(store, d, child, tbody, 0, target, acc, cmp, emit);
+            let e = env.d.edge(*eid);
+            // Build the probe key in a pooled buffer; the borrowed-key
+            // container lookups never need an owned Box<[Value]>.
+            let mut kb = b.take_buf();
+            for c in e.key.iter() {
+                kb.push(
+                    b.get(c)
+                        .expect("qlookup key column bound (validity judgment)")
+                        .clone(),
+                );
+            }
+            let target = env.store.cont_get(inst, leaf, &kb);
+            b.put_buf(kb);
+            if let Some(target) = target {
+                exec_plan(env, child, &env.d.node(e.to).body, 0, target, b, emit);
             }
         }
         (Plan::Scan { child }, Body::Map(eid)) => {
-            let e = d.edge(*eid);
-            let key_cols = e.key;
-            let tbody = &d.node(e.to).body;
-            // Collect entries first: recursion below may take further shared
-            // borrows of the store, which is fine, but the callback holds a
-            // unique borrow of `emit`, so we keep the iteration simple.
-            let mut entries: Vec<(Vec<Value>, InstanceRef)> = Vec::new();
-            store.cont_for_each(inst, leaf, |k, r| entries.push((k.to_vec(), r)));
-            for (kvals, target) in entries {
-                let ktuple = Tuple::from_parts(key_cols, kvals);
-                if ktuple.matches(acc) && cmp_ok(cmp, &ktuple) {
-                    let acc2 = acc.merge(&ktuple);
-                    exec_where(store, d, child, tbody, 0, target, &acc2, cmp, emit);
-                }
-            }
+            let e = env.d.edge(*eid);
+            let tbody = &env.d.node(e.to).body;
+            // The scratch buffer only backs intrusive-list key
+            // reconstruction; other containers hand out borrowed keys.
+            let mut kb = b.take_buf();
+            env.store
+                .cont_for_each_kbuf(inst, leaf, &mut kb, |k, target| {
+                    if let Some(newly) = bind_row(b, env.cmp, e.key, k) {
+                        exec_plan(env, child, tbody, 0, target, b, emit);
+                        b.unbind(newly);
+                    }
+                });
+            b.put_buf(kb);
         }
         (Plan::Range { child }, Body::Map(eid)) => {
-            let e = d.edge(*eid);
-            let key_cols = e.key;
-            let c = key_cols.max_col().expect("range edge has key columns");
-            let pred = cmp
+            let e = env.d.edge(*eid);
+            let c = e.key.max_col().expect("range edge has key columns");
+            let pred = env
+                .cmp
                 .iter()
                 .find(|(col, _)| *col == c)
                 .map(|(_, p)| p)
@@ -115,32 +326,27 @@ pub fn exec_where(
             let (lo, hi) = pred
                 .bounds()
                 .expect("qrange requires an interval predicate");
-            // Equality-bound prefix of the key (all coordinates before c).
-            let prefix: Vec<Value> = (key_cols - c.set())
-                .iter()
-                .map(|pc| {
-                    acc.get(pc)
-                        .expect("qrange prefix column not bound")
-                        .clone()
-                })
-                .collect();
-            let tbody = &d.node(e.to).body;
-            let mut entries: Vec<(Vec<Value>, InstanceRef)> = Vec::new();
-            store.cont_for_each_range(inst, leaf, &prefix, lo, hi, |k, r| {
-                entries.push((k.to_vec(), r));
-            });
-            for (kvals, target) in entries {
-                let ktuple = Tuple::from_parts(key_cols, kvals);
-                debug_assert!(ktuple.matches(acc), "range key disagrees with bindings");
-                let acc2 = acc.merge(&ktuple);
-                exec_where(store, d, child, tbody, 0, target, &acc2, cmp, emit);
+            // Equality-bound prefix of the key (all coordinates before c),
+            // in a pooled buffer that lives across the whole seek.
+            let mut pb = b.take_buf();
+            for pc in (e.key - c.set()).iter() {
+                pb.push(b.get(pc).expect("qrange prefix column not bound").clone());
             }
+            let tbody = &env.d.node(e.to).body;
+            env.store
+                .cont_for_each_range(inst, leaf, &pb, lo, hi, |k, target| {
+                    if let Some(newly) = bind_row(b, env.cmp, e.key, k) {
+                        exec_plan(env, child, tbody, 0, target, b, emit);
+                        b.unbind(newly);
+                    }
+                });
+            b.put_buf(pb);
         }
         (Plan::Lr { side, inner }, Body::Join(l, r)) => match side {
-            Side::Left => exec_where(store, d, inner, l, leaf, inst, acc, cmp, emit),
+            Side::Left => exec_plan(env, inner, l, leaf, inst, b, emit),
             Side::Right => {
                 let off = leaf_count(l);
-                exec_where(store, d, inner, r, leaf + off, inst, acc, cmp, emit)
+                exec_plan(env, inner, r, leaf + off, inst, b, emit)
             }
         },
         (
@@ -156,30 +362,10 @@ pub fn exec_where(
                 Side::Left => (&**l, leaf, &**r, leaf + loff),
                 Side::Right => (&**r, leaf + loff, &**l, leaf),
             };
-            let mut inner_emit = |acc1: &Tuple| {
-                exec_where(
-                    store,
-                    d,
-                    second,
-                    second_body,
-                    second_leaf,
-                    inst,
-                    acc1,
-                    cmp,
-                    emit,
-                );
+            let mut inner_emit = |b1: &mut Bindings| {
+                exec_plan(env, second, second_body, second_leaf, inst, b1, emit);
             };
-            exec_where(
-                store,
-                d,
-                first,
-                first_body,
-                first_leaf,
-                inst,
-                acc,
-                cmp,
-                &mut inner_emit,
-            );
+            exec_plan(env, first, first_body, first_leaf, inst, b, &mut inner_emit);
         }
         (
             Plan::HashJoin {
@@ -197,21 +383,21 @@ pub fn exec_where(
             // Materialize both sides — the deliberate non-constant-space
             // trade of §4.1: each side executes exactly once.
             let mut build: Vec<Tuple> = Vec::new();
-            exec_where(store, d, first, first_body, first_leaf, inst, acc, cmp, &mut |t| {
-                build.push(t.clone())
+            exec_plan(env, first, first_body, first_leaf, inst, b, &mut |bb| {
+                build.push(bb.to_tuple())
             });
             if build.is_empty() {
                 return;
             }
             let mut probe: Vec<Tuple> = Vec::new();
-            exec_where(store, d, second, second_body, second_leaf, inst, acc, cmp, &mut |t| {
-                probe.push(t.clone())
+            exec_plan(env, second, second_body, second_leaf, inst, b, &mut |bb| {
+                probe.push(bb.to_tuple())
             });
             if probe.is_empty() {
                 return;
             }
-            // Natural join on the columns both sides bind. Both sides merge
-            // the same `acc`, so the shared columns include the pattern.
+            // Natural join on the columns both sides bind. Both sides extend
+            // the same pattern bindings, so the shared columns include it.
             let join_cols = build[0].dom() & probe[0].dom();
             let mut index: HashTable<Box<[Value]>, Vec<usize>> = HashTable::new();
             for (i, t1) in build.iter().enumerate() {
@@ -223,14 +409,37 @@ pub fn exec_where(
                     }
                 }
             }
+            let mut kb = b.take_buf();
             for t2 in &probe {
-                let k = t2.key_for(join_cols);
-                if let Some(hits) = index.get(&k) {
+                kb.clear();
+                for c in join_cols.iter() {
+                    kb.push(t2.get(c).expect("join column bound").clone());
+                }
+                if let Some(hits) = index.get(kb.as_slice()) {
                     for &i in hits {
-                        emit(&build[i].merge(t2));
+                        // Rebind the joined pair on top of the pattern; the
+                        // overlap is equal by construction, so only the
+                        // newly-bound columns need undoing.
+                        let mut newly = ColSet::EMPTY;
+                        let mut ok = true;
+                        for (c, v) in build[i].iter().chain(t2.iter()) {
+                            match b.bind_checked(c, v) {
+                                Bind::New => newly = newly | c,
+                                Bind::Same => {}
+                                Bind::Conflict => {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        }
+                        if ok {
+                            emit(b);
+                        }
+                        b.unbind(newly);
                     }
                 }
             }
+            b.put_buf(kb);
         }
         (p, _) => panic!("plan operator {p} does not match decomposition body"),
     }

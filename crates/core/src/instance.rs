@@ -13,8 +13,8 @@
 //! (field `links`), one slot per incoming intrusive edge of the child's node,
 //! exactly like `boost::intrusive::list` hooks.
 
-use relic_decomp::{Body, Decomposition, DsKind, EdgeId, NodeId};
 use relic_containers::{AssocVec, AvlMap, DListMap, HashTable, SortedVecMap};
+use relic_decomp::{Body, Decomposition, DsKind, EdgeId, NodeId};
 use relic_spec::{ColSet, Tuple, Value};
 
 /// A composite container key: the values of an edge's key columns in
@@ -239,13 +239,7 @@ impl Layout {
 
     /// Creates a fresh instance of `node` for bound valuation `key`, with
     /// unit leaves initialized from `t` and empty containers elsewhere.
-    pub fn new_instance(
-        &self,
-        d: &Decomposition,
-        node: NodeId,
-        key: Key,
-        t: &Tuple,
-    ) -> Instance {
+    pub fn new_instance(&self, d: &Decomposition, node: NodeId, key: Key, t: &Tuple) -> Instance {
         let leaves = d.node(node).body.leaves();
         let prims: Vec<PrimInst> = leaves
             .iter()
@@ -295,10 +289,7 @@ impl Store {
             arena.slots.push(Some(inst));
             (arena.slots.len() - 1) as u32
         };
-        InstanceRef {
-            node: node.0,
-            slot,
-        }
+        InstanceRef { node: node.0, slot }
     }
 
     /// Shared access to an instance.
@@ -331,9 +322,7 @@ impl Store {
     /// Frees an instance slot, returning its contents.
     pub fn free(&mut self, r: InstanceRef) -> Instance {
         let arena = &mut self.arenas[r.node as usize];
-        let inst = arena.slots[r.slot as usize]
-            .take()
-            .expect("live instance");
+        let inst = arena.slots[r.slot as usize].take().expect("live instance");
         arena.free.push(r.slot);
         arena.live -= 1;
         inst
@@ -350,23 +339,17 @@ impl Store {
     // Intrusive lists additionally thread link updates through the store.
 
     /// Looks up `key` in the container at `(parent, leaf)`.
+    ///
+    /// The probe is *borrowed*: `Box<[Value]>`-keyed containers are searched
+    /// through `&[Value]` directly (`Borrow`-based lookup), so no key is
+    /// allocated — the heart of the zero-allocation query hot path.
     pub fn cont_get(&self, parent: InstanceRef, leaf: usize, key: &[Value]) -> Option<InstanceRef> {
         match &self.get(parent).prims[leaf] {
-            PrimInst::Map(EdgeContainer::Hash(c)) => {
-                c.get(&key.to_vec().into_boxed_slice()).copied()
-            }
-            PrimInst::Map(EdgeContainer::Avl(c)) => {
-                c.get(&key.to_vec().into_boxed_slice()).copied()
-            }
-            PrimInst::Map(EdgeContainer::Sorted(c)) => {
-                c.get(&key.to_vec().into_boxed_slice()).copied()
-            }
-            PrimInst::Map(EdgeContainer::Assoc(c)) => {
-                c.get(&key.to_vec().into_boxed_slice()).copied()
-            }
-            PrimInst::Map(EdgeContainer::DList(c)) => {
-                c.get(&key.to_vec().into_boxed_slice()).copied()
-            }
+            PrimInst::Map(EdgeContainer::Hash(c)) => c.get(key).copied(),
+            PrimInst::Map(EdgeContainer::Avl(c)) => c.get(key).copied(),
+            PrimInst::Map(EdgeContainer::Sorted(c)) => c.get(key).copied(),
+            PrimInst::Map(EdgeContainer::Assoc(c)) => c.get(key).copied(),
+            PrimInst::Map(EdgeContainer::DList(c)) => c.get(key).copied(),
             PrimInst::Map(EdgeContainer::Intrusive {
                 head, slot, kpos, ..
             }) => {
@@ -453,13 +436,12 @@ impl Store {
             self.intrusive_unlink(parent, leaf, child);
             Some(child)
         } else {
-            let boxed: Key = key.to_vec().into_boxed_slice();
             match &mut self.get_mut(parent).prims[leaf] {
-                PrimInst::Map(EdgeContainer::Hash(c)) => c.remove(&boxed),
-                PrimInst::Map(EdgeContainer::Avl(c)) => c.remove(&boxed),
-                PrimInst::Map(EdgeContainer::Sorted(c)) => c.remove(&boxed),
-                PrimInst::Map(EdgeContainer::Assoc(c)) => c.remove(&boxed),
-                PrimInst::Map(EdgeContainer::DList(c)) => c.remove(&boxed),
+                PrimInst::Map(EdgeContainer::Hash(c)) => c.remove(key),
+                PrimInst::Map(EdgeContainer::Avl(c)) => c.remove(key),
+                PrimInst::Map(EdgeContainer::Sorted(c)) => c.remove(key),
+                PrimInst::Map(EdgeContainer::Assoc(c)) => c.remove(key),
+                PrimInst::Map(EdgeContainer::DList(c)) => c.remove(key),
                 _ => unreachable!("unit leaf or intrusive handled above"),
             }
         }
@@ -505,6 +487,21 @@ impl Store {
         &self,
         parent: InstanceRef,
         leaf: usize,
+        f: impl FnMut(&[Value], InstanceRef),
+    ) {
+        let mut keybuf = Vec::new();
+        self.cont_for_each_kbuf(parent, leaf, &mut keybuf, f);
+    }
+
+    /// [`cont_for_each`](Store::cont_for_each) with a caller-supplied scratch
+    /// buffer for reconstructing intrusive-list entry keys, so a warm query
+    /// path performs no allocation even when it scans `ilist` edges. The
+    /// buffer is cleared per entry; non-intrusive containers never touch it.
+    pub fn cont_for_each_kbuf(
+        &self,
+        parent: InstanceRef,
+        leaf: usize,
+        keybuf: &mut Vec<Value>,
         mut f: impl FnMut(&[Value], InstanceRef),
     ) {
         match &self.get(parent).prims[leaf] {
@@ -537,12 +534,11 @@ impl Store {
                 head, slot, kpos, ..
             }) => {
                 let mut cur = *head;
-                let mut keybuf: Vec<Value> = Vec::with_capacity(kpos.len());
                 while let Some(r) = cur {
                     let child = self.get(r);
                     keybuf.clear();
                     keybuf.extend(kpos.iter().map(|p| child.key[*p as usize].clone()));
-                    f(&keybuf, r);
+                    f(keybuf, r);
                     cur = child.links[*slot as usize].next;
                 }
             }

@@ -31,5 +31,8 @@ mod instance;
 mod relation;
 
 pub use error::{BuildError, OpError};
-pub use instance::{Arena, EdgeContainer, Instance, InstanceRef, Key, Layout, Link, PrimInst, Store};
+pub use exec::Bindings;
+pub use instance::{
+    Arena, EdgeContainer, Instance, InstanceRef, Key, Layout, Link, PrimInst, Store,
+};
 pub use relation::SynthRelation;

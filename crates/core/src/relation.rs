@@ -3,13 +3,17 @@
 
 use crate::alpha;
 use crate::error::{BuildError, OpError};
-use crate::exec::{exec, exec_where};
-use crate::instance::{InstanceRef, Layout, PrimInst, Store};
+use crate::exec::{exec_plan, Bindings, ExecEnv};
+use crate::instance::{InstanceRef, Key, Layout, PrimInst, Store};
 use relic_decomp::{check_adequacy, cut, Body, Decomposition, NodeId};
 use relic_query::{CostModel, JoinCostMode, Plan, Planner};
-use relic_spec::{Catalog, ColSet, Pattern, Relation, RelSpec, Tuple};
+use relic_spec::{Catalog, ColSet, Pattern, RelSpec, Relation, Tuple};
 use std::collections::{BTreeSet, HashMap};
-use std::sync::Mutex;
+use std::sync::{Arc, RwLock};
+
+/// Cache key: the `(eq, ranged, filtered, out)` column-set signature of a
+/// query.
+type PlanKey = (u64, u64, u64, u64);
 
 /// A relation synthesized from a [`RelSpec`] and an adequate
 /// [`Decomposition`] — the Rust analog of the C++ classes emitted by RELC.
@@ -67,7 +71,15 @@ pub struct SynthRelation {
     store: Store,
     root: InstanceRef,
     cost: CostModel,
-    plan_cache: Mutex<HashMap<(u64, u64, u64, u64), Plan>>,
+    /// Read-mostly plan cache: the warm path takes only a read lock and
+    /// clones an `Arc`, never a `Plan`. Invalidation (`set_cost_model`,
+    /// `set_join_cost_mode`, `clear`) holds the write lock briefly.
+    plan_cache: RwLock<HashMap<PlanKey, Arc<Plan>>>,
+    /// Scratch accumulator reused by the mutation paths (`insert`, `remove`,
+    /// `update`) for FD-check and duplicate-detection probes.
+    scratch: Bindings,
+    /// Scratch key buffer reused for container probes along mutation paths.
+    key_scratch: Vec<relic_spec::Value>,
     check_fds: bool,
     len: usize,
     min_key: ColSet,
@@ -98,7 +110,9 @@ impl SynthRelation {
             store,
             root,
             cost,
-            plan_cache: Mutex::new(HashMap::new()),
+            plan_cache: RwLock::new(HashMap::new()),
+            scratch: Bindings::new(),
+            key_scratch: Vec::new(),
             check_fds: true,
             len: 0,
             min_key,
@@ -148,7 +162,7 @@ impl SynthRelation {
     /// clears the plan cache.
     pub fn set_cost_model(&mut self, cost: CostModel) {
         self.cost = cost;
-        self.plan_cache.lock().expect("plan cache poisoned").clear();
+        self.invalidate_plans();
     }
 
     /// Switches how joins are charged by the planner (and clears the plan
@@ -158,7 +172,22 @@ impl SynthRelation {
     /// default optimistic mode reproduces the paper's constant-space plans.
     pub fn set_join_cost_mode(&mut self, mode: JoinCostMode) {
         self.cost.set_join_mode(mode);
-        self.plan_cache.lock().expect("plan cache poisoned").clear();
+        self.invalidate_plans();
+    }
+
+    /// Drops every memoized plan. `&mut self` means no reader can hold the
+    /// lock, so this cannot block or race.
+    fn invalidate_plans(&mut self) {
+        self.plan_cache
+            .get_mut()
+            .expect("plan cache poisoned")
+            .clear();
+    }
+
+    /// Number of memoized query plans (for tests and cache-behaviour
+    /// inspection).
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.read().expect("plan cache poisoned").len()
     }
 
     /// Profiles the live instance: the average fan-out of every edge, for
@@ -193,25 +222,37 @@ impl SynthRelation {
         Ok(self.planned(pattern_cols, out)?.to_string())
     }
 
-    fn planned(&self, avail: ColSet, out: ColSet) -> Result<Plan, OpError> {
+    fn planned(&self, avail: ColSet, out: ColSet) -> Result<Arc<Plan>, OpError> {
         self.planned_where(avail, ColSet::EMPTY, ColSet::EMPTY, out)
     }
 
+    /// Memoized planning. The warm path takes one read lock and hands out a
+    /// shared `Arc<Plan>` — no exclusive lock, no plan clone. On a miss the
+    /// (expensive) planning runs outside any lock; the subsequent insert
+    /// re-checks the entry so concurrent planners that raced converge on one
+    /// plan instead of clobbering each other (the seed's get-then-insert
+    /// under separate `Mutex` acquisitions re-planned *and* re-inserted).
     fn planned_where(
         &self,
         eq: ColSet,
         ranged: ColSet,
         filtered: ColSet,
         out: ColSet,
-    ) -> Result<Plan, OpError> {
+    ) -> Result<Arc<Plan>, OpError> {
         let key = (eq.bits(), ranged.bits(), filtered.bits(), out.bits());
-        if let Some(p) = self.plan_cache.lock().expect("plan cache poisoned").get(&key) {
-            return Ok(p.clone());
+        if let Some(p) = self
+            .plan_cache
+            .read()
+            .expect("plan cache poisoned")
+            .get(&key)
+        {
+            return Ok(Arc::clone(p));
         }
         let planner = Planner::new(&self.d, &self.spec, self.cost.clone());
         let planned = planner.plan_query_where(eq, ranged, filtered, out)?;
-        self.plan_cache.lock().expect("plan cache poisoned").insert(key, planned.plan.clone());
-        Ok(planned.plan)
+        let mut cache = self.plan_cache.write().expect("plan cache poisoned");
+        let entry = cache.entry(key).or_insert_with(|| Arc::new(planned.plan));
+        Ok(Arc::clone(entry))
     }
 
     /// `query r s C` (§2): the projection onto `out` of every tuple extending
@@ -232,28 +273,55 @@ impl SynthRelation {
     /// Streaming variant of [`query`](SynthRelation::query): calls `f` for
     /// each match without materializing results. Duplicate projections may be
     /// delivered more than once (the collecting `query` deduplicates).
+    ///
+    /// Builds one projected [`Tuple`] per delivered match; use
+    /// [`query_for_each_bindings`](SynthRelation::query_for_each_bindings)
+    /// for the allocation-free raw path.
     pub fn query_for_each(
         &self,
         pattern: &Tuple,
         out: ColSet,
         mut f: impl FnMut(&Tuple),
     ) -> Result<(), OpError> {
+        let mut scratch = Bindings::new();
+        self.query_for_each_bindings(&mut scratch, pattern, out, |b| f(&b.project(out)))
+    }
+
+    /// The raw streaming query path: calls `f` with the execution
+    /// accumulator for each match, without materializing any tuple.
+    ///
+    /// This is the zero-allocation hot path: with a reused `scratch` and a
+    /// warm plan cache, a query performs **no heap allocation per emitted
+    /// tuple** (and none per query at all on lookup-only plans) — the
+    /// callback reads the columns it needs via [`Bindings::get`] or projects
+    /// with [`Bindings::project`] if it wants an owned tuple. The
+    /// accumulator's domain is the pattern's columns plus every column the
+    /// plan bound on the emitted path (a superset of `out`).
+    ///
+    /// # Errors
+    ///
+    /// [`OpError::ForeignColumns`] if `pattern` or `out` mention columns
+    /// outside the relation.
+    pub fn query_for_each_bindings(
+        &self,
+        scratch: &mut Bindings,
+        pattern: &Tuple,
+        out: ColSet,
+        mut f: impl FnMut(&Bindings),
+    ) -> Result<(), OpError> {
         let foreign = (pattern.dom() | out) - self.spec.cols();
         if !foreign.is_empty() {
             return Err(OpError::ForeignColumns { cols: foreign });
         }
         let plan = self.planned(pattern.dom(), out)?;
+        scratch.load_pattern(pattern);
+        let env = ExecEnv {
+            store: &self.store,
+            d: &self.d,
+            cmp: &[],
+        };
         let body = &self.d.node(self.d.root()).body;
-        exec(
-            &self.store,
-            &self.d,
-            &plan,
-            body,
-            0,
-            self.root,
-            pattern,
-            &mut |acc| f(&acc.project(out)),
-        );
+        exec_plan(&env, &plan, body, 0, self.root, scratch, &mut |b| f(b));
         Ok(())
     }
 
@@ -323,6 +391,26 @@ impl SynthRelation {
         out: ColSet,
         mut f: impl FnMut(&Tuple),
     ) -> Result<(), OpError> {
+        let mut scratch = Bindings::new();
+        self.query_where_for_each_bindings(&mut scratch, pattern, out, |b| f(&b.project(out)))
+    }
+
+    /// Raw streaming variant of
+    /// [`query_where_for_each`](SynthRelation::query_where_for_each): calls
+    /// `f` with the execution accumulator for each match. See
+    /// [`query_for_each_bindings`](SynthRelation::query_for_each_bindings)
+    /// for the allocation contract.
+    ///
+    /// # Errors
+    ///
+    /// [`OpError::ForeignColumns`] as for `query_where_for_each`.
+    pub fn query_where_for_each_bindings(
+        &self,
+        scratch: &mut Bindings,
+        pattern: &Pattern,
+        out: ColSet,
+        mut f: impl FnMut(&Bindings),
+    ) -> Result<(), OpError> {
         let foreign = (pattern.dom() | out) - self.spec.cols();
         if !foreign.is_empty() {
             return Err(OpError::ForeignColumns { cols: foreign });
@@ -334,19 +422,15 @@ impl SynthRelation {
             .fold(ColSet::EMPTY, |acc, (c, _)| acc | *c);
         let filtered = pattern.cmp_cols() - ranged;
         let plan = self.planned_where(pattern.eq_cols(), ranged, filtered, out)?;
-        let body = &self.d.node(self.d.root()).body;
         let eq = pattern.eq_tuple();
-        exec_where(
-            &self.store,
-            &self.d,
-            &plan,
-            body,
-            0,
-            self.root,
-            &eq,
-            &cmp,
-            &mut |acc| f(&acc.project(out)),
-        );
+        scratch.load_pattern(&eq);
+        let env = ExecEnv {
+            store: &self.store,
+            d: &self.d,
+            cmp: &cmp,
+        };
+        let body = &self.d.node(self.d.root()).body;
+        exec_plan(&env, &plan, body, 0, self.root, scratch, &mut |b| f(b));
         Ok(())
     }
 
@@ -395,16 +479,39 @@ impl SynthRelation {
                 actual: t.dom(),
             });
         }
-        // Key lookup: duplicate detection and first-line FD enforcement.
-        let existing = self.query_full(&t.project(self.min_key))?;
-        if let Some(ex) = existing.first() {
-            if *ex == t {
-                return Ok(false);
-            }
-            return Err(OpError::FdViolation {
-                tuple: t,
-                existing: ex.clone(),
-            });
+        // Key lookup: duplicate detection and first-line FD enforcement,
+        // streamed through the relation's scratch accumulator — no pattern
+        // tuple, no materialized result set.
+        let all = self.spec.cols();
+        let plan = self.planned(self.min_key, all)?;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut dup = false;
+        let mut conflict: Option<Tuple> = None;
+        for_each_matching(
+            &self.store,
+            &self.d,
+            self.root,
+            &plan,
+            &mut scratch,
+            &t,
+            self.min_key,
+            &mut |b| {
+                if dup || conflict.is_some() {
+                    return;
+                }
+                if all.iter().all(|c| b.get(c) == t.get(c)) {
+                    dup = true;
+                } else {
+                    conflict = Some(b.project(all));
+                }
+            },
+        );
+        self.scratch = scratch;
+        if dup {
+            return Ok(false);
+        }
+        if let Some(existing) = conflict {
+            return Err(OpError::FdViolation { tuple: t, existing });
         }
         if self.check_fds {
             self.check_fds_against(&t, None)?;
@@ -417,19 +524,50 @@ impl SynthRelation {
     /// Checks every declared dependency of the specification against the
     /// instance for prospective tuple `t`, ignoring `exclude` (used by
     /// `update`, where the old version of the tuple is about to disappear).
-    fn check_fds_against(&self, t: &Tuple, exclude: Option<&Tuple>) -> Result<(), OpError> {
-        for fd in self.spec.fds().iter() {
-            let pattern = t.project(fd.lhs);
-            for ex in self.query_full(&pattern)? {
-                if Some(&ex) == exclude {
-                    continue;
-                }
-                if ex.project(fd.rhs) != t.project(fd.rhs) {
-                    return Err(OpError::FdViolation {
-                        tuple: t.clone(),
-                        existing: ex,
-                    });
-                }
+    ///
+    /// Each dependency probe streams through the relation's scratch
+    /// accumulator; the offending tuple is materialized only on the error
+    /// path.
+    fn check_fds_against(&mut self, t: &Tuple, exclude: Option<&Tuple>) -> Result<(), OpError> {
+        let all = self.spec.cols();
+        let nfds = self.spec.fds().len();
+        for i in 0..nfds {
+            let fd = self.spec.fds().nth(i);
+            let plan = self.planned(fd.lhs & all, all)?;
+            let mut scratch = std::mem::take(&mut self.scratch);
+            let mut violation: Option<Tuple> = None;
+            for_each_matching(
+                &self.store,
+                &self.d,
+                self.root,
+                &plan,
+                &mut scratch,
+                t,
+                fd.lhs & all,
+                &mut |b| {
+                    if violation.is_some() {
+                        return;
+                    }
+                    if let Some(ex) = exclude {
+                        if all.iter().all(|c| b.get(c) == ex.get(c)) {
+                            return;
+                        }
+                    }
+                    if fd
+                        .rhs
+                        .iter()
+                        .any(|c| all.contains(c) && b.get(c) != t.get(c))
+                    {
+                        violation = Some(b.project(all));
+                    }
+                },
+            );
+            self.scratch = scratch;
+            if let Some(existing) = violation {
+                return Err(OpError::FdViolation {
+                    tuple: t.clone(),
+                    existing,
+                });
             }
         }
         Ok(())
@@ -437,9 +575,14 @@ impl SynthRelation {
 
     /// The `dinsert` operation (§4.4): find-or-create instances in
     /// topological order, then link them through every incoming edge.
+    ///
+    /// All existence probes go through the relation's reusable key buffer
+    /// and the containers' borrowed-key lookups; an owned key is only built
+    /// when an entry is actually stored.
     fn dinsert(&mut self, t: &Tuple) {
         let nn = self.d.node_count();
         let mut resolved: Vec<Option<InstanceRef>> = vec![None; nn];
+        let mut kb = std::mem::take(&mut self.key_scratch);
         let order: Vec<NodeId> = self.d.topo_root_first().collect();
         for node in order {
             let inst = if node == self.d.root() {
@@ -450,10 +593,10 @@ impl SynthRelation {
                     let edge = self.d.edge(e);
                     let parent = resolved[edge.from.index()]
                         .expect("parents resolved before children (topological order)");
-                    let ekey = t.key_for(edge.key);
+                    t.write_key_into(edge.key, &mut kb);
                     if let Some(r) =
                         self.store
-                            .cont_get(parent, self.layout.leaf_of_edge[e.index()], &ekey)
+                            .cont_get(parent, self.layout.leaf_of_edge[e.index()], &kb)
                     {
                         found = Some(r);
                         break;
@@ -469,13 +612,15 @@ impl SynthRelation {
                 let edge = self.d.edge(e);
                 let parent = resolved[edge.from.index()].expect("topological order");
                 let leaf = self.layout.leaf_of_edge[e.index()];
-                let ekey = t.key_for(edge.key);
-                if self.store.cont_get(parent, leaf, &ekey).is_none() {
+                t.write_key_into(edge.key, &mut kb);
+                if self.store.cont_get(parent, leaf, &kb).is_none() {
+                    let ekey: Key = kb.as_slice().into();
                     self.store.cont_insert(parent, leaf, ekey, inst);
                 }
             }
             resolved[node.index()] = Some(inst);
         }
+        self.key_scratch = kb;
     }
 
     /// `remove r s` (§2, §4.5): removes every tuple extending `pattern` by
@@ -553,6 +698,11 @@ impl SynthRelation {
     }
 
     /// Removes every tuple (constant-time reset of the store).
+    ///
+    /// Also drops memoized plans: plans chosen under an
+    /// [`observed_cost_model`](SynthRelation::observed_cost_model) reflect
+    /// the old instance's fan-outs, so a reset conservatively forces
+    /// re-planning.
     pub fn clear(&mut self) {
         self.store = Store::new(&self.d);
         let root_node = self.d.root();
@@ -561,10 +711,12 @@ impl SynthRelation {
             .new_instance(&self.d, root_node, Box::new([]), &Tuple::empty());
         self.root = self.store.alloc(root_node, root_inst);
         self.len = 0;
+        self.invalidate_plans();
     }
 
     fn remove_tuple(&mut self, t: &Tuple, c: &relic_decomp::Cut) {
         let nn = self.d.node_count();
+        let mut kb = std::mem::take(&mut self.key_scratch);
         // Resolve the above-cut instances along t's path.
         let mut resolved: Vec<Option<InstanceRef>> = vec![None; nn];
         let order: Vec<NodeId> = self.d.topo_root_first().collect();
@@ -579,12 +731,11 @@ impl SynthRelation {
                 for &e in self.d.incoming_edges(*node) {
                     let edge = self.d.edge(e);
                     if let Some(parent) = resolved[edge.from.index()] {
-                        let ekey = t.key_for(edge.key);
-                        if let Some(r) = self.store.cont_get(
-                            parent,
-                            self.layout.leaf_of_edge[e.index()],
-                            &ekey,
-                        ) {
+                        t.write_key_into(edge.key, &mut kb);
+                        if let Some(r) =
+                            self.store
+                                .cont_get(parent, self.layout.leaf_of_edge[e.index()], &kb)
+                        {
                             found = Some(r);
                             break;
                         }
@@ -601,8 +752,8 @@ impl SynthRelation {
                 continue;
             };
             let leaf = self.layout.leaf_of_edge[e.index()];
-            let ekey = t.key_for(edge.key);
-            if let Some(child) = self.store.cont_remove(parent, leaf, &ekey) {
+            t.write_key_into(edge.key, &mut kb);
+            if let Some(child) = self.store.cont_remove(parent, leaf, &kb) {
                 self.decref(child);
             }
         }
@@ -626,8 +777,8 @@ impl SynthRelation {
                     continue;
                 }
                 let leaf = self.layout.leaf_of_edge[e.index()];
-                let ekey = t.key_for(edge.key);
-                if let Some(child) = self.store.cont_remove(parent, leaf, &ekey) {
+                t.write_key_into(edge.key, &mut kb);
+                if let Some(child) = self.store.cont_remove(parent, leaf, &kb) {
                     debug_assert_eq!(child, inst);
                     self.store.get_mut(child).refs -= 1;
                 }
@@ -636,6 +787,7 @@ impl SynthRelation {
                 let _ = self.store.free(inst);
             }
         }
+        self.key_scratch = kb;
     }
 
     /// True when the instance holds no data: no unit leaves and all maps
@@ -765,12 +917,13 @@ impl SynthRelation {
     }
 
     fn update_units_in_place(&mut self, t_old: &Tuple, t_new: &Tuple, changed: ColSet) {
+        let mut kb = std::mem::take(&mut self.key_scratch);
         for (id, _) in self.d.nodes() {
             let units = self.layout.unit_leaves[id.index()].clone();
             if units.iter().all(|(_, c)| c.is_disjoint(changed)) {
                 continue;
             }
-            let Some(inst) = self.locate(id, t_old) else {
+            let Some(inst) = self.locate(id, t_old, &mut kb) else {
                 continue;
             };
             for (leaf, cols) in units {
@@ -783,18 +936,24 @@ impl SynthRelation {
                 }
             }
         }
+        self.key_scratch = kb;
     }
 
     /// Locates the instance of `node` on `t`'s path via the canonical root
-    /// path.
-    fn locate(&self, node: NodeId, t: &Tuple) -> Option<InstanceRef> {
+    /// path, probing through the caller's reusable key buffer.
+    fn locate(
+        &self,
+        node: NodeId,
+        t: &Tuple,
+        kb: &mut Vec<relic_spec::Value>,
+    ) -> Option<InstanceRef> {
         let mut inst = self.root;
         for &e in &self.layout.path_of_node[node.index()] {
             let edge = self.d.edge(e);
-            let ekey = t.key_for(edge.key);
+            t.write_key_into(edge.key, kb);
             inst = self
                 .store
-                .cont_get(inst, self.layout.leaf_of_edge[e.index()], &ekey)?;
+                .cont_get(inst, self.layout.leaf_of_edge[e.index()], kb)?;
         }
         Some(inst)
     }
@@ -829,6 +988,31 @@ impl SynthRelation {
         }
         Ok(())
     }
+}
+
+/// Streams every stored tuple extending `t`'s projection onto
+/// `pattern_cols` through `f`, as full-tuple bindings, using `plan` (which
+/// must have been planned for exactly that signature).
+///
+/// A free function (rather than a method) so mutation paths can run it with
+/// a scratch accumulator taken out of the relation while still borrowing the
+/// store — the borrow-splitting that makes `insert`'s probes reuse one
+/// buffer.
+#[allow(clippy::too_many_arguments)]
+fn for_each_matching(
+    store: &Store,
+    d: &Decomposition,
+    root: InstanceRef,
+    plan: &Plan,
+    scratch: &mut Bindings,
+    t: &Tuple,
+    pattern_cols: ColSet,
+    f: &mut dyn FnMut(&Bindings),
+) {
+    scratch.load_pattern_cols(t, pattern_cols);
+    let env = ExecEnv { store, d, cmp: &[] };
+    let body = &d.node(d.root()).body;
+    exec_plan(&env, plan, body, 0, root, scratch, &mut |b| f(b));
 }
 
 #[cfg(test)]
@@ -969,17 +1153,11 @@ mod tests {
         .unwrap();
         r.validate().unwrap();
         let sleeping = r
-            .query(
-                &Tuple::from_pairs([(state, Value::from("S"))]),
-                ns | pid,
-            )
+            .query(&Tuple::from_pairs([(state, Value::from("S"))]), ns | pid)
             .unwrap();
         assert_eq!(sleeping.len(), 3);
         let running = r
-            .query(
-                &Tuple::from_pairs([(state, Value::from("R"))]),
-                ns | pid,
-            )
+            .query(&Tuple::from_pairs([(state, Value::from("R"))]), ns | pid)
             .unwrap();
         assert!(running.is_empty());
         assert_eq!(r.len(), 3);
@@ -992,7 +1170,10 @@ mod tests {
         let ns = cat.col("ns").unwrap();
         let pid = cat.col("pid").unwrap();
         let n = r
-            .remove(&Tuple::from_pairs([(ns, Value::from(2)), (pid, Value::from(1))]))
+            .remove(&Tuple::from_pairs([
+                (ns, Value::from(2)),
+                (pid, Value::from(1)),
+            ]))
             .unwrap();
         assert_eq!(n, 1);
         assert_eq!(r.len(), 2);
@@ -1004,7 +1185,9 @@ mod tests {
         let (cat, mut r) = scheduler();
         rs(&cat, &mut r);
         let ns = cat.col("ns").unwrap();
-        let n = r.remove(&Tuple::from_pairs([(ns, Value::from(1))])).unwrap();
+        let n = r
+            .remove(&Tuple::from_pairs([(ns, Value::from(1))]))
+            .unwrap();
         assert_eq!(n, 2);
         assert_eq!(r.len(), 1);
         r.validate().unwrap();
@@ -1043,8 +1226,11 @@ mod tests {
         rs(&cat, &mut r);
         let ns = cat.col("ns").unwrap();
         let pid = cat.col("pid").unwrap();
-        r.remove(&Tuple::from_pairs([(ns, Value::from(1)), (pid, Value::from(2))]))
-            .unwrap();
+        r.remove(&Tuple::from_pairs([
+            (ns, Value::from(1)),
+            (pid, Value::from(2)),
+        ]))
+        .unwrap();
         r.insert(proc(&cat, 1, 2, "S", 11)).unwrap();
         r.validate().unwrap();
         assert_eq!(r.len(), 3);
@@ -1110,10 +1296,7 @@ mod tests {
             r.query(&t, alien.into()),
             Err(OpError::ForeignColumns { .. })
         ));
-        assert!(matches!(
-            r.remove(&t),
-            Err(OpError::ForeignColumns { .. })
-        ));
+        assert!(matches!(r.remove(&t), Err(OpError::ForeignColumns { .. })));
     }
 
     #[test]
@@ -1157,7 +1340,8 @@ mod tests {
         r.validate().unwrap();
         let ns = cat.col("ns").unwrap();
         for i in 0..5 {
-            r.remove(&Tuple::from_pairs([(ns, Value::from(i))])).unwrap();
+            r.remove(&Tuple::from_pairs([(ns, Value::from(i))]))
+                .unwrap();
         }
         assert!(r.is_empty());
         r.validate().unwrap();

@@ -31,7 +31,10 @@ fn event_log() -> (Catalog, RelSpec, Vec<Decomposition>) {
          let x : {} . {host,ts,bytes} =
            ({host} -[htable]-> h) join ({ts} -[avl]-> t) in x",
     ];
-    let ds: Vec<Decomposition> = sources.iter().map(|s| parse(&mut cat, s).unwrap()).collect();
+    let ds: Vec<Decomposition> = sources
+        .iter()
+        .map(|s| parse(&mut cat, s).unwrap())
+        .collect();
     let spec = RelSpec::new(cat.all()).with_fd(
         cat.col("host").unwrap() | cat.col("ts").unwrap(),
         cat.col("bytes").unwrap().set(),
@@ -68,7 +71,10 @@ fn planner_chooses_qrange_on_ordered_edges() {
         .with(host, Pred::Eq(Value::from(1)))
         .with(ts, Pred::Between(Value::from(5), Value::from(9)));
     let plan = r.plan_for_where(&p, bytes.set()).unwrap();
-    assert_eq!(plan, "qlookup(qrange(qunit))", "time index should be seeked");
+    assert_eq!(
+        plan, "qlookup(qrange(qunit))",
+        "time index should be seeked"
+    );
 }
 
 #[test]
@@ -180,7 +186,8 @@ fn remove_where_evicts_old_entries() {
         assert_eq!(got, want, "decomposition {i}");
         assert_eq!(got, 4 * 15);
         assert_eq!(r.to_relation(), m, "decomposition {i}");
-        r.validate().unwrap_or_else(|e| panic!("decomposition {i}: {e}"));
+        r.validate()
+            .unwrap_or_else(|e| panic!("decomposition {i}: {e}"));
         // Removing again is a no-op.
         assert_eq!(r.remove_where(&stale).unwrap(), 0);
         // A pattern combining equality and comparison.
@@ -191,7 +198,8 @@ fn remove_where_evicts_old_entries() {
         let want = m.remove_where(&one_host);
         assert_eq!(got, want, "decomposition {i}");
         assert_eq!(r.to_relation(), m, "decomposition {i}");
-        r.validate().unwrap_or_else(|e| panic!("decomposition {i}: {e}"));
+        r.validate()
+            .unwrap_or_else(|e| panic!("decomposition {i}: {e}"));
     }
 }
 

@@ -1,0 +1,283 @@
+//! Soundness of the scratch-accumulator executor: the zero-allocation
+//! binding path (`query_for_each_bindings`) must emit exactly the same tuple
+//! sets as the collecting `query` path and as the reference [`Relation`]
+//! model, across the Fig. 4 process-scheduler decompositions (the paper's
+//! running example, covering shared join nodes, intrusive lists, and every
+//! container kind).
+
+use proptest::prelude::*;
+use relic_core::{Bindings, SynthRelation};
+use relic_decomp::{parse, Decomposition};
+use relic_spec::{Catalog, ColSet, RelSpec, Relation, Tuple, Value};
+use std::collections::BTreeSet;
+
+/// The Fig. 4 scheduler decompositions: the paper's Fig. 2(a) shape with an
+/// intrusive z-list, a dlist variant, a hash chain, a flat ordered map, and
+/// an unshared join.
+fn scheduler_setup() -> (Catalog, RelSpec, Vec<Decomposition>) {
+    let mut cat = Catalog::new();
+    let sources = [
+        "let w : {ns,pid,state} . {cpu} = unit {cpu} in
+         let y : {ns} . {pid,cpu} = {pid} -[htable]-> w in
+         let z : {state} . {ns,pid,cpu} = {ns,pid} -[ilist]-> w in
+         let x : {} . {ns,pid,state,cpu} =
+           ({ns} -[htable]-> y) join ({state} -[vec]-> z) in x",
+        "let w : {ns,pid,state} . {cpu} = unit {cpu} in
+         let y : {ns} . {pid,cpu} = {pid} -[avl]-> w in
+         let z : {state} . {ns,pid,cpu} = {ns,pid} -[dlist]-> w in
+         let x : {} . {ns,pid,state,cpu} =
+           ({ns} -[sortedvec]-> y) join ({state} -[vec]-> z) in x",
+        "let w : {ns,pid} . {state,cpu} = unit {state,cpu} in
+         let y : {ns} . {pid,state,cpu} = {pid} -[htable]-> w in
+         let x : {} . {ns,pid,state,cpu} = {ns} -[htable]-> y in x",
+        "let w : {ns,pid} . {state,cpu} = unit {state,cpu} in
+         let x : {} . {ns,pid,state,cpu} = {ns,pid} -[avl]-> w in x",
+        "let l : {ns,pid} . {state,cpu} = unit {state,cpu} in
+         let r : {state,ns,pid} . {cpu} = unit {cpu} in
+         let z : {state} . {ns,pid,cpu} = {ns,pid} -[dlist]-> r in
+         let x : {} . {ns,pid,state,cpu} =
+           ({ns,pid} -[htable]-> l) join ({state} -[vec]-> z) in x",
+    ];
+    let ds: Vec<Decomposition> = sources
+        .iter()
+        .map(|s| parse(&mut cat, s).unwrap())
+        .collect();
+    let spec = RelSpec::new(cat.all()).with_fd(
+        cat.col("ns").unwrap() | cat.col("pid").unwrap(),
+        cat.col("state").unwrap() | cat.col("cpu").unwrap(),
+    );
+    (cat, spec, ds)
+}
+
+/// Collects the deduplicated projections the raw binding path emits.
+fn raw_query(
+    r: &SynthRelation,
+    scratch: &mut Bindings,
+    pattern: &Tuple,
+    out: ColSet,
+) -> Vec<Tuple> {
+    let mut set: BTreeSet<Tuple> = BTreeSet::new();
+    r.query_for_each_bindings(scratch, pattern, out, |b| {
+        // The emitted domain must cover the requested projection.
+        assert!(
+            out.is_subset(b.dom()),
+            "binding domain {:?} missing requested columns {:?}",
+            b.dom(),
+            out
+        );
+        set.insert(b.project(out));
+    })
+    .unwrap();
+    set.into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// For random relations and every query signature over {ns,pid,state}:
+    /// raw binding path ≡ collecting path ≡ reference model, on all five
+    /// scheduler decompositions.
+    #[test]
+    fn bindings_path_agrees_with_query_and_model(
+        rows in proptest::collection::vec((0i64..4, 0i64..6, any::<bool>(), 0i64..4), 0..40),
+        which in 0usize..5,
+    ) {
+        let (cat, spec, ds) = scheduler_setup();
+        let ns = cat.col("ns").unwrap();
+        let pid = cat.col("pid").unwrap();
+        let state = cat.col("state").unwrap();
+        let cpu = cat.col("cpu").unwrap();
+        let mut synth = SynthRelation::new(&cat, spec, ds[which].clone()).unwrap();
+        let mut model = Relation::empty(cat.all());
+        for (a, b, s, c) in rows {
+            let t = Tuple::from_pairs([
+                (ns, Value::from(a)),
+                (pid, Value::from(b)),
+                (state, Value::from(if s { "R" } else { "S" })),
+                (cpu, Value::from(c)),
+            ]);
+            if synth.insert(t.clone()).unwrap_or(false) {
+                model.insert(t);
+            }
+        }
+        // One scratch reused across every query below: stale bindings from a
+        // previous query must never leak into the next.
+        let mut scratch = Bindings::new();
+        let outs = [ns | pid, state | cpu, cat.all(), ColSet::EMPTY, cpu.into()];
+        let patterns = [
+            Tuple::empty(),
+            Tuple::from_pairs([(ns, Value::from(1))]),
+            Tuple::from_pairs([(state, Value::from("R"))]),
+            Tuple::from_pairs([(ns, Value::from(2)), (pid, Value::from(3))]),
+            Tuple::from_pairs([(ns, Value::from(0)), (pid, Value::from(0)), (state, Value::from("S"))]),
+        ];
+        for pattern in &patterns {
+            for &out in &outs {
+                let raw = raw_query(&synth, &mut scratch, pattern, out);
+                let collected = synth.query(pattern, out).unwrap();
+                prop_assert_eq!(&raw, &collected, "raw vs collecting path diverged");
+                let want = model.query(pattern, out);
+                prop_assert_eq!(&raw, &want, "raw path vs reference model diverged");
+            }
+        }
+    }
+}
+
+/// The paper's Equation 1 example relation, queried through the raw path on
+/// the Fig. 2(a) decomposition — a deterministic end-to-end check of the
+/// exact emitted bindings (pattern + scan keys + unit payload).
+#[test]
+fn fig2_bindings_carry_full_valuations() {
+    let (cat, spec, ds) = scheduler_setup();
+    let ns = cat.col("ns").unwrap();
+    let pid = cat.col("pid").unwrap();
+    let state = cat.col("state").unwrap();
+    let cpu = cat.col("cpu").unwrap();
+    let mut r = SynthRelation::new(&cat, spec, ds[0].clone()).unwrap();
+    for (a, b, s, c) in [(1, 1, "S", 7), (1, 2, "R", 4), (2, 1, "S", 5)] {
+        r.insert(Tuple::from_pairs([
+            (ns, Value::from(a)),
+            (pid, Value::from(b)),
+            (state, Value::from(s)),
+            (cpu, Value::from(c)),
+        ]))
+        .unwrap();
+    }
+    let mut scratch = Bindings::new();
+    let mut seen = Vec::new();
+    r.query_for_each_bindings(
+        &mut scratch,
+        &Tuple::from_pairs([(state, Value::from("S"))]),
+        ns | pid,
+        |b| {
+            // Full valuation available: every relation column is bound.
+            assert_eq!(b.dom(), cat.all());
+            seen.push((
+                b.get(ns).unwrap().as_int().unwrap(),
+                b.get(pid).unwrap().as_int().unwrap(),
+                b.get(cpu).unwrap().as_int().unwrap(),
+            ));
+        },
+    )
+    .unwrap();
+    seen.sort_unstable();
+    assert_eq!(seen, vec![(1, 1, 7), (2, 1, 5)]);
+    // After execution the scratch is restored to just-the-pattern state and
+    // is reusable for an unrelated query.
+    let mut count = 0;
+    r.query_for_each_bindings(
+        &mut scratch,
+        &Tuple::from_pairs([(ns, Value::from(1)), (pid, Value::from(2))]),
+        cpu.into(),
+        |b| {
+            assert_eq!(b.get(cpu).unwrap().as_int(), Some(4));
+            count += 1;
+        },
+    )
+    .unwrap();
+    assert_eq!(count, 1);
+}
+
+/// Plan-cache regression (the seed double-locked get-then-insert and cloned
+/// a plan per operation): the cache memoizes per signature, hands out shared
+/// plans, and is invalidated by `set_cost_model`, `set_join_cost_mode`, and
+/// `clear`.
+#[test]
+fn plan_cache_memoizes_and_invalidates() {
+    let (cat, spec, ds) = scheduler_setup();
+    let ns = cat.col("ns").unwrap();
+    let pid = cat.col("pid").unwrap();
+    let cpu = cat.col("cpu").unwrap();
+    let state = cat.col("state").unwrap();
+    let mut r = SynthRelation::new(&cat, spec, ds[0].clone()).unwrap();
+    for (a, b, s, c) in [(1, 1, "S", 7), (1, 2, "R", 4)] {
+        r.insert(Tuple::from_pairs([
+            (ns, Value::from(a)),
+            (pid, Value::from(b)),
+            (state, Value::from(s)),
+            (cpu, Value::from(c)),
+        ]))
+        .unwrap();
+    }
+    let inserted_plans = r.plan_cache_len();
+    assert!(inserted_plans > 0, "insert probes should have planned");
+    // Same signature twice: one cache entry.
+    let pat = Tuple::from_pairs([(ns, Value::from(1)), (pid, Value::from(1))]);
+    r.query(&pat, cpu.into()).unwrap();
+    let after_first = r.plan_cache_len();
+    r.query(&pat, cpu.into()).unwrap();
+    assert_eq!(
+        r.plan_cache_len(),
+        after_first,
+        "warm query must not re-plan"
+    );
+    // set_cost_model invalidates.
+    let observed = r.observed_cost_model();
+    r.set_cost_model(observed);
+    assert_eq!(r.plan_cache_len(), 0, "set_cost_model must clear the cache");
+    r.query(&pat, cpu.into()).unwrap();
+    assert!(r.plan_cache_len() > 0);
+    // set_join_cost_mode invalidates.
+    r.set_join_cost_mode(relic_query::JoinCostMode::Realistic);
+    assert_eq!(
+        r.plan_cache_len(),
+        0,
+        "set_join_cost_mode must clear the cache"
+    );
+    r.query(&pat, cpu.into()).unwrap();
+    assert!(r.plan_cache_len() > 0);
+    // clear() invalidates (observed-cost plans reflect the old instance).
+    r.clear();
+    assert_eq!(r.plan_cache_len(), 0, "clear must drop memoized plans");
+    // The relation stays fully usable afterwards.
+    r.insert(Tuple::from_pairs([
+        (ns, Value::from(5)),
+        (pid, Value::from(5)),
+        (state, Value::from("R")),
+        (cpu, Value::from(1)),
+    ]))
+    .unwrap();
+    assert_eq!(r.query_full(&Tuple::empty()).unwrap().len(), 1);
+}
+
+/// The read-mostly cache serves concurrent warm readers without exclusive
+/// locking; this is a smoke check that shared-reference queries from many
+/// threads agree (`SynthRelation` is `Sync` on the query path).
+#[test]
+fn concurrent_warm_queries_agree() {
+    let (cat, spec, ds) = scheduler_setup();
+    let ns = cat.col("ns").unwrap();
+    let pid = cat.col("pid").unwrap();
+    let state = cat.col("state").unwrap();
+    let cpu = cat.col("cpu").unwrap();
+    let mut r = SynthRelation::new(&cat, spec, ds[1].clone()).unwrap();
+    for i in 0..40i64 {
+        r.insert(Tuple::from_pairs([
+            (ns, Value::from(i % 4)),
+            (pid, Value::from(i)),
+            (state, Value::from(if i % 2 == 0 { "R" } else { "S" })),
+            (cpu, Value::from(i % 3)),
+        ]))
+        .unwrap();
+    }
+    let r = &r;
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            handles.push(s.spawn(move || {
+                let mut scratch = Bindings::new();
+                let mut total = 0usize;
+                for round in 0..50 {
+                    let pat = Tuple::from_pairs([(ns, Value::from((t + round) % 4))]);
+                    r.query_for_each_bindings(&mut scratch, &pat, pid.into(), |_| total += 1)
+                        .unwrap();
+                }
+                total
+            }));
+        }
+        let counts: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Every thread sweeps all four namespaces the same number of times.
+        assert!(counts.iter().all(|&c| c == counts[0]));
+        assert_eq!(counts[0], 50 * 10);
+    });
+}

@@ -39,7 +39,10 @@ fn scheduler_setup() -> (Catalog, RelSpec, Vec<Decomposition>) {
          let x : {} . {ns,pid,state,cpu} =
            ({ns,pid} -[htable]-> l) join ({state} -[vec]-> z) in x",
     ];
-    let ds: Vec<Decomposition> = sources.iter().map(|s| parse(&mut cat, s).unwrap()).collect();
+    let ds: Vec<Decomposition> = sources
+        .iter()
+        .map(|s| parse(&mut cat, s).unwrap())
+        .collect();
     let spec = RelSpec::new(cat.all()).with_fd(
         cat.col("ns").unwrap() | cat.col("pid").unwrap(),
         cat.col("state").unwrap() | cat.col("cpu").unwrap(),
@@ -227,7 +230,11 @@ fn enumerated_decompositions_sound_under_churn() {
         ..Default::default()
     };
     let all = enumerate_decompositions(&spec, &opts);
-    assert!(all.len() >= 20, "expected a rich candidate set, got {}", all.len());
+    assert!(
+        all.len() >= 20,
+        "expected a rich candidate set, got {}",
+        all.len()
+    );
     // Deterministically sample to keep the test fast.
     for (i, d) in all.iter().enumerate().filter(|(i, _)| i % 7 == 0) {
         let mut synth = SynthRelation::new(&cat, spec.clone(), d.clone())

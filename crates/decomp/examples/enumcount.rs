@@ -8,7 +8,15 @@ fn main() {
     let spec = RelSpec::new(src | dst | weight).with_fd(src | dst, weight.into());
     for max in 1..=4 {
         for br in [2usize, 3, 4] {
-            let n = enumerate_shapes(&spec, &EnumerateOptions { max_edges: max, max_branches: br, ..Default::default() }).len();
+            let n = enumerate_shapes(
+                &spec,
+                &EnumerateOptions {
+                    max_edges: max,
+                    max_branches: br,
+                    ..Default::default()
+                },
+            )
+            .len();
             print!("edges<={max} branches<={br}: {n}   ");
         }
         println!();

@@ -152,7 +152,11 @@ mod tests {
             .node("w", s.ns | s.pid | s.state, Prim::Unit(s.cpu.into()))
             .unwrap();
         let y = b
-            .node("y", s.ns.into(), Prim::Map(s.pid.into(), DsKind::HashTable, w))
+            .node(
+                "y",
+                s.ns.into(),
+                Prim::Map(s.pid.into(), DsKind::HashTable, w),
+            )
             .unwrap();
         let z = b
             .node(
@@ -242,7 +246,9 @@ mod tests {
         let spec = RelSpec::new(a | b_); // no FDs
         let mut bld = DecompBuilder::new();
         let ua = bld.node("ua", a.into(), Prim::Unit(ColSet::EMPTY)).unwrap();
-        let ub = bld.node("ub", b_.into(), Prim::Unit(ColSet::EMPTY)).unwrap();
+        let ub = bld
+            .node("ub", b_.into(), Prim::Unit(ColSet::EMPTY))
+            .unwrap();
         bld.node(
             "x",
             ColSet::EMPTY,
@@ -267,12 +273,8 @@ mod tests {
         let weight = cat.intern("weight");
         let spec = RelSpec::new(src | dst | weight).with_fd(src | dst, weight.into());
         let mut bld = DecompBuilder::new();
-        let l = bld
-            .node("l", src | dst, Prim::Unit(weight.into()))
-            .unwrap();
-        let r = bld
-            .node("r", src | dst, Prim::Unit(weight.into()))
-            .unwrap();
+        let l = bld.node("l", src | dst, Prim::Unit(weight.into())).unwrap();
+        let r = bld.node("r", src | dst, Prim::Unit(weight.into())).unwrap();
         let y = bld
             .node("y", src.into(), Prim::Map(dst.into(), DsKind::HashTable, l))
             .unwrap();
@@ -327,8 +329,12 @@ mod tests {
         let y = bld
             .node("y", src.into(), Prim::Map(dst.into(), DsKind::AvlTree, z))
             .unwrap();
-        bld.node("x", ColSet::EMPTY, Prim::Map(src.into(), DsKind::AvlTree, y))
-            .unwrap();
+        bld.node(
+            "x",
+            ColSet::EMPTY,
+            Prim::Map(src.into(), DsKind::AvlTree, y),
+        )
+        .unwrap();
         let d = bld.finish().unwrap();
         check_adequacy(&d, &spec).unwrap();
     }
@@ -341,8 +347,12 @@ mod tests {
         let spec = RelSpec::new(id.into());
         let mut bld = DecompBuilder::new();
         let u = bld.node("u", id.into(), Prim::Unit(ColSet::EMPTY)).unwrap();
-        bld.node("x", ColSet::EMPTY, Prim::Map(id.into(), DsKind::HashTable, u))
-            .unwrap();
+        bld.node(
+            "x",
+            ColSet::EMPTY,
+            Prim::Map(id.into(), DsKind::HashTable, u),
+        )
+        .unwrap();
         let d = bld.finish().unwrap();
         check_adequacy(&d, &spec).unwrap();
     }

@@ -71,7 +71,9 @@ mod tests {
         let cpu = cat.intern("cpu");
         let spec = RelSpec::new(ns | pid | state | cpu).with_fd(ns | pid, state | cpu);
         let mut b = DecompBuilder::new();
-        let w = b.node("w", ns | pid | state, Prim::Unit(cpu.into())).unwrap();
+        let w = b
+            .node("w", ns | pid | state, Prim::Unit(cpu.into()))
+            .unwrap();
         let y = b
             .node("y", ns.into(), Prim::Map(pid.into(), DsKind::HashTable, w))
             .unwrap();

@@ -282,8 +282,7 @@ pub fn enumerate_decompositions(spec: &RelSpec, opts: &EnumerateOptions) -> Vec<
         }
     }
     out.sort_by(|a, b| {
-        (a.edge_count(), a.canonical_string(true))
-            .cmp(&(b.edge_count(), b.canonical_string(true)))
+        (a.edge_count(), a.canonical_string(true)).cmp(&(b.edge_count(), b.canonical_string(true)))
     });
     out
 }
@@ -304,7 +303,8 @@ pub fn reassign_structures(d: &Decomposition, assignment: &[DsKind]) -> Decompos
             .expect("structure-preserving rebuild cannot fail");
         newid.insert(v, id);
     }
-    b.finish().expect("structure-preserving rebuild cannot fail")
+    b.finish()
+        .expect("structure-preserving rebuild cannot fail")
 }
 
 /// All sharing variants of a tree decomposition: for every non-empty subset
@@ -492,7 +492,10 @@ mod tests {
              let x : {} . {src,dst,weight} = {src} -[htable]-> y in x",
         )
         .unwrap();
-        assert!(canon.contains(&chain.canonical_string(false)), "missing chain");
+        assert!(
+            canon.contains(&chain.canonical_string(false)),
+            "missing chain"
+        );
 
         let unshared = crate::parse(
             &mut cat,

@@ -503,7 +503,9 @@ mod tests {
         let state = cat.intern("state");
         let cpu = cat.intern("cpu");
         let mut b = DecompBuilder::new();
-        let w = b.node("w", ns | pid | state, Prim::Unit(cpu.into())).unwrap();
+        let w = b
+            .node("w", ns | pid | state, Prim::Unit(cpu.into()))
+            .unwrap();
         let y = b
             .node("y", ns.into(), Prim::Map(pid.into(), DsKind::HashTable, w))
             .unwrap();
@@ -554,7 +556,9 @@ mod tests {
         let a = cat.intern("a");
         let mut b = DecompBuilder::new();
         b.node("v", a.into(), Prim::Unit(ColSet::EMPTY)).unwrap();
-        let err = b.node("v", a.into(), Prim::Unit(ColSet::EMPTY)).unwrap_err();
+        let err = b
+            .node("v", a.into(), Prim::Unit(ColSet::EMPTY))
+            .unwrap_err();
         assert!(matches!(err, DecompError::DuplicateName(_)));
     }
 
@@ -572,7 +576,8 @@ mod tests {
         let mut cat = Catalog::new();
         let a = cat.intern("a");
         let mut b = DecompBuilder::new();
-        b.node("orphan", a.into(), Prim::Unit(ColSet::EMPTY)).unwrap();
+        b.node("orphan", a.into(), Prim::Unit(ColSet::EMPTY))
+            .unwrap();
         b.node("x", ColSet::EMPTY, Prim::Unit(a.into())).unwrap();
         assert!(matches!(b.finish(), Err(DecompError::UnreachableNode(_))));
     }
@@ -585,9 +590,16 @@ mod tests {
         let mut b = DecompBuilder::new();
         // Child claims bound = {a, b} but only {a} is bound on its path.
         let y = b.node("y", a | b_, Prim::Unit(ColSet::EMPTY)).unwrap();
-        b.node("x", ColSet::EMPTY, Prim::Map(a.into(), DsKind::HashTable, y))
-            .unwrap();
-        assert!(matches!(b.finish(), Err(DecompError::BindingMismatch { .. })));
+        b.node(
+            "x",
+            ColSet::EMPTY,
+            Prim::Map(a.into(), DsKind::HashTable, y),
+        )
+        .unwrap();
+        assert!(matches!(
+            b.finish(),
+            Err(DecompError::BindingMismatch { .. })
+        ));
     }
 
     #[test]
@@ -619,7 +631,9 @@ mod tests {
         let state = cat.intern("state");
         let cpu = cat.intern("cpu");
         let mut b = DecompBuilder::new();
-        let w = b.node("w", ns | pid | state, Prim::Unit(cpu.into())).unwrap();
+        let w = b
+            .node("w", ns | pid | state, Prim::Unit(cpu.into()))
+            .unwrap();
         let y = b
             .node("y", ns.into(), Prim::Map(pid.into(), DsKind::AvlTree, w))
             .unwrap();
@@ -648,7 +662,9 @@ mod tests {
         let build = |flip: bool| {
             let mut bld = DecompBuilder::new();
             let u1 = bld.node("u1", a.into(), Prim::Unit(ColSet::EMPTY)).unwrap();
-            let u2 = bld.node("u2", b_.into(), Prim::Unit(ColSet::EMPTY)).unwrap();
+            let u2 = bld
+                .node("u2", b_.into(), Prim::Unit(ColSet::EMPTY))
+                .unwrap();
             let l = Prim::Map(a.into(), DsKind::HashTable, u1);
             let r = Prim::Map(b_.into(), DsKind::HashTable, u2);
             let body = if flip {

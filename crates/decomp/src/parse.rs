@@ -302,7 +302,11 @@ impl<'a> Parser<'a> {
                 let (l, c) = self.here();
                 let target = self.ident()?;
                 let node = self.builder.get(&target).ok_or_else(|| {
-                    ParseError::new(l, c, format!("unknown node `{target}` (nodes must be let-bound before use)"))
+                    ParseError::new(
+                        l,
+                        c,
+                        format!("unknown node `{target}` (nodes must be let-bound before use)"),
+                    )
                 })?;
                 Ok(Prim::Map(key, ds, node))
             }

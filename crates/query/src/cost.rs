@@ -142,8 +142,7 @@ impl CostModel {
                     }
                     JoinCostMode::Realistic => {
                         self.cost(d, outer, first)
-                            + self.expected_results(d, outer, first)
-                                * self.cost(d, inner, second)
+                            + self.expected_results(d, outer, first) * self.cost(d, inner, second)
                     }
                 }
             }

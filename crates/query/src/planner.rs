@@ -107,8 +107,7 @@ impl<'a> Planner<'a> {
                             && (e.key - c.set()).is_subset(avail)
                     });
                 if rangeable {
-                    for (child, b) in
-                        self.enum_body(&self.d.node(e.to).body, avail | e.key, ranged)
+                    for (child, b) in self.enum_body(&self.d.node(e.to).body, avail | e.key, ranged)
                     {
                         out.push((Plan::range(child), b | e.key));
                     }
@@ -120,9 +119,7 @@ impl<'a> Planner<'a> {
             }
             Body::Join(l, r) => {
                 let mut out = Vec::new();
-                for (side, first_body, second_body) in
-                    [(Side::Left, l, r), (Side::Right, r, l)]
-                {
+                for (side, first_body, second_body) in [(Side::Left, l, r), (Side::Right, r, l)] {
                     for (p, b) in self.enum_body(first_body, avail, ranged) {
                         out.push((Plan::lr(side, p), b));
                     }
@@ -268,7 +265,10 @@ mod tests {
         let p = Planner::new(&d, &spec, CostModel::uniform(&d, 32.0));
         let got = p.plan_query(state.into(), ns | pid).unwrap();
         // Enumerate running processes: lookup state, scan its dlist.
-        assert_eq!(got.plan.to_string(), "qlr(qscan(qunit), right)".replace("qscan(qunit)", "qlookup(qscan(qunit))"));
+        assert_eq!(
+            got.plan.to_string(),
+            "qlr(qscan(qunit), right)".replace("qscan(qunit)", "qlookup(qscan(qunit))")
+        );
     }
 
     #[test]
@@ -285,7 +285,11 @@ mod tests {
         let got = p.plan_query(ns | state, pid.into()).unwrap();
         let body = &d.node(d.root()).body;
         let checked = checked_cols(&d, body, &got.plan);
-        assert!(checked.contains(ns) && checked.contains(state), "{}", got.plan);
+        assert!(
+            checked.contains(ns) && checked.contains(state),
+            "{}",
+            got.plan
+        );
     }
 
     #[test]
@@ -298,7 +302,11 @@ mod tests {
         let p = Planner::new(&d, &spec, CostModel::uniform(&d, 32.0));
         let got = p.plan_query(state.into(), cpu.into()).unwrap();
         let body = &d.node(d.root()).body;
-        assert!(checked_cols(&d, body, &got.plan).contains(state), "{}", got.plan);
+        assert!(
+            checked_cols(&d, body, &got.plan).contains(state),
+            "{}",
+            got.plan
+        );
     }
 
     #[test]
@@ -396,7 +404,11 @@ mod tests {
             .plan_query_where(host.set(), ColSet::EMPTY, ts.set(), bytes.set())
             .unwrap();
         let body = &d.node(d.root()).body;
-        assert!(checked_cols(&d, body, &got.plan).contains(ts), "{}", got.plan);
+        assert!(
+            checked_cols(&d, body, &got.plan).contains(ts),
+            "{}",
+            got.plan
+        );
         assert_eq!(got.plan.to_string(), "qlookup(qscan(qunit))");
     }
 
@@ -436,7 +448,8 @@ mod tests {
             .into_iter()
             .map(|(q, _)| q.to_string())
             .collect();
-        assert!(plans.contains(&"qjoin(qlookup(qscan(qunit)), qlookup(qlookup(qunit)), left)".to_string()));
+        assert!(plans
+            .contains(&"qjoin(qlookup(qscan(qunit)), qlookup(qlookup(qunit)), left)".to_string()));
         assert!(plans.contains(&"qlr(qlookup(qscan(qunit)), right)".to_string()));
     }
 }

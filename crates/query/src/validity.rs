@@ -2,8 +2,8 @@
 //! strengthening used by the planner.
 
 use crate::{Plan, Side};
-use relic_spec::{ColSet, FdSet};
 use relic_decomp::{Body, Decomposition};
+use relic_spec::{ColSet, FdSet};
 use std::error::Error;
 use std::fmt;
 
@@ -56,7 +56,10 @@ impl fmt::Display for ValidityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ValidityError::StructureMismatch { operator } => {
-                write!(f, "plan operator {operator} does not match the decomposition shape")
+                write!(
+                    f,
+                    "plan operator {operator} does not match the decomposition shape"
+                )
             }
             ValidityError::KeyNotAvailable { key, avail } => write!(
                 f,
@@ -67,7 +70,10 @@ impl fmt::Display for ValidityError {
                 "(QJOIN) join sides underdetermined: {outer:?} vs {inner:?}"
             ),
             ValidityError::RangeNotOrdered { ds } => {
-                write!(f, "(QRANGE) data structure {ds} does not iterate in key order")
+                write!(
+                    f,
+                    "(QRANGE) data structure {ds} does not iterate in key order"
+                )
             }
             ValidityError::RangeColumnMismatch { key, ranged, avail } => write!(
                 f,
@@ -133,9 +139,7 @@ pub fn check_valid_where(
             let c = e.key.max_col();
             let ok = match c {
                 Some(c) => {
-                    ranged.contains(c)
-                        && !avail.contains(c)
-                        && (e.key - c.set()).is_subset(avail)
+                    ranged.contains(c) && !avail.contains(c) && (e.key - c.set()).is_subset(avail)
                 }
                 None => false,
             };
@@ -172,10 +176,7 @@ fn check_valid_inner(
         (Plan::Lookup { child }, Body::Map(eid)) => {
             let e = d.edge(*eid);
             if !e.key.is_subset(avail) {
-                return Err(ValidityError::KeyNotAvailable {
-                    key: e.key,
-                    avail,
-                });
+                return Err(ValidityError::KeyNotAvailable { key: e.key, avail });
             }
             let b = check_valid_where(d, fds, &d.node(e.to).body, avail, ranged, child)?;
             Ok(b | e.key)
@@ -446,8 +447,7 @@ mod tests {
         let bytes = cat.col("bytes").unwrap();
         let q = Plan::lookup(Plan::range(Plan::Unit));
         let body = &d.node(d.root()).body;
-        let out =
-            check_valid_where(&d, spec.fds(), body, host.set(), ts.set(), &q).unwrap();
+        let out = check_valid_where(&d, spec.fds(), body, host.set(), ts.set(), &q).unwrap();
         assert!(out.contains(ts) && out.contains(bytes));
     }
 
@@ -460,7 +460,10 @@ mod tests {
         let body = &d.node(d.root()).body;
         let err =
             check_valid_where(&d, spec.fds(), body, ColSet::EMPTY, host.set(), &q).unwrap_err();
-        assert!(matches!(err, ValidityError::RangeNotOrdered { .. }), "{err}");
+        assert!(
+            matches!(err, ValidityError::RangeNotOrdered { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -472,7 +475,10 @@ mod tests {
         let body = &d.node(d.root()).body;
         let err =
             check_valid_where(&d, spec.fds(), body, host.set(), ColSet::EMPTY, &q).unwrap_err();
-        assert!(matches!(err, ValidityError::RangeColumnMismatch { .. }), "{err}");
+        assert!(
+            matches!(err, ValidityError::RangeColumnMismatch { .. }),
+            "{err}"
+        );
     }
 
     #[test]

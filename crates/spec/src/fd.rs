@@ -52,10 +52,7 @@ impl FdSet {
     /// Builds a dependency set from `(lhs, rhs)` pairs.
     pub fn from_pairs<I: IntoIterator<Item = (ColSet, ColSet)>>(pairs: I) -> Self {
         FdSet {
-            fds: pairs
-                .into_iter()
-                .map(|(l, r)| Fd::new(l, r))
-                .collect(),
+            fds: pairs.into_iter().map(|(l, r)| Fd::new(l, r)).collect(),
         }
     }
 
@@ -67,6 +64,15 @@ impl FdSet {
     /// The stored (non-derived) dependencies.
     pub fn iter(&self) -> impl Iterator<Item = &Fd> {
         self.fds.iter()
+    }
+
+    /// The `i`-th stored dependency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn nth(&self, i: usize) -> Fd {
+        self.fds[i]
     }
 
     /// Number of stored dependencies.

@@ -273,8 +273,11 @@ mod tests {
     #[test]
     fn parses_conjunctions_and_literals() {
         let cat = cat();
-        let p = parse_pattern(&cat, r#"host = 3, name = "index.html", ok = true, ts >= 10"#)
-            .unwrap();
+        let p = parse_pattern(
+            &cat,
+            r#"host = 3, name = "index.html", ok = true, ts >= 10"#,
+        )
+        .unwrap();
         assert_eq!(p.len(), 4);
         assert_eq!(
             p.pred(cat.col("name").unwrap()),

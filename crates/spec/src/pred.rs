@@ -98,12 +98,9 @@ impl fmt::Display for Pred {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Pred::Between(lo, hi) => write!(f, "between {lo} and {hi}"),
-            Pred::Eq(v)
-            | Pred::Ne(v)
-            | Pred::Lt(v)
-            | Pred::Le(v)
-            | Pred::Gt(v)
-            | Pred::Ge(v) => write!(f, "{} {v}", self.symbol()),
+            Pred::Eq(v) | Pred::Ne(v) | Pred::Lt(v) | Pred::Le(v) | Pred::Gt(v) | Pred::Ge(v) => {
+                write!(f, "{} {v}", self.symbol())
+            }
         }
     }
 }
@@ -185,9 +182,11 @@ impl Pattern {
 
     /// The equality constraints as a tuple pattern.
     pub fn eq_tuple(&self) -> Tuple {
-        Tuple::from_pairs(self.preds.iter().filter_map(|(c, p)| {
-            p.as_eq().map(|v| (*c, v.clone()))
-        }))
+        Tuple::from_pairs(
+            self.preds
+                .iter()
+                .filter_map(|(c, p)| p.as_eq().map(|v| (*c, v.clone()))),
+        )
     }
 
     /// The predicate on column `c`, if any.
@@ -303,11 +302,7 @@ mod tests {
             let (lo, hi) = p.bounds().expect("interval predicate");
             for i in 0..12 {
                 let val = v(i);
-                assert_eq!(
-                    (lo, hi).contains(&&val),
-                    p.accepts(&val),
-                    "{p} at {i}"
-                );
+                assert_eq!((lo, hi).contains(&&val), p.accepts(&val), "{p} at {i}");
             }
         }
         assert!(Pred::Ne(v(5)).bounds().is_none());

@@ -141,7 +141,12 @@ impl Relation {
     pub fn select_where(&self, p: &crate::Pattern) -> Relation {
         Relation {
             cols: self.cols,
-            tuples: self.tuples.iter().filter(|t| p.accepts(t)).cloned().collect(),
+            tuples: self
+                .tuples
+                .iter()
+                .filter(|t| p.accepts(t))
+                .cloned()
+                .collect(),
         }
     }
 
@@ -149,7 +154,12 @@ impl Relation {
     pub fn select(&self, s: &Tuple) -> Relation {
         Relation {
             cols: self.cols,
-            tuples: self.tuples.iter().filter(|t| t.extends(s)).cloned().collect(),
+            tuples: self
+                .tuples
+                .iter()
+                .filter(|t| t.extends(s))
+                .cloned()
+                .collect(),
         }
     }
 
@@ -193,7 +203,10 @@ impl Relation {
     ///
     /// Panics if the column sets differ.
     pub fn difference(&self, other: &Relation) -> Relation {
-        assert_eq!(self.cols, other.cols, "difference requires identical columns");
+        assert_eq!(
+            self.cols, other.cols,
+            "difference requires identical columns"
+        );
         Relation {
             cols: self.cols,
             tuples: self.tuples.difference(&other.tuples).cloned().collect(),

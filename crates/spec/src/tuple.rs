@@ -144,6 +144,25 @@ impl Tuple {
             .collect()
     }
 
+    /// Writes the values of columns `cs` (ascending column order) into
+    /// `out`, clearing it first — the reusable-buffer variant of
+    /// [`Tuple::key_for`] for allocation-free container probes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cs ⊄ dom t`.
+    pub fn write_key_into(&self, cs: ColSet, out: &mut Vec<Value>) {
+        assert!(
+            cs.is_subset(self.cols),
+            "key columns not all present in tuple"
+        );
+        out.clear();
+        out.extend(
+            cs.iter()
+                .map(|c| self.vals[self.cols.rank(c).unwrap()].clone()),
+        );
+    }
+
     /// `t ⊇ s`: does `self` extend `s` (agreeing on all of `s`'s columns)?
     pub fn extends(&self, s: &Tuple) -> bool {
         if !s.cols.is_subset(self.cols) {
@@ -155,9 +174,7 @@ impl Tuple {
     /// `t ∼ s`: do the tuples agree on all common columns?
     pub fn matches(&self, s: &Tuple) -> bool {
         let common = self.cols & s.cols;
-        common
-            .iter()
-            .all(|c| self.get(c) == s.get(c))
+        common.iter().all(|c| self.get(c) == s.get(c))
     }
 
     /// Merge `self ⊕ u`: union of the two tuples, taking values from `u`

@@ -126,7 +126,10 @@ mod tests {
     fn total_order_across_variants() {
         let mut vs = vec![Value::from("a"), Value::from(1), Value::from(false)];
         vs.sort();
-        assert_eq!(vs, vec![Value::from(false), Value::from(1), Value::from("a")]);
+        assert_eq!(
+            vs,
+            vec![Value::from(false), Value::from(1), Value::from("a")]
+        );
     }
 
     #[test]

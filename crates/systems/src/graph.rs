@@ -83,8 +83,8 @@ pub fn graph_spec() -> (Catalog, GraphCols, RelSpec) {
         dst: cat.intern("dst"),
         weight: cat.intern("weight"),
     };
-    let spec =
-        RelSpec::new(cols.src | cols.dst | cols.weight).with_fd(cols.src | cols.dst, cols.weight.into());
+    let spec = RelSpec::new(cols.src | cols.dst | cols.weight)
+        .with_fd(cols.src | cols.dst, cols.weight.into());
     (cat, cols, spec)
 }
 
@@ -209,10 +209,7 @@ pub fn skewed_graph(nodes: usize, edges: usize, seed: u64) -> GraphWorkload {
             out.push((a, b, rng.gen_range(1..=9)));
         }
     }
-    GraphWorkload {
-        edges: out,
-        nodes,
-    }
+    GraphWorkload { edges: out, nodes }
 }
 
 #[cfg(test)]

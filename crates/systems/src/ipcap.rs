@@ -25,12 +25,7 @@ pub type Packet = (i64, i64, i64);
 
 /// Generates a deterministic Zipf-skewed packet trace over `locals × remotes`
 /// host pairs.
-pub fn packet_trace(
-    packets: usize,
-    locals: usize,
-    remotes: usize,
-    seed: u64,
-) -> Vec<Packet> {
+pub fn packet_trace(packets: usize, locals: usize, remotes: usize, seed: u64) -> Vec<Packet> {
     let mut zl = Zipf::new(locals, 1.1, seed);
     let mut zr = Zipf::new(remotes, 1.1, seed.wrapping_add(1));
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2));

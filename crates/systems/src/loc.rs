@@ -113,7 +113,8 @@ mod tests {
 
     #[test]
     fn counts_skip_comments_and_blanks() {
-        let src = "\n// comment only\nlet x = 1; // trailing\n/* block\n   still block */\nlet y = 2;\n";
+        let src =
+            "\n// comment only\nlet x = 1; // trailing\n/* block\n   still block */\nlet y = 2;\n";
         assert_eq!(count_loc(src), 2);
     }
 

@@ -289,10 +289,7 @@ mod tests {
         let mut synth = SynthMmapCache::new(&cat, cols, &spec, d).unwrap();
         // The stale-sweep pattern plans to an ordered seek on this layout.
         let stale = Pattern::new().with(cols.stamp, Pred::Lt(Value::from(0)));
-        let plan = synth
-            .relation()
-            .plan_for_where(&stale, cat.all())
-            .unwrap();
+        let plan = synth.relation().plan_for_where(&stale, cat.all()).unwrap();
         assert!(plan.contains("qrange"), "{plan}");
         let (o1, u1) = run_cache(&mut base, &reqs, 80, 120);
         let (o2, u2) = run_cache(&mut synth, &reqs, 80, 120);

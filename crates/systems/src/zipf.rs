@@ -90,7 +90,10 @@ mod tests {
             head > tail * 3,
             "top-10 ({head}) should dwarf ranks 500+ ({tail})"
         );
-        assert!(counts[0] >= counts[100], "rank 0 at least as hot as rank 100");
+        assert!(
+            counts[0] >= counts[100],
+            "rank 0 at least as hot as rank 100"
+        );
     }
 
     #[test]

@@ -78,7 +78,10 @@ pub trait TileCache {
 }
 
 /// Replays a workload, returning outcomes and final sizes.
-pub fn run_tiles<C: TileCache>(cache: &mut C, reqs: &[TileRequest]) -> (Vec<TileOutcome>, (usize, usize)) {
+pub fn run_tiles<C: TileCache>(
+    cache: &mut C,
+    reqs: &[TileRequest],
+) -> (Vec<TileOutcome>, (usize, usize)) {
     let outcomes = reqs.iter().map(|r| cache.request(*r)).collect();
     (outcomes, cache.sizes())
 }
@@ -89,8 +92,8 @@ pub fn run_tiles<C: TileCache>(cache: &mut C, reqs: &[TileRequest]) -> (Vec<Tile
 /// agreement — the invariant checked by `debug_assert_consistent`.
 #[derive(Debug)]
 pub struct BaselineTileCache {
-    tiles: HashMap<i64, (u8, i64)>, // tile -> (state M=0/D=1, stamp)
-    by_age_mem: BTreeSet<(i64, i64)>, // (stamp, tile) for state M
+    tiles: HashMap<i64, (u8, i64)>,    // tile -> (state M=0/D=1, stamp)
+    by_age_mem: BTreeSet<(i64, i64)>,  // (stamp, tile) for state M
     by_age_disk: BTreeSet<(i64, i64)>, // (stamp, tile) for state D
     mem_budget: usize,
     disk_budget: usize,

@@ -30,7 +30,10 @@ fn main() {
         })
         .with_relation_size(10_000.0);
     let candidates = tuner.candidates();
-    println!("adequate decompositions (≤3 edges, ≤2 branches): {}", candidates.len());
+    println!(
+        "adequate decompositions (≤3 edges, ≤2 branches): {}",
+        candidates.len()
+    );
 
     // A scheduler-ish workload: point lookups dominate, plus per-state scans
     // and key removals.
@@ -42,12 +45,20 @@ fn main() {
     let ranking = tuner.tune_static(&workload);
     println!("\ntop 5 by static cost model:");
     for r in ranking.iter().take(5) {
-        println!("  cost {:8.1}  {}", r.cost, r.decomposition.to_let_notation(&cat).replace('\n', " "));
+        println!(
+            "  cost {:8.1}  {}",
+            r.cost,
+            r.decomposition.to_let_notation(&cat).replace('\n', " ")
+        );
     }
     println!("\nbottom 3 (of the finite ones):");
     let finite: Vec<_> = ranking.iter().filter(|r| r.cost.is_finite()).collect();
     for r in finite.iter().rev().take(3) {
-        println!("  cost {:8.1}  {}", r.cost, r.decomposition.to_let_notation(&cat).replace('\n', " "));
+        println!(
+            "  cost {:8.1}  {}",
+            r.cost,
+            r.decomposition.to_let_notation(&cat).replace('\n', " ")
+        );
     }
 
     // Validate the extremes by measurement.
@@ -73,5 +84,8 @@ fn main() {
     let best = measure(&finite.first().unwrap().decomposition);
     let worst = measure(&finite.last().unwrap().decomposition);
     println!("\nmeasured point-lookup time: best candidate {best:?}, worst candidate {worst:?}");
-    println!("({}x spread)", (worst.as_secs_f64() / best.as_secs_f64()).round());
+    println!(
+        "({}x spread)",
+        (worst.as_secs_f64() / best.as_secs_f64()).round()
+    );
 }

@@ -50,26 +50,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     let lo = th * 64 + (seed % 64) as i64;
                     let re = (seed >> 8) as i64 % 256;
                     let sz = 64 + (seed >> 16) as i64 % 1400;
-                    let key = Tuple::from_pairs([
-                        (local, Value::from(lo)),
-                        (remote, Value::from(re)),
-                    ]);
+                    let key =
+                        Tuple::from_pairs([(local, Value::from(lo)), (remote, Value::from(re))]);
                     // Atomic read-modify-write inside the partition lock:
                     // create the flow or bump its byte counter.
                     flows.with_partition_mut(&key, |shard| {
                         match shard.query(&key, bytes.into()).unwrap().first() {
                             Some(row) => {
                                 let cur = row.get(bytes).and_then(|v| v.as_int()).unwrap();
-                                let chg =
-                                    Tuple::from_pairs([(bytes, Value::from(cur + sz))]);
+                                let chg = Tuple::from_pairs([(bytes, Value::from(cur + sz))]);
                                 shard.update(&key, &chg).unwrap();
                             }
                             None => {
                                 shard
-                                    .insert(key.merge(&Tuple::from_pairs([(
-                                        bytes,
-                                        Value::from(sz),
-                                    )])))
+                                    .insert(
+                                        key.merge(&Tuple::from_pairs([(bytes, Value::from(sz))])),
+                                    )
                                     .unwrap();
                             }
                         }

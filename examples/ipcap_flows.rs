@@ -6,9 +6,7 @@
 //! cargo run --release -p relic-bench --example ipcap_flows
 //! ```
 
-use relic_systems::ipcap::{
-    flow_spec, packet_trace, run_accounting, BaselineFlows, SynthFlows,
-};
+use relic_systems::ipcap::{flow_spec, packet_trace, run_accounting, BaselineFlows, SynthFlows};
 use std::time::Instant;
 
 fn main() {
@@ -19,11 +17,17 @@ fn main() {
     let mut base = BaselineFlows::new();
     let log_base = run_accounting(&mut base, &trace, 10_000);
     let t_base = t0.elapsed();
-    println!("baseline (hand-coded HashMap): {t_base:?}, {} flows logged", log_base.len());
+    println!(
+        "baseline (hand-coded HashMap): {t_base:?}, {} flows logged",
+        log_base.len()
+    );
 
     let (mut cat, cols, spec) = flow_spec();
     let d = relic_systems::ipcap::default_decomposition(&mut cat);
-    println!("\nsynthesized decomposition:\n{}\n", d.to_let_notation(&cat));
+    println!(
+        "\nsynthesized decomposition:\n{}\n",
+        d.to_let_notation(&cat)
+    );
     let t0 = Instant::now();
     let mut synth = SynthFlows::new(&cat, cols, &spec, d).unwrap();
     let log_synth = run_accounting(&mut synth, &trace, 10_000);

@@ -53,15 +53,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("user 1: {}", ada[0].display(&cat));
 
     // Secondary-index query: who is happy?
-    let happy = users.query(&Tuple::from_pairs([(mood, Value::from("happy"))]), id | name)?;
+    let happy = users.query(
+        &Tuple::from_pairs([(mood, Value::from("happy"))]),
+        id | name,
+    )?;
     println!("happy users ({}):", happy.len());
     for t in &happy {
         println!("  {}", t.display(&cat));
     }
-    println!(
-        "plan used: {}",
-        users.plan_for(mood.into(), id | name)?
-    );
+    println!("plan used: {}", users.plan_for(mood.into(), id | name)?);
 
     // Update by key (in place: name is stored in a unit leaf).
     users.update(
@@ -71,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "after update, happy count = {}",
         users
-            .query(&Tuple::from_pairs([(mood, Value::from("happy"))]), id.into())?
+            .query(
+                &Tuple::from_pairs([(mood, Value::from("happy"))]),
+                id.into()
+            )?
             .len()
     );
 

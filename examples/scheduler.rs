@@ -50,13 +50,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Enumerate running processes (uses the state-indexed path).
     println!("\nrunning processes:");
-    procs.query_for_each(&Tuple::from_pairs([(state, Value::from("R"))]), ns | pid, |t| {
-        println!("  {}", t.display(&cat));
-    })?;
-    println!(
-        "plan: {}",
-        procs.plan_for(state.into(), ns | pid)?
-    );
+    procs.query_for_each(
+        &Tuple::from_pairs([(state, Value::from("R"))]),
+        ns | pid,
+        |t| {
+            println!("  {}", t.display(&cat));
+        },
+    )?;
+    println!("plan: {}", procs.plan_for(state.into(), ns | pid)?);
 
     // A scheduler tick: charge cpu, then preempt.
     procs.update(
@@ -78,7 +79,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // "walk the hash table AND fix both lists" code the paper's §1 warns
     // about.
     let n = procs.remove(&Tuple::from_pairs([(ns, Value::from(1))]))?;
-    println!("tore down namespace 1: {n} processes removed, {} left", procs.len());
+    println!(
+        "tore down namespace 1: {n} processes removed, {} left",
+        procs.len()
+    );
     procs.validate().map_err(std::io::Error::other)?;
     println!("validate(): ok");
     Ok(())

@@ -22,7 +22,10 @@ fn main() {
 
     let (mut cat, cols, spec) = tile_spec();
     let d = relic_systems::ztopo::default_decomposition(&mut cat);
-    println!("synthesized decomposition (the scheduler shape!):\n{}\n", d.to_let_notation(&cat));
+    println!(
+        "synthesized decomposition (the scheduler shape!):\n{}\n",
+        d.to_let_notation(&cat)
+    );
     let t0 = Instant::now();
     let mut synth = SynthTileCache::new(&cat, cols, &spec, d, 96, 384).unwrap();
     let (out_synth, sizes_synth) = run_tiles(&mut synth, &reqs);
@@ -35,7 +38,10 @@ fn main() {
     println!("  memory hits:   {}", count(TileOutcome::Memory));
     println!("  disk hits:     {}", count(TileOutcome::Disk));
     println!("  network fetch: {}", count(TileOutcome::Network));
-    println!("  final sizes:   {} in memory, {} on disk", sizes_synth.0, sizes_synth.1);
+    println!(
+        "  final sizes:   {} in memory, {} on disk",
+        sizes_synth.0, sizes_synth.1
+    );
     println!("  baseline: {t_base:?}, synthesized: {t_synth:?}");
     synth.relation().validate().unwrap();
     println!("\nvalidate(): ok — no hand-written consistency assertions needed");

@@ -1,0 +1,18 @@
+//! Facade crate for the RELIC workspace: re-exports every layer so the
+//! top-level examples and integration tests (and downstream users) can reach
+//! the whole pipeline through one dependency.
+//!
+//! See `README.md` for the crate map and the mapping to the paper
+//! ("Data Representation Synthesis", Hawkins et al., PLDI 2011).
+
+#![forbid(unsafe_code)]
+
+pub use relic_autotune as autotune;
+pub use relic_codegen as codegen;
+pub use relic_concurrent as concurrent;
+pub use relic_containers as containers;
+pub use relic_core as core;
+pub use relic_decomp as decomp;
+pub use relic_query as query;
+pub use relic_spec as spec;
+pub use relic_systems as systems;

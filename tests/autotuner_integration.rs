@@ -48,7 +48,8 @@ fn dynamic_tuning_executes_every_candidate() {
             rel.query_for_each(&pat, dst.into(), |_| {}).unwrap();
         }
         for v in 0..6i64 {
-            rel.remove(&Tuple::from_pairs([(src, Value::from(v))])).unwrap();
+            rel.remove(&Tuple::from_pairs([(src, Value::from(v))]))
+                .unwrap();
         }
         start.elapsed().as_secs_f64()
     });
@@ -73,7 +74,12 @@ fn static_ranking_tracks_measured_extremes() {
     let workload = Workload::new().query(src | dst, weight.into(), 1.0);
     let ranking = tuner.tune_static(&workload);
     let best = &ranking.first().unwrap().decomposition;
-    let worst = &ranking.iter().rev().find(|r| r.cost.is_finite()).unwrap().decomposition;
+    let worst = &ranking
+        .iter()
+        .rev()
+        .find(|r| r.cost.is_finite())
+        .unwrap()
+        .decomposition;
     let measure = |d: &relic_decomp::Decomposition| {
         let mut rel = SynthRelation::new(&cat, spec.clone(), d.clone()).unwrap();
         rel.set_fd_checking(false);
@@ -87,10 +93,7 @@ fn static_ranking_tracks_measured_extremes() {
         }
         let start = std::time::Instant::now();
         for i in 0..2_000i64 {
-            let pat = Tuple::from_pairs([
-                (src, Value::from(i / 40)),
-                (dst, Value::from(i % 40)),
-            ]);
+            let pat = Tuple::from_pairs([(src, Value::from(i / 40)), (dst, Value::from(i % 40))]);
             rel.query_for_each(&pat, weight.into(), |_| {}).unwrap();
         }
         start.elapsed()
@@ -122,7 +125,10 @@ fn enumeration_counts_experiment() {
             .len()
         })
         .collect();
-    assert_eq!(counts[0], 2, "1-edge shapes: flat map, and map-to-unit-∅ chain");
+    assert_eq!(
+        counts[0], 2,
+        "1-edge shapes: flat map, and map-to-unit-∅ chain"
+    );
     assert!(counts[3] >= 84, "must cover at least the paper's 84 shapes");
     assert!(counts.windows(2).all(|w| w[0] < w[1]));
 }

@@ -54,7 +54,10 @@ fn generated_code_has_expected_structure() {
     assert!(code.contains("pub fn update_ns_pid_set_state"), "{code}");
     // Structure mapping: htable → HashMap, vec/dlist → Vec.
     assert!(code.contains("HashMap<(i64,), u32>"), "{code}");
-    assert!(code.contains("Vec<((i64, i64,), u32)>") || code.contains("Vec<((i64, i64), u32)>"), "{code}");
+    assert!(
+        code.contains("Vec<((i64, i64,), u32)>") || code.contains("Vec<((i64, i64), u32)>"),
+        "{code}"
+    );
     // Shared node w gets one arena.
     assert!(code.contains("arena_w"), "{code}");
     // The planner's chosen plans are documented.

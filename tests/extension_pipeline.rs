@@ -38,8 +38,7 @@ fn enumerated_candidates_ranked_for_range_workload() {
     let mut ranked: Vec<(f64, usize)> = Vec::new();
     for (i, d) in candidates.iter().enumerate() {
         let planner = Planner::new(d, &spec, CostModel::uniform(d, 64.0));
-        if let Ok(p) = planner.plan_query_where(host.set(), ts.set(), ColSet::EMPTY, bytes.set())
-        {
+        if let Ok(p) = planner.plan_query_where(host.set(), ts.set(), ColSet::EMPTY, bytes.set()) {
             ranked.push((p.cost, i));
         }
     }

@@ -32,7 +32,10 @@ fn edge_deletion_reclaims_all_instances() {
         assert_eq!(bench.edge_count(), 250, "{label}");
         bench.delete_all_edges();
         assert_eq!(bench.edge_count(), 0, "{label}");
-        bench.rel.validate().unwrap_or_else(|e| panic!("{label}: {e}"));
+        bench
+            .rel
+            .validate()
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
         // Only the root instance should remain after deleting every edge.
         assert_eq!(bench.rel.instance_count(), 1, "{label}");
     }
@@ -43,8 +46,7 @@ fn observed_cost_model_preserves_answers() {
     let (mut cat, cols, spec) = graph_spec();
     let workload = road_network(6, 6, 8, 3);
     for c in fig12_decompositions(&mut cat) {
-        let mut bench =
-            GraphBench::build(&cat, cols, &spec, c.decomposition, &workload).unwrap();
+        let mut bench = GraphBench::build(&cat, cols, &spec, c.decomposition, &workload).unwrap();
         let before = (bench.dfs_forward(), bench.dfs_backward());
         let observed = bench.rel.observed_cost_model();
         bench.rel.set_cost_model(observed);

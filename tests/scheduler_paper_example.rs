@@ -49,7 +49,10 @@ fn section2_walkthrough() {
         .unwrap();
     assert_eq!(
         running,
-        vec![Tuple::from_pairs([(ns, Value::from(7)), (pid, Value::from(42))])]
+        vec![Tuple::from_pairs([
+            (ns, Value::from(7)),
+            (pid, Value::from(42))
+        ])]
     );
 
     // query r ⟨ns: 7, pid: 42⟩ {state, cpu}.
@@ -81,8 +84,11 @@ fn section2_walkthrough() {
 
     // remove r ⟨ns: 7, pid: 42⟩.
     assert_eq!(
-        r.remove(&Tuple::from_pairs([(ns, Value::from(7)), (pid, Value::from(42))]))
-            .unwrap(),
+        r.remove(&Tuple::from_pairs([
+            (ns, Value::from(7)),
+            (pid, Value::from(42))
+        ]))
+        .unwrap(),
         1
     );
     assert!(r.is_empty());
@@ -98,11 +104,7 @@ fn equation1_relation_representable() {
     let pid = cat.col("pid").unwrap();
     let state = cat.col("state").unwrap();
     let cpu = cat.col("cpu").unwrap();
-    let tuples = [
-        (1, 1, "S", 7),
-        (1, 2, "R", 4),
-        (2, 1, "S", 5),
-    ];
+    let tuples = [(1, 1, "S", 7), (1, 2, "R", 4), (2, 1, "S", 5)];
     let mut reference = Relation::empty(cat.all());
     for (a, b, s, c) in tuples {
         let t = Tuple::from_pairs([

@@ -4,9 +4,7 @@
 //! across *multiple* decompositions of the same relation.
 
 use relic_decomp::parse;
-use relic_systems::ipcap::{
-    flow_spec, packet_trace, run_accounting, BaselineFlows, SynthFlows,
-};
+use relic_systems::ipcap::{flow_spec, packet_trace, run_accounting, BaselineFlows, SynthFlows};
 use relic_systems::thttpd::{
     mmap_spec, request_stream, run_cache, BaselineMmapCache, SynthMmapCache,
 };

@@ -1,0 +1,312 @@
+//! A minimal, dependency-free, **offline** stand-in for the `criterion`
+//! crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This crate accepts the same bench-definition surface
+//! the workspace's benches use (`criterion_group!`/`criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `iter`, `iter_batched`) and measures wall-clock mean time per iteration —
+//! no warm-up/measurement statistics beyond simple repetition, no plots, no
+//! saved baselines. Results print as `<group>/<name>  time: [… per iter]`,
+//! and are also exposed machine-readably via [`Criterion::take_results`] for
+//! harnesses that want JSON.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export for drop-in compatibility: prevents the optimizer from
+/// removing a computation whose result is otherwise unused.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: batch many iterations per setup.
+    SmallInput,
+    /// Large per-iteration inputs: one setup per iteration.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/param`.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/name` label.
+    pub id: String,
+    /// Mean wall-clock time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Number of measured iterations.
+    pub iters: u64,
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(400),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples (used as a repetition hint).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// A top-level benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, f: F) {
+        let id = id.to_string();
+        self.run_one(id, f);
+    }
+
+    /// Drains the measurements collected so far (for JSON emitters).
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        // Warm-up pass.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            let mut b = Bencher {
+                budget: Duration::from_millis(1),
+                total: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+        }
+        // Measurement pass.
+        let mut b = Bencher {
+            budget: self.measurement_time,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean_ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.total.as_nanos() as f64 / b.iters as f64
+        };
+        println!(
+            "{id:<48} time: [{} per iter, {} iters]",
+            fmt_ns(mean_ns),
+            b.iters
+        );
+        self.results.push(BenchResult {
+            id,
+            mean_ns,
+            iters: b.iters,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample-size hint for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement duration for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under `<group>/<id>`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, f: F) {
+        let id = format!("{}/{}", self.name, id);
+        self.criterion.run_one(id, f);
+    }
+
+    /// Benchmarks `f` with an input value under `<group>/<id>`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let id = format!("{}/{}", self.name, id);
+        self.criterion.run_one(id, |b| f(b, input));
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to bench closures; runs the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the time budget is exhausted.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, R, S: FnMut() -> I, F: FnMut(I) -> R>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Like `iter_batched`, mutating the input in place.
+    pub fn iter_batched_ref<I, R, S: FnMut() -> I, F: FnMut(&mut I) -> R>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.total += start.elapsed();
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Defines a benchmark group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
