@@ -1,11 +1,18 @@
-//! Perf-trajectory smoke harness: runs the `micro_cache` and
-//! `micro_scheduler` workloads a fixed number of times each and emits
-//! machine-readable JSON timings (mean ns per workload repetition), so every
-//! PR from this one onward can compare against the recorded `BENCH_1.json`.
+//! Perf-trajectory smoke harness: runs the micro workloads a fixed number
+//! of times each and emits machine-readable JSON timings (mean ns per
+//! workload repetition), so every PR from this one onward can compare
+//! against the recorded `BENCH_*.json` files.
 //!
-//! Usage: `cargo run --release --bin bench_smoke [-- OUTPUT.json]`
-//! (default output path: `BENCH_1.json` in the current directory).
+//! Usage: `cargo run --release --bin bench_smoke [-- [--quick] [OUTPUT.json]]`
+//! (default output path: `BENCH_2.json` in the current directory).
+//! `--quick` shrinks sizes and repetition counts to a compile-and-run smoke
+//! check for CI — its timings are not comparable to full runs.
+//!
+//! The `bulk_load_100k` and `batch_insert` pairs time the PR-2 batch APIs
+//! against the per-tuple loops they replace, on a hash-rooted and an
+//! AVL-rooted decomposition.
 
+use relic_concurrent::ConcurrentRelation;
 use relic_core::{Bindings, SynthRelation};
 use relic_decomp::parse;
 use relic_spec::{Catalog, RelSpec, Tuple, Value};
@@ -26,6 +33,24 @@ fn time_mean_ns(warmup: usize, reps: usize, mut f: impl FnMut() -> usize) -> f64
     let elapsed = start.elapsed().as_nanos() as f64 / reps as f64;
     std::hint::black_box(sink);
     elapsed
+}
+
+/// Like [`time_mean_ns`], but `f` times its own stage of interest (setup
+/// and teardown — e.g. dropping a 100k-instance store — stay untimed) and
+/// returns `(stage nanoseconds, checksum)`.
+fn time_stage_ns(warmup: usize, reps: usize, mut f: impl FnMut() -> (f64, usize)) -> f64 {
+    let mut sink = 0usize;
+    for _ in 0..warmup {
+        sink = sink.wrapping_add(std::hint::black_box(f()).1);
+    }
+    let mut total = 0f64;
+    for _ in 0..reps {
+        let (ns, check) = std::hint::black_box(f());
+        total += ns;
+        sink = sink.wrapping_add(check);
+    }
+    std::hint::black_box(sink);
+    total / reps as f64
 }
 
 /// `micro_cache`: the thttpd-style mmap cache under a skewed request stream
@@ -208,15 +233,205 @@ fn bench_query_hot_path(out: &mut Vec<(String, f64)>) {
     out.push(("query_hot_path/state_scan_100x_raw".to_string(), ns));
 }
 
+/// A deterministic pseudo-random permutation of `0..n` (odd multiplier
+/// modulo a power of two), so bulk-load inputs arrive in shuffled key order.
+fn shuffled_keys(n: usize) -> Vec<i64> {
+    let m = (n.max(2)).next_power_of_two() as u64;
+    (0..m)
+        .map(|i| (i.wrapping_mul(0x9E37_79B1) & (m - 1)) as i64)
+        .filter(|&k| (k as u64) < n as u64)
+        .collect()
+}
+
+/// `bulk_load_100k`: loading `n` tuples into an empty relation, per-tuple
+/// `insert` loop vs `bulk_load`, on two decompositions:
+///
+/// * `htable_root` — the nested shape every §6 case study starts from
+///   (paths → mappings, local → remote hosts, src → dst): a hash root over
+///   per-key AVL groups, `n / 100` outer keys × 100 inner entries;
+/// * `avl_root` — a flat ordered map of `n` distinct keys, where the batch
+///   path's O(n) balanced build from sorted input replaces n O(log n)
+///   insertions.
+///
+/// Only the load itself is timed (building the empty relation and dropping
+/// the loaded store are outside the measurement).
+fn bench_bulk_load(out: &mut Vec<(String, f64)>, quick: bool) {
+    let n = if quick { 2_000 } else { 100_000 };
+    let fanout = 100;
+    let (warmup, reps) = if quick { (0, 1) } else { (1, 3) };
+    for (root, src, nested) in [
+        (
+            "htable_root",
+            "let u : {k,t} . {v} = unit {v} in
+             let y : {k} . {t,v} = {t} -[avl]-> u in
+             let x : {} . {k,t,v} = {k} -[htable]-> y in x",
+            true,
+        ),
+        (
+            "avl_root",
+            "let u : {k} . {v} = unit {v} in
+             let x : {} . {k,v} = {k} -[avl]-> u in x",
+            false,
+        ),
+    ] {
+        let mut cat = Catalog::new();
+        let d = parse(&mut cat, src).unwrap();
+        let k = cat.col("k").unwrap();
+        let v = cat.col("v").unwrap();
+        let key_cols = if nested {
+            k | cat.col("t").unwrap()
+        } else {
+            k.into()
+        };
+        let spec = RelSpec::new(cat.all()).with_fd(key_cols, v.into());
+        let tuples: Vec<Tuple> = shuffled_keys(n)
+            .into_iter()
+            .map(|i| {
+                if nested {
+                    Tuple::from_pairs([
+                        (k, Value::from(i / fanout)),
+                        (cat.col("t").unwrap(), Value::from(i % fanout)),
+                        (v, Value::from(i % 97)),
+                    ])
+                } else {
+                    Tuple::from_pairs([(k, Value::from(i)), (v, Value::from(i % 97))])
+                }
+            })
+            .collect();
+        let ns = time_stage_ns(warmup, reps, || {
+            let mut rel = SynthRelation::new(&cat, spec.clone(), d.clone()).unwrap();
+            let start = Instant::now();
+            for t in &tuples {
+                rel.insert(t.clone()).unwrap();
+            }
+            (start.elapsed().as_nanos() as f64, rel.len())
+        });
+        out.push((format!("bulk_load_100k/{root}_loop"), ns));
+        let ns = time_stage_ns(warmup, reps, || {
+            let mut rel = SynthRelation::new(&cat, spec.clone(), d.clone()).unwrap();
+            let start = Instant::now();
+            rel.bulk_load(tuples.iter().cloned()).unwrap();
+            (start.elapsed().as_nanos() as f64, rel.len())
+        });
+        out.push((format!("bulk_load_100k/{root}_bulk"), ns));
+    }
+}
+
+/// `batch_insert`: write-heavy mutation of a standing relation — the fig. 2
+/// scheduler shape pre-populated, then a batch of new tuples applied as a
+/// per-tuple loop vs `insert_many`; plus the sharded `ConcurrentRelation`,
+/// per-tuple lock-per-insert vs grouped per-shard `bulk_load`.
+fn bench_batch_insert(out: &mut Vec<(String, f64)>, quick: bool) {
+    let (base_n, batch_n) = if quick { (200, 800) } else { (2_000, 20_000) };
+    let (warmup, reps) = if quick { (0, 1) } else { (1, 3) };
+    // Scheduler relation: nested hash chain rooted at {ns}.
+    let mut cat = Catalog::new();
+    let d = parse(
+        &mut cat,
+        "let w : {ns,pid} . {state,cpu} = unit {state,cpu} in
+         let y : {ns} . {pid,state,cpu} = {pid} -[htable]-> w in
+         let x : {} . {ns,pid,state,cpu} = {ns} -[htable]-> y in x",
+    )
+    .unwrap();
+    let spec = RelSpec::new(cat.all()).with_fd(
+        cat.col("ns").unwrap() | cat.col("pid").unwrap(),
+        cat.col("state").unwrap() | cat.col("cpu").unwrap(),
+    );
+    let ns_col = cat.col("ns").unwrap();
+    let pid = cat.col("pid").unwrap();
+    let state = cat.col("state").unwrap();
+    let cpu = cat.col("cpu").unwrap();
+    // Replay streams arrive clustered by namespace (the paper's §6 traces
+    // are grouped by connection/path), so the batch is generated ns-major.
+    let proc_t = |i: i64| {
+        Tuple::from_pairs([
+            (ns_col, Value::from(i / 512)),
+            (pid, Value::from(i)),
+            (state, Value::from(if i % 3 == 0 { "R" } else { "S" })),
+            (cpu, Value::from(i % 7)),
+        ])
+    };
+    let base: Vec<Tuple> = (0..base_n as i64).map(proc_t).collect();
+    let batch: Vec<Tuple> = (base_n as i64..(base_n + batch_n) as i64)
+        .map(proc_t)
+        .collect();
+    let ns = time_stage_ns(warmup, reps, || {
+        let mut rel = SynthRelation::new(&cat, spec.clone(), d.clone()).unwrap();
+        rel.bulk_load(base.iter().cloned()).unwrap();
+        let start = Instant::now();
+        for t in &batch {
+            rel.insert(t.clone()).unwrap();
+        }
+        (start.elapsed().as_nanos() as f64, rel.len())
+    });
+    out.push(("batch_insert/scheduler_loop".to_string(), ns));
+    let ns = time_stage_ns(warmup, reps, || {
+        let mut rel = SynthRelation::new(&cat, spec.clone(), d.clone()).unwrap();
+        rel.bulk_load(base.iter().cloned()).unwrap();
+        let start = Instant::now();
+        rel.insert_many(batch.iter().cloned()).unwrap();
+        (start.elapsed().as_nanos() as f64, rel.len())
+    });
+    out.push(("batch_insert/scheduler_batch".to_string(), ns));
+    // Sharded relation: per-tuple lock acquisition vs one lock per shard.
+    let mut cat = Catalog::new();
+    let d = parse(
+        &mut cat,
+        "let u : {host,ts} . {bytes} = unit {bytes} in
+         let h : {host} . {ts,bytes} = {ts} -[avl]-> u in
+         let x : {} . {host,ts,bytes} = {host} -[htable]-> h in x",
+    )
+    .unwrap();
+    let host = cat.col("host").unwrap();
+    let ts = cat.col("ts").unwrap();
+    let bytes = cat.col("bytes").unwrap();
+    let spec = RelSpec::new(cat.all()).with_fd(host | ts, bytes.into());
+    let batch: Vec<Tuple> = (0..batch_n as i64)
+        .map(|i| {
+            Tuple::from_pairs([
+                (host, Value::from(i % 16)),
+                (ts, Value::from(i)),
+                (bytes, Value::from(i % 1400)),
+            ])
+        })
+        .collect();
+    let ns = time_stage_ns(warmup, reps, || {
+        let rel = ConcurrentRelation::new(&cat, spec.clone(), d.clone(), host.into(), 8).unwrap();
+        let start = Instant::now();
+        for t in &batch {
+            rel.insert(t.clone()).unwrap();
+        }
+        (start.elapsed().as_nanos() as f64, rel.len())
+    });
+    out.push(("batch_insert/sharded_loop".to_string(), ns));
+    let ns = time_stage_ns(warmup, reps, || {
+        let rel = ConcurrentRelation::new(&cat, spec.clone(), d.clone(), host.into(), 8).unwrap();
+        let start = Instant::now();
+        rel.bulk_load(batch.iter().cloned()).unwrap();
+        (start.elapsed().as_nanos() as f64, rel.len())
+    });
+    out.push(("batch_insert/sharded_bulk".to_string(), ns));
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_1.json".to_string());
+    let mut quick = false;
+    let mut out_path = "BENCH_2.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
     let mut results: Vec<(String, f64)> = Vec::new();
     bench_micro_cache(&mut results);
     bench_micro_scheduler(&mut results);
     bench_query_hot_path(&mut results);
-    let mut json = String::from("{\n  \"schema\": \"relic-bench-smoke-v1\",\n  \"results\": {\n");
+    bench_bulk_load(&mut results, quick);
+    bench_batch_insert(&mut results, quick);
+    let mut json = format!(
+        "{{\n  \"schema\": \"relic-bench-smoke-v2\",\n  \"quick\": {quick},\n  \"results\": {{\n"
+    );
     for (i, (label, ns)) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
         json.push_str(&format!("    \"{label}\": {ns:.0}{comma}\n"));

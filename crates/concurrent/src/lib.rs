@@ -23,6 +23,20 @@
 //! sequences can be made atomic with
 //! [`ConcurrentRelation::with_partition_mut`].
 //!
+//! # Per-shard batch lock discipline
+//!
+//! The batch mutations ([`bulk_load`](ConcurrentRelation::bulk_load),
+//! [`insert_many`](ConcurrentRelation::insert_many)) first partition the
+//! batch by shard **without holding any lock** — routing only hashes shard
+//! columns — then visit the non-empty shards in index order, taking each
+//! shard's write lock **once per batch** and running the underlying
+//! [`SynthRelation`] batch operation under it. A batch of n tuples touching
+//! s shards therefore costs s lock acquisitions instead of n, and two
+//! concurrent batches over disjoint shards never contend. The trade-off is
+//! granularity: a batch is atomic *per shard*, not across shards — readers
+//! may observe a shard-prefix of a concurrent batch (each individual shard
+//! load is still atomic and linearizable).
+//!
 //! # Example
 //!
 //! ```
@@ -194,18 +208,28 @@ impl ConcurrentRelation {
         self.shard_cols.is_subset(dom)
     }
 
+    /// Shared access to shard `i`. Lock poisoning (a panic inside an earlier
+    /// critical section) is unrecoverable for an in-memory structure, so
+    /// every lock site funnels through this pair of helpers and panics with
+    /// one consistent message.
+    fn read_shard(&self, i: usize) -> RwLockReadGuard<'_, SynthRelation> {
+        self.shards[i].read().expect("shard lock poisoned")
+    }
+
+    /// Exclusive access to shard `i` (see
+    /// [`read_shard`](ConcurrentRelation::read_shard)).
+    fn write_shard(&self, i: usize) -> RwLockWriteGuard<'_, SynthRelation> {
+        self.shards[i].write().expect("shard lock poisoned")
+    }
+
     fn read_all(&self) -> Vec<RwLockReadGuard<'_, SynthRelation>> {
         // Index order — a total order, hence deadlock-free.
-        self.shards
-            .iter()
-            .map(|s| s.read().expect("shard lock poisoned"))
-            .collect()
+        (0..self.shards.len()).map(|i| self.read_shard(i)).collect()
     }
 
     fn write_all(&self) -> Vec<RwLockWriteGuard<'_, SynthRelation>> {
-        self.shards
-            .iter()
-            .map(|s| s.write().expect("shard lock poisoned"))
+        (0..self.shards.len())
+            .map(|i| self.write_shard(i))
             .collect()
     }
 
@@ -219,16 +243,67 @@ impl ConcurrentRelation {
             // A full tuple always binds all columns; this is only reachable
             // for malformed tuples, which the shard rejects with a proper
             // error.
-            return self.shards[0]
-                .write()
-                .expect("shard lock poisoned")
-                .insert(t);
+            return self.write_shard(0).insert(t);
         }
         let i = self.route(&t);
-        self.shards[i]
-            .write()
-            .expect("shard lock poisoned")
-            .insert(t)
+        self.write_shard(i).insert(t)
+    }
+
+    /// `bulk_load` — partitions the batch by shard (lock-free), then runs
+    /// [`SynthRelation::bulk_load`] under each affected shard's write lock,
+    /// taken **once per batch** in index order. Returns the total number of
+    /// tuples inserted.
+    ///
+    /// Atomicity is per shard: a concurrent reader may observe some shards
+    /// already loaded and others not yet. Malformed tuples (not binding the
+    /// shard columns) route to shard 0, which rejects them exactly as
+    /// [`insert`](ConcurrentRelation::insert) does.
+    ///
+    /// # Errors
+    ///
+    /// The first error any shard reports, in shard index order; loads into
+    /// earlier shards (and the failing shard's accepted prefix) persist. The
+    /// per-shard semantics are those of [`SynthRelation::bulk_load`].
+    pub fn bulk_load<I: IntoIterator<Item = Tuple>>(&self, tuples: I) -> Result<usize, OpError> {
+        self.batch_mutate(tuples, |shard, group| shard.bulk_load(group))
+    }
+
+    /// `insert_many` — like [`bulk_load`](ConcurrentRelation::bulk_load)
+    /// but each shard runs [`SynthRelation::insert_many`] (no structural
+    /// re-sort within the shard), which preserves more of the caller's
+    /// ordering for clustered streams.
+    ///
+    /// # Errors
+    ///
+    /// As for [`bulk_load`](ConcurrentRelation::bulk_load).
+    pub fn insert_many<I: IntoIterator<Item = Tuple>>(&self, tuples: I) -> Result<usize, OpError> {
+        self.batch_mutate(tuples, |shard, group| shard.insert_many(group))
+    }
+
+    /// Groups `tuples` by owning shard, then applies `op` once per
+    /// non-empty shard under its write lock (index order).
+    fn batch_mutate<I: IntoIterator<Item = Tuple>>(
+        &self,
+        tuples: I,
+        op: impl Fn(&mut SynthRelation, Vec<Tuple>) -> Result<usize, OpError>,
+    ) -> Result<usize, OpError> {
+        let mut groups: Vec<Vec<Tuple>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for t in tuples {
+            let i = if self.pins(t.dom()) {
+                self.route(&t)
+            } else {
+                0
+            };
+            groups[i].push(t);
+        }
+        let mut inserted = 0;
+        for (i, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            inserted += op(&mut self.write_shard(i), group)?;
+        }
+        Ok(inserted)
     }
 
     /// `remove r s` — one shard if `pattern` pins the shard columns, all
@@ -240,10 +315,7 @@ impl ConcurrentRelation {
     pub fn remove(&self, pattern: &Tuple) -> Result<usize, OpError> {
         if self.pins(pattern.dom()) {
             let i = self.route(pattern);
-            self.shards[i]
-                .write()
-                .expect("shard lock poisoned")
-                .remove(pattern)
+            self.write_shard(i).remove(pattern)
         } else {
             let mut guards = self.write_all();
             let mut n = 0;
@@ -265,10 +337,7 @@ impl ConcurrentRelation {
         let eq = pattern.eq_tuple();
         if self.pins(eq.dom()) {
             let i = self.route(&eq);
-            self.shards[i]
-                .write()
-                .expect("shard lock poisoned")
-                .remove_where(pattern)
+            self.write_shard(i).remove_where(pattern)
         } else {
             let mut guards = self.write_all();
             let mut n = 0;
@@ -292,10 +361,7 @@ impl ConcurrentRelation {
     pub fn update(&self, pattern: &Tuple, changes: &Tuple) -> Result<bool, OpError> {
         if self.pins(pattern.dom()) {
             let i = self.route(pattern);
-            self.shards[i]
-                .write()
-                .expect("shard lock poisoned")
-                .update(pattern, changes)
+            self.write_shard(i).update(pattern, changes)
         } else {
             let mut guards = self.write_all();
             let mut any = false;
@@ -316,10 +382,7 @@ impl ConcurrentRelation {
     pub fn query(&self, pattern: &Tuple, out: ColSet) -> Result<Vec<Tuple>, OpError> {
         if self.pins(pattern.dom()) {
             let i = self.route(pattern);
-            self.shards[i]
-                .read()
-                .expect("shard lock poisoned")
-                .query(pattern, out)
+            self.read_shard(i).query(pattern, out)
         } else {
             let guards = self.read_all();
             let mut set = std::collections::BTreeSet::new();
@@ -340,10 +403,7 @@ impl ConcurrentRelation {
         let eq = pattern.eq_tuple();
         if self.pins(eq.dom()) {
             let i = self.route(&eq);
-            self.shards[i]
-                .read()
-                .expect("shard lock poisoned")
-                .query_where(pattern, out)
+            self.read_shard(i).query_where(pattern, out)
         } else {
             let guards = self.read_all();
             let mut set = std::collections::BTreeSet::new();
@@ -360,9 +420,14 @@ impl ConcurrentRelation {
         self.read_all().iter().map(|g| g.len()).sum()
     }
 
-    /// Is the relation empty?
+    /// Is the relation empty? Short-circuits on the first non-empty shard,
+    /// read-locking shards one at a time instead of computing a full
+    /// all-shard [`len`](ConcurrentRelation::len). (Like any lock-at-a-time
+    /// aggregate, the answer is about a moment between the first and last
+    /// shard inspected; `len` still takes all locks for a consistent
+    /// snapshot.)
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        (0..self.shards.len()).all(|i| self.read_shard(i).is_empty())
     }
 
     /// Runs `f` with exclusive access to the shard owning `key`'s
@@ -381,7 +446,7 @@ impl ConcurrentRelation {
             "with_partition_mut requires all shard columns bound"
         );
         let i = self.route(key);
-        f(&mut self.shards[i].write().expect("shard lock poisoned"))
+        f(&mut self.write_shard(i))
     }
 
     /// Runs `f` with shared access to the shard owning `key`'s valuation.
@@ -395,7 +460,7 @@ impl ConcurrentRelation {
             "with_partition requires all shard columns bound"
         );
         let i = self.route(key);
-        f(&self.shards[i].read().expect("shard lock poisoned"))
+        f(&self.read_shard(i))
     }
 
     /// A consistent snapshot of the whole relation as a reference
@@ -554,6 +619,76 @@ mod tests {
             r.query_where(&p, ts.set()).unwrap(),
             m.query_where(&p, ts.set())
         );
+    }
+
+    #[test]
+    fn bulk_load_groups_by_shard_and_matches_per_tuple_inserts() {
+        let (cat, bulk) = setup(4);
+        let (_, loop_rel) = setup(4);
+        let tuples: Vec<Tuple> = (0..8i64)
+            .flat_map(|h| (0..25i64).map(move |t| (h, t)))
+            .map(|(h, t)| tup(&cat, h, t, h + t))
+            .collect();
+        let n = bulk.bulk_load(tuples.clone()).unwrap();
+        assert_eq!(n, 200);
+        for t in tuples {
+            loop_rel.insert(t).unwrap();
+        }
+        assert_eq!(bulk.to_relation(), loop_rel.to_relation());
+        assert_eq!(bulk.len(), 200);
+        bulk.validate().unwrap();
+        // Duplicates across a second batch are no-ops; new tuples count.
+        let n = bulk
+            .insert_many(vec![tup(&cat, 0, 0, 0), tup(&cat, 99, 0, 7)])
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(bulk.len(), 201);
+    }
+
+    #[test]
+    fn bulk_load_reports_shard_errors() {
+        let (cat, r) = setup(2);
+        r.insert(tup(&cat, 1, 1, 5)).unwrap();
+        // Same (host, ts) key, different bytes: an FD violation inside the
+        // owning shard.
+        let err = r
+            .bulk_load(vec![tup(&cat, 2, 2, 2), tup(&cat, 1, 1, 6)])
+            .unwrap_err();
+        assert!(matches!(err, OpError::FdViolation { .. }));
+        // The clean tuple persists (per-shard atomicity).
+        assert!(r.to_relation().contains(&tup(&cat, 2, 2, 2)));
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn concurrent_bulk_loads_on_disjoint_shards() {
+        let (cat, r) = setup(8);
+        std::thread::scope(|s| {
+            for h in 0..8i64 {
+                let r = &r;
+                let cat = &cat;
+                s.spawn(move || {
+                    let batch: Vec<Tuple> = (0..100i64).map(|t| tup(cat, h, t, t % 5)).collect();
+                    assert_eq!(r.bulk_load(batch).unwrap(), 100);
+                });
+            }
+        });
+        assert_eq!(r.len(), 800);
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn is_empty_short_circuits() {
+        let (cat, r) = setup(4);
+        assert!(r.is_empty());
+        r.insert(tup(&cat, 3, 1, 0)).unwrap();
+        assert!(!r.is_empty());
+        r.remove(&Tuple::from_pairs([
+            (cat.col("host").unwrap(), Value::from(3)),
+            (cat.col("ts").unwrap(), Value::from(1)),
+        ]))
+        .unwrap();
+        assert!(r.is_empty());
     }
 
     #[test]

@@ -25,6 +25,23 @@ impl<K: Eq, V> AssocVec<K, V> {
         AssocVec::default()
     }
 
+    /// Reserves capacity for at least `additional` more entries.
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve(additional);
+    }
+
+    /// Builds a map from a batch of entries with the vector pre-sized once.
+    /// Duplicate keys follow [`insert`](AssocVec::insert)'s replace
+    /// semantics (the last entry wins).
+    pub fn from_batch(entries: Vec<(K, V)>) -> Self {
+        let mut m = AssocVec::new();
+        m.reserve(entries.len());
+        for (k, v) in entries {
+            m.insert(k, v);
+        }
+        m
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -136,6 +153,18 @@ mod tests {
         assert_eq!(m.get(&1), Some(&2));
         m.clear();
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn from_batch_presizes_and_replaces() {
+        let m: AssocVec<&str, i64> =
+            AssocVec::from_batch(vec![("S", 1), ("R", 2), ("S", 3), ("Z", 4)]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(&"S"), Some(&3), "last entry wins");
+        assert_eq!(m.get(&"R"), Some(&2));
+        let mut m2: AssocVec<i64, i64> = AssocVec::new();
+        m2.reserve(64);
+        assert!(m2.entries.capacity() >= 64);
     }
 
     proptest! {

@@ -44,6 +44,72 @@ impl<K: Ord, V> AvlMap<K, V> {
         AvlMap::default()
     }
 
+    /// Reserves arena capacity for at least `additional` more entries, so a
+    /// batch of insertions performs one arena growth instead of several.
+    pub fn reserve(&mut self, additional: usize) {
+        self.nodes
+            .reserve(additional.saturating_sub(self.free.len()));
+    }
+
+    /// Builds a map from entries with **strictly increasing** keys in O(n),
+    /// producing a perfectly height-balanced tree (the midpoint of every
+    /// subrange becomes a subtree root) — the bulk-load counterpart of n
+    /// O(log n) insertions.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that keys are strictly increasing; in release builds an
+    /// unsorted input silently produces a map with undefined lookup
+    /// behaviour.
+    pub fn from_sorted(entries: Vec<(K, V)>) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "from_sorted requires strictly increasing keys"
+        );
+        let len = entries.len();
+        let mut nodes: Vec<Option<Node<K, V>>> = entries
+            .into_iter()
+            .map(|(key, val)| {
+                Some(Node {
+                    key,
+                    val,
+                    left: NIL,
+                    right: NIL,
+                    height: 1,
+                })
+            })
+            .collect();
+        fn link<K, V>(nodes: &mut [Option<Node<K, V>>], lo: usize, hi: usize) -> (u32, i8) {
+            if lo >= hi {
+                return (NIL, 0);
+            }
+            let mid = lo + (hi - lo) / 2;
+            let (l, lh) = link(nodes, lo, mid);
+            let (r, rh) = link(nodes, mid + 1, hi);
+            let n = nodes[mid].as_mut().expect("fresh node");
+            n.left = l;
+            n.right = r;
+            n.height = 1 + lh.max(rh);
+            (mid as u32, n.height)
+        }
+        let (root, _) = link(&mut nodes, 0, len);
+        AvlMap {
+            nodes,
+            free: Vec::new(),
+            root,
+            len,
+        }
+    }
+
+    /// Builds a map from arbitrary entries: one stable sort, one
+    /// keep-the-last-entry dedup pass (matching [`insert`](AvlMap::insert)'s
+    /// replace semantics), then the O(n) [`from_sorted`](AvlMap::from_sorted)
+    /// balanced build.
+    pub fn bulk_build(mut entries: Vec<(K, V)>) -> Self {
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        AvlMap::from_sorted(dedup_keep_last(entries))
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.len
@@ -428,6 +494,20 @@ impl<K: Ord, V> AvlMap<K, V> {
     }
 }
 
+/// Collapses runs of equal keys in a slice sorted (stably) by key, keeping
+/// the **last** entry of each run — the batch analog of repeated
+/// replace-semantics insertion.
+pub(crate) fn dedup_keep_last<K: Ord, V>(entries: Vec<(K, V)>) -> Vec<(K, V)> {
+    let mut out: Vec<(K, V)> = Vec::with_capacity(entries.len());
+    for e in entries {
+        match out.last_mut() {
+            Some(last) if last.0 == e.0 => *last = e,
+            _ => out.push(e),
+        }
+    }
+    out
+}
+
 impl<K: Ord, V> FromIterator<(K, V)> for AvlMap<K, V> {
     fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
         let mut m = AvlMap::new();
@@ -617,6 +697,81 @@ mod tests {
             got.push((*k, 0))
         });
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn from_sorted_builds_balanced_tree() {
+        let m: AvlMap<i64, i64> = AvlMap::from_sorted((0..1000).map(|i| (i, i * 2)).collect());
+        assert_eq!(m.len(), 1000);
+        m.check_invariants();
+        // A perfectly balanced 1000-node tree has height ⌈log2(1001)⌉ = 10.
+        assert_eq!(m.height(m.root), 10);
+        for i in 0..1000 {
+            assert_eq!(m.get(&i), Some(&(i * 2)));
+        }
+        let keys: Vec<i64> = m.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (0..1000).collect::<Vec<_>>());
+        // Edge sizes.
+        let empty: AvlMap<i64, ()> = AvlMap::from_sorted(Vec::new());
+        assert!(empty.is_empty());
+        let one: AvlMap<i64, ()> = AvlMap::from_sorted(vec![(7, ())]);
+        assert_eq!(one.get(&7), Some(&()));
+        one.check_invariants();
+    }
+
+    #[test]
+    fn bulk_build_sorts_and_keeps_last_duplicate() {
+        let m: AvlMap<i64, &str> =
+            AvlMap::bulk_build(vec![(3, "c"), (1, "a"), (3, "C"), (2, "b"), (1, "A")]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(&1), Some(&"A"));
+        assert_eq!(m.get(&3), Some(&"C"));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn from_sorted_map_mutates_like_incremental_map() {
+        let mut bulk: AvlMap<i64, i64> = AvlMap::from_sorted((0..100).map(|i| (i, i)).collect());
+        let mut incr: AvlMap<i64, i64> = (0..100).map(|i| (i, i)).collect();
+        for k in [0, 50, 99, 13] {
+            assert_eq!(bulk.remove(&k), incr.remove(&k));
+            bulk.check_invariants();
+        }
+        bulk.insert(1000, 1);
+        incr.insert(1000, 1);
+        bulk.check_invariants();
+        let a: Vec<_> = bulk.iter().map(|(k, v)| (*k, *v)).collect();
+        let b: Vec<_> = incr.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reserve_presizes_arena() {
+        let mut m: AvlMap<i64, ()> = AvlMap::new();
+        m.reserve(100);
+        let cap = m.nodes.capacity();
+        assert!(cap >= 100);
+        for i in 0..100 {
+            m.insert(i, ());
+        }
+        assert_eq!(m.nodes.capacity(), cap, "no regrowth during batch");
+    }
+
+    proptest! {
+        #[test]
+        fn bulk_build_agrees_with_insert_fold(
+            entries in proptest::collection::vec((0i64..60, 0i64..100), 0..150),
+        ) {
+            let bulk = AvlMap::bulk_build(entries.clone());
+            bulk.check_invariants();
+            let mut incr = AvlMap::new();
+            for (k, v) in entries {
+                incr.insert(k, v);
+            }
+            let a: Vec<_> = bulk.iter().map(|(k, v)| (*k, *v)).collect();
+            let b: Vec<_> = incr.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(a, b);
+        }
     }
 
     proptest! {

@@ -46,6 +46,24 @@ impl<K: Eq, V> DListMap<K, V> {
         DListMap::default()
     }
 
+    /// Reserves arena capacity for at least `additional` more entries.
+    pub fn reserve(&mut self, additional: usize) {
+        self.arena
+            .reserve(additional.saturating_sub(self.free.len()));
+    }
+
+    /// Builds a list from a batch of entries with the arena pre-sized once.
+    /// Duplicate keys follow [`insert`](DListMap::insert)'s replace
+    /// semantics (the last entry wins); list order is first-insertion order.
+    pub fn from_batch(entries: Vec<(K, V)>) -> Self {
+        let mut m = DListMap::new();
+        m.reserve(entries.len());
+        for (k, v) in entries {
+            m.insert(k, v);
+        }
+        m
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.len
@@ -330,6 +348,19 @@ mod tests {
         assert_eq!(m.iter().count(), 1);
         m.clear();
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn from_batch_presizes_and_keeps_first_insertion_order() {
+        let m: DListMap<i64, i64> = DListMap::from_batch(vec![(5, 0), (1, 1), (5, 2), (9, 3)]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(&5), Some(&2), "last entry wins");
+        let keys: Vec<i64> = m.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![5, 1, 9]);
+        m.check_invariants();
+        let mut m2: DListMap<i64, i64> = DListMap::new();
+        m2.reserve(32);
+        assert!(m2.arena.capacity() >= 32);
     }
 
     proptest! {

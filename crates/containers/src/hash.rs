@@ -132,7 +132,12 @@ impl<K: Hash + Eq, V> HashTable<K, V> {
     }
 
     fn grow(&mut self) {
-        let new_size = (self.buckets.len() * 2).max(8);
+        self.rehash((self.buckets.len() * 2).max(8));
+    }
+
+    /// Redistributes all entries over `new_size` buckets (a power of two).
+    fn rehash(&mut self, new_size: usize) {
+        debug_assert!(new_size.is_power_of_two());
         let mut new_buckets: Vec<Vec<(K, V)>> = (0..new_size).map(|_| Vec::new()).collect();
         for bucket in self.buckets.drain(..) {
             for (k, v) in bucket {
@@ -141,6 +146,28 @@ impl<K: Hash + Eq, V> HashTable<K, V> {
             }
         }
         self.buckets = new_buckets;
+    }
+
+    /// Reserves bucket capacity for at least `additional` more entries, so a
+    /// batch of insertions triggers at most one rehash instead of O(log n).
+    pub fn reserve(&mut self, additional: usize) {
+        let need = self.len + additional;
+        let nbuckets = (need.max(1) * 8 / 7).next_power_of_two().max(8);
+        if nbuckets > self.buckets.len() {
+            self.rehash(nbuckets);
+        }
+    }
+
+    /// Builds a table from a batch of entries, pre-sized so the load never
+    /// triggers a rehash. Duplicate keys follow
+    /// [`insert`](HashTable::insert)'s replace semantics (the last entry
+    /// wins).
+    pub fn from_batch(entries: Vec<(K, V)>) -> Self {
+        let mut t = HashTable::with_capacity(entries.len());
+        for (k, v) in entries {
+            t.insert(k, v);
+        }
+        t
     }
 
     /// Inserts `k → v`, returning the previous value for `k`, if any.
@@ -329,6 +356,36 @@ mod tests {
         t.insert(vec![1, 2].into_boxed_slice(), 7);
         assert_eq!(t.get(&vec![1, 2].into_boxed_slice()), Some(&7));
         assert_eq!(t.get(&vec![2, 1].into_boxed_slice()), None);
+    }
+
+    #[test]
+    fn reserve_avoids_rehash_during_batch() {
+        let mut t: HashTable<i64, i64> = HashTable::new();
+        t.insert(-1, -1);
+        t.reserve(1000);
+        let nbuckets = t.buckets.len();
+        for i in 0..1000 {
+            t.insert(i, i);
+        }
+        assert_eq!(t.buckets.len(), nbuckets, "no rehash during reserved batch");
+        assert_eq!(t.len(), 1001);
+        assert_eq!(t.get(&-1), Some(&-1));
+        // Shrinking reserve is a no-op.
+        t.reserve(0);
+        assert_eq!(t.buckets.len(), nbuckets);
+    }
+
+    #[test]
+    fn from_batch_is_presized_and_replaces() {
+        let t: HashTable<i64, i64> =
+            HashTable::from_batch((0..500).map(|i| (i % 100, i)).collect());
+        assert_eq!(t.len(), 100);
+        for k in 0..100 {
+            assert_eq!(t.get(&k), Some(&(400 + k)), "last entry wins");
+        }
+        let empty: HashTable<i64, i64> = HashTable::from_batch(Vec::new());
+        assert!(empty.is_empty());
+        assert_eq!(empty.get(&0), None);
     }
 
     proptest! {

@@ -24,6 +24,50 @@ impl<K: Ord, V> SortedVecMap<K, V> {
         SortedVecMap::default()
     }
 
+    /// Reserves capacity for at least `additional` more entries.
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve(additional);
+    }
+
+    /// Builds a map from entries with **strictly increasing** keys in O(n)
+    /// (no per-entry binary search or shifting).
+    pub fn from_sorted(entries: Vec<(K, V)>) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "from_sorted requires strictly increasing keys"
+        );
+        SortedVecMap { entries }
+    }
+
+    /// Inserts a whole batch at amortized O((n + m) log (n + m)) instead of
+    /// m O(n) shifting insertions: append, one stable sort, one dedup pass.
+    ///
+    /// Equivalent to folding [`insert`](SortedVecMap::insert) over the batch
+    /// in order: on key collisions — within the batch or against existing
+    /// entries — the **last** batch entry wins.
+    pub fn bulk_insert(&mut self, batch: Vec<(K, V)>) {
+        if batch.is_empty() {
+            return;
+        }
+        // Fast path: a batch strictly beyond the current maximum appends
+        // without re-sorting the existing run.
+        let sorted_beyond = batch.windows(2).all(|w| w[0].0 < w[1].0)
+            && match (self.entries.last(), batch.first()) {
+                (Some(last), Some(first)) => last.0 < first.0,
+                _ => true,
+            };
+        self.entries.reserve(batch.len());
+        self.entries.extend(batch);
+        if sorted_beyond {
+            return;
+        }
+        // Stable sort keeps existing-before-batch and batch order within
+        // equal keys, so keep-last implements replace semantics.
+        self.entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let merged = std::mem::take(&mut self.entries);
+        self.entries = crate::avl::dedup_keep_last(merged);
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -240,6 +284,52 @@ mod tests {
         got.clear();
         m.for_each_range(Bound::Unbounded, Bound::Unbounded, |k, _| got.push((*k, 0)));
         assert_eq!(got.len(), 20);
+    }
+
+    #[test]
+    fn from_sorted_and_reserve() {
+        let mut m: SortedVecMap<i64, i64> =
+            SortedVecMap::from_sorted((0..50).map(|i| (i, -i)).collect());
+        assert_eq!(m.len(), 50);
+        assert_eq!(m.get(&30), Some(&-30));
+        m.reserve(100);
+        assert!(m.entries.capacity() >= 150);
+    }
+
+    #[test]
+    fn bulk_insert_merges_and_replaces() {
+        let mut m: SortedVecMap<i64, &str> = [(1, "a"), (3, "c"), (5, "e")].into_iter().collect();
+        m.bulk_insert(vec![(4, "d"), (3, "C"), (2, "b"), (3, "CC")]);
+        let got: Vec<_> = m.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(got, vec![(1, "a"), (2, "b"), (3, "CC"), (4, "d"), (5, "e")]);
+        // Append-beyond fast path.
+        m.bulk_insert(vec![(6, "f"), (7, "g")]);
+        assert_eq!(m.len(), 7);
+        assert_eq!(m.get(&7), Some(&"g"));
+        m.bulk_insert(Vec::new());
+        assert_eq!(m.len(), 7);
+    }
+
+    proptest! {
+        #[test]
+        fn bulk_insert_agrees_with_insert_fold(
+            base in proptest::collection::vec((0i64..40, 0i64..100), 0..60),
+            batch in proptest::collection::vec((0i64..40, 0i64..100), 0..60),
+        ) {
+            let mut bulk: SortedVecMap<i64, i64> = SortedVecMap::new();
+            let mut incr: SortedVecMap<i64, i64> = SortedVecMap::new();
+            for (k, v) in base {
+                bulk.insert(k, v);
+                incr.insert(k, v);
+            }
+            bulk.bulk_insert(batch.clone());
+            for (k, v) in batch {
+                incr.insert(k, v);
+            }
+            let a: Vec<_> = bulk.iter().map(|(k, v)| (*k, *v)).collect();
+            let b: Vec<_> = incr.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(a, b);
+        }
     }
 
     proptest! {

@@ -16,6 +16,7 @@
 use relic_containers::{AssocVec, AvlMap, DListMap, HashTable, SortedVecMap};
 use relic_decomp::{Body, Decomposition, DsKind, EdgeId, NodeId};
 use relic_spec::{ColSet, Tuple, Value};
+use std::sync::Arc;
 
 /// A composite container key: the values of an edge's key columns in
 /// ascending column order.
@@ -74,8 +75,10 @@ pub enum EdgeContainer {
         len: usize,
         /// Which link slot of the child instances this list threads through.
         slot: u8,
-        /// Key-column positions within the child's bound valuation.
-        kpos: Box<[u16]>,
+        /// Key-column positions within the child's bound valuation, shared
+        /// with the [`Layout`] (an `Arc` bump per container build, not a
+        /// slice clone).
+        kpos: Arc<[u16]>,
     },
 }
 
@@ -126,6 +129,12 @@ impl Arena {
         self.live
     }
 
+    /// Reserves slot capacity for at least `additional` more instances.
+    pub fn reserve(&mut self, additional: usize) {
+        self.slots
+            .reserve(additional.saturating_sub(self.free.len()));
+    }
+
     /// Iterates `(slot, instance)` for all live instances.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &Instance)> {
         self.slots
@@ -133,6 +142,16 @@ impl Arena {
             .enumerate()
             .filter_map(|(i, s)| s.as_ref().map(|inst| (i as u32, inst)))
     }
+}
+
+/// A body leaf, flattened for allocation-free iteration (computing
+/// [`Body::leaves`] walks the body tree into a fresh `Vec` each call).
+#[derive(Debug, Clone, Copy)]
+pub enum LeafSpec {
+    /// A `unit C` leaf.
+    Unit(ColSet),
+    /// A map leaf for an edge.
+    Map(EdgeId),
 }
 
 /// Static, per-decomposition layout information computed once at build time.
@@ -146,13 +165,17 @@ pub struct Layout {
     /// For each node: how many intrusive link slots its instances carry.
     pub islots_of_node: Vec<u8>,
     /// For each edge: for each key column (ascending), its position within
-    /// the target node's bound valuation.
-    pub kpos_of_edge: Vec<Box<[u16]>>,
+    /// the target node's bound valuation. `Arc`-shared with every intrusive
+    /// container built for the edge, so per-container builds never copy it.
+    pub kpos_of_edge: Vec<Arc<[u16]>>,
     /// For each node: a canonical path of edges from the root, used to locate
     /// instances given a full tuple.
     pub path_of_node: Vec<Vec<EdgeId>>,
     /// For each node: `(leaf index, unit columns)` of each unit leaf.
     pub unit_leaves: Vec<Vec<(usize, ColSet)>>,
+    /// For each node: its body's leaves in left-to-right order, flattened so
+    /// per-instance construction never re-walks the body tree.
+    pub leaves_of_node: Vec<Box<[LeafSpec]>>,
 }
 
 impl Layout {
@@ -162,14 +185,23 @@ impl Layout {
         let nn = d.node_count();
         let mut leaf_of_edge = vec![0usize; ne];
         let mut unit_leaves = vec![Vec::new(); nn];
+        let mut leaves_of_node: Vec<Box<[LeafSpec]>> = Vec::with_capacity(nn);
         for (id, node) in d.nodes() {
+            let mut specs = Vec::new();
             for (i, leaf) in node.body.leaves().iter().enumerate() {
                 match leaf {
-                    Body::Map(e) => leaf_of_edge[e.index()] = i,
-                    Body::Unit(c) => unit_leaves[id.index()].push((i, *c)),
+                    Body::Map(e) => {
+                        leaf_of_edge[e.index()] = i;
+                        specs.push(LeafSpec::Map(*e));
+                    }
+                    Body::Unit(c) => {
+                        unit_leaves[id.index()].push((i, *c));
+                        specs.push(LeafSpec::Unit(*c));
+                    }
                     Body::Join(..) => unreachable!("leaves are not joins"),
                 }
             }
+            leaves_of_node.push(specs.into_boxed_slice());
         }
         let mut islot_of_edge = vec![0u8; ne];
         let mut islots_of_node = vec![0u8; nn];
@@ -183,7 +215,7 @@ impl Layout {
         let mut kpos_of_edge = Vec::with_capacity(ne);
         for (_, e) in d.edges() {
             let target_bound = d.node(e.to).bound;
-            let kpos: Box<[u16]> = e
+            let kpos: Arc<[u16]> = e
                 .key
                 .iter()
                 .map(|c| {
@@ -217,6 +249,7 @@ impl Layout {
             kpos_of_edge,
             path_of_node: path_of_node.into_iter().map(Option::unwrap).collect(),
             unit_leaves,
+            leaves_of_node,
         }
     }
 
@@ -232,7 +265,7 @@ impl Layout {
                 head: None,
                 len: 0,
                 slot: self.islot_of_edge[e.index()],
-                kpos: self.kpos_of_edge[e.index()].clone(),
+                kpos: Arc::clone(&self.kpos_of_edge[e.index()]),
             },
         }
     }
@@ -240,13 +273,11 @@ impl Layout {
     /// Creates a fresh instance of `node` for bound valuation `key`, with
     /// unit leaves initialized from `t` and empty containers elsewhere.
     pub fn new_instance(&self, d: &Decomposition, node: NodeId, key: Key, t: &Tuple) -> Instance {
-        let leaves = d.node(node).body.leaves();
-        let prims: Vec<PrimInst> = leaves
+        let prims: Vec<PrimInst> = self.leaves_of_node[node.index()]
             .iter()
             .map(|leaf| match leaf {
-                Body::Unit(c) => PrimInst::Unit(t.project(*c)),
-                Body::Map(e) => PrimInst::Map(self.new_container(d, *e)),
-                Body::Join(..) => unreachable!("leaves are not joins"),
+                LeafSpec::Unit(c) => PrimInst::Unit(t.project(*c)),
+                LeafSpec::Map(e) => PrimInst::Map(self.new_container(d, *e)),
             })
             .collect();
         Instance {
@@ -331,6 +362,28 @@ impl Store {
     /// Total live instances across all nodes.
     pub fn total_live(&self) -> usize {
         self.arenas.iter().map(|a| a.live).sum()
+    }
+
+    /// Reserves arena capacity for at least `additional` more instances of
+    /// `node` (a bulk-load pre-sizing hint).
+    pub fn reserve_node(&mut self, node: NodeId, additional: usize) {
+        self.arenas[node.index()].reserve(additional);
+    }
+
+    /// Reserves capacity for at least `additional` more entries in the
+    /// container at `(parent, leaf)`, so batch insertion triggers at most
+    /// one growth/rehash. A no-op for intrusive lists, whose entries live in
+    /// the child instances.
+    pub fn cont_reserve(&mut self, parent: InstanceRef, leaf: usize, additional: usize) {
+        match &mut self.get_mut(parent).prims[leaf] {
+            PrimInst::Map(EdgeContainer::Hash(c)) => c.reserve(additional),
+            PrimInst::Map(EdgeContainer::Avl(c)) => c.reserve(additional),
+            PrimInst::Map(EdgeContainer::Sorted(c)) => c.reserve(additional),
+            PrimInst::Map(EdgeContainer::Assoc(c)) => c.reserve(additional),
+            PrimInst::Map(EdgeContainer::DList(c)) => c.reserve(additional),
+            PrimInst::Map(EdgeContainer::Intrusive { .. }) => {}
+            PrimInst::Unit(_) => panic!("cont_reserve on a unit leaf"),
+        }
     }
 
     // -- container operations ------------------------------------------------

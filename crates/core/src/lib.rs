@@ -33,6 +33,6 @@ mod relation;
 pub use error::{BuildError, OpError};
 pub use exec::Bindings;
 pub use instance::{
-    Arena, EdgeContainer, Instance, InstanceRef, Key, Layout, Link, PrimInst, Store,
+    Arena, EdgeContainer, Instance, InstanceRef, Key, Layout, LeafSpec, Link, PrimInst, Store,
 };
 pub use relation::SynthRelation;

@@ -5,7 +5,7 @@ use crate::alpha;
 use crate::error::{BuildError, OpError};
 use crate::exec::{exec_plan, Bindings, ExecEnv};
 use crate::instance::{InstanceRef, Key, Layout, PrimInst, Store};
-use relic_decomp::{check_adequacy, cut, Body, Decomposition, NodeId};
+use relic_decomp::{check_adequacy, cut, Decomposition, NodeId};
 use relic_query::{CostModel, JoinCostMode, Plan, Planner};
 use relic_spec::{Catalog, ColSet, Pattern, RelSpec, Relation, Tuple};
 use std::collections::{BTreeSet, HashMap};
@@ -482,8 +482,28 @@ impl SynthRelation {
         // Key lookup: duplicate detection and first-line FD enforcement,
         // streamed through the relation's scratch accumulator — no pattern
         // tuple, no materialized result set.
+        let plan = self.planned(self.min_key, self.spec.cols())?;
+        let (dup, conflict) = self.probe_key(&plan, &t);
+        if dup {
+            return Ok(false);
+        }
+        if let Some(existing) = conflict {
+            return Err(OpError::FdViolation { tuple: t, existing });
+        }
+        if self.check_fds {
+            self.check_fds_against(&t, None)?;
+        }
+        self.dinsert(&t);
+        self.len += 1;
+        Ok(true)
+    }
+
+    /// Streams stored tuples matching `t` on the minimal key through the
+    /// relation's scratch accumulator, returning `(exact duplicate present,
+    /// first differing match)` — the duplicate/conflict probe shared by
+    /// [`insert`](SynthRelation::insert) and the batch paths.
+    fn probe_key(&mut self, plan: &Plan, t: &Tuple) -> (bool, Option<Tuple>) {
         let all = self.spec.cols();
-        let plan = self.planned(self.min_key, all)?;
         let mut scratch = std::mem::take(&mut self.scratch);
         let mut dup = false;
         let mut conflict: Option<Tuple> = None;
@@ -491,9 +511,9 @@ impl SynthRelation {
             &self.store,
             &self.d,
             self.root,
-            &plan,
+            plan,
             &mut scratch,
-            &t,
+            t,
             self.min_key,
             &mut |b| {
                 if dup || conflict.is_some() {
@@ -507,18 +527,7 @@ impl SynthRelation {
             },
         );
         self.scratch = scratch;
-        if dup {
-            return Ok(false);
-        }
-        if let Some(existing) = conflict {
-            return Err(OpError::FdViolation { tuple: t, existing });
-        }
-        if self.check_fds {
-            self.check_fds_against(&t, None)?;
-        }
-        self.dinsert(&t);
-        self.len += 1;
-        Ok(true)
+        (dup, conflict)
     }
 
     /// Checks every declared dependency of the specification against the
@@ -621,6 +630,714 @@ impl SynthRelation {
             resolved[node.index()] = Some(inst);
         }
         self.key_scratch = kb;
+    }
+
+    // -- batch operations ---------------------------------------------------
+
+    /// `insert_many`: inserts a batch of tuples with per-batch (rather than
+    /// per-tuple) setup — plans are fetched once, duplicate and
+    /// functional-dependency screening runs over the sorted batch instead of
+    /// issuing a planned probe per tuple, and the decomposition walk reuses
+    /// the previous tuple's instances wherever the bound valuations agree.
+    ///
+    /// Observably equivalent to folding [`insert`](SynthRelation::insert)
+    /// over the batch in order: exact duplicates (within the batch or
+    /// against the relation) are no-ops, the returned count is the number of
+    /// tuples actually added, and on error the relation holds exactly the
+    /// tuples the fold would have inserted before failing.
+    ///
+    /// # Errors
+    ///
+    /// The error the fold would have hit first
+    /// ([`OpError::ColumnMismatch`] or [`OpError::FdViolation`]); the
+    /// `existing` witness of an [`OpError::FdViolation`] is *a* conflicting
+    /// tuple, not necessarily the one a fold would have streamed first.
+    pub fn insert_many<I: IntoIterator<Item = Tuple>>(
+        &mut self,
+        tuples: I,
+    ) -> Result<usize, OpError> {
+        self.bulk_insert(tuples, false)
+    }
+
+    /// `bulk_load`: [`insert_many`](SynthRelation::insert_many) with the
+    /// accepted batch additionally sorted by the decomposition's root-down
+    /// key order before the structural walk, so consecutive tuples share
+    /// every instance on their common path and each key-group's containers
+    /// are probed once. Root containers are pre-sized to the number of
+    /// distinct key groups. This is the intended path for O(n) ingest of
+    /// large batches (case-study startup, replay, snapshot restore).
+    ///
+    /// # Errors
+    ///
+    /// As for [`insert_many`](SynthRelation::insert_many).
+    pub fn bulk_load<I: IntoIterator<Item = Tuple>>(
+        &mut self,
+        tuples: I,
+    ) -> Result<usize, OpError> {
+        self.bulk_insert(tuples, true)
+    }
+
+    /// Shared batch-insert engine: screen the batch (duplicates, conflicts,
+    /// FDs) in fold order, then walk the decomposition once per key-group.
+    fn bulk_insert<I: IntoIterator<Item = Tuple>>(
+        &mut self,
+        tuples: I,
+        sort_structural: bool,
+    ) -> Result<usize, OpError> {
+        let all = self.spec.cols();
+        let w = all.len();
+        // The first error the fold would hit, as (tuple index, check stage,
+        // error): stage 0 = column mismatch, 1 = minimal-key probe, 2+i =
+        // the i-th declared dependency — the order `insert` checks them in.
+        let mut err: Option<(usize, u32, OpError)> = None;
+        fn better(err: &Option<(usize, u32, OpError)>, idx: usize, stage: u32) -> bool {
+            err.as_ref().is_none_or(|(i, s, _)| (idx, stage) < (*i, *s))
+        }
+        // Stream the batch into one contiguous row array, *moving* each
+        // tuple's values (ascending column order) — no per-tuple heap
+        // traffic, and everything downstream (screening comparisons, the
+        // structural walk) indexes rows instead of chasing a tuple pointer
+        // per access. The stream stops at the first malformed tuple, exactly
+        // where the fold would.
+        let mut flat: Vec<relic_spec::Value> = Vec::new();
+        let mut n = 0usize;
+        for (i, t) in tuples.into_iter().enumerate() {
+            if t.dom() != all {
+                err = Some((
+                    i,
+                    0,
+                    OpError::ColumnMismatch {
+                        expected: all,
+                        actual: t.dom(),
+                    },
+                ));
+                break; // later tuples cannot produce an earlier error
+            }
+            let (_, vals) = t.into_parts();
+            flat.extend(vals.into_vec());
+            n += 1;
+        }
+        if n == 0 {
+            return match err {
+                Some((_, _, e)) => Err(e),
+                None => Ok(0),
+            };
+        }
+        // Rebuilds a streamed tuple from its row (error payloads and store
+        // probes only — never on the per-tuple path).
+        let row_tuple = |flat: &[relic_spec::Value], i: usize| {
+            Tuple::from_parts(all, flat[i * w..i * w + w].to_vec())
+        };
+        let mut dup = vec![false; n];
+        // One sort serves everything: the sequence starts with the minimal
+        // key (so equal-key runs are contiguous for screening) and continues
+        // root-down through the node bounds (so the structural walk visits
+        // each shared instance in one consecutive group). Comparisons go
+        // through precomputed value positions — every valid tuple is a full
+        // valuation, so column values sit at fixed ranks.
+        let sort_cols = self.batch_sort_cols();
+        let pos: Vec<usize> = sort_cols
+            .iter()
+            .map(|c| all.rank(*c).expect("sort column in relation"))
+            .collect();
+        let mk = self.min_key.len();
+        let cmp_upto = |a: usize, b: usize, k: usize| -> std::cmp::Ordering {
+            let (ra, rb) = (&flat[a * w..a * w + w], &flat[b * w..b * w + w]);
+            for &p in &pos[..k] {
+                match ra[p].cmp(&rb[p]) {
+                    std::cmp::Ordering::Equal => {}
+                    o => return o,
+                }
+            }
+            std::cmp::Ordering::Equal
+        };
+        let mut sorted: Vec<usize> = (0..n).collect();
+        // Integer sort keys (≤ 4 columns, the common case-study shape) pack
+        // into order-preserving u64 words and sort as one contiguous array —
+        // no comparator calls, no row accesses. Anything else falls back to
+        // the positional comparator.
+        let packed: Option<Vec<([u64; 4], u32)>> = if pos.len() <= 4 {
+            (0..n)
+                .map(|i| {
+                    let row = &flat[i * w..i * w + w];
+                    let mut key = [0u64; 4];
+                    for (j, &p) in pos.iter().enumerate() {
+                        key[j] = (row[p].as_int()? as u64) ^ (1 << 63);
+                    }
+                    Some((key, i as u32))
+                })
+                .collect()
+        } else {
+            None
+        };
+        match packed {
+            Some(mut packed) => {
+                packed.sort_unstable();
+                for (slot, (_, i)) in sorted.iter_mut().zip(packed) {
+                    *slot = i as usize;
+                }
+            }
+            None => {
+                sorted.sort_unstable_by(|&a, &b| cmp_upto(a, b, pos.len()).then(a.cmp(&b)));
+            }
+        }
+        // Minimal-key screening: within each run, every member must equal
+        // the earliest (fold-order reference) member exactly; the store is
+        // probed once per run, not once per tuple.
+        let key_plan = if self.len > 0 {
+            Some(self.planned(self.min_key, all)?)
+        } else {
+            None
+        };
+        let mut start = 0;
+        while start < sorted.len() {
+            let mut end = start + 1;
+            while end < sorted.len() && cmp_upto(sorted[end], sorted[start], mk).is_eq() {
+                end += 1;
+            }
+            let run = &sorted[start..end];
+            let i0 = *run.iter().min().expect("non-empty run");
+            if let Some(plan) = &key_plan {
+                let plan = Arc::clone(plan);
+                let probe = row_tuple(&flat, i0);
+                let (stored_dup, stored_conflict) = self.probe_key(&plan, &probe);
+                if stored_dup {
+                    dup[i0] = true;
+                } else if let Some(existing) = stored_conflict {
+                    if better(&err, i0, 1) {
+                        err = Some((
+                            i0,
+                            1,
+                            OpError::FdViolation {
+                                tuple: probe,
+                                existing,
+                            },
+                        ));
+                    }
+                }
+            }
+            let mut first_conflict: Option<usize> = None;
+            for &j in run {
+                if j == i0 {
+                    continue;
+                }
+                // Valid tuples all share the relation's domain, so row
+                // equality is tuple equality.
+                if flat[j * w..j * w + w] == flat[i0 * w..i0 * w + w] {
+                    dup[j] = true;
+                } else if first_conflict.is_none_or(|x| j < x) {
+                    first_conflict = Some(j);
+                }
+            }
+            if let Some(j) = first_conflict {
+                if better(&err, j, 1) {
+                    err = Some((
+                        j,
+                        1,
+                        OpError::FdViolation {
+                            tuple: row_tuple(&flat, j),
+                            existing: row_tuple(&flat, i0),
+                        },
+                    ));
+                }
+            }
+            start = end;
+        }
+        // Per-dependency screening, in declaration order (matching
+        // `check_fds_against`): runs of equal determinant valuations must
+        // agree on the dependent columns, in the batch and against the
+        // store. Only dependencies whose determinant does not contain the
+        // minimal key get here (see the `continue` below) — the common
+        // key → rest dependency is fully covered by stage 1.
+        if self.check_fds {
+            let nfds = self.spec.fds().len();
+            let mut fd_sorted: Vec<usize> = Vec::new();
+            for fi in 0..nfds {
+                let fd = self.spec.fds().nth(fi);
+                let (lhs, rhs) = (fd.lhs & all, fd.rhs & all);
+                let stage = 2 + fi as u32;
+                // A determinant containing the minimal key can never fire
+                // after minimal-key screening passed: equal determinants
+                // force equal minimal keys, and stage 1 already flagged
+                // every same-key pair that is not an exact duplicate.
+                if self.min_key.is_subset(lhs) {
+                    continue;
+                }
+                let rhs_pos: Vec<usize> = rhs
+                    .iter()
+                    .map(|c| all.rank(c).expect("rhs column in relation"))
+                    .collect();
+                let rhs_eq = |a: usize, b: &Tuple| -> bool {
+                    let ra = &flat[a * w..a * w + w];
+                    rhs_pos.iter().zip(rhs.iter()).all(|(&p, c)| {
+                        debug_assert!(b.get(c).is_some());
+                        Some(&ra[p]) == b.get(c)
+                    })
+                };
+                let rhs_eq_rows = |a: usize, b: usize| -> bool {
+                    let (ra, rb) = (&flat[a * w..a * w + w], &flat[b * w..b * w + w]);
+                    rhs_pos.iter().all(|&p| ra[p] == rb[p])
+                };
+                let lhs_pos: Vec<usize> = lhs
+                    .iter()
+                    .map(|c| all.rank(c).expect("lhs column in relation"))
+                    .collect();
+                let cmp_lhs = |a: usize, b: usize| -> std::cmp::Ordering {
+                    let (ra, rb) = (&flat[a * w..a * w + w], &flat[b * w..b * w + w]);
+                    for &p in &lhs_pos {
+                        match ra[p].cmp(&rb[p]) {
+                            std::cmp::Ordering::Equal => {}
+                            o => return o,
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                };
+                fd_sorted.clear();
+                fd_sorted.extend(0..n);
+                fd_sorted.sort_unstable_by(|&a, &b| cmp_lhs(a, b).then(a.cmp(&b)));
+                let runs: &[usize] = &fd_sorted;
+                let fd_plan = if self.len > 0 {
+                    Some(self.planned(lhs, all)?)
+                } else {
+                    None
+                };
+                let mut start = 0;
+                while start < runs.len() {
+                    let mut end = start + 1;
+                    while end < runs.len() && cmp_lhs(runs[end], runs[start]).is_eq() {
+                        end += 1;
+                    }
+                    let run = &runs[start..end];
+                    let i0 = *run.iter().min().expect("non-empty run");
+                    let mut first_conflict: Option<usize> = None;
+                    for &j in run {
+                        if j != i0 && !rhs_eq_rows(j, i0) && first_conflict.is_none_or(|x| j < x) {
+                            first_conflict = Some(j);
+                        }
+                    }
+                    if let Some(j) = first_conflict {
+                        if better(&err, j, stage) {
+                            err = Some((
+                                j,
+                                stage,
+                                OpError::FdViolation {
+                                    tuple: row_tuple(&flat, j),
+                                    existing: row_tuple(&flat, i0),
+                                },
+                            ));
+                        }
+                    }
+                    if let Some(plan) = &fd_plan {
+                        let plan = Arc::clone(plan);
+                        let probe = row_tuple(&flat, i0);
+                        let (w1, w2) = self.probe_fd_witnesses(&plan, &probe, lhs, rhs);
+                        if let Some(w1) = w1 {
+                            // Earliest non-duplicate member disagreeing with
+                            // a stored tuple — exact duplicates return
+                            // before dependency checks, as in `insert`.
+                            let mut cand: Option<(usize, &Tuple)> = None;
+                            for &j in run {
+                                if dup[j] || cand.is_some_and(|(x, _)| x < j) {
+                                    continue;
+                                }
+                                let witness = if !rhs_eq(j, &w1) {
+                                    Some(&w1)
+                                } else {
+                                    w2.as_ref()
+                                };
+                                if let Some(w) = witness {
+                                    cand = Some((j, w));
+                                }
+                            }
+                            if let Some((j, witness)) = cand {
+                                if better(&err, j, stage) {
+                                    let witness = witness.clone();
+                                    err = Some((
+                                        j,
+                                        stage,
+                                        OpError::FdViolation {
+                                            tuple: row_tuple(&flat, j),
+                                            existing: witness,
+                                        },
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    start = end;
+                }
+            }
+        }
+        // Accept everything the fold would have inserted before the error;
+        // the walk runs in key-group order for `bulk_load`, input order for
+        // `insert_many`.
+        let err_idx = err.as_ref().map(|(i, _, _)| *i).unwrap_or(usize::MAX);
+        let accepted: Vec<usize> = if sort_structural {
+            sorted
+                .iter()
+                .copied()
+                .filter(|&i| i < err_idx && !dup[i])
+                .collect()
+        } else {
+            (0..n).filter(|&i| i < err_idx && !dup[i]).collect()
+        };
+        if !accepted.is_empty() {
+            let prefix = if sort_structural {
+                Some(sort_cols.as_slice())
+            } else {
+                None
+            };
+            self.dinsert_batch(&flat, w, &accepted, prefix);
+            self.len += accepted.len();
+        }
+        match err {
+            Some((_, _, e)) => Err(e),
+            None => Ok(accepted.len()),
+        }
+    }
+
+    /// Streams stored tuples matching `t` on `lhs`, returning the first
+    /// match and the first match whose `rhs` projection differs from it —
+    /// enough to decide, for every batch member sharing `t`'s determinant
+    /// valuation, whether the store holds a conflicting witness.
+    fn probe_fd_witnesses(
+        &mut self,
+        plan: &Plan,
+        t: &Tuple,
+        lhs: ColSet,
+        rhs: ColSet,
+    ) -> (Option<Tuple>, Option<Tuple>) {
+        let all = self.spec.cols();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut w1: Option<Tuple> = None;
+        let mut w2: Option<Tuple> = None;
+        for_each_matching(
+            &self.store,
+            &self.d,
+            self.root,
+            plan,
+            &mut scratch,
+            t,
+            lhs,
+            &mut |b| match &w1 {
+                None => w1 = Some(b.project(all)),
+                Some(first) => {
+                    if w2.is_none() && rhs.iter().any(|c| b.get(c) != first.get(c)) {
+                        w2 = Some(b.project(all));
+                    }
+                }
+            },
+        );
+        self.scratch = scratch;
+        (w1, w2)
+    }
+
+    /// The batch sort sequence: the minimal key first (so screening runs are
+    /// contiguous), then the remaining columns in root-down first-appearance
+    /// order of the node bounds (so the structural walk visits each shared
+    /// instance in one consecutive group). Columns bound by no node and
+    /// outside the key never influence grouping and are left unsorted.
+    fn batch_sort_cols(&self) -> Vec<relic_spec::ColId> {
+        let mut cols: Vec<relic_spec::ColId> = self.min_key.iter().collect();
+        let mut seen = self.min_key;
+        for node in self.d.topo_root_first() {
+            let bound = self.d.node(node).bound;
+            cols.extend((bound - seen).iter());
+            seen = seen | bound;
+        }
+        cols
+    }
+
+    /// The batched `dinsert` walk: like [`dinsert`](SynthRelation::dinsert),
+    /// but each node memoizes the previous tuple's bound valuation and
+    /// instance. When the valuation repeats, the instance — and all its
+    /// incoming links, which the builder's binding-consistency rule
+    /// (`B_child = ⋃ B_parent ∪ K`, hence `B_parent ⊆ B_child`) guarantees
+    /// were already made for the previous tuple — is reused without a single
+    /// container probe. Over a sorted batch the walk therefore touches each
+    /// decomposition path once per key-group, not once per tuple.
+    ///
+    /// When `sort_prefix` is given (the batch is ordered by that column
+    /// sequence), every map edge whose parent and child groups are
+    /// consecutive under it gets **container-level batching**: while a
+    /// parent instance's group is being walked, the edge's entries
+    /// accumulate outside the container, and when the group ends the
+    /// container is assembled in one shot through the containers' bulk
+    /// constructors — the O(n) balanced AVL build from sorted input, the
+    /// pre-sized hash build, … — instead of one probing insertion (and one
+    /// find probe) per tuple.
+    ///
+    /// The walk reads tuple valuations from `flat` — `w`-wide value rows in
+    /// ascending column order, indexed by tuple index — so visiting the
+    /// batch in sorted order stays within one contiguous allocation.
+    fn dinsert_batch(
+        &mut self,
+        flat: &[relic_spec::Value],
+        w: usize,
+        order: &[usize],
+        sort_prefix: Option<&[relic_spec::ColId]>,
+    ) {
+        let all = self.spec.cols();
+        let root_node = self.d.root();
+        let ne = self.d.edge_count();
+        let nn = self.d.node_count();
+        // Row positions of every node's bound columns and every edge's key
+        // columns (ascending column order, matching `write_key_into`).
+        let bound_pos: Vec<Box<[usize]>> = (0..nn)
+            .map(|i| {
+                self.d
+                    .node(NodeId(i as u16))
+                    .bound
+                    .iter()
+                    .map(|c| all.rank(c).expect("bound column in relation"))
+                    .collect()
+            })
+            .collect();
+        let key_pos: Vec<Box<[usize]>> = self
+            .d
+            .edges()
+            .map(|(_, e)| {
+                e.key
+                    .iter()
+                    .map(|c| all.rank(c).expect("key column in relation"))
+                    .collect()
+            })
+            .collect();
+        fn write_row_cols(
+            row: &[relic_spec::Value],
+            ps: &[usize],
+            out: &mut Vec<relic_spec::Value>,
+        ) {
+            out.clear();
+            out.extend(ps.iter().map(|&p| row[p].clone()));
+        }
+        // Per-edge accumulation state. An edge is eligible when its key
+        // determines the child given the parent (`B_child = B_parent ∪ K`,
+        // so each container key maps to exactly one child instance) and the
+        // child's bound is a sort prefix (so each parent's entries — and
+        // each entry's duplicates — are consecutive in walk order).
+        // Accumulation then runs per parent instance: it starts when the
+        // parent is created (its container is empty by construction),
+        // collects one entry per child group, and flushes into a
+        // bulk-constructed container when the parent's group ends.
+        let mut accs: Vec<EdgeAcc> = Vec::with_capacity(ne);
+        for (eid, edge) in self.d.edges() {
+            let eligible = sort_prefix.is_some_and(|prefix| {
+                !edge.ds.is_intrusive()
+                    && self.d.node(edge.to).bound == (self.d.node(edge.from).bound | edge.key)
+                    && key_is_sort_prefix(self.d.node(edge.to).bound, prefix)
+            });
+            accs.push(EdgeAcc {
+                leaf: self.layout.leaf_of_edge[eid.index()],
+                ds: edge.ds,
+                eligible,
+                parent: None,
+                entries: Vec::new(),
+                ascending: true,
+            });
+        }
+        // Root edges: an empty container accumulates from the start; a
+        // standing one is pre-sized to the incoming group count instead.
+        for eid in self.d.node(root_node).body.edges() {
+            let a = &mut accs[eid.index()];
+            if !a.eligible {
+                continue;
+            }
+            if self.store.cont_len(self.root, a.leaf) == 0 {
+                a.parent = Some(self.root);
+            } else {
+                let ps = &key_pos[eid.index()];
+                let mut groups = 1usize;
+                for pair in order.windows(2) {
+                    let (ra, rb) = (&flat[pair[0] * w..], &flat[pair[1] * w..]);
+                    if ps.iter().any(|&p| ra[p] != rb[p]) {
+                        groups += 1;
+                    }
+                }
+                let leaf = a.leaf;
+                self.store.cont_reserve(self.root, leaf, groups);
+                self.store.reserve_node(self.d.edge(eid).to, groups);
+            }
+        }
+        // Nodes bound by (a superset of) the minimal key get one instance
+        // per accepted tuple — pre-size their arenas once.
+        for (id, node) in self.d.nodes() {
+            if self.min_key.is_subset(node.bound) && !self.min_key.is_empty() {
+                self.store.reserve_node(id, order.len());
+            }
+        }
+        let topo: Vec<NodeId> = self.d.topo_root_first().collect();
+        let mut memo_val: Vec<Vec<relic_spec::Value>> = vec![Vec::new(); nn];
+        let mut memo_inst: Vec<Option<InstanceRef>> = vec![None; nn];
+        let mut resolved: Vec<Option<InstanceRef>> = vec![None; nn];
+        let mut created_now = vec![false; nn];
+        let mut kb = std::mem::take(&mut self.key_scratch);
+        let mut bv: Vec<relic_spec::Value> = Vec::new();
+        for &ti in order {
+            let row = &flat[ti * w..ti * w + w];
+            resolved.iter_mut().for_each(|r| *r = None);
+            created_now.iter_mut().for_each(|c| *c = false);
+            for &node in &topo {
+                let idx = node.index();
+                write_row_cols(row, &bound_pos[idx], &mut bv);
+                if memo_inst[idx].is_some() && memo_val[idx] == bv {
+                    resolved[idx] = memo_inst[idx];
+                    continue;
+                }
+                let (inst, created) = if node == root_node {
+                    (self.root, false)
+                } else {
+                    let mut found = None;
+                    for &e in self.d.incoming_edges(node) {
+                        let edge = self.d.edge(e);
+                        let parent = resolved[edge.from.index()]
+                            .expect("parents resolved before children (topological order)");
+                        // An accumulating container is empty behind its
+                        // buffered entries, and grouping guarantees this
+                        // child's key is fresh — the probe would miss.
+                        if accs[e.index()].parent == Some(parent) {
+                            continue;
+                        }
+                        write_row_cols(row, &key_pos[e.index()], &mut kb);
+                        if let Some(r) =
+                            self.store
+                                .cont_get(parent, self.layout.leaf_of_edge[e.index()], &kb)
+                        {
+                            found = Some(r);
+                            break;
+                        }
+                    }
+                    match found {
+                        Some(r) => (r, false),
+                        None => {
+                            // `bv` already holds the bound valuation; unit
+                            // leaves project straight out of the row.
+                            let prims: Vec<PrimInst> = self.layout.leaves_of_node[idx]
+                                .iter()
+                                .map(|leaf| match leaf {
+                                    crate::instance::LeafSpec::Unit(c) => {
+                                        let vals: Vec<relic_spec::Value> = c
+                                            .iter()
+                                            .map(|cc| {
+                                                row[all.rank(cc).expect("unit column")].clone()
+                                            })
+                                            .collect();
+                                        PrimInst::Unit(Tuple::from_parts(*c, vals))
+                                    }
+                                    crate::instance::LeafSpec::Map(e) => {
+                                        PrimInst::Map(self.layout.new_container(&self.d, *e))
+                                    }
+                                })
+                                .collect();
+                            let inst = crate::instance::Instance {
+                                key: bv.as_slice().into(),
+                                prims: prims.into_boxed_slice(),
+                                links: vec![
+                                    crate::instance::Link::default();
+                                    self.layout.islots_of_node[idx] as usize
+                                ]
+                                .into_boxed_slice(),
+                                refs: 0,
+                            };
+                            (self.store.alloc(node, inst), true)
+                        }
+                    }
+                };
+                for &e in self.d.incoming_edges(node) {
+                    let edge = self.d.edge(e);
+                    let parent = resolved[edge.from.index()].expect("topological order");
+                    let leaf = self.layout.leaf_of_edge[e.index()];
+                    let a = &mut accs[e.index()];
+                    write_row_cols(row, &key_pos[e.index()], &mut kb);
+                    if a.eligible {
+                        if a.parent != Some(parent) && created_now[edge.from.index()] {
+                            // The previous parent's group is over — build
+                            // its container — and this freshly created
+                            // parent (whose container is empty) takes over.
+                            a.flush(&mut self.store);
+                            a.parent = Some(parent);
+                        }
+                        if a.parent == Some(parent) {
+                            // One entry per child group: the group's first
+                            // tuple creates the child, later members
+                            // memo-hit and never reach this loop. The
+                            // reference count is bumped here, while the
+                            // child is cache-hot, not at flush time.
+                            debug_assert!(created, "accumulated entry for a found instance");
+                            let key: Key = kb.as_slice().into();
+                            if let Some((last, _)) = a.entries.last() {
+                                a.ascending &= last < &key;
+                            }
+                            a.entries.push((key, inst));
+                            self.store.get_mut(inst).refs += 1;
+                            continue;
+                        }
+                    }
+                    if created || self.store.cont_get(parent, leaf, &kb).is_none() {
+                        // A freshly created instance was probed for through
+                        // every incoming edge and missed, so the container
+                        // cannot hold its key yet — insert without
+                        // re-probing.
+                        let ekey: Key = kb.as_slice().into();
+                        self.store.cont_insert(parent, leaf, ekey, inst);
+                    }
+                }
+                resolved[idx] = Some(inst);
+                memo_inst[idx] = Some(inst);
+                if created {
+                    created_now[idx] = true;
+                }
+                std::mem::swap(&mut memo_val[idx], &mut bv);
+            }
+        }
+        self.key_scratch = kb;
+        for a in &mut accs {
+            a.flush(&mut self.store);
+        }
+    }
+
+    /// `remove_many`: removes every tuple matching each pattern in turn,
+    /// amortizing the per-pattern setup — the §4.5 decomposition cut is
+    /// computed once per distinct pattern column-set instead of once per
+    /// call. Returns the total number of tuples removed. Equivalent to
+    /// folding [`remove`](SynthRelation::remove) over the patterns.
+    ///
+    /// # Errors
+    ///
+    /// [`OpError::ForeignColumns`] on the first pattern mentioning columns
+    /// outside the relation; earlier patterns' removals persist, as a fold
+    /// would leave them.
+    pub fn remove_many<'a, I: IntoIterator<Item = &'a Tuple>>(
+        &mut self,
+        patterns: I,
+    ) -> Result<usize, OpError> {
+        let mut cuts: HashMap<u64, relic_decomp::Cut> = HashMap::new();
+        let mut total = 0usize;
+        for pattern in patterns {
+            let foreign = pattern.dom() - self.spec.cols();
+            if !foreign.is_empty() {
+                return Err(OpError::ForeignColumns { cols: foreign });
+            }
+            let matching = self.query_full(pattern)?;
+            if matching.is_empty() {
+                continue;
+            }
+            let c = cuts
+                .entry(pattern.dom().bits())
+                .or_insert_with(|| cut(&self.d, self.spec.fds(), pattern.dom()));
+            if c.is_below(self.d.root()) {
+                debug_assert_eq!(matching.len(), self.len);
+                total += self.len;
+                self.clear();
+                continue;
+            }
+            for t in &matching {
+                self.remove_tuple(t, c);
+            }
+            self.len -= matching.len();
+            total += matching.len();
+        }
+        Ok(total)
     }
 
     /// `remove r s` (§2, §4.5): removes every tuple extending `pattern` by
@@ -793,11 +1510,10 @@ impl SynthRelation {
     /// True when the instance holds no data: no unit leaves and all maps
     /// empty.
     fn instance_is_empty(&self, node: NodeId, inst: InstanceRef) -> bool {
-        let leaves = self.d.node(node).body.leaves();
+        let leaves = &self.layout.leaves_of_node[node.index()];
         leaves.iter().enumerate().all(|(i, leaf)| match leaf {
-            Body::Unit(_) => false,
-            Body::Map(_) => self.store.cont_len(inst, i) == 0,
-            Body::Join(..) => unreachable!("leaves are not joins"),
+            crate::instance::LeafSpec::Unit(_) => false,
+            crate::instance::LeafSpec::Map(_) => self.store.cont_len(inst, i) == 0,
         })
     }
 
@@ -813,7 +1529,7 @@ impl SynthRelation {
 
     fn free_recursive(&mut self, r: InstanceRef) {
         let node = NodeId(r.node);
-        let leaves_len = self.d.node(node).body.leaves().len();
+        let leaves_len = self.layout.leaves_of_node[node.index()].len();
         let mut children: Vec<InstanceRef> = Vec::new();
         let mut intrusive_children: Vec<(usize, InstanceRef)> = Vec::new();
         for i in 0..leaves_len {
@@ -919,14 +1635,17 @@ impl SynthRelation {
     fn update_units_in_place(&mut self, t_old: &Tuple, t_new: &Tuple, changed: ColSet) {
         let mut kb = std::mem::take(&mut self.key_scratch);
         for (id, _) in self.d.nodes() {
-            let units = self.layout.unit_leaves[id.index()].clone();
+            // `(leaf index, columns)` pairs are `Copy`; indexing avoids
+            // cloning the layout's per-node vector on every update.
+            let units = &self.layout.unit_leaves[id.index()];
             if units.iter().all(|(_, c)| c.is_disjoint(changed)) {
                 continue;
             }
             let Some(inst) = self.locate(id, t_old, &mut kb) else {
                 continue;
             };
-            for (leaf, cols) in units {
+            for ui in 0..self.layout.unit_leaves[id.index()].len() {
+                let (leaf, cols) = self.layout.unit_leaves[id.index()][ui];
                 if cols.is_disjoint(changed) {
                     continue;
                 }
@@ -998,6 +1717,79 @@ impl SynthRelation {
 /// a scratch accumulator taken out of the relation while still borrowing the
 /// store — the borrow-splitting that makes `insert`'s probes reuse one
 /// buffer.
+/// Per-edge container accumulation state for the batched walk (see
+/// [`SynthRelation::dinsert_batch`]): while `parent`'s group is walked, the
+/// edge's `(key, child)` entries collect here instead of being inserted one
+/// at a time; `flush` assembles them into the parent's container wholesale.
+struct EdgeAcc {
+    leaf: usize,
+    ds: relic_decomp::DsKind,
+    eligible: bool,
+    parent: Option<InstanceRef>,
+    entries: Vec<(Key, InstanceRef)>,
+    ascending: bool,
+}
+
+impl EdgeAcc {
+    /// Builds the accumulated entries into the current parent's container
+    /// through the container's bulk constructor — `from_sorted` when the
+    /// keys arrived in ascending order (the common case under the batch
+    /// sort), the sorting bulk build otherwise. Child reference counts were
+    /// already bumped when each entry was accumulated.
+    fn flush(&mut self, store: &mut Store) {
+        use crate::instance::EdgeContainer;
+        use relic_containers::{AssocVec, AvlMap, DListMap, HashTable, SortedVecMap};
+        use relic_decomp::DsKind;
+        let Some(parent) = self.parent.take() else {
+            return;
+        };
+        if self.entries.is_empty() {
+            return;
+        }
+        let entries = std::mem::take(&mut self.entries);
+        let cont = match self.ds {
+            DsKind::HashTable => EdgeContainer::Hash(HashTable::from_batch(entries)),
+            DsKind::AvlTree => EdgeContainer::Avl(if self.ascending {
+                AvlMap::from_sorted(entries)
+            } else {
+                AvlMap::bulk_build(entries)
+            }),
+            DsKind::SortedVec => EdgeContainer::Sorted(if self.ascending {
+                SortedVecMap::from_sorted(entries)
+            } else {
+                let mut m = SortedVecMap::new();
+                m.bulk_insert(entries);
+                m
+            }),
+            DsKind::AssocVec => EdgeContainer::Assoc(AssocVec::from_batch(entries)),
+            DsKind::DList => EdgeContainer::DList(DListMap::from_batch(entries)),
+            DsKind::IntrusiveList => unreachable!("intrusive edges are never bulk-assembled"),
+        };
+        match &mut store.get_mut(parent).prims[self.leaf] {
+            PrimInst::Map(c) => *c = cont,
+            PrimInst::Unit(_) => unreachable!("map leaf expected"),
+        }
+        self.ascending = true;
+    }
+}
+
+/// Is `key` exactly the set of the first `m` columns of the sort sequence,
+/// for some `m`? Then sorting by the sequence makes equal-`key` runs
+/// contiguous.
+fn key_is_sort_prefix(key: ColSet, seq: &[relic_spec::ColId]) -> bool {
+    let mut acc = ColSet::EMPTY;
+    for &c in seq {
+        if acc == key {
+            return true;
+        }
+        if !key.contains(c) {
+            return false;
+        }
+        acc = acc | c;
+    }
+    acc == key
+}
+
 #[allow(clippy::too_many_arguments)]
 fn for_each_matching(
     store: &Store,
@@ -1327,6 +2119,144 @@ mod tests {
             )
             .unwrap();
         assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn bulk_load_matches_insert_fold() {
+        let (cat, mut bulk) = scheduler();
+        let (_, mut fold) = scheduler();
+        let tuples: Vec<Tuple> = (0..60)
+            .map(|i| proc(&cat, i % 5, i, if i % 2 == 0 { "S" } else { "R" }, i % 3))
+            .collect();
+        let n_bulk = bulk.bulk_load(tuples.clone()).unwrap();
+        let mut n_fold = 0;
+        for t in tuples {
+            if fold.insert(t).unwrap() {
+                n_fold += 1;
+            }
+        }
+        assert_eq!(n_bulk, n_fold);
+        assert_eq!(bulk.len(), fold.len());
+        assert_eq!(bulk.to_relation(), fold.to_relation());
+        bulk.validate().unwrap();
+    }
+
+    #[test]
+    fn bulk_load_skips_exact_duplicates_within_and_against() {
+        let (cat, mut r) = scheduler();
+        rs(&cat, &mut r);
+        let n = r
+            .bulk_load(vec![
+                proc(&cat, 1, 1, "S", 7), // already stored
+                proc(&cat, 9, 9, "R", 1),
+                proc(&cat, 9, 9, "R", 1), // in-batch duplicate
+            ])
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(r.len(), 4);
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn bulk_load_reports_first_fold_error_and_keeps_prefix() {
+        let (cat, mut r) = scheduler();
+        rs(&cat, &mut r);
+        // Fold order: accept (5,5), then (1,1) conflicts with the stored
+        // tuple (same key, different cpu); (6,6) must NOT be inserted.
+        let err = r
+            .bulk_load(vec![
+                proc(&cat, 5, 5, "R", 0),
+                proc(&cat, 1, 1, "S", 99),
+                proc(&cat, 6, 6, "R", 0),
+            ])
+            .unwrap_err();
+        match err {
+            OpError::FdViolation { tuple, .. } => assert_eq!(tuple, proc(&cat, 1, 1, "S", 99)),
+            e => panic!("unexpected error {e:?}"),
+        }
+        assert_eq!(r.len(), 4, "prefix inserted, error and suffix not");
+        assert!(r.contains(&proc(&cat, 5, 5, "R", 0)).unwrap());
+        assert!(!r.contains(&proc(&cat, 6, 6, "R", 0)).unwrap());
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn bulk_load_detects_in_batch_fd_conflicts() {
+        let (cat, mut r) = scheduler();
+        let err = r
+            .bulk_load(vec![proc(&cat, 1, 1, "S", 7), proc(&cat, 1, 1, "R", 9)])
+            .unwrap_err();
+        assert!(matches!(err, OpError::FdViolation { .. }));
+        assert_eq!(r.len(), 1);
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn bulk_load_rejects_malformed_tuples_at_fold_position() {
+        let (cat, mut r) = scheduler();
+        let ns = cat.col("ns").unwrap();
+        let err = r
+            .bulk_load(vec![
+                proc(&cat, 1, 1, "S", 7),
+                Tuple::from_pairs([(ns, Value::from(1))]),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, OpError::ColumnMismatch { .. }));
+        assert_eq!(r.len(), 1, "tuple before the malformed one is kept");
+    }
+
+    #[test]
+    fn insert_many_agrees_with_bulk_load() {
+        let (cat, mut a) = scheduler();
+        let (_, mut b) = scheduler();
+        let tuples: Vec<Tuple> = (0..40)
+            .map(|i| proc(&cat, i % 3, i, if i % 4 == 0 { "R" } else { "S" }, i))
+            .collect();
+        assert_eq!(
+            a.insert_many(tuples.clone()).unwrap(),
+            b.bulk_load(tuples).unwrap()
+        );
+        assert_eq!(a.to_relation(), b.to_relation());
+        a.validate().unwrap();
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn remove_many_amortizes_cuts() {
+        let (cat, mut r) = scheduler();
+        for i in 0..30 {
+            r.insert(proc(&cat, i % 5, i, if i % 2 == 0 { "S" } else { "R" }, i))
+                .unwrap();
+        }
+        let ns = cat.col("ns").unwrap();
+        let pats: Vec<Tuple> = (0..5)
+            .map(|i| Tuple::from_pairs([(ns, Value::from(i))]))
+            .collect();
+        let n = r.remove_many(pats.iter()).unwrap();
+        assert_eq!(n, 30);
+        assert!(r.is_empty());
+        r.validate().unwrap();
+        // Foreign columns error after partial progress, like a fold.
+        let mut cat2 = cat.clone();
+        let alien = cat2.intern("alien");
+        rs(&cat, &mut r);
+        let pats = [
+            Tuple::from_pairs([(ns, Value::from(1))]),
+            Tuple::from_pairs([(alien, Value::from(1))]),
+        ];
+        let err = r.remove_many(pats.iter()).unwrap_err();
+        assert!(matches!(err, OpError::ForeignColumns { .. }));
+        assert_eq!(r.len(), 1, "first pattern's removals persist");
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn bulk_load_empty_batch_is_noop() {
+        let (_, mut r) = scheduler();
+        assert_eq!(r.bulk_load(Vec::new()).unwrap(), 0);
+        assert_eq!(r.insert_many(Vec::new()).unwrap(), 0);
+        assert_eq!(r.remove_many(std::iter::empty()).unwrap(), 0);
+        assert!(r.is_empty());
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! Property tests: the batch mutation APIs are observably equivalent to
+//! folding the per-tuple operations, across every container kind a
+//! decomposition edge can use.
+//!
+//! `bulk_load(ts)` must produce the same tuple set, the same length, the
+//! same insertion count, and — when the fold fails — an error of the same
+//! variant for the same offending tuple, with everything the fold inserted
+//! before the failure still present. (The `existing` witness of an
+//! `FdViolation` may be a different conflicting tuple: the batch path finds
+//! *a* witness, not necessarily the fold's.)
+
+use proptest::prelude::*;
+use relic_core::{OpError, SynthRelation};
+use relic_decomp::parse;
+use relic_spec::{Catalog, RelSpec, Tuple, Value};
+
+/// The five non-intrusive container kinds of the library, as decomposition
+/// syntax, plus the intrusive list for good measure.
+const KINDS: [&str; 6] = ["htable", "avl", "sortedvec", "vec", "dlist", "ilist"];
+
+/// Builds the two-level test relation `{a,b} → {v}` with both edges using
+/// container kind `ds` (intrusive lists are only legal below a shared leaf,
+/// so `ilist` pairs with an `htable` root).
+fn relation_for(ds: &str, with_fd: bool) -> (Catalog, SynthRelation) {
+    let mut cat = Catalog::new();
+    // Without the FD `a,b → v` the unit leaf `{v}` would be inadequate, so
+    // the FD-free variant carries every column on the key path instead.
+    let src = match (ds, with_fd) {
+        ("ilist", true) => "let u : {a,b} . {v} = unit {v} in
+             let y : {a} . {b,v} = {b} -[ilist]-> u in
+             let x : {} . {a,b,v} = {a} -[htable]-> y in x"
+            .to_string(),
+        ("ilist", false) => "let u : {a,b,v} . {} = unit {} in
+             let y : {a} . {b,v} = {b,v} -[ilist]-> u in
+             let x : {} . {a,b,v} = {a} -[htable]-> y in x"
+            .to_string(),
+        (_, true) => format!(
+            "let u : {{a,b}} . {{v}} = unit {{v}} in
+             let y : {{a}} . {{b,v}} = {{b}} -[{ds}]-> u in
+             let x : {{}} . {{a,b,v}} = {{a}} -[{ds}]-> y in x"
+        ),
+        (_, false) => format!(
+            "let u : {{a,b,v}} . {{}} = unit {{}} in
+             let y : {{a}} . {{b,v}} = {{b,v}} -[{ds}]-> u in
+             let x : {{}} . {{a,b,v}} = {{a}} -[{ds}]-> y in x"
+        ),
+    };
+    let d = parse(&mut cat, &src).unwrap();
+    let (a, b, v) = (
+        cat.col("a").unwrap(),
+        cat.col("b").unwrap(),
+        cat.col("v").unwrap(),
+    );
+    let mut spec = RelSpec::new(cat.all());
+    if with_fd {
+        spec = spec.with_fd(a | b, v.into());
+    }
+    let r = SynthRelation::new(&cat, spec, d).unwrap();
+    (cat, r)
+}
+
+fn tuple(cat: &Catalog, a: i64, b: i64, v: i64) -> Tuple {
+    Tuple::from_pairs([
+        (cat.col("a").unwrap(), Value::from(a)),
+        (cat.col("b").unwrap(), Value::from(b)),
+        (cat.col("v").unwrap(), Value::from(v)),
+    ])
+}
+
+/// Folds `insert` over the batch: `(inserted count, first error)`.
+fn fold_insert(r: &mut SynthRelation, tuples: &[Tuple]) -> (usize, Option<OpError>) {
+    let mut n = 0;
+    for t in tuples {
+        match r.insert(t.clone()) {
+            Ok(true) => n += 1,
+            Ok(false) => {}
+            Err(e) => return (n, Some(e)),
+        }
+    }
+    (n, None)
+}
+
+/// The two outcomes agree up to the witness tuple of an `FdViolation`.
+fn same_error(a: &OpError, b: &OpError) -> bool {
+    match (a, b) {
+        (OpError::FdViolation { tuple: ta, .. }, OpError::FdViolation { tuple: tb, .. }) => {
+            ta == tb
+        }
+        (
+            OpError::ColumnMismatch {
+                expected: ea,
+                actual: aa,
+            },
+            OpError::ColumnMismatch {
+                expected: eb,
+                actual: ab,
+            },
+        ) => ea == eb && aa == ab,
+        _ => false,
+    }
+}
+
+fn check_equivalence(
+    ds: &str,
+    with_fd: bool,
+    seed_tuples: &[(i64, i64, i64)],
+    batch: &[(i64, i64, i64)],
+    use_insert_many: bool,
+) -> Result<(), TestCaseError> {
+    let (cat, mut bulk) = relation_for(ds, with_fd);
+    let (_, mut fold) = relation_for(ds, with_fd);
+    // Seed both relations identically (pre-existing content exercises the
+    // store-probe side of the screening).
+    for &(a, b, v) in seed_tuples {
+        let t = tuple(&cat, a, b, v);
+        let _ = bulk.insert(t.clone());
+        let _ = fold.insert(t);
+    }
+    let batch: Vec<Tuple> = batch
+        .iter()
+        .map(|&(a, b, v)| tuple(&cat, a, b, v))
+        .collect();
+    let bulk_res = if use_insert_many {
+        bulk.insert_many(batch.clone())
+    } else {
+        bulk.bulk_load(batch.clone())
+    };
+    let (fold_n, fold_err) = fold_insert(&mut fold, &batch);
+    match (&bulk_res, &fold_err) {
+        (Ok(n), None) => prop_assert_eq!(*n, fold_n, "insert counts differ ({ds})"),
+        (Err(be), Some(fe)) => {
+            prop_assert!(
+                same_error(be, fe),
+                "different first error ({ds}): bulk {be:?} vs fold {fe:?}"
+            );
+        }
+        _ => {
+            return Err(TestCaseError::fail(format!(
+                "outcome mismatch ({ds}): bulk {bulk_res:?} vs fold {fold_err:?}"
+            )))
+        }
+    }
+    prop_assert_eq!(bulk.len(), fold.len(), "lengths differ ({ds})");
+    prop_assert_eq!(
+        bulk.to_relation(),
+        fold.to_relation(),
+        "tuple sets differ ({ds})"
+    );
+    bulk.validate().map_err(TestCaseError::fail)?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `bulk_load` over every container kind, with the FD declared: small
+    /// value domains force in-batch duplicates, store duplicates, and FD
+    /// conflicts.
+    #[test]
+    fn bulk_load_equals_insert_fold(
+        seed in proptest::collection::vec((0i64..3, 0i64..4, 0i64..3), 0..8),
+        batch in proptest::collection::vec((0i64..3, 0i64..4, 0i64..3), 0..24),
+        kind in 0usize..KINDS.len(),
+    ) {
+        check_equivalence(KINDS[kind], true, &seed, &batch, false)?;
+    }
+
+    /// `insert_many` (unsorted walk) is equivalent too.
+    #[test]
+    fn insert_many_equals_insert_fold(
+        seed in proptest::collection::vec((0i64..3, 0i64..4, 0i64..3), 0..8),
+        batch in proptest::collection::vec((0i64..3, 0i64..4, 0i64..3), 0..24),
+        kind in 0usize..KINDS.len(),
+    ) {
+        check_equivalence(KINDS[kind], true, &seed, &batch, true)?;
+    }
+
+    /// Without FDs the minimal key is the full column set: the screening
+    /// degenerates to exact-duplicate detection and nothing can conflict.
+    #[test]
+    fn bulk_load_without_fds_never_errors(
+        batch in proptest::collection::vec((0i64..3, 0i64..4, 0i64..3), 0..24),
+        kind in 0usize..KINDS.len(),
+    ) {
+        check_equivalence(KINDS[kind], false, &[], &batch, false)?;
+    }
+
+    /// `remove_many` equals folding `remove` over the patterns.
+    #[test]
+    fn remove_many_equals_remove_fold(
+        tuples in proptest::collection::vec((0i64..4, 0i64..4, 0i64..2), 0..20),
+        pats in proptest::collection::vec((0u8..3, 0i64..4, 0i64..4), 0..8),
+        kind in 0usize..KINDS.len(),
+    ) {
+        let (cat, mut many) = relation_for(KINDS[kind], false);
+        let (_, mut fold) = relation_for(KINDS[kind], false);
+        for &(a, b, v) in &tuples {
+            let t = tuple(&cat, a, b, v);
+            let _ = many.insert(t.clone());
+            let _ = fold.insert(t);
+        }
+        let (ca, cb) = (cat.col("a").unwrap(), cat.col("b").unwrap());
+        // Patterns over {a}, {b} or {a,b}, hitting different cuts.
+        let pats: Vec<Tuple> = pats
+            .iter()
+            .map(|&(shape, a, b)| match shape {
+                0 => Tuple::from_pairs([(ca, Value::from(a))]),
+                1 => Tuple::from_pairs([(cb, Value::from(b))]),
+                _ => Tuple::from_pairs([(ca, Value::from(a)), (cb, Value::from(b))]),
+            })
+            .collect();
+        let n_many = many.remove_many(pats.iter()).unwrap();
+        let mut n_fold = 0;
+        for p in &pats {
+            n_fold += fold.remove(p).unwrap();
+        }
+        prop_assert_eq!(n_many, n_fold);
+        prop_assert_eq!(many.to_relation(), fold.to_relation());
+        many.validate().map_err(TestCaseError::fail)?;
+    }
+}

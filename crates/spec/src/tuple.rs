@@ -78,6 +78,13 @@ impl Tuple {
         }
     }
 
+    /// Decomposes the tuple into its domain and values (ascending column
+    /// order) without cloning — the inverse of [`Tuple::from_parts`]. Batch
+    /// ingestion uses this to move values straight into row storage.
+    pub fn into_parts(self) -> (ColSet, Box<[Value]>) {
+        (self.cols, self.vals)
+    }
+
     /// The tuple's domain `dom t`.
     pub fn dom(&self) -> ColSet {
         self.cols

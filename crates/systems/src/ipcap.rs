@@ -202,6 +202,32 @@ impl SynthFlows {
     pub fn relation(&self) -> &SynthRelation {
         &self.rel
     }
+
+    /// Restores flushed flow records into the table — the daemon's
+    /// restart-from-log path — as one bulk load instead of one insert walk
+    /// per flow. Returns the number of flows restored.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SynthRelation::bulk_load`] (e.g. two records for one flow).
+    pub fn preload<'a, I: IntoIterator<Item = &'a FlowRecord>>(
+        &mut self,
+        records: I,
+    ) -> Result<usize, relic_core::OpError> {
+        let cols = self.cols;
+        let batch: Vec<Tuple> = records
+            .into_iter()
+            .map(|f| {
+                Tuple::from_pairs([
+                    (cols.local, Value::from(f.local)),
+                    (cols.remote, Value::from(f.remote)),
+                    (cols.bytes, Value::from(f.bytes)),
+                    (cols.pkts, Value::from(f.pkts)),
+                ])
+            })
+            .collect();
+        self.rel.bulk_load(batch)
+    }
 }
 
 impl FlowStore for SynthFlows {
@@ -299,6 +325,25 @@ mod tests {
         assert_eq!(total_bytes, want);
         let total_pkts: i64 = log.iter().map(|f| f.pkts).sum();
         assert_eq!(total_pkts, trace.len() as i64);
+    }
+
+    #[test]
+    fn preload_restores_a_flushed_table() {
+        let trace = packet_trace(800, 8, 24, 19);
+        let (mut cat, cols, spec) = flow_spec();
+        let d = default_decomposition(&mut cat);
+        let mut synth = SynthFlows::new(&cat, cols, &spec, d.clone()).unwrap();
+        for p in &trace {
+            synth.account(*p);
+        }
+        let snapshot = synth.flush();
+        assert_eq!(synth.live_flows(), 0);
+        // Restore from the log and keep accounting: totals are preserved.
+        let n = synth.preload(&snapshot).unwrap();
+        assert_eq!(n, snapshot.len());
+        assert_eq!(synth.live_flows(), snapshot.len());
+        synth.relation().validate().unwrap();
+        assert_eq!(synth.flush(), snapshot);
     }
 
     #[test]

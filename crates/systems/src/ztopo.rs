@@ -263,6 +263,50 @@ impl SynthTileCache {
         &self.rel
     }
 
+    /// Warm-starts the cache from saved `(tile, state, stamp)` entries
+    /// (`state` is `"M"` or `"D"`) — the restart path — as one bulk load,
+    /// then enforces the budgets once for the whole batch. Returns the
+    /// number of tiles loaded.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SynthRelation::bulk_load`] (e.g. two states for one tile).
+    pub fn preload<I: IntoIterator<Item = (i64, &'static str, i64)>>(
+        &mut self,
+        tiles: I,
+    ) -> Result<usize, relic_core::OpError> {
+        let cols = self.cols;
+        let batch: Vec<Tuple> = tiles
+            .into_iter()
+            .map(|(tile, state, stamp)| {
+                Tuple::from_pairs([
+                    (cols.tile, Value::from(tile)),
+                    (cols.state, Value::from(state)),
+                    (cols.stamp, Value::from(stamp)),
+                ])
+            })
+            .collect();
+        let res = self.rel.bulk_load(batch);
+        // Recount from the relation — duplicate inputs (and the accepted
+        // prefix of a failed load) must not skew the cached sizes — and
+        // re-establish the budget invariant before propagating any error,
+        // so a partial load never leaves the cache over budget.
+        self.mem_count = self.count_state("M");
+        self.disk_count = self.count_state("D");
+        self.enforce_budgets();
+        res
+    }
+
+    /// Number of tiles currently in `state`.
+    fn count_state(&self, state: &str) -> usize {
+        let pat = Tuple::from_pairs([(self.cols.state, Value::from(state))]);
+        let mut n = 0;
+        self.rel
+            .query_for_each(&pat, self.cols.tile.into(), |_| n += 1)
+            .expect("in-relation query");
+        n
+    }
+
     /// The oldest `(stamp, tile)` in a state, if any.
     fn oldest(&self, state: &str) -> Option<(i64, i64)> {
         let pat = Tuple::from_pairs([(self.cols.state, Value::from(state))]);
@@ -393,6 +437,38 @@ mod tests {
         let (mem, disk) = synth.sizes();
         assert!(mem <= 4 && disk <= 6, "mem {mem} disk {disk}");
         synth.relation().validate().unwrap();
+    }
+
+    #[test]
+    fn preload_warm_start_agrees_with_served_state() {
+        let (mut cat, cols, spec) = tile_spec();
+        let d = default_decomposition(&mut cat);
+        let mut synth = SynthTileCache::new(&cat, cols, &spec, d, 8, 16).unwrap();
+        let n = synth
+            .preload((0..20).map(|i| (i, if i < 6 { "M" } else { "D" }, i)))
+            .unwrap();
+        assert_eq!(n, 20);
+        assert_eq!(synth.sizes(), (6, 14));
+        synth.relation().validate().unwrap();
+        // Preloaded tiles behave exactly like served ones.
+        assert_eq!(
+            synth.request(TileRequest { tile: 0, now: 100 }),
+            TileOutcome::Memory
+        );
+        assert_eq!(
+            synth.request(TileRequest { tile: 15, now: 101 }),
+            TileOutcome::Disk
+        );
+        // Over-budget preloads are trimmed by the same eviction rules.
+        let mut over = {
+            let (mut cat, cols, spec) = tile_spec();
+            let d = default_decomposition(&mut cat);
+            SynthTileCache::new(&cat, cols, &spec, d, 4, 6).unwrap()
+        };
+        over.preload((0..40).map(|i| (i, "M", i))).unwrap();
+        let (mem, disk) = over.sizes();
+        assert!(mem <= 4 && disk <= 6, "mem {mem} disk {disk}");
+        over.relation().validate().unwrap();
     }
 
     #[test]
