@@ -13,6 +13,14 @@
 //!   executing anything. Useful for pre-filtering the candidate set, the
 //!   way the figures in EXPERIMENTS.md select which decompositions to run.
 //!
+//! A third entry point closes the adaptive loop:
+//! [`Autotuner::recommend`] reads a live relation's *measured* workload
+//! (`SynthRelation::profile`) and observed fan-outs, rebuilds a [`Workload`]
+//! with [`Workload::from_profile`], and returns the statically best
+//! candidate together with the current representation's cost — the
+//! profile → recommend → migrate lifecycle
+//! (`SynthRelation::migrate_to` performs the final step).
+//!
 //! # Example
 //!
 //! ```
@@ -33,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use relic_core::{SynthRelation, WorkloadProfile};
 use relic_decomp::{enumerate_decompositions, Decomposition, EnumerateOptions};
 use relic_query::{CostModel, Planner};
 use relic_spec::{ColSet, RelSpec};
@@ -93,6 +102,72 @@ impl Workload {
     pub fn removes(mut self, pattern: ColSet, weight: f64) -> Self {
         self.remove_patterns.push((pattern, weight));
         self
+    }
+
+    /// Rebuilds a workload from a relation's measured operation mix
+    /// (`SynthRelation::profile`): every observed query signature becomes a
+    /// weighted [`query`](Workload::query) (or
+    /// [`query_where`](Workload::query_where) when interval columns were
+    /// recorded), the insert count becomes the insertion weight, and each
+    /// observed removal pattern becomes a weighted
+    /// [`removes`](Workload::removes) entry. Weights are the raw counts, so
+    /// the ranking optimizes exactly the mix the relation actually served.
+    pub fn from_profile(p: &WorkloadProfile) -> Workload {
+        let mut w = Workload::new();
+        for &(avail, ranged, out, n) in &p.queries {
+            if n == 0 {
+                continue;
+            }
+            w = if ranged.is_empty() {
+                w.query(avail, out, n as f64)
+            } else {
+                w.query_where(avail, ranged, out, n as f64)
+            };
+        }
+        w = w.inserts(p.inserts as f64);
+        for &(pattern, n) in &p.removes {
+            if n > 0 {
+                w = w.removes(pattern, n as f64);
+            }
+        }
+        w
+    }
+}
+
+/// The outcome of [`Autotuner::recommend`]: the statically best candidate
+/// for the measured workload, alongside what the *current* representation
+/// costs on that workload under its observed fan-outs.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// The best-ranked candidate (finite cost, adequate).
+    pub best: TuneResult,
+    /// The current decomposition's cost on the same workload, estimated
+    /// with the fan-outs measured from the live instance.
+    pub current_cost: f64,
+    /// The workload the ranking was computed for (rebuilt from the
+    /// profile), for inspection and logging.
+    pub workload: Workload,
+}
+
+impl Recommendation {
+    /// The estimated speedup of migrating: `current_cost / best.cost`
+    /// (`> 1` means the recommendation beats the status quo).
+    pub fn improvement(&self) -> f64 {
+        if self.best.cost > 0.0 {
+            self.current_cost / self.best.cost
+        } else if self.current_cost > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        }
+    }
+
+    /// Is the estimated speedup at least `min_improvement`? The margin
+    /// absorbs the model mismatch between the candidate's derived fan-outs
+    /// and the current representation's measured ones, and damps
+    /// migration churn between near-equal candidates.
+    pub fn should_migrate(&self, min_improvement: f64) -> bool {
+        self.best.cost.is_finite() && self.improvement() >= min_improvement
     }
 }
 
@@ -193,9 +268,25 @@ impl<'a> Autotuner<'a> {
         results
     }
 
-    /// The static cost of a single candidate for a workload.
+    /// The static cost of a single candidate for a workload, under the
+    /// candidate's [`default_model`](Autotuner::default_model).
     pub fn static_cost(&self, d: &Decomposition, workload: &Workload) -> f64 {
-        let model = self.default_model(d);
+        self.static_cost_with_model(d, self.default_model(d), workload)
+    }
+
+    /// The static cost of a decomposition for a workload under an explicit
+    /// cost model (e.g. one profiled from a live instance's observed
+    /// fan-outs). All per-operation charging routes through the shared
+    /// [`CostModel`] — query plans via the §4.3 planner,
+    /// insertions via [`CostModel::insert_cost`], removal cut-breaking via
+    /// [`CostModel::remove_break_cost`] — so the tuner can never disagree
+    /// with the planner about what an operation costs.
+    pub fn static_cost_with_model(
+        &self,
+        d: &Decomposition,
+        model: CostModel,
+        workload: &Workload,
+    ) -> f64 {
         let planner = Planner::new(d, self.spec, model);
         let mut total = 0.0;
         for (avail, out, weight) in &workload.queries {
@@ -211,32 +302,55 @@ impl<'a> Autotuner<'a> {
             }
         }
         if workload.insert_weight > 0.0 {
-            // One find-or-create lookup per edge.
-            let mut insert_cost = 0.0;
-            for (eid, e) in d.edges() {
-                insert_cost += e.ds.lookup_cost(planner.cost_model().fanout(eid));
-            }
-            total += workload.insert_weight * insert_cost;
+            total += workload.insert_weight * planner.cost_model().insert_cost(d);
         }
         for (pattern, weight) in &workload.remove_patterns {
             match planner.plan_query(*pattern, self.spec.cols()) {
                 Ok(p) => {
                     let c = relic_decomp::cut(d, self.spec.fds(), *pattern);
-                    let mut break_cost = 0.0;
-                    for e in &c.crossing {
-                        let edge = d.edge(*e);
-                        break_cost += if edge.ds.is_intrusive() {
-                            1.0
-                        } else {
-                            edge.ds.lookup_cost(planner.cost_model().fanout(*e))
-                        };
-                    }
+                    let break_cost = planner.cost_model().remove_break_cost(d, &c.crossing);
                     total += weight * (p.cost + break_cost);
                 }
                 Err(_) => return f64::INFINITY,
             }
         }
         total
+    }
+
+    /// Closes the adaptive loop for a live relation: rebuilds the workload
+    /// from the relation's measured profile
+    /// ([`Workload::from_profile`]), sizes the candidate models by the
+    /// relation's *actual* tuple count, and ranks every candidate against
+    /// the *current* representation's cost under its **observed** fan-outs
+    /// (`SynthRelation::observed_cost_model`).
+    ///
+    /// Returns `None` when nothing has been recorded yet or no candidate
+    /// can execute the workload. Act on the result with
+    /// [`Recommendation::should_migrate`] and
+    /// `SynthRelation::migrate_to(rec.best.decomposition)`.
+    ///
+    /// The relation must have been built for the same specification this
+    /// tuner was (`Autotuner::new(rel.spec())`).
+    pub fn recommend(&self, r: &SynthRelation) -> Option<Recommendation> {
+        debug_assert_eq!(self.spec, r.spec(), "tuner and relation specs differ");
+        let profile = r.profile();
+        if profile.is_empty() {
+            return None;
+        }
+        let workload = Workload::from_profile(&profile);
+        let sized = self.clone().with_relation_size(r.len() as f64);
+        let current_cost =
+            sized.static_cost_with_model(r.decomposition(), r.observed_cost_model(), &workload);
+        let best = sized
+            .tune_static(&workload)
+            .into_iter()
+            .next()
+            .filter(|t| t.cost.is_finite())?;
+        Some(Recommendation {
+            best,
+            current_cost,
+            workload,
+        })
     }
 }
 
@@ -399,6 +513,105 @@ mod tests {
         });
         let hash_best = &hash_tuner.tune_static(&workload)[0];
         assert!(ranking[0].cost < hash_best.cost);
+    }
+
+    #[test]
+    fn from_profile_round_trips_the_op_mix() {
+        let mut cat = Catalog::new();
+        let a = cat.intern("a");
+        let b = cat.intern("b");
+        let profile = WorkloadProfile {
+            queries: vec![
+                (a.set(), ColSet::EMPTY, b.set(), 3),
+                (ColSet::EMPTY, a.set(), b.set(), 2),
+            ],
+            inserts: 5,
+            removes: vec![(a | b, 4)],
+        };
+        let w = Workload::from_profile(&profile);
+        assert_eq!(w.queries, vec![(a.set(), b.set(), 3.0)]);
+        assert_eq!(
+            w.range_queries,
+            vec![(ColSet::EMPTY, a.set(), b.set(), 2.0)]
+        );
+        assert_eq!(w.insert_weight, 5.0);
+        assert_eq!(w.remove_patterns, vec![(a | b, 4.0)]);
+    }
+
+    #[test]
+    fn recommend_migrates_a_mismatched_representation() {
+        use relic_spec::{Tuple, Value};
+        // An event log represented flat, hashed by its full key: perfect
+        // for point reads, pathological for the scan/remove-by-ts phase
+        // this test observes.
+        let mut cat = Catalog::new();
+        let host = cat.intern("host");
+        let ts = cat.intern("ts");
+        let bytes = cat.intern("bytes");
+        let spec = RelSpec::new(host | ts | bytes).with_fd(host | ts, bytes.into());
+        let flat = relic_decomp::parse(
+            &mut cat,
+            "let u : {host,ts} . {bytes} = unit {bytes} in
+             let x : {} . {host,ts,bytes} = {host,ts} -[htable]-> u in x",
+        )
+        .unwrap();
+        let mut r = relic_core::SynthRelation::new(&cat, spec.clone(), flat).unwrap();
+        for h in 0..32i64 {
+            for t in 0..32i64 {
+                r.insert(Tuple::from_pairs([
+                    (host, Value::from(h)),
+                    (ts, Value::from(t)),
+                    (bytes, Value::from(h + t)),
+                ]))
+                .unwrap();
+            }
+        }
+        let tuner = Autotuner::new(&spec).with_options(EnumerateOptions {
+            max_edges: 2,
+            structures: vec![
+                relic_decomp::DsKind::HashTable,
+                relic_decomp::DsKind::AvlTree,
+            ],
+            ..Default::default()
+        });
+        // Nothing observed yet: no recommendation.
+        r.reset_profile();
+        assert!(tuner.recommend(&r).is_none());
+        // A ts-heavy phase: window queries and removals by timestamp.
+        for t in 0..16i64 {
+            r.query(&Tuple::from_pairs([(ts, Value::from(t))]), host | bytes)
+                .unwrap();
+        }
+        for t in 0..4i64 {
+            r.remove(&Tuple::from_pairs([(ts, Value::from(t))]))
+                .unwrap();
+        }
+        let rec = tuner.recommend(&r).expect("observed workload");
+        assert!(
+            rec.should_migrate(1.5),
+            "ts-heavy phase must beat the flat hash by 1.5x: improvement {}",
+            rec.improvement()
+        );
+        let before = r.to_relation();
+        r.migrate_to(rec.best.decomposition.clone()).unwrap();
+        assert_eq!(r.to_relation(), before);
+        r.validate().unwrap();
+        // The migrated representation serves the same phase without another
+        // worthwhile migration (margin absorbs model mismatch).
+        r.reset_profile();
+        for t in 4..16i64 {
+            r.query(&Tuple::from_pairs([(ts, Value::from(t))]), host | bytes)
+                .unwrap();
+            r.remove(&Tuple::from_pairs([(ts, Value::from(t))]))
+                .unwrap();
+        }
+        if let Some(rec2) = tuner.recommend(&r) {
+            assert!(
+                !rec2.should_migrate(1.5),
+                "already-matched representation should stay: improvement {}",
+                rec2.improvement()
+            );
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@ fn bench_fig13(c: &mut Criterion) {
             b.iter(|| {
                 let mut flows =
                     SynthFlows::new(&cat, cols, &spec, cand.decomposition.clone()).unwrap();
-                run_accounting(&mut flows, &trace, 1_024).len()
+                run_accounting(&mut flows, &trace, 1_024).unwrap().len()
             })
         });
     }

@@ -114,7 +114,7 @@ fn bench_parity(c: &mut Criterion) {
     group.bench_function("ipcap/baseline", |b| {
         b.iter(|| {
             let mut flows = BaselineFlows::new();
-            run_accounting(&mut flows, &trace, 1_024).len()
+            run_accounting(&mut flows, &trace, 1_024).unwrap().len()
         })
     });
     let (mut fcat, fcols, fspec) = flow_spec();
@@ -122,7 +122,7 @@ fn bench_parity(c: &mut Criterion) {
     group.bench_function("ipcap/synthesized", |b| {
         b.iter(|| {
             let mut flows = SynthFlows::new(&fcat, fcols, &fspec, fd.clone()).unwrap();
-            run_accounting(&mut flows, &trace, 1_024).len()
+            run_accounting(&mut flows, &trace, 1_024).unwrap().len()
         })
     });
     // Sanity: identical logs (checked once, outside timing).
@@ -130,8 +130,8 @@ fn bench_parity(c: &mut Criterion) {
         let mut a = BaselineFlows::new();
         let mut b = SynthFlows::new(&fcat, fcols, &fspec, fd.clone()).unwrap();
         assert_eq!(
-            run_accounting(&mut a, &trace, 1_024),
-            run_accounting(&mut b, &trace, 1_024)
+            run_accounting(&mut a, &trace, 1_024).unwrap(),
+            run_accounting(&mut b, &trace, 1_024).unwrap()
         );
         assert_eq!(a.live_flows(), b.live_flows());
     }

@@ -4,18 +4,26 @@
 //! against the recorded `BENCH_*.json` files.
 //!
 //! Usage: `cargo run --release --bin bench_smoke [-- [--quick] [OUTPUT.json]]`
-//! (default output path: `BENCH_2.json` in the current directory).
+//! (default output path: `BENCH_3.json` in the current directory).
 //! `--quick` shrinks sizes and repetition counts to a compile-and-run smoke
 //! check for CI — its timings are not comparable to full runs.
 //!
 //! The `bulk_load_100k` and `batch_insert` pairs time the PR-2 batch APIs
 //! against the per-tuple loops they replace, on a hash-rooted and an
-//! AVL-rooted decomposition.
+//! AVL-rooted decomposition. The `phase_shift` quartet (PR 3) runs the
+//! read-heavy → by-ts workload of `relic_systems::adaptive` twice — once on
+//! a fixed point-read representation, once with online re-tuning — and
+//! reports the post-shift phase separately, where the adaptive arm's
+//! migration pays off.
 
 use relic_concurrent::ConcurrentRelation;
 use relic_core::{Bindings, SynthRelation};
 use relic_decomp::parse;
 use relic_spec::{Catalog, RelSpec, Tuple, Value};
+use relic_systems::adaptive::{
+    event_log_spec, phase_shift_options, point_read_decomposition, run_phase_shift,
+    AdaptiveRelation,
+};
 use relic_systems::thttpd::{mmap_spec, request_stream, run_cache, SynthMmapCache};
 use std::time::Instant;
 
@@ -413,9 +421,57 @@ fn bench_batch_insert(out: &mut Vec<(String, f64)>, quick: bool) {
     out.push(("batch_insert/sharded_bulk".to_string(), ns));
 }
 
+/// `phase_shift`: the adaptive-representation scenario — an event log
+/// serving point reads that shifts to by-timestamp slicing and retirement
+/// mid-run. Both arms start from the phase-A-optimal flat hash; the
+/// adaptive arm re-tunes every `retune_every` ops with a 1.5x margin and
+/// migrates at the shift (its post-shift time *includes* the migration).
+/// The acceptance metric is `fixed_post_shift / adaptive_post_shift`.
+fn bench_phase_shift(out: &mut Vec<(String, f64)>, quick: bool) {
+    let (hosts, ts_per_host) = if quick { (8, 16) } else { (64, 128) };
+    let (a_ops, b_ops) = if quick { (200, 200) } else { (2_000, 2_000) };
+    let retune_every = if quick { 32 } else { 128 };
+    let (warmup, reps) = if quick { (0, 1) } else { (1, 3) };
+    let mut run = |label: &str, cadence: usize| -> usize {
+        let mut migrations = 0usize;
+        let mut a_total = 0f64;
+        let mut b_total = 0f64;
+        for i in 0..warmup + reps {
+            let (mut cat, cols, spec) = event_log_spec();
+            let d = point_read_decomposition(&mut cat);
+            let rel = SynthRelation::new(&cat, spec, d).unwrap();
+            let mut adapt = AdaptiveRelation::new(rel, phase_shift_options(), cadence, 1.5);
+            let report =
+                run_phase_shift(&mut adapt, cols, hosts, ts_per_host, a_ops, b_ops).unwrap();
+            std::hint::black_box(report.rows);
+            if i >= warmup {
+                a_total += report.phase_a_ns as f64;
+                b_total += report.phase_b_ns as f64;
+                migrations = report.migrations;
+            }
+        }
+        out.push((
+            format!("phase_shift/{label}_phase_a"),
+            a_total / reps as f64,
+        ));
+        out.push((
+            format!("phase_shift/{label}_post_shift"),
+            b_total / reps as f64,
+        ));
+        migrations
+    };
+    let fixed_migrations = run("fixed", 0);
+    assert_eq!(fixed_migrations, 0);
+    let adaptive_migrations = run("adaptive", retune_every);
+    out.push((
+        "phase_shift/adaptive_migrations".to_string(),
+        adaptive_migrations as f64,
+    ));
+}
+
 fn main() {
     let mut quick = false;
-    let mut out_path = "BENCH_2.json".to_string();
+    let mut out_path = "BENCH_3.json".to_string();
     for arg in std::env::args().skip(1) {
         if arg == "--quick" {
             quick = true;
@@ -429,8 +485,9 @@ fn main() {
     bench_query_hot_path(&mut results);
     bench_bulk_load(&mut results, quick);
     bench_batch_insert(&mut results, quick);
+    bench_phase_shift(&mut results, quick);
     let mut json = format!(
-        "{{\n  \"schema\": \"relic-bench-smoke-v2\",\n  \"quick\": {quick},\n  \"results\": {{\n"
+        "{{\n  \"schema\": \"relic-bench-smoke-v3\",\n  \"quick\": {quick},\n  \"results\": {{\n"
     );
     for (i, (label, ns)) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };

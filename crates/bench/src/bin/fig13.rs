@@ -23,7 +23,8 @@ fn main() {
     let mut results = Vec::new();
     for c in &candidates {
         let mut flows = SynthFlows::new(&cat, cols, &spec, c.decomposition.clone()).unwrap();
-        let (t, log) = time_once(|| run_accounting(&mut flows, &trace, 65_536));
+        let (t, log) =
+            time_once(|| run_accounting(&mut flows, &trace, 65_536).expect("accounting run"));
         results.push((c.label.clone(), t, log.len()));
     }
     results.sort_by_key(|r| r.1);

@@ -105,11 +105,13 @@ fn main() {
     {
         let trace = packet_trace(30_000 * scale, 256, 4096, 0xF13);
         let mut base = BaselineFlows::new();
-        let (t_base, log1) = time_once(|| run_accounting(&mut base, &trace, 8_192));
+        let (t_base, log1) =
+            time_once(|| run_accounting(&mut base, &trace, 8_192).expect("accounting run"));
         let (mut cat, cols, spec) = flow_spec();
         let d = relic_systems::ipcap::default_decomposition(&mut cat);
         let mut synth = SynthFlows::new(&cat, cols, &spec, d).unwrap();
-        let (t_synth, log2) = time_once(|| run_accounting(&mut synth, &trace, 8_192));
+        let (t_synth, log2) =
+            time_once(|| run_accounting(&mut synth, &trace, 8_192).expect("accounting run"));
         rows.push(vec![
             "IpCap".to_string(),
             format!("{} packets", trace.len()),

@@ -37,6 +37,20 @@
 //! may observe a shard-prefix of a concurrent batch (each individual shard
 //! load is still atomic and linearizable).
 //!
+//! # Adaptive migration epochs
+//!
+//! The representation itself is a runtime decision:
+//! [`ConcurrentRelation::migrate_to`] re-represents every shard under a new
+//! decomposition, and [`ConcurrentRelation::recommend_and_migrate`] first
+//! aggregates the shards' measured workload profiles and only migrates when
+//! the autotuner's best candidate clears an improvement margin. Both follow
+//! McKenney's ordered-acquisition discipline: every shard write lock is
+//! taken in **index order** — the same total order every other
+//! whole-relation operation uses, so the acquisition phase cannot deadlock —
+//! and held until the last shard has swapped. The swap is therefore one
+//! epoch: no reader or writer ever observes two decompositions at once, and
+//! a failing shard rolls the earlier ones back before the error surfaces.
+//!
 //! # Example
 //!
 //! ```
@@ -81,9 +95,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use relic_autotune::{Autotuner, Recommendation, Workload};
 use relic_containers::FxHasher;
-use relic_core::{BuildError, OpError, SynthRelation};
-use relic_decomp::Decomposition;
+use relic_core::{BuildError, MigrateError, OpError, SynthRelation, WorkloadProfile};
+use relic_decomp::{Decomposition, EnumerateOptions};
 use relic_spec::{Catalog, ColSet, Pattern, RelSpec, Relation, Tuple};
 use std::hash::{Hash, Hasher};
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -463,6 +478,150 @@ impl ConcurrentRelation {
         f(&self.read_shard(i))
     }
 
+    /// The aggregated workload profile across all shards (read-locks every
+    /// shard, so the snapshot is consistent).
+    ///
+    /// Per-shard counters sum: an operation that pinned the shard columns
+    /// counted once in its owning shard, while an unpinned operation visited
+    /// — and counted in — every shard. The aggregate therefore weights
+    /// unpinned traffic by the shard count, which is exactly its relative
+    /// cost under this locking discipline.
+    pub fn profile(&self) -> WorkloadProfile {
+        let guards = self.read_all();
+        let mut p = WorkloadProfile::default();
+        for g in &guards {
+            p.merge(&g.profile());
+        }
+        p
+    }
+
+    /// Zeroes every shard's workload recorder, starting a fresh observation
+    /// window (takes all read locks; the reset itself is per-shard atomic).
+    pub fn reset_profile(&self) {
+        for g in &self.read_all() {
+            g.reset_profile();
+        }
+    }
+
+    /// Migrates every shard to decomposition `d` as **one epoch**: all
+    /// shard write locks are taken in index order (the crate's total lock
+    /// order, so the acquisition cannot deadlock against any other
+    /// whole-relation operation) and held until every shard has swapped —
+    /// no reader or writer can ever observe a mix of representations.
+    ///
+    /// Each shard preserves its tuple set and workload profile exactly as
+    /// [`SynthRelation::migrate_to`] does. If a shard's rebuild fails, the
+    /// already-migrated shards are rolled back to the prior decomposition
+    /// before the error is returned, so the epoch is all-or-nothing.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SynthRelation::migrate_to`].
+    pub fn migrate_to(&self, d: Decomposition) -> Result<(), MigrateError> {
+        let mut guards = self.write_all();
+        Self::migrate_shards(&mut guards, d)
+    }
+
+    /// The locked core of [`migrate_to`](ConcurrentRelation::migrate_to):
+    /// migrates every already-write-locked shard, rolling back on failure.
+    fn migrate_shards(
+        guards: &mut [RwLockWriteGuard<'_, SynthRelation>],
+        d: Decomposition,
+    ) -> Result<(), MigrateError> {
+        let old = guards[0].decomposition().clone();
+        for i in 0..guards.len() {
+            if let Err(e) = guards[i].migrate_to(d.clone()) {
+                for g in guards[..i].iter_mut() {
+                    // The prior decomposition held these exact tuples a
+                    // moment ago, so rolling back cannot fail.
+                    g.migrate_to(old.clone())
+                        .expect("rollback to the prior decomposition");
+                }
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// The adaptive convenience: aggregates the shards' measured workload,
+    /// ranks candidate decompositions for it, and — when the best candidate
+    /// beats the current representation's observed-fan-out cost by at least
+    /// `min_improvement` — migrates every shard to it in one epoch (same
+    /// lock discipline as [`migrate_to`](ConcurrentRelation::migrate_to);
+    /// the decision and the migration happen under one continuous hold of
+    /// all write locks, so the profile that justified the migration is the
+    /// profile that was live when it ran).
+    ///
+    /// Every evaluation (migrating or not) resets the shards' recorders, so
+    /// each call scores exactly one observation window and a phase shift
+    /// stops being averaged against history after one window — the same
+    /// sliding-window discipline as `AdaptiveRelation::retune`. Returns the
+    /// estimated improvement factor when a migration happened, `None`
+    /// otherwise (nothing recorded, no feasible candidate, margin not met,
+    /// or the best candidate is the current decomposition).
+    ///
+    /// Candidate cost models are sized by the mean shard population (each
+    /// shard holds roughly `len / shard_count` tuples under hash routing),
+    /// and the current cost averages each shard's observed fan-outs.
+    ///
+    /// # Errors
+    ///
+    /// As for [`migrate_to`](ConcurrentRelation::migrate_to).
+    pub fn recommend_and_migrate(
+        &self,
+        opts: &EnumerateOptions,
+        min_improvement: f64,
+    ) -> Result<Option<f64>, MigrateError> {
+        let mut guards = self.write_all();
+        let mut profile = WorkloadProfile::default();
+        for g in guards.iter() {
+            profile.merge(&g.profile());
+        }
+        if profile.is_empty() {
+            return Ok(None);
+        }
+        let workload = Workload::from_profile(&profile);
+        let spec = guards[0].spec().clone();
+        let total: usize = guards.iter().map(|g| g.len()).sum();
+        let per_shard = (total as f64 / guards.len() as f64).max(1.0);
+        let tuner = Autotuner::new(&spec)
+            .with_options(opts.clone())
+            .with_relation_size(per_shard);
+        let current_cost: f64 = guards
+            .iter()
+            .map(|g| {
+                tuner.static_cost_with_model(g.decomposition(), g.observed_cost_model(), &workload)
+            })
+            .sum::<f64>()
+            / guards.len() as f64;
+        // This window has been scored; the next call observes a fresh one
+        // whatever we decide below.
+        for g in guards.iter() {
+            g.reset_profile();
+        }
+        let Some(best) = tuner
+            .tune_static(&workload)
+            .into_iter()
+            .next()
+            .filter(|t| t.cost.is_finite())
+        else {
+            return Ok(None);
+        };
+        let rec = Recommendation {
+            best,
+            current_cost,
+            workload,
+        };
+        if !rec.should_migrate(min_improvement)
+            || rec.best.decomposition == *guards[0].decomposition()
+        {
+            return Ok(None);
+        }
+        let improvement = rec.improvement();
+        Self::migrate_shards(&mut guards, rec.best.decomposition)?;
+        Ok(Some(improvement))
+    }
+
     /// A consistent snapshot of the whole relation as a reference
     /// [`Relation`] (read-locks every shard for the duration).
     pub fn to_relation(&self) -> Relation {
@@ -674,6 +833,136 @@ mod tests {
             }
         });
         assert_eq!(r.len(), 800);
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn profile_aggregates_across_shards() {
+        let (cat, r) = setup(4);
+        let host = cat.col("host").unwrap();
+        let ts = cat.col("ts").unwrap();
+        let bytes = cat.col("bytes").unwrap();
+        for h in 0..8i64 {
+            r.insert(tup(&cat, h, 1, 0)).unwrap();
+        }
+        // Pinned query: counted once, in one shard.
+        r.query(&Tuple::from_pairs([(host, Value::from(3))]), ts | bytes)
+            .unwrap();
+        // Unpinned query: counted once per shard it visited.
+        r.query(&Tuple::from_pairs([(ts, Value::from(1))]), host | bytes)
+            .unwrap();
+        let p = r.profile();
+        assert_eq!(p.inserts, 8);
+        let pinned = p
+            .queries
+            .iter()
+            .find(|&&(a, _, _, _)| a == host.set())
+            .unwrap();
+        assert_eq!(pinned.3, 1);
+        let unpinned = p
+            .queries
+            .iter()
+            .find(|&&(a, _, _, _)| a == ts.set())
+            .unwrap();
+        assert_eq!(unpinned.3, 4, "unpinned traffic weighs in every shard");
+        r.reset_profile();
+        assert!(r.profile().is_empty());
+    }
+
+    #[test]
+    fn migrate_to_swaps_every_shard_in_one_epoch() {
+        let (mut cat, r) = setup(4);
+        for h in 0..12i64 {
+            for t in 0..6i64 {
+                r.insert(tup(&cat, h, t, h * t)).unwrap();
+            }
+        }
+        let before = r.to_relation();
+        let flat = parse(
+            &mut cat,
+            "let u : {host,ts} . {bytes} = unit {bytes} in
+             let x : {} . {host,ts,bytes} = {host,ts} -[avl]-> u in x",
+        )
+        .unwrap();
+        r.migrate_to(flat.clone()).unwrap();
+        assert_eq!(r.to_relation(), before);
+        r.validate().unwrap();
+        // Every shard swapped; the relation keeps operating.
+        let key = Tuple::from_pairs([
+            (cat.col("host").unwrap(), Value::from(2)),
+            (cat.col("ts").unwrap(), Value::from(2)),
+        ]);
+        r.with_partition(&key, |shard| {
+            assert_eq!(shard.decomposition(), &flat);
+        });
+        r.insert(tup(&cat, 99, 0, 1)).unwrap();
+        assert_eq!(r.len(), 73);
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn recommend_and_migrate_reacts_to_a_phase_shift() {
+        use relic_decomp::DsKind;
+        // Start from a representation hashed flat on the full key — ideal
+        // for pinned point reads, mismatched for the by-ts phase below.
+        let mut cat = Catalog::new();
+        let d = parse(
+            &mut cat,
+            "let u : {host,ts} . {bytes} = unit {bytes} in
+             let x : {} . {host,ts,bytes} = {host,ts} -[htable]-> u in x",
+        )
+        .unwrap();
+        let host = cat.col("host").unwrap();
+        let ts = cat.col("ts").unwrap();
+        let bytes = cat.col("bytes").unwrap();
+        let spec = RelSpec::new(cat.all()).with_fd(host | ts, bytes.set());
+        let r = ConcurrentRelation::new(&cat, spec, d, host.set(), 4).unwrap();
+        for h in 0..16i64 {
+            for t in 0..32i64 {
+                r.insert(tup(&cat, h, t, h + t)).unwrap();
+            }
+        }
+        let opts = EnumerateOptions {
+            max_edges: 2,
+            structures: vec![DsKind::HashTable, DsKind::AvlTree],
+            ..Default::default()
+        };
+        // Nothing recorded yet.
+        r.reset_profile();
+        assert!(r.recommend_and_migrate(&opts, 1.5).unwrap().is_none());
+        // A by-ts phase: unpinned window queries and removals.
+        for t in 0..12i64 {
+            r.query(&Tuple::from_pairs([(ts, Value::from(t))]), host | bytes)
+                .unwrap();
+        }
+        for t in 0..4i64 {
+            r.remove(&Tuple::from_pairs([(ts, Value::from(t))]))
+                .unwrap();
+        }
+        let before = r.to_relation();
+        let improvement = r
+            .recommend_and_migrate(&opts, 1.5)
+            .unwrap()
+            .expect("mismatched representation must migrate");
+        assert!(improvement >= 1.5);
+        assert_eq!(r.to_relation(), before, "migration preserves the tuples");
+        r.validate().unwrap();
+        // Recorders were reset for the next window.
+        assert!(r.profile().is_empty());
+        // The same phase no longer triggers churn — and a declined
+        // evaluation still consumes its observation window, so old-phase
+        // traffic can never dilute a later shift.
+        for t in 4..12i64 {
+            r.query(&Tuple::from_pairs([(ts, Value::from(t))]), host | bytes)
+                .unwrap();
+            r.remove(&Tuple::from_pairs([(ts, Value::from(t))]))
+                .unwrap();
+        }
+        assert!(r.recommend_and_migrate(&opts, 1.5).unwrap().is_none());
+        assert!(
+            r.profile().is_empty(),
+            "declined evaluation keeps its window"
+        );
         r.validate().unwrap();
     }
 

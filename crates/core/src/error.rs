@@ -46,6 +46,44 @@ impl From<DecompError> for BuildError {
     }
 }
 
+/// Errors raised by an in-place representation migration
+/// (`SynthRelation::migrate_to`). Either way the relation is left exactly as
+/// it was: the new representation is built completely before the swap.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MigrateError {
+    /// The target decomposition cannot represent the specification.
+    Build(BuildError),
+    /// Rebuilding the drained tuple set failed — only reachable when FD
+    /// checking was off and the stored tuples already violate the
+    /// specification's minimal key.
+    Rebuild(OpError),
+}
+
+impl fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MigrateError::Build(e) => write!(f, "migration target rejected: {e}"),
+            MigrateError::Rebuild(e) => write!(f, "migration rebuild failed: {e}"),
+        }
+    }
+}
+
+impl Error for MigrateError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MigrateError::Build(e) => Some(e),
+            MigrateError::Rebuild(e) => Some(e),
+        }
+    }
+}
+
+impl From<BuildError> for MigrateError {
+    fn from(e: BuildError) -> Self {
+        MigrateError::Build(e)
+    }
+}
+
 /// Errors raised by relational operations on a synthesized relation.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]

@@ -28,11 +28,13 @@ mod alpha;
 mod error;
 mod exec;
 mod instance;
+mod profile;
 mod relation;
 
-pub use error::{BuildError, OpError};
+pub use error::{BuildError, MigrateError, OpError};
 pub use exec::Bindings;
 pub use instance::{
     Arena, EdgeContainer, Instance, InstanceRef, Key, Layout, LeafSpec, Link, PrimInst, Store,
 };
+pub use profile::WorkloadProfile;
 pub use relation::SynthRelation;

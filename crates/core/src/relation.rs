@@ -2,9 +2,10 @@
 //! specification for a chosen decomposition.
 
 use crate::alpha;
-use crate::error::{BuildError, OpError};
+use crate::error::{BuildError, MigrateError, OpError};
 use crate::exec::{exec_plan, Bindings, ExecEnv};
 use crate::instance::{InstanceRef, Key, Layout, PrimInst, Store};
+use crate::profile::{ProfileCounters, WorkloadProfile};
 use relic_decomp::{check_adequacy, cut, Decomposition, NodeId};
 use relic_query::{CostModel, JoinCostMode, Plan, Planner};
 use relic_spec::{Catalog, ColSet, Pattern, RelSpec, Relation, Tuple};
@@ -80,6 +81,13 @@ pub struct SynthRelation {
     scratch: Bindings,
     /// Scratch key buffer reused for container probes along mutation paths.
     key_scratch: Vec<relic_spec::Value>,
+    /// Workload recorder: per-signature query counts, insert count,
+    /// per-pattern remove counts. Interior-mutable so `&self` queries can
+    /// record; warm signatures cost one read lock + one relaxed increment.
+    profile: ProfileCounters,
+    /// Whether the recorder is armed (on by default; see
+    /// [`set_profiling`](SynthRelation::set_profiling)).
+    profiling: bool,
     check_fds: bool,
     len: usize,
     min_key: ColSet,
@@ -113,6 +121,8 @@ impl SynthRelation {
             plan_cache: RwLock::new(HashMap::new()),
             scratch: Bindings::new(),
             key_scratch: Vec::new(),
+            profile: ProfileCounters::default(),
+            profiling: true,
             check_fds: true,
             len: 0,
             min_key,
@@ -188,6 +198,54 @@ impl SynthRelation {
     /// inspection).
     pub fn plan_cache_len(&self) -> usize {
         self.plan_cache.read().expect("plan cache poisoned").len()
+    }
+
+    /// Arms or disarms the workload recorder (armed by default). Disarming
+    /// freezes the counters without clearing them.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiling = on;
+    }
+
+    /// Snapshots the workload recorder: per-signature query counts, the
+    /// insert count, and per-pattern remove counts since construction (or
+    /// the last [`reset_profile`](SynthRelation::reset_profile)).
+    ///
+    /// The snapshot is keyed by column *sets*, so it is independent of the
+    /// current decomposition — `relic_autotune`'s `Workload::from_profile`
+    /// turns it into a workload for ranking candidate representations.
+    pub fn profile(&self) -> WorkloadProfile {
+        self.profile.snapshot()
+    }
+
+    /// Zeroes the workload recorder, starting a fresh observation window
+    /// (e.g. after acting on a recommendation, so the next window measures
+    /// the new phase rather than averaging over the old one).
+    pub fn reset_profile(&self) {
+        self.profile.reset();
+    }
+
+    /// Records one query signature if the recorder is armed.
+    #[inline]
+    fn record_query(&self, avail: ColSet, ranged: ColSet, out: ColSet) {
+        if self.profiling {
+            self.profile.record_query(avail, ranged, out);
+        }
+    }
+
+    /// Records one removal pattern if the recorder is armed.
+    #[inline]
+    fn record_remove(&self, pattern: ColSet) {
+        if self.profiling {
+            self.profile.record_remove(pattern);
+        }
+    }
+
+    /// Records `n` inserted tuples if the recorder is armed.
+    #[inline]
+    fn record_inserts(&self, n: usize) {
+        if self.profiling {
+            self.profile.record_inserts(n as u64);
+        }
     }
 
     /// Profiles the live instance: the average fan-out of every edge, for
@@ -307,6 +365,27 @@ impl SynthRelation {
         scratch: &mut Bindings,
         pattern: &Tuple,
         out: ColSet,
+        f: impl FnMut(&Bindings),
+    ) -> Result<(), OpError> {
+        // Record only valid signatures: an unplannable (foreign-column)
+        // signature in the profile would make every candidate rank infinite
+        // and silently disable recommendations.
+        if (pattern.dom() | out).is_subset(self.spec.cols()) {
+            self.record_query(pattern.dom(), ColSet::EMPTY, out);
+        }
+        self.stream_bindings(scratch, pattern, out, f)
+    }
+
+    /// [`query_for_each_bindings`](SynthRelation::query_for_each_bindings)
+    /// without workload recording — the internal path for operations (like
+    /// `remove`'s matching enumeration or a migration drain) whose embedded
+    /// queries are accounted by their own operation counter, not as observed
+    /// query traffic.
+    fn stream_bindings(
+        &self,
+        scratch: &mut Bindings,
+        pattern: &Tuple,
+        out: ColSet,
         mut f: impl FnMut(&Bindings),
     ) -> Result<(), OpError> {
         let foreign = (pattern.dom() | out) - self.spec.cols();
@@ -328,6 +407,19 @@ impl SynthRelation {
     /// All full tuples extending `pattern`, sorted.
     pub fn query_full(&self, pattern: &Tuple) -> Result<Vec<Tuple>, OpError> {
         self.query(pattern, self.spec.cols())
+    }
+
+    /// The unrecorded equivalent of [`query_full`](SynthRelation::query_full)
+    /// for mutation paths: the tuples they enumerate are part of the
+    /// mutation's own cost, not observed query traffic.
+    fn collect_full(&self, pattern: &Tuple) -> Result<Vec<Tuple>, OpError> {
+        let all = self.spec.cols();
+        let mut set: BTreeSet<Tuple> = BTreeSet::new();
+        let mut scratch = Bindings::new();
+        self.stream_bindings(&mut scratch, pattern, all, |b| {
+            set.insert(b.project(all));
+        })?;
+        Ok(set.into_iter().collect())
     }
 
     /// Streaming query with *duplicate elimination*: like
@@ -409,6 +501,28 @@ impl SynthRelation {
         scratch: &mut Bindings,
         pattern: &Pattern,
         out: ColSet,
+        f: impl FnMut(&Bindings),
+    ) -> Result<(), OpError> {
+        if (pattern.dom() | out).is_subset(self.spec.cols()) {
+            let ranged: ColSet = pattern
+                .cmp_preds()
+                .iter()
+                .filter(|(_, p)| p.is_interval())
+                .fold(ColSet::EMPTY, |acc, (c, _)| acc | *c);
+            self.record_query(pattern.eq_cols(), ranged, out);
+        }
+        self.stream_where_bindings(scratch, pattern, out, f)
+    }
+
+    /// The unrecorded core of
+    /// [`query_where_for_each_bindings`](SynthRelation::query_where_for_each_bindings)
+    /// (see [`stream_bindings`](SynthRelation::stream_bindings) for why
+    /// mutation paths bypass the recorder).
+    fn stream_where_bindings(
+        &self,
+        scratch: &mut Bindings,
+        pattern: &Pattern,
+        out: ColSet,
         mut f: impl FnMut(&Bindings),
     ) -> Result<(), OpError> {
         let foreign = (pattern.dom() | out) - self.spec.cols();
@@ -432,6 +546,18 @@ impl SynthRelation {
         let body = &self.d.node(self.d.root()).body;
         exec_plan(&env, &plan, body, 0, self.root, scratch, &mut |b| f(b));
         Ok(())
+    }
+
+    /// The unrecorded equivalent of `query_where(pattern, all)` for
+    /// [`remove_where`](SynthRelation::remove_where)'s matching enumeration.
+    fn collect_where_full(&self, pattern: &Pattern) -> Result<Vec<Tuple>, OpError> {
+        let all = self.spec.cols();
+        let mut set: BTreeSet<Tuple> = BTreeSet::new();
+        let mut scratch = Bindings::new();
+        self.stream_where_bindings(&mut scratch, pattern, all, |b| {
+            set.insert(b.project(all));
+        })?;
+        Ok(set.into_iter().collect())
     }
 
     /// The plan [`query_where`](SynthRelation::query_where) will use for a
@@ -495,6 +621,7 @@ impl SynthRelation {
         }
         self.dinsert(&t);
         self.len += 1;
+        self.record_inserts(1);
         Ok(true)
     }
 
@@ -989,6 +1116,7 @@ impl SynthRelation {
             };
             self.dinsert_batch(&flat, w, &accepted, prefix);
             self.len += accepted.len();
+            self.record_inserts(accepted.len());
         }
         match err {
             Some((_, _, e)) => Err(e),
@@ -1318,7 +1446,8 @@ impl SynthRelation {
             if !foreign.is_empty() {
                 return Err(OpError::ForeignColumns { cols: foreign });
             }
-            let matching = self.query_full(pattern)?;
+            self.record_remove(pattern.dom());
+            let matching = self.collect_full(pattern)?;
             if matching.is_empty() {
                 continue;
             }
@@ -1353,7 +1482,8 @@ impl SynthRelation {
         if !foreign.is_empty() {
             return Err(OpError::ForeignColumns { cols: foreign });
         }
-        let matching = self.query_full(pattern)?;
+        self.record_remove(pattern.dom());
+        let matching = self.collect_full(pattern)?;
         if matching.is_empty() {
             return Ok(0);
         }
@@ -1394,7 +1524,8 @@ impl SynthRelation {
         if !foreign.is_empty() {
             return Err(OpError::ForeignColumns { cols: foreign });
         }
-        let matching = self.query_where(pattern, self.spec.cols())?;
+        self.record_remove(pattern.dom());
+        let matching = self.collect_where_full(pattern)?;
         if matching.is_empty() {
             return Ok(0);
         }
@@ -1429,6 +1560,64 @@ impl SynthRelation {
         self.root = self.store.alloc(root_node, root_inst);
         self.len = 0;
         self.invalidate_plans();
+    }
+
+    /// Migrates the relation to a different decomposition **in place**: the
+    /// tuple set, specification, catalog, FD-checking mode, and workload
+    /// profile are preserved; the representation — decomposition, instance
+    /// store, plan cache, cost model — is rebuilt for `d`.
+    ///
+    /// The value rows are drained through the abstraction function α and
+    /// rebuilt with the O(n) [`bulk_load`](SynthRelation::bulk_load) path,
+    /// so a migration costs one linear drain plus one bulk build. The new
+    /// representation starts with a cost model profiled from its own
+    /// observed fan-outs (join-cost mode and range selectivity carry over),
+    /// so the first plans already reflect the real instance shape. The swap
+    /// is all-or-nothing: the new store is built completely before any field
+    /// of `self` changes, and on error the relation is untouched.
+    ///
+    /// Migrating to the current decomposition is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// * [`MigrateError::Build`] — `d` is not adequate for the
+    ///   specification.
+    /// * [`MigrateError::Rebuild`] — the drained tuple set was rejected by
+    ///   the bulk load. This is only reachable when FD checking was disabled
+    ///   and the stored tuples already violate the specification's minimal
+    ///   key (the paper's "silently corrupts" regime): the rebuild's
+    ///   screening detects what the original mutations did not.
+    pub fn migrate_to(&mut self, d: Decomposition) -> Result<(), MigrateError> {
+        if d == self.d {
+            return Ok(());
+        }
+        let mut next = SynthRelation::new(&self.cat, self.spec.clone(), d)?;
+        next.check_fds = self.check_fds;
+        next.profiling = false; // the drain is not observed traffic
+                                // Drain through the unrecorded streaming scan (not `to_relation`,
+                                // whose per-instance unions are quadratic in fan-out; and not the
+                                // public query path, which would record the migration into the very
+                                // profile that triggered it).
+        let tuples = self
+            .collect_full(&Tuple::empty())
+            .map_err(MigrateError::Rebuild)?;
+        next.bulk_load(tuples).map_err(MigrateError::Rebuild)?;
+        debug_assert_eq!(next.len, self.len);
+        let mut model = next.observed_cost_model();
+        model.set_join_mode(self.cost.join_mode());
+        model.set_range_selectivity(self.cost.range_selectivity());
+        next.cost = model;
+        // Commit: swap the representation, keep identity (spec, catalog,
+        // profile counters, FD mode).
+        self.d = next.d;
+        self.layout = next.layout;
+        self.store = next.store;
+        self.root = next.root;
+        self.cost = next.cost;
+        self.len = next.len;
+        self.min_key = next.min_key;
+        self.invalidate_plans();
+        Ok(())
     }
 
     fn remove_tuple(&mut self, t: &Tuple, c: &relic_decomp::Cut) {
@@ -1588,7 +1777,11 @@ impl SynthRelation {
         if !overlap.is_empty() {
             return Err(OpError::UpdateOverlapsPattern { overlap });
         }
-        let matching = self.query_full(pattern)?;
+        // An update *is* a key query followed by a (possibly structural)
+        // rewrite; record the query signature it exercises. The structural
+        // path's inner remove + insert record their own counters below.
+        self.record_query(pattern.dom(), ColSet::EMPTY, self.spec.cols());
+        let matching = self.collect_full(pattern)?;
         let Some(t_old) = matching.first() else {
             return Ok(false);
         };
@@ -2257,6 +2450,129 @@ mod tests {
         assert_eq!(r.insert_many(Vec::new()).unwrap(), 0);
         assert_eq!(r.remove_many(std::iter::empty()).unwrap(), 0);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn profile_records_the_op_mix() {
+        let (mut cat, mut r) = scheduler();
+        rs(&cat, &mut r); // 3 inserts
+        let ns = cat.col("ns").unwrap();
+        let pid = cat.col("pid").unwrap();
+        let state = cat.col("state").unwrap();
+        let cpu = cat.col("cpu").unwrap();
+        for _ in 0..5 {
+            r.query(&Tuple::from_pairs([(state, Value::from("S"))]), ns | pid)
+                .unwrap();
+        }
+        r.remove(&Tuple::from_pairs([
+            (ns, Value::from(2)),
+            (pid, Value::from(1)),
+        ]))
+        .unwrap();
+        let p = r.profile();
+        assert_eq!(p.inserts, 3);
+        assert_eq!(p.queries, vec![(state.set(), ColSet::EMPTY, ns | pid, 5)]);
+        assert_eq!(p.removes, vec![(ns | pid, 1)]);
+        // Internal probes (FD checks, remove enumeration) are not traffic.
+        assert_eq!(p.total_ops(), 9);
+        // An update records its key query; the in-place path adds nothing.
+        r.update(
+            &Tuple::from_pairs([(ns, Value::from(1)), (pid, Value::from(1))]),
+            &Tuple::from_pairs([(cpu, Value::from(3))]),
+        )
+        .unwrap();
+        assert_eq!(r.profile().total_ops(), 10);
+        r.reset_profile();
+        assert!(r.profile().is_empty());
+        // Disarmed recorder freezes the counters.
+        r.set_profiling(false);
+        r.query_full(&Tuple::empty()).unwrap();
+        assert!(r.profile().is_empty());
+        // Rejected (foreign-column) queries never enter the profile: an
+        // unplannable signature would rank every candidate infinite.
+        r.set_profiling(true);
+        let alien = cat.intern("alien");
+        assert!(r
+            .query(&Tuple::from_pairs([(alien, Value::from(1))]), alien.into())
+            .is_err());
+        assert!(r.profile().is_empty(), "rejected query was recorded");
+    }
+
+    /// The scheduler spec represented as a flat AVL keyed by the minimal
+    /// key — a structurally very different, also-adequate decomposition.
+    fn flat_scheduler_decomposition(cat: &mut Catalog) -> Decomposition {
+        parse(
+            cat,
+            "let w : {ns,pid} . {state,cpu} = unit {state,cpu} in
+             let x : {} . {ns,pid,state,cpu} = {ns,pid} -[avl]-> w in x",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn migrate_preserves_tuples_answers_and_profile() {
+        let (mut cat, mut r) = scheduler();
+        rs(&cat, &mut r);
+        let ns = cat.col("ns").unwrap();
+        let pid = cat.col("pid").unwrap();
+        let state = cat.col("state").unwrap();
+        let before = r.to_relation();
+        let sleeping_before = r
+            .query(&Tuple::from_pairs([(state, Value::from("S"))]), ns | pid)
+            .unwrap();
+        let ops_before = r.profile().total_ops();
+        let d2 = flat_scheduler_decomposition(&mut cat);
+        r.migrate_to(d2.clone()).unwrap();
+        assert_eq!(r.decomposition(), &d2);
+        assert_eq!(r.to_relation(), before);
+        assert_eq!(r.len(), 3);
+        r.validate().unwrap();
+        // Same answers through the new representation.
+        let sleeping_after = r
+            .query(&Tuple::from_pairs([(state, Value::from("S"))]), ns | pid)
+            .unwrap();
+        assert_eq!(sleeping_after, sleeping_before);
+        // The workload profile survives the swap (plus the query above).
+        assert_eq!(r.profile().total_ops(), ops_before + 1);
+        // The relation stays fully operational: mutate and migrate back.
+        r.insert(proc(&cat, 9, 9, "R", 2)).unwrap();
+        let (_, fresh) = scheduler();
+        r.migrate_to(fresh.decomposition().clone()).unwrap();
+        assert_eq!(r.len(), 4);
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn migrate_to_current_decomposition_is_noop() {
+        let (cat, mut r) = scheduler();
+        rs(&cat, &mut r);
+        let d = r.decomposition().clone();
+        let plans_before = {
+            // Warm a plan so we can observe the cache surviving the no-op.
+            r.query_full(&Tuple::empty()).unwrap();
+            r.plan_cache_len()
+        };
+        r.migrate_to(d).unwrap();
+        assert_eq!(r.plan_cache_len(), plans_before, "no-op keeps the cache");
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn migrate_rejects_inadequate_target() {
+        let (mut cat, mut r) = scheduler();
+        rs(&cat, &mut r);
+        // Drops `cpu` entirely: inadequate for the four-column spec.
+        let bad = parse(
+            &mut cat,
+            "let w : {ns,pid} . {state} = unit {state} in
+             let x : {} . {ns,pid,state} = {ns,pid} -[htable]-> w in x",
+        )
+        .unwrap();
+        let err = r.migrate_to(bad).unwrap_err();
+        assert!(matches!(err, MigrateError::Build(_)));
+        // Untouched on error.
+        assert_eq!(r.len(), 3);
+        r.validate().unwrap();
     }
 
     #[test]

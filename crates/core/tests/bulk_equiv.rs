@@ -8,11 +8,16 @@
 //! before the failure still present. (The `existing` witness of an
 //! `FdViolation` may be a different conflicting tuple: the batch path finds
 //! *a* witness, not necessarily the fold's.)
+//!
+//! The `migrate_*` tests extend the harness to representation migration:
+//! `migrate_to` between every pair of enumerated decompositions must
+//! preserve the exact tuple set and answer every query signature
+//! identically to the reference model.
 
 use proptest::prelude::*;
 use relic_core::{OpError, SynthRelation};
-use relic_decomp::parse;
-use relic_spec::{Catalog, RelSpec, Tuple, Value};
+use relic_decomp::{enumerate_decompositions, parse, Decomposition, DsKind, EnumerateOptions};
+use relic_spec::{Catalog, ColSet, RelSpec, Relation, Tuple, Value};
 
 /// The five non-intrusive container kinds of the library, as decomposition
 /// syntax, plus the intrusive list for good measure.
@@ -150,8 +155,122 @@ fn check_equivalence(
     Ok(())
 }
 
+/// The enumerated candidate set migrations range over: every adequate
+/// decomposition of the `{a,b} → {v}` spec with up to two edges, over the
+/// hash-table and AVL palettes.
+fn migration_candidates() -> (Catalog, RelSpec, Vec<Decomposition>) {
+    let mut cat = Catalog::new();
+    let (a, b, v) = (cat.intern("a"), cat.intern("b"), cat.intern("v"));
+    let spec = RelSpec::new(a | b | v).with_fd(a | b, v.into());
+    let opts = EnumerateOptions {
+        max_edges: 2,
+        structures: vec![DsKind::HashTable, DsKind::AvlTree],
+        ..Default::default()
+    };
+    let cs = enumerate_decompositions(&spec, &opts);
+    assert!(cs.len() >= 2, "need at least two candidates to migrate");
+    (cat, spec, cs)
+}
+
+/// Every query signature over `{a, b, v}`: each pattern column subset ×
+/// each output subset, with each pattern's values drawn from the tuple set
+/// (hits) and from outside it (misses).
+fn assert_all_queries_agree(r: &SynthRelation, model: &Relation, cat: &Catalog) {
+    let cols = [
+        cat.col("a").unwrap(),
+        cat.col("b").unwrap(),
+        cat.col("v").unwrap(),
+    ];
+    let subsets: Vec<ColSet> = (0u8..8)
+        .map(|m| {
+            cols.iter()
+                .enumerate()
+                .filter(|&(i, _)| m & (1 << i) != 0)
+                .map(|(_, &c)| c)
+                .collect()
+        })
+        .collect();
+    for &pat_cols in &subsets {
+        // Every distinct valuation of the pattern columns present in the
+        // model, plus one definitely-absent valuation.
+        let mut pats: Vec<Tuple> = model.iter().map(|t| t.project(pat_cols)).collect();
+        pats.sort();
+        pats.dedup();
+        pats.push(Tuple::from_pairs(
+            pat_cols.iter().map(|c| (c, Value::from(-1))),
+        ));
+        for pat in &pats {
+            for &out in &subsets {
+                assert_eq!(
+                    r.query(pat, out).unwrap(),
+                    model.query(pat, out),
+                    "query({pat}, {out:?}) diverged"
+                );
+            }
+        }
+    }
+}
+
+/// Exhaustive pair coverage on a fixed, collision-rich tuple set: load
+/// under candidate `i`, migrate to candidate `j`, and the tuple set and
+/// every query answer must match the reference model.
+#[test]
+fn migrate_between_every_candidate_pair_preserves_everything() {
+    let (cat, spec, cs) = migration_candidates();
+    let tuples: Vec<Tuple> = (0..12)
+        .map(|i| tuple(&cat, i % 3, i % 4, (i % 3) * 10 + (i % 4)))
+        .collect();
+    let mut model = Relation::empty(cat.all());
+    for t in &tuples {
+        model.insert(t.clone());
+    }
+    for i in 0..cs.len() {
+        let mut r = SynthRelation::new(&cat, spec.clone(), cs[i].clone()).unwrap();
+        r.bulk_load(tuples.clone()).unwrap();
+        for (j, target) in cs.iter().enumerate() {
+            r.migrate_to(target.clone()).unwrap();
+            assert_eq!(r.decomposition(), target);
+            assert_eq!(r.to_relation(), model, "tuple set diverged ({i}→{j})");
+            r.validate().unwrap();
+        }
+        // One full answer sweep per source candidate, after the round trip.
+        assert_all_queries_agree(&r, &model, &cat);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random batches, random candidate pair: migration preserves the
+    /// exact tuple set, the length, and every query signature's answers.
+    #[test]
+    fn migrate_preserves_tuples_and_answers(
+        batch in proptest::collection::vec((0i64..3, 0i64..4, 0i64..3), 0..20),
+        from in 0usize..64,
+        to in 0usize..64,
+    ) {
+        let (cat, spec, cs) = migration_candidates();
+        let (from, to) = (from % cs.len(), to % cs.len());
+        let mut r = SynthRelation::new(&cat, spec.clone(), cs[from].clone()).unwrap();
+        let mut model = Relation::empty(cat.all());
+        for &(a, b, v) in &batch {
+            let t = tuple(&cat, a, b, v);
+            // FD conflicts are rejected identically by both; keep the
+            // accepted ones in the model.
+            if r.insert(t.clone()).is_ok() {
+                model.insert(t);
+            }
+        }
+        r.migrate_to(cs[to].clone()).unwrap();
+        prop_assert_eq!(r.len(), model.len());
+        prop_assert_eq!(r.to_relation(), model.clone());
+        r.validate().map_err(TestCaseError::fail)?;
+        assert_all_queries_agree(&r, &model, &cat);
+        // And back again, for the i → j → i round trip.
+        r.migrate_to(cs[from].clone()).unwrap();
+        prop_assert_eq!(r.to_relation(), model.clone());
+        r.validate().map_err(TestCaseError::fail)?;
+    }
 
     /// `bulk_load` over every container kind, with the FD declared: small
     /// value domains force in-batch duplicates, store duplicates, and FD

@@ -169,6 +169,39 @@ impl CostModel {
         }
     }
 
+    /// The static cost of `dinsert` (§4.4): one find-or-create lookup along
+    /// every map edge of the decomposition.
+    ///
+    /// This is the single source of truth for insert charging — the
+    /// autotuner's static ranking routes through it rather than re-deriving
+    /// per-edge arithmetic, so planner and tuner can never disagree on what
+    /// an insertion costs.
+    pub fn insert_cost(&self, d: &Decomposition) -> f64 {
+        d.edges()
+            .map(|(eid, e)| e.ds.lookup_cost(self.fanout(eid)))
+            .sum()
+    }
+
+    /// The static cost of breaking a §4.5 removal cut: one container
+    /// removal per crossing edge — a keyed lookup for map structures, a
+    /// constant unlink for intrusive lists (whose entries carry their own
+    /// links, the very reason the paper's scheduler uses them).
+    ///
+    /// `crossing` is the cut's crossing edge set (`relic_decomp::Cut`).
+    pub fn remove_break_cost(&self, d: &Decomposition, crossing: &[EdgeId]) -> f64 {
+        crossing
+            .iter()
+            .map(|&eid| {
+                let e = d.edge(eid);
+                if e.ds.is_intrusive() {
+                    1.0
+                } else {
+                    e.ds.lookup_cost(self.fanout(eid))
+                }
+            })
+            .sum()
+    }
+
     /// `N(q)`: the expected number of tuples `plan` yields — the product of
     /// the iteration widths along it (scans contribute their fan-out, ranges
     /// the selected fraction, lookups and units one).
@@ -285,6 +318,17 @@ mod tests {
         let m = CostModel::uniform(&d, 8.0);
         let body = &d.node(d.root()).body;
         assert!(m.cost(&d, body, &Plan::Unit).is_infinite());
+    }
+
+    #[test]
+    fn insert_and_break_costs_sum_per_edge() {
+        let (_, d) = chain();
+        let m = CostModel::uniform(&d, 64.0);
+        // htable lookup (1.5) + dlist lookup (64).
+        assert!((m.insert_cost(&d) - (1.5 + 64.0)).abs() < 1e-9);
+        let crossing: Vec<EdgeId> = d.edges().map(|(eid, _)| eid).collect();
+        assert!((m.remove_break_cost(&d, &crossing) - (1.5 + 64.0)).abs() < 1e-9);
+        assert_eq!(m.remove_break_cost(&d, &[]), 0.0);
     }
 
     #[test]

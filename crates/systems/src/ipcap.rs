@@ -15,7 +15,7 @@
 use crate::zipf::Zipf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use relic_core::SynthRelation;
+use relic_core::{OpError, SynthRelation};
 use relic_decomp::Decomposition;
 use relic_spec::{Catalog, ColId, RelSpec, Tuple, Value};
 use std::collections::HashMap;
@@ -54,31 +54,49 @@ pub struct FlowRecord {
 }
 
 /// The flow-store interface both implementations provide.
+///
+/// The hot-path operations are fallible: the synthesized store runs real
+/// relational operations underneath, and a daemon must surface their errors
+/// through its run/step API rather than aborting mid-trace (the baseline
+/// simply never fails).
 pub trait FlowStore {
     /// Accounts one packet.
-    fn account(&mut self, p: Packet);
+    ///
+    /// # Errors
+    ///
+    /// Any relational-operation failure of the underlying store.
+    fn account(&mut self, p: Packet) -> Result<(), OpError>;
     /// Logs and removes all flows, returning them sorted (deterministic).
-    fn flush(&mut self) -> Vec<FlowRecord>;
+    ///
+    /// # Errors
+    ///
+    /// As for [`account`](FlowStore::account).
+    fn flush(&mut self) -> Result<Vec<FlowRecord>, OpError>;
     /// Number of live flows.
     fn live_flows(&self) -> usize;
 }
 
 /// Runs a trace through a store, flushing every `flush_every` packets;
 /// returns all flushed records in order. This is the §6.2 daemon loop.
+///
+/// # Errors
+///
+/// The first error any step reports; accounting stops there (the §6.2
+/// daemon would log and drop the table — the caller decides).
 pub fn run_accounting<S: FlowStore>(
     store: &mut S,
     trace: &[Packet],
     flush_every: usize,
-) -> Vec<FlowRecord> {
+) -> Result<Vec<FlowRecord>, OpError> {
     let mut log = Vec::new();
     for (i, p) in trace.iter().enumerate() {
-        store.account(*p);
+        store.account(*p)?;
         if flush_every > 0 && (i + 1) % flush_every == 0 {
-            log.extend(store.flush());
+            log.extend(store.flush()?);
         }
     }
-    log.extend(store.flush());
-    log
+    log.extend(store.flush()?);
+    Ok(log)
 }
 
 // ---------------------------------------------------------------------------
@@ -100,13 +118,14 @@ impl BaselineFlows {
 }
 
 impl FlowStore for BaselineFlows {
-    fn account(&mut self, (l, r, len): Packet) {
+    fn account(&mut self, (l, r, len): Packet) -> Result<(), OpError> {
         let e = self.table.entry((l, r)).or_insert((0, 0));
         e.0 += len;
         e.1 += 1;
+        Ok(())
     }
 
-    fn flush(&mut self) -> Vec<FlowRecord> {
+    fn flush(&mut self) -> Result<Vec<FlowRecord>, OpError> {
         let mut out: Vec<FlowRecord> = self
             .table
             .drain()
@@ -118,7 +137,7 @@ impl FlowStore for BaselineFlows {
             })
             .collect();
         out.sort();
-        out
+        Ok(out)
     }
 
     fn live_flows(&self) -> usize {
@@ -231,42 +250,38 @@ impl SynthFlows {
 }
 
 impl FlowStore for SynthFlows {
-    fn account(&mut self, (l, r, len): Packet) {
+    fn account(&mut self, (l, r, len): Packet) -> Result<(), OpError> {
         let key = Tuple::from_pairs([
             (self.cols.local, Value::from(l)),
             (self.cols.remote, Value::from(r)),
         ]);
-        let existing = self
-            .rel
-            .query(&key, self.cols.bytes | self.cols.pkts)
-            .expect("in-relation query");
+        let existing = self.rel.query(&key, self.cols.bytes | self.cols.pkts)?;
         match existing.first() {
             Some(t) => {
+                // The columns were stored as integers by this very loop, so
+                // the conversions cannot fail — only the relation ops can.
                 let bytes = t.get(self.cols.bytes).and_then(Value::as_int).unwrap();
                 let pkts = t.get(self.cols.pkts).and_then(Value::as_int).unwrap();
-                self.rel
-                    .update(
-                        &key,
-                        &Tuple::from_pairs([
-                            (self.cols.bytes, Value::from(bytes + len)),
-                            (self.cols.pkts, Value::from(pkts + 1)),
-                        ]),
-                    )
-                    .expect("key update");
+                self.rel.update(
+                    &key,
+                    &Tuple::from_pairs([
+                        (self.cols.bytes, Value::from(bytes + len)),
+                        (self.cols.pkts, Value::from(pkts + 1)),
+                    ]),
+                )?;
             }
             None => {
-                self.rel
-                    .insert(key.merge(&Tuple::from_pairs([
-                        (self.cols.bytes, Value::from(len)),
-                        (self.cols.pkts, Value::from(1)),
-                    ])))
-                    .expect("new flow");
+                self.rel.insert(key.merge(&Tuple::from_pairs([
+                    (self.cols.bytes, Value::from(len)),
+                    (self.cols.pkts, Value::from(1)),
+                ])))?;
             }
         }
+        Ok(())
     }
 
-    fn flush(&mut self) -> Vec<FlowRecord> {
-        let all = self.rel.query_full(&Tuple::empty()).expect("full scan");
+    fn flush(&mut self) -> Result<Vec<FlowRecord>, OpError> {
+        let all = self.rel.query_full(&Tuple::empty())?;
         let mut out: Vec<FlowRecord> = all
             .iter()
             .map(|t| FlowRecord {
@@ -278,7 +293,7 @@ impl FlowStore for SynthFlows {
             .collect();
         out.sort();
         self.rel.clear();
-        out
+        Ok(out)
     }
 
     fn live_flows(&self) -> usize {
@@ -306,8 +321,8 @@ mod tests {
         let (mut cat, cols, spec) = flow_spec();
         let d = default_decomposition(&mut cat);
         let mut synth = SynthFlows::new(&cat, cols, &spec, d).unwrap();
-        let log_base = run_accounting(&mut base, &trace, 500);
-        let log_synth = run_accounting(&mut synth, &trace, 500);
+        let log_base = run_accounting(&mut base, &trace, 500).unwrap();
+        let log_synth = run_accounting(&mut synth, &trace, 500).unwrap();
         assert_eq!(log_base, log_synth);
         assert_eq!(base.live_flows(), 0);
         assert_eq!(synth.live_flows(), 0);
@@ -319,7 +334,7 @@ mod tests {
         let (mut cat, cols, spec) = flow_spec();
         let d = default_decomposition(&mut cat);
         let mut synth = SynthFlows::new(&cat, cols, &spec, d).unwrap();
-        let log = run_accounting(&mut synth, &trace, 0);
+        let log = run_accounting(&mut synth, &trace, 0).unwrap();
         let total_bytes: i64 = log.iter().map(|f| f.bytes).sum();
         let want: i64 = trace.iter().map(|&(_, _, l)| l).sum();
         assert_eq!(total_bytes, want);
@@ -334,16 +349,16 @@ mod tests {
         let d = default_decomposition(&mut cat);
         let mut synth = SynthFlows::new(&cat, cols, &spec, d.clone()).unwrap();
         for p in &trace {
-            synth.account(*p);
+            synth.account(*p).unwrap();
         }
-        let snapshot = synth.flush();
+        let snapshot = synth.flush().unwrap();
         assert_eq!(synth.live_flows(), 0);
         // Restore from the log and keep accounting: totals are preserved.
         let n = synth.preload(&snapshot).unwrap();
         assert_eq!(n, snapshot.len());
         assert_eq!(synth.live_flows(), snapshot.len());
         synth.relation().validate().unwrap();
-        assert_eq!(synth.flush(), snapshot);
+        assert_eq!(synth.flush().unwrap(), snapshot);
     }
 
     #[test]
@@ -353,10 +368,10 @@ mod tests {
         let d = default_decomposition(&mut cat);
         let mut synth = SynthFlows::new(&cat, cols, &spec, d).unwrap();
         for p in &trace {
-            synth.account(*p);
+            synth.account(*p).unwrap();
         }
         synth.relation().validate().unwrap();
-        let flows = synth.flush();
+        let flows = synth.flush().unwrap();
         assert!(!flows.is_empty());
         synth.relation().validate().unwrap();
     }

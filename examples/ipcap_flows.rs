@@ -15,7 +15,7 @@ fn main() {
 
     let t0 = Instant::now();
     let mut base = BaselineFlows::new();
-    let log_base = run_accounting(&mut base, &trace, 10_000);
+    let log_base = run_accounting(&mut base, &trace, 10_000).expect("baseline accounting");
     let t_base = t0.elapsed();
     println!(
         "baseline (hand-coded HashMap): {t_base:?}, {} flows logged",
@@ -30,7 +30,7 @@ fn main() {
     );
     let t0 = Instant::now();
     let mut synth = SynthFlows::new(&cat, cols, &spec, d).unwrap();
-    let log_synth = run_accounting(&mut synth, &trace, 10_000);
+    let log_synth = run_accounting(&mut synth, &trace, 10_000).expect("synthesized accounting");
     let t_synth = t0.elapsed();
     println!("synthesized: {t_synth:?}, {} flows logged", log_synth.len());
 

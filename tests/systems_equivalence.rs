@@ -39,7 +39,7 @@ fn thttpd_equivalence_across_decompositions() {
 fn ipcap_equivalence_across_decompositions() {
     let trace = packet_trace(20_000, 64, 512, 0xBB);
     let mut base = BaselineFlows::new();
-    let want = run_accounting(&mut base, &trace, 4_096);
+    let want = run_accounting(&mut base, &trace, 4_096).unwrap();
     for src in [
         // The paper's winner: locals → hash of remotes.
         "let w : {local,remote} . {bytes,pkts} = unit {bytes,pkts} in
@@ -56,7 +56,7 @@ fn ipcap_equivalence_across_decompositions() {
         let (mut cat, cols, spec) = flow_spec();
         let d = parse(&mut cat, src).unwrap();
         let mut synth = SynthFlows::new(&cat, cols, &spec, d).unwrap();
-        let got = run_accounting(&mut synth, &trace, 4_096);
+        let got = run_accounting(&mut synth, &trace, 4_096).unwrap();
         assert_eq!(got, want);
     }
 }
