@@ -4,9 +4,12 @@
 //! against the recorded `BENCH_*.json` files.
 //!
 //! Usage: `cargo run --release --bin bench_smoke [-- [--quick] [OUTPUT.json]]`
-//! (default output path: `BENCH_3.json` in the current directory).
+//! (default output path: `BENCH_4.json` in the current directory).
 //! `--quick` shrinks sizes and repetition counts to a compile-and-run smoke
-//! check for CI — its timings are not comparable to full runs.
+//! check for CI — its timings are not comparable to full runs. **Every**
+//! workload family runs in quick mode, including scaled-down `phase_shift`
+//! and `read_scaling` variants, so CI exercises the adaptive and the
+//! snapshot read paths on every push.
 //!
 //! The `bulk_load_100k` and `batch_insert` pairs time the PR-2 batch APIs
 //! against the per-tuple loops they replace, on a hash-rooted and an
@@ -14,7 +17,13 @@
 //! read-heavy → by-ts workload of `relic_systems::adaptive` twice — once on
 //! a fixed point-read representation, once with online re-tuning — and
 //! reports the post-shift phase separately, where the adaptive arm's
-//! migration pays off.
+//! migration pays off. The `read_scaling` family (PR 4) runs a 95/5
+//! read/write mix over a sharded `ConcurrentRelation` with 1/2/4/8 worker
+//! threads, once with reads through the per-shard `RwLock`s (`locked`) and
+//! once wait-free through published snapshots (`snapshot`), reporting
+//! aggregate nanoseconds per read — the snapshot arm's reads never touch a
+//! shard lock, so its aggregate read throughput keeps scaling where the
+//! locked arm flattens against writer contention.
 
 use relic_concurrent::ConcurrentRelation;
 use relic_core::{Bindings, SynthRelation};
@@ -469,25 +478,335 @@ fn bench_phase_shift(out: &mut Vec<(String, f64)>, quick: bool) {
     ));
 }
 
+/// `read_scaling`: read service latency of a sharded relation under a 95/5
+/// read/write op mix, as reader threads scale 1 -> 8.
+///
+/// The workload is the ROADMAP's read-mostly serving regime as an **open
+/// loop**: reader threads issue pinned `(host, ts)` point reads with a 40us
+/// think time (traffic arrives at a rate; it does not saturate cores),
+/// while one writer thread works through a fixed maintenance schedule of
+/// batched write epochs -- retiring one host's event slice and re-ingesting
+/// it inside `with_partition_mut` (the SS6.2 log-rotation idiom as one
+/// atomic per-partition batch), with every 16th epoch a **representation
+/// migration** (`migrate_to`, PR 3's all-shard epoch, which holds every
+/// shard write lock across the O(n) drain + rebuild). Write ops are batch
+/// ops (the system's write API); the writer paces itself to at most one
+/// epoch per 19 served reads, so the offered mix is 95/5 and identical in
+/// both arms. The arms differ only in the read path:
+///
+/// * `locked` -- reads go through [`ConcurrentRelation::query`], taking the
+///   owning shard's `RwLock` per read (the pre-PR-4 path), and therefore
+///   queue behind every batch/migration critical section in flight;
+/// * `snapshot` -- reads go through a cached
+///   [`ReadHandle`](relic_concurrent::ReadHandle): published snapshots, no
+///   shard lock, one atomic epoch check per read -- an epoch in flight is
+///   invisible until its per-shard publish, so a read never waits on the
+///   writer.
+///
+/// `read_scaling/{locked,snapshot}_tN` is **aggregate nanoseconds per
+/// served read** (the sum of per-read service latencies over total reads;
+/// a locked read's latency includes its lock wait). The reciprocal is
+/// aggregate read throughput, so `locked_t8 / snapshot_t8` is the snapshot
+/// arm's aggregate read-throughput speedup at 8 readers -- the BENCH_4
+/// acceptance metric (>= 3x). The expected shape: the locked arm's latency
+/// *grows* with reader count (more reads queue behind each epoch), the
+/// snapshot arm's stays flat at the bare probe cost.
+///
+/// `read_scaling/mig_stall_{locked,snapshot}_ns` is the per-read face of
+/// the same fact: the mean latency of one point read issued 1ms after a
+/// migration epoch observably began. A locked read cannot complete before
+/// the epoch ends (happens-before, not scheduling); a snapshot read is
+/// served from the published views immediately -- its remaining cost is
+/// the occasional reclamation of a retired pre-migration store.
+fn bench_read_scaling(out: &mut Vec<(String, f64)>, quick: bool) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Barrier;
+    let (hosts, ts_per_host, shards) = if quick { (32, 16, 8) } else { (256, 32, 8) };
+    let per_thread_ops = if quick { 1_000usize } else { 5_000 };
+    let thread_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let mut cat = Catalog::new();
+    let d = parse(
+        &mut cat,
+        "let u : {host,ts} . {bytes} = unit {bytes} in
+         let h : {host} . {ts,bytes} = {ts} -[avl]-> u in
+         let x : {} . {host,ts,bytes} = {host} -[htable]-> h in x",
+    )
+    .unwrap();
+    let host = cat.col("host").unwrap();
+    let ts = cat.col("ts").unwrap();
+    let bytes = cat.col("bytes").unwrap();
+    let spec = RelSpec::new(cat.all()).with_fd(host | ts, bytes.into());
+    let event = |h: i64, t: i64, b: i64| {
+        Tuple::from_pairs([
+            (host, Value::from(h)),
+            (ts, Value::from(t)),
+            (bytes, Value::from(b)),
+        ])
+    };
+    let load: Vec<Tuple> = (0..hosts as i64)
+        .flat_map(|h| (0..ts_per_host as i64).map(move |t| event(h, t, h + t)))
+        .collect();
+    // The migration flip-flop target: a structurally different adequate
+    // shape (flat ordered map over the full key), so every migration does a
+    // real O(n) rebuild under all shard write locks.
+    let d_alt = parse(
+        &mut cat,
+        "let u : {host,ts} . {bytes} = unit {bytes} in
+         let x : {} . {host,ts,bytes} = {host,ts} -[avl]-> u in x",
+    )
+    .unwrap();
+    for &threads in thread_counts {
+        let reads_total = per_thread_ops * threads;
+        // 95/5 op mix: one batched write epoch per 19 reads.
+        let write_epochs = reads_total * 5 / 95;
+        for snapshot_arm in [false, true] {
+            let rel = ConcurrentRelation::new(&cat, spec.clone(), d.clone(), host.into(), shards)
+                .unwrap();
+            rel.bulk_load(load.iter().cloned()).unwrap();
+            let barrier = Barrier::new(threads + 1);
+            let reads_done = AtomicU64::new(0);
+            let last_read_done_ns = std::thread::scope(|s| {
+                let _writer = {
+                    let (rel, barrier, reads_done) = (&rel, &barrier, &reads_done);
+                    let (event, d_alt, d_base) = (&event, &d_alt, &d);
+                    s.spawn(move || {
+                        barrier.wait();
+                        for e in 0..write_epochs {
+                            // Keep the offered mix at 95/5 while reads are
+                            // in flight: stay at or below one epoch per 19
+                            // served reads (parked, not spinning, so the
+                            // pacing itself costs no CPU).
+                            while (e as u64) * 19 > reads_done.load(Ordering::Relaxed)
+                                && reads_done.load(Ordering::Relaxed) < reads_total as u64
+                            {
+                                std::thread::sleep(std::time::Duration::from_micros(100));
+                            }
+                            if e % 16 == 15 {
+                                // A representation migration: the adaptive
+                                // layer's all-shard epoch (every write lock
+                                // held across the O(n) rebuild).
+                                let target = if (e / 16) % 2 == 0 { d_alt } else { d_base };
+                                rel.migrate_to(target.clone()).unwrap();
+                            } else {
+                                // Retire one host's slice and re-ingest it
+                                // with a bumped payload, atomically inside
+                                // the owning partition's critical section
+                                // (one per-partition batch write op).
+                                let h = (e % hosts) as i64;
+                                let hpat = Tuple::from_pairs([(host, Value::from(h))]);
+                                let stamp = event(0, 0, e as i64).project(bytes.into());
+                                rel.with_partition_mut(&hpat, |shard| {
+                                    let rows = shard.query(&hpat, host | ts | bytes).unwrap();
+                                    shard.remove(&hpat).unwrap();
+                                    shard
+                                        .insert_many(rows.into_iter().map(|r| r.merge(&stamp)))
+                                        .unwrap();
+                                });
+                            }
+                        }
+                    })
+                };
+                let readers: Vec<_> = (0..threads)
+                    .map(|w| {
+                        let (rel, barrier, reads_done) = (&rel, &barrier, &reads_done);
+                        let event = &event;
+                        s.spawn(move || {
+                            let mut handle = rel.read_handle();
+                            let mut hits = 0usize;
+                            let mut read_ns = 0u128;
+                            barrier.wait();
+                            for i in 0..per_thread_ops {
+                                // Open-loop think time: serving traffic
+                                // arrives at a rate, it does not saturate a
+                                // core — this is what lets the maintenance
+                                // writer hold its 5% share, and what makes
+                                // per-read latency a sound measurement.
+                                std::thread::sleep(std::time::Duration::from_micros(40));
+                                let h = ((w * 31 + i * 7) % hosts) as i64;
+                                let t = ((i * 13) % ts_per_host) as i64;
+                                let pat = event(h, t, 0).project(host | ts);
+                                let start = Instant::now();
+                                let rows = if snapshot_arm {
+                                    handle.query(&pat, bytes.into()).unwrap()
+                                } else {
+                                    rel.query(&pat, bytes.into()).unwrap()
+                                };
+                                read_ns += start.elapsed().as_nanos();
+                                hits += rows.len();
+                                if i % 16 == 15 {
+                                    reads_done.fetch_add(16, Ordering::Relaxed);
+                                }
+                            }
+                            // Count the tail reads too: the writer's pacing
+                            // gate waits on the full total.
+                            reads_done.fetch_add((per_thread_ops % 16) as u64, Ordering::Relaxed);
+                            std::hint::black_box(hits);
+                            read_ns
+                        })
+                    })
+                    .collect();
+                // The writer finishes its fixed schedule flat out after the
+                // readers are done (joined by scope exit); the metric sums
+                // the served reads' latencies.
+                readers
+                    .into_iter()
+                    .map(|h| h.join().expect("reader thread"))
+                    .sum::<u128>()
+            });
+            let ns_per_read = last_read_done_ns as f64 / reads_total as f64;
+            let arm = if snapshot_arm { "snapshot" } else { "locked" };
+            out.push((format!("read_scaling/{arm}_t{threads}"), ns_per_read));
+        }
+    }
+    // The stall metric: latency of a point read issued **while a write
+    // epoch is in flight**. A migration epoch holds every shard write lock
+    // across its O(n) drain + rebuild; a locked read issued mid-epoch
+    // cannot complete before the epoch ends (a happens-before fact,
+    // independent of scheduling), while a snapshot read is served
+    // immediately from the published views. One reader issues exactly one
+    // timed read per migration window, 1ms after the migration observably
+    // started; the mean over windows is reported per arm. This is the
+    // per-read face of the aggregate-throughput claim, and the number the
+    // single-core CI box can measure without scheduler interference.
+    // Quick mode skips the stall pair: its shrunken migrations finish
+    // within one scheduler timeslice, so a mid-epoch read cannot even be
+    // issued (the tN arms above already exercise every code path).
+    if quick {
+        return;
+    }
+    let stall_migrations = 12;
+    // Mid-epoch head start: long enough that the epoch's lock acquisition
+    // is over, short enough to land well inside a migration.
+    let head_start_us = 1000;
+    for snapshot_arm in [false, true] {
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        let rel =
+            ConcurrentRelation::new(&cat, spec.clone(), d.clone(), host.into(), shards).unwrap();
+        rel.bulk_load(load.iter().cloned()).unwrap();
+        let in_mig = AtomicU64::new(0); // window counter; odd = in flight
+        let stop = AtomicBool::new(false);
+        let stall_ns_total = std::thread::scope(|s| {
+            let (rel, in_mig, stop) = (&rel, &in_mig, &stop);
+            let _writer = {
+                let (d_alt, d_base) = (&d_alt, &d);
+                s.spawn(move || {
+                    for m in 0..stall_migrations {
+                        // Let the reader settle between windows.
+                        std::thread::sleep(std::time::Duration::from_millis(4));
+                        let target = if m % 2 == 0 { d_alt } else { d_base };
+                        in_mig.fetch_add(1, Ordering::SeqCst); // odd: begins
+                        rel.migrate_to(target.clone()).unwrap();
+                        in_mig.fetch_add(1, Ordering::SeqCst); // even: over
+                    }
+                    stop.store(true, Ordering::Release);
+                })
+            };
+            let reader = {
+                let event = &event;
+                s.spawn(move || {
+                    let mut handle = rel.read_handle();
+                    let mut total_ns = 0u128;
+                    let mut windows = 0u32;
+                    let mut seen = 0u64;
+                    while !stop.load(Ordering::Acquire) {
+                        let w = in_mig.load(Ordering::SeqCst);
+                        if w % 2 == 0 || w == seen {
+                            std::hint::spin_loop();
+                            continue;
+                        }
+                        seen = w;
+                        // The migration observably began; give its lock
+                        // acquisition a head start, then issue one read
+                        // mid-epoch.
+                        std::thread::sleep(std::time::Duration::from_micros(head_start_us));
+                        let pat = event((windows % 64) as i64, 0, 0).project(host | ts);
+                        let start = Instant::now();
+                        let rows = if snapshot_arm {
+                            handle.query(&pat, bytes.into()).unwrap()
+                        } else {
+                            rel.query(&pat, bytes.into()).unwrap()
+                        };
+                        total_ns += start.elapsed().as_nanos();
+                        windows += 1;
+                        std::hint::black_box(rows.len());
+                    }
+                    (total_ns, windows)
+                })
+            };
+            reader.join().expect("stall reader")
+        });
+        let (total_ns, windows) = stall_ns_total;
+        let arm = if snapshot_arm { "snapshot" } else { "locked" };
+        out.push((
+            format!("read_scaling/mig_stall_{arm}_ns"),
+            total_ns as f64 / f64::from(windows.max(1)),
+        ));
+    }
+}
+
 fn main() {
     let mut quick = false;
-    let mut out_path = "BENCH_3.json".to_string();
+    let mut only: Option<String> = None;
+    let mut expect_only = false;
+    let mut out_path = "BENCH_4.json".to_string();
     for arg in std::env::args().skip(1) {
-        if arg == "--quick" {
+        if expect_only {
+            only = Some(arg);
+            expect_only = false;
+        } else if arg == "--quick" {
             quick = true;
+        } else if arg == "--only" {
+            // Run a single workload family (e.g. `--only read_scaling`) --
+            // for iterating on one family without re-timing the rest.
+            expect_only = true;
         } else {
             out_path = arg;
         }
     }
+    const FAMILIES: [&str; 7] = [
+        "micro_cache",
+        "micro_scheduler",
+        "query_hot_path",
+        "bulk_load_100k",
+        "batch_insert",
+        "phase_shift",
+        "read_scaling",
+    ];
+    if expect_only {
+        eprintln!("--only requires a workload family: one of {FAMILIES:?}");
+        std::process::exit(2);
+    }
+    if let Some(o) = only.as_deref() {
+        if !FAMILIES.contains(&o) {
+            eprintln!("unknown workload family {o:?}; expected one of {FAMILIES:?}");
+            std::process::exit(2);
+        }
+    }
+    let run = |name: &str| only.as_deref().is_none_or(|o| o == name);
     let mut results: Vec<(String, f64)> = Vec::new();
-    bench_micro_cache(&mut results);
-    bench_micro_scheduler(&mut results);
-    bench_query_hot_path(&mut results);
-    bench_bulk_load(&mut results, quick);
-    bench_batch_insert(&mut results, quick);
-    bench_phase_shift(&mut results, quick);
+    if run("micro_cache") {
+        bench_micro_cache(&mut results);
+    }
+    if run("micro_scheduler") {
+        bench_micro_scheduler(&mut results);
+    }
+    if run("query_hot_path") {
+        bench_query_hot_path(&mut results);
+    }
+    if run("bulk_load_100k") {
+        bench_bulk_load(&mut results, quick);
+    }
+    if run("batch_insert") {
+        bench_batch_insert(&mut results, quick);
+    }
+    if run("phase_shift") {
+        bench_phase_shift(&mut results, quick);
+    }
+    if run("read_scaling") {
+        bench_read_scaling(&mut results, quick);
+    }
     let mut json = format!(
-        "{{\n  \"schema\": \"relic-bench-smoke-v3\",\n  \"quick\": {quick},\n  \"results\": {{\n"
+        "{{\n  \"schema\": \"relic-bench-smoke-v4\",\n  \"quick\": {quick},\n  \"results\": {{\n"
     );
     for (i, (label, ns)) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };

@@ -37,6 +37,19 @@
 //! may observe a shard-prefix of a concurrent batch (each individual shard
 //! load is still atomic and linearizable).
 //!
+//! # Wait-free snapshot reads
+//!
+//! Read-mostly traffic does not have to touch the shard locks at all: every
+//! shard **publishes** an immutable [`relic_core::Snapshot`] of itself after
+//! each mutation epoch, and [`ConcurrentRelation::read_view`] collects the
+//! published snapshots into a [`ReadView`] without acquiring any shard lock.
+//! A per-thread [`ReadHandle`] caches the view and refreshes only when the
+//! relation's epoch counter moves, so a steady-state point query costs one
+//! atomic load plus the snapshot probe — readers never wait on writers, and
+//! writers pay for coherence (one copy-on-write store clone per epoch while
+//! views are held). See the [`snapshot`] module docs for the full lifecycle
+//! and consistency contract.
+//!
 //! # Adaptive migration epochs
 //!
 //! The representation itself is a runtime decision:
@@ -95,13 +108,29 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod snapshot;
+
+pub use snapshot::{ReadHandle, ReadView};
+
 use relic_autotune::{Autotuner, Recommendation, Workload};
 use relic_containers::FxHasher;
-use relic_core::{BuildError, MigrateError, OpError, SynthRelation, WorkloadProfile};
+use relic_core::{BuildError, MigrateError, OpError, Snapshot, SynthRelation, WorkloadProfile};
 use relic_decomp::{Decomposition, EnumerateOptions};
 use relic_spec::{Catalog, ColSet, Pattern, RelSpec, Relation, Tuple};
 use std::hash::{Hash, Hasher};
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// The shard index owning a tuple's shard-column valuation, for a relation
+/// of `shards` partitions routed by `shard_cols` — shared by the locked
+/// paths and [`ReadView`] routing so both land on the same shard.
+pub(crate) fn route_tuple(shard_cols: ColSet, shards: usize, t: &Tuple) -> usize {
+    let mut h = FxHasher::new();
+    for c in shard_cols.iter() {
+        t.get(c).expect("shard column bound").hash(&mut h);
+    }
+    (h.finish() % shards as u64) as usize
+}
 
 /// Errors specific to building a concurrent relation.
 #[derive(Debug)]
@@ -152,6 +181,23 @@ impl From<BuildError> for ConcurrentBuildError {
 #[derive(Debug)]
 pub struct ConcurrentRelation {
     shards: Vec<RwLock<SynthRelation>>,
+    /// Per-shard publish slots: the shard's current [`Snapshot`], swapped
+    /// under the slot's latch by the writer that finished a mutation epoch.
+    /// `None` only inside a writer's prune→publish window (the writer still
+    /// holds the shard's write lock then). See the [`snapshot`] module.
+    published: Vec<RwLock<Option<Arc<Snapshot>>>>,
+    /// Monotonic publish counter: bumped (`Release`) after every publish so
+    /// cached [`ReadHandle`]s can detect staleness with one `Acquire` load.
+    epoch: AtomicU64,
+    /// Per-shard publish counters: bumped when the shard's slot is swapped,
+    /// so a handle serving a *pinned* point query refreshes only the one
+    /// shard it routes to instead of re-collecting the whole view.
+    shard_epochs: Vec<AtomicU64>,
+    /// Migration seqlock: odd while a migration's all-shard publish burst is
+    /// in flight. [`read_view`](ConcurrentRelation::read_view) retries
+    /// collection around odd windows, making migration epochs atomic across
+    /// a view (no mixed-decomposition views, ever).
+    migration_epoch: AtomicU64,
     shard_cols: ColSet,
     cols: ColSet,
 }
@@ -186,14 +232,20 @@ impl ConcurrentRelation {
         let cols = spec.cols();
         let mut v = Vec::with_capacity(shards);
         for _ in 0..shards {
-            v.push(RwLock::new(SynthRelation::new(
-                cat,
-                spec.clone(),
-                d.clone(),
-            )?));
+            v.push(SynthRelation::new(cat, spec.clone(), d.clone())?);
         }
+        // Publish each shard's (empty) state up front, so readers always
+        // find a snapshot without ever touching a shard lock.
+        let published = v
+            .iter()
+            .map(|r| RwLock::new(Some(Arc::new(r.snapshot()))))
+            .collect();
         Ok(ConcurrentRelation {
-            shards: v,
+            shard_epochs: (0..v.len()).map(|_| AtomicU64::new(0)).collect(),
+            shards: v.into_iter().map(RwLock::new).collect(),
+            published,
+            epoch: AtomicU64::new(0),
+            migration_epoch: AtomicU64::new(0),
             shard_cols,
             cols,
         })
@@ -211,11 +263,7 @@ impl ConcurrentRelation {
 
     /// The shard index owning a tuple's shard-column valuation.
     fn route(&self, t: &Tuple) -> usize {
-        let mut h = FxHasher::new();
-        for c in self.shard_cols.iter() {
-            t.get(c).expect("shard column bound").hash(&mut h);
-        }
-        (h.finish() % self.shards.len() as u64) as usize
+        route_tuple(self.shard_cols, self.shards.len(), t)
     }
 
     /// Does this pattern pin the shard columns (single-shard operation)?
@@ -248,6 +296,80 @@ impl ConcurrentRelation {
             .collect()
     }
 
+    // -- snapshot publication (see the `snapshot` module docs) --------------
+
+    /// Drops shard `i`'s published snapshot when no reader holds it, so the
+    /// upcoming mutation runs in place instead of copy-on-writing the store.
+    /// Called with the shard's write lock held (the slot's `None` window is
+    /// therefore invisible to anyone holding any shard lock).
+    fn prune_slot(&self, i: usize) {
+        let mut slot = self.published[i].write().expect("publish slot poisoned");
+        if slot.as_ref().is_some_and(|s| Arc::strong_count(s) == 1) {
+            *slot = None;
+        }
+    }
+
+    /// Publishes shard `i`'s current state (O(1): the snapshot shares the
+    /// store copy-on-write). Called with the shard's write lock held, after
+    /// the mutation epoch completed. Does not bump the epoch counter —
+    /// callers bump once per logical operation via
+    /// [`bump_epoch`](ConcurrentRelation::bump_epoch).
+    fn publish_slot(&self, i: usize, shard: &SynthRelation) {
+        *self.published[i].write().expect("publish slot poisoned") =
+            Some(Arc::new(shard.snapshot()));
+        self.shard_epochs[i].fetch_add(1, Ordering::Release);
+    }
+
+    /// Announces a completed publish to cached [`ReadHandle`]s.
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// The write-side epoch discipline for one shard: write-lock, prune the
+    /// unreferenced published snapshot (making the mutation in-place when no
+    /// reader holds a view), run the mutation, republish, bump the epoch.
+    /// Every single-shard mutation funnels through here, so a published
+    /// snapshot is always a committed per-shard state and a batch applied to
+    /// a shard is never visible half-done.
+    fn mutate_shard<T>(&self, i: usize, f: impl FnOnce(&mut SynthRelation) -> T) -> T {
+        let mut guard = self.write_shard(i);
+        self.prune_slot(i);
+        let out = f(&mut guard);
+        self.publish_slot(i, &guard);
+        self.bump_epoch();
+        out
+    }
+
+    /// The all-shard analog of [`mutate_shard`](ConcurrentRelation::mutate_shard)
+    /// for operations that hold every write lock (unpinned removals and
+    /// updates): prune all, mutate, republish all, one epoch bump.
+    fn mutate_all<T>(&self, f: impl FnOnce(&mut [RwLockWriteGuard<'_, SynthRelation>]) -> T) -> T {
+        let mut guards = self.write_all();
+        for i in 0..guards.len() {
+            self.prune_slot(i);
+        }
+        let out = f(&mut guards);
+        for (i, g) in guards.iter().enumerate() {
+            self.publish_slot(i, g);
+        }
+        self.bump_epoch();
+        out
+    }
+
+    /// Republishes every (already write-locked) shard as **one migration
+    /// epoch**: the seqlock counter is odd while the slots are being
+    /// swapped, and [`read_view`](ConcurrentRelation::read_view) retries
+    /// collection around odd windows — so no view ever holds a mix of pre-
+    /// and post-migration shards.
+    fn publish_all_migration(&self, guards: &[RwLockWriteGuard<'_, SynthRelation>]) {
+        self.migration_epoch.fetch_add(1, Ordering::Release);
+        for (i, g) in guards.iter().enumerate() {
+            self.publish_slot(i, g);
+        }
+        self.bump_epoch();
+        self.migration_epoch.fetch_add(1, Ordering::Release);
+    }
+
     /// `insert r t` — routes to one shard, write-locking only it.
     ///
     /// # Errors
@@ -258,10 +380,10 @@ impl ConcurrentRelation {
             // A full tuple always binds all columns; this is only reachable
             // for malformed tuples, which the shard rejects with a proper
             // error.
-            return self.write_shard(0).insert(t);
+            return self.mutate_shard(0, |s| s.insert(t));
         }
         let i = self.route(&t);
-        self.write_shard(i).insert(t)
+        self.mutate_shard(i, |s| s.insert(t))
     }
 
     /// `bulk_load` — partitions the batch by shard (lock-free), then runs
@@ -316,7 +438,10 @@ impl ConcurrentRelation {
             if group.is_empty() {
                 continue;
             }
-            inserted += op(&mut self.write_shard(i), group)?;
+            // `mutate_shard` publishes after the whole per-shard group —
+            // even on error (the accepted prefix persists and must be
+            // visible), which is why the `?` sits outside the call.
+            inserted += self.mutate_shard(i, |shard| op(shard, group))?;
         }
         Ok(inserted)
     }
@@ -330,14 +455,15 @@ impl ConcurrentRelation {
     pub fn remove(&self, pattern: &Tuple) -> Result<usize, OpError> {
         if self.pins(pattern.dom()) {
             let i = self.route(pattern);
-            self.write_shard(i).remove(pattern)
+            self.mutate_shard(i, |s| s.remove(pattern))
         } else {
-            let mut guards = self.write_all();
-            let mut n = 0;
-            for g in guards.iter_mut() {
-                n += g.remove(pattern)?;
-            }
-            Ok(n)
+            self.mutate_all(|guards| {
+                let mut n = 0;
+                for g in guards.iter_mut() {
+                    n += g.remove(pattern)?;
+                }
+                Ok(n)
+            })
         }
     }
 
@@ -352,14 +478,15 @@ impl ConcurrentRelation {
         let eq = pattern.eq_tuple();
         if self.pins(eq.dom()) {
             let i = self.route(&eq);
-            self.write_shard(i).remove_where(pattern)
+            self.mutate_shard(i, |s| s.remove_where(pattern))
         } else {
-            let mut guards = self.write_all();
-            let mut n = 0;
-            for g in guards.iter_mut() {
-                n += g.remove_where(pattern)?;
-            }
-            Ok(n)
+            self.mutate_all(|guards| {
+                let mut n = 0;
+                for g in guards.iter_mut() {
+                    n += g.remove_where(pattern)?;
+                }
+                Ok(n)
+            })
         }
     }
 
@@ -376,14 +503,15 @@ impl ConcurrentRelation {
     pub fn update(&self, pattern: &Tuple, changes: &Tuple) -> Result<bool, OpError> {
         if self.pins(pattern.dom()) {
             let i = self.route(pattern);
-            self.write_shard(i).update(pattern, changes)
+            self.mutate_shard(i, |s| s.update(pattern, changes))
         } else {
-            let mut guards = self.write_all();
-            let mut any = false;
-            for g in guards.iter_mut() {
-                any |= g.update(pattern, changes)?;
-            }
-            Ok(any)
+            self.mutate_all(|guards| {
+                let mut any = false;
+                for g in guards.iter_mut() {
+                    any |= g.update(pattern, changes)?;
+                }
+                Ok(any)
+            })
         }
     }
 
@@ -461,7 +589,7 @@ impl ConcurrentRelation {
             "with_partition_mut requires all shard columns bound"
         );
         let i = self.route(key);
-        f(&mut self.write_shard(i))
+        self.mutate_shard(i, f)
     }
 
     /// Runs `f` with shared access to the shard owning `key`'s valuation.
@@ -519,7 +647,15 @@ impl ConcurrentRelation {
     /// As for [`SynthRelation::migrate_to`].
     pub fn migrate_to(&self, d: Decomposition) -> Result<(), MigrateError> {
         let mut guards = self.write_all();
-        Self::migrate_shards(&mut guards, d)
+        let res = Self::migrate_shards(&mut guards, d);
+        if res.is_ok() {
+            // One migration epoch: all shards republished inside the
+            // seqlock window, so a view is never mixed-decomposition. (On
+            // error the rollback restored the published tuple set, so the
+            // standing snapshots remain correct.)
+            self.publish_all_migration(&guards);
+        }
+        res
     }
 
     /// The locked core of [`migrate_to`](ConcurrentRelation::migrate_to):
@@ -619,6 +755,7 @@ impl ConcurrentRelation {
         }
         let improvement = rec.improvement();
         Self::migrate_shards(&mut guards, rec.best.decomposition)?;
+        self.publish_all_migration(&guards);
         Ok(Some(improvement))
     }
 

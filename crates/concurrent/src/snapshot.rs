@@ -1,0 +1,621 @@
+//! Wait-free snapshot reads: per-shard epoch-published [`Snapshot`]s, the
+//! [`ReadView`] taken from them, and the cached [`ReadHandle`].
+//!
+//! # Design
+//!
+//! Every shard of a [`ConcurrentRelation`] *publishes* an immutable
+//! [`Snapshot`] of itself after each mutation epoch (a single mutation, or
+//! one shard's slice of a batch): the writer, still holding the shard's
+//! write lock, swaps an `Arc<Snapshot>` into the shard's publish slot. The
+//! snapshot shares the shard's instance store copy-on-write (see
+//! [`SynthRelation::snapshot`]), so publishing is O(1); the first mutation
+//! after a published snapshot is retained by a reader pays one store clone,
+//! and mutations while no reader holds a view stay in place — the writer
+//! *prunes* an unreferenced published snapshot before mutating.
+//!
+//! Readers never take a shard lock:
+//!
+//! * [`ConcurrentRelation::read_view`] collects each shard's published
+//!   `Arc` under the publish slot's latch — a critical section of one
+//!   reference-count increment, never held across a shard mutation.
+//! * A [`ReadHandle`] caches the view and re-collects only when the
+//!   relation's epoch counter has moved. In the steady state a query
+//!   through a handle costs **one relaxed-consistency atomic load** on top
+//!   of the snapshot query itself: no lock, no reference-count traffic, no
+//!   waiting on writers — wait-free in the practical sense that no reader
+//!   step can be blocked or retried because of a writer's progress. (The
+//!   only loop on the read side is the migration seqlock below, which
+//!   retries a view *collection* — not a query — while a migration's
+//!   publish burst is in flight.)
+//!
+//! # Consistency
+//!
+//! Each shard's snapshot is a committed, per-shard-atomic state: a batch
+//! applied to a shard is visible either not at all or in full, because the
+//! publish happens after the shard's whole slice of the batch under the
+//! same write-lock hold. Across shards a view is *per-shard consistent*
+//! (shard A's snapshot may be one epoch fresher than shard B's — the same
+//! granularity the locked batch API already exposes), with one exception:
+//! **migration epochs are atomic across the whole view.** A
+//! [`migrate_to`](ConcurrentRelation::migrate_to) publishes all shards
+//! inside a seqlock window and `read_view` retries collection around it, so
+//! every view holds shards of exactly one decomposition — readers that took
+//! their view before the migration keep answering from the pre-migration
+//! representation, views taken after are entirely post-migration, and no
+//! view ever mixes the two.
+//!
+//! [`SynthRelation::snapshot`]: relic_core::SynthRelation::snapshot
+
+use crate::ConcurrentRelation;
+use relic_core::{Bindings, OpError, Snapshot};
+use relic_spec::{ColSet, Pattern, Relation, Tuple};
+use std::collections::BTreeSet;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A consistent per-shard snapshot vector: one frozen [`Snapshot`] per
+/// shard, all of the same decomposition (migration epochs are atomic across
+/// the view), each individually a committed per-shard state.
+///
+/// A view is fully detached from the relation: queries against it never
+/// touch a lock, never block, and keep answering from the captured state
+/// even while writers mutate or migrate the live relation. Point queries
+/// whose pattern pins the shard columns route to exactly one shard's
+/// snapshot; unpinned queries merge across all shards, exactly like the
+/// locked query path.
+#[derive(Debug, Clone)]
+pub struct ReadView {
+    pub(crate) shards: Vec<Arc<Snapshot>>,
+    pub(crate) shard_cols: ColSet,
+    pub(crate) epoch: u64,
+    /// The per-shard publish epochs the slots were collected at, so a
+    /// [`ReadHandle`] can refresh exactly the shard a pinned query routes
+    /// to.
+    pub(crate) shard_epochs: Vec<u64>,
+}
+
+impl ReadView {
+    /// The publish epoch this view was collected at (monotonic; used by
+    /// [`ReadHandle`] to detect staleness).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of shard snapshots in the view.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The columns tuples are routed by.
+    pub fn shard_cols(&self) -> ColSet {
+        self.shard_cols
+    }
+
+    /// The frozen snapshot of shard `i`.
+    pub fn shard(&self, i: usize) -> &Snapshot {
+        &self.shards[i]
+    }
+
+    /// Does this pattern pin the shard columns (single-shard read)?
+    fn pins(&self, dom: ColSet) -> bool {
+        self.shard_cols.is_subset(dom)
+    }
+
+    /// The shard snapshot owning `t`'s shard-column valuation.
+    fn routed(&self, t: &Tuple) -> &Snapshot {
+        &self.shards[crate::route_tuple(self.shard_cols, self.shards.len(), t)]
+    }
+
+    /// `query r s C` against the view: one shard snapshot if `pattern` pins
+    /// the shard columns, the sorted set-semantic merge of all shards
+    /// otherwise — the wait-free analog of
+    /// [`ConcurrentRelation::query`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`relic_core::Snapshot::query`].
+    pub fn query(&self, pattern: &Tuple, out: ColSet) -> Result<Vec<Tuple>, OpError> {
+        if self.pins(pattern.dom()) {
+            self.routed(pattern).query(pattern, out)
+        } else {
+            let mut set = BTreeSet::new();
+            for s in &self.shards {
+                set.extend(s.query(pattern, out)?);
+            }
+            Ok(set.into_iter().collect())
+        }
+    }
+
+    /// Streaming variant of [`query`](ReadView::query): calls `f` per match
+    /// without materializing results (duplicates possible, as for
+    /// [`relic_core::Snapshot::query_for_each`]; unpinned patterns stream
+    /// shard by shard).
+    ///
+    /// # Errors
+    ///
+    /// As for [`relic_core::Snapshot::query_for_each`].
+    pub fn query_for_each(
+        &self,
+        pattern: &Tuple,
+        out: ColSet,
+        mut f: impl FnMut(&Tuple),
+    ) -> Result<(), OpError> {
+        if self.pins(pattern.dom()) {
+            self.routed(pattern).query_for_each(pattern, out, f)
+        } else {
+            for s in &self.shards {
+                s.query_for_each(pattern, out, &mut f)?;
+            }
+            Ok(())
+        }
+    }
+
+    /// The raw zero-allocation streaming path for pinned point queries: the
+    /// wait-free analog of
+    /// [`relic_core::SynthRelation::query_for_each_bindings`], routed to the
+    /// owning shard's snapshot. Falls back to per-shard streaming for
+    /// unpinned patterns.
+    ///
+    /// # Errors
+    ///
+    /// As for [`relic_core::Snapshot::query_for_each_bindings`].
+    pub fn query_for_each_bindings(
+        &self,
+        scratch: &mut Bindings,
+        pattern: &Tuple,
+        out: ColSet,
+        mut f: impl FnMut(&Bindings),
+    ) -> Result<(), OpError> {
+        if self.pins(pattern.dom()) {
+            self.routed(pattern)
+                .query_for_each_bindings(scratch, pattern, out, f)
+        } else {
+            for s in &self.shards {
+                s.query_for_each_bindings(scratch, pattern, out, &mut f)?;
+            }
+            Ok(())
+        }
+    }
+
+    /// `query_where r P C` against the view (comparison queries); one shard
+    /// when the equality part of `P` pins the shard columns.
+    ///
+    /// # Errors
+    ///
+    /// As for [`relic_core::Snapshot::query_where`].
+    pub fn query_where(&self, pattern: &Pattern, out: ColSet) -> Result<Vec<Tuple>, OpError> {
+        let eq = pattern.eq_tuple();
+        if self.pins(eq.dom()) {
+            self.routed(&eq).query_where(pattern, out)
+        } else {
+            let mut set = BTreeSet::new();
+            for s in &self.shards {
+                set.extend(s.query_where(pattern, out)?);
+            }
+            Ok(set.into_iter().collect())
+        }
+    }
+
+    /// Does any tuple in the view extend `pattern`? Routed like
+    /// [`query`](ReadView::query).
+    ///
+    /// # Errors
+    ///
+    /// As for [`relic_core::Snapshot::contains_matching`].
+    pub fn contains_matching(&self, pattern: &Tuple) -> Result<bool, OpError> {
+        if self.pins(pattern.dom()) {
+            self.routed(pattern).contains_matching(pattern)
+        } else {
+            for s in &self.shards {
+                if s.contains_matching(pattern)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+    }
+
+    /// Number of tuples across the view's shard snapshots.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Is the view empty?
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// The whole view as a reference [`Relation`] (linear; for tests and
+    /// full scans).
+    pub fn to_relation(&self) -> Relation {
+        let cols = self.shards[0].spec().cols();
+        let mut out = Relation::empty(cols);
+        for s in &self.shards {
+            for t in s.to_relation().iter() {
+                out.insert(t.clone());
+            }
+        }
+        out
+    }
+}
+
+/// A cached [`ReadView`] bound to its relation: the steady-state wait-free
+/// read path.
+///
+/// A **pinned** query (the pattern binds all shard columns) routes to one
+/// shard and refreshes only that shard's cached slot, and only when that
+/// shard's publish epoch moved — one `Acquire` load per query when nothing
+/// changed, no locks and no `Arc` traffic at all, regardless of write
+/// activity on *other* shards. Unpinned queries check the whole-relation
+/// epoch and re-collect the full view when stale. Each reader thread owns
+/// its handle (`ReadHandle` is `Send` but, like any cached cursor, not
+/// meant to be shared).
+///
+/// After a pinned refresh the cached vector may briefly hold shards of
+/// mixed recency (never observable by the pinned query itself, which
+/// touches one shard); the next unpinned access re-collects a coherent
+/// view, and migration epochs stay atomic because they bump every epoch
+/// counter at once.
+#[derive(Debug)]
+pub struct ReadHandle<'a> {
+    rel: &'a ConcurrentRelation,
+    view: ReadView,
+}
+
+impl<'a> ReadHandle<'a> {
+    pub(crate) fn new(rel: &'a ConcurrentRelation) -> Self {
+        let view = rel.read_view();
+        ReadHandle { rel, view }
+    }
+
+    /// The freshest coherent view, re-collected only if a publish happened
+    /// since the cached one (one `Acquire` load when nothing changed).
+    pub fn view(&mut self) -> &ReadView {
+        if self.rel.epoch_now() != self.view.epoch {
+            self.view = self.rel.read_view();
+        }
+        &self.view
+    }
+
+    /// The cached view, without any staleness check — the strictly
+    /// wait-free path (the view may lag the relation by design).
+    pub fn cached(&self) -> &ReadView {
+        &self.view
+    }
+
+    /// Refreshes the cached slot of shard `i` iff its publish epoch moved.
+    fn refresh_shard(&mut self, i: usize) {
+        let e = self.rel.shard_epoch_now(i);
+        if e != self.view.shard_epochs[i] {
+            self.view.shards[i] = self.rel.shard_view(i);
+            self.view.shard_epochs[i] = e;
+        }
+    }
+
+    /// For a pinned pattern: the index of the (just refreshed) owning
+    /// shard's snapshot.
+    fn pinned_shard(&mut self, routed_on: &Tuple) -> usize {
+        let i = crate::route_tuple(self.view.shard_cols, self.view.shards.len(), routed_on);
+        self.refresh_shard(i);
+        i
+    }
+
+    /// [`ReadView::query`] on fresh state: a pinned pattern refreshes and
+    /// probes one shard; an unpinned one goes through the coherent
+    /// [`view`](ReadHandle::view).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ReadView::query`].
+    pub fn query(&mut self, pattern: &Tuple, out: ColSet) -> Result<Vec<Tuple>, OpError> {
+        if self.view.pins(pattern.dom()) {
+            let i = self.pinned_shard(pattern);
+            self.view.shards[i].query(pattern, out)
+        } else {
+            self.view().query(pattern, out)
+        }
+    }
+
+    /// [`ReadView::query_for_each`] on fresh state (pinned fast path as for
+    /// [`query`](ReadHandle::query)).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ReadView::query_for_each`].
+    pub fn query_for_each(
+        &mut self,
+        pattern: &Tuple,
+        out: ColSet,
+        f: impl FnMut(&Tuple),
+    ) -> Result<(), OpError> {
+        if self.view.pins(pattern.dom()) {
+            let i = self.pinned_shard(pattern);
+            self.view.shards[i].query_for_each(pattern, out, f)
+        } else {
+            self.view().query_for_each(pattern, out, f)
+        }
+    }
+
+    /// The raw zero-allocation point-read path: routes a pinned pattern to
+    /// its (freshly checked) shard snapshot and streams bindings.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ReadView::query_for_each_bindings`].
+    pub fn query_for_each_bindings(
+        &mut self,
+        scratch: &mut Bindings,
+        pattern: &Tuple,
+        out: ColSet,
+        f: impl FnMut(&Bindings),
+    ) -> Result<(), OpError> {
+        if self.view.pins(pattern.dom()) {
+            let i = self.pinned_shard(pattern);
+            self.view.shards[i].query_for_each_bindings(scratch, pattern, out, f)
+        } else {
+            self.view()
+                .query_for_each_bindings(scratch, pattern, out, f)
+        }
+    }
+
+    /// [`ReadView::query_where`] on fresh state (pinned fast path when the
+    /// equality part of `P` pins the shard columns).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ReadView::query_where`].
+    pub fn query_where(&mut self, pattern: &Pattern, out: ColSet) -> Result<Vec<Tuple>, OpError> {
+        let eq = pattern.eq_tuple();
+        if self.view.pins(eq.dom()) {
+            let i = self.pinned_shard(&eq);
+            self.view.shards[i].query_where(pattern, out)
+        } else {
+            self.view().query_where(pattern, out)
+        }
+    }
+
+    /// [`ReadView::contains_matching`] on fresh state (pinned fast path as
+    /// for [`query`](ReadHandle::query)).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ReadView::contains_matching`].
+    pub fn contains_matching(&mut self, pattern: &Tuple) -> Result<bool, OpError> {
+        if self.view.pins(pattern.dom()) {
+            let i = self.pinned_shard(pattern);
+            self.view.shards[i].contains_matching(pattern)
+        } else {
+            self.view().contains_matching(pattern)
+        }
+    }
+
+    /// [`ReadView::len`] on the fresh coherent view.
+    pub fn len(&mut self) -> usize {
+        self.view().len()
+    }
+
+    /// Is the fresh view empty?
+    pub fn is_empty(&mut self) -> bool {
+        self.view().is_empty()
+    }
+}
+
+impl ConcurrentRelation {
+    /// The current publish epoch (monotonic; bumped on every publish).
+    pub(crate) fn epoch_now(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Shard `i`'s publish epoch (monotonic; bumped per slot swap).
+    pub(crate) fn shard_epoch_now(&self, i: usize) -> u64 {
+        self.shard_epochs[i].load(Ordering::Acquire)
+    }
+
+    /// Collects a [`ReadView`]: each shard's currently published snapshot,
+    /// without taking any shard lock. Retries collection around a
+    /// migration's publish burst (seqlock), so the returned view never
+    /// mixes decompositions.
+    pub fn read_view(&self) -> ReadView {
+        loop {
+            let m1 = self.migration_epoch.load(Ordering::Acquire);
+            if m1 % 2 == 1 {
+                // A migration is publishing right now; its window is a few
+                // Arc swaps.
+                std::hint::spin_loop();
+                continue;
+            }
+            let epoch = self.epoch.load(Ordering::Acquire);
+            let mut shards = Vec::with_capacity(self.shards.len());
+            let mut shard_epochs = Vec::with_capacity(self.shards.len());
+            for i in 0..self.shards.len() {
+                // Epoch first, slot second: a publish racing in between
+                // leaves the recorded epoch *behind* the collected snapshot,
+                // which costs one redundant refresh later — never a missed
+                // one.
+                shard_epochs.push(self.shard_epoch_now(i));
+                shards.push(self.shard_view(i));
+            }
+            if self.migration_epoch.load(Ordering::Acquire) == m1 {
+                return ReadView {
+                    shards,
+                    shard_cols: self.shard_cols(),
+                    epoch,
+                    shard_epochs,
+                };
+            }
+        }
+    }
+
+    /// A cached [`ReadHandle`] for a reader thread: collects one view now,
+    /// then refreshes only when the epoch moves.
+    pub fn read_handle(&self) -> ReadHandle<'_> {
+        ReadHandle::new(self)
+    }
+
+    /// Shard `i`'s published snapshot. The publish slot is `None` only
+    /// inside a writer's prune→publish window; the fallback waits that
+    /// writer out on the shard's read lock (the one place a reader can
+    /// touch it) and re-reads the slot the writer republished.
+    fn shard_view(&self, i: usize) -> Arc<Snapshot> {
+        if let Some(s) = self.published[i]
+            .read()
+            .expect("publish slot poisoned")
+            .as_ref()
+        {
+            return Arc::clone(s);
+        }
+        let shard = self.read_shard(i);
+        if let Some(s) = self.published[i]
+            .read()
+            .expect("publish slot poisoned")
+            .as_ref()
+        {
+            return Arc::clone(s);
+        }
+        // Unreachable in practice: every mutation republishes before
+        // releasing its write lock. Build directly rather than panic.
+        Arc::new(shard.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relic_core::SynthRelation;
+    use relic_decomp::parse;
+    use relic_spec::{Catalog, Pred, RelSpec, Value};
+
+    fn setup(shards: usize) -> (Catalog, ConcurrentRelation) {
+        let mut cat = Catalog::new();
+        let d = parse(
+            &mut cat,
+            "let u : {host,ts} . {bytes} = unit {bytes} in
+             let h : {host} . {ts,bytes} = {ts} -[avl]-> u in
+             let x : {} . {host,ts,bytes} = {host} -[htable]-> h in x",
+        )
+        .unwrap();
+        let host = cat.col("host").unwrap();
+        let ts = cat.col("ts").unwrap();
+        let bytes = cat.col("bytes").unwrap();
+        let spec = RelSpec::new(cat.all()).with_fd(host | ts, bytes.set());
+        let r = ConcurrentRelation::new(&cat, spec, d, host.set(), shards).unwrap();
+        (cat, r)
+    }
+
+    fn tup(cat: &Catalog, h: i64, t: i64, b: i64) -> Tuple {
+        Tuple::from_pairs([
+            (cat.col("host").unwrap(), Value::from(h)),
+            (cat.col("ts").unwrap(), Value::from(t)),
+            (cat.col("bytes").unwrap(), Value::from(b)),
+        ])
+    }
+
+    #[test]
+    fn read_view_matches_locked_reads() {
+        let (cat, r) = setup(4);
+        let host = cat.col("host").unwrap();
+        let ts = cat.col("ts").unwrap();
+        let bytes = cat.col("bytes").unwrap();
+        for h in 0..6i64 {
+            for t in 0..10i64 {
+                r.insert(tup(&cat, h, t, h + t)).unwrap();
+            }
+        }
+        let view = r.read_view();
+        assert_eq!(view.len(), r.len());
+        assert_eq!(view.to_relation(), r.to_relation());
+        // Pinned point query routes to one shard.
+        let pat = Tuple::from_pairs([(host, Value::from(3))]);
+        assert_eq!(
+            view.query(&pat, ts | bytes).unwrap(),
+            r.query(&pat, ts | bytes).unwrap()
+        );
+        // Unpinned query merges across shards, sorted.
+        let pat = Tuple::from_pairs([(ts, Value::from(7))]);
+        assert_eq!(
+            view.query(&pat, host | bytes).unwrap(),
+            r.query(&pat, host | bytes).unwrap()
+        );
+        // Comparison queries.
+        let p = Pattern::new().with(ts, Pred::Between(Value::from(2), Value::from(5)));
+        assert_eq!(
+            view.query_where(&p, host | ts).unwrap(),
+            r.query_where(&p, host | ts).unwrap()
+        );
+        let p = Pattern::new()
+            .with(host, Pred::Eq(Value::from(1)))
+            .with(ts, Pred::Ge(Value::from(8)));
+        assert_eq!(
+            view.query_where(&p, ts.set()).unwrap(),
+            r.query_where(&p, ts.set()).unwrap()
+        );
+        assert!(view.contains_matching(&pat).unwrap());
+    }
+
+    #[test]
+    fn views_are_frozen_and_handles_refresh() {
+        let (cat, r) = setup(2);
+        r.insert(tup(&cat, 1, 1, 1)).unwrap();
+        let frozen = r.read_view();
+        let mut handle = r.read_handle();
+        assert_eq!(handle.len(), 1);
+        r.insert(tup(&cat, 2, 2, 2)).unwrap();
+        r.insert(tup(&cat, 1, 9, 9)).unwrap();
+        // The detached view stays at its epoch; the handle moves.
+        assert_eq!(frozen.len(), 1);
+        assert_eq!(handle.len(), 3);
+        assert_eq!(handle.view().to_relation(), r.to_relation());
+        // The cached accessor does not refresh by itself.
+        r.insert(tup(&cat, 3, 3, 3)).unwrap();
+        assert_eq!(handle.cached().len(), 3);
+        assert_eq!(handle.len(), 4);
+    }
+
+    #[test]
+    fn batch_publish_is_per_shard_atomic() {
+        let (cat, r) = setup(4);
+        let batch: Vec<Tuple> = (0..8i64)
+            .flat_map(|h| (0..5i64).map(move |t| (h, t)))
+            .map(|(h, t)| tup(&cat, h, t, h))
+            .collect();
+        r.insert_many(batch).unwrap();
+        let view = r.read_view();
+        // Every shard reflects its whole slice of the batch.
+        assert_eq!(view.len(), 40);
+        assert_eq!(view.to_relation(), r.to_relation());
+    }
+
+    #[test]
+    fn epoch_moves_on_every_mutation_kind() {
+        let (cat, r) = setup(2);
+        let mut last = r.epoch_now();
+        let mut bumped = |r: &ConcurrentRelation, what: &str| {
+            let e = r.epoch_now();
+            assert!(e > last, "{what} must publish");
+            last = e;
+        };
+        r.insert(tup(&cat, 1, 1, 1)).unwrap();
+        bumped(&r, "insert");
+        r.bulk_load((0..4i64).map(|t| tup(&cat, 2, t, t))).unwrap();
+        bumped(&r, "bulk_load");
+        r.update(
+            &Tuple::from_pairs([
+                (cat.col("host").unwrap(), Value::from(1)),
+                (cat.col("ts").unwrap(), Value::from(1)),
+            ]),
+            &Tuple::from_pairs([(cat.col("bytes").unwrap(), Value::from(5))]),
+        )
+        .unwrap();
+        bumped(&r, "update");
+        r.remove(&Tuple::from_pairs([(
+            cat.col("ts").unwrap(),
+            Value::from(0),
+        )]))
+        .unwrap();
+        bumped(&r, "remove");
+        r.with_partition_mut(&tup(&cat, 1, 1, 1), |s: &mut SynthRelation| {
+            s.insert(tup(&cat, 1, 7, 7)).unwrap();
+        });
+        bumped(&r, "with_partition_mut");
+    }
+}

@@ -30,6 +30,7 @@ mod exec;
 mod instance;
 mod profile;
 mod relation;
+pub(crate) mod snapshot;
 
 pub use error::{BuildError, MigrateError, OpError};
 pub use exec::Bindings;
@@ -38,3 +39,4 @@ pub use instance::{
 };
 pub use profile::WorkloadProfile;
 pub use relation::SynthRelation;
+pub use snapshot::Snapshot;

@@ -14,7 +14,10 @@ use std::sync::{Arc, RwLock};
 
 /// Cache key: the `(eq, ranged, filtered, out)` column-set signature of a
 /// query.
-type PlanKey = (u64, u64, u64, u64);
+pub(crate) type PlanKey = (u64, u64, u64, u64);
+
+/// The shared, read-mostly plan cache: signature → memoized `Arc<Plan>`.
+pub(crate) type PlanCache = RwLock<HashMap<PlanKey, Arc<Plan>>>;
 
 /// A relation synthesized from a [`RelSpec`] and an adequate
 /// [`Decomposition`] — the Rust analog of the C++ classes emitted by RELC.
@@ -67,15 +70,24 @@ type PlanKey = (u64, u64, u64, u64);
 pub struct SynthRelation {
     cat: Catalog,
     spec: RelSpec,
-    d: Decomposition,
-    layout: Layout,
-    store: Store,
+    /// The decomposition, `Arc`-shared with every outstanding
+    /// [`Snapshot`](crate::Snapshot) (it is only ever *replaced* — by
+    /// migration — never mutated in place, so sharing is always sound).
+    d: Arc<Decomposition>,
+    layout: Arc<Layout>,
+    /// The instance store. Mutations go through [`Arc::make_mut`]: while no
+    /// snapshot shares the store the relation mutates in place exactly as
+    /// before; the first mutation after a snapshot was taken pays one
+    /// copy-on-write clone, leaving the snapshot's store frozen.
+    store: Arc<Store>,
     root: InstanceRef,
     cost: CostModel,
     /// Read-mostly plan cache: the warm path takes only a read lock and
     /// clones an `Arc`, never a `Plan`. Invalidation (`set_cost_model`,
-    /// `set_join_cost_mode`, `clear`) holds the write lock briefly.
-    plan_cache: RwLock<HashMap<PlanKey, Arc<Plan>>>,
+    /// `set_join_cost_mode`, `clear`, migration) *replaces* the `Arc` with a
+    /// fresh cache instead of clearing in place, so snapshots sharing the
+    /// old cache keep plans consistent with their frozen representation.
+    plan_cache: Arc<PlanCache>,
     /// Scratch accumulator reused by the mutation paths (`insert`, `remove`,
     /// `update`) for FD-check and duplicate-detection probes.
     scratch: Bindings,
@@ -84,7 +96,9 @@ pub struct SynthRelation {
     /// Workload recorder: per-signature query counts, insert count,
     /// per-pattern remove counts. Interior-mutable so `&self` queries can
     /// record; warm signatures cost one read lock + one relaxed increment.
-    profile: ProfileCounters,
+    /// `Arc`-shared with snapshots, so read traffic served wait-free through
+    /// a [`Snapshot`](crate::Snapshot) still feeds the autotuner.
+    profile: Arc<ProfileCounters>,
     /// Whether the recorder is armed (on by default; see
     /// [`set_profiling`](SynthRelation::set_profiling)).
     profiling: bool,
@@ -113,20 +127,44 @@ impl SynthRelation {
         Ok(SynthRelation {
             cat: cat.clone(),
             spec,
-            d,
-            layout,
-            store,
+            d: Arc::new(d),
+            layout: Arc::new(layout),
+            store: Arc::new(store),
             root,
             cost,
-            plan_cache: RwLock::new(HashMap::new()),
+            plan_cache: Arc::new(RwLock::new(HashMap::new())),
             scratch: Bindings::new(),
             key_scratch: Vec::new(),
-            profile: ProfileCounters::default(),
+            profile: Arc::new(ProfileCounters::default()),
             profiling: true,
             check_fds: true,
             len: 0,
             min_key,
         })
+    }
+
+    /// An immutable, `Arc`-shared view of the relation's current state —
+    /// O(1) to take, independent of the relation's size.
+    ///
+    /// The snapshot shares the decomposition, instance store, plan cache and
+    /// workload recorder with the live relation. Subsequent mutations
+    /// copy-on-write the store (the first mutation after a snapshot pays one
+    /// store clone; later mutations are in-place again), so the snapshot is
+    /// frozen at the moment it was taken while the relation moves on. Reads
+    /// served through the snapshot still record into the live relation's
+    /// workload profile, keeping the autotuner's picture complete.
+    pub fn snapshot(&self) -> crate::Snapshot {
+        crate::snapshot::Snapshot::new(
+            self.spec.clone(),
+            Arc::clone(&self.d),
+            Arc::clone(&self.store),
+            self.root,
+            self.cost.clone(),
+            Arc::clone(&self.plan_cache),
+            Arc::clone(&self.profile),
+            self.profiling,
+            self.len,
+        )
     }
 
     /// The relation's specification.
@@ -185,13 +223,11 @@ impl SynthRelation {
         self.invalidate_plans();
     }
 
-    /// Drops every memoized plan. `&mut self` means no reader can hold the
-    /// lock, so this cannot block or race.
+    /// Drops every memoized plan by *replacing* the cache. Snapshots sharing
+    /// the old `Arc` keep their (still valid for their frozen
+    /// representation) plans; the live relation re-plans from scratch.
     fn invalidate_plans(&mut self) {
-        self.plan_cache
-            .get_mut()
-            .expect("plan cache poisoned")
-            .clear();
+        self.plan_cache = Arc::new(RwLock::new(HashMap::new()));
     }
 
     /// Number of memoized query plans (for tests and cache-behaviour
@@ -297,20 +333,16 @@ impl SynthRelation {
         filtered: ColSet,
         out: ColSet,
     ) -> Result<Arc<Plan>, OpError> {
-        let key = (eq.bits(), ranged.bits(), filtered.bits(), out.bits());
-        if let Some(p) = self
-            .plan_cache
-            .read()
-            .expect("plan cache poisoned")
-            .get(&key)
-        {
-            return Ok(Arc::clone(p));
-        }
-        let planner = Planner::new(&self.d, &self.spec, self.cost.clone());
-        let planned = planner.plan_query_where(eq, ranged, filtered, out)?;
-        let mut cache = self.plan_cache.write().expect("plan cache poisoned");
-        let entry = cache.entry(key).or_insert_with(|| Arc::new(planned.plan));
-        Ok(Arc::clone(entry))
+        plan_memoized(
+            &self.plan_cache,
+            &self.d,
+            &self.spec,
+            &self.cost,
+            eq,
+            ranged,
+            filtered,
+            out,
+        )
     }
 
     /// `query r s C` (§2): the projection onto `out` of every tuple extending
@@ -376,6 +408,20 @@ impl SynthRelation {
         self.stream_bindings(scratch, pattern, out, f)
     }
 
+    /// The borrowed read core over this relation's current state (shared
+    /// with [`crate::Snapshot`], which builds the same core over its frozen
+    /// `Arc`s — one implementation of plan + execute serves both).
+    fn read_core(&self) -> ReadCore<'_> {
+        ReadCore {
+            spec: &self.spec,
+            d: &self.d,
+            store: &self.store,
+            root: self.root,
+            cost: &self.cost,
+            plan_cache: &self.plan_cache,
+        }
+    }
+
     /// [`query_for_each_bindings`](SynthRelation::query_for_each_bindings)
     /// without workload recording — the internal path for operations (like
     /// `remove`'s matching enumeration or a migration drain) whose embedded
@@ -386,22 +432,9 @@ impl SynthRelation {
         scratch: &mut Bindings,
         pattern: &Tuple,
         out: ColSet,
-        mut f: impl FnMut(&Bindings),
+        f: impl FnMut(&Bindings),
     ) -> Result<(), OpError> {
-        let foreign = (pattern.dom() | out) - self.spec.cols();
-        if !foreign.is_empty() {
-            return Err(OpError::ForeignColumns { cols: foreign });
-        }
-        let plan = self.planned(pattern.dom(), out)?;
-        scratch.load_pattern(pattern);
-        let env = ExecEnv {
-            store: &self.store,
-            d: &self.d,
-            cmp: &[],
-        };
-        let body = &self.d.node(self.d.root()).body;
-        exec_plan(&env, &plan, body, 0, self.root, scratch, &mut |b| f(b));
-        Ok(())
+        self.read_core().stream(scratch, pattern, out, f)
     }
 
     /// All full tuples extending `pattern`, sorted.
@@ -504,12 +537,7 @@ impl SynthRelation {
         f: impl FnMut(&Bindings),
     ) -> Result<(), OpError> {
         if (pattern.dom() | out).is_subset(self.spec.cols()) {
-            let ranged: ColSet = pattern
-                .cmp_preds()
-                .iter()
-                .filter(|(_, p)| p.is_interval())
-                .fold(ColSet::EMPTY, |acc, (c, _)| acc | *c);
-            self.record_query(pattern.eq_cols(), ranged, out);
+            self.record_query(pattern.eq_cols(), interval_cols(pattern), out);
         }
         self.stream_where_bindings(scratch, pattern, out, f)
     }
@@ -523,29 +551,9 @@ impl SynthRelation {
         scratch: &mut Bindings,
         pattern: &Pattern,
         out: ColSet,
-        mut f: impl FnMut(&Bindings),
+        f: impl FnMut(&Bindings),
     ) -> Result<(), OpError> {
-        let foreign = (pattern.dom() | out) - self.spec.cols();
-        if !foreign.is_empty() {
-            return Err(OpError::ForeignColumns { cols: foreign });
-        }
-        let cmp = pattern.cmp_preds();
-        let ranged: ColSet = cmp
-            .iter()
-            .filter(|(_, p)| p.is_interval())
-            .fold(ColSet::EMPTY, |acc, (c, _)| acc | *c);
-        let filtered = pattern.cmp_cols() - ranged;
-        let plan = self.planned_where(pattern.eq_cols(), ranged, filtered, out)?;
-        let eq = pattern.eq_tuple();
-        scratch.load_pattern(&eq);
-        let env = ExecEnv {
-            store: &self.store,
-            d: &self.d,
-            cmp: &cmp,
-        };
-        let body = &self.d.node(self.d.root()).body;
-        exec_plan(&env, &plan, body, 0, self.root, scratch, &mut |b| f(b));
-        Ok(())
+        self.read_core().stream_where(scratch, pattern, out, f)
     }
 
     /// The unrecorded equivalent of `query_where(pattern, all)` for
@@ -564,11 +572,7 @@ impl SynthRelation {
     /// pattern's signature (for inspection and tests), rendered in the
     /// paper's notation.
     pub fn plan_for_where(&self, pattern: &Pattern, out: ColSet) -> Result<String, OpError> {
-        let cmp = pattern.cmp_preds();
-        let ranged: ColSet = cmp
-            .iter()
-            .filter(|(_, p)| p.is_interval())
-            .fold(ColSet::EMPTY, |acc, (c, _)| acc | *c);
+        let ranged = interval_cols(pattern);
         let filtered = pattern.cmp_cols() - ranged;
         Ok(self
             .planned_where(pattern.eq_cols(), ranged, filtered, out)?
@@ -741,7 +745,7 @@ impl SynthRelation {
                 found.unwrap_or_else(|| {
                     let key = t.key_for(self.d.node(node).bound);
                     let inst = self.layout.new_instance(&self.d, node, key, t);
-                    self.store.alloc(node, inst)
+                    Arc::make_mut(&mut self.store).alloc(node, inst)
                 })
             };
             for &e in self.d.incoming_edges(node) {
@@ -751,7 +755,7 @@ impl SynthRelation {
                 t.write_key_into(edge.key, &mut kb);
                 if self.store.cont_get(parent, leaf, &kb).is_none() {
                     let ekey: Key = kb.as_slice().into();
-                    self.store.cont_insert(parent, leaf, ekey, inst);
+                    Arc::make_mut(&mut self.store).cont_insert(parent, leaf, ekey, inst);
                 }
             }
             resolved[node.index()] = Some(inst);
@@ -1283,15 +1287,17 @@ impl SynthRelation {
                     }
                 }
                 let leaf = a.leaf;
-                self.store.cont_reserve(self.root, leaf, groups);
-                self.store.reserve_node(self.d.edge(eid).to, groups);
+                let to = self.d.edge(eid).to;
+                let store = Arc::make_mut(&mut self.store);
+                store.cont_reserve(self.root, leaf, groups);
+                store.reserve_node(to, groups);
             }
         }
         // Nodes bound by (a superset of) the minimal key get one instance
         // per accepted tuple — pre-size their arenas once.
         for (id, node) in self.d.nodes() {
             if self.min_key.is_subset(node.bound) && !self.min_key.is_empty() {
-                self.store.reserve_node(id, order.len());
+                Arc::make_mut(&mut self.store).reserve_node(id, order.len());
             }
         }
         let topo: Vec<NodeId> = self.d.topo_root_first().collect();
@@ -1367,7 +1373,7 @@ impl SynthRelation {
                                 .into_boxed_slice(),
                                 refs: 0,
                             };
-                            (self.store.alloc(node, inst), true)
+                            (Arc::make_mut(&mut self.store).alloc(node, inst), true)
                         }
                     }
                 };
@@ -1382,7 +1388,7 @@ impl SynthRelation {
                             // The previous parent's group is over — build
                             // its container — and this freshly created
                             // parent (whose container is empty) takes over.
-                            a.flush(&mut self.store);
+                            a.flush(Arc::make_mut(&mut self.store));
                             a.parent = Some(parent);
                         }
                         if a.parent == Some(parent) {
@@ -1397,7 +1403,7 @@ impl SynthRelation {
                                 a.ascending &= last < &key;
                             }
                             a.entries.push((key, inst));
-                            self.store.get_mut(inst).refs += 1;
+                            Arc::make_mut(&mut self.store).get_mut(inst).refs += 1;
                             continue;
                         }
                     }
@@ -1407,7 +1413,7 @@ impl SynthRelation {
                         // cannot hold its key yet — insert without
                         // re-probing.
                         let ekey: Key = kb.as_slice().into();
-                        self.store.cont_insert(parent, leaf, ekey, inst);
+                        Arc::make_mut(&mut self.store).cont_insert(parent, leaf, ekey, inst);
                     }
                 }
                 resolved[idx] = Some(inst);
@@ -1420,7 +1426,7 @@ impl SynthRelation {
         }
         self.key_scratch = kb;
         for a in &mut accs {
-            a.flush(&mut self.store);
+            a.flush(Arc::make_mut(&mut self.store));
         }
     }
 
@@ -1552,12 +1558,15 @@ impl SynthRelation {
     /// the old instance's fan-outs, so a reset conservatively forces
     /// re-planning.
     pub fn clear(&mut self) {
-        self.store = Store::new(&self.d);
+        // A fresh store (not an in-place reset), so outstanding snapshots
+        // keep the pre-clear instance graph.
+        let mut store = Store::new(&self.d);
         let root_node = self.d.root();
         let root_inst = self
             .layout
             .new_instance(&self.d, root_node, Box::new([]), &Tuple::empty());
-        self.root = self.store.alloc(root_node, root_inst);
+        self.root = store.alloc(root_node, root_inst);
+        self.store = Arc::new(store);
         self.len = 0;
         self.invalidate_plans();
     }
@@ -1588,7 +1597,7 @@ impl SynthRelation {
     ///   key (the paper's "silently corrupts" regime): the rebuild's
     ///   screening detects what the original mutations did not.
     pub fn migrate_to(&mut self, d: Decomposition) -> Result<(), MigrateError> {
-        if d == self.d {
+        if d == *self.d {
             return Ok(());
         }
         let mut next = SynthRelation::new(&self.cat, self.spec.clone(), d)?;
@@ -1659,7 +1668,7 @@ impl SynthRelation {
             };
             let leaf = self.layout.leaf_of_edge[e.index()];
             t.write_key_into(edge.key, &mut kb);
-            if let Some(child) = self.store.cont_remove(parent, leaf, &kb) {
+            if let Some(child) = Arc::make_mut(&mut self.store).cont_remove(parent, leaf, &kb) {
                 self.decref(child);
             }
         }
@@ -1684,13 +1693,13 @@ impl SynthRelation {
                 }
                 let leaf = self.layout.leaf_of_edge[e.index()];
                 t.write_key_into(edge.key, &mut kb);
-                if let Some(child) = self.store.cont_remove(parent, leaf, &kb) {
+                if let Some(child) = Arc::make_mut(&mut self.store).cont_remove(parent, leaf, &kb) {
                     debug_assert_eq!(child, inst);
-                    self.store.get_mut(child).refs -= 1;
+                    Arc::make_mut(&mut self.store).get_mut(child).refs -= 1;
                 }
             }
             if self.store.get(inst).refs == 0 {
-                let _ = self.store.free(inst);
+                let _ = Arc::make_mut(&mut self.store).free(inst);
             }
         }
         self.key_scratch = kb;
@@ -1709,7 +1718,7 @@ impl SynthRelation {
     /// Decrements an instance's reference count, freeing (recursively) at
     /// zero.
     fn decref(&mut self, r: InstanceRef) {
-        let inst = self.store.get_mut(r);
+        let inst = Arc::make_mut(&mut self.store).get_mut(r);
         inst.refs -= 1;
         if inst.refs == 0 {
             self.free_recursive(r);
@@ -1734,11 +1743,12 @@ impl SynthRelation {
                 PrimInst::Unit(_) => {}
             }
         }
-        let _ = self.store.free(r);
+        let _ = Arc::make_mut(&mut self.store).free(r);
         // Intrusive children carry stale links to the freed parent's list;
         // reset them before releasing the reference.
         for (slot, c) in intrusive_children {
-            self.store.get_mut(c).links[slot] = crate::instance::Link::default();
+            Arc::make_mut(&mut self.store).get_mut(c).links[slot] =
+                crate::instance::Link::default();
             self.decref(c);
         }
         for c in children {
@@ -1842,7 +1852,7 @@ impl SynthRelation {
                 if cols.is_disjoint(changed) {
                     continue;
                 }
-                match &mut self.store.get_mut(inst).prims[leaf] {
+                match &mut Arc::make_mut(&mut self.store).get_mut(inst).prims[leaf] {
                     PrimInst::Unit(u) => *u = t_new.project(cols),
                     PrimInst::Map(_) => unreachable!("unit leaf expected"),
                 }
@@ -1964,6 +1974,134 @@ impl EdgeAcc {
         }
         self.ascending = true;
     }
+}
+
+/// The columns of a pattern carrying interval comparisons — the `ranged`
+/// part of a `query_where` signature (for both planning and workload
+/// recording).
+pub(crate) fn interval_cols(pattern: &Pattern) -> ColSet {
+    pattern
+        .cmp_preds()
+        .iter()
+        .filter(|(_, p)| p.is_interval())
+        .fold(ColSet::EMPTY, |acc, (c, _)| acc | *c)
+}
+
+/// The borrowed read-side core: everything needed to plan and execute a
+/// query against one representation state. [`SynthRelation`] builds it over
+/// its live fields, [`crate::Snapshot`] over its frozen `Arc`s — so the
+/// foreign-column check, signature classification, memoized planning and
+/// plan execution exist exactly once.
+pub(crate) struct ReadCore<'a> {
+    pub(crate) spec: &'a RelSpec,
+    pub(crate) d: &'a Decomposition,
+    pub(crate) store: &'a Store,
+    pub(crate) root: InstanceRef,
+    pub(crate) cost: &'a CostModel,
+    pub(crate) plan_cache: &'a PlanCache,
+}
+
+impl ReadCore<'_> {
+    /// Streams every tuple extending equality `pattern`, projected through
+    /// the execution accumulator (the unrecorded raw query path).
+    pub(crate) fn stream(
+        &self,
+        scratch: &mut Bindings,
+        pattern: &Tuple,
+        out: ColSet,
+        mut f: impl FnMut(&Bindings),
+    ) -> Result<(), OpError> {
+        let foreign = (pattern.dom() | out) - self.spec.cols();
+        if !foreign.is_empty() {
+            return Err(OpError::ForeignColumns { cols: foreign });
+        }
+        let plan = plan_memoized(
+            self.plan_cache,
+            self.d,
+            self.spec,
+            self.cost,
+            pattern.dom(),
+            ColSet::EMPTY,
+            ColSet::EMPTY,
+            out,
+        )?;
+        scratch.load_pattern(pattern);
+        let env = ExecEnv {
+            store: self.store,
+            d: self.d,
+            cmp: &[],
+        };
+        let body = &self.d.node(self.d.root()).body;
+        exec_plan(&env, &plan, body, 0, self.root, scratch, &mut |b| f(b));
+        Ok(())
+    }
+
+    /// Streams every tuple satisfying comparison `pattern` (the unrecorded
+    /// raw `query_where` path): interval predicates drive `qrange` where
+    /// the plan allows, the rest filter-check.
+    pub(crate) fn stream_where(
+        &self,
+        scratch: &mut Bindings,
+        pattern: &Pattern,
+        out: ColSet,
+        mut f: impl FnMut(&Bindings),
+    ) -> Result<(), OpError> {
+        let foreign = (pattern.dom() | out) - self.spec.cols();
+        if !foreign.is_empty() {
+            return Err(OpError::ForeignColumns { cols: foreign });
+        }
+        let cmp = pattern.cmp_preds();
+        let ranged = interval_cols(pattern);
+        let filtered = pattern.cmp_cols() - ranged;
+        let plan = plan_memoized(
+            self.plan_cache,
+            self.d,
+            self.spec,
+            self.cost,
+            pattern.eq_cols(),
+            ranged,
+            filtered,
+            out,
+        )?;
+        let eq = pattern.eq_tuple();
+        scratch.load_pattern(&eq);
+        let env = ExecEnv {
+            store: self.store,
+            d: self.d,
+            cmp: &cmp,
+        };
+        let body = &self.d.node(self.d.root()).body;
+        exec_plan(&env, &plan, body, 0, self.root, scratch, &mut |b| f(b));
+        Ok(())
+    }
+}
+
+/// Memoized planning against a shared cache — the core of
+/// [`SynthRelation::planned_where`], also used by [`crate::Snapshot`]. The
+/// warm path takes one read lock and hands out a shared `Arc<Plan>`; on a
+/// miss the (expensive) planning runs outside any lock, and the subsequent
+/// insert re-checks the entry so concurrent planners that raced converge on
+/// one plan instead of clobbering each other.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn plan_memoized(
+    cache: &PlanCache,
+    d: &Decomposition,
+    spec: &RelSpec,
+    cost: &CostModel,
+    eq: ColSet,
+    ranged: ColSet,
+    filtered: ColSet,
+    out: ColSet,
+) -> Result<Arc<Plan>, OpError> {
+    let key = (eq.bits(), ranged.bits(), filtered.bits(), out.bits());
+    if let Some(p) = cache.read().expect("plan cache poisoned").get(&key) {
+        return Ok(Arc::clone(p));
+    }
+    let planner = Planner::new(d, spec, cost.clone());
+    let planned = planner.plan_query_where(eq, ranged, filtered, out)?;
+    let mut cache = cache.write().expect("plan cache poisoned");
+    let entry = cache.entry(key).or_insert_with(|| Arc::new(planned.plan));
+    Ok(Arc::clone(entry))
 }
 
 /// Is `key` exactly the set of the first `m` columns of the sort sequence,

@@ -1,0 +1,416 @@
+//! [`Snapshot`]: a frozen, shareable read-only view of a [`SynthRelation`].
+//!
+//! A snapshot is the read half of an RCU-style split (McKenney, *Is
+//! Parallel Programming Hard*): [`SynthRelation::snapshot`] captures the
+//! relation's current decomposition, instance store, plan cache and cost
+//! model behind `Arc`s in O(1), and every later mutation copy-on-writes the
+//! store instead of touching the captured one. The snapshot therefore
+//! answers queries against exactly the state it was taken at — forever,
+//! without any lock — while the live relation keeps mutating.
+//!
+//! Three sharing decisions make this safe and useful:
+//!
+//! * **Store, decomposition, layout** are `Arc`-shared and never mutated in
+//!   place by the live relation (mutations go through `Arc::make_mut`,
+//!   migrations replace the `Arc`s wholesale), so the snapshot's instance
+//!   graph is immutable.
+//! * **The plan cache** is `Arc`-shared with the relation *as of the
+//!   snapshot*: plans memoized by either side serve both, and invalidation
+//!   on the live side (migration, cost-model swap) replaces the relation's
+//!   `Arc` rather than clearing the map, so the snapshot's plans always
+//!   match its frozen representation.
+//! * **The workload recorder** is `Arc`-shared with the live relation, so
+//!   reads served through a snapshot still count toward the profile the
+//!   autotuner consumes — moving read traffic off the locks does not blind
+//!   the profile → recommend → migrate loop. Recording uses the recorder's
+//!   existing read-mostly locking and relaxed atomics.
+//!
+//! [`SynthRelation`]: crate::SynthRelation
+//! [`SynthRelation::snapshot`]: crate::SynthRelation::snapshot
+
+use crate::error::OpError;
+use crate::exec::Bindings;
+use crate::instance::{InstanceRef, Store};
+use crate::profile::ProfileCounters;
+use crate::relation::{interval_cols, PlanCache, ReadCore};
+use relic_decomp::Decomposition;
+use relic_query::CostModel;
+use relic_spec::{ColSet, Pattern, RelSpec, Relation, Tuple};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// An immutable view of a [`SynthRelation`](crate::SynthRelation) at one
+/// moment: the full read-side query API, no locks, no mutation.
+///
+/// Snapshots are cheap to take (a handful of `Arc` bumps), cheap to clone,
+/// and `Send + Sync` — the intended use is publishing them from a writer to
+/// wait-free readers (see `relic_concurrent`'s `read_view`).
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    spec: RelSpec,
+    d: Arc<Decomposition>,
+    store: Arc<Store>,
+    root: InstanceRef,
+    cost: CostModel,
+    plan_cache: Arc<PlanCache>,
+    profile: Arc<ProfileCounters>,
+    profiling: bool,
+    len: usize,
+}
+
+impl Snapshot {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        spec: RelSpec,
+        d: Arc<Decomposition>,
+        store: Arc<Store>,
+        root: InstanceRef,
+        cost: CostModel,
+        plan_cache: Arc<PlanCache>,
+        profile: Arc<ProfileCounters>,
+        profiling: bool,
+        len: usize,
+    ) -> Self {
+        Snapshot {
+            spec,
+            d,
+            store,
+            root,
+            cost,
+            plan_cache,
+            profile,
+            profiling,
+            len,
+        }
+    }
+
+    /// The relation's specification.
+    pub fn spec(&self) -> &RelSpec {
+        &self.spec
+    }
+
+    /// The decomposition this snapshot was represented by when taken.
+    pub fn decomposition(&self) -> &Decomposition {
+        &self.d
+    }
+
+    /// Number of tuples in the snapshot.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the snapshot empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Records one query signature into the live relation's shared
+    /// recorder, gated on `valid` — the pattern's full domain plus the
+    /// output. Only valid signatures are recorded: an unplannable
+    /// (foreign-column) signature in the profile would make every candidate
+    /// rank infinite and silently disable recommendations, exactly as on
+    /// the live relation's recorded paths.
+    #[inline]
+    fn record_query(&self, valid: ColSet, avail: ColSet, ranged: ColSet, out: ColSet) {
+        if self.profiling && valid.is_subset(self.spec.cols()) {
+            self.profile.record_query(avail, ranged, out);
+        }
+    }
+
+    /// The shared read core over the frozen state (the same plan + execute
+    /// implementation the live relation uses).
+    fn core(&self) -> ReadCore<'_> {
+        ReadCore {
+            spec: &self.spec,
+            d: &self.d,
+            store: &self.store,
+            root: self.root,
+            cost: &self.cost,
+            plan_cache: &self.plan_cache,
+        }
+    }
+
+    /// `query r s C` against the frozen state: the projection onto `out` of
+    /// every snapshot tuple extending `pattern`. Results are set-semantic,
+    /// sorted, deterministic — identical to
+    /// [`SynthRelation::query`](crate::SynthRelation::query) at the moment
+    /// the snapshot was taken.
+    ///
+    /// # Errors
+    ///
+    /// [`OpError::ForeignColumns`] if `pattern` or `out` mention columns
+    /// outside the relation.
+    pub fn query(&self, pattern: &Tuple, out: ColSet) -> Result<Vec<Tuple>, OpError> {
+        let mut set: BTreeSet<Tuple> = BTreeSet::new();
+        self.query_for_each(pattern, out, |t| {
+            set.insert(t.clone());
+        })?;
+        Ok(set.into_iter().collect())
+    }
+
+    /// Streaming variant of [`query`](Snapshot::query): calls `f` for each
+    /// match without materializing results. Duplicate projections may be
+    /// delivered more than once (the collecting `query` deduplicates).
+    pub fn query_for_each(
+        &self,
+        pattern: &Tuple,
+        out: ColSet,
+        mut f: impl FnMut(&Tuple),
+    ) -> Result<(), OpError> {
+        let mut scratch = Bindings::new();
+        self.query_for_each_bindings(&mut scratch, pattern, out, |b| f(&b.project(out)))
+    }
+
+    /// The raw streaming query path against the snapshot: calls `f` with the
+    /// execution accumulator for each match, without materializing any
+    /// tuple. With a reused `scratch` and a warm (shared) plan cache this
+    /// performs no heap allocation per emitted tuple — the same contract as
+    /// [`SynthRelation::query_for_each_bindings`](crate::SynthRelation::query_for_each_bindings).
+    ///
+    /// # Errors
+    ///
+    /// [`OpError::ForeignColumns`] if `pattern` or `out` mention columns
+    /// outside the relation.
+    pub fn query_for_each_bindings(
+        &self,
+        scratch: &mut Bindings,
+        pattern: &Tuple,
+        out: ColSet,
+        f: impl FnMut(&Bindings),
+    ) -> Result<(), OpError> {
+        self.record_query(pattern.dom() | out, pattern.dom(), ColSet::EMPTY, out);
+        self.core().stream(scratch, pattern, out, f)
+    }
+
+    /// `query_where r P C` against the frozen state — comparison queries,
+    /// with the same plan selection (`qlookup`/`qrange`/filter) as
+    /// [`SynthRelation::query_where`](crate::SynthRelation::query_where).
+    ///
+    /// # Errors
+    ///
+    /// [`OpError::ForeignColumns`] if `pattern` or `out` mention columns
+    /// outside the relation.
+    pub fn query_where(&self, pattern: &Pattern, out: ColSet) -> Result<Vec<Tuple>, OpError> {
+        let mut set: BTreeSet<Tuple> = BTreeSet::new();
+        self.query_where_for_each(pattern, out, |t| {
+            set.insert(t.clone());
+        })?;
+        Ok(set.into_iter().collect())
+    }
+
+    /// Streaming variant of [`query_where`](Snapshot::query_where).
+    pub fn query_where_for_each(
+        &self,
+        pattern: &Pattern,
+        out: ColSet,
+        mut f: impl FnMut(&Tuple),
+    ) -> Result<(), OpError> {
+        let mut scratch = Bindings::new();
+        self.query_where_for_each_bindings(&mut scratch, pattern, out, |b| f(&b.project(out)))
+    }
+
+    /// Raw streaming variant of
+    /// [`query_where_for_each`](Snapshot::query_where_for_each); see
+    /// [`query_for_each_bindings`](Snapshot::query_for_each_bindings) for
+    /// the allocation contract.
+    ///
+    /// # Errors
+    ///
+    /// [`OpError::ForeignColumns`] as for `query_where_for_each`.
+    pub fn query_where_for_each_bindings(
+        &self,
+        scratch: &mut Bindings,
+        pattern: &Pattern,
+        out: ColSet,
+        f: impl FnMut(&Bindings),
+    ) -> Result<(), OpError> {
+        self.record_query(
+            pattern.dom() | out,
+            pattern.eq_cols(),
+            interval_cols(pattern),
+            out,
+        );
+        self.core().stream_where(scratch, pattern, out, f)
+    }
+
+    /// All full tuples extending `pattern`, sorted.
+    pub fn query_full(&self, pattern: &Tuple) -> Result<Vec<Tuple>, OpError> {
+        self.query(pattern, self.spec.cols())
+    }
+
+    /// Does the snapshot contain exactly this tuple?
+    pub fn contains(&self, t: &Tuple) -> Result<bool, OpError> {
+        Ok(self.query_full(t)?.iter().any(|x| x == t))
+    }
+
+    /// Does any snapshot tuple extend `pattern`?
+    pub fn contains_matching(&self, pattern: &Tuple) -> Result<bool, OpError> {
+        let mut found = false;
+        self.query_for_each(pattern, ColSet::EMPTY, |_| found = true)?;
+        Ok(found)
+    }
+
+    /// The abstraction function α over the frozen instance: the reference
+    /// [`Relation`] this snapshot represents. Linear in the snapshot's size;
+    /// for tests and whole-view scans.
+    pub fn to_relation(&self) -> Relation {
+        let mut memo = std::collections::HashMap::new();
+        crate::alpha::alpha_node(&self.store, &self.d, self.d.root(), self.root, &mut memo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::SynthRelation;
+    use relic_decomp::parse;
+    use relic_spec::{Catalog, ColSet, RelSpec, Tuple, Value};
+
+    fn event_log() -> (Catalog, SynthRelation) {
+        let mut cat = Catalog::new();
+        let d = parse(
+            &mut cat,
+            "let u : {host,ts} . {bytes} = unit {bytes} in
+             let h : {host} . {ts,bytes} = {ts} -[avl]-> u in
+             let x : {} . {host,ts,bytes} = {host} -[htable]-> h in x",
+        )
+        .unwrap();
+        let host = cat.col("host").unwrap();
+        let ts = cat.col("ts").unwrap();
+        let bytes = cat.col("bytes").unwrap();
+        let spec = RelSpec::new(cat.all()).with_fd(host | ts, bytes.set());
+        let r = SynthRelation::new(&cat, spec, d).unwrap();
+        (cat, r)
+    }
+
+    fn tup(cat: &Catalog, h: i64, t: i64, b: i64) -> Tuple {
+        Tuple::from_pairs([
+            (cat.col("host").unwrap(), Value::from(h)),
+            (cat.col("ts").unwrap(), Value::from(t)),
+            (cat.col("bytes").unwrap(), Value::from(b)),
+        ])
+    }
+
+    #[test]
+    fn snapshot_is_send_sync_and_answers_like_the_relation() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::Snapshot>();
+        let (cat, mut r) = event_log();
+        for h in 0..4i64 {
+            for t in 0..8i64 {
+                r.insert(tup(&cat, h, t, h + t)).unwrap();
+            }
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), r.len());
+        let host = cat.col("host").unwrap();
+        let ts = cat.col("ts").unwrap();
+        let bytes = cat.col("bytes").unwrap();
+        let pat = Tuple::from_pairs([(host, Value::from(2))]);
+        assert_eq!(
+            snap.query(&pat, ts | bytes).unwrap(),
+            r.query(&pat, ts | bytes).unwrap()
+        );
+        assert_eq!(snap.to_relation(), r.to_relation());
+        assert!(snap.contains(&tup(&cat, 1, 1, 2)).unwrap());
+        assert!(!snap
+            .contains_matching(&Tuple::from_pairs([(host, Value::from(9))]))
+            .unwrap());
+        // Foreign columns are rejected exactly as on the live relation.
+        let mut cat2 = cat.clone();
+        let alien = cat2.intern("alien");
+        assert!(snap
+            .query(&Tuple::from_pairs([(alien, Value::from(1))]), alien.set())
+            .is_err());
+    }
+
+    #[test]
+    fn snapshot_is_frozen_while_the_relation_mutates() {
+        let (cat, mut r) = event_log();
+        for t in 0..10i64 {
+            r.insert(tup(&cat, 1, t, t)).unwrap();
+        }
+        let before = r.to_relation();
+        let snap = r.snapshot();
+        // Mutate through every path: insert, remove, update, batch, clear.
+        r.insert(tup(&cat, 2, 0, 7)).unwrap();
+        r.remove(&Tuple::from_pairs([
+            (cat.col("host").unwrap(), Value::from(1)),
+            (cat.col("ts").unwrap(), Value::from(3)),
+        ]))
+        .unwrap();
+        r.update(
+            &Tuple::from_pairs([
+                (cat.col("host").unwrap(), Value::from(1)),
+                (cat.col("ts").unwrap(), Value::from(5)),
+            ]),
+            &Tuple::from_pairs([(cat.col("bytes").unwrap(), Value::from(99))]),
+        )
+        .unwrap();
+        r.insert_many((0..5i64).map(|t| tup(&cat, 3, t, t)))
+            .unwrap();
+        assert_eq!(snap.to_relation(), before, "snapshot must not move");
+        assert_eq!(snap.len(), 10);
+        r.clear();
+        assert_eq!(snap.to_relation(), before, "snapshot survives clear");
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn snapshot_reads_feed_the_live_profile() {
+        let (cat, mut r) = event_log();
+        r.insert(tup(&cat, 1, 1, 1)).unwrap();
+        r.reset_profile();
+        let snap = r.snapshot();
+        let host = cat.col("host").unwrap();
+        let pat = Tuple::from_pairs([(host, Value::from(1))]);
+        for _ in 0..5 {
+            snap.query(&pat, ColSet::EMPTY).unwrap();
+        }
+        let p = r.profile();
+        assert_eq!(
+            p.queries,
+            vec![(host.set(), ColSet::EMPTY, ColSet::EMPTY, 5)],
+            "snapshot reads count as live traffic"
+        );
+        // Rejected signatures are never recorded (as on the live relation).
+        let mut cat2 = cat.clone();
+        let alien = cat2.intern("alien");
+        let _ = snap.query(&Tuple::from_pairs([(alien, Value::from(1))]), ColSet::EMPTY);
+        assert_eq!(r.profile().total_ops(), 5);
+    }
+
+    #[test]
+    fn snapshot_stays_on_the_pre_migration_representation() {
+        let (mut cat, mut r) = event_log();
+        for h in 0..3i64 {
+            for t in 0..4i64 {
+                r.insert(tup(&cat, h, t, h * t)).unwrap();
+            }
+        }
+        let snap = r.snapshot();
+        let old_d = snap.decomposition().clone();
+        let flat = parse(
+            &mut cat,
+            "let u : {host,ts} . {bytes} = unit {bytes} in
+             let x : {} . {host,ts,bytes} = {host,ts} -[avl]-> u in x",
+        )
+        .unwrap();
+        r.migrate_to(flat.clone()).unwrap();
+        assert_eq!(r.decomposition(), &flat);
+        assert_eq!(snap.decomposition(), &old_d, "snapshot keeps the old shape");
+        // Both answer identically (migration preserves the tuple set, and
+        // the snapshot was taken before any post-migration mutation).
+        assert_eq!(snap.to_relation(), r.to_relation());
+        let ts = cat.col("ts").unwrap();
+        let pat = Tuple::from_pairs([(ts, Value::from(2))]);
+        assert_eq!(
+            snap.query(&pat, cat.col("host").unwrap().set()).unwrap(),
+            r.query(&pat, cat.col("host").unwrap().set()).unwrap()
+        );
+        // And the snapshot's plans still execute against its old store after
+        // the live side replaced its plan cache.
+        r.insert(tup(&cat, 9, 9, 9)).unwrap();
+        assert_eq!(snap.len(), 12);
+        assert_eq!(r.len(), 13);
+    }
+}

@@ -20,6 +20,7 @@
 //! phase; the adaptive one pays a migration at the shift and serves both.
 
 use relic_autotune::Autotuner;
+use relic_concurrent::ConcurrentRelation;
 use relic_core::{MigrateError, OpError, SynthRelation};
 use relic_decomp::{Decomposition, DsKind, EnumerateOptions};
 use relic_spec::{Catalog, ColId, RelSpec, Tuple, Value};
@@ -316,6 +317,102 @@ pub fn run_phase_shift(
     })
 }
 
+/// The concurrent phase-shift scenario: the same workload as
+/// [`run_phase_shift`], but served by a sharded [`ConcurrentRelation`] whose
+/// **read side goes through published snapshots** — phase A's point reads
+/// and phase B's slice queries never take a shard lock, while the retirement
+/// churn and the adaptive `recommend_and_migrate` epochs run on the write
+/// side. Because snapshot reads record into the shards' shared workload
+/// recorders, the autotuner sees the wait-free traffic exactly as if it had
+/// been served under the locks — moving reads off the locks does not blind
+/// the profile → recommend → migrate loop.
+///
+/// Pass `retune_every == 0` for the fixed control arm. Every
+/// `retune_every` operations the armed run evaluates
+/// [`ConcurrentRelation::recommend_and_migrate`] with `min_improvement`;
+/// migrations are atomic epochs, so readers either keep the pre-migration
+/// view or pick up the post-migration one — never a mix.
+///
+/// # Errors
+///
+/// Any operation or migration error, propagated.
+#[allow(clippy::too_many_arguments)] // a bench-scenario driver: all knobs are scenario parameters
+pub fn run_concurrent_phase_shift(
+    rel: &ConcurrentRelation,
+    cols: EventCols,
+    hosts: i64,
+    ts_per_host: i64,
+    phase_a_ops: usize,
+    phase_b_ops: usize,
+    retune_every: usize,
+    min_improvement: f64,
+) -> Result<PhaseShiftReport, AdaptiveError> {
+    let opts = phase_shift_options();
+    let event = |h: i64, t: i64| {
+        Tuple::from_pairs([
+            (cols.host, Value::from(h)),
+            (cols.ts, Value::from(t)),
+            (cols.bytes, Value::from((h * 31 + t) % 1400)),
+        ])
+    };
+    let batch: Vec<Tuple> = (0..hosts)
+        .flat_map(|h| (0..ts_per_host).map(move |t| event(h, t)))
+        .collect();
+    rel.bulk_load(batch)?;
+    rel.reset_profile();
+    let mut handle = rel.read_handle();
+    let mut rows = 0u64;
+    let mut migrations = 0usize;
+    let mut since_retune = 0usize;
+    let mut tick =
+        |rel: &ConcurrentRelation, migrations: &mut usize| -> Result<(), AdaptiveError> {
+            if retune_every == 0 {
+                return Ok(());
+            }
+            since_retune += 1;
+            if since_retune >= retune_every {
+                since_retune = 0;
+                if rel.recommend_and_migrate(&opts, min_improvement)?.is_some() {
+                    *migrations += 1;
+                }
+            }
+            Ok(())
+        };
+    // Phase A: point reads over the full key, wait-free through the handle.
+    let start = Instant::now();
+    for i in 0..phase_a_ops {
+        let pat =
+            event((i as i64) % hosts, (i as i64 * 7) % ts_per_host).project(cols.host | cols.ts);
+        handle.query_for_each(&pat, cols.bytes.set(), |_| rows += 1)?;
+        tick(rel, &mut migrations)?;
+    }
+    let phase_a_ns = start.elapsed().as_nanos();
+    // Phase B: by-ts slices (snapshot reads) + retirement churn (locked).
+    let start = Instant::now();
+    for i in 0..phase_b_ops {
+        let t = (i as i64) % ts_per_host;
+        let pat = Tuple::from_pairs([(cols.ts, Value::from(t))]);
+        if i % 8 == 7 {
+            // Retire the slice and re-ingest it (log rotation) — the write
+            // side reads its own committed state under the locks.
+            let slice = rel.query(&pat, cols.host | cols.ts | cols.bytes)?;
+            rel.remove(&pat)?;
+            rows += slice.len() as u64;
+            rel.insert_many(slice)?;
+        } else {
+            handle.query_for_each(&pat, cols.host | cols.bytes, |_| rows += 1)?;
+        }
+        tick(rel, &mut migrations)?;
+    }
+    let phase_b_ns = start.elapsed().as_nanos();
+    Ok(PhaseShiftReport {
+        phase_a_ns,
+        phase_b_ns,
+        migrations,
+        rows,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,6 +455,43 @@ mod tests {
             adaptive.relation().decomposition(),
             &point_read_decomposition(&mut cat2)
         );
+    }
+
+    fn concurrent_arena() -> (EventCols, ConcurrentRelation) {
+        let (mut cat, cols, spec) = event_log_spec();
+        let d = point_read_decomposition(&mut cat);
+        let rel = ConcurrentRelation::new(&cat, spec, d, cols.host.set(), 4).unwrap();
+        (cols, rel)
+    }
+
+    #[test]
+    fn concurrent_phase_shift_serves_reads_from_snapshots() {
+        let (cols, fixed) = concurrent_arena();
+        let (_, adaptive) = concurrent_arena();
+        let fr = run_concurrent_phase_shift(&fixed, cols, 8, 16, 96, 96, 0, 1.5).unwrap();
+        let ar = run_concurrent_phase_shift(&adaptive, cols, 8, 16, 96, 96, 32, 1.5).unwrap();
+        assert_eq!(fr.migrations, 0, "control arm never migrates");
+        assert!(
+            ar.migrations >= 1,
+            "snapshot-served traffic must still drive a migration"
+        );
+        assert_eq!(ar.rows, fr.rows, "both arms deliver the same rows");
+        assert_eq!(
+            adaptive.to_relation(),
+            fixed.to_relation(),
+            "same final tuple set"
+        );
+        adaptive.validate().unwrap();
+        fixed.validate().unwrap();
+        // The migrated relation's published views are post-migration and
+        // uniform across shards.
+        let view = adaptive.read_view();
+        let d0 = view.shard(0).decomposition().clone();
+        for i in 1..view.shard_count() {
+            assert_eq!(view.shard(i).decomposition(), &d0, "no mixed view");
+        }
+        let (mut cat2, _, _) = event_log_spec();
+        assert_ne!(&d0, &point_read_decomposition(&mut cat2));
     }
 
     #[test]

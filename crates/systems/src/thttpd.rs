@@ -13,10 +13,12 @@
 //! manual sweep); [`SynthMmapCache`] delegates to a [`SynthRelation`].
 
 use crate::zipf::Zipf;
+use relic_concurrent::{ConcurrentBuildError, ConcurrentRelation, ReadHandle};
 use relic_core::SynthRelation;
 use relic_decomp::Decomposition;
 use relic_spec::{Catalog, ColId, Pattern, Pred, RelSpec, Tuple, Value};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
 
 /// A cache request: fetch `path` at (logical) time `now`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -286,6 +288,140 @@ impl MmapCache for SynthMmapCache {
 }
 // [synth:end]
 
+// ---------------------------------------------------------------------------
+// Concurrent: the sharded mmap cache with a wait-free hit check.
+// ---------------------------------------------------------------------------
+
+/// The concurrent mmap cache: a [`ConcurrentRelation`] partitioned by
+/// `path`, with the serving loop's **read side** — the hit check that runs
+/// on every single request — performed wait-free against published
+/// snapshots instead of taking a shard lock per request.
+///
+/// Only a miss (insert) or a hit's stamp refresh (update) touches a lock,
+/// and only the one shard owning the path. The cleanup sweep is the usual
+/// predicate removal across shards.
+#[derive(Debug)]
+pub struct ConcurrentMmapCache {
+    rel: ConcurrentRelation,
+    cols: MmapCols,
+    next_addr: AtomicI64,
+}
+
+impl ConcurrentMmapCache {
+    /// Creates a sharded cache over any adequate decomposition of the
+    /// relation, partitioned by `path` into `shards` partitions.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ConcurrentRelation::new`].
+    pub fn new(
+        cat: &Catalog,
+        cols: MmapCols,
+        spec: &RelSpec,
+        d: Decomposition,
+        shards: usize,
+    ) -> Result<Self, ConcurrentBuildError> {
+        let rel = ConcurrentRelation::new(cat, spec.clone(), d, cols.path.set(), shards)?;
+        Ok(ConcurrentMmapCache {
+            rel,
+            cols,
+            next_addr: AtomicI64::new(0),
+        })
+    }
+
+    /// The underlying relation (for validation in tests).
+    pub fn relation(&self) -> &ConcurrentRelation {
+        &self.rel
+    }
+
+    /// A cached wait-free read handle for a serving thread.
+    pub fn read_handle(&self) -> ReadHandle<'_> {
+        self.rel.read_handle()
+    }
+
+    /// Serves one request through `handle`: the hit check is a wait-free
+    /// snapshot probe (pinned by `path`, one shard, no lock); only the
+    /// outcome's mutation — stamp refresh or new mapping — takes the owning
+    /// shard's lock.
+    ///
+    /// Safe under concurrent serving threads: the snapshot probe is only a
+    /// fast path. A confirmed hit refreshes the stamp through the locked
+    /// update; if the mapping vanished between probe and update (a
+    /// concurrent [`cleanup`](ConcurrentMmapCache::cleanup)), or the probe
+    /// missed, the decide-and-mutate runs as one atomic read-modify-write
+    /// inside the owning partition's critical section — two threads racing
+    /// on the same new path produce exactly one mapping (one `Miss`, one
+    /// `Hit`), never an FD conflict.
+    pub fn serve(&self, handle: &mut ReadHandle<'_>, req: &Request) -> Outcome {
+        let cols = self.cols;
+        let key = Tuple::from_pairs([(cols.path, Value::from(req.path.as_str()))]);
+        let stamp = Tuple::from_pairs([(cols.stamp, Value::from(req.now))]);
+        if handle.contains_matching(&key).expect("snapshot hit check")
+            && self
+                .rel
+                .update(&key, &stamp)
+                .expect("touch existing mapping")
+        {
+            return Outcome::Hit;
+        }
+        // Probe missed (or the mapping vanished meanwhile): create or
+        // refresh atomically in the partition.
+        let addr = self.next_addr.fetch_add(4096, Ordering::Relaxed) + 4096;
+        let size = 1024 + (req.path.len() as i64) * 7;
+        self.rel.with_partition_mut(&key, |shard| {
+            if shard
+                .update(&key, &stamp)
+                .expect("refresh mapping in partition")
+            {
+                // Another serving thread mapped the path first.
+                return Outcome::Hit;
+            }
+            shard
+                .insert(key.merge(&Tuple::from_pairs([
+                    (cols.addr, Value::from(addr)),
+                    (cols.size, Value::from(size)),
+                    (cols.stamp, Value::from(req.now)),
+                ])))
+                .expect("new mapping");
+            Outcome::Miss
+        })
+    }
+
+    /// Removes mappings with `stamp < cutoff`, returning how many were
+    /// unmapped (the sweep is a cross-shard predicate removal).
+    pub fn cleanup(&self, cutoff: i64) -> usize {
+        let stale = Pattern::new().with(self.cols.stamp, Pred::Lt(Value::from(cutoff)));
+        self.rel.remove_where(&stale).expect("sweep stale mappings")
+    }
+
+    /// Number of live mappings in the published state (wait-free).
+    pub fn live(&self) -> usize {
+        self.rel.read_view().len()
+    }
+}
+
+/// Drives a request stream against a [`ConcurrentMmapCache`] with periodic
+/// cleanups — the concurrent analog of [`run_cache`], its hit checks served
+/// from snapshots through one cached handle. Returns per-request outcomes
+/// plus the total number of unmapped entries.
+pub fn run_concurrent_cache(
+    cache: &ConcurrentMmapCache,
+    reqs: &[Request],
+    sweep_every: usize,
+    max_age: i64,
+) -> (Vec<Outcome>, usize) {
+    let mut handle = cache.read_handle();
+    let mut outcomes = Vec::with_capacity(reqs.len());
+    let mut unmapped = 0;
+    for (i, r) in reqs.iter().enumerate() {
+        outcomes.push(cache.serve(&mut handle, r));
+        if sweep_every > 0 && (i + 1) % sweep_every == 0 {
+            unmapped += cache.cleanup(r.now - max_age);
+        }
+    }
+    (outcomes, unmapped)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,6 +467,53 @@ mod tests {
         assert_eq!(o1, o2);
         assert_eq!(u1, u2);
         assert_eq!(base.live(), synth.live());
+        synth.relation().validate().unwrap();
+    }
+
+    #[test]
+    fn concurrent_cache_agrees_with_baseline() {
+        let reqs = request_stream(700, 36, 29);
+        let mut base = BaselineMmapCache::new();
+        let (mut cat, cols, spec) = mmap_spec();
+        let d = default_decomposition(&mut cat);
+        let synth = ConcurrentMmapCache::new(&cat, cols, &spec, d, 4).unwrap();
+        let (o1, u1) = run_cache(&mut base, &reqs, 100, 150);
+        let (o2, u2) = run_concurrent_cache(&synth, &reqs, 100, 150);
+        assert_eq!(o1, o2, "hit/miss stream must match the baseline");
+        assert_eq!(u1, u2, "sweeps must unmap the same entries");
+        assert_eq!(base.live(), synth.live());
+        synth.relation().validate().unwrap();
+    }
+
+    #[test]
+    fn concurrent_cache_hit_check_reads_while_writers_run() {
+        // Readers poll the snapshot state from other threads while the
+        // serving thread mutates: no torn reads, counts only grow within a
+        // request burst (no cleanup here).
+        let reqs = request_stream(400, 24, 31);
+        let (mut cat, cols, spec) = mmap_spec();
+        let d = default_decomposition(&mut cat);
+        let synth = &ConcurrentMmapCache::new(&cat, cols, &spec, d, 4).unwrap();
+        std::thread::scope(|s| {
+            let serve = s.spawn(move || {
+                let mut handle = synth.read_handle();
+                for r in &reqs {
+                    synth.serve(&mut handle, r);
+                }
+            });
+            for _ in 0..2 {
+                s.spawn(move || {
+                    let mut last = 0usize;
+                    let mut handle = synth.read_handle();
+                    for _ in 0..200 {
+                        let n = handle.len();
+                        assert!(n >= last, "live mappings only grow in this run");
+                        last = n;
+                    }
+                });
+            }
+            serve.join().unwrap();
+        });
         synth.relation().validate().unwrap();
     }
 
