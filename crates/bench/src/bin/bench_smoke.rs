@@ -28,6 +28,7 @@
 use relic_concurrent::ConcurrentRelation;
 use relic_core::{Bindings, SynthRelation};
 use relic_decomp::parse;
+use relic_persist::{DurableRelation, GroupCommitPolicy};
 use relic_spec::{Catalog, RelSpec, Tuple, Value};
 use relic_systems::adaptive::{
     event_log_spec, phase_shift_options, point_read_decomposition, run_phase_shift,
@@ -744,11 +745,122 @@ fn bench_read_scaling(out: &mut Vec<(String, f64)>, quick: bool) {
     }
 }
 
+/// `wal_commit`: the durability hot path and recovery cost (PR 5).
+///
+/// * `per_record_fsync` vs `group_commit` — nanoseconds per durable insert
+///   into a [`DurableRelation`], with the log fsyncing after every record
+///   vs batching under the default group-commit policy (one contiguous
+///   write + one fsync per segment). The BENCH_5 acceptance metric is
+///   `per_record_fsync / group_commit >= 5`.
+/// * `recover_100k_log_only` vs `recover_100k_checkpoint` — wall time of
+///   [`DurableRelation::open`] for a 100k-tuple relation, replaying the
+///   full log vs loading a checkpoint (O(n) `bulk_load`) plus an empty
+///   tail.
+fn bench_wal_commit(out: &mut Vec<(String, f64)>, quick: bool) {
+    let commit_n = if quick { 200 } else { 2_000 };
+    let recover_n: usize = if quick { 5_000 } else { 100_000 };
+    let (warmup, reps) = if quick { (0, 1) } else { (1, 3) };
+    let mut cat = Catalog::new();
+    let d = parse(
+        &mut cat,
+        "let u : {host,ts} . {bytes} = unit {bytes} in
+         let h : {host} . {ts,bytes} = {ts} -[avl]-> u in
+         let x : {} . {host,ts,bytes} = {host} -[htable]-> h in x",
+    )
+    .unwrap();
+    let host = cat.col("host").unwrap();
+    let ts = cat.col("ts").unwrap();
+    let bytes = cat.col("bytes").unwrap();
+    let spec = RelSpec::new(cat.all()).with_fd(host | ts, bytes.into());
+    let event = |h: i64, t: i64| {
+        Tuple::from_pairs([
+            (host, Value::from(h)),
+            (ts, Value::from(t)),
+            (bytes, Value::from((h + t) % 1400)),
+        ])
+    };
+    let base = std::env::temp_dir().join(format!("relic_bench_wal_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    // Durable insert latency: per-record fsync vs group commit.
+    for (label, policy) in [
+        ("per_record_fsync", GroupCommitPolicy::per_record()),
+        ("group_commit", GroupCommitPolicy::default()),
+    ] {
+        let dir = base.join(label);
+        let ns = time_stage_ns(warmup, reps, || {
+            let rel = DurableRelation::create(
+                &dir,
+                &cat,
+                spec.clone(),
+                d.clone(),
+                host.into(),
+                8,
+                true,
+                policy,
+            )
+            .unwrap();
+            let start = Instant::now();
+            for i in 0..commit_n as i64 {
+                rel.insert(event(i % 16, i)).unwrap();
+            }
+            rel.commit().unwrap();
+            (
+                start.elapsed().as_nanos() as f64 / commit_n as f64,
+                rel.len(),
+            )
+        });
+        out.push((format!("wal_commit/{label}"), ns));
+    }
+    // Recovery time for `recover_n` tuples: full-log replay (the load was
+    // logged as per-shard batch records) vs checkpoint + empty tail.
+    for (label, checkpoint) in [
+        ("recover_100k_log_only", false),
+        ("recover_100k_checkpoint", true),
+    ] {
+        let dir = base.join(label);
+        {
+            let rel = DurableRelation::create(
+                &dir,
+                &cat,
+                spec.clone(),
+                d.clone(),
+                host.into(),
+                8,
+                true,
+                GroupCommitPolicy::default(),
+            )
+            .unwrap();
+            for chunk in 0..(recover_n / 1000) {
+                let batch: Vec<Tuple> = (0..1000)
+                    .map(|i| {
+                        let k = (chunk * 1000 + i) as i64;
+                        event(k % 512, k / 512)
+                    })
+                    .collect();
+                rel.bulk_load(batch).unwrap();
+            }
+            rel.commit().unwrap();
+            if checkpoint {
+                rel.checkpoint().unwrap();
+            }
+        }
+        let ns = time_stage_ns(warmup, reps, || {
+            let start = Instant::now();
+            let rel = DurableRelation::open(&dir, GroupCommitPolicy::default()).unwrap();
+            let elapsed = start.elapsed().as_nanos() as f64;
+            assert_eq!(rel.len(), recover_n);
+            (elapsed, rel.len())
+        });
+        out.push((format!("wal_commit/{label}"), ns));
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 fn main() {
     let mut quick = false;
     let mut only: Option<String> = None;
     let mut expect_only = false;
-    let mut out_path = "BENCH_4.json".to_string();
+    let mut out_path = "BENCH_5.json".to_string();
     for arg in std::env::args().skip(1) {
         if expect_only {
             only = Some(arg);
@@ -763,7 +875,7 @@ fn main() {
             out_path = arg;
         }
     }
-    const FAMILIES: [&str; 7] = [
+    const FAMILIES: [&str; 8] = [
         "micro_cache",
         "micro_scheduler",
         "query_hot_path",
@@ -771,6 +883,7 @@ fn main() {
         "batch_insert",
         "phase_shift",
         "read_scaling",
+        "wal_commit",
     ];
     if expect_only {
         eprintln!("--only requires a workload family: one of {FAMILIES:?}");
@@ -805,8 +918,11 @@ fn main() {
     if run("read_scaling") {
         bench_read_scaling(&mut results, quick);
     }
+    if run("wal_commit") {
+        bench_wal_commit(&mut results, quick);
+    }
     let mut json = format!(
-        "{{\n  \"schema\": \"relic-bench-smoke-v4\",\n  \"quick\": {quick},\n  \"results\": {{\n"
+        "{{\n  \"schema\": \"relic-bench-smoke-v5\",\n  \"quick\": {quick},\n  \"results\": {{\n"
     );
     for (i, (label, ns)) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };

@@ -173,6 +173,21 @@ impl From<BuildError> for ConcurrentBuildError {
     }
 }
 
+/// One shard's publish slot: the frozen snapshot readers collect, paired
+/// with the *writer stamp* of the last stamped publish.
+///
+/// The stamp is an opaque `u64` supplied by a layering client (the
+/// durability layer stamps each publish with the shard's last write-ahead
+/// log sequence number); it is swapped **atomically with the snapshot**
+/// under the slot's latch, so a collector always observes a consistent
+/// `(state, stamp)` pair — the invariant a fuzzy-free checkpoint needs.
+/// Unstamped publishes keep the previous stamp.
+#[derive(Debug)]
+struct PublishSlot {
+    snap: Option<Arc<Snapshot>>,
+    stamp: u64,
+}
+
 /// A thread-safe relation: `shards` independent [`SynthRelation`]s, each
 /// owning the tuples whose shard-column valuation hashes to it.
 ///
@@ -181,11 +196,12 @@ impl From<BuildError> for ConcurrentBuildError {
 #[derive(Debug)]
 pub struct ConcurrentRelation {
     shards: Vec<RwLock<SynthRelation>>,
-    /// Per-shard publish slots: the shard's current [`Snapshot`], swapped
-    /// under the slot's latch by the writer that finished a mutation epoch.
-    /// `None` only inside a writer's prune→publish window (the writer still
-    /// holds the shard's write lock then). See the [`snapshot`] module.
-    published: Vec<RwLock<Option<Arc<Snapshot>>>>,
+    /// Per-shard publish slots: the shard's current [`Snapshot`] plus its
+    /// writer stamp, swapped under the slot's latch by the writer that
+    /// finished a mutation epoch. The snapshot is `None` only inside a
+    /// writer's prune→publish window (the writer still holds the shard's
+    /// write lock then). See the [`snapshot`] module.
+    published: Vec<RwLock<PublishSlot>>,
     /// Monotonic publish counter: bumped (`Release`) after every publish so
     /// cached [`ReadHandle`]s can detect staleness with one `Acquire` load.
     epoch: AtomicU64,
@@ -238,7 +254,12 @@ impl ConcurrentRelation {
         // find a snapshot without ever touching a shard lock.
         let published = v
             .iter()
-            .map(|r| RwLock::new(Some(Arc::new(r.snapshot()))))
+            .map(|r| {
+                RwLock::new(PublishSlot {
+                    snap: Some(Arc::new(r.snapshot())),
+                    stamp: 0,
+                })
+            })
             .collect();
         Ok(ConcurrentRelation {
             shard_epochs: (0..v.len()).map(|_| AtomicU64::new(0)).collect(),
@@ -304,8 +325,12 @@ impl ConcurrentRelation {
     /// therefore invisible to anyone holding any shard lock).
     fn prune_slot(&self, i: usize) {
         let mut slot = self.published[i].write().expect("publish slot poisoned");
-        if slot.as_ref().is_some_and(|s| Arc::strong_count(s) == 1) {
-            *slot = None;
+        if slot
+            .snap
+            .as_ref()
+            .is_some_and(|s| Arc::strong_count(s) == 1)
+        {
+            slot.snap = None;
         }
     }
 
@@ -315,8 +340,21 @@ impl ConcurrentRelation {
     /// callers bump once per logical operation via
     /// [`bump_epoch`](ConcurrentRelation::bump_epoch).
     fn publish_slot(&self, i: usize, shard: &SynthRelation) {
-        *self.published[i].write().expect("publish slot poisoned") =
-            Some(Arc::new(shard.snapshot()));
+        self.publish_slot_stamped(i, shard, None);
+    }
+
+    /// [`publish_slot`](ConcurrentRelation::publish_slot) with an optional
+    /// writer stamp; `None` keeps the slot's previous stamp. Snapshot and
+    /// stamp swap together under the slot's latch, so collectors always see
+    /// a consistent pair.
+    fn publish_slot_stamped(&self, i: usize, shard: &SynthRelation, stamp: Option<u64>) {
+        {
+            let mut slot = self.published[i].write().expect("publish slot poisoned");
+            slot.snap = Some(Arc::new(shard.snapshot()));
+            if let Some(s) = stamp {
+                slot.stamp = s;
+            }
+        }
         self.shard_epochs[i].fetch_add(1, Ordering::Release);
     }
 
@@ -362,9 +400,19 @@ impl ConcurrentRelation {
     /// collection around odd windows — so no view ever holds a mix of pre-
     /// and post-migration shards.
     fn publish_all_migration(&self, guards: &[RwLockWriteGuard<'_, SynthRelation>]) {
+        self.publish_all_migration_stamped(guards, None);
+    }
+
+    /// [`publish_all_migration`](ConcurrentRelation::publish_all_migration)
+    /// with an optional writer stamp applied to every shard's slot.
+    fn publish_all_migration_stamped(
+        &self,
+        guards: &[RwLockWriteGuard<'_, SynthRelation>],
+        stamp: Option<u64>,
+    ) {
         self.migration_epoch.fetch_add(1, Ordering::Release);
         for (i, g) in guards.iter().enumerate() {
-            self.publish_slot(i, g);
+            self.publish_slot_stamped(i, g, stamp);
         }
         self.bump_epoch();
         self.migration_epoch.fetch_add(1, Ordering::Release);
@@ -604,6 +652,110 @@ impl ConcurrentRelation {
         );
         let i = self.route(key);
         f(&self.read_shard(i))
+    }
+
+    // -- durability hooks ---------------------------------------------------
+    //
+    // A layering client (e.g. `relic_persist`'s `DurableRelation`) that logs
+    // mutations needs three things this crate alone can provide: (1) the
+    // shard a batch group routes to, so a batch can be logged *per shard*;
+    // (2) a critical section in which to assign each logged record its
+    // sequence number **before applying it**, so per-shard log order equals
+    // per-shard apply order; and (3) a publish that carries the shard's
+    // last logged sequence number as its writer stamp — under the existing
+    // publish-before-unlock discipline — so a checkpoint built from
+    // published snapshots knows, per shard, exactly which log prefix the
+    // snapshot contains (no fuzzy replay, no idempotency hacks).
+
+    /// The index of the shard owning tuple `t`'s shard-column valuation
+    /// (shard 0 for malformed tuples that do not bind the shard columns,
+    /// matching [`insert`](ConcurrentRelation::insert)'s routing). Layering
+    /// clients use this to group a batch per shard before logging each
+    /// group under its shard's lock.
+    pub fn owning_shard(&self, t: &Tuple) -> usize {
+        if self.pins(t.dom()) {
+            self.route(t)
+        } else {
+            0
+        }
+    }
+
+    /// Runs `f` with exclusive access to shard `i` under the write-side
+    /// epoch discipline (prune → mutate → publish-before-unlock) — the
+    /// by-index analog of
+    /// [`with_partition_mut`](ConcurrentRelation::with_partition_mut), for
+    /// layers that partition batches themselves. `f` returns `(result,
+    /// stamp)`; `Some(s)` stamps the published snapshot with `s` (see
+    /// [`ReadView::shard_stamp`](crate::ReadView::shard_stamp)), `None`
+    /// keeps the previous stamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn with_shard_mut_stamped<T>(
+        &self,
+        i: usize,
+        f: impl FnOnce(&mut SynthRelation) -> (T, Option<u64>),
+    ) -> T {
+        assert!(i < self.shards.len(), "shard index out of range");
+        let mut guard = self.write_shard(i);
+        self.prune_slot(i);
+        let (out, stamp) = f(&mut guard);
+        self.publish_slot_stamped(i, &guard, stamp);
+        self.bump_epoch();
+        out
+    }
+
+    /// Runs `f` with exclusive access to **every** shard (locks taken in
+    /// index order — the crate's total lock order) as one compound epoch:
+    /// the whole-relation analog of
+    /// [`with_shard_mut_stamped`](ConcurrentRelation::with_shard_mut_stamped)
+    /// for unpinned mutations a layering client must log and apply under
+    /// one continuous hold. The returned stamp (if `Some`) is applied to
+    /// every shard's publish.
+    pub fn with_all_shards_mut_stamped<T>(
+        &self,
+        f: impl FnOnce(&mut [&mut SynthRelation]) -> (T, Option<u64>),
+    ) -> T {
+        let mut guards = self.write_all();
+        for i in 0..guards.len() {
+            self.prune_slot(i);
+        }
+        let (out, stamp) = {
+            let mut refs: Vec<&mut SynthRelation> = guards.iter_mut().map(|g| &mut **g).collect();
+            f(&mut refs)
+        };
+        for (i, g) in guards.iter().enumerate() {
+            self.publish_slot_stamped(i, g, stamp);
+        }
+        self.bump_epoch();
+        out
+    }
+
+    /// [`migrate_to`](ConcurrentRelation::migrate_to) with a durability
+    /// stamp: `stamp` runs after every shard write lock is held (so a
+    /// logging client can assign the migration marker its sequence number
+    /// with no concurrent writer able to slip a record in between) and the
+    /// returned value stamps every shard's post-migration publish. On error
+    /// nothing is republished: the slots keep their pre-migration snapshots
+    /// and stamps, and a replay of the logged marker fails the same way
+    /// against the same per-shard states.
+    ///
+    /// # Errors
+    ///
+    /// As for [`migrate_to`](ConcurrentRelation::migrate_to).
+    pub fn migrate_to_stamped(
+        &self,
+        d: Decomposition,
+        stamp: impl FnOnce() -> u64,
+    ) -> Result<(), MigrateError> {
+        let mut guards = self.write_all();
+        let s = stamp();
+        let res = Self::migrate_shards(&mut guards, d);
+        if res.is_ok() {
+            self.publish_all_migration_stamped(&guards, Some(s));
+        }
+        res
     }
 
     /// The aggregated workload profile across all shards (read-locks every

@@ -72,6 +72,10 @@ pub struct ReadView {
     /// [`ReadHandle`] can refresh exactly the shard a pinned query routes
     /// to.
     pub(crate) shard_epochs: Vec<u64>,
+    /// The per-shard writer stamps collected atomically with the
+    /// snapshots (see
+    /// [`with_shard_mut_stamped`](ConcurrentRelation::with_shard_mut_stamped)).
+    pub(crate) shard_stamps: Vec<u64>,
 }
 
 impl ReadView {
@@ -94,6 +98,16 @@ impl ReadView {
     /// The frozen snapshot of shard `i`.
     pub fn shard(&self, i: usize) -> &Snapshot {
         &self.shards[i]
+    }
+
+    /// Shard `i`'s writer stamp: the opaque `u64` the last *stamped*
+    /// publish attached to the shard's snapshot (0 if none ever was). The
+    /// durability layer stamps each publish with the shard's last logged
+    /// write-ahead sequence number, making `(shard(i), shard_stamp(i))` a
+    /// consistent pair — shard `i`'s snapshot contains exactly the logged
+    /// ops with sequence ≤ the stamp.
+    pub fn shard_stamp(&self, i: usize) -> u64 {
+        self.shard_stamps[i]
     }
 
     /// Does this pattern pin the shard columns (single-shard read)?
@@ -287,7 +301,9 @@ impl<'a> ReadHandle<'a> {
     fn refresh_shard(&mut self, i: usize) {
         let e = self.rel.shard_epoch_now(i);
         if e != self.view.shard_epochs[i] {
-            self.view.shards[i] = self.rel.shard_view(i);
+            let (snap, stamp) = self.rel.shard_view(i);
+            self.view.shards[i] = snap;
+            self.view.shard_stamps[i] = stamp;
             self.view.shard_epochs[i] = e;
         }
     }
@@ -427,13 +443,16 @@ impl ConcurrentRelation {
             let epoch = self.epoch.load(Ordering::Acquire);
             let mut shards = Vec::with_capacity(self.shards.len());
             let mut shard_epochs = Vec::with_capacity(self.shards.len());
+            let mut shard_stamps = Vec::with_capacity(self.shards.len());
             for i in 0..self.shards.len() {
                 // Epoch first, slot second: a publish racing in between
                 // leaves the recorded epoch *behind* the collected snapshot,
                 // which costs one redundant refresh later — never a missed
                 // one.
                 shard_epochs.push(self.shard_epoch_now(i));
-                shards.push(self.shard_view(i));
+                let (snap, stamp) = self.shard_view(i);
+                shards.push(snap);
+                shard_stamps.push(stamp);
             }
             if self.migration_epoch.load(Ordering::Acquire) == m1 {
                 return ReadView {
@@ -441,6 +460,7 @@ impl ConcurrentRelation {
                     shard_cols: self.shard_cols(),
                     epoch,
                     shard_epochs,
+                    shard_stamps,
                 };
             }
         }
@@ -452,29 +472,27 @@ impl ConcurrentRelation {
         ReadHandle::new(self)
     }
 
-    /// Shard `i`'s published snapshot. The publish slot is `None` only
-    /// inside a writer's prune→publish window; the fallback waits that
-    /// writer out on the shard's read lock (the one place a reader can
-    /// touch it) and re-reads the slot the writer republished.
-    fn shard_view(&self, i: usize) -> Arc<Snapshot> {
-        if let Some(s) = self.published[i]
-            .read()
-            .expect("publish slot poisoned")
-            .as_ref()
+    /// Shard `i`'s published snapshot and its writer stamp (read together
+    /// under the slot's latch, so the pair is always consistent). The
+    /// snapshot is `None` only inside a writer's prune→publish window; the
+    /// fallback waits that writer out on the shard's read lock (the one
+    /// place a reader can touch it) and re-reads the slot the writer
+    /// republished.
+    fn shard_view(&self, i: usize) -> (Arc<Snapshot>, u64) {
         {
-            return Arc::clone(s);
+            let slot = self.published[i].read().expect("publish slot poisoned");
+            if let Some(s) = slot.snap.as_ref() {
+                return (Arc::clone(s), slot.stamp);
+            }
         }
         let shard = self.read_shard(i);
-        if let Some(s) = self.published[i]
-            .read()
-            .expect("publish slot poisoned")
-            .as_ref()
-        {
-            return Arc::clone(s);
+        let slot = self.published[i].read().expect("publish slot poisoned");
+        if let Some(s) = slot.snap.as_ref() {
+            return (Arc::clone(s), slot.stamp);
         }
         // Unreachable in practice: every mutation republishes before
         // releasing its write lock. Build directly rather than panic.
-        Arc::new(shard.snapshot())
+        (Arc::new(shard.snapshot()), slot.stamp)
     }
 }
 

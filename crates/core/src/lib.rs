@@ -31,6 +31,7 @@ mod instance;
 mod profile;
 mod relation;
 pub(crate) mod snapshot;
+pub mod wire;
 
 pub use error::{BuildError, MigrateError, OpError};
 pub use exec::Bindings;

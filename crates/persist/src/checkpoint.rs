@@ -1,0 +1,220 @@
+//! Snapshot checkpoints: a sidecar file holding a consistent per-shard
+//! image of the relation, paired with per-shard log watermarks.
+//!
+//! A checkpoint is built from the per-shard snapshot vector of
+//! [`read_view`](relic_concurrent::ConcurrentRelation::read_view) — taken
+//! **without any shard lock**, so writers keep committing while the
+//! checkpoint serializes. Each shard's snapshot carries the writer stamp of
+//! its last logged operation ([`ReadView::shard_stamp`]), recorded here as
+//! the shard's *watermark*: recovery applies a log record to a shard only
+//! if its sequence number exceeds the shard's watermark, which makes
+//! replay exact (never fuzzy) even though different shards may be
+//! checkpointed at slightly different points of the log.
+//!
+//! The file is written to a sidecar (`checkpoint.tmp`), fsynced, and
+//! atomically renamed over `checkpoint.bin` — a crash mid-checkpoint
+//! leaves the previous checkpoint (or none) intact, never a torn one. The
+//! body is CRC-guarded like a log frame.
+//!
+//! [`ReadView::shard_stamp`]: relic_concurrent::ReadView::shard_stamp
+
+use crate::wal::crc32;
+use crate::{DurableSchema, PersistError};
+use relic_core::wire::{self, Reader};
+use relic_spec::Tuple;
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+/// File magic: `RELICCKP` as little-endian bytes.
+const MAGIC: &[u8; 8] = b"RELICCKP";
+/// Format version.
+const VERSION: u32 = 1;
+
+/// The checkpoint file name inside a durable relation's directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.bin";
+const CHECKPOINT_TMP: &str = "checkpoint.tmp";
+
+/// A decoded checkpoint: the relation's schema (with the decomposition
+/// identity *as of the checkpoint*), one watermark per shard, and the
+/// tuple image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The rebuild description (catalog, spec, sharding, decomposition,
+    /// FD-checking mode).
+    pub schema: DurableSchema,
+    /// Per-shard log watermarks: shard `i`'s image contains exactly the
+    /// logged operations with `seq <= shard_stamps[i]`.
+    pub shard_stamps: Vec<u64>,
+    /// The tuple image (shard routing is recomputed on load — the schema's
+    /// shard columns and count make it deterministic).
+    pub tuples: Vec<Tuple>,
+}
+
+impl Checkpoint {
+    fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(64 + self.tuples.len() * 32);
+        self.schema.encode(&mut body);
+        wire::put_u32(&mut body, self.shard_stamps.len() as u32);
+        for &s in &self.shard_stamps {
+            wire::put_u64(&mut body, s);
+        }
+        wire::put_u64(&mut body, self.tuples.len() as u64);
+        for t in &self.tuples {
+            wire::put_tuple(&mut body, t);
+        }
+        body
+    }
+
+    fn decode(body: &[u8]) -> Result<Checkpoint, PersistError> {
+        let mut r = Reader::new(body);
+        let schema = DurableSchema::decode(&mut r)?;
+        let nstamps = r.take_u32()? as usize;
+        let mut shard_stamps = Vec::with_capacity(nstamps);
+        for _ in 0..nstamps {
+            shard_stamps.push(r.take_u64()?);
+        }
+        let n = r.take_u64()? as usize;
+        let mut tuples = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            tuples.push(wire::take_tuple(&mut r)?);
+        }
+        Ok(Checkpoint {
+            schema,
+            shard_stamps,
+            tuples,
+        })
+    }
+}
+
+/// Writes `ck` atomically into `dir`: sidecar + fsync + rename. On return
+/// the checkpoint is durable and it is safe to truncate the log prefix it
+/// covers.
+///
+/// # Errors
+///
+/// [`std::io::Error`] from any file operation.
+pub fn write_checkpoint(dir: &Path, ck: &Checkpoint) -> std::io::Result<()> {
+    let body = ck.encode();
+    let mut out = Vec::with_capacity(body.len() + 24);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    let tmp = dir.join(CHECKPOINT_TMP);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&out)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, dir.join(CHECKPOINT_FILE))?;
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Reads the checkpoint from `dir`. `Ok(None)` if none was ever written;
+/// an error if one exists but is unreadable (rename atomicity makes this
+/// genuine corruption, not a crash artifact).
+///
+/// # Errors
+///
+/// [`PersistError::Corrupt`] on bad magic/version/length/checksum,
+/// [`PersistError::Wire`] on a decode failure, [`PersistError::Io`] on
+/// read failures other than the file being absent.
+pub fn read_checkpoint(dir: &Path) -> Result<Option<Checkpoint>, PersistError> {
+    let path = dir.join(CHECKPOINT_FILE);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    if bytes.len() < 24 || &bytes[..8] != MAGIC {
+        return Err(PersistError::Corrupt("checkpoint magic mismatch".into()));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(PersistError::Corrupt(format!(
+            "checkpoint version {version} unsupported"
+        )));
+    }
+    let len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+    if bytes.len() - 24 < len {
+        return Err(PersistError::Corrupt("checkpoint body truncated".into()));
+    }
+    let body = &bytes[24..24 + len];
+    if crc32(body) != crc {
+        return Err(PersistError::Corrupt("checkpoint checksum mismatch".into()));
+    }
+    Checkpoint::decode(body).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relic_spec::{Catalog, RelSpec, Value};
+
+    fn sample() -> Checkpoint {
+        let mut cat = Catalog::new();
+        let a = cat.intern("a");
+        let v = cat.intern("v");
+        let d = relic_decomp::parse(
+            &mut cat,
+            "let u : {a} . {v} = unit {v} in let x : {} . {a,v} = {a} -[avl]-> u in x",
+        )
+        .unwrap();
+        let tuples = (0..5i64)
+            .map(|i| Tuple::from_pairs([(a, Value::from(i)), (v, Value::from(i * 2))]))
+            .collect();
+        Checkpoint {
+            schema: DurableSchema {
+                spec: RelSpec::new(cat.all()).with_fd(a.set(), v.set()),
+                shard_cols: a.set(),
+                shards: 2,
+                decomposition_src: d.to_let_notation(&cat),
+                fd_checking: true,
+                catalog: cat,
+            },
+            shard_stamps: vec![7, 9],
+            tuples,
+        }
+    }
+
+    #[test]
+    fn round_trips_atomically() {
+        let dir = std::env::temp_dir().join(format!("relic_ckpt_round_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(read_checkpoint(&dir).unwrap().is_none());
+        let ck = sample();
+        write_checkpoint(&dir, &ck).unwrap();
+        assert_eq!(read_checkpoint(&dir).unwrap().unwrap(), ck);
+        // A second checkpoint replaces the first atomically.
+        let mut ck2 = ck.clone();
+        ck2.shard_stamps = vec![11, 12];
+        write_checkpoint(&dir, &ck2).unwrap();
+        assert_eq!(read_checkpoint(&dir).unwrap().unwrap(), ck2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let dir = std::env::temp_dir().join(format!("relic_ckpt_corrupt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        write_checkpoint(&dir, &sample()).unwrap();
+        let path = dir.join(CHECKPOINT_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_checkpoint(&dir),
+            Err(PersistError::Corrupt(_)) | Err(PersistError::Wire(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,780 @@
+//! The write-ahead log: append-only, checksummed, length-prefixed records
+//! with batched group commit.
+//!
+//! # On-disk format
+//!
+//! The log is a single file of *frames*:
+//!
+//! ```text
+//! ┌──────────┬──────────┬─────────────────────────────┐
+//! │ len: u32 │ crc: u32 │ payload (len bytes)          │
+//! └──────────┴──────────┴─────────────────────────────┘
+//! payload = seq: u64 │ kind: u8 │ body (record-specific)
+//! ```
+//!
+//! `crc` is the IEEE CRC-32 of the payload. Sequence numbers are assigned
+//! by the log's single counter and are strictly consecutive in the file
+//! (rotation keeps a suffix, so the invariant survives truncation). The
+//! first frame is always a [`WalRecord::Meta`] carrying the relation's
+//! [`DurableSchema`] and the log's base sequence number, so a log file is
+//! self-describing.
+//!
+//! # Torn-write tolerance
+//!
+//! The scan ([`read_wal`]) accepts the longest valid prefix: it stops at
+//! the first frame whose header is short, whose length runs past the file,
+//! whose checksum fails, or whose sequence number breaks the consecutive
+//! run. A crash mid-write therefore costs at most the records that had not
+//! reached a completed frame — exactly the records a caller had not yet
+//! [`commit`](Wal::commit)ted.
+//!
+//! # Group commit
+//!
+//! [`Wal::append`] only appends to an in-memory segment under the log's
+//! mutex — it never touches the file, so it is safe (and cheap) to call
+//! inside a shard's write-lock critical section. The segment reaches disk
+//! as **one contiguous write followed by one fsync** when
+//! [`commit`](Wal::commit) is called or when [`maybe_commit`](Wal::maybe_commit)
+//! finds the [`GroupCommitPolicy`] thresholds exceeded. A policy of
+//! [`GroupCommitPolicy::per_record`] degenerates to fsync-per-record — the
+//! baseline BENCH_5's `wal_commit` family measures group commit against.
+
+use crate::{DurableSchema, PersistError};
+use relic_core::wire::{self, Reader};
+use relic_spec::Tuple;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// IEEE CRC-32 (reflected, polynomial `0xEDB88320`), table-driven.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// The IEEE CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Frame header size: `len: u32` + `crc: u32`.
+const HEADER: usize = 8;
+/// Payload prefix: `seq: u64` + `kind: u8`.
+const PAYLOAD_PREFIX: usize = 9;
+/// Upper bound on a single frame's payload — anything larger is treated as
+/// corruption by the scan (a real batch record tops out far below this).
+const MAX_PAYLOAD: u32 = 1 << 30;
+
+const KIND_META: u8 = 0;
+const KIND_INSERT: u8 = 1;
+const KIND_REMOVE: u8 = 2;
+const KIND_INSERT_MANY: u8 = 3;
+const KIND_BULK_LOAD: u8 = 4;
+const KIND_REMOVE_MANY: u8 = 5;
+const KIND_MIGRATION: u8 = 6;
+const KIND_TXN: u8 = 7;
+
+/// One logged operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// The log's leading record: the relation's schema and the sequence
+    /// number the log starts after (0 for a fresh log; the checkpoint's
+    /// truncation point after a rotation).
+    Meta {
+        /// The relation's rebuild description.
+        schema: DurableSchema,
+        /// Records in this file have sequence numbers strictly greater
+        /// than this.
+        base_seq: u64,
+    },
+    /// One full-tuple insert.
+    Insert(Tuple),
+    /// One remove-by-pattern (the pattern tuple of
+    /// [`SynthRelation::remove`](relic_core::SynthRelation::remove)).
+    Remove(Tuple),
+    /// A per-shard `insert_many` batch (every tuple routes to one shard).
+    InsertMany(Vec<Tuple>),
+    /// A per-shard `bulk_load` batch (every tuple routes to one shard).
+    BulkLoad(Vec<Tuple>),
+    /// A `remove_many` pattern batch (applied to every shard).
+    RemoveMany(Vec<Tuple>),
+    /// A migration epoch marker: the new decomposition identity in
+    /// let-notation.
+    MigrationEpoch(String),
+    /// One partition read-modify-write critical section's writes
+    /// ([`Insert`](WalRecord::Insert) / [`Remove`](WalRecord::Remove) only,
+    /// all pinned to one shard), logged as **one frame** so the whole
+    /// sequence is crash-atomic: a torn tail drops the entire RMW or none
+    /// of it, never a remove without its re-insert.
+    Txn(Vec<WalRecord>),
+}
+
+impl WalRecord {
+    fn kind(&self) -> u8 {
+        match self {
+            WalRecord::Meta { .. } => KIND_META,
+            WalRecord::Insert(_) => KIND_INSERT,
+            WalRecord::Remove(_) => KIND_REMOVE,
+            WalRecord::InsertMany(_) => KIND_INSERT_MANY,
+            WalRecord::BulkLoad(_) => KIND_BULK_LOAD,
+            WalRecord::RemoveMany(_) => KIND_REMOVE_MANY,
+            WalRecord::MigrationEpoch(_) => KIND_MIGRATION,
+            WalRecord::Txn(_) => KIND_TXN,
+        }
+    }
+
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        match self {
+            WalRecord::Meta { schema, base_seq } => {
+                wire::put_u64(out, *base_seq);
+                schema.encode(out);
+            }
+            WalRecord::Insert(t) | WalRecord::Remove(t) => wire::put_tuple(out, t),
+            WalRecord::InsertMany(ts) | WalRecord::BulkLoad(ts) | WalRecord::RemoveMany(ts) => {
+                wire::put_tuples(out, ts)
+            }
+            WalRecord::MigrationEpoch(src) => wire::put_str(out, src),
+            WalRecord::Txn(ops) => {
+                wire::put_u32(out, ops.len() as u32);
+                for op in ops {
+                    debug_assert!(
+                        matches!(op, WalRecord::Insert(_) | WalRecord::Remove(_)),
+                        "transactions hold only single-tuple writes"
+                    );
+                    out.push(op.kind());
+                    op.encode_body(out);
+                }
+            }
+        }
+    }
+
+    fn decode(kind: u8, r: &mut Reader<'_>) -> Result<WalRecord, wire::WireError> {
+        Ok(match kind {
+            KIND_META => {
+                let base_seq = r.take_u64()?;
+                let schema = DurableSchema::decode(r)?;
+                WalRecord::Meta { schema, base_seq }
+            }
+            KIND_INSERT => WalRecord::Insert(wire::take_tuple(r)?),
+            KIND_REMOVE => WalRecord::Remove(wire::take_tuple(r)?),
+            KIND_INSERT_MANY => WalRecord::InsertMany(wire::take_tuples(r)?),
+            KIND_BULK_LOAD => WalRecord::BulkLoad(wire::take_tuples(r)?),
+            KIND_REMOVE_MANY => WalRecord::RemoveMany(wire::take_tuples(r)?),
+            KIND_MIGRATION => WalRecord::MigrationEpoch(r.take_str()?.to_string()),
+            KIND_TXN => {
+                let n = r.take_u32()? as usize;
+                let mut ops = Vec::with_capacity(n.min(1 << 12));
+                for _ in 0..n {
+                    let op = match r.take_u8()? {
+                        KIND_INSERT => WalRecord::Insert(wire::take_tuple(r)?),
+                        KIND_REMOVE => WalRecord::Remove(wire::take_tuple(r)?),
+                        t => return Err(wire::WireError::BadTag(t)),
+                    };
+                    ops.push(op);
+                }
+                WalRecord::Txn(ops)
+            }
+            t => return Err(wire::WireError::BadTag(t)),
+        })
+    }
+}
+
+/// Encodes one complete frame (header + payload) for `rec` at `seq`.
+fn encode_frame(out: &mut Vec<u8>, seq: u64, rec: &WalRecord) {
+    let mut payload = Vec::with_capacity(64);
+    wire::put_u64(&mut payload, seq);
+    payload.push(rec.kind());
+    rec.encode_body(&mut payload);
+    wire::put_u32(out, payload.len() as u32);
+    wire::put_u32(out, crc32(&payload));
+    out.extend_from_slice(&payload);
+}
+
+/// A raw frame located by the scanner (payload not yet decoded).
+struct Frame {
+    seq: u64,
+    kind: u8,
+    /// Byte range of the whole frame in the file.
+    start: usize,
+    end: usize,
+}
+
+/// Locates the longest valid frame prefix of `bytes`: every frame has a
+/// complete header, an in-bounds sane length, a matching checksum, and a
+/// sequence number exactly one past its predecessor's.
+fn scan_frames(bytes: &[u8]) -> (Vec<Frame>, usize) {
+    let mut frames = Vec::new();
+    let mut pos = 0usize;
+    let mut prev_seq: Option<u64> = None;
+    while bytes.len() - pos >= HEADER {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if len < PAYLOAD_PREFIX as u32 || len > MAX_PAYLOAD {
+            break;
+        }
+        let len = len as usize;
+        if bytes.len() - pos - HEADER < len {
+            break; // truncated final frame
+        }
+        let payload = &bytes[pos + HEADER..pos + HEADER + len];
+        if crc32(payload) != crc {
+            break; // torn or corrupted frame: stop at the first bad checksum
+        }
+        let seq = u64::from_le_bytes(payload[..8].try_into().unwrap());
+        if prev_seq.is_some_and(|p| seq != p + 1) {
+            break; // a gap can only come from corruption
+        }
+        prev_seq = Some(seq);
+        frames.push(Frame {
+            seq,
+            kind: payload[8],
+            start: pos,
+            end: pos + HEADER + len,
+        });
+        pos += HEADER + len;
+    }
+    let valid_len = frames.last().map_or(0, |f| f.end);
+    (frames, valid_len)
+}
+
+/// One decoded log entry (excluding the leading meta record).
+#[derive(Debug)]
+pub struct WalEntry {
+    /// The record's sequence number.
+    pub seq: u64,
+    /// The operation.
+    pub record: WalRecord,
+    /// Byte offset of the frame's first byte (for crash-injection tests).
+    pub start: u64,
+    /// Byte offset one past the frame's last byte.
+    pub end: u64,
+}
+
+/// The result of scanning a log file: the leading schema record, the valid
+/// entries in sequence order, and the byte length of the valid prefix.
+#[derive(Debug)]
+pub struct ScannedWal {
+    /// The log's schema + base sequence, if the leading meta record is
+    /// intact.
+    pub meta: Option<(DurableSchema, u64)>,
+    /// The decoded operation records of the valid prefix.
+    pub entries: Vec<WalEntry>,
+    /// Bytes of the longest valid frame prefix (everything after is torn
+    /// or corrupt and is discarded on the next append).
+    pub valid_len: u64,
+}
+
+/// Scans a log file, accepting the longest valid prefix (the scan stops at
+/// the first bad checksum, short frame, or sequence gap — a torn final
+/// record is expected after a crash, not an error).
+///
+/// # Errors
+///
+/// [`PersistError::Io`] if the file cannot be read;
+/// [`PersistError::Wire`] if a checksum-valid frame fails to decode (true
+/// corruption, distinct from a torn tail).
+pub fn read_wal(path: &Path) -> Result<ScannedWal, PersistError> {
+    let bytes = std::fs::read(path)?;
+    let (frames, valid_len) = scan_frames(&bytes);
+    let mut meta = None;
+    let mut entries = Vec::with_capacity(frames.len());
+    for f in &frames {
+        let payload = &bytes[f.start + HEADER + 8..f.end];
+        let mut r = Reader::new(payload);
+        let kind = r.take_u8().expect("scanner verified the prefix");
+        let record = WalRecord::decode(kind, &mut r)?;
+        match record {
+            WalRecord::Meta { schema, base_seq } if f.start == 0 => {
+                meta = Some((schema, base_seq));
+            }
+            WalRecord::Meta { .. } => {
+                return Err(PersistError::Corrupt(
+                    "meta record not at the start of the log".into(),
+                ))
+            }
+            record => entries.push(WalEntry {
+                seq: f.seq,
+                record,
+                start: f.start as u64,
+                end: f.end as u64,
+            }),
+        }
+    }
+    Ok(ScannedWal {
+        meta,
+        entries,
+        valid_len: valid_len as u64,
+    })
+}
+
+/// When the in-memory segment is flushed without an explicit
+/// [`commit`](Wal::commit): at `max_records` pending records or
+/// `max_bytes` pending bytes, whichever comes first.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupCommitPolicy {
+    /// Flush when this many records are pending.
+    pub max_records: usize,
+    /// Flush when this many payload bytes are pending.
+    pub max_bytes: usize,
+}
+
+impl Default for GroupCommitPolicy {
+    fn default() -> Self {
+        GroupCommitPolicy {
+            max_records: 128,
+            max_bytes: 256 * 1024,
+        }
+    }
+}
+
+impl GroupCommitPolicy {
+    /// Fsync after every record — the no-batching baseline.
+    pub fn per_record() -> Self {
+        GroupCommitPolicy {
+            max_records: 1,
+            max_bytes: 0,
+        }
+    }
+
+    /// Never auto-flush: records reach disk only on an explicit
+    /// [`commit`](Wal::commit) (used by tests that control durability
+    /// points exactly).
+    pub fn manual() -> Self {
+        GroupCommitPolicy {
+            max_records: usize::MAX,
+            max_bytes: usize::MAX,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct WalInner {
+    file: File,
+    /// The in-memory segment: encoded frames not yet written.
+    buf: Vec<u8>,
+    /// Records in `buf`.
+    pending: usize,
+    next_seq: u64,
+    /// Highest sequence number synced to disk.
+    durable_seq: u64,
+}
+
+/// The write-ahead log handle. All methods are `&self`; the single
+/// internal mutex orders sequence assignment, buffering, flushing and
+/// rotation (appends are pure memory operations — I/O happens only in
+/// flushes and rotations).
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    policy: GroupCommitPolicy,
+    inner: Mutex<WalInner>,
+}
+
+impl Wal {
+    /// Creates a fresh log at `path` (truncating any existing file) whose
+    /// leading meta record carries `schema` and `base_seq`. The meta record
+    /// is written and synced immediately, so the log is self-describing
+    /// from the first byte.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] on file creation or the initial write.
+    pub fn create(
+        path: &Path,
+        policy: GroupCommitPolicy,
+        schema: &DurableSchema,
+        base_seq: u64,
+    ) -> std::io::Result<Wal> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut buf = Vec::new();
+        encode_frame(
+            &mut buf,
+            base_seq,
+            &WalRecord::Meta {
+                schema: schema.clone(),
+                base_seq,
+            },
+        );
+        file.write_all(&buf)?;
+        file.sync_data()?;
+        Ok(Wal {
+            path: path.to_path_buf(),
+            policy,
+            inner: Mutex::new(WalInner {
+                file,
+                buf: Vec::new(),
+                pending: 0,
+                next_seq: base_seq + 1,
+                durable_seq: base_seq,
+            }),
+        })
+    }
+
+    /// Opens an existing log for appending: the file is truncated to
+    /// `valid_len` (discarding any torn tail found by [`read_wal`]) and
+    /// appends continue at `next_seq`.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] on open/truncate/seek.
+    pub fn open_for_append(
+        path: &Path,
+        policy: GroupCommitPolicy,
+        next_seq: u64,
+        valid_len: u64,
+    ) -> std::io::Result<Wal> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(valid_len)?;
+        file.seek(SeekFrom::End(0))?;
+        file.sync_data()?;
+        Ok(Wal {
+            path: path.to_path_buf(),
+            policy,
+            inner: Mutex::new(WalInner {
+                file,
+                buf: Vec::new(),
+                pending: 0,
+                next_seq,
+                durable_seq: next_seq.saturating_sub(1),
+            }),
+        })
+    }
+
+    /// Appends `rec` to the in-memory segment and returns its sequence
+    /// number. No I/O: safe to call inside a shard critical section. The
+    /// record reaches disk at the next flush ([`commit`](Wal::commit), or
+    /// [`maybe_commit`](Wal::maybe_commit) past the policy thresholds).
+    pub fn append(&self, rec: &WalRecord) -> u64 {
+        self.append_with(|payload| {
+            payload.push(rec.kind());
+            rec.encode_body(payload);
+        })
+    }
+
+    /// Appends a per-shard batch record ([`WalRecord::BulkLoad`] when
+    /// `bulk`, [`WalRecord::InsertMany`] otherwise) serialized straight
+    /// from the borrowed slice — the zero-clone path for the bulk-ingest
+    /// hot loop, where building an owned record would double peak memory.
+    pub fn append_insert_batch(&self, bulk: bool, tuples: &[Tuple]) -> u64 {
+        self.append_with(|payload| {
+            payload.push(if bulk {
+                KIND_BULK_LOAD
+            } else {
+                KIND_INSERT_MANY
+            });
+            wire::put_tuples(payload, tuples);
+        })
+    }
+
+    /// The shared append core: assigns the next sequence number and frames
+    /// a payload written by `body` (which must emit `kind` byte + body,
+    /// matching [`WalRecord::decode`]).
+    fn append_with(&self, body: impl FnOnce(&mut Vec<u8>)) -> u64 {
+        let mut inner = self.inner.lock().expect("wal mutex poisoned");
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let mut payload = Vec::with_capacity(64);
+        payload.extend_from_slice(&seq.to_le_bytes());
+        body(&mut payload);
+        let mut header = [0u8; HEADER];
+        header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        header[4..].copy_from_slice(&crc32(&payload).to_le_bytes());
+        inner.buf.extend_from_slice(&header);
+        inner.buf.extend_from_slice(&payload);
+        inner.pending += 1;
+        seq
+    }
+
+    fn flush_locked(inner: &mut WalInner) -> std::io::Result<u64> {
+        if inner.pending > 0 {
+            inner.file.write_all(&inner.buf)?;
+            inner.file.sync_data()?;
+            inner.buf.clear();
+            inner.pending = 0;
+            inner.durable_seq = inner.next_seq - 1;
+        }
+        Ok(inner.durable_seq)
+    }
+
+    /// Flushes the pending segment iff the group-commit thresholds are
+    /// exceeded; returns the new durable sequence number if it flushed.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] from the write or fsync.
+    pub fn maybe_commit(&self) -> std::io::Result<Option<u64>> {
+        let mut inner = self.inner.lock().expect("wal mutex poisoned");
+        if inner.pending >= self.policy.max_records || inner.buf.len() >= self.policy.max_bytes {
+            return Self::flush_locked(&mut inner).map(Some);
+        }
+        Ok(None)
+    }
+
+    /// The group commit: writes every pending record as one contiguous
+    /// write and fsyncs once. Returns the highest durable sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] from the write or fsync.
+    pub fn commit(&self) -> std::io::Result<u64> {
+        let mut inner = self.inner.lock().expect("wal mutex poisoned");
+        Self::flush_locked(&mut inner)
+    }
+
+    /// The highest sequence number known durable (synced).
+    pub fn durable_seq(&self) -> u64 {
+        self.inner.lock().expect("wal mutex poisoned").durable_seq
+    }
+
+    /// The next sequence number to be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.inner.lock().expect("wal mutex poisoned").next_seq
+    }
+
+    /// Truncates the log prefix after a checkpoint: keeps only frames with
+    /// `seq > keep_after` (plus a fresh meta record with `base_seq =
+    /// keep_after`), built as a sidecar file and atomically renamed over
+    /// the log. Pending records are flushed first; appends block for the
+    /// duration (the tail is small right after a checkpoint, so the hold is
+    /// short — and it is the *log* mutex, never a shard lock).
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] from any of the file operations.
+    pub fn rotate(&self, keep_after: u64, schema: &DurableSchema) -> std::io::Result<()> {
+        let mut inner = self.inner.lock().expect("wal mutex poisoned");
+        Self::flush_locked(&mut inner)?;
+        let bytes = std::fs::read(&self.path)?;
+        let (frames, _) = scan_frames(&bytes);
+        let mut out = Vec::with_capacity(bytes.len() / 2 + 128);
+        encode_frame(
+            &mut out,
+            keep_after,
+            &WalRecord::Meta {
+                schema: schema.clone(),
+                base_seq: keep_after,
+            },
+        );
+        for f in frames.iter().filter(|f| f.kind != KIND_META) {
+            if f.seq > keep_after {
+                out.extend_from_slice(&bytes[f.start..f.end]);
+            }
+        }
+        let tmp = self.path.with_extension("log.tmp");
+        {
+            let mut tf = File::create(&tmp)?;
+            tf.write_all(&out)?;
+            tf.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        inner.file = file;
+        // Make the rename itself durable (best effort: not all platforms
+        // allow opening a directory for sync).
+        if let Some(dir) = self.path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relic_spec::{Catalog, RelSpec, Value};
+
+    fn schema() -> DurableSchema {
+        let mut cat = Catalog::new();
+        let a = cat.intern("a");
+        let v = cat.intern("v");
+        let d = relic_decomp::parse(
+            &mut cat,
+            "let u : {a} . {v} = unit {v} in let x : {} . {a,v} = {a} -[htable]-> u in x",
+        )
+        .unwrap();
+        DurableSchema {
+            spec: RelSpec::new(cat.all()).with_fd(a.set(), v.set()),
+            shard_cols: a.set(),
+            shards: 4,
+            decomposition_src: d.to_let_notation(&cat),
+            fd_checking: true,
+            catalog: cat,
+        }
+    }
+
+    fn tup(cat: &Catalog, a: i64, v: i64) -> Tuple {
+        Tuple::from_pairs([
+            (cat.col("a").unwrap(), Value::from(a)),
+            (cat.col("v").unwrap(), Value::from(v)),
+        ])
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("relic_wal_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crc_matches_known_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_commit_read_round_trip() {
+        let dir = tmpdir("round_trip");
+        let path = dir.join("wal.log");
+        let s = schema();
+        let cat = s.catalog.clone();
+        let wal = Wal::create(&path, GroupCommitPolicy::manual(), &s, 0).unwrap();
+        let recs = vec![
+            WalRecord::Insert(tup(&cat, 1, 10)),
+            WalRecord::Remove(tup(&cat, 1, 10)),
+            WalRecord::InsertMany(vec![tup(&cat, 2, 20), tup(&cat, 3, 30)]),
+            WalRecord::BulkLoad(vec![tup(&cat, 4, 40)]),
+            WalRecord::RemoveMany(vec![tup(&cat, 2, 20)]),
+            WalRecord::MigrationEpoch(s.decomposition_src.clone()),
+            WalRecord::Txn(vec![
+                WalRecord::Remove(tup(&cat, 4, 40)),
+                WalRecord::Insert(tup(&cat, 4, 41)),
+            ]),
+        ];
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(wal.append(r), i as u64 + 1);
+        }
+        // Nothing durable until the group commit.
+        assert_eq!(wal.durable_seq(), 0);
+        assert_eq!(read_wal(&path).unwrap().entries.len(), 0);
+        assert_eq!(wal.commit().unwrap(), recs.len() as u64);
+        let scanned = read_wal(&path).unwrap();
+        let (schema_back, base) = scanned.meta.expect("meta record");
+        assert_eq!(base, 0);
+        assert_eq!(schema_back, s);
+        assert_eq!(scanned.entries.len(), recs.len());
+        for (e, r) in scanned.entries.iter().zip(&recs) {
+            assert_eq!(&e.record, r);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_stops_at_torn_and_corrupt_tails() {
+        let dir = tmpdir("torn");
+        let path = dir.join("wal.log");
+        let s = schema();
+        let cat = s.catalog.clone();
+        let wal = Wal::create(&path, GroupCommitPolicy::manual(), &s, 0).unwrap();
+        for i in 0..5i64 {
+            wal.append(&WalRecord::Insert(tup(&cat, i, i * 10)));
+        }
+        wal.commit().unwrap();
+        let full = std::fs::read(&path).unwrap();
+        let scanned = read_wal(&path).unwrap();
+        assert_eq!(scanned.entries.len(), 5);
+        assert_eq!(scanned.valid_len, full.len() as u64);
+        let last = scanned.entries.last().unwrap();
+        // Every truncation point inside the final frame loses exactly that
+        // record and nothing else.
+        for cut in last.start..last.end {
+            std::fs::write(&path, &full[..cut as usize]).unwrap();
+            let s2 = read_wal(&path).unwrap();
+            assert_eq!(s2.entries.len(), 4, "cut at {cut}");
+            assert_eq!(s2.valid_len, last.start, "cut at {cut}");
+        }
+        // A flipped byte inside the final frame is caught by the checksum.
+        for delta in [0, 9, (last.end - last.start - 1)] {
+            let mut bad = full.clone();
+            bad[(last.start + delta) as usize] ^= 0xA5;
+            std::fs::write(&path, &bad).unwrap();
+            let s2 = read_wal(&path).unwrap();
+            assert_eq!(s2.entries.len(), 4, "flip at +{delta}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_thresholds_flush_automatically() {
+        let dir = tmpdir("thresholds");
+        let path = dir.join("wal.log");
+        let s = schema();
+        let cat = s.catalog.clone();
+        let wal = Wal::create(
+            &path,
+            GroupCommitPolicy {
+                max_records: 3,
+                max_bytes: usize::MAX,
+            },
+            &s,
+            0,
+        )
+        .unwrap();
+        wal.append(&WalRecord::Insert(tup(&cat, 1, 1)));
+        assert!(wal.maybe_commit().unwrap().is_none());
+        wal.append(&WalRecord::Insert(tup(&cat, 2, 2)));
+        wal.append(&WalRecord::Insert(tup(&cat, 3, 3)));
+        assert_eq!(wal.maybe_commit().unwrap(), Some(3));
+        assert_eq!(read_wal(&path).unwrap().entries.len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_keeps_the_tail_and_stays_scannable() {
+        let dir = tmpdir("rotate");
+        let path = dir.join("wal.log");
+        let s = schema();
+        let cat = s.catalog.clone();
+        let wal = Wal::create(&path, GroupCommitPolicy::manual(), &s, 0).unwrap();
+        for i in 0..10i64 {
+            wal.append(&WalRecord::Insert(tup(&cat, i, i)));
+        }
+        // Rotation flushes pending records itself.
+        wal.rotate(7, &s).unwrap();
+        let scanned = read_wal(&path).unwrap();
+        let (_, base) = scanned.meta.expect("rotated meta");
+        assert_eq!(base, 7);
+        let seqs: Vec<u64> = scanned.entries.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![8, 9, 10]);
+        // Appends continue past rotation with consecutive seqs.
+        assert_eq!(wal.append(&WalRecord::Insert(tup(&cat, 99, 99))), 11);
+        wal.commit().unwrap();
+        let scanned = read_wal(&path).unwrap();
+        assert_eq!(
+            scanned.entries.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![8, 9, 10, 11]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

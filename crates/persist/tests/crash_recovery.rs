@@ -1,0 +1,494 @@
+//! Crash-injection recovery tests: drive randomized op mixes through a
+//! [`DurableRelation`], then simulate a crash by truncating (or
+//! corrupting) the write-ahead log at **every byte boundary of the final
+//! record** — and at every record boundary of the whole log — and assert
+//! the recovered relation exactly equals the reference model at the last
+//! durable prefix.
+//!
+//! The reference model replays the *log records* (not the driver's
+//! intentions) with the engine's documented semantics: exact-duplicate
+//! inserts are no-ops, an FD-conflicting insert is rejected, a batch stops
+//! at its first error with the fold prefix applied, removals are
+//! pattern-matched, and migration markers leave the tuple set unchanged.
+//! Records are logged *before* they apply, so a record whose operation
+//! failed live fails identically in the model — the model and the engine
+//! agree at every prefix, which the test verifies wholesale before
+//! injecting any crash.
+
+use relic_persist::{read_wal, DurableRelation, GroupCommitPolicy, WalRecord};
+use relic_spec::{Catalog, ColSet, Relation, Tuple, Value};
+use std::path::{Path, PathBuf};
+
+/// A deterministic splitmix64 stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+struct Cols {
+    host: relic_spec::ColId,
+    ts: relic_spec::ColId,
+    bytes: relic_spec::ColId,
+}
+
+fn schema_parts() -> (
+    Catalog,
+    Cols,
+    relic_spec::RelSpec,
+    relic_decomp::Decomposition,
+) {
+    let mut cat = Catalog::new();
+    let d = relic_decomp::parse(
+        &mut cat,
+        "let u : {host,ts} . {bytes} = unit {bytes} in
+         let h : {host} . {ts,bytes} = {ts} -[avl]-> u in
+         let x : {} . {host,ts,bytes} = {host} -[htable]-> h in x",
+    )
+    .unwrap();
+    let cols = Cols {
+        host: cat.col("host").unwrap(),
+        ts: cat.col("ts").unwrap(),
+        bytes: cat.col("bytes").unwrap(),
+    };
+    let spec = relic_spec::RelSpec::new(cat.all()).with_fd(cols.host | cols.ts, cols.bytes.set());
+    (cat, cols, spec, d)
+}
+
+fn tup(cols: &Cols, h: i64, t: i64, b: i64) -> Tuple {
+    Tuple::from_pairs([
+        (cols.host, Value::from(h)),
+        (cols.ts, Value::from(t)),
+        (cols.bytes, Value::from(b)),
+    ])
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("relic_crash_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Applies one logged record to the reference model with the engine's
+/// semantics (`key` is the relation's minimal key, for FD screening).
+fn model_apply(model: &mut Relation, key: ColSet, rec: &WalRecord) {
+    let insert_one = |model: &mut Relation, t: &Tuple| {
+        if model.contains(t) {
+            return true; // exact duplicate: no-op, fold continues
+        }
+        if !model.query(&t.project(key), ColSet::EMPTY).is_empty() {
+            return false; // FD conflict: rejected, a batch fold stops here
+        }
+        model.insert(t.clone());
+        true
+    };
+    match rec {
+        WalRecord::Meta { .. } => {}
+        WalRecord::Insert(t) => {
+            let _ = insert_one(model, t);
+        }
+        WalRecord::Remove(pat) => {
+            model.remove(pat);
+        }
+        WalRecord::InsertMany(ts) | WalRecord::BulkLoad(ts) => {
+            for t in ts {
+                if !insert_one(model, t) {
+                    break;
+                }
+            }
+        }
+        WalRecord::RemoveMany(pats) => {
+            for p in pats {
+                model.remove(p);
+            }
+        }
+        WalRecord::Txn(ops) => {
+            for op in ops {
+                model_apply(model, key, op);
+            }
+        }
+        WalRecord::MigrationEpoch(_) => {}
+    }
+}
+
+/// Drives `ops` randomized operations (seeded) through `r`, exercising
+/// every record kind: singles, batches, pinned/unpinned removes,
+/// remove_many, partition read-modify-writes, and representation
+/// migrations.
+fn drive(r: &DurableRelation, cols: &Cols, seed: u64, ops: usize) {
+    let mut rng = Rng(seed);
+    let mut cat = r.catalog().clone();
+    let d_nested = relic_decomp::parse(
+        &mut cat,
+        "let u : {host,ts} . {bytes} = unit {bytes} in
+         let h : {host} . {ts,bytes} = {ts} -[avl]-> u in
+         let x : {} . {host,ts,bytes} = {host} -[htable]-> h in x",
+    )
+    .unwrap();
+    let d_flat = relic_decomp::parse(
+        &mut cat,
+        "let u : {host,ts} . {bytes} = unit {bytes} in
+         let x : {} . {host,ts,bytes} = {host,ts} -[avl]-> u in x",
+    )
+    .unwrap();
+    const HOSTS: u64 = 8;
+    const TS: u64 = 6;
+    for _ in 0..ops {
+        let h = rng.below(HOSTS) as i64;
+        let t = rng.below(TS) as i64;
+        match rng.below(12) {
+            0..=4 => {
+                // Single insert; small value domain forces duplicates and
+                // FD conflicts (both logged, both deterministic).
+                let b = (t % 3) + rng.below(2) as i64 * 100;
+                let _ = r.insert(tup(cols, h, t, b));
+            }
+            5 => {
+                let n = 2 + rng.below(5);
+                let batch: Vec<Tuple> = (0..n)
+                    .map(|i| {
+                        let tt = (t + i as i64) % TS as i64;
+                        tup(cols, h, tt, tt % 3)
+                    })
+                    .collect();
+                let _ = r.insert_many(batch);
+            }
+            6 => {
+                let n = 2 + rng.below(5);
+                let batch: Vec<Tuple> = (0..n)
+                    .map(|i| tup(cols, (h + i as i64) % HOSTS as i64, t, t % 3))
+                    .collect();
+                let _ = r.bulk_load(batch);
+            }
+            7 => {
+                // Pinned remove: full key or whole host.
+                let pat = if rng.below(2) == 0 {
+                    Tuple::from_pairs([(cols.host, Value::from(h)), (cols.ts, Value::from(t))])
+                } else {
+                    Tuple::from_pairs([(cols.host, Value::from(h))])
+                };
+                r.remove(&pat).unwrap();
+            }
+            8 => {
+                // Unpinned remove crosses every shard.
+                r.remove(&Tuple::from_pairs([(cols.ts, Value::from(t))]))
+                    .unwrap();
+            }
+            9 => {
+                let pats = vec![
+                    Tuple::from_pairs([(cols.ts, Value::from(t))]),
+                    Tuple::from_pairs([(cols.host, Value::from(h))]),
+                ];
+                r.remove_many(&pats).unwrap();
+            }
+            10 => {
+                // Atomic read-modify-write in the owning partition: the
+                // ipcap accounting idiom (read counter, replace tuple).
+                let key =
+                    Tuple::from_pairs([(cols.host, Value::from(h)), (cols.ts, Value::from(t))]);
+                r.with_partition_mut(&key, |p| {
+                    let cur = p
+                        .query(&key, cols.bytes.set())
+                        .unwrap()
+                        .first()
+                        .and_then(|row| row.get(cols.bytes).and_then(Value::as_int));
+                    if cur.is_some() {
+                        p.remove(&key).unwrap();
+                    }
+                    p.insert(tup(cols, h, t, cur.unwrap_or(0) + 1)).unwrap();
+                })
+                .unwrap();
+            }
+            _ => {
+                let target = if rng.below(2) == 0 {
+                    &d_flat
+                } else {
+                    &d_nested
+                };
+                r.migrate_to(target.clone()).unwrap();
+            }
+        }
+    }
+}
+
+/// Recovers `dir`'s state with the log file replaced by `wal_bytes`.
+fn recover_with_log(dir: &Path, scratch: &Path, wal_bytes: &[u8]) -> DurableRelation {
+    let _ = std::fs::remove_dir_all(scratch);
+    std::fs::create_dir_all(scratch).unwrap();
+    let ckpt = dir.join("checkpoint.bin");
+    if ckpt.exists() {
+        std::fs::copy(&ckpt, scratch.join("checkpoint.bin")).unwrap();
+    }
+    std::fs::write(scratch.join("wal.log"), wal_bytes).unwrap();
+    DurableRelation::open(scratch, GroupCommitPolicy::manual()).unwrap()
+}
+
+/// The core harness: drive a seeded op mix, then recover from the log
+/// truncated at every record boundary and at every byte boundary of the
+/// final record (plus corrupted variants), asserting exact equality with
+/// the model at the last durable prefix. `checkpoint_at` optionally takes
+/// a checkpoint (and therefore a log truncation) mid-run.
+fn crash_injection_case(seed: u64, ops: usize, checkpoint_at: Option<usize>) {
+    let name = format!("case_{seed}_{}", checkpoint_at.map_or(0, |c| c + 1));
+    let dir = tmpdir(&name);
+    let scratch = tmpdir(&format!("{name}_scratch"));
+    let (cat, cols, spec, d) = schema_parts();
+    let key = cols.host | cols.ts;
+    let r = DurableRelation::create(
+        &dir,
+        &cat,
+        spec,
+        d,
+        cols.host.set(),
+        4,
+        true,
+        GroupCommitPolicy::manual(),
+    )
+    .unwrap();
+    match checkpoint_at {
+        Some(at) => {
+            drive(&r, &cols, seed, at);
+            r.checkpoint().unwrap();
+            drive(&r, &cols, seed.wrapping_add(1), ops - at);
+        }
+        None => drive(&r, &cols, seed, ops),
+    }
+    r.commit().unwrap();
+    let live = r.to_relation();
+    drop(r);
+
+    // Model every durable prefix by replaying the log records, and verify
+    // the model agrees with the live engine at the full log first. With a
+    // checkpoint, the replayable file only holds the tail; the prefix
+    // state is the checkpoint image, whose own watermarks cover every
+    // pre-checkpoint record — so the model starts from the recovered
+    // checkpoint-only state and injection points stay past the highest
+    // watermark (where every shard replays uniformly).
+    let wal_path = dir.join("wal.log");
+    let full = std::fs::read(&wal_path).unwrap();
+    let scanned = read_wal(&wal_path).unwrap();
+    assert_eq!(scanned.valid_len, full.len() as u64, "log must be clean");
+    let max_stamp = match checkpoint_at {
+        None => 0,
+        Some(_) => relic_persist::read_checkpoint(&dir)
+            .unwrap()
+            .expect("checkpoint written")
+            .shard_stamps
+            .iter()
+            .copied()
+            .max()
+            .unwrap(),
+    };
+    let base_state = if checkpoint_at.is_some() {
+        // The checkpoint image alone (tail cut at the first record):
+        // recovery must reproduce it exactly for records <= max_stamp.
+        let first_past = scanned
+            .entries
+            .iter()
+            .find(|e| e.seq > max_stamp)
+            .map_or(full.len() as u64, |e| e.start);
+        let rec = recover_with_log(&dir, &scratch, &full[..first_past as usize]);
+        rec.relation().validate().unwrap();
+        rec.to_relation()
+    } else {
+        Relation::empty(cat.all())
+    };
+    // states[k] = expected relation once entries[..=k] (past the stamp
+    // horizon) are durable.
+    let mut model = base_state.clone();
+    let mut states: Vec<Relation> = Vec::with_capacity(scanned.entries.len());
+    for e in &scanned.entries {
+        if e.seq > max_stamp {
+            model_apply(&mut model, key, &e.record);
+        }
+        states.push(model.clone());
+    }
+    assert_eq!(
+        model, live,
+        "model replay of the full log must equal the live relation (seed {seed})"
+    );
+
+    let state_at = |cut: u64| -> &Relation {
+        let mut last: Option<usize> = None;
+        for (k, e) in scanned.entries.iter().enumerate() {
+            if e.end <= cut {
+                last = Some(k);
+            }
+        }
+        last.map_or(&base_state, |k| &states[k])
+    };
+
+    // Every record boundary of the whole log.
+    for e in &scanned.entries {
+        if e.seq <= max_stamp {
+            continue;
+        }
+        let rec = recover_with_log(&dir, &scratch, &full[..e.end as usize]);
+        assert_eq!(
+            rec.to_relation(),
+            *state_at(e.end),
+            "record-boundary cut at seq {} diverged (seed {seed})",
+            e.seq
+        );
+        rec.relation().validate().unwrap();
+    }
+
+    // Every byte boundary of the final record: recovery succeeds and
+    // equals the model with the final record excluded.
+    let last = scanned.entries.last().expect("ops were logged");
+    assert!(last.seq > max_stamp);
+    let expect_without_last = state_at(last.start);
+    for cut in last.start..last.end {
+        let rec = recover_with_log(&dir, &scratch, &full[..cut as usize]);
+        assert_eq!(
+            rec.to_relation(),
+            *expect_without_last,
+            "byte cut at {cut} of final record diverged (seed {seed})"
+        );
+    }
+    // And the whole file recovers to the full model.
+    let rec = recover_with_log(&dir, &scratch, &full);
+    assert_eq!(rec.to_relation(), live);
+    rec.relation().validate().unwrap();
+
+    // Corruption (not truncation): flipping any byte of the final record
+    // is caught by the checksum, recovering the same prefix state.
+    for delta in [0u64, (last.end - last.start) / 2, last.end - last.start - 1] {
+        let mut bad = full.clone();
+        bad[(last.start + delta) as usize] ^= 0x5A;
+        let rec = recover_with_log(&dir, &scratch, &bad);
+        assert_eq!(
+            rec.to_relation(),
+            *expect_without_last,
+            "byte flip at +{delta} of final record diverged (seed {seed})"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn crash_injection_without_checkpoint() {
+    for seed in [0xA11CE, 0xB0B, 0xCAFE] {
+        crash_injection_case(seed, 70, None);
+    }
+}
+
+#[test]
+fn crash_injection_with_mid_run_checkpoint() {
+    for seed in [0xD00D, 0xFEED] {
+        crash_injection_case(seed, 70, Some(35));
+    }
+}
+
+/// A partition read-modify-write is one compound log frame: truncating the
+/// log anywhere inside it drops the **whole** sequence — recovery can
+/// never observe the remove without its re-insert (the torn-counter bug a
+/// two-frame encoding would allow).
+#[test]
+fn partition_rmw_is_crash_atomic_in_the_log() {
+    let dir = tmpdir("rmw_atomic");
+    let scratch = tmpdir("rmw_atomic_scratch");
+    let (cat, cols, spec, d) = schema_parts();
+    let r = DurableRelation::create(
+        &dir,
+        &cat,
+        spec,
+        d,
+        cols.host.set(),
+        4,
+        true,
+        GroupCommitPolicy::manual(),
+    )
+    .unwrap();
+    let key = Tuple::from_pairs([(cols.host, Value::from(1)), (cols.ts, Value::from(1))]);
+    r.insert(tup(&cols, 1, 1, 5)).unwrap();
+    // The RMW: read the counter, remove, re-insert incremented.
+    r.with_partition_mut(&key, |p| {
+        let cur = p
+            .query(&key, cols.bytes.set())
+            .unwrap()
+            .first()
+            .and_then(|row| row.get(cols.bytes).and_then(Value::as_int))
+            .unwrap();
+        p.remove(&key).unwrap();
+        p.insert(tup(&cols, 1, 1, cur + 1)).unwrap();
+    })
+    .unwrap();
+    r.commit().unwrap();
+    drop(r);
+    let wal_path = dir.join("wal.log");
+    let full = std::fs::read(&wal_path).unwrap();
+    let scanned = read_wal(&wal_path).unwrap();
+    let last = scanned.entries.last().unwrap();
+    assert!(
+        matches!(last.record, WalRecord::Txn(ref ops) if ops.len() == 2),
+        "the RMW must be one compound record, got {:?}",
+        last.record
+    );
+    let before = tup(&cols, 1, 1, 5);
+    let after = tup(&cols, 1, 1, 6);
+    // Any cut inside the Txn frame keeps the pre-RMW tuple intact; the
+    // full file holds the post-RMW tuple; no cut anywhere loses both.
+    for cut in last.start..=last.end {
+        let rec = recover_with_log(&dir, &scratch, &full[..cut as usize]);
+        let state = rec.to_relation();
+        if cut < last.end {
+            assert!(state.contains(&before), "cut {cut} tore the RMW apart");
+        } else {
+            assert!(state.contains(&after));
+        }
+        assert_eq!(state.len(), 1, "cut {cut} must never lose the tuple");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// A recovered relation is a full citizen: it keeps serving, logging,
+/// checkpointing and recovering again.
+#[test]
+fn recovery_chains() {
+    let dir = tmpdir("chain");
+    let (cat, cols, spec, d) = schema_parts();
+    {
+        let r = DurableRelation::create(
+            &dir,
+            &cat,
+            spec,
+            d,
+            cols.host.set(),
+            4,
+            true,
+            GroupCommitPolicy::manual(),
+        )
+        .unwrap();
+        drive(&r, &cols, 7, 40);
+        r.commit().unwrap();
+    }
+    let mut previous_len = None;
+    for round in 0..4u64 {
+        let r = DurableRelation::open(&dir, GroupCommitPolicy::manual()).unwrap();
+        if let Some(n) = previous_len {
+            assert_eq!(r.len(), n, "round {round} lost state");
+        }
+        drive(&r, &cols, 100 + round, 25);
+        if round % 2 == 0 {
+            r.checkpoint().unwrap();
+        }
+        r.commit().unwrap();
+        r.relation().validate().unwrap();
+        previous_len = Some(r.len());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

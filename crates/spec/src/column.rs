@@ -278,6 +278,17 @@ pub struct Catalog {
     index: HashMap<String, ColId>,
 }
 
+/// Two catalogs are equal when they intern the same names to the same ids
+/// (the `index` map is derived from `names`, so comparing the name list in
+/// id order suffices).
+impl PartialEq for Catalog {
+    fn eq(&self, other: &Self) -> bool {
+        self.names == other.names
+    }
+}
+
+impl Eq for Catalog {}
+
 impl Catalog {
     /// Creates an empty catalog.
     pub fn new() -> Self {

@@ -16,6 +16,7 @@ use crate::zipf::Zipf;
 use relic_concurrent::{ConcurrentBuildError, ConcurrentRelation, ReadHandle};
 use relic_core::SynthRelation;
 use relic_decomp::Decomposition;
+use relic_persist::{DurableRelation, GroupCommitPolicy, PersistError};
 use relic_spec::{Catalog, ColId, Pattern, Pred, RelSpec, Tuple, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, Ordering};
@@ -422,6 +423,159 @@ pub fn run_concurrent_cache(
     (outcomes, unmapped)
 }
 
+// ---------------------------------------------------------------------------
+// Durable: the restartable mmap cache (serve → kill → recover → serve).
+// ---------------------------------------------------------------------------
+
+/// The durable mmap cache: a [`DurableRelation`] partitioned by `path`.
+/// Committed mappings survive a server restart — a warm cache comes back
+/// warm, instead of re-mapping the whole working set from scratch.
+///
+/// Misses insert durably; a hit's stamp refresh is a logged remove +
+/// insert inside the owning partition (the log's record kinds); the
+/// cleanup sweep collects stale paths from a wait-free snapshot and
+/// removes them as one logged `remove_many`.
+#[derive(Debug)]
+pub struct DurableMmapCache {
+    rel: DurableRelation,
+    cols: MmapCols,
+    next_addr: AtomicI64,
+}
+
+impl DurableMmapCache {
+    /// Creates a fresh durable cache in `dir` (discarding any previous
+    /// state), partitioned by `path` into `shards`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DurableRelation::create`].
+    pub fn create(
+        dir: &std::path::Path,
+        shards: usize,
+        policy: GroupCommitPolicy,
+    ) -> Result<Self, PersistError> {
+        let (mut cat, cols, spec) = mmap_spec();
+        let d = default_decomposition(&mut cat);
+        let rel =
+            DurableRelation::create(dir, &cat, spec, d, cols.path.set(), shards, true, policy)?;
+        Ok(DurableMmapCache {
+            rel,
+            cols,
+            next_addr: AtomicI64::new(0),
+        })
+    }
+
+    /// Recovers the cache stored in `dir`. The address allocator resumes
+    /// past the highest recovered address, so re-mapped files never
+    /// collide with surviving mappings (`addr` is functionally unique).
+    ///
+    /// # Errors
+    ///
+    /// As for [`DurableRelation::open`].
+    pub fn open(dir: &std::path::Path, policy: GroupCommitPolicy) -> Result<Self, PersistError> {
+        let rel = DurableRelation::open(dir, policy)?;
+        let cat = rel.catalog();
+        let cols = MmapCols {
+            path: cat.col("path").expect("recovered catalog has `path`"),
+            addr: cat.col("addr").expect("recovered catalog has `addr`"),
+            size: cat.col("size").expect("recovered catalog has `size`"),
+            stamp: cat.col("stamp").expect("recovered catalog has `stamp`"),
+        };
+        let max_addr = rel
+            .read_view()
+            .to_relation()
+            .iter()
+            .filter_map(|t| t.get(cols.addr).and_then(Value::as_int))
+            .max()
+            .unwrap_or(0);
+        Ok(DurableMmapCache {
+            rel,
+            cols,
+            next_addr: AtomicI64::new(max_addr),
+        })
+    }
+
+    /// The underlying durable relation (validation, checkpoint control).
+    pub fn relation(&self) -> &DurableRelation {
+        &self.rel
+    }
+
+    /// Serves one request durably: the decide-and-mutate runs as one
+    /// logged read-modify-write inside the partition owning the path.
+    ///
+    /// # Errors
+    ///
+    /// Any relational or log failure of the underlying store.
+    pub fn serve(&self, req: &Request) -> Result<Outcome, PersistError> {
+        let cols = self.cols;
+        let key = Tuple::from_pairs([(cols.path, Value::from(req.path.as_str()))]);
+        let addr_candidate = self.next_addr.fetch_add(4096, Ordering::Relaxed) + 4096;
+        let size = 1024 + (req.path.len() as i64) * 7;
+        self.rel
+            .with_partition_mut(&key, |p| {
+                match p.query(&key, cols.addr | cols.size)?.first() {
+                    Some(t) => {
+                        // Hit: refresh the stamp, keeping the mapping.
+                        let addr = t.get(cols.addr).and_then(Value::as_int).unwrap();
+                        let size = t.get(cols.size).and_then(Value::as_int).unwrap();
+                        p.remove(&key)?;
+                        p.insert(key.merge(&Tuple::from_pairs([
+                            (cols.addr, Value::from(addr)),
+                            (cols.size, Value::from(size)),
+                            (cols.stamp, Value::from(req.now)),
+                        ])))?;
+                        Ok(Outcome::Hit)
+                    }
+                    None => {
+                        p.insert(key.merge(&Tuple::from_pairs([
+                            (cols.addr, Value::from(addr_candidate)),
+                            (cols.size, Value::from(size)),
+                            (cols.stamp, Value::from(req.now)),
+                        ])))?;
+                        Ok(Outcome::Miss)
+                    }
+                }
+            })?
+            .map_err(PersistError::Op)
+    }
+
+    /// Removes mappings with `stamp < cutoff`, durably: stale paths are
+    /// collected from a wait-free snapshot, then removed as one logged
+    /// `remove_many` of pinned path patterns. Returns how many were
+    /// unmapped.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DurableRelation::remove_many`].
+    pub fn cleanup(&self, cutoff: i64) -> Result<usize, PersistError> {
+        let cols = self.cols;
+        let stale = Pattern::new().with(cols.stamp, Pred::Lt(Value::from(cutoff)));
+        let victims = self
+            .rel
+            .read_view()
+            .query_where(&stale, cols.path.set())
+            .map_err(PersistError::Op)?;
+        if victims.is_empty() {
+            return Ok(0);
+        }
+        self.rel.remove_many(&victims)
+    }
+
+    /// Group-commits the log.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DurableRelation::commit`].
+    pub fn commit(&self) -> Result<u64, PersistError> {
+        self.rel.commit()
+    }
+
+    /// Number of live mappings in the published state (wait-free).
+    pub fn live(&self) -> usize {
+        self.rel.read_view().len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -585,5 +739,77 @@ mod tests {
         // Refreshed: a cleanup at cutoff 50 keeps it.
         assert_eq!(synth.cleanup(50), 0);
         assert_eq!(synth.live(), 1);
+    }
+
+    /// The restartable server scenario: serve → kill → recover → serve.
+    /// A warm cache comes back warm (committed mappings Hit after the
+    /// restart), uncommitted mappings vanish, addresses never collide, and
+    /// a durable cleanup stays cleaned up across another restart.
+    #[test]
+    fn durable_cache_survives_a_crash_warm() {
+        let dir = std::env::temp_dir().join(format!("relic_thttpd_crash_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let reqs = request_stream(400, 60, 0xD00D);
+        let committed_at = 300;
+        let (live_before, outcomes_before) = {
+            let cache = DurableMmapCache::create(&dir, 4, GroupCommitPolicy::manual()).unwrap();
+            let outcomes: Vec<Outcome> = reqs[..committed_at]
+                .iter()
+                .map(|r| cache.serve(r).unwrap())
+                .collect();
+            cache.commit().unwrap();
+            let committed_state = cache.relation().to_relation();
+            // An uncommitted tail: mappings the crash must forget.
+            for r in &reqs[committed_at..350] {
+                cache.serve(r).unwrap();
+            }
+            (committed_state, outcomes)
+        };
+        let _ = outcomes_before;
+        let cache = DurableMmapCache::open(&dir, GroupCommitPolicy::manual()).unwrap();
+        assert_eq!(
+            cache.relation().to_relation(),
+            live_before,
+            "recovery must reproduce exactly the committed cache"
+        );
+        // Warm restart: every committed path is a Hit, and re-serving a
+        // brand-new path allocates an address that collides with nothing.
+        let warm = cache
+            .serve(&Request {
+                path: reqs[0].path.clone(),
+                now: 10_000,
+            })
+            .unwrap();
+        assert_eq!(warm, Outcome::Hit, "a committed mapping must survive warm");
+        cache
+            .serve(&Request {
+                path: "/www/site/brand-new.html".into(),
+                now: 10_001,
+            })
+            .unwrap();
+        cache.relation().relation().validate().unwrap();
+        let mut addrs: Vec<i64> = cache
+            .relation()
+            .to_relation()
+            .iter()
+            .map(|t| {
+                t.get(cache.cols.addr)
+                    .and_then(Value::as_int)
+                    .expect("addr column")
+            })
+            .collect();
+        addrs.sort_unstable();
+        let unique = addrs.len();
+        addrs.dedup();
+        assert_eq!(addrs.len(), unique, "recovered allocator reused an address");
+        // A durable cleanup survives the next restart too.
+        cache.cleanup(10_000).unwrap();
+        assert_eq!(cache.live(), 2, "only the two post-restart touches remain");
+        cache.commit().unwrap();
+        drop(cache);
+        let cache = DurableMmapCache::open(&dir, GroupCommitPolicy::manual()).unwrap();
+        assert_eq!(cache.live(), 2, "the sweep must persist across restart");
+        cache.relation().relation().validate().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

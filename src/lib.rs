@@ -13,6 +13,7 @@ pub use relic_concurrent as concurrent;
 pub use relic_containers as containers;
 pub use relic_core as core;
 pub use relic_decomp as decomp;
+pub use relic_persist as persist;
 pub use relic_query as query;
 pub use relic_spec as spec;
 pub use relic_systems as systems;
