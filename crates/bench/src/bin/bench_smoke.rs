@@ -4,12 +4,19 @@
 //! against the recorded `BENCH_*.json` files.
 //!
 //! Usage: `cargo run --release --bin bench_smoke [-- [--quick] [OUTPUT.json]]`
-//! (default output path: `BENCH_4.json` in the current directory).
+//! (default output path: `BENCH_6.json` in the current directory).
 //! `--quick` shrinks sizes and repetition counts to a compile-and-run smoke
 //! check for CI — its timings are not comparable to full runs. **Every**
 //! workload family runs in quick mode, including scaled-down `phase_shift`
 //! and `read_scaling` variants, so CI exercises the adaptive and the
 //! snapshot read paths on every push.
+//!
+//! The `codegen` family (PR 6) replays the `query_hot_path` workload — the
+//! same 1000-tuple scheduler relation, the same point lookups and state
+//! scans — through a module *compiled* by `relic_codegen` at build time
+//! (see `build.rs`), with `ns`/`pid` packed into native `u64` keys. Its
+//! numbers sit next to the interpreted `query_hot_path` entries so the
+//! compilation speedup is a single division away.
 //!
 //! The `bulk_load_100k` and `batch_insert` pairs time the PR-2 batch APIs
 //! against the per-tuple loops they replace, on a hash-rooted and an
@@ -36,6 +43,13 @@ use relic_systems::adaptive::{
 };
 use relic_systems::thttpd::{mmap_spec, request_stream, run_cache, SynthMmapCache};
 use std::time::Instant;
+
+/// The build-time-compiled scheduler module (see `crates/bench/build.rs`):
+/// the fig. 2 decomposition specialized to native key types by
+/// `relic_codegen`.
+mod codegen_scheduler {
+    include!(concat!(env!("OUT_DIR"), "/codegen_scheduler.rs"));
+}
 
 /// Times `f` over `reps` repetitions after `warmup` untimed ones, returning
 /// mean nanoseconds per repetition.
@@ -249,6 +263,53 @@ fn bench_query_hot_path(out: &mut Vec<(String, f64)>) {
         hits
     });
     out.push(("query_hot_path/state_scan_100x_raw".to_string(), ns));
+}
+
+/// `codegen`: the `query_hot_path` workload through the build-time-compiled
+/// scheduler module. Identical data (1000 tuples, `ns = i % 16`, `pid = i`,
+/// state `R`/`S`, `cpu = i % 7`), identical query mix and repetition counts,
+/// so `query_hot_path/point_lookup_1k / codegen/point_lookup_1k` is the
+/// interpreted-vs-compiled speedup. `codegen/insert_1k` times populating the
+/// compiled store from scratch (the interpreted counterpart is inside the
+/// `micro_scheduler` epoch mix).
+fn bench_codegen(out: &mut Vec<(String, f64)>) {
+    let state_of = |i: i64| {
+        if i % 3 == 0 {
+            "R".to_string()
+        } else {
+            "S".to_string()
+        }
+    };
+    let mut rel = codegen_scheduler::Relation::new();
+    for i in 0..1000i64 {
+        assert!(rel.insert(i % 16, i, state_of(i), i % 7));
+    }
+    let ns = time_mean_ns(3, 10, || {
+        let mut hits = 0usize;
+        for i in 0..1000i64 {
+            rel.query_ns_pid_to_cpu(&(i % 16), &i, |_| hits += 1);
+        }
+        hits
+    });
+    out.push(("codegen/point_lookup_1k".to_string(), ns));
+    let running = "R".to_string();
+    let ns = time_mean_ns(3, 10, || {
+        let mut hits = 0usize;
+        for _ in 0..100 {
+            rel.query_state_to_ns_pid(&running, |_, _| hits += 1);
+        }
+        hits
+    });
+    out.push(("codegen/state_scan_100x".to_string(), ns));
+    let states: Vec<String> = (0..1000i64).map(state_of).collect();
+    let ns = time_mean_ns(3, 10, || {
+        let mut r = codegen_scheduler::Relation::new();
+        for i in 0..1000i64 {
+            r.insert(i % 16, i, states[i as usize].clone(), i % 7);
+        }
+        r.len()
+    });
+    out.push(("codegen/insert_1k".to_string(), ns));
 }
 
 /// A deterministic pseudo-random permutation of `0..n` (odd multiplier
@@ -860,7 +921,7 @@ fn main() {
     let mut quick = false;
     let mut only: Option<String> = None;
     let mut expect_only = false;
-    let mut out_path = "BENCH_5.json".to_string();
+    let mut out_path = "BENCH_6.json".to_string();
     for arg in std::env::args().skip(1) {
         if expect_only {
             only = Some(arg);
@@ -875,10 +936,11 @@ fn main() {
             out_path = arg;
         }
     }
-    const FAMILIES: [&str; 8] = [
+    const FAMILIES: [&str; 9] = [
         "micro_cache",
         "micro_scheduler",
         "query_hot_path",
+        "codegen",
         "bulk_load_100k",
         "batch_insert",
         "phase_shift",
@@ -906,6 +968,9 @@ fn main() {
     if run("query_hot_path") {
         bench_query_hot_path(&mut results);
     }
+    if run("codegen") {
+        bench_codegen(&mut results);
+    }
     if run("bulk_load_100k") {
         bench_bulk_load(&mut results, quick);
     }
@@ -921,8 +986,13 @@ fn main() {
     if run("wal_commit") {
         bench_wal_commit(&mut results, quick);
     }
+    // Timings are only comparable within one machine + toolchain, so the
+    // header records both.
+    let cpus = std::thread::available_parallelism().map_or(0, usize::from);
+    let rustc = env!("RELIC_BENCH_RUSTC");
     let mut json = format!(
-        "{{\n  \"schema\": \"relic-bench-smoke-v5\",\n  \"quick\": {quick},\n  \"results\": {{\n"
+        "{{\n  \"schema\": \"relic-bench-smoke-v6\",\n  \"quick\": {quick},\n  \
+         \"cpus\": {cpus},\n  \"rustc\": \"{rustc}\",\n  \"results\": {{\n"
     );
     for (i, (label, ns)) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };

@@ -1,9 +1,22 @@
-//! The code emitter: request → Rust source text.
+//! The emission stage: optimized plan IR → Rust source text.
+//!
+//! Mutation paths (`insert`, `remove_by_*`, structural `update_*`) are
+//! emitted directly from the decomposition's cut/locate machinery (§4.4,
+//! §4.5); query bodies are emitted by walking the lowered, peephole-
+//! optimized IR (see [`crate::ir`], [`crate::lower`], [`crate::peephole`]).
+//! All container operations go through the per-edge layout decisions of
+//! [`crate::layout`], so packed open-addressed tables, sorted slices and
+//! unit slots are transparent to the rest of the emitter.
 
-use crate::{CodegenError, ColType, Request};
-use relic_decomp::{check_adequacy, cut, Body, Decomposition, DsKind, EdgeId, NodeId};
-use relic_query::{CostModel, Plan, Planner, Side};
+use crate::ir::{Block, Step};
+use crate::layout::{plan_layout, ContainerKind, PackedPart};
+use crate::lower::lower_query;
+use crate::peephole::{optimize, PeepholeStats};
+use crate::{CodegenError, ColType, Report, Request};
+use relic_decomp::{check_adequacy, cut, Body, Decomposition, EdgeId, NodeId};
+use relic_query::{resolve_plan, CostModel, Plan, Planner};
 use relic_spec::{ColId, ColSet};
+use std::collections::HashMap;
 use std::fmt::Write;
 
 /// An indented source writer.
@@ -69,6 +82,9 @@ struct Gen<'a> {
     req: &'a Request<'a>,
     d: &'a Decomposition,
     planner: Planner<'a>,
+    layout: crate::layout::ModuleLayout,
+    /// Accumulated peephole counters across all emitted bodies.
+    stats: PeepholeStats,
     /// Unique-suffix counter for generated local names.
     fresh: usize,
     /// Active range context while emitting a `query_range` body:
@@ -98,6 +114,172 @@ fn col_list(cat: &relic_spec::Catalog, cols: ColSet, sep: &str) -> String {
         .join(sep)
 }
 
+/// Emitted open-addressed table for packed `htable` edges.
+const OPEN_TABLE_SRC: &str = "\
+// Open-addressed u64 -> u32 hash table: Fibonacci hashing, linear
+// probing, tombstones (slot state 0 = empty, 1 = full, 2 = tombstone).
+#[allow(dead_code)]
+#[derive(Debug, Clone, Default)]
+struct OpenTable {
+    slots: Vec<(u64, u32, u8)>,
+    items: usize,
+    used: usize,
+}
+
+#[allow(dead_code, clippy::all)]
+impl OpenTable {
+    fn idx(&self, k: u64) -> usize {
+        ((k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & (self.slots.len() - 1)
+    }
+
+    fn get(&self, k: u64) -> Option<u32> {
+        if self.items == 0 {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = self.idx(k);
+        loop {
+            match self.slots[i] {
+                (_, _, 0) => return None,
+                (sk, sv, 1) if sk == k => return Some(sv),
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    fn insert(&mut self, k: u64, v: u32) {
+        if self.slots.is_empty() || (self.used + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = self.idx(k);
+        let mut tomb = None;
+        loop {
+            match self.slots[i] {
+                (_, _, 0) => {
+                    let t = match tomb {
+                        Some(t) => t,
+                        None => {
+                            self.used += 1;
+                            i
+                        }
+                    };
+                    self.slots[t] = (k, v, 1);
+                    self.items += 1;
+                    return;
+                }
+                (sk, _, 1) if sk == k => {
+                    self.slots[i].1 = v;
+                    return;
+                }
+                (_, _, 2) => {
+                    if tomb.is_none() {
+                        tomb = Some(i);
+                    }
+                    i = (i + 1) & mask;
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    fn remove(&mut self, k: u64) {
+        if self.items == 0 {
+            return;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = self.idx(k);
+        loop {
+            match self.slots[i] {
+                (_, _, 0) => return,
+                (sk, _, 1) if sk == k => {
+                    self.slots[i].2 = 2;
+                    self.items -= 1;
+                    return;
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.slots.iter().filter(|s| s.2 == 1).map(|s| (s.0, s.1))
+    }
+
+    fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    fn grow(&mut self) {
+        let cap = if self.slots.is_empty() {
+            8
+        } else {
+            self.slots.len() * 2
+        };
+        let old = std::mem::replace(&mut self.slots, vec![(0, 0, 0); cap]);
+        self.items = 0;
+        self.used = 0;
+        for (k, v, st) in old {
+            if st == 1 {
+                self.insert(k, v);
+            }
+        }
+    }
+}
+";
+
+/// Emitted sorted slice for packed `sortedvec` edges. Packed keys are
+/// order-preserving, so `u64` order equals lexicographic tuple order.
+const SORTED_SLICE_SRC: &str = "\
+// Sorted Vec<(u64, u32)> with binary search; packed keys preserve
+// tuple order, so range seeks work directly on the u64 words.
+#[allow(dead_code)]
+#[derive(Debug, Clone, Default)]
+struct SortedSlice {
+    v: Vec<(u64, u32)>,
+}
+
+#[allow(dead_code, clippy::all)]
+impl SortedSlice {
+    fn get(&self, k: u64) -> Option<u32> {
+        self.v
+            .binary_search_by_key(&k, |en| en.0)
+            .ok()
+            .map(|i| self.v[i].1)
+    }
+
+    fn insert(&mut self, k: u64, val: u32) {
+        match self.v.binary_search_by_key(&k, |en| en.0) {
+            Ok(i) => self.v[i].1 = val,
+            Err(i) => self.v.insert(i, (k, val)),
+        }
+    }
+
+    fn remove(&mut self, k: u64) {
+        if let Ok(i) = self.v.binary_search_by_key(&k, |en| en.0) {
+            self.v.remove(i);
+        }
+    }
+
+    fn range(&self, lo: u64, hi: u64) -> &[(u64, u32)] {
+        if lo > hi {
+            return &[];
+        }
+        let a = self.v.partition_point(|en| en.0 < lo);
+        let b = self.v.partition_point(|en| en.0 <= hi);
+        &self.v[a..b]
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.v.iter().copied()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.v.is_empty()
+    }
+}
+";
+
 /// Generates a self-contained Rust module implementing the relation.
 ///
 /// # Errors
@@ -107,6 +289,16 @@ fn col_list(cat: &relic_spec::Catalog, cols: ColSet, sep: &str) -> String {
 /// *tuple-identity node* (a node whose bound columns determine the whole
 /// tuple) for duplicate detection.
 pub fn generate(req: &Request<'_>) -> Result<String, CodegenError> {
+    generate_with_report(req).map(|(src, _)| src)
+}
+
+/// Like [`generate`], additionally returning a [`Report`] of the layout and
+/// peephole decisions the backend made.
+///
+/// # Errors
+///
+/// Same as [`generate`].
+pub fn generate_with_report(req: &Request<'_>) -> Result<(String, Report), CodegenError> {
     check_adequacy(req.decomposition, req.spec)
         .map_err(|e| CodegenError::Inadequate(e.to_string()))?;
     for c in req.spec.cols().iter() {
@@ -119,14 +311,28 @@ pub fn generate(req: &Request<'_>) -> Result<String, CodegenError> {
         req.spec,
         CostModel::uniform(req.decomposition, 16.0),
     );
+    let layout = plan_layout(req.decomposition, req.cat, &req.types);
     let mut gen = Gen {
         req,
         d: req.decomposition,
         planner,
+        layout,
+        stats: PeepholeStats::default(),
         fresh: 0,
         range_ctx: None,
     };
-    gen.emit()
+    let src = gen.emit()?;
+    let report = Report {
+        packed_edges: gen.layout.packed_edge_count(),
+        unit_slots: gen.layout.unit_slot_count(),
+        open_tables: gen.layout.count(ContainerKind::OpenTable),
+        sorted_slices: gen.layout.count(ContainerKind::SortedSlice),
+        unit_hops_collapsed: gen.stats.unit_hops_collapsed,
+        scans_fused: gen.stats.scans_fused,
+        probes_hoisted: gen.stats.probes_hoisted,
+        dead_cols_elided: gen.stats.dead_cols_elided,
+    };
+    Ok((src, report))
 }
 
 impl<'a> Gen<'a> {
@@ -143,6 +349,14 @@ impl<'a> Gen<'a> {
         format!("{base}{}", self.fresh)
     }
 
+    fn kind(&self, e: EdgeId) -> ContainerKind {
+        self.layout.edge(e).kind
+    }
+
+    fn is_packed(&self, e: EdgeId) -> bool {
+        self.layout.edge(e).is_packed()
+    }
+
     /// The key tuple type of an edge, e.g. `(i64, String)` (always a tuple,
     /// even for arity one).
     fn key_type(&self, key: ColSet) -> String {
@@ -150,39 +364,59 @@ impl<'a> Gen<'a> {
         format!("({},)", parts.join(", ")).replace(",,", ",")
     }
 
-    /// A key tuple *expression* from the environment (clones non-Copy).
-    fn key_expr(&self, key: ColSet, env: &Env) -> String {
-        let parts: Vec<String> = key
-            .iter()
-            .map(|c| {
-                let e = env.get(c).expect("key column bound");
-                if self.ty(c).is_copy() {
-                    e.to_string()
-                } else {
-                    format!("{e}.clone()")
-                }
-            })
-            .collect();
-        format!("({},)", parts.join(", ")).replace(",,", ",")
-    }
-
-    fn container_type(&self, e: EdgeId) -> String {
+    /// A key *expression* from the environment: `pack_eN(...)` on packed
+    /// edges, the tuple (cloning non-Copy) otherwise. Not meaningful for
+    /// unit slots (their lookup ignores the key).
+    fn key_expr(&self, e: EdgeId, env: &Env) -> String {
+        debug_assert_ne!(self.kind(e), ContainerKind::UnitSlot);
         let edge = self.d.edge(e);
-        let k = self.key_type(edge.key);
-        match edge.ds {
-            DsKind::HashTable => format!("HashMap<{k}, u32>"),
-            DsKind::AvlTree | DsKind::SortedVec => format!("BTreeMap<{k}, u32>"),
-            DsKind::AssocVec | DsKind::DList | DsKind::IntrusiveList => {
-                format!("Vec<({k}, u32)>")
-            }
+        if self.is_packed(e) {
+            let args: Vec<String> = edge
+                .key
+                .iter()
+                .map(|c| env.get(c).expect("key column bound").to_string())
+                .collect();
+            format!("pack_e{}({})", e.index(), args.join(", "))
+        } else {
+            let parts: Vec<String> = edge
+                .key
+                .iter()
+                .map(|c| {
+                    let ex = env.get(c).expect("key column bound");
+                    if self.ty(c).is_copy() {
+                        ex.to_string()
+                    } else {
+                        format!("{ex}.clone()")
+                    }
+                })
+                .collect();
+            format!("({},)", parts.join(", ")).replace(",,", ",")
         }
     }
 
-    fn is_map_backed(&self, e: EdgeId) -> bool {
-        matches!(
-            self.d.edge(e).ds,
-            DsKind::HashTable | DsKind::AvlTree | DsKind::SortedVec
-        )
+    fn container_type(&self, e: EdgeId) -> String {
+        match self.kind(e) {
+            ContainerKind::UnitSlot => "Option<u32>".into(),
+            ContainerKind::OpenTable => "OpenTable".into(),
+            ContainerKind::SortedSlice => "SortedSlice".into(),
+            ContainerKind::HashMapStd => {
+                format!("HashMap<{}, u32>", self.key_type(self.d.edge(e).key))
+            }
+            ContainerKind::BTreeStd => {
+                if self.is_packed(e) {
+                    "BTreeMap<u64, u32>".into()
+                } else {
+                    format!("BTreeMap<{}, u32>", self.key_type(self.d.edge(e).key))
+                }
+            }
+            ContainerKind::VecLinear => {
+                if self.is_packed(e) {
+                    "Vec<(u64, u32)>".into()
+                } else {
+                    format!("Vec<({}, u32)>", self.key_type(self.d.edge(e).key))
+                }
+            }
+        }
     }
 
     /// Expression for the instance *struct* of a node given its slot
@@ -201,13 +435,100 @@ impl<'a> Gen<'a> {
         format!("i_{}", self.d.node(id).name)
     }
 
-    /// `container.get(key)`-style lookup expression yielding `Option<u32>`.
-    fn lookup_expr(&self, e: EdgeId, inst: &str, key: &str) -> String {
+    /// Lookup expression yielding `Option<u32>`.
+    fn lookup_expr(&self, e: EdgeId, inst: &str, env: &Env) -> String {
         let field = format!("{inst}.e{}", e.index());
-        if self.is_map_backed(e) {
-            format!("{field}.get(&{key}).copied()")
+        match self.kind(e) {
+            ContainerKind::UnitSlot => field,
+            ContainerKind::OpenTable | ContainerKind::SortedSlice => {
+                format!("{field}.get({})", self.key_expr(e, env))
+            }
+            ContainerKind::HashMapStd | ContainerKind::BTreeStd => {
+                format!("{field}.get(&{}).copied()", self.key_expr(e, env))
+            }
+            ContainerKind::VecLinear => format!(
+                "{field}.iter().find(|en| en.0 == {}).map(|en| en.1)",
+                self.key_expr(e, env)
+            ),
+        }
+    }
+
+    /// Statement linking `slot` into an edge's container.
+    fn insert_stmt(&self, e: EdgeId, target: &str, env: &Env, slot: &str) -> String {
+        let field = format!("{target}.e{}", e.index());
+        match self.kind(e) {
+            ContainerKind::UnitSlot => format!("{field} = Some({slot});"),
+            ContainerKind::OpenTable
+            | ContainerKind::SortedSlice
+            | ContainerKind::HashMapStd
+            | ContainerKind::BTreeStd => {
+                format!("{field}.insert({}, {slot});", self.key_expr(e, env))
+            }
+            ContainerKind::VecLinear => {
+                format!("{field}.push(({}, {slot}));", self.key_expr(e, env))
+            }
+        }
+    }
+
+    /// Statement unlinking an edge's entry for the key in `env`.
+    fn remove_stmt(&self, e: EdgeId, target: &str, env: &Env) -> String {
+        let field = format!("{target}.e{}", e.index());
+        match self.kind(e) {
+            ContainerKind::UnitSlot => format!("{field} = None;"),
+            ContainerKind::OpenTable | ContainerKind::SortedSlice => {
+                format!("{field}.remove({});", self.key_expr(e, env))
+            }
+            ContainerKind::HashMapStd | ContainerKind::BTreeStd => {
+                format!("{field}.remove(&{});", self.key_expr(e, env))
+            }
+            ContainerKind::VecLinear => {
+                let key = self.key_expr(e, env);
+                format!(
+                    "if let Some(p) = {field}.iter().position(|en| en.0 == {key}) {{ {field}.swap_remove(p); }}"
+                )
+            }
+        }
+    }
+
+    fn is_empty_expr(&self, e: EdgeId, inst: &str) -> String {
+        let field = format!("{inst}.e{}", e.index());
+        match self.kind(e) {
+            ContainerKind::UnitSlot => format!("{field}.is_none()"),
+            _ => format!("{field}.is_empty()"),
+        }
+    }
+
+    /// Expression reading one column out of a packed key word.
+    fn unpack_expr(&self, word: &str, part: PackedPart) -> String {
+        if part.is_sign_flip() {
+            format!("(({word} ^ 0x8000_0000_0000_0000) as i64)")
+        } else if self.ty(part.col) == ColType::Bool {
+            format!("((({word} >> {}) & 1) != 0)", part.shift)
         } else {
-            format!("{field}.iter().find(|en| en.0 == {key}).map(|en| en.1)")
+            format!(
+                "((({word} >> {}) & 0x{:x}) as i64)",
+                part.shift,
+                part.mask()
+            )
+        }
+    }
+
+    /// Expression for a key column of the current scan entry (`{entry}_k`
+    /// is the key word on packed edges, the key tuple otherwise).
+    fn scan_key_access(&self, e: EdgeId, entry: &str, col: ColId) -> String {
+        if self.is_packed(e) {
+            let part = *self
+                .layout
+                .edge(e)
+                .packed_parts()
+                .unwrap()
+                .iter()
+                .find(|p| p.col == col)
+                .expect("column in packed key");
+            self.unpack_expr(&format!("{entry}_k"), part)
+        } else {
+            let i = self.d.edge(e).key.rank(col).expect("column in key");
+            format!("{entry}_k.{i}")
         }
     }
 
@@ -223,16 +544,67 @@ impl<'a> Gen<'a> {
         out
     }
 
-    /// A node whose bound columns determine the whole tuple (used for
-    /// duplicate detection). Adequate decompositions of keyed relations
-    /// always contain one in practice.
-    fn identity_node(&self) -> Result<NodeId, CodegenError> {
+    /// A node whose find along the insert path soundly detects "a tuple with
+    /// the same key already exists": its bound columns must determine the
+    /// whole tuple *and* be a subset of the minimal key, so any stored tuple
+    /// agreeing on the key also agrees on every bound column and the lookup
+    /// is guaranteed to hit. A node bound by a superset of the key (e.g. an
+    /// edge keyed on all columns) fails the second condition — an
+    /// FD-conflicting tuple differs in a non-key column and the lookup would
+    /// miss it; those decompositions get an explicit key pre-probe instead.
+    fn sound_identity_node(&self) -> Option<NodeId> {
         let all = self.req.spec.cols();
-        self.d
-            .nodes()
-            .map(|(id, _)| id)
-            .find(|id| all.is_subset(self.req.spec.fds().closure(self.d.node(*id).bound)))
-            .ok_or_else(|| CodegenError::Inadequate("no tuple-identity node".to_string()))
+        let min_key = self.req.spec.minimal_key();
+        self.d.nodes().map(|(id, _)| id).find(|id| {
+            let bound = self.d.node(*id).bound;
+            bound.is_subset(min_key) && all.is_subset(self.req.spec.fds().closure(bound))
+        })
+    }
+
+    /// The canonical root-to-`id` edge path (first incoming edge at every
+    /// hop) — the same path the locate machinery walks.
+    fn canonical_path(&self, id: NodeId) -> Vec<EdgeId> {
+        let mut path = Vec::new();
+        let mut cur = id;
+        while cur != self.d.root() {
+            let e = self.d.incoming_edges(cur)[0];
+            path.push(e);
+            cur = self.d.edge(e).from;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Plans a query signature (constant-space plans only), lowers it to
+    /// IR and runs the peephole passes. Returns the plan's display form and
+    /// the optimized IR.
+    fn build_ir(
+        &mut self,
+        avail: ColSet,
+        ranged: Option<ColId>,
+        out: ColSet,
+    ) -> Result<(String, Block), CodegenError> {
+        let planned = match ranged {
+            None => self
+                .planner
+                .plan_query_admissible(avail, out, Plan::is_constant_space),
+            Some(rc) => self.planner.plan_query_where_admissible(
+                avail,
+                rc.set(),
+                ColSet::EMPTY,
+                out,
+                Plan::is_constant_space,
+            ),
+        }
+        .map_err(|_| {
+            CodegenError::NoPlan(avail | ranged.map_or(ColSet::EMPTY, |c| c.set()), out)
+        })?;
+        let resolved =
+            resolve_plan(self.d, &planned.plan).expect("planner plan aligns with decomposition");
+        let ir = lower_query(self.d, &resolved, avail, ranged, out);
+        let (ir, stats) = optimize(self.d, ir);
+        self.stats.absorb(stats);
+        Ok((planned.plan.to_string(), ir))
     }
 
     fn emit(&mut self) -> Result<String, CodegenError> {
@@ -251,18 +623,20 @@ impl<'a> Gen<'a> {
             s.line(format!("//   {l}"));
         }
         s.line("//");
+        s.line(format!(
+            "// Layout: {} packed-key edge(s), {} open table(s), {} sorted slice(s), {} unit slot(s).",
+            self.layout.packed_edge_count(),
+            self.layout.count(ContainerKind::OpenTable),
+            self.layout.count(ContainerKind::SortedSlice),
+            self.layout.unit_slot_count(),
+        ));
+        s.line("//");
         s.line("// Client obligations: tuples must satisfy the specification's");
-        s.line("// functional dependencies; inserting a conflicting tuple is a no-op.");
+        s.line("// functional dependencies; inserting a conflicting tuple is a no-op;");
+        s.line("// columns with declared bit widths must lie in [0, 2^bits).");
         s.blank();
-        let mut uses_hash = false;
-        let mut uses_btree = false;
-        for (_, e) in self.d.edges() {
-            match e.ds {
-                DsKind::HashTable => uses_hash = true,
-                DsKind::AvlTree | DsKind::SortedVec => uses_btree = true,
-                _ => {}
-            }
-        }
+        let uses_hash = self.layout.uses(ContainerKind::HashMapStd);
+        let uses_btree = self.layout.uses(ContainerKind::BTreeStd);
         if uses_btree {
             s.line("use std::collections::BTreeMap;");
         }
@@ -272,6 +646,15 @@ impl<'a> Gen<'a> {
         if uses_hash || uses_btree {
             s.blank();
         }
+        if self.layout.uses(ContainerKind::OpenTable) {
+            s.buf.push_str(OPEN_TABLE_SRC);
+            s.blank();
+        }
+        if self.layout.uses(ContainerKind::SortedSlice) {
+            s.buf.push_str(SORTED_SLICE_SRC);
+            s.blank();
+        }
+        self.emit_pack_fns(&mut s);
 
         // Node structs.
         for (id, node) in self.d.nodes() {
@@ -308,7 +691,7 @@ impl<'a> Gen<'a> {
         s.close("}");
         s.blank();
 
-        s.line("#[allow(dead_code, unused_variables, unused_mut, clippy::all)]");
+        s.line("#[allow(dead_code, unused_variables, unused_mut, unused_parens, clippy::all)]");
         s.open("impl Relation {");
         s.line("/// Creates an empty relation.");
         s.line("pub fn new() -> Self { Self::default() }");
@@ -365,11 +748,61 @@ impl<'a> Gen<'a> {
         Ok(s.buf)
     }
 
+    /// Emits one `#[inline] fn pack_eN(...) -> u64` per packed non-unit
+    /// edge, with `debug_assert!` checks of the declared-width obligations.
+    fn emit_pack_fns(&self, s: &mut Src) {
+        for (e, _) in self.d.edges() {
+            let lay = self.layout.edge(e);
+            if lay.kind == ContainerKind::UnitSlot {
+                continue;
+            }
+            let Some(parts) = lay.packed_parts() else {
+                continue;
+            };
+            let args: Vec<String> = parts
+                .iter()
+                .map(|p| format!("{}: {}", self.cname(p.col), self.ty(p.col).rust()))
+                .collect();
+            s.line("#[inline]");
+            s.line("#[allow(dead_code, unused_parens, clippy::all)]");
+            s.open(format!(
+                "fn pack_e{}({}) -> u64 {{",
+                e.index(),
+                args.join(", ")
+            ));
+            for p in parts {
+                if !p.is_sign_flip() && self.ty(p.col) == ColType::I64 {
+                    let n = self.cname(p.col);
+                    s.line(format!(
+                        "debug_assert!({n} >= 0 && ({n} as u64) <= 0x{:x}, \"column `{n}` exceeds its declared {}-bit width\");",
+                        p.mask(),
+                        p.bits,
+                    ));
+                }
+            }
+            let expr = if parts.len() == 1 && parts[0].is_sign_flip() {
+                format!(
+                    "({} as u64) ^ 0x8000_0000_0000_0000",
+                    self.cname(parts[0].col)
+                )
+            } else {
+                parts
+                    .iter()
+                    .map(|p| format!("(({} as u64) << {})", self.cname(p.col), p.shift))
+                    .collect::<Vec<_>>()
+                    .join(" | ")
+            };
+            s.line(expr);
+            s.close("}");
+            s.blank();
+        }
+    }
+
     /// Emits `insert(all columns) -> bool` (dinsert, §4.4).
     fn emit_insert(&mut self, s: &mut Src) -> Result<(), CodegenError> {
         let cat = self.req.cat;
         let cols = self.req.spec.cols();
-        let identity = self.identity_node()?;
+        let identity = self.sound_identity_node();
         let args: Vec<String> = cols
             .iter()
             .map(|c| format!("{}: {}", self.cname(c), self.ty(c).rust()))
@@ -383,6 +816,41 @@ impl<'a> Gen<'a> {
         let mut env = Env::with_cols(self.req.types.len());
         for c in cols.iter() {
             env.bind(c, self.cname(c));
+        }
+        // The presence check must run before any container is touched, so a
+        // duplicate or FD-conflicting insert is a true no-op.
+        match identity {
+            Some(identity) => {
+                // Probe the identity node's canonical path read-only; a hit
+                // means a tuple with this key already exists.
+                s.line("// Key-presence guard (pre-mutation).");
+                let path = self.canonical_path(identity);
+                let mut parent = "self.root".to_string();
+                for (i, &e) in path.iter().enumerate() {
+                    let g = format!("g{i}");
+                    s.open(format!(
+                        "if let Some({g}) = {} {{",
+                        self.lookup_expr(e, &parent, &env)
+                    ));
+                    parent = self.inst_expr(self.d.edge(e).to, &g, false);
+                }
+                s.line("return false; // key already present");
+                for _ in &path {
+                    s.close("}");
+                }
+            }
+            None => {
+                // No node is keyed by the minimal key alone, so no single
+                // lookup can detect key conflicts: run the planned key query.
+                let min_key = self.req.spec.minimal_key();
+                let (_, ir) = self.build_ir(min_key, None, cols)?;
+                s.line("// Key pre-probe: no node is bound by the minimal key alone.");
+                let mut insts = HashMap::new();
+                insts.insert(self.d.root(), "self.root".to_string());
+                self.emit_block(s, &ir, &env, &insts, &mut |_, s, _| {
+                    s.line("return false; // key already present");
+                });
+            }
         }
         // Find-or-create in topological order (root first).
         let order: Vec<NodeId> = self.d.topo_root_first().collect();
@@ -398,11 +866,10 @@ impl<'a> Gen<'a> {
                 let edge = self.d.edge(e);
                 let parent_slot = self.slot_var(edge.from);
                 let parent = self.inst_expr(edge.from, &parent_slot, false);
-                let key = self.key_expr(edge.key, &env);
                 if i > 0 {
-                    write!(find, ".or_else(|| {})", self.lookup_expr(e, &parent, &key)).unwrap();
+                    write!(find, ".or_else(|| {})", self.lookup_expr(e, &parent, &env)).unwrap();
                 } else {
-                    find = self.lookup_expr(e, &parent, &key);
+                    find = self.lookup_expr(e, &parent, &env);
                 }
             }
             s.line(format!(
@@ -411,11 +878,7 @@ impl<'a> Gen<'a> {
                 col_list(cat, node.bound, ", ")
             ));
             s.open(format!("let {slot} = match {find} {{"));
-            if id == identity {
-                s.line("Some(_) => return false, // key already present");
-            } else {
-                s.line("Some(i) => i,");
-            }
+            s.line("Some(i) => i,");
             s.open("None => {");
             let sn = node_struct_name(self.d, id);
             let units = self.unit_fields(id);
@@ -451,16 +914,11 @@ impl<'a> Gen<'a> {
                 let parent_slot = self.slot_var(edge.from);
                 let parent_ro = self.inst_expr(edge.from, &parent_slot, false);
                 let parent_rw = self.inst_expr(edge.from, &parent_slot, true);
-                let key = self.key_expr(edge.key, &env);
                 s.open(format!(
                     "if {}.is_none() {{",
-                    self.lookup_expr(e, &parent_ro, &key)
+                    self.lookup_expr(e, &parent_ro, &env)
                 ));
-                if self.is_map_backed(e) {
-                    s.line(format!("{parent_rw}.e{}.insert({key}, {slot});", e.index()));
-                } else {
-                    s.line(format!("{parent_rw}.e{}.push(({key}, {slot}));", e.index()));
-                }
+                s.line(self.insert_stmt(e, &parent_rw, &env, &slot));
                 s.close("}");
             }
         }
@@ -478,10 +936,7 @@ impl<'a> Gen<'a> {
         pattern: ColSet,
         out: ColSet,
     ) -> Result<(), CodegenError> {
-        let planned = self
-            .planner
-            .plan_query(pattern, out)
-            .map_err(|_| CodegenError::NoPlan(pattern, out))?;
+        let (plan_str, ir) = self.build_ir(pattern, None, out)?;
         let name = if pattern.is_empty() {
             format!("query_all_to_{}", col_list(self.req.cat, out, "_"))
         } else {
@@ -500,9 +955,9 @@ impl<'a> Gen<'a> {
             .map(|c| format!("&{}", self.ty(c).rust()))
             .collect();
         s.line(format!(
-            "/// Plan: `{}` (chosen by the §4.3 planner).",
-            planned.plan
+            "/// Plan: `{plan_str}` (chosen by the §4.3 planner)."
         ));
+        s.line(format!("/// IR: `{ir}` (after peephole optimization)."));
         s.open(format!(
             "pub fn {name}(&self, {}{}mut f: impl FnMut({})) {{",
             args.join(", "),
@@ -513,25 +968,16 @@ impl<'a> Gen<'a> {
         for c in pattern.iter() {
             env.bind(c, format!("(*{})", self.cname(c)));
         }
-        let root = self.d.root();
-        let body = self.d.node(root).body.clone();
-        let plan = planned.plan.clone();
-        self.emit_plan(
-            s,
-            &plan,
-            &body,
-            root,
-            "self.root".to_string(),
-            &mut env,
-            &mut |gen, s, env| {
-                let outs: Vec<String> = out
-                    .iter()
-                    .map(|c| format!("&{}", env.get(c).expect("out col bound")))
-                    .collect();
-                let _ = gen;
-                s.line(format!("f({});", outs.join(", ")));
-            },
-        );
+        let mut insts = HashMap::new();
+        insts.insert(self.d.root(), "self.root".to_string());
+        self.emit_block(s, &ir, &env, &insts, &mut |gen, s, env| {
+            let outs: Vec<String> = out
+                .iter()
+                .map(|c| format!("&{}", env.get(c).expect("out col bound")))
+                .collect();
+            let _ = gen;
+            s.line(format!("f({});", outs.join(", ")));
+        });
         s.close("}");
         s.blank();
         Ok(())
@@ -546,10 +992,7 @@ impl<'a> Gen<'a> {
         rcol: ColId,
         out: ColSet,
     ) -> Result<(), CodegenError> {
-        let planned = self
-            .planner
-            .plan_query_where(prefix, rcol.set(), ColSet::EMPTY, out)
-            .map_err(|_| CodegenError::NoPlan(prefix | rcol.set(), out))?;
+        let (plan_str, ir) = self.build_ir(prefix, Some(rcol), out)?;
         let cat = self.req.cat;
         let name = if prefix.is_empty() {
             format!(
@@ -577,10 +1020,10 @@ impl<'a> Gen<'a> {
             .map(|c| format!("&{}", self.ty(c).rust()))
             .collect();
         s.line(format!(
-            "/// Plan: `{}` (chosen by the §4.3 planner; range on `{}`).",
-            planned.plan,
+            "/// Plan: `{plan_str}` (chosen by the §4.3 planner; range on `{}`).",
             self.cname(rcol)
         ));
+        s.line(format!("/// IR: `{ir}` (after peephole optimization)."));
         s.open(format!(
             "pub fn {name}(&self, {}, mut f: impl FnMut({})) {{",
             args.join(", "),
@@ -591,25 +1034,16 @@ impl<'a> Gen<'a> {
             env.bind(c, format!("(*{})", self.cname(c)));
         }
         self.range_ctx = Some((rcol, "lo".to_string(), "hi".to_string()));
-        let root = self.d.root();
-        let body = self.d.node(root).body.clone();
-        let plan = planned.plan.clone();
-        self.emit_plan(
-            s,
-            &plan,
-            &body,
-            root,
-            "self.root".to_string(),
-            &mut env,
-            &mut |gen, s, env| {
-                let outs: Vec<String> = out
-                    .iter()
-                    .map(|c| format!("&{}", env.get(c).expect("out col bound")))
-                    .collect();
-                let _ = gen;
-                s.line(format!("f({});", outs.join(", ")));
-            },
-        );
+        let mut insts = HashMap::new();
+        insts.insert(self.d.root(), "self.root".to_string());
+        self.emit_block(s, &ir, &env, &insts, &mut |gen, s, env| {
+            let outs: Vec<String> = out
+                .iter()
+                .map(|c| format!("&{}", env.get(c).expect("out col bound")))
+                .collect();
+            let _ = gen;
+            s.line(format!("f({});", outs.join(", ")));
+        });
         self.range_ctx = None;
         s.close("}");
         s.blank();
@@ -626,190 +1060,374 @@ impl<'a> Gen<'a> {
         Some(format!("{expr} >= *{lo} && {expr} <= *{hi}"))
     }
 
-    /// Emits plan-execution code; `cont` emits the innermost body.
-    #[allow(clippy::too_many_arguments)]
-    #[allow(clippy::only_used_in_recursion)] // `node` keeps the plan/body walk aligned for future operators
-    fn emit_plan(
+    /// Walks the IR emitting Rust; `sink` emits the innermost body.
+    fn emit_block(
         &mut self,
         s: &mut Src,
-        plan: &Plan,
-        body: &Body,
-        node: NodeId,
-        inst: String,
-        env: &mut Env,
-        cont: &mut dyn FnMut(&mut Self, &mut Src, &Env),
+        block: &Block,
+        env: &Env,
+        insts: &HashMap<NodeId, String>,
+        sink: &mut dyn FnMut(&mut Self, &mut Src, &Env),
     ) {
-        match (plan, body) {
-            (Plan::Unit, Body::Unit(c)) => {
-                // Compare bound columns; range-check constrained unbound
-                // columns; bind the rest.
-                let mut conds = Vec::new();
-                for col in c.iter() {
-                    let field = format!("{inst}.f_{}", self.cname(col));
-                    if let Some(b) = env.get(col) {
-                        conds.push(format!("{field} == {b}"));
-                    } else if let Some(rc) = self.range_cond(col, &field) {
-                        conds.push(rc);
-                    }
-                }
-                let mut opened = false;
-                if !conds.is_empty() {
-                    s.open(format!("if {} {{", conds.join(" && ")));
-                    opened = true;
-                }
-                let mut env2 = env.clone();
-                for col in c.iter() {
-                    if env2.get(col).is_none() {
-                        env2.bind(col, format!("{inst}.f_{}", self.cname(col)));
-                    }
-                }
-                cont(self, s, &env2);
-                if opened {
-                    s.close("}");
-                }
+        for step in &block.0 {
+            self.emit_step(s, step, env, insts, sink);
+        }
+    }
+
+    fn emit_step(
+        &mut self,
+        s: &mut Src,
+        step: &Step,
+        env: &Env,
+        insts: &HashMap<NodeId, String>,
+        sink: &mut dyn FnMut(&mut Self, &mut Src, &Env),
+    ) {
+        match step {
+            Step::Emit { .. } => sink(self, s, env),
+            Step::Probe { edge, then } => self.emit_probe(s, *edge, then, env, insts, sink),
+            Step::Scan {
+                edge,
+                bind,
+                check,
+                range_check,
+                then,
+            } => self.emit_scan(
+                s,
+                *edge,
+                *bind,
+                *check,
+                *range_check,
+                then,
+                env,
+                insts,
+                sink,
+            ),
+            Step::Range { edge, bind, then } => {
+                self.emit_range(s, *edge, *bind, then, env, insts, sink)
             }
-            (Plan::Lookup { child }, Body::Map(eid)) => {
-                let edge = self.d.edge(*eid);
-                let key = self.key_expr(edge.key, env);
-                let slot = self.fresh("q");
+            Step::Unit {
+                node,
+                check,
+                range_check,
+                bind,
+                then,
+            } => self.emit_unit(
+                s,
+                *node,
+                *check,
+                *range_check,
+                *bind,
+                then,
+                env,
+                insts,
+                sink,
+            ),
+        }
+    }
+
+    fn emit_probe(
+        &mut self,
+        s: &mut Src,
+        e: EdgeId,
+        then: &Block,
+        env: &Env,
+        insts: &HashMap<NodeId, String>,
+        sink: &mut dyn FnMut(&mut Self, &mut Src, &Env),
+    ) {
+        let ed = self.d.edge(e);
+        let inst = insts[&ed.from].clone();
+        let slot = self.fresh("q");
+        s.open(format!(
+            "if let Some({slot}) = {} {{",
+            self.lookup_expr(e, &inst, env)
+        ));
+        let mut insts2 = insts.clone();
+        insts2.insert(ed.to, self.inst_expr(ed.to, &slot, false));
+        self.emit_block(s, then, env, &insts2, sink);
+        s.close("}");
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_scan(
+        &mut self,
+        s: &mut Src,
+        e: EdgeId,
+        bind: ColSet,
+        check: ColSet,
+        range_check: Option<ColId>,
+        then: &Block,
+        env: &Env,
+        insts: &HashMap<NodeId, String>,
+        sink: &mut dyn FnMut(&mut Self, &mut Src, &Env),
+    ) {
+        let ed = self.d.edge(e);
+        let kind = self.kind(e);
+        let packed = self.is_packed(e);
+        let inst = insts[&ed.from].clone();
+        let entry = self.fresh("en");
+        let idx = e.index();
+        match kind {
+            ContainerKind::OpenTable | ContainerKind::SortedSlice => {
                 s.open(format!(
-                    "if let Some({slot}) = {} {{",
-                    self.lookup_expr(*eid, &inst, &key)
+                    "for ({entry}_k, {entry}_i) in {inst}.e{idx}.iter() {{"
                 ));
-                let target = edge.to;
-                let tinst = self.inst_expr(target, &slot, false);
-                let tbody = self.d.node(target).body.clone();
-                self.emit_plan(s, child, &tbody, target, tinst, env, cont);
-                s.close("}");
             }
-            (Plan::Scan { child }, Body::Map(eid)) => {
-                let edge = self.d.edge(*eid);
-                let entry = self.fresh("en");
-                if self.is_map_backed(*eid) {
-                    s.open(format!(
-                        "for ({entry}_k, {entry}_v) in {inst}.e{}.iter() {{",
-                        eid.index()
-                    ));
-                    s.line(format!("let {entry}_i = *{entry}_v;"));
-                } else {
-                    s.open(format!("for {entry} in {inst}.e{}.iter() {{", eid.index()));
-                    s.line(format!("let {entry}_k = &{entry}.0;"));
-                    s.line(format!("let {entry}_i = {entry}.1;"));
-                }
-                // Bind / compare the scanned key columns; range-check the
-                // constrained column if this scan binds it.
-                let mut env2 = env.clone();
-                let mut conds = Vec::new();
-                for (i, col) in edge.key.iter().enumerate() {
-                    let kexpr = format!("{entry}_k.{i}");
-                    match env2.get(col) {
-                        Some(b) => conds.push(format!("{kexpr} == {b}")),
-                        None => {
-                            if let Some(rc) = self.range_cond(col, &kexpr) {
-                                conds.push(rc);
-                            }
-                            env2.bind(col, kexpr);
-                        }
-                    }
-                }
-                let mut opened = false;
-                if !conds.is_empty() {
-                    s.open(format!("if {} {{", conds.join(" && ")));
-                    opened = true;
-                }
-                let slot = format!("{entry}_i");
-                let target = edge.to;
-                let tinst = self.inst_expr(target, &slot, false);
-                let tbody = self.d.node(target).body.clone();
-                self.emit_plan(s, child, &tbody, target, tinst, &mut env2, cont);
-                if opened {
-                    s.close("}");
-                }
-                s.close("}");
-            }
-            (Plan::Range { child }, Body::Map(eid)) => {
-                // An ordered (BTreeMap-backed) edge whose final key column
-                // carries the range: seek the contiguous run directly.
-                let edge = self.d.edge(*eid);
-                let (rcol, lo, hi) = self.range_ctx.clone().expect("range context active");
-                debug_assert_eq!(edge.key.max_col(), Some(rcol));
-                debug_assert!(self.is_map_backed(*eid), "qrange on unordered edge");
-                let bound_key = |arg: &str, gen: &Self| -> String {
-                    let parts: Vec<String> = edge
-                        .key
-                        .iter()
-                        .map(|c| {
-                            if c == rcol {
-                                if gen.ty(c).is_copy() {
-                                    format!("*{arg}")
-                                } else {
-                                    format!("{arg}.clone()")
-                                }
-                            } else {
-                                let e = env.get(c).expect("range prefix bound");
-                                if gen.ty(c).is_copy() {
-                                    e.to_string()
-                                } else {
-                                    format!("{e}.clone()")
-                                }
-                            }
-                        })
-                        .collect();
-                    format!("({},)", parts.join(", ")).replace(",,", ",")
-                };
-                let entry = self.fresh("en");
-                s.line(format!("let {entry}_lo = {};", bound_key(&lo, self)));
-                s.line(format!("let {entry}_hi = {};", bound_key(&hi, self)));
-                // BTreeMap::range panics on inverted bounds; guard empties.
-                s.open(format!("if {entry}_lo <= {entry}_hi {{"));
+            ContainerKind::HashMapStd => {
                 s.open(format!(
-                    "for ({entry}_k, {entry}_v) in {inst}.e{}.range({entry}_lo..={entry}_hi) {{",
-                    eid.index()
+                    "for ({entry}_k, {entry}_v) in {inst}.e{idx}.iter() {{"
                 ));
                 s.line(format!("let {entry}_i = *{entry}_v;"));
-                // Bind the key columns (the seek already enforces both the
-                // prefix equalities and the range).
-                let mut env2 = env.clone();
-                for (i, col) in edge.key.iter().enumerate() {
-                    if env2.get(col).is_none() {
-                        env2.bind(col, format!("{entry}_k.{i}"));
-                    }
+            }
+            ContainerKind::BTreeStd => {
+                if packed {
+                    s.open(format!(
+                        "for ({entry}_kr, {entry}_v) in {inst}.e{idx}.iter() {{"
+                    ));
+                    s.line(format!("let {entry}_k = *{entry}_kr;"));
+                } else {
+                    s.open(format!(
+                        "for ({entry}_k, {entry}_v) in {inst}.e{idx}.iter() {{"
+                    ));
                 }
-                let slot = format!("{entry}_i");
-                let target = edge.to;
-                let tinst = self.inst_expr(target, &slot, false);
-                let tbody = self.d.node(target).body.clone();
-                self.emit_plan(s, child, &tbody, target, tinst, &mut env2, cont);
-                s.close("}");
-                s.close("}");
+                s.line(format!("let {entry}_i = *{entry}_v;"));
             }
-            (Plan::Lr { side, inner }, Body::Join(l, r)) => {
-                let sub = match side {
-                    Side::Left => l,
-                    Side::Right => r,
+            ContainerKind::VecLinear => {
+                s.open(format!("for {entry} in {inst}.e{idx}.iter() {{"));
+                if packed {
+                    s.line(format!("let {entry}_k = {entry}.0;"));
+                } else {
+                    s.line(format!("let {entry}_k = &{entry}.0;"));
+                }
+                s.line(format!("let {entry}_i = {entry}.1;"));
+            }
+            ContainerKind::UnitSlot => {
+                // Peephole rewrites unit-key scans into probes; emit the
+                // probe form defensively if one survives.
+                s.open(format!("if let Some({entry}_i) = {inst}.e{idx} {{"));
+            }
+        }
+        let mut conds = Vec::new();
+        for col in check.iter() {
+            let a = self.scan_key_access(e, &entry, col);
+            let b = env.get(col).expect("checked column bound");
+            conds.push(format!("{a} == {b}"));
+        }
+        let mut env2 = env.clone();
+        for col in bind.iter() {
+            if packed {
+                let var = format!("{entry}_{}", self.cname(col));
+                s.line(format!(
+                    "let {var} = {};",
+                    self.scan_key_access(e, &entry, col)
+                ));
+                env2.bind(col, var);
+            } else {
+                env2.bind(col, self.scan_key_access(e, &entry, col));
+            }
+        }
+        if let Some(rc) = range_check {
+            let expr = env2
+                .get(rc)
+                .expect("range column bound by scan")
+                .to_string();
+            conds.push(self.range_cond(rc, &expr).expect("range context active"));
+        }
+        let mut opened = false;
+        if !conds.is_empty() {
+            s.open(format!("if {} {{", conds.join(" && ")));
+            opened = true;
+        }
+        let mut insts2 = insts.clone();
+        insts2.insert(ed.to, self.inst_expr(ed.to, &format!("{entry}_i"), false));
+        self.emit_block(s, then, &env2, &insts2, sink);
+        if opened {
+            s.close("}");
+        }
+        s.close("}");
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_range(
+        &mut self,
+        s: &mut Src,
+        e: EdgeId,
+        bind: ColSet,
+        then: &Block,
+        env: &Env,
+        insts: &HashMap<NodeId, String>,
+        sink: &mut dyn FnMut(&mut Self, &mut Src, &Env),
+    ) {
+        let ed = self.d.edge(e);
+        let kind = self.kind(e);
+        let packed = self.is_packed(e);
+        let inst = insts[&ed.from].clone();
+        let (rcol, lo, hi) = self.range_ctx.clone().expect("range context active");
+        debug_assert_eq!(ed.key.max_col(), Some(rcol));
+        let entry = self.fresh("en");
+        let idx = e.index();
+        if packed {
+            debug_assert!(matches!(
+                kind,
+                ContainerKind::SortedSlice | ContainerKind::BTreeStd
+            ));
+            let parts = self.layout.edge(e).packed_parts().unwrap().to_vec();
+            let rpart = *parts.iter().find(|p| p.col == rcol).unwrap();
+            if rpart.is_sign_flip() {
+                // Sole full-width column: the flip preserves order, no
+                // clamping needed.
+                s.open(format!("if *{lo} <= *{hi} {{"));
+                s.line(format!(
+                    "let {entry}_lo = (*{lo} as u64) ^ 0x8000_0000_0000_0000;"
+                ));
+                s.line(format!(
+                    "let {entry}_hi = (*{hi} as u64) ^ 0x8000_0000_0000_0000;"
+                ));
+            } else {
+                // Clamp the window into the column's declared domain; a
+                // window entirely outside it is empty.
+                let pre: Vec<String> = parts
+                    .iter()
+                    .filter(|p| p.col != rcol)
+                    .map(|p| {
+                        let v = env.get(p.col).expect("range prefix bound");
+                        format!("(({v} as u64) << {})", p.shift)
+                    })
+                    .collect();
+                let pre_expr = if pre.is_empty() {
+                    "0u64".to_string()
+                } else {
+                    pre.join(" | ")
                 };
-                self.emit_plan(s, inner, sub, node, inst, env, cont);
-            }
-            (
-                Plan::Join {
-                    side,
-                    first,
-                    second,
-                },
-                Body::Join(l, r),
-            ) => {
-                let (fb, sb): (Body, Body) = match side {
-                    Side::Left => ((**l).clone(), (**r).clone()),
-                    Side::Right => ((**r).clone(), (**l).clone()),
+                let cast = |arg: &str| {
+                    if self.ty(rcol) == ColType::I64 {
+                        format!("*{arg}")
+                    } else {
+                        format!("(*{arg} as i64)")
+                    }
                 };
-                let second = second.clone();
-                let inst2 = inst.clone();
-                self.emit_plan(s, first, &fb, node, inst, env, &mut |gen, s, env1| {
-                    let mut env1 = env1.clone();
-                    gen.emit_plan(s, &second, &sb, node, inst2.clone(), &mut env1, cont);
-                });
+                s.line(format!("let {entry}_rlo: i64 = ({}).max(0);", cast(&lo)));
+                s.line(format!(
+                    "let {entry}_rhi: i64 = ({}).min(0x{:x});",
+                    cast(&hi),
+                    rpart.mask()
+                ));
+                s.open(format!("if {entry}_rlo <= {entry}_rhi {{"));
+                s.line(format!(
+                    "let {entry}_lo = {pre_expr} | ({entry}_rlo as u64);"
+                ));
+                s.line(format!(
+                    "let {entry}_hi = {pre_expr} | ({entry}_rhi as u64);"
+                ));
             }
-            (p, _) => unreachable!("valid plan misaligned with body: {p}"),
+            if kind == ContainerKind::SortedSlice {
+                s.open(format!(
+                    "for &({entry}_k, {entry}_i) in {inst}.e{idx}.range({entry}_lo, {entry}_hi) {{"
+                ));
+            } else {
+                s.open(format!(
+                    "for ({entry}_kr, {entry}_v) in {inst}.e{idx}.range({entry}_lo..={entry}_hi) {{"
+                ));
+                s.line(format!("let {entry}_k = *{entry}_kr;"));
+                s.line(format!("let {entry}_i = *{entry}_v;"));
+            }
+            let mut env2 = env.clone();
+            for col in bind.iter() {
+                let var = format!("{entry}_{}", self.cname(col));
+                s.line(format!(
+                    "let {var} = {};",
+                    self.scan_key_access(e, &entry, col)
+                ));
+                env2.bind(col, var);
+            }
+            let mut insts2 = insts.clone();
+            insts2.insert(ed.to, self.inst_expr(ed.to, &format!("{entry}_i"), false));
+            self.emit_block(s, then, &env2, &insts2, sink);
+            s.close("}");
+            s.close("}");
+        } else {
+            debug_assert_eq!(kind, ContainerKind::BTreeStd, "qrange on unordered edge");
+            let key = ed.key;
+            let bound_key = |arg: &str, gen: &Self| -> String {
+                let parts: Vec<String> = key
+                    .iter()
+                    .map(|c| {
+                        if c == rcol {
+                            if gen.ty(c).is_copy() {
+                                format!("*{arg}")
+                            } else {
+                                format!("{arg}.clone()")
+                            }
+                        } else {
+                            let v = env.get(c).expect("range prefix bound");
+                            if gen.ty(c).is_copy() {
+                                v.to_string()
+                            } else {
+                                format!("{v}.clone()")
+                            }
+                        }
+                    })
+                    .collect();
+                format!("({},)", parts.join(", ")).replace(",,", ",")
+            };
+            s.line(format!("let {entry}_lo = {};", bound_key(&lo, self)));
+            s.line(format!("let {entry}_hi = {};", bound_key(&hi, self)));
+            // BTreeMap::range panics on inverted bounds; guard empties.
+            s.open(format!("if {entry}_lo <= {entry}_hi {{"));
+            s.open(format!(
+                "for ({entry}_k, {entry}_v) in {inst}.e{idx}.range({entry}_lo..={entry}_hi) {{"
+            ));
+            s.line(format!("let {entry}_i = *{entry}_v;"));
+            let mut env2 = env.clone();
+            for col in bind.iter() {
+                let i = key.rank(col).expect("column in key");
+                env2.bind(col, format!("{entry}_k.{i}"));
+            }
+            let mut insts2 = insts.clone();
+            insts2.insert(ed.to, self.inst_expr(ed.to, &format!("{entry}_i"), false));
+            self.emit_block(s, then, &env2, &insts2, sink);
+            s.close("}");
+            s.close("}");
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_unit(
+        &mut self,
+        s: &mut Src,
+        node: NodeId,
+        check: ColSet,
+        range_check: Option<ColId>,
+        bind: ColSet,
+        then: &Block,
+        env: &Env,
+        insts: &HashMap<NodeId, String>,
+        sink: &mut dyn FnMut(&mut Self, &mut Src, &Env),
+    ) {
+        let inst = insts[&node].clone();
+        let mut conds = Vec::new();
+        for col in check.iter() {
+            conds.push(format!(
+                "{inst}.f_{} == {}",
+                self.cname(col),
+                env.get(col).expect("checked column bound")
+            ));
+        }
+        if let Some(rc) = range_check {
+            let field = format!("{inst}.f_{}", self.cname(rc));
+            conds.push(self.range_cond(rc, &field).expect("range context active"));
+        }
+        let mut opened = false;
+        if !conds.is_empty() {
+            s.open(format!("if {} {{", conds.join(" && ")));
+            opened = true;
+        }
+        let mut env2 = env.clone();
+        for col in bind.iter() {
+            env2.bind(col, format!("{inst}.f_{}", self.cname(col)));
+        }
+        self.emit_block(s, then, &env2, insts, sink);
+        if opened {
+            s.close("}");
         }
     }
 
@@ -828,11 +1446,10 @@ impl<'a> Gen<'a> {
         }
         let parent_slot = self.slot_var(edge.from);
         let parent = self.inst_expr(edge.from, &parent_slot, false);
-        let key = self.key_expr(edge.key, env);
         let slot = self.slot_var(id);
         s.line(format!(
             "let Some({slot}) = {} else {{ return false; }};",
-            self.lookup_expr(e, &parent, &key)
+            self.lookup_expr(e, &parent, env)
         ));
     }
 
@@ -865,43 +1482,29 @@ impl<'a> Gen<'a> {
                 "let mut fetched: Option<({},)> = None;",
                 tys.join(", ")
             ));
-            let planned = self
-                .planner
-                .plan_query(pattern, rest)
-                .map_err(|_| CodegenError::NoPlan(pattern, rest))?;
-            let root = self.d.root();
-            let body = self.d.node(root).body.clone();
-            let plan = planned.plan.clone();
+            let (_, ir) = self.build_ir(pattern, None, rest)?;
+            let mut insts = HashMap::new();
+            insts.insert(self.d.root(), "self.root".to_string());
             let rest2 = rest;
-            self.emit_plan(
-                s,
-                &plan,
-                &body,
-                root,
-                "self.root".to_string(),
-                &mut env.clone(),
-                &mut |gen, s, env2| {
-                    let parts: Vec<String> = rest2
-                        .iter()
-                        .map(|c| {
-                            let e = env2.get(c).expect("fetched col bound");
-                            if gen.ty(c).is_copy() {
-                                e.to_string()
-                            } else {
-                                format!("{e}.clone()")
-                            }
-                        })
-                        .collect();
-                    s.line(format!("fetched = Some(({},));", parts.join(", ")));
-                },
-            );
+            self.emit_block(s, &ir, &env.clone(), &insts, &mut |gen, s, env2| {
+                let parts: Vec<String> = rest2
+                    .iter()
+                    .map(|c| {
+                        let e = env2.get(c).expect("fetched col bound");
+                        if gen.ty(c).is_copy() {
+                            e.to_string()
+                        } else {
+                            format!("{e}.clone()")
+                        }
+                    })
+                    .collect();
+                s.line(format!("fetched = Some(({},));", parts.join(", ")));
+            });
             s.line("let Some(fetched) = fetched else { return false; };");
             for (i, c) in rest.iter().enumerate() {
                 s.line(format!("let v_{} = fetched.{i};", self.cname(c)));
                 env.bind(c, format!("v_{}", self.cname(c)));
             }
-        } else {
-            // Existence check via the identity node locate below.
         }
 
         // 2. Locate every instance on the tuple's path (above and below the
@@ -918,11 +1521,10 @@ impl<'a> Gen<'a> {
             let edge = self.d.edge(e);
             let parent_slot = self.slot_var(edge.from);
             let parent = self.inst_expr(edge.from, &parent_slot, false);
-            let key = self.key_expr(edge.key, &env);
             let slot = self.slot_var(id);
             s.line(format!(
                 "let Some({slot}) = {} else {{ return false; }};",
-                self.lookup_expr(e, &parent, &key)
+                self.lookup_expr(e, &parent, &env)
             ));
         }
 
@@ -931,16 +1533,7 @@ impl<'a> Gen<'a> {
             let edge = self.d.edge(e);
             let parent_slot = self.slot_var(edge.from);
             let parent_rw = self.inst_expr(edge.from, &parent_slot, true);
-            let key = self.key_expr(edge.key, &env);
-            if self.is_map_backed(e) {
-                s.line(format!("{parent_rw}.e{}.remove(&{key});", e.index()));
-            } else {
-                s.line(format!(
-                    "if let Some(p) = {parent_rw}.e{}.iter().position(|en| en.0 == {key}) {{ {parent_rw}.e{}.swap_remove(p); }}",
-                    e.index(),
-                    e.index()
-                ));
-            }
+            s.line(self.remove_stmt(e, &parent_rw, &env));
         }
 
         // 4. Free below-cut instances (each belongs solely to this tuple,
@@ -967,23 +1560,14 @@ impl<'a> Gen<'a> {
                 .body
                 .edges()
                 .iter()
-                .map(|e| format!("{inst_ro}.e{}.is_empty()", e.index()))
+                .map(|e| self.is_empty_expr(*e, &inst_ro))
                 .collect();
             s.open(format!("if {} {{", empties.join(" && ")));
             for &e in self.d.incoming_edges(id) {
                 let edge = self.d.edge(e);
                 let parent_slot = self.slot_var(edge.from);
                 let parent_rw = self.inst_expr(edge.from, &parent_slot, true);
-                let key = self.key_expr(edge.key, &env);
-                if self.is_map_backed(e) {
-                    s.line(format!("{parent_rw}.e{}.remove(&{key});", e.index()));
-                } else {
-                    s.line(format!(
-                        "if let Some(p) = {parent_rw}.e{}.iter().position(|en| en.0 == {key}) {{ {parent_rw}.e{}.swap_remove(p); }}",
-                        e.index(),
-                        e.index()
-                    ));
-                }
+                s.line(self.remove_stmt(e, &parent_rw, &env));
             }
             s.line(format!("self.arena_{n}[{slot} as usize] = None;"));
             s.line(format!("self.free_{n}.push({slot});"));
@@ -1078,35 +1662,23 @@ impl<'a> Gen<'a> {
                     "let mut fetched: Option<({},)> = None;",
                     tys.join(", ")
                 ));
-                let planned = self
-                    .planner
-                    .plan_query(key, fetched_cols)
-                    .map_err(|_| CodegenError::NoPlan(key, fetched_cols))?;
-                let root = self.d.root();
-                let body = self.d.node(root).body.clone();
-                let plan = planned.plan.clone();
-                self.emit_plan(
-                    s,
-                    &plan,
-                    &body,
-                    root,
-                    "self.root".to_string(),
-                    &mut env.clone(),
-                    &mut |gen, s, env2| {
-                        let parts: Vec<String> = fetched_cols
-                            .iter()
-                            .map(|c| {
-                                let e = env2.get(c).expect("fetched col bound");
-                                if gen.ty(c).is_copy() {
-                                    e.to_string()
-                                } else {
-                                    format!("{e}.clone()")
-                                }
-                            })
-                            .collect();
-                        s.line(format!("fetched = Some(({},));", parts.join(", ")));
-                    },
-                );
+                let (_, ir) = self.build_ir(key, None, fetched_cols)?;
+                let mut insts = HashMap::new();
+                insts.insert(self.d.root(), "self.root".to_string());
+                self.emit_block(s, &ir, &env.clone(), &insts, &mut |gen, s, env2| {
+                    let parts: Vec<String> = fetched_cols
+                        .iter()
+                        .map(|c| {
+                            let e = env2.get(c).expect("fetched col bound");
+                            if gen.ty(c).is_copy() {
+                                e.to_string()
+                            } else {
+                                format!("{e}.clone()")
+                            }
+                        })
+                        .collect();
+                    s.line(format!("fetched = Some(({},));", parts.join(", ")));
+                });
                 s.line("let Some(fetched) = fetched else { return false; };");
                 for (i, c) in fetched_cols.iter().enumerate() {
                     s.line(format!("let v_{} = fetched.{i};", self.cname(c)));

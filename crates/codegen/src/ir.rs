@@ -1,0 +1,150 @@
+//! The plan IR: the staged backend's intermediate form between the §4.3
+//! planner's operator trees and emitted Rust.
+//!
+//! A lowered query body is a [`Block`] of [`Step`]s. Unlike [`Plan`]
+//! operators — which are implicit about *what* they traverse — every step
+//! names the concrete edge or node it addresses and carries the column sets
+//! it binds and checks, computed once during lowering. This is the level
+//! the peephole optimizer rewrites (see [`crate::peephole`]); the emitter
+//! walks the optimized IR and never re-derives binding information.
+//!
+//! [`Plan`]: relic_query::Plan
+
+use relic_decomp::{EdgeId, NodeId};
+use relic_spec::{ColId, ColSet};
+use std::fmt;
+
+/// A sequence of steps executed in order under the current bindings.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub(crate) struct Block(pub Vec<Step>);
+
+/// One IR step. `Probe`/`Scan`/`Range` establish the instance of their
+/// edge's target node for the steps nested under them; `Unit` reads a unit
+/// leaf of an already-established node; `Emit` invokes the query sink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Step {
+    /// Point-probe `edge` with its fully bound key; on a hit, run `then`
+    /// with the target instance established (misses fall through).
+    Probe {
+        /// The probed edge.
+        edge: EdgeId,
+        /// Steps run per hit.
+        then: Block,
+    },
+    /// Iterate every entry of `edge`. `bind` are the key columns newly
+    /// bound from each entry, `check` the key columns already bound outside
+    /// (compared per entry), `range_check` a newly bound column that must
+    /// also lie within the active `[lo, hi]` range arguments.
+    Scan {
+        /// The iterated edge.
+        edge: EdgeId,
+        /// Key columns bound by this scan.
+        bind: ColSet,
+        /// Key columns equality-checked against outer bindings.
+        check: ColSet,
+        /// Newly bound column filtered by the active range window.
+        range_check: Option<ColId>,
+        /// Steps run per matching entry.
+        then: Block,
+    },
+    /// Seek the contiguous run of an *ordered* edge whose final key column
+    /// lies in the active range window (prefix columns are bound outside).
+    Range {
+        /// The seeked edge.
+        edge: EdgeId,
+        /// Key columns bound by the seek (⊆ {final key column}).
+        bind: ColSet,
+        /// Steps run per entry in the window.
+        then: Block,
+    },
+    /// At a `unit C` leaf of `node`: equality-check `check`, range-check
+    /// `range_check`, bind `bind` from the instance's fields, run `then`.
+    Unit {
+        /// The node owning the unit leaf.
+        node: NodeId,
+        /// Unit columns equality-checked against outer bindings.
+        check: ColSet,
+        /// Unit column filtered by the active range window.
+        range_check: Option<ColId>,
+        /// Unit columns newly bound from instance fields.
+        bind: ColSet,
+        /// Steps run when all checks pass.
+        then: Block,
+    },
+    /// Invoke the sink with the current bindings. `used` is the set of
+    /// columns the sink reads (drives dead-column elimination).
+    Emit {
+        /// Columns the sink consumes.
+        used: ColSet,
+    },
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Step {
+    /// Compact s-expression rendering used in generated-module comments and
+    /// unit tests, e.g. `probe(e2 probe(e0 unit(n0 bind=8 emit)))`. Column
+    /// sets print as raw bitset hex.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let set = |s: ColSet| format!("{:x}", s.bits());
+        match self {
+            Step::Probe { edge, then } => write!(f, "probe(e{} {then})", edge.index()),
+            Step::Scan {
+                edge,
+                bind,
+                check,
+                range_check,
+                then,
+            } => {
+                write!(f, "scan(e{}", edge.index())?;
+                if !bind.is_empty() {
+                    write!(f, " bind={}", set(*bind))?;
+                }
+                if !check.is_empty() {
+                    write!(f, " check={}", set(*check))?;
+                }
+                if let Some(c) = range_check {
+                    write!(f, " range=c{}", c.index())?;
+                }
+                write!(f, " {then})")
+            }
+            Step::Range { edge, bind, then } => {
+                write!(f, "range(e{}", edge.index())?;
+                if !bind.is_empty() {
+                    write!(f, " bind={}", set(*bind))?;
+                }
+                write!(f, " {then})")
+            }
+            Step::Unit {
+                node,
+                check,
+                range_check,
+                bind,
+                then,
+            } => {
+                write!(f, "unit(n{}", node.index())?;
+                if !check.is_empty() {
+                    write!(f, " check={}", set(*check))?;
+                }
+                if let Some(c) = range_check {
+                    write!(f, " range=c{}", c.index())?;
+                }
+                if !bind.is_empty() {
+                    write!(f, " bind={}", set(*bind))?;
+                }
+                write!(f, " {then})")
+            }
+            Step::Emit { .. } => write!(f, "emit"),
+        }
+    }
+}

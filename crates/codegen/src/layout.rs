@@ -1,0 +1,300 @@
+//! Memory-layout planning: choosing a concrete container and key
+//! representation per decomposition edge.
+//!
+//! This is the native-key specialization stage of the backend. For every
+//! edge the planner decides:
+//!
+//! * the **key representation** — a single packed `u64` word when every key
+//!   column is integral and the declared column widths
+//!   ([`Catalog::declare_bit_width`]) fit in 64 bits, otherwise the generic
+//!   Rust tuple of column values;
+//! * the **container** — an emitted open-addressed table (`htable`, packed),
+//!   an emitted sorted-slice with binary search (`sortedvec`, packed), a
+//!   `BTreeMap` (`avl`, or unpacked ordered edges), a `HashMap` (`htable`,
+//!   unpacked), a linear `Vec` (`vec`/`dlist`/`ilist`), or a plain
+//!   `Option<u32>` slot for unit-key edges (`{} -[ψ]-> v` holds at most one
+//!   entry).
+//!
+//! Packed keys are **order-preserving**: parts are laid out with the first
+//! (ascending `ColId`) column in the most significant bits, so `u64` order
+//! equals lexicographic tuple order and ordered containers can seek packed
+//! ranges directly. A single undeclared `i64` column packs via the
+//! order-preserving sign-flip `(v as u64) ^ (1 << 63)`; declared-width
+//! columns shift-pack under the client obligation that values lie in
+//! `[0, 2^bits)` (checked by `debug_assert!` in generated code).
+
+use crate::ColType;
+use relic_decomp::{Decomposition, DsKind, EdgeId};
+use relic_spec::{Catalog, ColId};
+
+/// How one column sits inside a packed `u64` key word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PackedPart {
+    /// The column.
+    pub col: ColId,
+    /// Left-shift of the column's field within the word.
+    pub shift: u32,
+    /// Field width in bits (64 ⇒ sole part, sign-flip encoding).
+    pub bits: u32,
+}
+
+impl PackedPart {
+    /// The field mask (unshifted). All-ones for the 64-bit sign-flip case.
+    pub fn mask(self) -> u64 {
+        if self.bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits) - 1
+        }
+    }
+
+    /// Does this part use the sign-flip encoding (sole full-width `i64`)?
+    pub fn is_sign_flip(self) -> bool {
+        self.bits == 64
+    }
+}
+
+/// The key representation chosen for an edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum KeyRepr {
+    /// All key columns packed into one `u64`, parts in ascending `ColId`
+    /// order, first column most significant.
+    Packed(Vec<PackedPart>),
+    /// Fallback: a Rust tuple of column values in ascending `ColId` order.
+    Tuple,
+}
+
+/// The concrete container backing an edge in generated code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ContainerKind {
+    /// Emitted open-addressed `u64 → u32` table (packed `htable`).
+    OpenTable,
+    /// `std::collections::HashMap` over a tuple key (unpacked `htable`).
+    HashMapStd,
+    /// Emitted sorted `Vec<(u64, u32)>` with binary search (packed
+    /// `sortedvec`).
+    SortedSlice,
+    /// `std::collections::BTreeMap` (`avl`; also unpacked `sortedvec`).
+    BTreeStd,
+    /// Linear `Vec<(K, u32)>` (`vec`, `dlist`, `ilist`).
+    VecLinear,
+    /// `Option<u32>` — a unit-key edge holds at most one entry.
+    UnitSlot,
+}
+
+/// Layout decision for one edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct EdgeLayout {
+    pub key: KeyRepr,
+    pub kind: ContainerKind,
+}
+
+impl EdgeLayout {
+    pub fn packed_parts(&self) -> Option<&[PackedPart]> {
+        match &self.key {
+            KeyRepr::Packed(parts) => Some(parts),
+            KeyRepr::Tuple => None,
+        }
+    }
+
+    pub fn is_packed(&self) -> bool {
+        matches!(self.key, KeyRepr::Packed(_))
+    }
+}
+
+/// Layout decisions for a whole module.
+#[derive(Debug, Clone)]
+pub(crate) struct ModuleLayout {
+    /// Per-edge layout, indexed by `EdgeId::index()`.
+    edges: Vec<EdgeLayout>,
+}
+
+impl ModuleLayout {
+    pub fn edge(&self, e: EdgeId) -> &EdgeLayout {
+        &self.edges[e.index()]
+    }
+
+    pub fn uses(&self, kind: ContainerKind) -> bool {
+        self.edges.iter().any(|l| l.kind == kind)
+    }
+
+    pub fn count(&self, kind: ContainerKind) -> usize {
+        self.edges.iter().filter(|l| l.kind == kind).count()
+    }
+
+    pub fn packed_edge_count(&self) -> usize {
+        self.edges
+            .iter()
+            .filter(|l| l.is_packed() && l.kind != ContainerKind::UnitSlot)
+            .count()
+    }
+
+    pub fn unit_slot_count(&self) -> usize {
+        self.edges
+            .iter()
+            .filter(|l| l.kind == ContainerKind::UnitSlot)
+            .count()
+    }
+}
+
+/// The effective field width of a column, if it is packable at all.
+fn col_bits(cat: &Catalog, types: &[ColType], c: ColId) -> Option<u32> {
+    match types[c.index()] {
+        ColType::Str => None,
+        ColType::Bool => Some(1),
+        ColType::I64 => Some(cat.bit_width(c).unwrap_or(64)),
+    }
+}
+
+/// Decides the key representation for a key column set.
+fn key_repr<I: IntoIterator<Item = ColId>>(cat: &Catalog, types: &[ColType], key: I) -> KeyRepr {
+    let mut widths = Vec::new();
+    for c in key {
+        match col_bits(cat, types, c) {
+            Some(b) => widths.push((c, b)),
+            None => return KeyRepr::Tuple,
+        }
+    }
+    let total: u32 = widths.iter().map(|(_, b)| b).sum();
+    if total > 64 {
+        return KeyRepr::Tuple;
+    }
+    // First column most significant: shift = sum of widths after it.
+    let mut parts = Vec::with_capacity(widths.len());
+    let mut remaining = total;
+    for (c, b) in widths {
+        remaining -= b;
+        parts.push(PackedPart {
+            col: c,
+            shift: remaining,
+            bits: b,
+        });
+    }
+    KeyRepr::Packed(parts)
+}
+
+/// Plans the layout of every edge of `d`.
+pub(crate) fn plan_layout(d: &Decomposition, cat: &Catalog, types: &[ColType]) -> ModuleLayout {
+    let edges = d
+        .edges()
+        .map(|(_, e)| {
+            if e.is_unit_key() {
+                return EdgeLayout {
+                    key: KeyRepr::Packed(Vec::new()),
+                    kind: ContainerKind::UnitSlot,
+                };
+            }
+            let key = key_repr(cat, types, e.key.iter());
+            let kind = match (e.ds, &key) {
+                (DsKind::HashTable, KeyRepr::Packed(_)) => ContainerKind::OpenTable,
+                (DsKind::HashTable, KeyRepr::Tuple) => ContainerKind::HashMapStd,
+                (DsKind::SortedVec, KeyRepr::Packed(_)) => ContainerKind::SortedSlice,
+                (DsKind::SortedVec, KeyRepr::Tuple) => ContainerKind::BTreeStd,
+                (DsKind::AvlTree, _) => ContainerKind::BTreeStd,
+                (DsKind::AssocVec | DsKind::DList | DsKind::IntrusiveList, _) => {
+                    ContainerKind::VecLinear
+                }
+            };
+            EdgeLayout { key, kind }
+        })
+        .collect();
+    ModuleLayout { edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relic_decomp::parse;
+
+    fn scheduler(cat: &mut Catalog) -> Decomposition {
+        parse(
+            cat,
+            "let w : {ns,pid,state} . {cpu} = unit {cpu} in
+             let y : {ns} . {pid,cpu} = {pid} -[htable]-> w in
+             let z : {state} . {ns,pid,cpu} = {ns,pid} -[dlist]-> w in
+             let x : {} . {ns,pid,state,cpu} =
+               ({ns} -[htable]-> y) join ({state} -[vec]-> z) in x",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_i64_key_packs_via_sign_flip() {
+        let mut cat = Catalog::new();
+        let d = scheduler(&mut cat);
+        let types = vec![ColType::I64, ColType::I64, ColType::Str, ColType::I64];
+        let layout = plan_layout(&d, &cat, &types);
+        // Edge 0 is y's {pid} htable edge: sole undeclared i64 → sign-flip
+        // packed open table.
+        let e0 = layout.edge(EdgeId(0));
+        assert_eq!(e0.kind, ContainerKind::OpenTable);
+        let parts = e0.packed_parts().unwrap();
+        assert_eq!(parts.len(), 1);
+        assert!(parts[0].is_sign_flip());
+        assert_eq!(parts[0].shift, 0);
+    }
+
+    #[test]
+    fn undeclared_multi_column_key_falls_back_to_tuple() {
+        let mut cat = Catalog::new();
+        let d = scheduler(&mut cat);
+        let types = vec![ColType::I64, ColType::I64, ColType::Str, ColType::I64];
+        let layout = plan_layout(&d, &cat, &types);
+        // Edge 1 is z's {ns,pid} dlist edge: 64 + 64 bits → tuple.
+        let e1 = layout.edge(EdgeId(1));
+        assert_eq!(e1.kind, ContainerKind::VecLinear);
+        assert!(!e1.is_packed());
+    }
+
+    #[test]
+    fn declared_widths_pack_multi_column_keys_msb_first() {
+        let mut cat = Catalog::new();
+        let d = scheduler(&mut cat);
+        let (ns, pid) = (cat.col("ns").unwrap(), cat.col("pid").unwrap());
+        cat.declare_bit_width(ns, 16);
+        cat.declare_bit_width(pid, 32);
+        let types = vec![ColType::I64, ColType::I64, ColType::Str, ColType::I64];
+        let layout = plan_layout(&d, &cat, &types);
+        let e1 = layout.edge(EdgeId(1));
+        assert_eq!(e1.kind, ContainerKind::VecLinear);
+        let parts = e1.packed_parts().unwrap();
+        // ns (ColId 0) in the most significant bits, pid below it.
+        assert_eq!(parts.len(), 2);
+        assert_eq!(cat.name(parts[0].col), "ns");
+        assert_eq!(parts[0].shift, 32);
+        assert_eq!(parts[0].bits, 16);
+        assert_eq!(cat.name(parts[1].col), "pid");
+        assert_eq!(parts[1].shift, 0);
+        assert_eq!(parts[1].bits, 32);
+        assert_eq!(layout.packed_edge_count(), 3);
+    }
+
+    #[test]
+    fn string_keys_are_never_packed() {
+        let mut cat = Catalog::new();
+        let d = scheduler(&mut cat);
+        let types = vec![ColType::I64, ColType::I64, ColType::Str, ColType::I64];
+        let layout = plan_layout(&d, &cat, &types);
+        // Edge 3 is x's {state} vec edge (String key).
+        let e3 = layout.edge(EdgeId(3));
+        assert_eq!(e3.kind, ContainerKind::VecLinear);
+        assert!(!e3.is_packed());
+    }
+
+    #[test]
+    fn order_preservation_of_packing() {
+        // Sign-flip: u64 order must equal i64 order.
+        let flip = |v: i64| (v as u64) ^ (1u64 << 63);
+        let mut vals = [-5i64, -1, 0, 3, i64::MIN, i64::MAX];
+        vals.sort_unstable();
+        let packed: Vec<u64> = vals.iter().map(|&v| flip(v)).collect();
+        let mut sorted = packed.clone();
+        sorted.sort_unstable();
+        assert_eq!(packed, sorted);
+        // Shift-packing: (a, b) tuple order equals packed order for
+        // in-range non-negative values.
+        let pack = |a: u64, b: u64| (a << 32) | b;
+        assert!(pack(1, 7) < pack(2, 0));
+        assert!(pack(1, 7) < pack(1, 8));
+    }
+}

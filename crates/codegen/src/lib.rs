@@ -3,17 +3,34 @@
 //! compiler emits C++ classes that implement the relational interface").
 //!
 //! Where `relic-core` *interprets* decomposition instances, this crate
-//! *compiles* them: node structs, slot arenas, concrete `std` containers per
-//! edge, and straight-line method bodies generated from the §4.3 planner's
-//! chosen plans. As in the paper, "we allow the programmer to specify the
-//! needed instantiations" — the [`OpSet`] lists the query/remove/update
-//! signatures to generate.
+//! *compiles* them through a staged backend pipeline:
 //!
-//! Mapping of decomposition structures onto `std` (documented in the emitted
-//! header): `htable` → `HashMap`, `avl`/`sortedvec` → `BTreeMap`,
-//! `vec`/`dlist`/`ilist` → `Vec<(K, u32)>` (intrusiveness is an
-//! arena-layout optimization the interpreted runtime models; the generated
-//! code favours simplicity).
+//! 1. **Plan** — each requested signature in the [`OpSet`] is planned by the
+//!    §4.3 query planner, restricted to constant-space plans
+//!    (`qhashjoin` is interpreter-only), and anchored to concrete
+//!    edge/node ids ([`relic_query::resolve_plan`]).
+//! 2. **Lower** — the resolved plan is lowered into a small plan IR
+//!    (`probe`/`scan`/`range`/`unit`/`emit` steps) that names the edge each
+//!    step traverses and carries the column sets it binds and checks; join
+//!    operators dissolve here into nested probes.
+//! 3. **Optimize** — peephole rewrites run over the IR: unit-key hops
+//!    collapse into slot reads, fully bound scans fuse into point probes,
+//!    loop-invariant probes hoist out of scans, and dead bound columns are
+//!    eliminated.
+//! 4. **Layout** — every edge gets a concrete container and key
+//!    representation. Keys whose columns are integral and fit 64 bits
+//!    (declared via [`relic_spec::Catalog::declare_bit_width`]) pack into a
+//!    single order-preserving `u64` word; packed `htable` edges compile to
+//!    an emitted open-addressed table, packed `sortedvec` edges to a sorted
+//!    slice with binary search, unit-key edges to a plain `Option<u32>`
+//!    slot. Unpacked edges fall back to `HashMap`/`BTreeMap`/`Vec`.
+//! 5. **Emit** — the optimized IR is walked once to produce straight-line
+//!    monomorphized Rust with no `Value` boxing and no dynamic dispatch.
+//!
+//! As in the paper, "we allow the programmer to specify the needed
+//! instantiations" — the [`OpSet`] lists the query/remove/update signatures
+//! to generate. [`generate_with_report`] additionally returns a [`Report`]
+//! of the layout and peephole decisions.
 //!
 //! Generated `remove_by_*`/`update_*` methods require key patterns (the
 //! paper's §4.5 common case); the interpreted runtime additionally supports
@@ -52,8 +69,12 @@
 #![warn(missing_docs)]
 
 mod emit;
+mod ir;
+mod layout;
+mod lower;
+mod peephole;
 
-pub use emit::generate;
+pub use emit::{generate, generate_with_report};
 
 use relic_spec::{Catalog, ColSet, RelSpec};
 use std::error::Error;
@@ -147,6 +168,29 @@ pub struct Request<'a> {
     pub types: Vec<ColType>,
     /// The operations to instantiate.
     pub ops: OpSet,
+}
+
+/// A summary of the backend's layout and peephole decisions for one
+/// generated module (returned by [`generate_with_report`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Report {
+    /// Edges whose keys pack into a single `u64` word (unit slots excluded).
+    pub packed_edges: usize,
+    /// Unit-key edges compiled to `Option<u32>` slots.
+    pub unit_slots: usize,
+    /// Packed `htable` edges compiled to emitted open-addressed tables.
+    pub open_tables: usize,
+    /// Packed `sortedvec` edges compiled to emitted sorted slices.
+    pub sorted_slices: usize,
+    /// Unit-key scans collapsed into probes.
+    pub unit_hops_collapsed: usize,
+    /// Fully bound scans fused into point probes.
+    pub scans_fused: usize,
+    /// Loop-invariant probes hoisted out of scans.
+    pub probes_hoisted: usize,
+    /// Bound-but-unused columns eliminated from scan bodies.
+    pub dead_cols_elided: usize,
 }
 
 /// Errors raised during code generation.

@@ -1,0 +1,157 @@
+//! Lowering: [`ResolvedPlan`] → plan IR.
+//!
+//! The lowering walk threads the set of *available* (bound) columns through
+//! the plan, computing each step's `bind`/`check` sets exactly once — the
+//! string emitter never re-derives binding state. Join operators dissolve
+//! here: `qjoin(first, second)` lowers `first` and grafts `second`'s steps
+//! at each of `first`'s emit points, yielding a pure nest of loops and
+//! probes.
+
+use crate::ir::{Block, Step};
+use relic_decomp::Decomposition;
+use relic_query::ResolvedPlan;
+use relic_spec::{ColId, ColSet};
+
+/// Lowers a resolved query plan to IR.
+///
+/// * `avail` — the equality-bound pattern columns (query arguments),
+/// * `rcol` — the range-constrained column of a `query_range` signature,
+/// * `used` — the columns the sink reads (the output signature).
+///
+/// The caller must have planned with an admission predicate excluding
+/// `qhashjoin` (the compiled backend is constant-space, like the paper's
+/// Fig. 7 operators).
+pub(crate) fn lower_query(
+    d: &Decomposition,
+    plan: &ResolvedPlan,
+    avail: ColSet,
+    rcol: Option<ColId>,
+    used: ColSet,
+) -> Block {
+    lower(d, plan, avail, rcol, &mut |_| {
+        Block(vec![Step::Emit { used }])
+    })
+}
+
+/// `k` builds the continuation block from the bindings available after the
+/// current sub-plan has matched.
+fn lower(
+    d: &Decomposition,
+    plan: &ResolvedPlan,
+    avail: ColSet,
+    rcol: Option<ColId>,
+    k: &mut dyn FnMut(ColSet) -> Block,
+) -> Block {
+    match plan {
+        ResolvedPlan::Unit { node, cols } => {
+            let check = *cols & avail;
+            let bind = *cols - avail;
+            let range_check = rcol.filter(|c| bind.contains(*c));
+            Block(vec![Step::Unit {
+                node: *node,
+                check,
+                range_check,
+                bind,
+                then: k(avail | *cols),
+            }])
+        }
+        ResolvedPlan::Lookup { edge, child } => Block(vec![Step::Probe {
+            edge: *edge,
+            then: lower(d, child, avail, rcol, k),
+        }]),
+        ResolvedPlan::Scan { edge, child } => {
+            let key = d.edge(*edge).key;
+            let bind = key - avail;
+            let check = key & avail;
+            let range_check = rcol.filter(|c| bind.contains(*c));
+            Block(vec![Step::Scan {
+                edge: *edge,
+                bind,
+                check,
+                range_check,
+                then: lower(d, child, avail | key, rcol, k),
+            }])
+        }
+        ResolvedPlan::Range { edge, child } => {
+            let key = d.edge(*edge).key;
+            let bind = key - avail;
+            Block(vec![Step::Range {
+                edge: *edge,
+                bind,
+                then: lower(d, child, avail | key, rcol, k),
+            }])
+        }
+        ResolvedPlan::Join { first, second } => lower(d, first, avail, rcol, &mut |avail1| {
+            lower(d, second, avail1, rcol, k)
+        }),
+        ResolvedPlan::HashJoin { .. } => {
+            unreachable!("qhashjoin excluded by the backend's plan admission predicate")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relic_decomp::parse;
+    use relic_query::{resolve_plan, CostModel, Planner};
+    use relic_spec::{Catalog, RelSpec};
+
+    fn scheduler() -> (Catalog, RelSpec, Decomposition) {
+        let mut cat = Catalog::new();
+        let d = parse(
+            &mut cat,
+            "let w : {ns,pid,state} . {cpu} = unit {cpu} in
+             let y : {ns} . {pid,cpu} = {pid} -[htable]-> w in
+             let z : {state} . {ns,pid,cpu} = {ns,pid} -[dlist]-> w in
+             let x : {} . {ns,pid,state,cpu} =
+               ({ns} -[htable]-> y) join ({state} -[vec]-> z) in x",
+        )
+        .unwrap();
+        let ns = cat.col("ns").unwrap();
+        let pid = cat.col("pid").unwrap();
+        let spec = RelSpec::new(cat.all()).with_fd(ns | pid, cat.all() - (ns | pid));
+        (cat, spec, d)
+    }
+
+    #[test]
+    fn point_lookup_lowers_to_probe_chain() {
+        let (cat, spec, d) = scheduler();
+        let ns = cat.col("ns").unwrap();
+        let pid = cat.col("pid").unwrap();
+        let cpu = cat.col("cpu").unwrap();
+        let planner = Planner::new(&d, &spec, CostModel::uniform(&d, 16.0));
+        let planned = planner.plan_query(ns | pid, cpu.into()).unwrap();
+        let resolved = resolve_plan(&d, &planned.plan).unwrap();
+        let ir = lower_query(&d, &resolved, ns | pid, None, cpu.into());
+        // qlr(qlookup(qlookup(qunit))) → probe(x→y), probe(y→w), unit(w).
+        assert_eq!(ir.to_string(), "probe(e2 probe(e0 unit(n0 bind=8 emit)))");
+    }
+
+    #[test]
+    fn join_grafts_second_at_first_emit_points() {
+        let (cat, spec, d) = scheduler();
+        let ns = cat.col("ns").unwrap();
+        let state = cat.col("state").unwrap();
+        let pid = cat.col("pid").unwrap();
+        let planner = Planner::new(&d, &spec, CostModel::uniform(&d, 16.0));
+        // Force the paper's join plan q1 explicitly: scan left under ns,
+        // then check the right side.
+        let q1 = planner
+            .enumerate(ns | state)
+            .into_iter()
+            .find(|(p, _)| {
+                p.to_string() == "qjoin(qlookup(qscan(qunit)), qlookup(qlookup(qunit)), left)"
+            })
+            .expect("paper plan enumerated")
+            .0;
+        let resolved = resolve_plan(&d, &q1).unwrap();
+        let ir = lower_query(&d, &resolved, ns | state, None, pid.into());
+        // The join is gone: second's probes are nested directly under
+        // first's unit leaf.
+        let s = ir.to_string();
+        assert!(!s.contains("join"), "{s}");
+        assert!(s.contains("scan(e0"), "{s}");
+        assert!(s.contains("probe(e3"), "{s}");
+    }
+}

@@ -41,6 +41,15 @@ pub struct Edge {
     pub to: NodeId,
 }
 
+impl Edge {
+    /// Is this a *unit-key* edge (`{} -[ψ]-> v`)? Such a map holds at most
+    /// one entry, so backends may collapse the container to a plain
+    /// optional slot reference regardless of `ψ`.
+    pub fn is_unit_key(&self) -> bool {
+        self.key.is_empty()
+    }
+}
+
 /// A node body: the primitive `pˆ` on the right-hand side of a let binding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Body {

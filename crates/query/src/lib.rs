@@ -20,7 +20,9 @@
 //!   skipped join branch),
 //! * [`CostModel`] / [`Planner`] — the §4.3 cost estimator `E` (per-edge
 //!   fanout counts `c(u,v)` and per-structure lookup costs `m_ψ(n)`) and the
-//!   exhaustive minimum-cost planner.
+//!   exhaustive minimum-cost planner,
+//! * [`resolve_plan`] / [`ResolvedPlan`] — plans with operators anchored to
+//!   concrete decomposition edges and nodes, the form compilers lower from.
 //!
 //! Plans are *interpreted* by `relic-core` (`dqexec`) and *compiled* by
 //! `relic-codegen`.
@@ -61,9 +63,11 @@
 mod cost;
 mod plan;
 mod planner;
+mod resolve;
 mod validity;
 
 pub use cost::{CostModel, JoinCostMode};
 pub use plan::{Plan, Side};
 pub use planner::{PlanError, PlannedQuery, Planner};
+pub use resolve::{resolve_plan, ResolveError, ResolvedPlan};
 pub use validity::{check_valid, check_valid_where, checked_cols, ValidityError};

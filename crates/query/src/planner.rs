@@ -153,7 +153,58 @@ impl<'a> Planner<'a> {
     /// relation (with an adequate decomposition, the scan-everything plan
     /// covers all in-relation signatures).
     pub fn plan_query(&self, avail: ColSet, out: ColSet) -> Result<PlannedQuery, PlanError> {
-        self.plan_by(avail, ColSet::EMPTY, ColSet::EMPTY, out, |a, b| a < b)
+        self.plan_by(
+            avail,
+            ColSet::EMPTY,
+            ColSet::EMPTY,
+            out,
+            |a, b| a < b,
+            |_| true,
+        )
+    }
+
+    /// Like [`plan_query`](Planner::plan_query), restricted to plans
+    /// accepted by `admit`. Backends with a limited operator repertoire use
+    /// this to carve out the sub-language they implement — e.g.
+    /// [`Plan::is_constant_space`] for compilers without materialization
+    /// support (`qhashjoin`).
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::NoPlan`] if no admissible valid plan covers the
+    /// signature.
+    pub fn plan_query_admissible(
+        &self,
+        avail: ColSet,
+        out: ColSet,
+        admit: impl Fn(&Plan) -> bool,
+    ) -> Result<PlannedQuery, PlanError> {
+        self.plan_by(
+            avail,
+            ColSet::EMPTY,
+            ColSet::EMPTY,
+            out,
+            |a, b| a < b,
+            admit,
+        )
+    }
+
+    /// Like [`plan_query_where`](Planner::plan_query_where), restricted to
+    /// plans accepted by `admit`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::NoPlan`] if no admissible valid plan covers the
+    /// signature.
+    pub fn plan_query_where_admissible(
+        &self,
+        eq: ColSet,
+        ranged: ColSet,
+        filtered: ColSet,
+        out: ColSet,
+        admit: impl Fn(&Plan) -> bool,
+    ) -> Result<PlannedQuery, PlanError> {
+        self.plan_by(eq, ranged, filtered, out, |a, b| a < b, admit)
     }
 
     /// Plans a comparison query `query_where r P out` (§2's extension):
@@ -174,13 +225,20 @@ impl<'a> Planner<'a> {
         filtered: ColSet,
         out: ColSet,
     ) -> Result<PlannedQuery, PlanError> {
-        self.plan_by(eq, ranged, filtered, out, |a, b| a < b)
+        self.plan_by(eq, ranged, filtered, out, |a, b| a < b, |_| true)
     }
 
     /// The *worst* valid plan for a signature — used by the planner-ablation
     /// benchmark to show how much planning matters.
     pub fn plan_query_worst(&self, avail: ColSet, out: ColSet) -> Result<PlannedQuery, PlanError> {
-        self.plan_by(avail, ColSet::EMPTY, ColSet::EMPTY, out, |a, b| a > b)
+        self.plan_by(
+            avail,
+            ColSet::EMPTY,
+            ColSet::EMPTY,
+            out,
+            |a, b| a > b,
+            |_| true,
+        )
     }
 
     fn plan_by(
@@ -190,12 +248,16 @@ impl<'a> Planner<'a> {
         filtered: ColSet,
         out: ColSet,
         better: impl Fn(f64, f64) -> bool,
+        admit: impl Fn(&Plan) -> bool,
     ) -> Result<PlannedQuery, PlanError> {
         let body = &self.d.node(self.d.root()).body;
         let pattern_cols = avail | ranged | filtered;
         let mut best: Option<PlannedQuery> = None;
         for (plan, bound) in self.enumerate_where(avail, ranged) {
             if !out.is_subset(bound | avail) {
+                continue;
+            }
+            if !admit(&plan) {
                 continue;
             }
             if !pattern_cols

@@ -1,0 +1,224 @@
+//! Plan resolution: aligning a [`Plan`] with the concrete decomposition
+//! graph it runs over.
+//!
+//! A [`Plan`] is a bare operator tree — `qlookup`/`qscan` operators say
+//! *that* an edge is probed or iterated, but which edge is implicit in the
+//! plan's structural alignment with the decomposition's bodies (`qlr`
+//! operators pick join sides, `Map` leaves carry the edge ids). Backends
+//! that *compile* plans need that alignment made explicit: a
+//! [`ResolvedPlan`] is the same tree with every operator annotated with the
+//! [`EdgeId`] or [`NodeId`] it addresses and with `qlr` dissolved into the
+//! side it selects.
+//!
+//! Resolution is purely structural; it does not re-check validity (use
+//! [`check_valid`](crate::check_valid) for that).
+
+use crate::{Plan, Side};
+use relic_decomp::{Body, Decomposition, EdgeId, NodeId};
+use relic_spec::ColSet;
+use std::error::Error;
+use std::fmt;
+
+/// A [`Plan`] with operators anchored to the decomposition: edges named,
+/// unit leaves tied to their owning node, `qlr` dissolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolvedPlan {
+    /// `qunit` at a `unit C` leaf of `node`'s body.
+    Unit {
+        /// The node whose body holds the unit leaf.
+        node: NodeId,
+        /// The leaf's columns `C`.
+        cols: ColSet,
+    },
+    /// `qlookup` probing `edge` with its (bound) key columns.
+    Lookup {
+        /// The probed map edge.
+        edge: EdgeId,
+        /// Sub-plan for the edge target's body.
+        child: Box<ResolvedPlan>,
+    },
+    /// `qscan` iterating every entry of `edge`.
+    Scan {
+        /// The iterated map edge.
+        edge: EdgeId,
+        /// Sub-plan for the edge target's body.
+        child: Box<ResolvedPlan>,
+    },
+    /// `qrange` seeking an ordered run of `edge`.
+    Range {
+        /// The seeked (ordered) map edge.
+        edge: EdgeId,
+        /// Sub-plan for the edge target's body.
+        child: Box<ResolvedPlan>,
+    },
+    /// `qjoin`: run `first`; for each of its results, run `second`. The
+    /// original join sides are irrelevant once both branches are anchored
+    /// to concrete edges.
+    Join {
+        /// The outer sub-plan.
+        first: Box<ResolvedPlan>,
+        /// The inner sub-plan, run once per outer result.
+        second: Box<ResolvedPlan>,
+    },
+    /// `qhashjoin`: run `first` once, materialized; probe from `second`.
+    HashJoin {
+        /// The build sub-plan.
+        first: Box<ResolvedPlan>,
+        /// The probe sub-plan.
+        second: Box<ResolvedPlan>,
+    },
+}
+
+/// Failure to align a plan with a decomposition body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolveError(String);
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "plan does not align with decomposition body: {}", self.0)
+    }
+}
+
+impl Error for ResolveError {}
+
+/// Resolves `plan` against the root body of `d`.
+///
+/// # Errors
+///
+/// [`ResolveError`] if the plan's shape does not match the decomposition's
+/// body structure (a valid plan for `d` always resolves).
+pub fn resolve_plan(d: &Decomposition, plan: &Plan) -> Result<ResolvedPlan, ResolveError> {
+    resolve_at(d, d.root(), &d.node(d.root()).body, plan)
+}
+
+fn resolve_at(
+    d: &Decomposition,
+    node: NodeId,
+    body: &Body,
+    plan: &Plan,
+) -> Result<ResolvedPlan, ResolveError> {
+    match (plan, body) {
+        (Plan::Unit, Body::Unit(c)) => Ok(ResolvedPlan::Unit { node, cols: *c }),
+        (Plan::Lookup { child }, Body::Map(eid)) => {
+            let to = d.edge(*eid).to;
+            Ok(ResolvedPlan::Lookup {
+                edge: *eid,
+                child: Box::new(resolve_at(d, to, &d.node(to).body, child)?),
+            })
+        }
+        (Plan::Scan { child }, Body::Map(eid)) => {
+            let to = d.edge(*eid).to;
+            Ok(ResolvedPlan::Scan {
+                edge: *eid,
+                child: Box::new(resolve_at(d, to, &d.node(to).body, child)?),
+            })
+        }
+        (Plan::Range { child }, Body::Map(eid)) => {
+            let to = d.edge(*eid).to;
+            Ok(ResolvedPlan::Range {
+                edge: *eid,
+                child: Box::new(resolve_at(d, to, &d.node(to).body, child)?),
+            })
+        }
+        (Plan::Lr { side, inner }, Body::Join(l, r)) => {
+            let sub = match side {
+                Side::Left => l,
+                Side::Right => r,
+            };
+            resolve_at(d, node, sub, inner)
+        }
+        (
+            Plan::Join {
+                side,
+                first,
+                second,
+            },
+            Body::Join(l, r),
+        ) => {
+            let (fb, sb) = match side {
+                Side::Left => (l, r),
+                Side::Right => (r, l),
+            };
+            Ok(ResolvedPlan::Join {
+                first: Box::new(resolve_at(d, node, fb, first)?),
+                second: Box::new(resolve_at(d, node, sb, second)?),
+            })
+        }
+        (
+            Plan::HashJoin {
+                side,
+                first,
+                second,
+            },
+            Body::Join(l, r),
+        ) => {
+            let (fb, sb) = match side {
+                Side::Left => (l, r),
+                Side::Right => (r, l),
+            };
+            Ok(ResolvedPlan::HashJoin {
+                first: Box::new(resolve_at(d, node, fb, first)?),
+                second: Box::new(resolve_at(d, node, sb, second)?),
+            })
+        }
+        (p, _) => Err(ResolveError(p.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostModel, Planner};
+    use relic_decomp::parse;
+    use relic_spec::{Catalog, RelSpec};
+
+    #[test]
+    fn resolves_lr_to_concrete_edges() {
+        let mut cat = Catalog::new();
+        let d = parse(
+            &mut cat,
+            "let w : {ns,pid,state} . {cpu} = unit {cpu} in
+             let y : {ns} . {pid,cpu} = {pid} -[htable]-> w in
+             let z : {state} . {ns,pid,cpu} = {ns,pid} -[dlist]-> w in
+             let x : {} . {ns,pid,state,cpu} =
+               ({ns} -[htable]-> y) join ({state} -[vec]-> z) in x",
+        )
+        .unwrap();
+        let ns = cat.col("ns").unwrap();
+        let pid = cat.col("pid").unwrap();
+        let cpu = cat.col("cpu").unwrap();
+        let spec = RelSpec::new(cat.all()).with_fd(ns | pid, cat.all() - (ns | pid));
+        let planner = Planner::new(&d, &spec, CostModel::uniform(&d, 16.0));
+        let planned = planner.plan_query(ns | pid, cpu.into()).unwrap();
+        // qlr(qlookup(qlookup(qunit)), left): the lr dissolves; the two
+        // lookups anchor to the x→y and y→w edges.
+        let resolved = resolve_plan(&d, &planned.plan).unwrap();
+        let ResolvedPlan::Lookup { edge, child } = resolved else {
+            panic!("expected lookup at root, got {resolved:?}");
+        };
+        assert_eq!(d.edge(edge).key, ns.set());
+        let ResolvedPlan::Lookup { edge, child } = *child else {
+            panic!("expected inner lookup");
+        };
+        assert_eq!(d.edge(edge).key, pid.set());
+        let ResolvedPlan::Unit { node, cols } = *child else {
+            panic!("expected unit leaf");
+        };
+        assert_eq!(d.node(node).name, "w");
+        assert_eq!(cols, cpu.set());
+    }
+
+    #[test]
+    fn misaligned_plan_is_an_error() {
+        let mut cat = Catalog::new();
+        let d = parse(
+            &mut cat,
+            "let w : {k} . {v} = unit {v} in
+             let x : {} . {k,v} = {k} -[htable]-> w in x",
+        )
+        .unwrap();
+        // A join plan cannot align with a map body.
+        let bogus = Plan::join(Side::Left, Plan::Unit, Plan::Unit);
+        assert!(resolve_plan(&d, &bogus).is_err());
+    }
+}

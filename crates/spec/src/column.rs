@@ -276,11 +276,14 @@ impl ExactSizeIterator for ColSetIter {}
 pub struct Catalog {
     names: Vec<String>,
     index: HashMap<String, ColId>,
+    /// Declared value widths in bits, parallel to `names` (0 = undeclared).
+    widths: Vec<u8>,
 }
 
 /// Two catalogs are equal when they intern the same names to the same ids
 /// (the `index` map is derived from `names`, so comparing the name list in
-/// id order suffices).
+/// id order suffices; declared bit widths are representation *hints*, not
+/// identity).
 impl PartialEq for Catalog {
     fn eq(&self, other: &Self) -> bool {
         self.names == other.names
@@ -307,8 +310,43 @@ impl Catalog {
         assert!(self.names.len() < 64, "catalog full: at most 64 columns");
         let c = ColId(self.names.len() as u8);
         self.names.push(name.to_string());
+        self.widths.push(0);
         self.index.insert(name.to_string(), c);
         c
+    }
+
+    /// Declares that column `c`'s integer values always lie in `[0, 2^bits)`.
+    ///
+    /// This is a *representation hint*: the synthesis backend may pack
+    /// several declared-width key columns into one machine word (and falls
+    /// back to tuple keys when widths are undeclared or don't fit). The
+    /// declaration is a client obligation, exactly like the specification's
+    /// functional dependencies — values outside the declared range make the
+    /// packed representation unsound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` was not produced by this catalog or `bits` is not in
+    /// `1..=64`.
+    pub fn declare_bit_width(&mut self, c: ColId, bits: u32) {
+        assert!(
+            (1..=64).contains(&bits),
+            "bit width must be in 1..=64, got {bits}"
+        );
+        self.widths[c.0 as usize] = bits as u8;
+    }
+
+    /// The declared bit width of column `c`, if any (see
+    /// [`Catalog::declare_bit_width`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` was not produced by this catalog.
+    pub fn bit_width(&self, c: ColId) -> Option<u32> {
+        match self.widths[c.0 as usize] {
+            0 => None,
+            w => Some(w as u32),
+        }
     }
 
     /// Interns several names at once, returning their union as a set.
@@ -432,6 +470,26 @@ mod tests {
         let (cat, a, _, c) = abc();
         assert_eq!((a | c).display(&cat), "{a, c}");
         assert_eq!(ColSet::EMPTY.display(&cat), "{}");
+    }
+
+    #[test]
+    fn bit_widths_default_undeclared() {
+        let (mut cat, a, b, _) = abc();
+        assert_eq!(cat.bit_width(a), None);
+        cat.declare_bit_width(a, 16);
+        cat.declare_bit_width(b, 64);
+        assert_eq!(cat.bit_width(a), Some(16));
+        assert_eq!(cat.bit_width(b), Some(64));
+        // Width hints do not affect catalog identity.
+        let (other, ..) = abc();
+        assert_eq!(cat, other);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit width must be in 1..=64")]
+    fn bit_width_zero_rejected() {
+        let (mut cat, a, _, _) = abc();
+        cat.declare_bit_width(a, 0);
     }
 
     #[test]

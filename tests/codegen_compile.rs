@@ -6,7 +6,24 @@
 use relic_codegen::{generate, ColType, OpSet, Request};
 use relic_decomp::parse;
 use relic_spec::{Catalog, RelSpec};
+use std::path::PathBuf;
 use std::process::Command;
+
+/// A scratch directory unique to this test *invocation*: keyed by test name,
+/// process id, and a timestamp so concurrent runs (or a crashed prior run
+/// that leaked its directory) can never collide.
+fn scratch_dir(test: &str) -> PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_nanos();
+    let dir = std::env::temp_dir().join(format!(
+        "relic_{test}_{pid}_{nanos}",
+        pid = std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
 
 fn scheduler_code() -> String {
     let mut cat = Catalog::new();
@@ -52,12 +69,17 @@ fn generated_code_has_expected_structure() {
     assert!(code.contains("pub fn remove_by_ns_pid"), "{code}");
     assert!(code.contains("pub fn update_ns_pid_set_cpu"), "{code}");
     assert!(code.contains("pub fn update_ns_pid_set_state"), "{code}");
-    // Structure mapping: htable → HashMap, vec/dlist → Vec.
-    assert!(code.contains("HashMap<(i64,), u32>"), "{code}");
+    // Structure mapping: packed htable keys → emitted open-addressed table
+    // (the single-i64 keys {pid} and {ns} sign-flip-pack into u64 words);
+    // the 128-bit {ns,pid} dlist key stays a tuple in a linear Vec.
+    assert!(code.contains("struct OpenTable"), "{code}");
+    assert!(code.contains("fn pack_e"), "{code}");
     assert!(
         code.contains("Vec<((i64, i64,), u32)>") || code.contains("Vec<((i64, i64), u32)>"),
         "{code}"
     );
+    // No Value boxing anywhere in the emitted module.
+    assert!(!code.contains("Value"), "{code}");
     // Shared node w gets one arena.
     assert!(code.contains("arena_w"), "{code}");
     // The planner's chosen plans are documented.
@@ -67,8 +89,7 @@ fn generated_code_has_expected_structure() {
 #[test]
 fn generated_code_compiles_and_runs() {
     let code = scheduler_code();
-    let dir = std::env::temp_dir().join(format!("relic_codegen_test_{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
+    let dir = scratch_dir("codegen_compile");
     let module = dir.join("scheduler.rs");
     std::fs::write(&module, &code).unwrap();
     let main = r#"
@@ -132,6 +153,7 @@ fn main() {
             // rustc unavailable in exotic environments: the structural test
             // above still guards the generator.
             eprintln!("skipping compile test: rustc not runnable: {e}");
+            let _ = std::fs::remove_dir_all(&dir);
             return;
         }
     };
@@ -187,8 +209,7 @@ fn generated_range_query_compiles_and_runs() {
     );
     assert!(code.contains(".range("), "{code}");
 
-    let dir = std::env::temp_dir().join(format!("relic_codegen_range_{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
+    let dir = scratch_dir("codegen_range");
     std::fs::write(dir.join("eventlog.rs"), &code).unwrap();
     let main = r#"
 mod eventlog;
@@ -228,6 +249,7 @@ fn main() {
         Ok(out) => out,
         Err(e) => {
             eprintln!("skipping compile test: rustc not runnable: {e}");
+            let _ = std::fs::remove_dir_all(&dir);
             return;
         }
     };
