@@ -4,7 +4,7 @@
 //! against the recorded `BENCH_*.json` files.
 //!
 //! Usage: `cargo run --release --bin bench_smoke [-- [--quick] [OUTPUT.json]]`
-//! (default output path: `BENCH_6.json` in the current directory).
+//! (default output path: `BENCH_7.json` in the current directory).
 //! `--quick` shrinks sizes and repetition counts to a compile-and-run smoke
 //! check for CI — its timings are not comparable to full runs. **Every**
 //! workload family runs in quick mode, including scaled-down `phase_shift`
@@ -917,11 +917,155 @@ fn bench_wal_commit(out: &mut Vec<(String, f64)>, quick: bool) {
     let _ = std::fs::remove_dir_all(&base);
 }
 
+/// `replication` (PR 7): the log-shipping path of `relic_replica`, measured
+/// at its three user-visible latencies:
+///
+/// * `ship_ns_per_record` — end-to-end catch-up throughput: a fresh
+///   follower bootstraps from a checkpointless primary and tails `n`
+///   committed records through the transport (every frame re-verified,
+///   appended to the local log, fsynced, then applied); nanoseconds per
+///   shipped record.
+/// * `apply_lag_ns_per_commit` — steady-state follower lag: with a
+///   caught-up follower, one primary commit followed by one poll; mean
+///   nanoseconds from "committed on the primary" to "applied and durable
+///   on the follower".
+/// * `failover_promote_ns` — crash-driven failover: wall time for a
+///   caught-up follower to seal its log, bump the term durably, and come
+///   up as a writable primary.
+fn bench_replication(out: &mut Vec<(String, f64)>, quick: bool) {
+    use relic_replica::{Follower, InProcTransport, Primary};
+    use std::sync::Arc;
+
+    let n: i64 = if quick { 200 } else { 5_000 };
+    let lag_commits: usize = if quick { 20 } else { 200 };
+    let (warmup, reps) = if quick { (0, 1) } else { (1, 3) };
+    let base = std::env::temp_dir().join(format!("relic_bench_repl_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    let make_primary = |dir: &std::path::Path| {
+        let mut cat = Catalog::new();
+        let (k, v) = (cat.intern("k"), cat.intern("v"));
+        let spec = RelSpec::new(k | v).with_fd(k.set(), v.set());
+        let d = parse(
+            &mut cat,
+            "let u : {k} . {v} = unit {v} in
+             let x : {} . {k,v} = {k} -[htable]-> u in x",
+        )
+        .unwrap();
+        let rel = DurableRelation::create(
+            dir,
+            &cat,
+            spec,
+            d,
+            k.set(),
+            4,
+            true,
+            GroupCommitPolicy::manual(),
+        )
+        .unwrap();
+        (k, v, Primary::new(rel))
+    };
+    let catch_up = |f: &mut Follower, t: &mut InProcTransport| {
+        f.catch_up(t, 2, std::time::Duration::from_millis(1))
+            .unwrap()
+    };
+
+    // Shipping throughput: n committed records tailed by a fresh follower.
+    {
+        let dir = base.join("ship_primary");
+        let (k, v, p) = make_primary(&dir);
+        for i in 0..n {
+            p.insert(Tuple::from_pairs([
+                (k, Value::from(i)),
+                (v, Value::from(i)),
+            ]))
+            .unwrap();
+        }
+        p.commit().unwrap();
+        let p = Arc::new(p);
+        let mut rep = 0usize;
+        let ns = time_stage_ns(warmup, reps, || {
+            rep += 1;
+            let fdir = base.join(format!("ship_follower_{rep}"));
+            let mut t = InProcTransport::new(Arc::clone(&p));
+            let start = Instant::now();
+            let mut f = Follower::bootstrap(&fdir, &mut t).unwrap();
+            catch_up(&mut f, &mut t);
+            let elapsed = start.elapsed().as_nanos() as f64;
+            let len = f.len();
+            assert_eq!(len, n as usize);
+            let _ = std::fs::remove_dir_all(&fdir);
+            (elapsed / n as f64, len)
+        });
+        out.push(("replication/ship_ns_per_record".to_string(), ns));
+    }
+
+    // Steady-state apply lag: one commit, one poll, follower durable.
+    {
+        let dir = base.join("lag_primary");
+        let (k, v, p) = make_primary(&dir);
+        let p = Arc::new(p);
+        let fdir = base.join("lag_follower");
+        let mut t = InProcTransport::new(Arc::clone(&p));
+        let mut f = Follower::bootstrap(&fdir, &mut t).unwrap();
+        let mut i = 0i64;
+        let ns = time_stage_ns(warmup, reps, || {
+            let mut total = 0f64;
+            for _ in 0..lag_commits {
+                p.insert(Tuple::from_pairs([
+                    (k, Value::from(i)),
+                    (v, Value::from(i)),
+                ]))
+                .unwrap();
+                i += 1;
+                let start = Instant::now();
+                p.commit().unwrap();
+                catch_up(&mut f, &mut t);
+                total += start.elapsed().as_nanos() as f64;
+            }
+            (total / lag_commits as f64, f.len())
+        });
+        out.push(("replication/apply_lag_ns_per_commit".to_string(), ns));
+    }
+
+    // Failover: caught-up follower → writable promoted primary.
+    {
+        let dir = base.join("failover_primary");
+        let (k, v, p) = make_primary(&dir);
+        for i in 0..n {
+            p.insert(Tuple::from_pairs([
+                (k, Value::from(i)),
+                (v, Value::from(i)),
+            ]))
+            .unwrap();
+        }
+        p.commit().unwrap();
+        let p = Arc::new(p);
+        let mut rep = 0usize;
+        let ns = time_stage_ns(warmup, reps, || {
+            rep += 1;
+            let fdir = base.join(format!("failover_follower_{rep}"));
+            let mut t = InProcTransport::new(Arc::clone(&p));
+            let mut f = Follower::bootstrap(&fdir, &mut t).unwrap();
+            catch_up(&mut f, &mut t);
+            let start = Instant::now();
+            let promoted = f.promote(GroupCommitPolicy::manual()).unwrap();
+            let elapsed = start.elapsed().as_nanos() as f64;
+            let len = promoted.relation().len();
+            drop(promoted);
+            let _ = std::fs::remove_dir_all(&fdir);
+            (elapsed, len)
+        });
+        out.push(("replication/failover_promote_ns".to_string(), ns));
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 fn main() {
     let mut quick = false;
     let mut only: Option<String> = None;
     let mut expect_only = false;
-    let mut out_path = "BENCH_6.json".to_string();
+    let mut out_path = "BENCH_7.json".to_string();
     for arg in std::env::args().skip(1) {
         if expect_only {
             only = Some(arg);
@@ -936,7 +1080,7 @@ fn main() {
             out_path = arg;
         }
     }
-    const FAMILIES: [&str; 9] = [
+    const FAMILIES: [&str; 10] = [
         "micro_cache",
         "micro_scheduler",
         "query_hot_path",
@@ -946,6 +1090,7 @@ fn main() {
         "phase_shift",
         "read_scaling",
         "wal_commit",
+        "replication",
     ];
     if expect_only {
         eprintln!("--only requires a workload family: one of {FAMILIES:?}");
@@ -986,12 +1131,15 @@ fn main() {
     if run("wal_commit") {
         bench_wal_commit(&mut results, quick);
     }
+    if run("replication") {
+        bench_replication(&mut results, quick);
+    }
     // Timings are only comparable within one machine + toolchain, so the
     // header records both.
     let cpus = std::thread::available_parallelism().map_or(0, usize::from);
     let rustc = env!("RELIC_BENCH_RUSTC");
     let mut json = format!(
-        "{{\n  \"schema\": \"relic-bench-smoke-v6\",\n  \"quick\": {quick},\n  \
+        "{{\n  \"schema\": \"relic-bench-smoke-v7\",\n  \"quick\": {quick},\n  \
          \"cpus\": {cpus},\n  \"rustc\": \"{rustc}\",\n  \"results\": {{\n"
     );
     for (i, (label, ns)) in results.iter().enumerate() {

@@ -472,6 +472,30 @@ impl ConcurrentRelation {
         ReadHandle::new(self)
     }
 
+    /// Shard `i`'s published writer stamp — the sequence number of the last
+    /// logged operation the shard's visible state contains (0 if the shard
+    /// was never stamped). Lock-free: reads the publish slot only.
+    pub fn shard_stamp(&self, i: usize) -> u64 {
+        self.shard_view(i).1
+    }
+
+    /// Every shard's published writer stamp, in shard order — the catch-up
+    /// cursor vector replication followers resume from: shard `i`'s state
+    /// contains exactly the logged operations with `seq <=
+    /// shard_stamps()[i]`, so re-applying a shipped tail through the
+    /// watermark-checked replay is idempotent from any crash point.
+    ///
+    /// Stamps are collected per shard without a cross-shard barrier; a
+    /// concurrent writer may land between reads. That skew is harmless for
+    /// catch-up (the minimum is a safe resume point) but means the vector
+    /// is not a consistent cut — use [`read_view`](Self::read_view) when
+    /// one is needed.
+    pub fn shard_stamps(&self) -> Vec<u64> {
+        (0..self.shard_count())
+            .map(|i| self.shard_stamp(i))
+            .collect()
+    }
+
     /// Shard `i`'s published snapshot and its writer stamp (read together
     /// under the slot's latch, so the pair is always consistent). The
     /// snapshot is `None` only inside a writer's prune→publish window; the

@@ -2,7 +2,7 @@
 
 use relic_decomp::{AdequacyError, DecompError};
 use relic_query::PlanError;
-use relic_spec::{ColSet, Tuple};
+use relic_spec::{ColId, ColSet, Tuple};
 use std::error::Error;
 use std::fmt;
 
@@ -123,6 +123,14 @@ pub enum OpError {
     },
     /// The planner found no valid plan (only possible for foreign columns).
     Plan(PlanError),
+    /// A stored row failed a shape invariant the caller relies on — e.g. a
+    /// column that must hold an integer came back missing or non-numeric.
+    /// Serving loops surface this instead of panicking so one damaged row
+    /// cannot take a daemon down.
+    MalformedRow {
+        /// The column whose value had the wrong shape.
+        col: ColId,
+    },
 }
 
 impl fmt::Display for OpError {
@@ -148,6 +156,9 @@ impl fmt::Display for OpError {
                 "update changes pattern columns {overlap:?} (key-modifying updates are not supported)"
             ),
             OpError::Plan(e) => write!(f, "{e}"),
+            OpError::MalformedRow { col } => {
+                write!(f, "stored row has a malformed value in column {col:?}")
+            }
         }
     }
 }

@@ -40,6 +40,14 @@ pub enum WireError {
     },
     /// A serialized decomposition failed to re-parse.
     Decomposition(String),
+    /// A complete value decoded but bytes were left over. Trailing garbage
+    /// is a framing bug (or a newer writer) — silently ignoring it would
+    /// mask both, so readers that own a whole buffer call
+    /// [`Reader::expect_end`] and surface this instead.
+    Trailing {
+        /// Unconsumed bytes after the decoded value.
+        remaining: usize,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -52,6 +60,9 @@ impl fmt::Display for WireError {
                 write!(f, "tuple arity mismatch: {cols} columns vs {vals} values")
             }
             WireError::Decomposition(e) => write!(f, "decomposition failed to re-parse: {e}"),
+            WireError::Trailing { remaining } => {
+                write!(f, "{remaining} trailing bytes after a complete value")
+            }
         }
     }
 }
@@ -115,6 +126,28 @@ impl<'a> Reader<'a> {
         let n = self.take_u32()? as usize;
         std::str::from_utf8(self.take(n)?).map_err(|_| WireError::BadUtf8)
     }
+
+    /// A `u32`-length-prefixed opaque byte blob.
+    pub fn take_bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.take_u32()? as usize;
+        self.take(n)
+    }
+
+    /// Asserts the buffer is fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Trailing`] if any bytes remain — a decoded-but-longer
+    /// buffer is treated as corruption, never silently truncated.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::Trailing {
+                remaining: self.remaining(),
+            })
+        }
+    }
 }
 
 /// Appends a little-endian `u32`.
@@ -136,6 +169,12 @@ pub fn put_i64(out: &mut Vec<u8>, v: i64) {
 pub fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
+}
+
+/// Appends a `u32`-length-prefixed opaque byte blob.
+pub fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
 }
 
 // -- values -----------------------------------------------------------------
@@ -363,6 +402,29 @@ mod tests {
         assert!(matches!(
             take_value(&mut Reader::new(&[9])),
             Err(WireError::BadTag(9))
+        ));
+    }
+
+    #[test]
+    fn bytes_round_trip_and_trailing_is_typed() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"frame");
+        put_bytes(&mut buf, b"");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.take_bytes().unwrap(), b"frame");
+        assert_eq!(r.take_bytes().unwrap(), b"");
+        assert!(r.expect_end().is_ok());
+        buf.push(0xEE);
+        let mut r = Reader::new(&buf);
+        r.take_bytes().unwrap();
+        r.take_bytes().unwrap();
+        assert!(matches!(
+            r.expect_end(),
+            Err(WireError::Trailing { remaining: 1 })
+        ));
+        assert!(matches!(
+            Reader::new(&[3, 0, 0, 0, b'a']).take_bytes(),
+            Err(WireError::Truncated)
         ));
     }
 

@@ -33,7 +33,10 @@ const VERSION: u32 = 1;
 
 /// The checkpoint file name inside a durable relation's directory.
 pub const CHECKPOINT_FILE: &str = "checkpoint.bin";
-const CHECKPOINT_TMP: &str = "checkpoint.tmp";
+/// The sidecar a checkpoint is staged in before the atomic rename. A crash
+/// between the sidecar write and the rename leaves this file orphaned;
+/// [`read_checkpoint`] ignores and removes it.
+pub const CHECKPOINT_TMP: &str = "checkpoint.tmp";
 
 /// A decoded checkpoint: the relation's schema (with the decomposition
 /// identity *as of the checkpoint*), one watermark per shard, and the
@@ -46,6 +49,10 @@ pub struct Checkpoint {
     /// Per-shard log watermarks: shard `i`'s image contains exactly the
     /// logged operations with `seq <= shard_stamps[i]`.
     pub shard_stamps: Vec<u64>,
+    /// The replication term in force when the checkpoint was taken (0 for
+    /// an unreplicated relation) — a follower bootstrapping from this image
+    /// starts fenced against anything older.
+    pub term: u64,
     /// The tuple image (shard routing is recomputed on load — the schema's
     /// shard columns and count make it deterministic).
     pub tuples: Vec<Tuple>,
@@ -55,6 +62,7 @@ impl Checkpoint {
     fn encode(&self) -> Vec<u8> {
         let mut body = Vec::with_capacity(64 + self.tuples.len() * 32);
         self.schema.encode(&mut body);
+        wire::put_u64(&mut body, self.term);
         wire::put_u32(&mut body, self.shard_stamps.len() as u32);
         for &s in &self.shard_stamps {
             wire::put_u64(&mut body, s);
@@ -69,6 +77,7 @@ impl Checkpoint {
     fn decode(body: &[u8]) -> Result<Checkpoint, PersistError> {
         let mut r = Reader::new(body);
         let schema = DurableSchema::decode(&mut r)?;
+        let term = r.take_u64()?;
         let nstamps = r.take_u32()? as usize;
         let mut shard_stamps = Vec::with_capacity(nstamps);
         for _ in 0..nstamps {
@@ -79,11 +88,58 @@ impl Checkpoint {
         for _ in 0..n {
             tuples.push(wire::take_tuple(&mut r)?);
         }
+        r.expect_end().map_err(PersistError::Wire)?;
         Ok(Checkpoint {
             schema,
             shard_stamps,
+            term,
             tuples,
         })
+    }
+
+    /// Serializes the checkpoint as a complete self-checking file image
+    /// (magic + version + length + CRC + body) — the same bytes
+    /// [`write_checkpoint`] stages, reused verbatim as a replication
+    /// catch-up payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let body = self.encode();
+        let mut out = Vec::with_capacity(body.len() + 24);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decodes a complete checkpoint image produced by
+    /// [`Checkpoint::to_bytes`] (or read raw from `checkpoint.bin`),
+    /// validating magic, version, length and checksum.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Corrupt`] on bad magic/version/length/checksum,
+    /// [`PersistError::Wire`] on a body decode failure.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, PersistError> {
+        if bytes.len() < 24 || &bytes[..8] != MAGIC {
+            return Err(PersistError::Corrupt("checkpoint magic mismatch".into()));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(PersistError::Corrupt(format!(
+                "checkpoint version {version} unsupported"
+            )));
+        }
+        let len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
+        if bytes.len() - 24 < len {
+            return Err(PersistError::Corrupt("checkpoint body truncated".into()));
+        }
+        let body = &bytes[24..24 + len];
+        if crc32(body) != crc {
+            return Err(PersistError::Corrupt("checkpoint checksum mismatch".into()));
+        }
+        Checkpoint::decode(body)
     }
 }
 
@@ -95,13 +151,7 @@ impl Checkpoint {
 ///
 /// [`std::io::Error`] from any file operation.
 pub fn write_checkpoint(dir: &Path, ck: &Checkpoint) -> std::io::Result<()> {
-    let body = ck.encode();
-    let mut out = Vec::with_capacity(body.len() + 24);
-    out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
-    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
-    out.extend_from_slice(&crc32(&body).to_le_bytes());
-    out.extend_from_slice(&body);
+    let out = ck.to_bytes();
     let tmp = dir.join(CHECKPOINT_TMP);
     {
         let mut f = File::create(&tmp)?;
@@ -119,37 +169,28 @@ pub fn write_checkpoint(dir: &Path, ck: &Checkpoint) -> std::io::Result<()> {
 /// an error if one exists but is unreadable (rename atomicity makes this
 /// genuine corruption, not a crash artifact).
 ///
+/// A leftover `checkpoint.tmp` — a crash landed between the sidecar write
+/// and the atomic rename — is deleted here and never consulted: only the
+/// renamed `checkpoint.bin` is ever a source of truth, so the orphan is
+/// garbage by construction, and leaving it around would let a *later*
+/// crash-recovery sequence mistake a stale image for a fresh one.
+///
 /// # Errors
 ///
 /// [`PersistError::Corrupt`] on bad magic/version/length/checksum,
 /// [`PersistError::Wire`] on a decode failure, [`PersistError::Io`] on
 /// read failures other than the file being absent.
 pub fn read_checkpoint(dir: &Path) -> Result<Option<Checkpoint>, PersistError> {
+    match std::fs::remove_file(dir.join(CHECKPOINT_TMP)) {
+        Ok(()) | Err(_) => {} // best effort: absence is the common case
+    }
     let path = dir.join(CHECKPOINT_FILE);
     let bytes = match std::fs::read(&path) {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e.into()),
     };
-    if bytes.len() < 24 || &bytes[..8] != MAGIC {
-        return Err(PersistError::Corrupt("checkpoint magic mismatch".into()));
-    }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-    if version != VERSION {
-        return Err(PersistError::Corrupt(format!(
-            "checkpoint version {version} unsupported"
-        )));
-    }
-    let len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
-    let crc = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
-    if bytes.len() - 24 < len {
-        return Err(PersistError::Corrupt("checkpoint body truncated".into()));
-    }
-    let body = &bytes[24..24 + len];
-    if crc32(body) != crc {
-        return Err(PersistError::Corrupt("checkpoint checksum mismatch".into()));
-    }
-    Checkpoint::decode(body).map(Some)
+    Checkpoint::from_bytes(&bytes).map(Some)
 }
 
 #[cfg(test)]
@@ -179,6 +220,7 @@ mod tests {
                 catalog: cat,
             },
             shard_stamps: vec![7, 9],
+            term: 3,
             tuples,
         }
     }

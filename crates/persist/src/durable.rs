@@ -48,7 +48,7 @@
 //! the log prefix the checkpoint covers.
 
 use crate::checkpoint::{read_checkpoint, write_checkpoint, Checkpoint};
-use crate::wal::{read_wal, GroupCommitPolicy, Wal, WalRecord};
+use crate::wal::{read_wal, GroupCommitPolicy, TailRead, Wal, WalRecord};
 use crate::{DurableSchema, PersistError};
 use relic_concurrent::{ConcurrentRelation, ReadHandle, ReadView};
 use relic_core::wire::WireError;
@@ -123,7 +123,7 @@ impl DurableRelation {
             decomposition_src: d.to_let_notation(cat),
             fd_checking,
         };
-        let wal = Wal::create(&dir.join(WAL_FILE), policy, &schema, 0)?;
+        let wal = Wal::create(&dir.join(WAL_FILE), policy, &schema, 0, 0)?;
         Ok(DurableRelation {
             rel,
             wal,
@@ -156,6 +156,7 @@ impl DurableRelation {
         let wal_path = dir.join(WAL_FILE);
         let ck = read_checkpoint(dir)?;
         let scanned = read_wal(&wal_path)?;
+        let term = scanned.term.max(ck.as_ref().map_or(0, |c| c.term));
         let (schema, mut w) = match (&ck, &scanned.meta) {
             (Some(ck), _) => {
                 if ck.shard_stamps.len() != ck.schema.shards as usize {
@@ -212,15 +213,15 @@ impl DurableRelation {
             .max(w.iter().copied().max().unwrap_or(0));
         for e in &scanned.entries {
             max_seq = max_seq.max(e.seq);
-            Self::replay_entry(&rel, &schema, &mut w, e.seq, &e.record)?;
+            replay_record(&rel, &schema, &mut w, e.seq, &e.record)?;
         }
         // Reopen for appending. If the log's own meta was unreadable (the
         // checkpoint carried us), start a fresh self-describing log instead
         // of appending to a headerless file.
         let wal = if scanned.meta.is_some() {
-            Wal::open_for_append(&wal_path, policy, max_seq + 1, scanned.valid_len)?
+            Wal::open_for_append(&wal_path, policy, max_seq + 1, scanned.valid_len, term)?
         } else {
-            Wal::create(&wal_path, policy, &schema, max_seq)?
+            Wal::create(&wal_path, policy, &schema, max_seq, term)?
         };
         Ok(DurableRelation {
             rel,
@@ -234,152 +235,12 @@ impl DurableRelation {
         })
     }
 
-    /// Applies one logged record during recovery, respecting the per-shard
-    /// watermarks `w` (a record reaches a shard only if its sequence
-    /// number exceeds the shard's watermark). Operation-level errors are
-    /// swallowed: they re-occur exactly as they did live, where the record
-    /// was logged but the operation returned the error to the caller.
-    fn replay_entry(
-        rel: &ConcurrentRelation,
-        schema: &DurableSchema,
-        w: &mut [u64],
-        seq: u64,
-        rec: &WalRecord,
-    ) -> Result<(), PersistError> {
-        match rec {
-            // `read_wal` only surfaces a meta record at offset 0, which is
-            // filtered into `ScannedWal::meta`, never into the entries.
-            WalRecord::Meta { .. } => {}
-            WalRecord::Insert(t) => {
-                let i = rel.owning_shard(t);
-                if w[i] < seq {
-                    rel.with_shard_mut_stamped(i, |s| {
-                        let _ = s.insert(t.clone());
-                        ((), Some(seq))
-                    });
-                    w[i] = seq;
-                }
-            }
-            WalRecord::Remove(pat) => {
-                if schema.shard_cols.is_subset(pat.dom()) {
-                    let i = rel.owning_shard(pat);
-                    if w[i] < seq {
-                        rel.with_shard_mut_stamped(i, |s| {
-                            let _ = s.remove(pat);
-                            ((), Some(seq))
-                        });
-                        w[i] = seq;
-                    }
-                } else {
-                    // Unpinned: every shard not yet past this record, in
-                    // index order, stopping at the first (deterministic)
-                    // error exactly as the live loop did.
-                    for (i, wi) in w.iter_mut().enumerate() {
-                        if *wi < seq {
-                            let ok = rel
-                                .with_shard_mut_stamped(i, |s| (s.remove(pat).is_ok(), Some(seq)));
-                            *wi = seq;
-                            if !ok {
-                                break;
-                            }
-                        }
-                    }
-                }
-            }
-            WalRecord::InsertMany(ts) | WalRecord::BulkLoad(ts) => {
-                let Some(first) = ts.first() else {
-                    return Ok(());
-                };
-                let bulk = matches!(rec, WalRecord::BulkLoad(_));
-                let i = rel.owning_shard(first);
-                if w[i] < seq {
-                    rel.with_shard_mut_stamped(i, |s| {
-                        let _ = if bulk {
-                            s.bulk_load(ts.iter().cloned())
-                        } else {
-                            s.insert_many(ts.iter().cloned())
-                        };
-                        ((), Some(seq))
-                    });
-                    w[i] = seq;
-                }
-            }
-            WalRecord::RemoveMany(pats) => {
-                for (i, wi) in w.iter_mut().enumerate() {
-                    if *wi < seq {
-                        let ok = rel.with_shard_mut_stamped(i, |s| {
-                            (s.remove_many(pats.iter()).is_ok(), Some(seq))
-                        });
-                        *wi = seq;
-                        if !ok {
-                            break;
-                        }
-                    }
-                }
-            }
-            WalRecord::Txn(ops) => {
-                // Every sub-operation of a partition critical section pins
-                // the same shard; route by the first one.
-                let Some(i) = ops.first().map(|op| match op {
-                    WalRecord::Insert(t) | WalRecord::Remove(t) => rel.owning_shard(t),
-                    _ => 0,
-                }) else {
-                    return Ok(());
-                };
-                if w[i] < seq {
-                    rel.with_shard_mut_stamped(i, |s| {
-                        for op in ops {
-                            match op {
-                                WalRecord::Insert(t) => {
-                                    let _ = s.insert(t.clone());
-                                }
-                                WalRecord::Remove(pat) => {
-                                    let _ = s.remove(pat);
-                                }
-                                // Only single-tuple writes are ever logged
-                                // inside a transaction.
-                                _ => {}
-                            }
-                        }
-                        ((), Some(seq))
-                    });
-                    w[i] = seq;
-                }
-            }
-            WalRecord::MigrationEpoch(src) => {
-                // Migration publishes are seqlock-atomic across a view, so
-                // a checkpoint's watermarks sit entirely on one side of
-                // every marker.
-                if w.iter().all(|&x| x >= seq) {
-                    return Ok(());
-                }
-                if !w.iter().all(|&x| x < seq) {
-                    return Err(PersistError::Corrupt(
-                        "migration marker straddles the checkpoint's shard watermarks".into(),
-                    ));
-                }
-                let mut cat = schema.catalog.clone();
-                let d = relic_decomp::parse(&mut cat, src)
-                    .map_err(|e| PersistError::Wire(WireError::Decomposition(e.to_string())))?;
-                if rel.migrate_to_stamped(d, || seq).is_ok() {
-                    for x in w.iter_mut() {
-                        *x = seq;
-                    }
-                }
-                // On failure the live migration failed too, published
-                // nothing and stamped nothing — leave the watermarks alone.
-            }
-        }
-        Ok(())
-    }
-
     // -- mutations (all logged) ---------------------------------------------
 
     /// Does this pattern pin the shard columns?
     fn pins(&self, dom: ColSet) -> bool {
         self.shard_cols.is_subset(dom)
     }
-
     /// Durable `insert`: logs and applies under the owning shard's lock.
     ///
     /// # Errors
@@ -645,6 +506,7 @@ impl DurableRelation {
         let ck = Checkpoint {
             schema: schema.clone(),
             shard_stamps: shard_stamps.clone(),
+            term: self.wal.term(),
             tuples,
         };
         write_checkpoint(&self.dir, &ck)?;
@@ -656,6 +518,80 @@ impl DurableRelation {
     /// The highest log sequence number known durable.
     pub fn durable_seq(&self) -> u64 {
         self.wal.durable_seq()
+    }
+
+    // -- replication hooks --------------------------------------------------
+
+    /// The current replication term (0 until a promotion ever happens).
+    pub fn term(&self) -> u64 {
+        self.wal.term()
+    }
+
+    /// The current log segment's base sequence number: shipping cursors at
+    /// or past it can be served from the log; older cursors need a
+    /// checkpoint.
+    pub fn base_seq(&self) -> u64 {
+        self.wal.base_seq()
+    }
+
+    /// Seals the log under `new_term`: appends a durable
+    /// [`WalRecord::TermBump`] and group-commits it, so by the time this
+    /// returns the relation is fenced against every older term. Promotion
+    /// calls this before accepting its first write.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Corrupt`] if `new_term` does not exceed the current
+    /// term; [`PersistError::Io`] if the commit fails.
+    pub fn bump_term(&self, new_term: u64) -> Result<u64, PersistError> {
+        let seq = self.wal.bump_term(new_term)?;
+        self.wal.commit()?;
+        Ok(seq)
+    }
+
+    /// Reads the raw bytes of committed log frames with sequence numbers in
+    /// `(after, durable_seq]` (bounded to roughly `max_bytes` per call) —
+    /// the primary-side shipping read. See [`Wal::committed_frames_after`].
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] if the log file cannot be read.
+    pub fn committed_frames_after(
+        &self,
+        after: u64,
+        max_bytes: usize,
+    ) -> Result<TailRead, PersistError> {
+        Ok(self.wal.committed_frames_after(after, max_bytes)?)
+    }
+
+    /// The relation's rebuild description as of the *published* state —
+    /// catalog, spec, sharding, FD mode and the currently published
+    /// decomposition identity.
+    pub fn durable_schema(&self) -> DurableSchema {
+        let view = self.rel.read_view();
+        DurableSchema {
+            catalog: self.cat.clone(),
+            spec: self.spec.clone(),
+            shard_cols: self.shard_cols,
+            shards: self.shards as u32,
+            decomposition_src: view.shard(0).decomposition().to_let_notation(&self.cat),
+            fd_checking: self.fd_checking,
+        }
+    }
+
+    /// The raw bytes of the latest durable checkpoint image, or `None` if
+    /// no checkpoint has ever been written — shipped verbatim to
+    /// bootstrapping followers.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on a read failure other than absence.
+    pub fn checkpoint_bytes(&self) -> Result<Option<Vec<u8>>, PersistError> {
+        match std::fs::read(self.dir.join(crate::checkpoint::CHECKPOINT_FILE)) {
+            Ok(b) => Ok(Some(b)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
     }
 
     // -- reads (unlogged, unchanged from the underlying relation) -----------
@@ -726,6 +662,158 @@ impl DurableRelation {
     pub fn to_relation(&self) -> Relation {
         self.rel.to_relation()
     }
+}
+
+/// Applies one logged record to `rel`, respecting the per-shard watermarks
+/// `w` (a record reaches a shard only if its sequence number exceeds the
+/// shard's watermark, and stamps the shard's publish with that sequence
+/// number). Operation-level errors are swallowed: they re-occur exactly as
+/// they did live, where the record was logged but the operation returned
+/// the error to the caller.
+///
+/// This is the single replay routine shared by crash recovery
+/// ([`DurableRelation::open`]) and replication followers, which apply
+/// shipped frames through it one at a time — the exactness argument (state
+/// = logged prefix, per shard) is therefore identical on both paths.
+///
+/// # Errors
+///
+/// [`PersistError::Corrupt`] if a migration marker straddles the
+/// watermarks; [`PersistError::Wire`] if a logged decomposition fails to
+/// re-parse.
+pub fn replay_record(
+    rel: &ConcurrentRelation,
+    schema: &DurableSchema,
+    w: &mut [u64],
+    seq: u64,
+    rec: &WalRecord,
+) -> Result<(), PersistError> {
+    match rec {
+        // `read_wal` only surfaces a meta record at offset 0, which is
+        // filtered into `ScannedWal::meta`, never into the entries. A
+        // term bump carries no state; the caller tracks the term itself.
+        WalRecord::Meta { .. } | WalRecord::TermBump(_) => {}
+        WalRecord::Insert(t) => {
+            let i = rel.owning_shard(t);
+            if w[i] < seq {
+                rel.with_shard_mut_stamped(i, |s| {
+                    let _ = s.insert(t.clone());
+                    ((), Some(seq))
+                });
+                w[i] = seq;
+            }
+        }
+        WalRecord::Remove(pat) => {
+            if schema.shard_cols.is_subset(pat.dom()) {
+                let i = rel.owning_shard(pat);
+                if w[i] < seq {
+                    rel.with_shard_mut_stamped(i, |s| {
+                        let _ = s.remove(pat);
+                        ((), Some(seq))
+                    });
+                    w[i] = seq;
+                }
+            } else {
+                // Unpinned: every shard not yet past this record, in
+                // index order, stopping at the first (deterministic)
+                // error exactly as the live loop did.
+                for (i, wi) in w.iter_mut().enumerate() {
+                    if *wi < seq {
+                        let ok =
+                            rel.with_shard_mut_stamped(i, |s| (s.remove(pat).is_ok(), Some(seq)));
+                        *wi = seq;
+                        if !ok {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        WalRecord::InsertMany(ts) | WalRecord::BulkLoad(ts) => {
+            let Some(first) = ts.first() else {
+                return Ok(());
+            };
+            let bulk = matches!(rec, WalRecord::BulkLoad(_));
+            let i = rel.owning_shard(first);
+            if w[i] < seq {
+                rel.with_shard_mut_stamped(i, |s| {
+                    let _ = if bulk {
+                        s.bulk_load(ts.iter().cloned())
+                    } else {
+                        s.insert_many(ts.iter().cloned())
+                    };
+                    ((), Some(seq))
+                });
+                w[i] = seq;
+            }
+        }
+        WalRecord::RemoveMany(pats) => {
+            for (i, wi) in w.iter_mut().enumerate() {
+                if *wi < seq {
+                    let ok = rel.with_shard_mut_stamped(i, |s| {
+                        (s.remove_many(pats.iter()).is_ok(), Some(seq))
+                    });
+                    *wi = seq;
+                    if !ok {
+                        break;
+                    }
+                }
+            }
+        }
+        WalRecord::Txn(ops) => {
+            // Every sub-operation of a partition critical section pins
+            // the same shard; route by the first one.
+            let Some(i) = ops.first().map(|op| match op {
+                WalRecord::Insert(t) | WalRecord::Remove(t) => rel.owning_shard(t),
+                _ => 0,
+            }) else {
+                return Ok(());
+            };
+            if w[i] < seq {
+                rel.with_shard_mut_stamped(i, |s| {
+                    for op in ops {
+                        match op {
+                            WalRecord::Insert(t) => {
+                                let _ = s.insert(t.clone());
+                            }
+                            WalRecord::Remove(pat) => {
+                                let _ = s.remove(pat);
+                            }
+                            // Only single-tuple writes are ever logged
+                            // inside a transaction.
+                            _ => {}
+                        }
+                    }
+                    ((), Some(seq))
+                });
+                w[i] = seq;
+            }
+        }
+        WalRecord::MigrationEpoch(src) => {
+            // Migration publishes are seqlock-atomic across a view, so
+            // a checkpoint's watermarks sit entirely on one side of
+            // every marker.
+            if w.iter().all(|&x| x >= seq) {
+                return Ok(());
+            }
+            if !w.iter().all(|&x| x < seq) {
+                return Err(PersistError::Corrupt(
+                    "migration marker straddles the checkpoint's shard watermarks".into(),
+                ));
+            }
+            let mut cat = schema.catalog.clone();
+            let d = relic_decomp::parse(&mut cat, src)
+                .map_err(|e| PersistError::Wire(WireError::Decomposition(e.to_string())))?;
+            if rel.migrate_to_stamped(d, || seq).is_ok() {
+                for x in w.iter_mut() {
+                    *x = seq;
+                }
+            }
+            // On failure the live migration failed too, published
+            // nothing and stamped nothing — leave the watermarks alone.
+        }
+    }
+    Ok(())
 }
 
 /// Logged exclusive access to one partition, handed to

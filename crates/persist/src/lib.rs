@@ -56,8 +56,11 @@ pub mod durable;
 pub mod wal;
 
 pub use checkpoint::{read_checkpoint, write_checkpoint, Checkpoint};
-pub use durable::{DurablePartition, DurableRelation};
-pub use wal::{read_wal, GroupCommitPolicy, ScannedWal, Wal, WalEntry, WalRecord};
+pub use durable::{replay_record, DurablePartition, DurableRelation};
+pub use wal::{
+    crc32, decode_frame, read_wal, GroupCommitPolicy, ScannedWal, TailRead, Wal, WalEntry,
+    WalRecord,
+};
 
 use relic_concurrent::ConcurrentBuildError;
 use relic_core::wire::{self, WireError};

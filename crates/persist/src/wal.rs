@@ -43,9 +43,9 @@ use crate::{DurableSchema, PersistError};
 use relic_core::wire::{self, Reader};
 use relic_spec::Tuple;
 use std::fs::{File, OpenOptions};
-use std::io::{Seek, SeekFrom, Write};
+use std::io::{Read as _, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// IEEE CRC-32 (reflected, polynomial `0xEDB88320`), table-driven.
 const fn crc32_table() -> [u32; 256] {
@@ -95,6 +95,7 @@ const KIND_BULK_LOAD: u8 = 4;
 const KIND_REMOVE_MANY: u8 = 5;
 const KIND_MIGRATION: u8 = 6;
 const KIND_TXN: u8 = 7;
+const KIND_TERM: u8 = 8;
 
 /// One logged operation.
 #[derive(Debug, Clone, PartialEq)]
@@ -108,6 +109,11 @@ pub enum WalRecord {
         /// Records in this file have sequence numbers strictly greater
         /// than this.
         base_seq: u64,
+        /// The replication term the log was sealed under (0 for an
+        /// unreplicated relation). Rotation re-stamps the current term so
+        /// it survives prefix truncation even when the
+        /// [`TermBump`](WalRecord::TermBump) record that set it is dropped.
+        term: u64,
     },
     /// One full-tuple insert.
     Insert(Tuple),
@@ -129,6 +135,12 @@ pub enum WalRecord {
     /// sequence is crash-atomic: a torn tail drops the entire RMW or none
     /// of it, never a remove without its re-insert.
     Txn(Vec<WalRecord>),
+    /// A replication term bump: written by a promoted follower when it
+    /// seals its log and starts accepting writes. Replay treats it as a
+    /// state no-op but remembers the new term; shipping it in sequence is
+    /// how followers learn — durably and in frame order — that leadership
+    /// changed, which is what fences stale primaries at apply time.
+    TermBump(u64),
 }
 
 impl WalRecord {
@@ -142,13 +154,19 @@ impl WalRecord {
             WalRecord::RemoveMany(_) => KIND_REMOVE_MANY,
             WalRecord::MigrationEpoch(_) => KIND_MIGRATION,
             WalRecord::Txn(_) => KIND_TXN,
+            WalRecord::TermBump(_) => KIND_TERM,
         }
     }
 
     fn encode_body(&self, out: &mut Vec<u8>) {
         match self {
-            WalRecord::Meta { schema, base_seq } => {
+            WalRecord::Meta {
+                schema,
+                base_seq,
+                term,
+            } => {
                 wire::put_u64(out, *base_seq);
+                wire::put_u64(out, *term);
                 schema.encode(out);
             }
             WalRecord::Insert(t) | WalRecord::Remove(t) => wire::put_tuple(out, t),
@@ -167,6 +185,7 @@ impl WalRecord {
                     op.encode_body(out);
                 }
             }
+            WalRecord::TermBump(term) => wire::put_u64(out, *term),
         }
     }
 
@@ -174,8 +193,13 @@ impl WalRecord {
         Ok(match kind {
             KIND_META => {
                 let base_seq = r.take_u64()?;
+                let term = r.take_u64()?;
                 let schema = DurableSchema::decode(r)?;
-                WalRecord::Meta { schema, base_seq }
+                WalRecord::Meta {
+                    schema,
+                    base_seq,
+                    term,
+                }
             }
             KIND_INSERT => WalRecord::Insert(wire::take_tuple(r)?),
             KIND_REMOVE => WalRecord::Remove(wire::take_tuple(r)?),
@@ -196,6 +220,7 @@ impl WalRecord {
                 }
                 WalRecord::Txn(ops)
             }
+            KIND_TERM => WalRecord::TermBump(r.take_u64()?),
             t => return Err(wire::WireError::BadTag(t)),
         })
     }
@@ -279,6 +304,10 @@ pub struct ScannedWal {
     /// The log's schema + base sequence, if the leading meta record is
     /// intact.
     pub meta: Option<(DurableSchema, u64)>,
+    /// The replication term in force at the end of the valid prefix: the
+    /// meta record's term, superseded by any
+    /// [`WalRecord::TermBump`] further in.
+    pub term: u64,
     /// The decoded operation records of the valid prefix.
     pub entries: Vec<WalEntry>,
     /// Bytes of the longest valid frame prefix (everything after is torn
@@ -299,14 +328,23 @@ pub fn read_wal(path: &Path) -> Result<ScannedWal, PersistError> {
     let bytes = std::fs::read(path)?;
     let (frames, valid_len) = scan_frames(&bytes);
     let mut meta = None;
+    let mut term = 0u64;
     let mut entries = Vec::with_capacity(frames.len());
     for f in &frames {
         let payload = &bytes[f.start + HEADER + 8..f.end];
         let mut r = Reader::new(payload);
         let kind = r.take_u8().expect("scanner verified the prefix");
         let record = WalRecord::decode(kind, &mut r)?;
+        // A checksum-valid frame with leftover bytes is corruption (or a
+        // newer writer), not slack to ignore — fail with a typed error.
+        r.expect_end()?;
         match record {
-            WalRecord::Meta { schema, base_seq } if f.start == 0 => {
+            WalRecord::Meta {
+                schema,
+                base_seq,
+                term: t,
+            } if f.start == 0 => {
+                term = term.max(t);
                 meta = Some((schema, base_seq));
             }
             WalRecord::Meta { .. } => {
@@ -314,19 +352,63 @@ pub fn read_wal(path: &Path) -> Result<ScannedWal, PersistError> {
                     "meta record not at the start of the log".into(),
                 ))
             }
-            record => entries.push(WalEntry {
-                seq: f.seq,
-                record,
-                start: f.start as u64,
-                end: f.end as u64,
-            }),
+            record => {
+                if let WalRecord::TermBump(t) = &record {
+                    term = term.max(*t);
+                }
+                entries.push(WalEntry {
+                    seq: f.seq,
+                    record,
+                    start: f.start as u64,
+                    end: f.end as u64,
+                });
+            }
         }
     }
     Ok(ScannedWal {
         meta,
+        term,
         entries,
         valid_len: valid_len as u64,
     })
+}
+
+/// Decodes one complete shipped frame (`len | crc | payload`) into its
+/// sequence number and record, validating the length, the checksum, and
+/// that the payload has no trailing bytes.
+///
+/// This is the follower-side twin of the scanner: replication transports
+/// hand frames around as opaque byte blobs, and every blob is re-verified
+/// here before it is applied or appended to a local log.
+///
+/// # Errors
+///
+/// [`PersistError::Corrupt`] for a short frame, length mismatch, or
+/// checksum failure; [`PersistError::Wire`] if the payload fails to decode
+/// or has trailing bytes.
+pub fn decode_frame(bytes: &[u8]) -> Result<(u64, WalRecord), PersistError> {
+    if bytes.len() < HEADER + PAYLOAD_PREFIX {
+        return Err(PersistError::Corrupt("frame shorter than header".into()));
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if len != bytes.len() - HEADER {
+        return Err(PersistError::Corrupt(format!(
+            "frame length {} disagrees with payload size {}",
+            len,
+            bytes.len() - HEADER
+        )));
+    }
+    let payload = &bytes[HEADER..];
+    if crc32(payload) != crc {
+        return Err(PersistError::Corrupt("frame checksum mismatch".into()));
+    }
+    let mut r = Reader::new(payload);
+    let seq = r.take_u64().map_err(PersistError::Wire)?;
+    let kind = r.take_u8().map_err(PersistError::Wire)?;
+    let record = WalRecord::decode(kind, &mut r)?;
+    r.expect_end()?;
+    Ok((seq, record))
 }
 
 /// When the in-memory segment is flushed without an explicit
@@ -369,6 +451,30 @@ impl GroupCommitPolicy {
     }
 }
 
+/// The byte range of one frame in the log file, kept in memory so shipping
+/// reads never rescan the file.
+#[derive(Debug, Clone, Copy)]
+struct FrameLoc {
+    seq: u64,
+    kind: u8,
+    start: u64,
+    end: u64,
+}
+
+/// Committed frames fetched for shipping ([`Wal::committed_frames_after`]).
+#[derive(Debug)]
+pub enum TailRead {
+    /// The raw bytes of each frame with sequence numbers consecutively
+    /// following the requested cursor (possibly empty: caught up).
+    Frames(Vec<Vec<u8>>),
+    /// The cursor predates this log's base — rotation discarded the prefix.
+    /// The fetcher must catch up from a checkpoint at or past `base_seq`.
+    Truncated {
+        /// The current log segment's base sequence number.
+        base_seq: u64,
+    },
+}
+
 #[derive(Debug)]
 struct WalInner {
     file: File,
@@ -379,6 +485,17 @@ struct WalInner {
     next_seq: u64,
     /// Highest sequence number synced to disk.
     durable_seq: u64,
+    /// The current replication term (see [`WalRecord::TermBump`]).
+    term: u64,
+    /// The current segment's base: frames in the file have `seq > base_seq`
+    /// except the leading meta frame (whose seq *is* `base_seq`).
+    base_seq: u64,
+    /// Durable bytes in the file (pending buffered frames sit past this).
+    file_len: u64,
+    /// Byte locations of every frame, durable or pending (pending entries
+    /// describe where the frame *will* land once flushed). Rebuilt on
+    /// rotation.
+    index: Vec<FrameLoc>,
 }
 
 /// The write-ahead log handle. All methods are `&self`; the single
@@ -393,10 +510,20 @@ pub struct Wal {
 }
 
 impl Wal {
+    /// Locks the log state, recovering from a poisoned mutex: every
+    /// critical section leaves `inner` structurally consistent before any
+    /// fallible step (I/O errors are returned, not panicked), and the
+    /// frame checksums catch anything a panicking writer could have left
+    /// half-framed — so a serving loop degrades to an I/O error instead of
+    /// cascading panics across threads.
+    fn lock(&self) -> MutexGuard<'_, WalInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Creates a fresh log at `path` (truncating any existing file) whose
-    /// leading meta record carries `schema` and `base_seq`. The meta record
-    /// is written and synced immediately, so the log is self-describing
-    /// from the first byte.
+    /// leading meta record carries `schema`, `base_seq` and `term`. The
+    /// meta record is written and synced immediately, so the log is
+    /// self-describing from the first byte.
     ///
     /// # Errors
     ///
@@ -406,6 +533,7 @@ impl Wal {
         policy: GroupCommitPolicy,
         schema: &DurableSchema,
         base_seq: u64,
+        term: u64,
     ) -> std::io::Result<Wal> {
         let mut file = OpenOptions::new()
             .read(true)
@@ -420,10 +548,17 @@ impl Wal {
             &WalRecord::Meta {
                 schema: schema.clone(),
                 base_seq,
+                term,
             },
         );
         file.write_all(&buf)?;
         file.sync_data()?;
+        let index = vec![FrameLoc {
+            seq: base_seq,
+            kind: KIND_META,
+            start: 0,
+            end: buf.len() as u64,
+        }];
         Ok(Wal {
             path: path.to_path_buf(),
             policy,
@@ -433,13 +568,17 @@ impl Wal {
                 pending: 0,
                 next_seq: base_seq + 1,
                 durable_seq: base_seq,
+                term,
+                base_seq,
+                file_len: index[0].end,
+                index,
             }),
         })
     }
 
     /// Opens an existing log for appending: the file is truncated to
     /// `valid_len` (discarding any torn tail found by [`read_wal`]) and
-    /// appends continue at `next_seq`.
+    /// appends continue at `next_seq` under `term`.
     ///
     /// # Errors
     ///
@@ -449,9 +588,32 @@ impl Wal {
         policy: GroupCommitPolicy,
         next_seq: u64,
         valid_len: u64,
+        term: u64,
     ) -> std::io::Result<Wal> {
         let mut file = OpenOptions::new().read(true).write(true).open(path)?;
         file.set_len(valid_len)?;
+        file.seek(SeekFrom::Start(0))?;
+        let mut bytes = Vec::with_capacity(valid_len as usize);
+        file.read_to_end(&mut bytes)?;
+        let (frames, _) = scan_frames(&bytes);
+        let index: Vec<FrameLoc> = frames
+            .iter()
+            .map(|f| FrameLoc {
+                seq: f.seq,
+                kind: f.kind,
+                start: f.start as u64,
+                end: f.end as u64,
+            })
+            .collect();
+        let base_seq = index
+            .iter()
+            .find(|l| l.kind == KIND_META)
+            .map(|l| l.seq)
+            .unwrap_or_else(|| {
+                index
+                    .first()
+                    .map_or(next_seq.saturating_sub(1), |l| l.seq.saturating_sub(1))
+            });
         file.seek(SeekFrom::End(0))?;
         file.sync_data()?;
         Ok(Wal {
@@ -463,6 +625,10 @@ impl Wal {
                 pending: 0,
                 next_seq,
                 durable_seq: next_seq.saturating_sub(1),
+                term,
+                base_seq,
+                file_len: valid_len,
+                index,
             }),
         })
     }
@@ -497,7 +663,7 @@ impl Wal {
     /// a payload written by `body` (which must emit `kind` byte + body,
     /// matching [`WalRecord::decode`]).
     fn append_with(&self, body: impl FnOnce(&mut Vec<u8>)) -> u64 {
-        let mut inner = self.inner.lock().expect("wal mutex poisoned");
+        let mut inner = self.lock();
         let seq = inner.next_seq;
         inner.next_seq += 1;
         let mut payload = Vec::with_capacity(64);
@@ -506,6 +672,13 @@ impl Wal {
         let mut header = [0u8; HEADER];
         header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
         header[4..].copy_from_slice(&crc32(&payload).to_le_bytes());
+        let start = inner.file_len + inner.buf.len() as u64;
+        inner.index.push(FrameLoc {
+            seq,
+            kind: payload[8],
+            start,
+            end: start + (HEADER + payload.len()) as u64,
+        });
         inner.buf.extend_from_slice(&header);
         inner.buf.extend_from_slice(&payload);
         inner.pending += 1;
@@ -516,6 +689,7 @@ impl Wal {
         if inner.pending > 0 {
             inner.file.write_all(&inner.buf)?;
             inner.file.sync_data()?;
+            inner.file_len += inner.buf.len() as u64;
             inner.buf.clear();
             inner.pending = 0;
             inner.durable_seq = inner.next_seq - 1;
@@ -530,7 +704,7 @@ impl Wal {
     ///
     /// [`std::io::Error`] from the write or fsync.
     pub fn maybe_commit(&self) -> std::io::Result<Option<u64>> {
-        let mut inner = self.inner.lock().expect("wal mutex poisoned");
+        let mut inner = self.lock();
         if inner.pending >= self.policy.max_records || inner.buf.len() >= self.policy.max_bytes {
             return Self::flush_locked(&mut inner).map(Some);
         }
@@ -544,18 +718,118 @@ impl Wal {
     ///
     /// [`std::io::Error`] from the write or fsync.
     pub fn commit(&self) -> std::io::Result<u64> {
-        let mut inner = self.inner.lock().expect("wal mutex poisoned");
+        let mut inner = self.lock();
         Self::flush_locked(&mut inner)
     }
 
     /// The highest sequence number known durable (synced).
     pub fn durable_seq(&self) -> u64 {
-        self.inner.lock().expect("wal mutex poisoned").durable_seq
+        self.lock().durable_seq
     }
 
     /// The next sequence number to be assigned.
     pub fn next_seq(&self) -> u64 {
-        self.inner.lock().expect("wal mutex poisoned").next_seq
+        self.lock().next_seq
+    }
+
+    /// The current segment's base sequence number (frames in the file have
+    /// strictly greater sequence numbers).
+    pub fn base_seq(&self) -> u64 {
+        self.lock().base_seq
+    }
+
+    /// The current replication term.
+    pub fn term(&self) -> u64 {
+        self.lock().term
+    }
+
+    /// Appends a [`WalRecord::TermBump`] to `new_term` and adopts it,
+    /// returning the record's sequence number. `new_term` must exceed the
+    /// current term (promotion only moves forward). The record is *not*
+    /// flushed — callers commit before acting on the new term, so a
+    /// promoted primary's fencing bump is durable before it accepts writes.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Corrupt`] if `new_term` does not exceed the current
+    /// term (a stale promoter lost the race).
+    pub fn bump_term(&self, new_term: u64) -> Result<u64, PersistError> {
+        let mut inner = self.lock();
+        if new_term <= inner.term {
+            return Err(PersistError::Corrupt(format!(
+                "term bump to {new_term} does not exceed current term {}",
+                inner.term
+            )));
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let mut frame = Vec::with_capacity(HEADER + PAYLOAD_PREFIX + 8);
+        encode_frame(&mut frame, seq, &WalRecord::TermBump(new_term));
+        let start = inner.file_len + inner.buf.len() as u64;
+        inner.index.push(FrameLoc {
+            seq,
+            kind: KIND_TERM,
+            start,
+            end: start + frame.len() as u64,
+        });
+        inner.buf.extend_from_slice(&frame);
+        inner.pending += 1;
+        inner.term = new_term;
+        Ok(seq)
+    }
+
+    /// Reads the raw bytes of committed frames with sequence numbers in
+    /// `(after, durable_seq]`, at most `max_bytes` of frames per call
+    /// (always at least one frame when any is due) — the shipping read used
+    /// by replication. The frames come back in sequence order, each blob a
+    /// complete checksummed frame.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] if the log file cannot be re-opened or read.
+    pub fn committed_frames_after(
+        &self,
+        after: u64,
+        max_bytes: usize,
+    ) -> std::io::Result<TailRead> {
+        let inner = self.lock();
+        if after < inner.base_seq {
+            return Ok(TailRead::Truncated {
+                base_seq: inner.base_seq,
+            });
+        }
+        let due: Vec<FrameLoc> = inner
+            .index
+            .iter()
+            .filter(|l| l.kind != KIND_META && l.seq > after && l.seq <= inner.durable_seq)
+            .copied()
+            .collect();
+        if due.is_empty() {
+            return Ok(TailRead::Frames(Vec::new()));
+        }
+        let mut take = Vec::new();
+        let mut total = 0usize;
+        for l in &due {
+            let sz = (l.end - l.start) as usize;
+            if !take.is_empty() && total + sz > max_bytes {
+                break;
+            }
+            take.push(*l);
+            total += sz;
+        }
+        // Consecutive seqs are contiguous bytes, so one read covers the
+        // whole batch. A fresh read handle leaves the append cursor alone.
+        let (lo, hi) = (take[0].start, take[take.len() - 1].end);
+        let mut rf = File::open(&self.path)?;
+        rf.seek(SeekFrom::Start(lo))?;
+        let mut bytes = vec![0u8; (hi - lo) as usize];
+        rf.read_exact(&mut bytes)?;
+        drop(inner);
+        let frames = take
+            .iter()
+            .map(|l| bytes[(l.start - lo) as usize..(l.end - lo) as usize].to_vec())
+            .collect();
+        Ok(TailRead::Frames(frames))
     }
 
     /// Truncates the log prefix after a checkpoint: keeps only frames with
@@ -569,22 +843,37 @@ impl Wal {
     ///
     /// [`std::io::Error`] from any of the file operations.
     pub fn rotate(&self, keep_after: u64, schema: &DurableSchema) -> std::io::Result<()> {
-        let mut inner = self.inner.lock().expect("wal mutex poisoned");
+        let mut inner = self.lock();
         Self::flush_locked(&mut inner)?;
         let bytes = std::fs::read(&self.path)?;
         let (frames, _) = scan_frames(&bytes);
         let mut out = Vec::with_capacity(bytes.len() / 2 + 128);
+        let mut index = Vec::with_capacity(frames.len() + 1);
         encode_frame(
             &mut out,
             keep_after,
             &WalRecord::Meta {
                 schema: schema.clone(),
                 base_seq: keep_after,
+                term: inner.term,
             },
         );
+        index.push(FrameLoc {
+            seq: keep_after,
+            kind: KIND_META,
+            start: 0,
+            end: out.len() as u64,
+        });
         for f in frames.iter().filter(|f| f.kind != KIND_META) {
             if f.seq > keep_after {
+                let start = out.len() as u64;
                 out.extend_from_slice(&bytes[f.start..f.end]);
+                index.push(FrameLoc {
+                    seq: f.seq,
+                    kind: f.kind,
+                    start,
+                    end: out.len() as u64,
+                });
             }
         }
         let tmp = self.path.with_extension("log.tmp");
@@ -597,6 +886,9 @@ impl Wal {
         let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
         file.seek(SeekFrom::End(0))?;
         inner.file = file;
+        inner.base_seq = keep_after;
+        inner.file_len = out.len() as u64;
+        inner.index = index;
         // Make the rename itself durable (best effort: not all platforms
         // allow opening a directory for sync).
         if let Some(dir) = self.path.parent() {
@@ -659,7 +951,7 @@ mod tests {
         let path = dir.join("wal.log");
         let s = schema();
         let cat = s.catalog.clone();
-        let wal = Wal::create(&path, GroupCommitPolicy::manual(), &s, 0).unwrap();
+        let wal = Wal::create(&path, GroupCommitPolicy::manual(), &s, 0, 0).unwrap();
         let recs = vec![
             WalRecord::Insert(tup(&cat, 1, 10)),
             WalRecord::Remove(tup(&cat, 1, 10)),
@@ -696,7 +988,7 @@ mod tests {
         let path = dir.join("wal.log");
         let s = schema();
         let cat = s.catalog.clone();
-        let wal = Wal::create(&path, GroupCommitPolicy::manual(), &s, 0).unwrap();
+        let wal = Wal::create(&path, GroupCommitPolicy::manual(), &s, 0, 0).unwrap();
         for i in 0..5i64 {
             wal.append(&WalRecord::Insert(tup(&cat, i, i * 10)));
         }
@@ -739,6 +1031,7 @@ mod tests {
             },
             &s,
             0,
+            0,
         )
         .unwrap();
         wal.append(&WalRecord::Insert(tup(&cat, 1, 1)));
@@ -756,7 +1049,7 @@ mod tests {
         let path = dir.join("wal.log");
         let s = schema();
         let cat = s.catalog.clone();
-        let wal = Wal::create(&path, GroupCommitPolicy::manual(), &s, 0).unwrap();
+        let wal = Wal::create(&path, GroupCommitPolicy::manual(), &s, 0, 0).unwrap();
         for i in 0..10i64 {
             wal.append(&WalRecord::Insert(tup(&cat, i, i)));
         }

@@ -1,0 +1,133 @@
+//! The checkpoint sidecar's crash window: a kill landing **between the
+//! sidecar write and the atomic rename** leaves an orphaned
+//! `checkpoint.tmp` next to (or instead of) the real `checkpoint.bin`.
+//! Recovery must never consult the orphan — even when it is a complete,
+//! checksummed image — and must clean it up on open so a later crash
+//! cannot resurrect it.
+
+use relic_persist::checkpoint::{CHECKPOINT_FILE, CHECKPOINT_TMP};
+use relic_persist::{Checkpoint, DurableRelation, GroupCommitPolicy};
+use relic_spec::{Catalog, ColId, RelSpec, Tuple, Value};
+use std::path::{Path, PathBuf};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("relic_ckwindow_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn setup(dir: &Path) -> (ColId, ColId, DurableRelation) {
+    let mut cat = Catalog::new();
+    let (k, v) = (cat.intern("k"), cat.intern("v"));
+    let spec = RelSpec::new(k | v).with_fd(k.set(), v.set());
+    let d = relic_decomp::parse(
+        &mut cat,
+        "let u : {k} . {v} = unit {v} in
+         let x : {} . {k,v} = {k} -[htable]-> u in x",
+    )
+    .unwrap();
+    let rel = DurableRelation::create(
+        dir,
+        &cat,
+        spec,
+        d,
+        k.set(),
+        2,
+        true,
+        GroupCommitPolicy::manual(),
+    )
+    .unwrap();
+    (k, v, rel)
+}
+
+fn ins(rel: &DurableRelation, k: ColId, v: ColId, key: i64, val: i64) {
+    rel.insert(Tuple::from_pairs([
+        (k, Value::from(key)),
+        (v, Value::from(val)),
+    ]))
+    .unwrap();
+}
+
+/// The crash window *after* a first successful checkpoint: the orphaned
+/// tmp is a complete valid image of a newer state, but the rename never
+/// happened, so recovery must use the old checkpoint + log tail — which
+/// reconstructs the same committed state — and delete the orphan.
+#[test]
+fn orphaned_tmp_next_to_a_real_checkpoint_is_ignored_and_cleaned() {
+    let dir = tmpdir("beside");
+    let (k, v, rel) = setup(&dir);
+    ins(&rel, k, v, 1, 10);
+    ins(&rel, k, v, 2, 20);
+    rel.commit().unwrap();
+    rel.checkpoint().unwrap();
+    ins(&rel, k, v, 3, 30);
+    rel.commit().unwrap();
+    let committed = rel.to_relation();
+    drop(rel);
+
+    // Simulate the kill mid-checkpoint: a complete, checksummed sidecar
+    // that was never renamed. (A *real* interrupted write is a prefix of
+    // this; the complete image is the adversarial extreme — the one case
+    // a naive "is the tmp readable?" recovery would wrongly trust.)
+    let real = std::fs::read(dir.join(CHECKPOINT_FILE)).unwrap();
+    let parsed = Checkpoint::from_bytes(&real).unwrap();
+    std::fs::write(dir.join(CHECKPOINT_TMP), parsed.to_bytes()).unwrap();
+
+    let recovered = DurableRelation::open(&dir, GroupCommitPolicy::manual()).unwrap();
+    assert_eq!(recovered.to_relation(), committed);
+    assert!(
+        !dir.join(CHECKPOINT_TMP).exists(),
+        "recovery cleans the orphaned sidecar"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The crash window on the *first ever* checkpoint: no `checkpoint.bin`
+/// exists yet, only the orphan. Recovery replays the full log from
+/// scratch exactly as if the checkpoint had never been attempted.
+#[test]
+fn orphaned_tmp_without_any_checkpoint_is_ignored_and_cleaned() {
+    let dir = tmpdir("alone");
+    let (k, v, rel) = setup(&dir);
+    ins(&rel, k, v, 7, 70);
+    ins(&rel, k, v, 8, 80);
+    rel.commit().unwrap();
+    let committed = rel.to_relation();
+    drop(rel);
+
+    assert!(!dir.join(CHECKPOINT_FILE).exists());
+    std::fs::write(dir.join(CHECKPOINT_TMP), b"partial checkpoint image").unwrap();
+
+    let recovered = DurableRelation::open(&dir, GroupCommitPolicy::manual()).unwrap();
+    assert_eq!(recovered.to_relation(), committed);
+    assert!(
+        !dir.join(CHECKPOINT_TMP).exists(),
+        "recovery cleans the orphaned sidecar"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A torn (prefix) tmp — the likeliest real crash artifact — is equally
+/// ignored, and the cleanup-then-recover sequence is idempotent across a
+/// second crash-reopen.
+#[test]
+fn torn_tmp_is_cleaned_idempotently() {
+    let dir = tmpdir("torn");
+    let (k, v, rel) = setup(&dir);
+    ins(&rel, k, v, 4, 40);
+    rel.commit().unwrap();
+    rel.checkpoint().unwrap();
+    let committed = rel.to_relation();
+    drop(rel);
+
+    let real = std::fs::read(dir.join(CHECKPOINT_FILE)).unwrap();
+    std::fs::write(dir.join(CHECKPOINT_TMP), &real[..real.len() / 2]).unwrap();
+
+    for _ in 0..2 {
+        let recovered = DurableRelation::open(&dir, GroupCommitPolicy::manual()).unwrap();
+        assert_eq!(recovered.to_relation(), committed);
+        assert!(!dir.join(CHECKPOINT_TMP).exists());
+        drop(recovered);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -93,7 +93,7 @@ fn model_apply(model: &mut Relation, key: ColSet, rec: &WalRecord) {
         true
     };
     match rec {
-        WalRecord::Meta { .. } => {}
+        WalRecord::Meta { .. } | WalRecord::TermBump(_) => {}
         WalRecord::Insert(t) => {
             let _ = insert_one(model, t);
         }

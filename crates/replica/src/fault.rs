@@ -1,0 +1,186 @@
+//! Scripted transport faults for the replication test harness.
+//!
+//! A [`FaultPlan`] is a set of **one-shot** faults that the in-process
+//! transport applies to shipped frame batches at the byte level — the
+//! same level a flaky network or a torn disk write would hit. Each fault
+//! fires at most once (the replication protocol must then *heal*: the
+//! follower detects the damage, discards it, and re-fetches), except for
+//! the kill fault, which is permanent by design — it models a crashed
+//! primary.
+
+/// One scripted transport fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Silently drop the shipped frame with this sequence number from its
+    /// batch (the follower sees a sequence gap).
+    DropFrame(u64),
+    /// Ship the frame with this sequence number twice, back to back (the
+    /// follower must recognize and skip the duplicate).
+    DupFrame(u64),
+    /// Swap the frame with this sequence number with the frame after it
+    /// in the same batch (out-of-order delivery).
+    ReorderFrames(u64),
+    /// Truncate the frame with this sequence number to its first `at`
+    /// bytes — a torn read/write at an arbitrary byte boundary. The
+    /// frame's checksum or length check must catch it.
+    TruncateFrame {
+        /// The target frame's sequence number.
+        seq: u64,
+        /// Bytes of the frame to keep (0 = the frame vanishes to an empty
+        /// blob).
+        at: usize,
+    },
+    /// After shipping a batch that contains this sequence number, the
+    /// primary is gone: every later request fails with
+    /// [`Disconnected`](crate::ReplicaError::Disconnected). Permanent.
+    KillPrimaryAfter(u64),
+}
+
+/// A scripted set of one-shot faults (see [`Fault`]).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    pending: Vec<Fault>,
+    killed: bool,
+}
+
+impl FaultPlan {
+    /// A plan with no faults: the transport is transparent.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan firing exactly the given faults, each at most once.
+    pub fn with(faults: impl IntoIterator<Item = Fault>) -> Self {
+        FaultPlan {
+            pending: faults.into_iter().collect(),
+            killed: false,
+        }
+    }
+
+    /// Has the kill fault fired (or [`kill_now`](FaultPlan::kill_now)
+    /// been called)?
+    pub fn is_killed(&self) -> bool {
+        self.killed
+    }
+
+    /// Kills the connection immediately, regardless of script.
+    pub fn kill_now(&mut self) {
+        self.killed = true;
+    }
+
+    /// Faults that have not fired yet.
+    pub fn pending(&self) -> &[Fault] {
+        &self.pending
+    }
+
+    /// Reads the sequence number out of a raw frame's bytes (offset 8,
+    /// after the `len | crc` header), if the frame is long enough to have
+    /// one.
+    pub fn frame_seq(frame: &[u8]) -> Option<u64> {
+        frame
+            .get(8..16)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Applies every due fault to a shipped batch, consuming the faults
+    /// that fire. Called by the transport on each `Frames` response
+    /// before it reaches the follower.
+    pub fn mangle(&mut self, frames: &mut Vec<Vec<u8>>) {
+        fn position(frames: &[Vec<u8>], target: u64) -> Option<usize> {
+            frames
+                .iter()
+                .position(|f| FaultPlan::frame_seq(f) == Some(target))
+        }
+        let mut fired = Vec::new();
+        for (fi, fault) in self.pending.iter().enumerate() {
+            match *fault {
+                Fault::DropFrame(seq) => {
+                    if let Some(i) = position(frames, seq) {
+                        frames.remove(i);
+                        fired.push(fi);
+                    }
+                }
+                Fault::DupFrame(seq) => {
+                    if let Some(i) = position(frames, seq) {
+                        let dup = frames[i].clone();
+                        frames.insert(i, dup);
+                        fired.push(fi);
+                    }
+                }
+                Fault::ReorderFrames(seq) => {
+                    if let Some(i) = position(frames, seq) {
+                        if i + 1 < frames.len() {
+                            frames.swap(i, i + 1);
+                            fired.push(fi);
+                        }
+                    }
+                }
+                Fault::TruncateFrame { seq, at } => {
+                    if let Some(i) = position(frames, seq) {
+                        frames[i].truncate(at);
+                        fired.push(fi);
+                    }
+                }
+                Fault::KillPrimaryAfter(seq) => {
+                    if position(frames, seq).is_some() {
+                        self.killed = true;
+                        fired.push(fi);
+                    }
+                }
+            }
+        }
+        for fi in fired.into_iter().rev() {
+            self.pending.remove(fi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(seq: u64) -> Vec<u8> {
+        let mut f = vec![0u8; 8];
+        f.extend_from_slice(&seq.to_le_bytes());
+        f.extend_from_slice(&[7; 4]);
+        f
+    }
+
+    #[test]
+    fn faults_fire_once_and_only_on_their_frame() {
+        let mut plan =
+            FaultPlan::with([Fault::DropFrame(5), Fault::TruncateFrame { seq: 6, at: 3 }]);
+        let mut batch = vec![frame(3), frame(4)];
+        plan.mangle(&mut batch);
+        assert_eq!(batch.len(), 2, "no target present: nothing fires");
+        assert_eq!(plan.pending().len(), 2);
+
+        let mut batch = vec![frame(5), frame(6), frame(7)];
+        plan.mangle(&mut batch);
+        assert_eq!(batch.len(), 2, "frame 5 dropped");
+        assert_eq!(batch[0].len(), 3, "frame 6 truncated to 3 bytes");
+        assert!(plan.pending().is_empty(), "both faults consumed");
+
+        let mut again = vec![frame(5), frame(6)];
+        plan.mangle(&mut again);
+        assert_eq!(again.len(), 2);
+        assert_eq!(again[1].len(), 20, "one-shot: no refire");
+    }
+
+    #[test]
+    fn dup_reorder_and_kill() {
+        let mut plan = FaultPlan::with([
+            Fault::DupFrame(1),
+            Fault::ReorderFrames(2),
+            Fault::KillPrimaryAfter(3),
+        ]);
+        let mut batch = vec![frame(1), frame(2), frame(3)];
+        plan.mangle(&mut batch);
+        let seqs: Vec<_> = batch
+            .iter()
+            .map(|f| FaultPlan::frame_seq(f).unwrap())
+            .collect();
+        assert_eq!(seqs, vec![1, 1, 3, 2], "dup of 1, then 2<->3 swapped");
+        assert!(plan.is_killed());
+    }
+}

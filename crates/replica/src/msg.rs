@@ -1,0 +1,246 @@
+//! The replication wire protocol: a pull-based request/response pair.
+//!
+//! Followers drive everything — the primary holds no per-follower state.
+//! Every message carries the sender's term so either side can detect that
+//! it has been superseded (see the crate docs on fencing). Messages are
+//! encoded with the same `relic_core::wire` primitives as the durable
+//! formats and every decode ends with an explicit
+//! [`expect_end`](relic_core::wire::Reader::expect_end): trailing bytes
+//! are a typed error, never silently ignored.
+
+use crate::ReplicaError;
+use relic_core::wire::{self, Reader};
+
+const REQ_FETCH: u8 = 1;
+const REQ_FETCH_CHECKPOINT: u8 = 2;
+
+const RESP_FRAMES: u8 = 1;
+const RESP_TRUNCATED: u8 = 2;
+const RESP_CHECKPOINT: u8 = 3;
+const RESP_FENCED: u8 = 4;
+
+/// A follower-to-primary request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Ship committed log frames with sequence numbers past `after`.
+    Fetch {
+        /// The follower's current term.
+        term: u64,
+        /// The follower's durably-applied cursor.
+        after: u64,
+    },
+    /// Ship the latest durable checkpoint image (bootstrap / re-sync).
+    FetchCheckpoint {
+        /// The follower's current term.
+        term: u64,
+    },
+}
+
+impl Request {
+    /// Serializes the request.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24);
+        match self {
+            Request::Fetch { term, after } => {
+                out.push(REQ_FETCH);
+                wire::put_u64(&mut out, *term);
+                wire::put_u64(&mut out, *after);
+            }
+            Request::FetchCheckpoint { term } => {
+                out.push(REQ_FETCH_CHECKPOINT);
+                wire::put_u64(&mut out, *term);
+            }
+        }
+        out
+    }
+
+    /// Deserializes a request, rejecting unknown tags and trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::Wire`] on any malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Request, ReplicaError> {
+        let mut r = Reader::new(bytes);
+        let req = match r.take_u8()? {
+            REQ_FETCH => Request::Fetch {
+                term: r.take_u64()?,
+                after: r.take_u64()?,
+            },
+            REQ_FETCH_CHECKPOINT => Request::FetchCheckpoint {
+                term: r.take_u64()?,
+            },
+            t => return Err(ReplicaError::Wire(wire::WireError::BadTag(t))),
+        };
+        r.expect_end()?;
+        Ok(req)
+    }
+}
+
+/// A primary-to-follower response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Raw committed frames consecutively following the requested cursor
+    /// (empty: the follower is caught up).
+    Frames {
+        /// The primary's current term.
+        term: u64,
+        /// The primary's durable frontier (highest committed sequence
+        /// number) at response time — the follower knows it is caught up
+        /// exactly when its cursor reaches this.
+        frontier: u64,
+        /// Whole log frames, byte-for-byte as they sit in the primary's
+        /// log. Each is independently verifiable (length + CRC).
+        frames: Vec<Vec<u8>>,
+    },
+    /// The requested cursor predates the primary's log segment — catch up
+    /// from a checkpoint first.
+    Truncated {
+        /// The primary's current term.
+        term: u64,
+        /// The primary's current log base sequence number.
+        base_seq: u64,
+    },
+    /// A complete checkpoint file image ([`Checkpoint::to_bytes`]).
+    ///
+    /// [`Checkpoint::to_bytes`]: relic_persist::Checkpoint::to_bytes
+    Checkpoint {
+        /// The primary's current term.
+        term: u64,
+        /// The self-checking checkpoint image.
+        bytes: Vec<u8>,
+    },
+    /// The requester's term supersedes the responder's: the responder has
+    /// fenced itself and will serve nothing further.
+    Fenced {
+        /// The responder's (stale) term.
+        term: u64,
+    },
+}
+
+impl Response {
+    /// Serializes the response.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            Response::Frames {
+                term,
+                frontier,
+                frames,
+            } => {
+                out.push(RESP_FRAMES);
+                wire::put_u64(&mut out, *term);
+                wire::put_u64(&mut out, *frontier);
+                wire::put_u32(&mut out, frames.len() as u32);
+                for f in frames {
+                    wire::put_bytes(&mut out, f);
+                }
+            }
+            Response::Truncated { term, base_seq } => {
+                out.push(RESP_TRUNCATED);
+                wire::put_u64(&mut out, *term);
+                wire::put_u64(&mut out, *base_seq);
+            }
+            Response::Checkpoint { term, bytes } => {
+                out.push(RESP_CHECKPOINT);
+                wire::put_u64(&mut out, *term);
+                wire::put_bytes(&mut out, bytes);
+            }
+            Response::Fenced { term } => {
+                out.push(RESP_FENCED);
+                wire::put_u64(&mut out, *term);
+            }
+        }
+        out
+    }
+
+    /// Deserializes a response, rejecting unknown tags and trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::Wire`] on any malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Response, ReplicaError> {
+        let mut r = Reader::new(bytes);
+        let resp = match r.take_u8()? {
+            RESP_FRAMES => {
+                let term = r.take_u64()?;
+                let frontier = r.take_u64()?;
+                let n = r.take_u32()? as usize;
+                let mut frames = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    frames.push(r.take_bytes()?.to_vec());
+                }
+                Response::Frames {
+                    term,
+                    frontier,
+                    frames,
+                }
+            }
+            RESP_TRUNCATED => Response::Truncated {
+                term: r.take_u64()?,
+                base_seq: r.take_u64()?,
+            },
+            RESP_CHECKPOINT => Response::Checkpoint {
+                term: r.take_u64()?,
+                bytes: r.take_bytes()?.to_vec(),
+            },
+            RESP_FENCED => Response::Fenced {
+                term: r.take_u64()?,
+            },
+            t => return Err(ReplicaError::Wire(wire::WireError::BadTag(t))),
+        };
+        r.expect_end()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Fetch { term: 3, after: 41 },
+            Request::FetchCheckpoint { term: 0 },
+        ] {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Frames {
+                term: 1,
+                frontier: 12,
+                frames: vec![vec![1, 2, 3], vec![], vec![9; 40]],
+            },
+            Response::Truncated {
+                term: 2,
+                base_seq: 77,
+            },
+            Response::Checkpoint {
+                term: 4,
+                bytes: vec![5; 100],
+            },
+            Response::Fenced { term: 9 },
+        ] {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn unknown_tags_and_trailing_bytes_are_typed_errors() {
+        assert!(matches!(Request::decode(&[99]), Err(ReplicaError::Wire(_))));
+        assert!(matches!(
+            Response::decode(&[99]),
+            Err(ReplicaError::Wire(_))
+        ));
+        let mut ok = Request::Fetch { term: 1, after: 2 }.encode();
+        ok.push(0);
+        assert!(matches!(Request::decode(&ok), Err(ReplicaError::Wire(_))));
+        let mut ok = Response::Fenced { term: 1 }.encode();
+        ok.push(0);
+        assert!(matches!(Response::decode(&ok), Err(ReplicaError::Wire(_))));
+    }
+}

@@ -193,6 +193,23 @@ pub fn default_decomposition(cat: &mut Catalog) -> Decomposition {
     .expect("default decomposition parses")
 }
 
+/// Decodes one stored tuple into a [`FlowRecord`], surfacing a typed
+/// [`OpError::MalformedRow`] (instead of panicking) if any accounting
+/// column lost its integer shape.
+fn flow_record(cols: &FlowCols, t: &Tuple) -> Result<FlowRecord, OpError> {
+    let int = |col: ColId| {
+        t.get(col)
+            .and_then(Value::as_int)
+            .ok_or(OpError::MalformedRow { col })
+    };
+    Ok(FlowRecord {
+        local: int(cols.local)?,
+        remote: int(cols.remote)?,
+        bytes: int(cols.bytes)?,
+        pkts: int(cols.pkts)?,
+    })
+}
+
 // [synth:begin]
 /// The synthesized flow table.
 #[derive(Debug)]
@@ -260,10 +277,17 @@ impl FlowStore for SynthFlows {
         let existing = self.rel.query(&key, self.cols.bytes | self.cols.pkts)?;
         match existing.first() {
             Some(t) => {
-                // The columns were stored as integers by this very loop, so
-                // the conversions cannot fail — only the relation ops can.
-                let bytes = t.get(self.cols.bytes).and_then(Value::as_int).unwrap();
-                let pkts = t.get(self.cols.pkts).and_then(Value::as_int).unwrap();
+                let bytes = t.get(self.cols.bytes).and_then(Value::as_int).ok_or(
+                    OpError::MalformedRow {
+                        col: self.cols.bytes,
+                    },
+                )?;
+                let pkts =
+                    t.get(self.cols.pkts)
+                        .and_then(Value::as_int)
+                        .ok_or(OpError::MalformedRow {
+                            col: self.cols.pkts,
+                        })?;
                 self.rel.update(
                     &key,
                     &Tuple::from_pairs([
@@ -284,15 +308,10 @@ impl FlowStore for SynthFlows {
 
     fn flush(&mut self) -> Result<Vec<FlowRecord>, OpError> {
         let all = self.rel.query_full(&Tuple::empty())?;
-        let mut out: Vec<FlowRecord> = all
-            .iter()
-            .map(|t| FlowRecord {
-                local: t.get(self.cols.local).and_then(Value::as_int).unwrap(),
-                remote: t.get(self.cols.remote).and_then(Value::as_int).unwrap(),
-                bytes: t.get(self.cols.bytes).and_then(Value::as_int).unwrap(),
-                pkts: t.get(self.cols.pkts).and_then(Value::as_int).unwrap(),
-            })
-            .collect();
+        let mut out = Vec::with_capacity(all.len());
+        for t in all.iter() {
+            out.push(flow_record(&self.cols, t)?);
+        }
         out.sort();
         self.rel.clear();
         Ok(out)
@@ -361,8 +380,14 @@ impl ConcurrentFlows {
         self.rel.with_partition_mut(&key, |shard| {
             match shard.query(&key, cols.bytes | cols.pkts)?.first() {
                 Some(t) => {
-                    let bytes = t.get(cols.bytes).and_then(Value::as_int).unwrap();
-                    let pkts = t.get(cols.pkts).and_then(Value::as_int).unwrap();
+                    let bytes = t
+                        .get(cols.bytes)
+                        .and_then(Value::as_int)
+                        .ok_or(OpError::MalformedRow { col: cols.bytes })?;
+                    let pkts = t
+                        .get(cols.pkts)
+                        .and_then(Value::as_int)
+                        .ok_or(OpError::MalformedRow { col: cols.pkts })?;
                     shard.update(
                         &key,
                         &Tuple::from_pairs([
@@ -406,28 +431,33 @@ impl ConcurrentFlows {
             (cols.remote, Value::from(remote)),
         ]);
         let rows = handle.query(&key, cols.bytes | cols.pkts)?;
-        Ok(rows.first().map(|t| {
-            (
-                t.get(cols.bytes).and_then(Value::as_int).unwrap(),
-                t.get(cols.pkts).and_then(Value::as_int).unwrap(),
-            )
-        }))
+        match rows.first() {
+            None => Ok(None),
+            Some(t) => {
+                let bytes = t
+                    .get(cols.bytes)
+                    .and_then(Value::as_int)
+                    .ok_or(OpError::MalformedRow { col: cols.bytes })?;
+                let pkts = t
+                    .get(cols.pkts)
+                    .and_then(Value::as_int)
+                    .ok_or(OpError::MalformedRow { col: cols.pkts })?;
+                Ok(Some((bytes, pkts)))
+            }
+        }
     }
 
     /// All currently published flows, sorted — the dashboard scan, served
-    /// entirely from snapshots (no shard lock, packets keep flowing).
+    /// entirely from snapshots (no shard lock, packets keep flowing). A
+    /// row with a malformed accounting value is skipped rather than taking
+    /// the dashboard down; every well-formed flow is still reported.
     pub fn report(&self) -> Vec<FlowRecord> {
         let cols = self.cols;
         let view = self.rel.read_view();
         let mut out: Vec<FlowRecord> = view
             .to_relation()
             .iter()
-            .map(|t| FlowRecord {
-                local: t.get(cols.local).and_then(Value::as_int).unwrap(),
-                remote: t.get(cols.remote).and_then(Value::as_int).unwrap(),
-                bytes: t.get(cols.bytes).and_then(Value::as_int).unwrap(),
-                pkts: t.get(cols.pkts).and_then(Value::as_int).unwrap(),
-            })
+            .filter_map(|t| flow_record(&cols, t).ok())
             .collect();
         out.sort();
         out
@@ -447,18 +477,22 @@ impl ConcurrentFlows {
 /// against published snapshots. Returns the final sorted flow report and
 /// the number of monitor reads served.
 ///
-/// # Panics
+/// The serving loops degrade gracefully: a failed monitor lookup is simply
+/// not counted as a served read, and a failed accounting step stops that
+/// writer and surfaces the first such error after the remaining writers
+/// drain — no thread ever panics.
 ///
-/// Panics if any accounting step fails (the test/demo driver; production
-/// callers use [`ConcurrentFlows::account`] directly and keep the error).
+/// # Errors
+///
+/// The first accounting failure, if any writer hit one.
 pub fn run_concurrent_accounting(
     flows: &ConcurrentFlows,
     trace: &[Packet],
     writers: usize,
-) -> (Vec<FlowRecord>, usize) {
+) -> Result<(Vec<FlowRecord>, usize), OpError> {
     use std::sync::atomic::{AtomicBool, Ordering};
     let done = AtomicBool::new(false);
-    let served = std::thread::scope(|s| {
+    let (served, failure) = std::thread::scope(|s| {
         let monitor = {
             let done = &done;
             s.spawn(move || {
@@ -469,7 +503,7 @@ pub fn run_concurrent_accounting(
                     // poll: the dashboard mix, entirely off the shard locks.
                     // Only *successful* lookups count as served reads.
                     for l in 0..4 {
-                        if flows.lookup(&mut handle, l, 0).expect("lookup").is_some() {
+                        if let Ok(Some(_)) = flows.lookup(&mut handle, l, 0) {
                             served += 1;
                         }
                     }
@@ -478,7 +512,7 @@ pub fn run_concurrent_accounting(
                 // The trace is fully accounted now, so its first flow must
                 // be visible wait-free — a deterministic final hit.
                 if let Some(&(l, r, _)) = trace.first() {
-                    if flows.lookup(&mut handle, l, r).expect("lookup").is_some() {
+                    if let Ok(Some(_)) = flows.lookup(&mut handle, l, r) {
                         served += 1;
                     }
                 }
@@ -487,23 +521,30 @@ pub fn run_concurrent_accounting(
         };
         let writer_handles: Vec<_> = (0..writers)
             .map(|w| {
-                s.spawn(move || {
+                s.spawn(move || -> Result<(), OpError> {
                     for p in trace
                         .iter()
                         .filter(|(l, _, _)| (l.unsigned_abs() as usize) % writers == w)
                     {
-                        flows.account(*p).expect("accounting step");
+                        flows.account(*p)?;
                     }
+                    Ok(())
                 })
             })
             .collect();
+        let mut failure = None;
         for h in writer_handles {
-            h.join().expect("writer thread");
+            if let Err(e) = h.join().expect("writer thread") {
+                failure.get_or_insert(e);
+            }
         }
         done.store(true, Ordering::Release);
-        monitor.join().expect("monitor thread")
+        (monitor.join().expect("monitor thread"), failure)
     });
-    (flows.report(), served)
+    match failure {
+        Some(e) => Err(e),
+        None => Ok((flows.report(), served)),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -726,7 +767,7 @@ mod tests {
         let (mut cat, cols, spec) = flow_spec();
         let d = default_decomposition(&mut cat);
         let flows = ConcurrentFlows::new(&cat, cols, &spec, d, 8).unwrap();
-        let (report, served) = run_concurrent_accounting(&flows, &trace, 4);
+        let (report, served) = run_concurrent_accounting(&flows, &trace, 4).unwrap();
         assert_eq!(report, expect, "concurrent accounting must match baseline");
         assert!(served > 0, "the monitor served wait-free reads");
         flows.relation().validate().unwrap();

@@ -14,7 +14,7 @@
 
 use crate::zipf::Zipf;
 use relic_concurrent::{ConcurrentBuildError, ConcurrentRelation, ReadHandle};
-use relic_core::SynthRelation;
+use relic_core::{OpError, SynthRelation};
 use relic_decomp::Decomposition;
 use relic_persist::{DurableRelation, GroupCommitPolicy, PersistError};
 use relic_spec::{Catalog, ColId, Pattern, Pred, RelSpec, Tuple, Value};
@@ -353,46 +353,46 @@ impl ConcurrentMmapCache {
     /// inside the owning partition's critical section — two threads racing
     /// on the same new path produce exactly one mapping (one `Miss`, one
     /// `Hit`), never an FD conflict.
-    pub fn serve(&self, handle: &mut ReadHandle<'_>, req: &Request) -> Outcome {
+    ///
+    /// # Errors
+    ///
+    /// Any relational-operation failure of the underlying store — surfaced
+    /// typed, so a serving thread can log and drop one request instead of
+    /// panicking the whole server.
+    pub fn serve(&self, handle: &mut ReadHandle<'_>, req: &Request) -> Result<Outcome, OpError> {
         let cols = self.cols;
         let key = Tuple::from_pairs([(cols.path, Value::from(req.path.as_str()))]);
         let stamp = Tuple::from_pairs([(cols.stamp, Value::from(req.now))]);
-        if handle.contains_matching(&key).expect("snapshot hit check")
-            && self
-                .rel
-                .update(&key, &stamp)
-                .expect("touch existing mapping")
-        {
-            return Outcome::Hit;
+        if handle.contains_matching(&key)? && self.rel.update(&key, &stamp)? {
+            return Ok(Outcome::Hit);
         }
         // Probe missed (or the mapping vanished meanwhile): create or
         // refresh atomically in the partition.
         let addr = self.next_addr.fetch_add(4096, Ordering::Relaxed) + 4096;
         let size = 1024 + (req.path.len() as i64) * 7;
         self.rel.with_partition_mut(&key, |shard| {
-            if shard
-                .update(&key, &stamp)
-                .expect("refresh mapping in partition")
-            {
+            if shard.update(&key, &stamp)? {
                 // Another serving thread mapped the path first.
-                return Outcome::Hit;
+                return Ok(Outcome::Hit);
             }
-            shard
-                .insert(key.merge(&Tuple::from_pairs([
-                    (cols.addr, Value::from(addr)),
-                    (cols.size, Value::from(size)),
-                    (cols.stamp, Value::from(req.now)),
-                ])))
-                .expect("new mapping");
-            Outcome::Miss
+            shard.insert(key.merge(&Tuple::from_pairs([
+                (cols.addr, Value::from(addr)),
+                (cols.size, Value::from(size)),
+                (cols.stamp, Value::from(req.now)),
+            ])))?;
+            Ok(Outcome::Miss)
         })
     }
 
     /// Removes mappings with `stamp < cutoff`, returning how many were
     /// unmapped (the sweep is a cross-shard predicate removal).
-    pub fn cleanup(&self, cutoff: i64) -> usize {
+    ///
+    /// # Errors
+    ///
+    /// Any relational-operation failure of the underlying store.
+    pub fn cleanup(&self, cutoff: i64) -> Result<usize, OpError> {
         let stale = Pattern::new().with(self.cols.stamp, Pred::Lt(Value::from(cutoff)));
-        self.rel.remove_where(&stale).expect("sweep stale mappings")
+        self.rel.remove_where(&stale)
     }
 
     /// Number of live mappings in the published state (wait-free).
@@ -405,22 +405,26 @@ impl ConcurrentMmapCache {
 /// cleanups — the concurrent analog of [`run_cache`], its hit checks served
 /// from snapshots through one cached handle. Returns per-request outcomes
 /// plus the total number of unmapped entries.
+///
+/// # Errors
+///
+/// The first serve or cleanup failure.
 pub fn run_concurrent_cache(
     cache: &ConcurrentMmapCache,
     reqs: &[Request],
     sweep_every: usize,
     max_age: i64,
-) -> (Vec<Outcome>, usize) {
+) -> Result<(Vec<Outcome>, usize), OpError> {
     let mut handle = cache.read_handle();
     let mut outcomes = Vec::with_capacity(reqs.len());
     let mut unmapped = 0;
     for (i, r) in reqs.iter().enumerate() {
-        outcomes.push(cache.serve(&mut handle, r));
+        outcomes.push(cache.serve(&mut handle, r)?);
         if sweep_every > 0 && (i + 1) % sweep_every == 0 {
-            unmapped += cache.cleanup(r.now - max_age);
+            unmapped += cache.cleanup(r.now - max_age)?;
         }
     }
-    (outcomes, unmapped)
+    Ok((outcomes, unmapped))
 }
 
 // ---------------------------------------------------------------------------
@@ -516,8 +520,14 @@ impl DurableMmapCache {
                 match p.query(&key, cols.addr | cols.size)?.first() {
                     Some(t) => {
                         // Hit: refresh the stamp, keeping the mapping.
-                        let addr = t.get(cols.addr).and_then(Value::as_int).unwrap();
-                        let size = t.get(cols.size).and_then(Value::as_int).unwrap();
+                        let addr = t
+                            .get(cols.addr)
+                            .and_then(Value::as_int)
+                            .ok_or(OpError::MalformedRow { col: cols.addr })?;
+                        let size = t
+                            .get(cols.size)
+                            .and_then(Value::as_int)
+                            .ok_or(OpError::MalformedRow { col: cols.size })?;
                         p.remove(&key)?;
                         p.insert(key.merge(&Tuple::from_pairs([
                             (cols.addr, Value::from(addr)),
@@ -632,7 +642,7 @@ mod tests {
         let d = default_decomposition(&mut cat);
         let synth = ConcurrentMmapCache::new(&cat, cols, &spec, d, 4).unwrap();
         let (o1, u1) = run_cache(&mut base, &reqs, 100, 150);
-        let (o2, u2) = run_concurrent_cache(&synth, &reqs, 100, 150);
+        let (o2, u2) = run_concurrent_cache(&synth, &reqs, 100, 150).unwrap();
         assert_eq!(o1, o2, "hit/miss stream must match the baseline");
         assert_eq!(u1, u2, "sweeps must unmap the same entries");
         assert_eq!(base.live(), synth.live());
@@ -652,7 +662,7 @@ mod tests {
             let serve = s.spawn(move || {
                 let mut handle = synth.read_handle();
                 for r in &reqs {
-                    synth.serve(&mut handle, r);
+                    synth.serve(&mut handle, r).unwrap();
                 }
             });
             for _ in 0..2 {
