@@ -3,13 +3,25 @@
 //! workload repetition), so every PR from this one onward can compare
 //! against the recorded `BENCH_*.json` files.
 //!
-//! Usage: `cargo run --release --bin bench_smoke [-- [--quick] [OUTPUT.json]]`
-//! (default output path: `BENCH_7.json` in the current directory).
+//! Usage: `cargo run --release --bin bench_smoke [-- [--quick] [--cores N]
+//! [--only FAMILY] [OUTPUT.json]]` (default output path: `BENCH_8.json` in
+//! the current directory).
 //! `--quick` shrinks sizes and repetition counts to a compile-and-run smoke
 //! check for CI — its timings are not comparable to full runs. **Every**
 //! workload family runs in quick mode, including scaled-down `phase_shift`
 //! and `read_scaling` variants, so CI exercises the adaptive and the
 //! snapshot read paths on every push.
+//!
+//! `--cores N` caps the thread ladders of the multi-threaded families
+//! (`read_scaling`, `writer_scaling`) at `N` worker threads. The JSON
+//! header always records both the machine's actual parallelism (`cpus`,
+//! from `available_parallelism`) and the requested cap (`cores_requested`,
+//! `null` when uncapped), plus an `oversubscribed` flag set whenever any
+//! family ran more worker threads than hardware cores — so a BENCH file
+//! recorded on a 1-CPU container can no longer pass its t4/t8 arms off as
+//! real scaling numbers. Thread *pinning* is not implemented: std exposes
+//! no affinity API and this build links no platform crate for one, so the
+//! honest-reporting fields are the contract instead.
 //!
 //! The `codegen` family (PR 6) replays the `query_hot_path` workload — the
 //! same 1000-tuple scheduler relation, the same point lookups and state
@@ -580,12 +592,14 @@ fn bench_phase_shift(out: &mut Vec<(String, f64)>, quick: bool) {
 /// the epoch ends (happens-before, not scheduling); a snapshot read is
 /// served from the published views immediately -- its remaining cost is
 /// the occasional reclamation of a retired pre-migration store.
-fn bench_read_scaling(out: &mut Vec<(String, f64)>, quick: bool) {
+fn bench_read_scaling(out: &mut Vec<(String, f64)>, quick: bool, cores: Option<usize>) {
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Barrier;
     let (hosts, ts_per_host, shards) = if quick { (32, 16, 8) } else { (256, 32, 8) };
     let per_thread_ops = if quick { 1_000usize } else { 5_000 };
-    let thread_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let ladder: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let thread_counts = clamp_ladder(ladder, cores);
+    let thread_counts = &thread_counts[..];
     let mut cat = Catalog::new();
     let d = parse(
         &mut cat,
@@ -803,6 +817,131 @@ fn bench_read_scaling(out: &mut Vec<(String, f64)>, quick: bool) {
             format!("read_scaling/mig_stall_{arm}_ns"),
             total_ns as f64 / f64::from(windows.max(1)),
         ));
+    }
+}
+
+/// Caps a thread-count ladder at `--cores N` (always keeping at least the
+/// single-thread rung, so every family reports a comparable baseline).
+fn clamp_ladder(ladder: &[usize], cores: Option<usize>) -> Vec<usize> {
+    let mut v: Vec<usize> = match cores {
+        Some(c) => ladder.iter().copied().filter(|&t| t <= c.max(1)).collect(),
+        None => ladder.to_vec(),
+    };
+    if v.is_empty() {
+        v.push(1);
+    }
+    v
+}
+
+/// `writer_scaling` (PR 8): per-mutation-epoch write cost on a
+/// snapshot-held store, copy-on-write vs epoch-based reclamation, at
+/// 1/2/4 writer threads.
+///
+/// One **mutation epoch** is the serving system's steady-state write unit:
+/// a pinned single-shard `update` followed by a reader collecting a fresh
+/// view (the collected view is held for two epochs, like a reader that is
+/// always one refresh behind). A long-held `ReadHandle` additionally pins
+/// the whole run — the ISSUE's "snapshot held" condition. Because every
+/// mutation therefore replaces a still-referenced published snapshot, the
+/// two arms differ in exactly the cost under test:
+///
+/// * `cow` — [`ConcurrentRelation::set_cow_store_clones`]`(true)` restores
+///   the pre-PR-8 write path: the writer deep-clones the shard's entire
+///   store before mutating, every epoch (the `Arc::make_mut` whole-store
+///   copy this PR removed);
+/// * `ebr` — the default path: the writer path-copies only what it
+///   touches, the replaced snapshot retires onto the shard's limbo list,
+///   and teardown happens writer-side after the grace period.
+///
+/// `writer_scaling/{cow,ebr}_t{N}_ns` is mean nanoseconds per mutation
+/// epoch, aggregated over all writers. The BENCH_8 acceptance metric is
+/// `cow_tN / ebr_tN >= 2` at every rung. Writer threads share hardware
+/// cores when oversubscribed (see the `--cores` header fields); both arms
+/// run the identical schedule, so the ratio is meaningful even on one CPU.
+fn bench_writer_scaling(out: &mut Vec<(String, f64)>, quick: bool, cores: Option<usize>) {
+    use std::sync::Barrier;
+    let (hosts, ts_per_host, shards) = if quick {
+        (16usize, 8usize, 4)
+    } else {
+        (64, 32, 8)
+    };
+    let epochs_per_writer = if quick { 40usize } else { 400 };
+    let ladder: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
+    let writer_counts = clamp_ladder(ladder, cores);
+    let mut cat = Catalog::new();
+    let d = parse(
+        &mut cat,
+        "let u : {host,ts} . {bytes} = unit {bytes} in
+         let h : {host} . {ts,bytes} = {ts} -[avl]-> u in
+         let x : {} . {host,ts,bytes} = {host} -[htable]-> h in x",
+    )
+    .unwrap();
+    let host = cat.col("host").unwrap();
+    let ts = cat.col("ts").unwrap();
+    let bytes = cat.col("bytes").unwrap();
+    let spec = RelSpec::new(cat.all()).with_fd(host | ts, bytes.into());
+    let load: Vec<Tuple> = (0..hosts as i64)
+        .flat_map(|h| {
+            (0..ts_per_host as i64).map(move |t| {
+                Tuple::from_pairs([
+                    (host, Value::from(h)),
+                    (ts, Value::from(t)),
+                    (bytes, Value::from(h + t)),
+                ])
+            })
+        })
+        .collect();
+    for &writers in &writer_counts {
+        let hosts_per_writer = (hosts / writers).max(1);
+        for cow in [true, false] {
+            let rel = ConcurrentRelation::new(&cat, spec.clone(), d.clone(), host.into(), shards)
+                .unwrap();
+            rel.bulk_load(load.iter().cloned()).unwrap();
+            rel.set_cow_store_clones(cow);
+            // The held snapshot: pinned for the whole arm, never refreshed.
+            let hoarder = rel.read_handle();
+            let barrier = Barrier::new(writers);
+            let total_ns: u128 = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..writers)
+                    .map(|w| {
+                        let (rel, barrier) = (&rel, &barrier);
+                        s.spawn(move || {
+                            let base = (w * hosts_per_writer) as i64;
+                            // The reader one refresh behind: holds the two
+                            // most recent views, so the snapshot a mutation
+                            // replaces is always still referenced.
+                            let mut ring = [rel.read_view(), rel.read_view()];
+                            barrier.wait();
+                            let start = Instant::now();
+                            for e in 0..epochs_per_writer {
+                                let h = base + (e % hosts_per_writer) as i64;
+                                let key = Tuple::from_pairs([
+                                    (host, Value::from(h)),
+                                    (ts, Value::from((e % ts_per_host) as i64)),
+                                ]);
+                                let chg = Tuple::from_pairs([(bytes, Value::from(e as i64))]);
+                                rel.update(&key, &chg).unwrap();
+                                ring[e % 2] = rel.read_view();
+                            }
+                            let ns = start.elapsed().as_nanos();
+                            std::hint::black_box(&ring);
+                            ns
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("writer thread"))
+                    .sum()
+            });
+            drop(hoarder);
+            rel.reclaim();
+            let arm = if cow { "cow" } else { "ebr" };
+            out.push((
+                format!("writer_scaling/{arm}_t{writers}"),
+                total_ns as f64 / (writers * epochs_per_writer) as f64,
+            ));
+        }
     }
 }
 
@@ -1064,23 +1203,38 @@ fn bench_replication(out: &mut Vec<(String, f64)>, quick: bool) {
 fn main() {
     let mut quick = false;
     let mut only: Option<String> = None;
+    let mut cores: Option<usize> = None;
     let mut expect_only = false;
-    let mut out_path = "BENCH_7.json".to_string();
+    let mut expect_cores = false;
+    let mut out_path = "BENCH_8.json".to_string();
     for arg in std::env::args().skip(1) {
         if expect_only {
             only = Some(arg);
             expect_only = false;
+        } else if expect_cores {
+            match arg.parse::<usize>() {
+                Ok(n) if n > 0 => cores = Some(n),
+                _ => {
+                    eprintln!("--cores requires a positive thread count, got {arg:?}");
+                    std::process::exit(2);
+                }
+            }
+            expect_cores = false;
         } else if arg == "--quick" {
             quick = true;
         } else if arg == "--only" {
             // Run a single workload family (e.g. `--only read_scaling`) --
             // for iterating on one family without re-timing the rest.
             expect_only = true;
+        } else if arg == "--cores" {
+            // Cap the multi-threaded families' thread ladders; recorded in
+            // the JSON header (see the module docs for the honesty rules).
+            expect_cores = true;
         } else {
             out_path = arg;
         }
     }
-    const FAMILIES: [&str; 10] = [
+    const FAMILIES: [&str; 11] = [
         "micro_cache",
         "micro_scheduler",
         "query_hot_path",
@@ -1089,11 +1243,16 @@ fn main() {
         "batch_insert",
         "phase_shift",
         "read_scaling",
+        "writer_scaling",
         "wal_commit",
         "replication",
     ];
     if expect_only {
         eprintln!("--only requires a workload family: one of {FAMILIES:?}");
+        std::process::exit(2);
+    }
+    if expect_cores {
+        eprintln!("--cores requires a positive thread count");
         std::process::exit(2);
     }
     if let Some(o) = only.as_deref() {
@@ -1126,7 +1285,10 @@ fn main() {
         bench_phase_shift(&mut results, quick);
     }
     if run("read_scaling") {
-        bench_read_scaling(&mut results, quick);
+        bench_read_scaling(&mut results, quick, cores);
+    }
+    if run("writer_scaling") {
+        bench_writer_scaling(&mut results, quick, cores);
     }
     if run("wal_commit") {
         bench_wal_commit(&mut results, quick);
@@ -1135,12 +1297,43 @@ fn main() {
         bench_replication(&mut results, quick);
     }
     // Timings are only comparable within one machine + toolchain, so the
-    // header records both.
+    // header records both — plus the thread-honesty fields: `cpus` is what
+    // the machine really has, `cores_requested` the `--cores` cap (null
+    // when uncapped), and `oversubscribed` is set whenever any family ran
+    // more concurrent worker threads than hardware cores (its tN arms then
+    // measure time-sliced interleaving, not parallel scaling).
     let cpus = std::thread::available_parallelism().map_or(0, usize::from);
+    let read_threads = if run("read_scaling") {
+        // +1: the maintenance writer runs alongside the reader rungs.
+        1 + clamp_ladder(if quick { &[1, 2] } else { &[1, 2, 4, 8] }, cores)
+            .into_iter()
+            .max()
+            .unwrap_or(1)
+    } else {
+        0
+    };
+    let write_threads = if run("writer_scaling") {
+        clamp_ladder(if quick { &[1, 2] } else { &[1, 2, 4] }, cores)
+            .into_iter()
+            .max()
+            .unwrap_or(1)
+    } else {
+        0
+    };
+    let oversubscribed = cpus > 0 && read_threads.max(write_threads) > cpus;
+    if oversubscribed {
+        eprintln!(
+            "warning: up to {} worker threads on {cpus} hardware core(s); \
+             tN arms measure interleaving, not parallel scaling",
+            read_threads.max(write_threads)
+        );
+    }
+    let cores_json = cores.map_or("null".to_string(), |c| c.to_string());
     let rustc = env!("RELIC_BENCH_RUSTC");
     let mut json = format!(
-        "{{\n  \"schema\": \"relic-bench-smoke-v7\",\n  \"quick\": {quick},\n  \
-         \"cpus\": {cpus},\n  \"rustc\": \"{rustc}\",\n  \"results\": {{\n"
+        "{{\n  \"schema\": \"relic-bench-smoke-v8\",\n  \"quick\": {quick},\n  \
+         \"cpus\": {cpus},\n  \"cores_requested\": {cores_json},\n  \
+         \"oversubscribed\": {oversubscribed},\n  \"rustc\": \"{rustc}\",\n  \"results\": {{\n"
     );
     for (i, (label, ns)) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };

@@ -45,10 +45,13 @@
 //! published snapshots into a [`ReadView`] without acquiring any shard lock.
 //! A per-thread [`ReadHandle`] caches the view and refreshes only when the
 //! relation's epoch counter moves, so a steady-state point query costs one
-//! atomic load plus the snapshot probe — readers never wait on writers, and
-//! writers pay for coherence (one copy-on-write store clone per epoch while
-//! views are held). See the [`snapshot`] module docs for the full lifecycle
-//! and consistency contract.
+//! atomic load plus the snapshot probe — readers never wait on writers.
+//! Writers mutate the (persistent, structure-sharing) store in place under
+//! the shard lock and *retire* replaced snapshots onto per-shard limbo
+//! lists; each handle pins the epochs it reads at, and retired state is
+//! torn down writer-side once the minimum pinned epoch passes it — see the
+//! [`epoch`] module for the reclamation design and the [`snapshot`] module
+//! for the view lifecycle and consistency contract.
 //!
 //! # Adaptive migration epochs
 //!
@@ -108,6 +111,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod epoch;
 pub mod snapshot;
 
 pub use snapshot::{ReadHandle, ReadView};
@@ -214,6 +218,14 @@ pub struct ConcurrentRelation {
     /// collection around odd windows, making migration epochs atomic across
     /// a view (no mixed-decomposition views, ever).
     migration_epoch: AtomicU64,
+    /// Reader pin registry: every live [`ReadHandle`]'s per-shard epoch
+    /// pins, scanned by writers for grace-period detection (see the
+    /// [`epoch`] module).
+    registry: epoch::EpochRegistry,
+    /// Per-shard limbo lists: retired published snapshots awaiting their
+    /// grace period, drained writer-side after each mutation's lock
+    /// release.
+    limbo: Vec<epoch::ShardLimbo>,
     shard_cols: ColSet,
     cols: ColSet,
 }
@@ -263,6 +275,8 @@ impl ConcurrentRelation {
             .collect();
         Ok(ConcurrentRelation {
             shard_epochs: (0..v.len()).map(|_| AtomicU64::new(0)).collect(),
+            registry: epoch::EpochRegistry::new(v.len()),
+            limbo: (0..v.len()).map(|_| epoch::ShardLimbo::default()).collect(),
             shards: v.into_iter().map(RwLock::new).collect(),
             published,
             epoch: AtomicU64::new(0),
@@ -319,12 +333,28 @@ impl ConcurrentRelation {
 
     // -- snapshot publication (see the `snapshot` module docs) --------------
 
+    /// Shared access to shard `i`'s publish slot. Slot locks recover from
+    /// poisoning (`into_inner`): the slot holds only whole-value swaps (an
+    /// `Option<Arc>` replace and a stamp word), so a panic elsewhere in a
+    /// critical section cannot leave it torn — unlike the shard locks,
+    /// whose mid-mutation state is genuinely unrecoverable and which keep
+    /// the panic funnel.
+    fn slot_read(&self, i: usize) -> RwLockReadGuard<'_, PublishSlot> {
+        self.published[i].read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Exclusive access to shard `i`'s publish slot (see
+    /// [`slot_read`](ConcurrentRelation::slot_read) for the poison policy).
+    fn slot_write(&self, i: usize) -> RwLockWriteGuard<'_, PublishSlot> {
+        self.published[i].write().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Drops shard `i`'s published snapshot when no reader holds it, so the
-    /// upcoming mutation runs in place instead of copy-on-writing the store.
+    /// upcoming mutation runs fully in place (the store stays unshared).
     /// Called with the shard's write lock held (the slot's `None` window is
     /// therefore invisible to anyone holding any shard lock).
     fn prune_slot(&self, i: usize) {
-        let mut slot = self.published[i].write().expect("publish slot poisoned");
+        let mut slot = self.slot_write(i);
         if slot
             .snap
             .as_ref()
@@ -335,7 +365,7 @@ impl ConcurrentRelation {
     }
 
     /// Publishes shard `i`'s current state (O(1): the snapshot shares the
-    /// store copy-on-write). Called with the shard's write lock held, after
+    /// persistent store). Called with the shard's write lock held, after
     /// the mutation epoch completed. Does not bump the epoch counter —
     /// callers bump once per logical operation via
     /// [`bump_epoch`](ConcurrentRelation::bump_epoch).
@@ -347,15 +377,38 @@ impl ConcurrentRelation {
     /// writer stamp; `None` keeps the slot's previous stamp. Snapshot and
     /// stamp swap together under the slot's latch, so collectors always see
     /// a consistent pair.
+    ///
+    /// The replaced snapshot, if any reader still references it, is
+    /// *retired* onto shard `i`'s limbo list tagged with the pre-swap
+    /// epoch — its teardown is deferred to
+    /// [`drain_limbo`](ConcurrentRelation::drain_limbo) once the grace
+    /// period expires (see the [`epoch`] module). An unreferenced
+    /// replacement drops immediately (the writer already holds the last
+    /// `Arc`).
     fn publish_slot_stamped(&self, i: usize, shard: &SynthRelation, stamp: Option<u64>) {
-        {
-            let mut slot = self.published[i].write().expect("publish slot poisoned");
-            slot.snap = Some(Arc::new(shard.snapshot()));
+        let old = {
+            let mut slot = self.slot_write(i);
+            let old = slot.snap.replace(Arc::new(shard.snapshot()));
             if let Some(s) = stamp {
                 slot.stamp = s;
             }
+            old
+        };
+        let retire_epoch = self.shard_epochs[i].fetch_add(1, Ordering::Release);
+        if let Some(snap) = old {
+            if Arc::strong_count(&snap) > 1 {
+                self.limbo[i].retire(retire_epoch, snap);
+            }
         }
-        self.shard_epochs[i].fetch_add(1, Ordering::Release);
+    }
+
+    /// Drains shard `i`'s limbo list past the grace period: every retired
+    /// snapshot no pinned reader can still hold is dropped **here, on the
+    /// writer/maintenance thread, outside every lock** — reclamation cost
+    /// never lands on a reader's query and never extends a shard critical
+    /// section. Returns the number of snapshots freed.
+    fn drain_limbo(&self, i: usize) -> usize {
+        self.limbo[i].drain(self.registry.min_pinned(i))
     }
 
     /// Announces a completed publish to cached [`ReadHandle`]s.
@@ -370,11 +423,18 @@ impl ConcurrentRelation {
     /// snapshot is always a committed per-shard state and a batch applied to
     /// a shard is never visible half-done.
     fn mutate_shard<T>(&self, i: usize, f: impl FnOnce(&mut SynthRelation) -> T) -> T {
-        let mut guard = self.write_shard(i);
-        self.prune_slot(i);
-        let out = f(&mut guard);
-        self.publish_slot(i, &guard);
-        self.bump_epoch();
+        let out = {
+            let mut guard = self.write_shard(i);
+            self.prune_slot(i);
+            let out = f(&mut guard);
+            self.publish_slot(i, &guard);
+            self.bump_epoch();
+            out
+        };
+        // After the write lock is released: reclaim whatever this (or any
+        // earlier) epoch retired, now that the grace period may have
+        // expired.
+        self.drain_limbo(i);
         out
     }
 
@@ -382,16 +442,25 @@ impl ConcurrentRelation {
     /// for operations that hold every write lock (unpinned removals and
     /// updates): prune all, mutate, republish all, one epoch bump.
     fn mutate_all<T>(&self, f: impl FnOnce(&mut [RwLockWriteGuard<'_, SynthRelation>]) -> T) -> T {
-        let mut guards = self.write_all();
-        for i in 0..guards.len() {
-            self.prune_slot(i);
-        }
-        let out = f(&mut guards);
-        for (i, g) in guards.iter().enumerate() {
-            self.publish_slot(i, g);
-        }
-        self.bump_epoch();
+        let out = {
+            let mut guards = self.write_all();
+            for i in 0..guards.len() {
+                self.prune_slot(i);
+            }
+            let out = f(&mut guards);
+            for (i, g) in guards.iter().enumerate() {
+                self.publish_slot(i, g);
+            }
+            self.bump_epoch();
+            out
+        };
+        self.drain_all_limbo();
         out
+    }
+
+    /// [`drain_limbo`](ConcurrentRelation::drain_limbo) across every shard.
+    fn drain_all_limbo(&self) -> usize {
+        (0..self.shards.len()).map(|i| self.drain_limbo(i)).sum()
     }
 
     /// Republishes every (already write-locked) shard as **one migration
@@ -698,11 +767,15 @@ impl ConcurrentRelation {
         f: impl FnOnce(&mut SynthRelation) -> (T, Option<u64>),
     ) -> T {
         assert!(i < self.shards.len(), "shard index out of range");
-        let mut guard = self.write_shard(i);
-        self.prune_slot(i);
-        let (out, stamp) = f(&mut guard);
-        self.publish_slot_stamped(i, &guard, stamp);
-        self.bump_epoch();
+        let out = {
+            let mut guard = self.write_shard(i);
+            self.prune_slot(i);
+            let (out, stamp) = f(&mut guard);
+            self.publish_slot_stamped(i, &guard, stamp);
+            self.bump_epoch();
+            out
+        };
+        self.drain_limbo(i);
         out
     }
 
@@ -717,18 +790,23 @@ impl ConcurrentRelation {
         &self,
         f: impl FnOnce(&mut [&mut SynthRelation]) -> (T, Option<u64>),
     ) -> T {
-        let mut guards = self.write_all();
-        for i in 0..guards.len() {
-            self.prune_slot(i);
-        }
-        let (out, stamp) = {
-            let mut refs: Vec<&mut SynthRelation> = guards.iter_mut().map(|g| &mut **g).collect();
-            f(&mut refs)
+        let out = {
+            let mut guards = self.write_all();
+            for i in 0..guards.len() {
+                self.prune_slot(i);
+            }
+            let (out, stamp) = {
+                let mut refs: Vec<&mut SynthRelation> =
+                    guards.iter_mut().map(|g| &mut **g).collect();
+                f(&mut refs)
+            };
+            for (i, g) in guards.iter().enumerate() {
+                self.publish_slot_stamped(i, g, stamp);
+            }
+            self.bump_epoch();
+            out
         };
-        for (i, g) in guards.iter().enumerate() {
-            self.publish_slot_stamped(i, g, stamp);
-        }
-        self.bump_epoch();
+        self.drain_all_limbo();
         out
     }
 
@@ -749,12 +827,16 @@ impl ConcurrentRelation {
         d: Decomposition,
         stamp: impl FnOnce() -> u64,
     ) -> Result<(), MigrateError> {
-        let mut guards = self.write_all();
-        let s = stamp();
-        let res = Self::migrate_shards(&mut guards, d);
-        if res.is_ok() {
-            self.publish_all_migration_stamped(&guards, Some(s));
-        }
+        let res = {
+            let mut guards = self.write_all();
+            let s = stamp();
+            let res = Self::migrate_shards(&mut guards, d);
+            if res.is_ok() {
+                self.publish_all_migration_stamped(&guards, Some(s));
+            }
+            res
+        };
+        self.drain_all_limbo();
         res
     }
 
@@ -798,15 +880,22 @@ impl ConcurrentRelation {
     ///
     /// As for [`SynthRelation::migrate_to`].
     pub fn migrate_to(&self, d: Decomposition) -> Result<(), MigrateError> {
-        let mut guards = self.write_all();
-        let res = Self::migrate_shards(&mut guards, d);
-        if res.is_ok() {
-            // One migration epoch: all shards republished inside the
-            // seqlock window, so a view is never mixed-decomposition. (On
-            // error the rollback restored the published tuple set, so the
-            // standing snapshots remain correct.)
-            self.publish_all_migration(&guards);
-        }
+        let res = {
+            let mut guards = self.write_all();
+            let res = Self::migrate_shards(&mut guards, d);
+            if res.is_ok() {
+                // One migration epoch: all shards republished inside the
+                // seqlock window, so a view is never mixed-decomposition.
+                // (On error the rollback restored the published tuple set,
+                // so the standing snapshots remain correct.)
+                self.publish_all_migration(&guards);
+            }
+            res
+        };
+        // The retired pre-migration snapshots (the whole old
+        // representation) tear down here — or on a later drain once the
+        // last pinned reader refreshes — never on a reader's query path.
+        self.drain_all_limbo();
         res
     }
 
@@ -908,7 +997,67 @@ impl ConcurrentRelation {
         let improvement = rec.improvement();
         Self::migrate_shards(&mut guards, rec.best.decomposition)?;
         self.publish_all_migration(&guards);
+        drop(guards);
+        self.drain_all_limbo();
         Ok(Some(improvement))
+    }
+
+    // -- reclamation introspection (see the `epoch` module) -----------------
+
+    /// Drains every shard's limbo list past its grace period, returning the
+    /// number of retired snapshots freed. Mutations drain opportunistically
+    /// after releasing their locks; call this for on-demand reclamation
+    /// (maintenance ticks, memory pressure, tests) — e.g. after dropping a
+    /// long-held [`ReadHandle`] whose pin was blocking a chain of retired
+    /// stores.
+    pub fn reclaim(&self) -> usize {
+        self.drain_all_limbo()
+    }
+
+    /// Estimated heap bytes parked on the limbo lists: retired snapshots
+    /// whose grace period has not yet expired (typically because a pinned
+    /// reader has not refreshed past their retirement). Sizes are the
+    /// stores' O(1) running estimates
+    /// ([`relic_core::Snapshot::store_approx_bytes`]); versions sharing
+    /// structure each count in full, so this is an upper bound on what a
+    /// drain can actually return to the allocator.
+    pub fn limbo_bytes(&self) -> usize {
+        self.limbo.iter().map(|l| l.bytes()).sum()
+    }
+
+    /// Number of retired snapshots currently parked across all limbo lists.
+    pub fn limbo_len(&self) -> usize {
+        self.limbo.iter().map(|l| l.len()).sum()
+    }
+
+    /// How far the slowest pinned reader lags the newest published state,
+    /// in per-shard publish epochs (the maximum over shards of
+    /// `shard_epoch - min pinned epoch`; 0 with no pinned readers). A large
+    /// or growing lag means some [`ReadHandle`] is not refreshing and its
+    /// pins are holding retired snapshots in limbo.
+    pub fn pinned_epoch_lag(&self) -> u64 {
+        (0..self.shards.len())
+            .map(|i| {
+                let min = self.registry.min_pinned(i);
+                if min == epoch::UNPINNED {
+                    0
+                } else {
+                    self.shard_epochs[i]
+                        .load(Ordering::Acquire)
+                        .saturating_sub(min)
+                }
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Arms or disarms whole-store deep-clone-on-write in every shard (see
+    /// [`SynthRelation::set_cow_store_clones`]; off by default). The
+    /// benchmark harness's CoW comparison arm only.
+    pub fn set_cow_store_clones(&self, on: bool) {
+        for i in 0..self.shards.len() {
+            self.write_shard(i).set_cow_store_clones(on);
+        }
     }
 
     /// A consistent snapshot of the whole relation as a reference

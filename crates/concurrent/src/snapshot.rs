@@ -7,11 +7,15 @@
 //! [`Snapshot`] of itself after each mutation epoch (a single mutation, or
 //! one shard's slice of a batch): the writer, still holding the shard's
 //! write lock, swaps an `Arc<Snapshot>` into the shard's publish slot. The
-//! snapshot shares the shard's instance store copy-on-write (see
-//! [`SynthRelation::snapshot`]), so publishing is O(1); the first mutation
-//! after a published snapshot is retained by a reader pays one store clone,
-//! and mutations while no reader holds a view stay in place — the writer
-//! *prunes* an unreferenced published snapshot before mutating.
+//! snapshot shares the shard's instance store structurally (the store is a
+//! persistent chunked structure — see [`SynthRelation::snapshot`]), so
+//! publishing is O(1) and a snapshot-holding reader costs the writer only
+//! path-copies of the instances it actually touches, not a store clone per
+//! epoch. Replaced snapshots still referenced by readers are *retired*
+//! onto per-shard limbo lists and torn down writer-side after a grace
+//! period (see the [`crate::epoch`] module); mutations while no reader
+//! holds a view stay fully in place — the writer *prunes* an unreferenced
+//! published snapshot before mutating.
 //!
 //! Readers never take a shard lock:
 //!
@@ -274,19 +278,40 @@ impl ReadView {
 pub struct ReadHandle<'a> {
     rel: &'a ConcurrentRelation,
     view: ReadView,
+    /// This reader's epoch pins, one per shard (see the [`crate::epoch`]
+    /// module): registered at handle creation, re-stored on every
+    /// view/shard refresh, cleared on drop. While a pin holds an epoch,
+    /// writers keep every snapshot retired at or after it on the limbo
+    /// list instead of tearing it down — so reclamation cost never lands
+    /// on this reader, and a dropped (or refreshed) handle is what lets
+    /// the retired chain drain.
+    slot: Arc<crate::epoch::ReaderSlot>,
 }
 
 impl<'a> ReadHandle<'a> {
     pub(crate) fn new(rel: &'a ConcurrentRelation) -> Self {
         let view = rel.read_view();
-        ReadHandle { rel, view }
+        let slot = rel.registry.register();
+        let handle = ReadHandle { rel, view, slot };
+        handle.pin_all();
+        handle
+    }
+
+    /// Stores every shard's collected epoch into this reader's pins.
+    fn pin_all(&self) {
+        for (i, &e) in self.view.shard_epochs.iter().enumerate() {
+            self.slot.pin(i, e);
+        }
     }
 
     /// The freshest coherent view, re-collected only if a publish happened
     /// since the cached one (one `Acquire` load when nothing changed).
+    /// Re-collection advances this reader's epoch pins, releasing retired
+    /// snapshots the old view was keeping on limbo.
     pub fn view(&mut self) -> &ReadView {
         if self.rel.epoch_now() != self.view.epoch {
             self.view = self.rel.read_view();
+            self.pin_all();
         }
         &self.view
     }
@@ -297,7 +322,9 @@ impl<'a> ReadHandle<'a> {
         &self.view
     }
 
-    /// Refreshes the cached slot of shard `i` iff its publish epoch moved.
+    /// Refreshes the cached slot of shard `i` iff its publish epoch moved,
+    /// advancing the shard's pin with it (the other shards' pins stay — the
+    /// handle still holds their older snapshots).
     fn refresh_shard(&mut self, i: usize) {
         let e = self.rel.shard_epoch_now(i);
         if e != self.view.shard_epochs[i] {
@@ -305,6 +332,7 @@ impl<'a> ReadHandle<'a> {
             self.view.shards[i] = snap;
             self.view.shard_stamps[i] = stamp;
             self.view.shard_epochs[i] = e;
+            self.slot.pin(i, e);
         }
     }
 
@@ -416,6 +444,16 @@ impl<'a> ReadHandle<'a> {
     }
 }
 
+impl Drop for ReadHandle<'_> {
+    fn drop(&mut self) {
+        // Release every pin so retired snapshots this handle was holding in
+        // limbo become reclaimable at the next drain. (The snapshots the
+        // handle itself held are released by the `ReadView` drop; `Arc`
+        // sharing keeps any still-referenced state alive regardless.)
+        self.slot.unpin_all();
+    }
+}
+
 impl ConcurrentRelation {
     /// The current publish epoch (monotonic; bumped on every publish).
     pub(crate) fn epoch_now(&self) -> u64 {
@@ -504,13 +542,13 @@ impl ConcurrentRelation {
     /// republished.
     fn shard_view(&self, i: usize) -> (Arc<Snapshot>, u64) {
         {
-            let slot = self.published[i].read().expect("publish slot poisoned");
+            let slot = self.slot_read(i);
             if let Some(s) = slot.snap.as_ref() {
                 return (Arc::clone(s), slot.stamp);
             }
         }
         let shard = self.read_shard(i);
-        let slot = self.published[i].read().expect("publish slot poisoned");
+        let slot = self.slot_read(i);
         if let Some(s) = slot.snap.as_ref() {
             return (Arc::clone(s), slot.stamp);
         }

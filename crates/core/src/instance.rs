@@ -12,6 +12,23 @@
 //! Intrusive lists keep their prev/next links inside the *child* instances
 //! (field `links`), one slot per incoming intrusive edge of the child's node,
 //! exactly like `boost::intrusive::list` hooks.
+//!
+//! # Structural sharing
+//!
+//! [`Store`] is a persistent (versioned) structure: arenas hold their
+//! instances behind `Arc` in fixed-size chunks (`Vec<Arc<Chunk>>`, 64 slots
+//! per chunk), so `Store::clone` is *shallow* — it bumps one `Arc` per chunk
+//! (`O(live / 64)`) instead of deep-cloning every instance. Mutation
+//! path-copies: [`Store::get_mut`] clones the addressed chunk (64 `Arc`
+//! bumps) and the addressed instance only when they are shared with an older
+//! store version. A published snapshot therefore freezes its version at the
+//! cost of re-cloning only the instances the writer subsequently touches —
+//! this is what lets `relic_concurrent` retire whole snapshots onto epoch
+//! limbo lists instead of paying a full store copy per mutation epoch.
+//!
+//! The one full-copy escape hatch is [`Store::deep_clone`], kept so the
+//! benchmark harness can reproduce the pre-reclamation copy-on-write cost
+//! honestly (see `SynthRelation::set_cow_store_clones`).
 
 use relic_containers::{AssocVec, AvlMap, DListMap, HashTable, SortedVecMap};
 use relic_decomp::{Body, Decomposition, DsKind, EdgeId, NodeId};
@@ -115,12 +132,46 @@ pub struct Instance {
     pub refs: u32,
 }
 
+/// Log₂ of the arena chunk size.
+const CHUNK_BITS: u32 = 6;
+/// Slots per arena chunk. Small enough that path-copying a shared chunk (64
+/// `Arc` bumps) is cheap; large enough that a shallow store clone touches
+/// `live / 64` chunk `Arc`s rather than one per instance.
+const CHUNK: usize = 1 << CHUNK_BITS;
+const CHUNK_MASK: u32 = (CHUNK as u32) - 1;
+
+/// Flat per-container-entry byte estimate used by [`Store::approx_bytes`]:
+/// roughly a boxed key slice header + a couple of values + the `InstanceRef`
+/// payload and container-node overhead. Deliberately key-size-independent so
+/// insert/remove/free keep the running counter consistent in O(1).
+const ENTRY_BYTES: usize = 48;
+
+/// One fixed-size block of arena slots, shared between store versions until
+/// a writer path-copies it.
+#[derive(Debug, Clone)]
+struct Chunk {
+    slots: [Option<Arc<Instance>>; CHUNK],
+}
+
+impl Default for Chunk {
+    fn default() -> Self {
+        Chunk {
+            slots: std::array::from_fn(|_| None),
+        }
+    }
+}
+
 /// A slot arena holding all instances of one decomposition node.
+///
+/// Slots are grouped into `Arc`-shared chunks of `CHUNK` entries; cloning
+/// an arena bumps one `Arc` per chunk and copies only the free-list.
 #[derive(Debug, Clone, Default)]
 pub struct Arena {
-    slots: Vec<Option<Instance>>,
+    chunks: Vec<Arc<Chunk>>,
     free: Vec<u32>,
     live: usize,
+    /// High-water slot count (slots ever created, free or live).
+    len: u32,
 }
 
 impl Arena {
@@ -129,18 +180,27 @@ impl Arena {
         self.live
     }
 
-    /// Reserves slot capacity for at least `additional` more instances.
+    /// Reserves chunk capacity for at least `additional` more instances.
     pub fn reserve(&mut self, additional: usize) {
-        self.slots
-            .reserve(additional.saturating_sub(self.free.len()));
+        let fresh = additional.saturating_sub(self.free.len());
+        self.chunks.reserve(fresh.div_ceil(CHUNK));
+    }
+
+    fn slot(&self, s: u32) -> Option<&Arc<Instance>> {
+        self.chunks
+            .get((s >> CHUNK_BITS) as usize)?
+            .slots
+            .get((s & CHUNK_MASK) as usize)?
+            .as_ref()
     }
 
     /// Iterates `(slot, instance)` for all live instances.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &Instance)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|inst| (i as u32, inst)))
+        self.chunks.iter().enumerate().flat_map(|(ci, chunk)| {
+            chunk.slots.iter().enumerate().filter_map(move |(si, s)| {
+                s.as_ref().map(|inst| ((ci * CHUNK + si) as u32, &**inst))
+            })
+        })
     }
 }
 
@@ -291,9 +351,42 @@ impl Layout {
 }
 
 /// All instance arenas of a synthesized relation, one per decomposition node.
+///
+/// `Store` is a *persistent* structure: `clone` is shallow (chunk `Arc`
+/// bumps), mutation path-copies shared chunks/instances, and
+/// [`deep_clone`](Store::deep_clone) recovers the old full-copy semantics for
+/// the benchmark's copy-on-write comparison arm.
 #[derive(Debug, Clone)]
 pub struct Store {
     arenas: Vec<Arena>,
+    /// Running estimate of this version's logical heap footprint. Shared
+    /// structure is counted in full by every version holding it (each
+    /// snapshot reports its own complete logical size).
+    approx_bytes: usize,
+}
+
+/// Estimated heap bytes attributable to one instance in its current shape:
+/// fixed struct overhead plus key/prim/link slots plus a flat
+/// [`ENTRY_BYTES`] per non-intrusive container entry (intrusive entries live
+/// in the child instances and are counted there). Value heap payloads
+/// (strings) are deliberately ignored — the counter is an O(1)-maintainable
+/// estimate, not an accounting of every byte.
+fn est_instance_bytes(inst: &Instance) -> usize {
+    use std::mem::size_of;
+    let entries: usize = inst
+        .prims
+        .iter()
+        .map(|p| match p {
+            PrimInst::Map(EdgeContainer::Intrusive { .. }) | PrimInst::Unit(_) => 0,
+            PrimInst::Map(c) => c.len() * ENTRY_BYTES,
+        })
+        .sum();
+    size_of::<Instance>()
+        + size_of::<Arc<Instance>>()
+        + inst.key.len() * size_of::<Value>()
+        + inst.prims.len() * size_of::<PrimInst>()
+        + inst.links.len() * size_of::<Link>()
+        + entries
 }
 
 impl Store {
@@ -301,7 +394,48 @@ impl Store {
     pub fn new(d: &Decomposition) -> Self {
         Store {
             arenas: (0..d.node_count()).map(|_| Arena::default()).collect(),
+            approx_bytes: 0,
         }
+    }
+
+    /// A fully independent deep copy: every chunk and instance is re-cloned,
+    /// sharing nothing with `self`. This reproduces the pre-reclamation
+    /// whole-store copy-on-write cost and exists for the benchmark harness's
+    /// CoW comparison arm (`SynthRelation::set_cow_store_clones`); nothing on
+    /// the production write path calls it.
+    pub fn deep_clone(&self) -> Store {
+        Store {
+            arenas: self
+                .arenas
+                .iter()
+                .map(|a| Arena {
+                    chunks: a
+                        .chunks
+                        .iter()
+                        .map(|c| {
+                            Arc::new(Chunk {
+                                slots: std::array::from_fn(|i| {
+                                    c.slots[i].as_ref().map(|inst| Arc::new((**inst).clone()))
+                                }),
+                            })
+                        })
+                        .collect(),
+                    free: a.free.clone(),
+                    live: a.live,
+                    len: a.len,
+                })
+                .collect(),
+            approx_bytes: self.approx_bytes,
+        }
+    }
+
+    /// Estimated heap bytes of this store version (struct overheads, key and
+    /// container-entry slots; value payloads excluded). Maintained as a
+    /// running counter — O(1) to read — so `relic_concurrent` can report
+    /// `limbo_bytes()` without walking retired stores. Versions sharing
+    /// structure each report their full logical size.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
     }
 
     /// The arena of a node.
@@ -311,15 +445,21 @@ impl Store {
 
     /// Allocates an instance, returning its handle.
     pub fn alloc(&mut self, node: NodeId, inst: Instance) -> InstanceRef {
+        self.approx_bytes = self.approx_bytes.saturating_add(est_instance_bytes(&inst));
         let arena = &mut self.arenas[node.index()];
         arena.live += 1;
         let slot = if let Some(s) = arena.free.pop() {
-            arena.slots[s as usize] = Some(inst);
             s
         } else {
-            arena.slots.push(Some(inst));
-            (arena.slots.len() - 1) as u32
+            let s = arena.len;
+            arena.len += 1;
+            if (s >> CHUNK_BITS) as usize == arena.chunks.len() {
+                arena.chunks.push(Arc::new(Chunk::default()));
+            }
+            s
         };
+        let chunk = Arc::make_mut(&mut arena.chunks[(slot >> CHUNK_BITS) as usize]);
+        chunk.slots[(slot & CHUNK_MASK) as usize] = Some(Arc::new(inst));
         InstanceRef { node: node.0, slot }
     }
 
@@ -329,8 +469,8 @@ impl Store {
     ///
     /// Panics if the handle is dangling.
     pub fn get(&self, r: InstanceRef) -> &Instance {
-        self.arenas[r.node as usize].slots[r.slot as usize]
-            .as_ref()
+        self.arenas[r.node as usize]
+            .slot(r.slot)
             .expect("live instance")
     }
 
@@ -338,24 +478,38 @@ impl Store {
     pub fn is_live(&self, r: InstanceRef) -> bool {
         self.arenas
             .get(r.node as usize)
-            .and_then(|a| a.slots.get(r.slot as usize))
-            .map(|s| s.is_some())
-            .unwrap_or(false)
+            .and_then(|a| a.slot(r.slot))
+            .is_some()
     }
 
     /// Mutable access to an instance.
+    ///
+    /// Path-copies: if the addressed chunk or instance is shared with
+    /// another store version (a published snapshot), it is cloned first —
+    /// the chunk shallowly (64 `Arc` bumps), the instance deeply (its key,
+    /// units and containers). Subsequent mutations in the same epoch find
+    /// both unique and mutate in place.
     pub fn get_mut(&mut self, r: InstanceRef) -> &mut Instance {
-        self.arenas[r.node as usize].slots[r.slot as usize]
+        let arena = &mut self.arenas[r.node as usize];
+        let chunk = Arc::make_mut(&mut arena.chunks[(r.slot >> CHUNK_BITS) as usize]);
+        let inst = chunk.slots[(r.slot & CHUNK_MASK) as usize]
             .as_mut()
-            .expect("live instance")
+            .expect("live instance");
+        Arc::make_mut(inst)
     }
 
-    /// Frees an instance slot, returning its contents.
-    pub fn free(&mut self, r: InstanceRef) -> Instance {
+    /// Frees an instance slot, returning the (possibly still snapshot-shared)
+    /// instance. The final deep drop happens when the last store version
+    /// holding it is reclaimed.
+    pub fn free(&mut self, r: InstanceRef) -> Arc<Instance> {
         let arena = &mut self.arenas[r.node as usize];
-        let inst = arena.slots[r.slot as usize].take().expect("live instance");
+        let chunk = Arc::make_mut(&mut arena.chunks[(r.slot >> CHUNK_BITS) as usize]);
+        let inst = chunk.slots[(r.slot & CHUNK_MASK) as usize]
+            .take()
+            .expect("live instance");
         arena.free.push(r.slot);
         arena.live -= 1;
+        self.approx_bytes = self.approx_bytes.saturating_sub(est_instance_bytes(&inst));
         inst
     }
 
@@ -468,6 +622,7 @@ impl Store {
                 _ => unreachable!("unit leaf or intrusive handled above"),
             };
             debug_assert!(prev.is_none(), "caller must check key absence first");
+            self.approx_bytes = self.approx_bytes.saturating_add(ENTRY_BYTES);
         }
         self.get_mut(child).refs += 1;
     }
@@ -489,14 +644,18 @@ impl Store {
             self.intrusive_unlink(parent, leaf, child);
             Some(child)
         } else {
-            match &mut self.get_mut(parent).prims[leaf] {
+            let removed = match &mut self.get_mut(parent).prims[leaf] {
                 PrimInst::Map(EdgeContainer::Hash(c)) => c.remove(key),
                 PrimInst::Map(EdgeContainer::Avl(c)) => c.remove(key),
                 PrimInst::Map(EdgeContainer::Sorted(c)) => c.remove(key),
                 PrimInst::Map(EdgeContainer::Assoc(c)) => c.remove(key),
                 PrimInst::Map(EdgeContainer::DList(c)) => c.remove(key),
                 _ => unreachable!("unit leaf or intrusive handled above"),
+            };
+            if removed.is_some() {
+                self.approx_bytes = self.approx_bytes.saturating_sub(ENTRY_BYTES);
             }
+            removed
         }
     }
 

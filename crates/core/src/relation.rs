@@ -75,10 +75,13 @@ pub struct SynthRelation {
     /// migration — never mutated in place, so sharing is always sound).
     d: Arc<Decomposition>,
     layout: Arc<Layout>,
-    /// The instance store. Mutations go through [`Arc::make_mut`]: while no
-    /// snapshot shares the store the relation mutates in place exactly as
-    /// before; the first mutation after a snapshot was taken pays one
-    /// copy-on-write clone, leaving the snapshot's store frozen.
+    /// The instance store. Mutations go through `store_mut`
+    /// (`Arc::make_mut`): while no snapshot shares the store the relation
+    /// mutates in place exactly as before; the first mutation after a
+    /// snapshot was taken pays one *shallow* store clone (the store is a
+    /// persistent chunked structure — see [`Store`]), after which touched
+    /// chunks/instances are path-copied lazily. The snapshot's version stays
+    /// frozen while the writer pays only for what it touches.
     store: Arc<Store>,
     root: InstanceRef,
     cost: CostModel,
@@ -103,8 +106,34 @@ pub struct SynthRelation {
     /// [`set_profiling`](SynthRelation::set_profiling)).
     profiling: bool,
     check_fds: bool,
+    /// When set, a mutation that finds the store shared with a snapshot
+    /// replaces it with a full [`Store::deep_clone`] — the pre-reclamation
+    /// whole-store copy-on-write behaviour, kept so benchmarks can measure
+    /// the old write-side tax honestly. Off (shallow persistent clones) by
+    /// default.
+    cow_store_clones: bool,
     len: usize,
     min_key: ColSet,
+}
+
+/// Mutable access to a relation's store, resolving sharing with outstanding
+/// snapshots first.
+///
+/// Default mode: `Arc::make_mut` performs a *shallow* clone when shared
+/// (chunk `Arc` bumps, `O(live/64)`), leaving snapshot versions frozen while
+/// subsequent [`Store::get_mut`] calls path-copy only the touched instances.
+/// With `deep_cow` armed ([`SynthRelation::set_cow_store_clones`]), a shared
+/// store is instead replaced by a full deep copy — the historical
+/// clone-per-epoch write tax, preserved as a benchmark comparison arm.
+///
+/// A free function over the store field (not a method) so call sites inside
+/// loops that borrow other `SynthRelation` fields still pass the borrow
+/// checker.
+fn store_mut(store: &mut Arc<Store>, deep_cow: bool) -> &mut Store {
+    if deep_cow && Arc::strong_count(store) > 1 {
+        *store = Arc::new(store.deep_clone());
+    }
+    Arc::make_mut(store)
 }
 
 impl SynthRelation {
@@ -138,9 +167,23 @@ impl SynthRelation {
             profile: Arc::new(ProfileCounters::default()),
             profiling: true,
             check_fds: true,
+            cow_store_clones: false,
             len: 0,
             min_key,
         })
+    }
+
+    /// Arms or disarms whole-store deep-clone-on-write (off by default; see
+    /// `store_mut`). For benchmarking the pre-reclamation copy-on-write
+    /// cost only.
+    pub fn set_cow_store_clones(&mut self, on: bool) {
+        self.cow_store_clones = on;
+    }
+
+    /// Estimated heap bytes of the current store version (an O(1) running
+    /// estimate — see [`Store::approx_bytes`]).
+    pub fn store_approx_bytes(&self) -> usize {
+        self.store.approx_bytes()
     }
 
     /// An immutable, `Arc`-shared view of the relation's current state —
@@ -745,7 +788,7 @@ impl SynthRelation {
                 found.unwrap_or_else(|| {
                     let key = t.key_for(self.d.node(node).bound);
                     let inst = self.layout.new_instance(&self.d, node, key, t);
-                    Arc::make_mut(&mut self.store).alloc(node, inst)
+                    store_mut(&mut self.store, self.cow_store_clones).alloc(node, inst)
                 })
             };
             for &e in self.d.incoming_edges(node) {
@@ -755,7 +798,8 @@ impl SynthRelation {
                 t.write_key_into(edge.key, &mut kb);
                 if self.store.cont_get(parent, leaf, &kb).is_none() {
                     let ekey: Key = kb.as_slice().into();
-                    Arc::make_mut(&mut self.store).cont_insert(parent, leaf, ekey, inst);
+                    store_mut(&mut self.store, self.cow_store_clones)
+                        .cont_insert(parent, leaf, ekey, inst);
                 }
             }
             resolved[node.index()] = Some(inst);
@@ -1288,7 +1332,7 @@ impl SynthRelation {
                 }
                 let leaf = a.leaf;
                 let to = self.d.edge(eid).to;
-                let store = Arc::make_mut(&mut self.store);
+                let store = store_mut(&mut self.store, self.cow_store_clones);
                 store.cont_reserve(self.root, leaf, groups);
                 store.reserve_node(to, groups);
             }
@@ -1297,7 +1341,7 @@ impl SynthRelation {
         // per accepted tuple — pre-size their arenas once.
         for (id, node) in self.d.nodes() {
             if self.min_key.is_subset(node.bound) && !self.min_key.is_empty() {
-                Arc::make_mut(&mut self.store).reserve_node(id, order.len());
+                store_mut(&mut self.store, self.cow_store_clones).reserve_node(id, order.len());
             }
         }
         let topo: Vec<NodeId> = self.d.topo_root_first().collect();
@@ -1373,7 +1417,10 @@ impl SynthRelation {
                                 .into_boxed_slice(),
                                 refs: 0,
                             };
-                            (Arc::make_mut(&mut self.store).alloc(node, inst), true)
+                            (
+                                store_mut(&mut self.store, self.cow_store_clones).alloc(node, inst),
+                                true,
+                            )
                         }
                     }
                 };
@@ -1388,7 +1435,7 @@ impl SynthRelation {
                             // The previous parent's group is over — build
                             // its container — and this freshly created
                             // parent (whose container is empty) takes over.
-                            a.flush(Arc::make_mut(&mut self.store));
+                            a.flush(store_mut(&mut self.store, self.cow_store_clones));
                             a.parent = Some(parent);
                         }
                         if a.parent == Some(parent) {
@@ -1403,7 +1450,9 @@ impl SynthRelation {
                                 a.ascending &= last < &key;
                             }
                             a.entries.push((key, inst));
-                            Arc::make_mut(&mut self.store).get_mut(inst).refs += 1;
+                            store_mut(&mut self.store, self.cow_store_clones)
+                                .get_mut(inst)
+                                .refs += 1;
                             continue;
                         }
                     }
@@ -1413,7 +1462,8 @@ impl SynthRelation {
                         // cannot hold its key yet — insert without
                         // re-probing.
                         let ekey: Key = kb.as_slice().into();
-                        Arc::make_mut(&mut self.store).cont_insert(parent, leaf, ekey, inst);
+                        store_mut(&mut self.store, self.cow_store_clones)
+                            .cont_insert(parent, leaf, ekey, inst);
                     }
                 }
                 resolved[idx] = Some(inst);
@@ -1426,7 +1476,7 @@ impl SynthRelation {
         }
         self.key_scratch = kb;
         for a in &mut accs {
-            a.flush(Arc::make_mut(&mut self.store));
+            a.flush(store_mut(&mut self.store, self.cow_store_clones));
         }
     }
 
@@ -1668,7 +1718,9 @@ impl SynthRelation {
             };
             let leaf = self.layout.leaf_of_edge[e.index()];
             t.write_key_into(edge.key, &mut kb);
-            if let Some(child) = Arc::make_mut(&mut self.store).cont_remove(parent, leaf, &kb) {
+            if let Some(child) =
+                store_mut(&mut self.store, self.cow_store_clones).cont_remove(parent, leaf, &kb)
+            {
                 self.decref(child);
             }
         }
@@ -1693,13 +1745,17 @@ impl SynthRelation {
                 }
                 let leaf = self.layout.leaf_of_edge[e.index()];
                 t.write_key_into(edge.key, &mut kb);
-                if let Some(child) = Arc::make_mut(&mut self.store).cont_remove(parent, leaf, &kb) {
+                if let Some(child) =
+                    store_mut(&mut self.store, self.cow_store_clones).cont_remove(parent, leaf, &kb)
+                {
                     debug_assert_eq!(child, inst);
-                    Arc::make_mut(&mut self.store).get_mut(child).refs -= 1;
+                    store_mut(&mut self.store, self.cow_store_clones)
+                        .get_mut(child)
+                        .refs -= 1;
                 }
             }
             if self.store.get(inst).refs == 0 {
-                let _ = Arc::make_mut(&mut self.store).free(inst);
+                let _ = store_mut(&mut self.store, self.cow_store_clones).free(inst);
             }
         }
         self.key_scratch = kb;
@@ -1718,7 +1774,7 @@ impl SynthRelation {
     /// Decrements an instance's reference count, freeing (recursively) at
     /// zero.
     fn decref(&mut self, r: InstanceRef) {
-        let inst = Arc::make_mut(&mut self.store).get_mut(r);
+        let inst = store_mut(&mut self.store, self.cow_store_clones).get_mut(r);
         inst.refs -= 1;
         if inst.refs == 0 {
             self.free_recursive(r);
@@ -1743,12 +1799,13 @@ impl SynthRelation {
                 PrimInst::Unit(_) => {}
             }
         }
-        let _ = Arc::make_mut(&mut self.store).free(r);
+        let _ = store_mut(&mut self.store, self.cow_store_clones).free(r);
         // Intrusive children carry stale links to the freed parent's list;
         // reset them before releasing the reference.
         for (slot, c) in intrusive_children {
-            Arc::make_mut(&mut self.store).get_mut(c).links[slot] =
-                crate::instance::Link::default();
+            store_mut(&mut self.store, self.cow_store_clones)
+                .get_mut(c)
+                .links[slot] = crate::instance::Link::default();
             self.decref(c);
         }
         for c in children {
@@ -1852,7 +1909,10 @@ impl SynthRelation {
                 if cols.is_disjoint(changed) {
                     continue;
                 }
-                match &mut Arc::make_mut(&mut self.store).get_mut(inst).prims[leaf] {
+                match &mut store_mut(&mut self.store, self.cow_store_clones)
+                    .get_mut(inst)
+                    .prims[leaf]
+                {
                     PrimInst::Unit(u) => *u = t_new.project(cols),
                     PrimInst::Map(_) => unreachable!("unit leaf expected"),
                 }

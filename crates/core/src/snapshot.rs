@@ -99,6 +99,15 @@ impl Snapshot {
         self.len
     }
 
+    /// Estimated heap bytes of this snapshot's store version (the O(1)
+    /// running estimate of [`Store::approx_bytes`]; versions sharing
+    /// structure each report their full logical size). Feeds
+    /// `relic_concurrent`'s `limbo_bytes()` accounting for retired
+    /// snapshots.
+    pub fn store_approx_bytes(&self) -> usize {
+        self.store.approx_bytes()
+    }
+
     /// Is the snapshot empty?
     pub fn is_empty(&self) -> bool {
         self.len == 0
