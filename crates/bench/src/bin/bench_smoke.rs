@@ -4,7 +4,7 @@
 //! against the recorded `BENCH_*.json` files.
 //!
 //! Usage: `cargo run --release --bin bench_smoke [-- [--quick] [--cores N]
-//! [--only FAMILY] [OUTPUT.json]]` (default output path: `BENCH_8.json` in
+//! [--only FAMILY] [OUTPUT.json]]` (default output path: `BENCH_9.json` in
 //! the current directory).
 //! `--quick` shrinks sizes and repetition counts to a compile-and-run smoke
 //! check for CI — its timings are not comparable to full runs. **Every**
@@ -1200,13 +1200,196 @@ fn bench_replication(out: &mut Vec<(String, f64)>, quick: bool) {
     let _ = std::fs::remove_dir_all(&base);
 }
 
+/// `serving` (PR 9): the `relic_server` network front end, measured at its
+/// two serving-side claims:
+///
+/// * `ingest_*_ns_per_op` — pipelined insert ingest across many client
+///   connections, once with cross-connection request coalescing and group
+///   commit (`Coalesced`: consecutive inserts merge into `insert_many`
+///   runs and the whole worker batch shares **one fsync**) and once with
+///   an fsync per request (`PerRequest`). The ratio
+///   (`group_commit_speedup_x`) is the serving twin of
+///   `wal_commit/per_record_fsync ÷ group_commit`.
+/// * `open_loop_p50_ns` / `open_loop_p99_ns` — response latency of point
+///   queries under a wave of concurrent connections (`open_loop_conns` of
+///   them, ≥1k in full mode): every connection's request is sent before
+///   any response is read, so the server carries the whole wave at once;
+///   latency is stamped per request from send to response-decoded.
+fn bench_serving(out: &mut Vec<(String, f64)>, quick: bool) {
+    use relic_core::netmsg::{NetRequest, NetResponse};
+    use relic_server::{Client, CommitMode, ServeHandle, ServerConfig};
+    use std::sync::{Arc, Barrier};
+
+    let base = std::env::temp_dir().join(format!("relic_bench_serving_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    let spawn_server = |dir: &std::path::Path, mode: CommitMode| -> ServeHandle {
+        let mut cat = Catalog::new();
+        let (k, v) = (cat.intern("k"), cat.intern("v"));
+        let spec = RelSpec::new(k | v).with_fd(k.set(), v.set());
+        let d = parse(
+            &mut cat,
+            "let u : {k} . {v} = unit {v} in
+             let x : {} . {k,v} = {k} -[htable]-> u in x",
+        )
+        .unwrap();
+        let rel = DurableRelation::create(
+            dir,
+            &cat,
+            spec,
+            d,
+            k.set(),
+            4,
+            true,
+            GroupCommitPolicy::manual(),
+        )
+        .unwrap();
+        let config = ServerConfig {
+            commit: mode,
+            ..ServerConfig::default()
+        };
+        ServeHandle::spawn(Arc::new(rel), config).unwrap()
+    };
+
+    // Ingest: every connection pipelines its inserts (send all, then drain
+    // acks), so the server sees whole runs of mutation frames to coalesce.
+    let ingest_conns: usize = if quick { 4 } else { 32 };
+    let arms: [(&str, CommitMode, usize); 2] = [
+        (
+            "ingest_coalesced_ns_per_op",
+            CommitMode::Coalesced,
+            if quick { 64 } else { 512 },
+        ),
+        (
+            "ingest_per_request_ns_per_op",
+            CommitMode::PerRequest,
+            if quick { 8 } else { 32 },
+        ),
+    ];
+    let (warmup, reps) = if quick { (0, 1) } else { (1, 3) };
+    let mut arm_ns = [0f64; 2];
+    for (arm, (label, mode, per_conn)) in arms.into_iter().enumerate() {
+        let mut rep = 0usize;
+        let ns = time_stage_ns(warmup, reps, || {
+            rep += 1;
+            let dir = base.join(format!("{label}_{rep}"));
+            let server = spawn_server(&dir, mode);
+            let addr = server.addr();
+            let barrier = Arc::new(Barrier::new(ingest_conns + 1));
+            let workers: Vec<_> = (0..ingest_conns)
+                .map(|c| {
+                    let barrier = Arc::clone(&barrier);
+                    std::thread::spawn(move || {
+                        let mut client = Client::connect(addr).unwrap();
+                        let (cat, _) = client.catalog().unwrap();
+                        let (k, v) = (cat.col("k").unwrap(), cat.col("v").unwrap());
+                        barrier.wait();
+                        for i in 0..per_conn {
+                            let key = (c * 1_000_000 + i) as i64;
+                            client
+                                .send(&NetRequest::Insert {
+                                    tuple: Tuple::from_pairs([
+                                        (k, Value::from(key)),
+                                        (v, Value::from(key)),
+                                    ]),
+                                })
+                                .unwrap();
+                        }
+                        let mut inserted = 0u64;
+                        for _ in 0..per_conn {
+                            match client.recv().unwrap() {
+                                NetResponse::Ack { n } => inserted += n,
+                                other => panic!("expected ack, got {other:?}"),
+                            }
+                        }
+                        inserted
+                    })
+                })
+                .collect();
+            barrier.wait();
+            let start = Instant::now();
+            let inserted: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+            let elapsed = start.elapsed().as_nanos() as f64;
+            let total = (ingest_conns * per_conn) as u64;
+            assert_eq!(inserted, total, "every pipelined insert acked exactly once");
+            server.stop().unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            (elapsed / total as f64, inserted as usize)
+        });
+        arm_ns[arm] = ns;
+        out.push((format!("serving/{label}"), ns));
+    }
+    out.push((
+        "serving/group_commit_speedup_x".to_string(),
+        arm_ns[1] / arm_ns[0],
+    ));
+
+    // Open-loop latency waves: `wave_conns` connections each holding one
+    // row; per round, send every connection's point query before reading
+    // any response, then stamp each response as it is drained.
+    {
+        let wave_conns: usize = if quick { 128 } else { 1024 };
+        let rounds: usize = if quick { 3 } else { 10 };
+        let dir = base.join("open_loop");
+        let server = spawn_server(&dir, CommitMode::Coalesced);
+        let addr = server.addr();
+        let mut clients: Vec<Client> = Vec::with_capacity(wave_conns);
+        let mut first = Client::connect(addr).unwrap();
+        let (cat, _) = first.catalog().unwrap();
+        let (k, v) = (cat.col("k").unwrap(), cat.col("v").unwrap());
+        clients.push(first);
+        for _ in 1..wave_conns {
+            clients.push(Client::connect(addr).unwrap());
+        }
+        for (c, client) in clients.iter_mut().enumerate() {
+            client
+                .insert(Tuple::from_pairs([
+                    (k, Value::from(c as i64)),
+                    (v, Value::from(c as i64)),
+                ]))
+                .unwrap();
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(wave_conns * rounds);
+        let mut rows = 0usize;
+        for _ in 0..rounds {
+            let mut sent = Vec::with_capacity(wave_conns);
+            for (c, client) in clients.iter_mut().enumerate() {
+                let key = Tuple::from_pairs([(k, Value::from(c as i64))]);
+                sent.push(Instant::now());
+                client
+                    .send(&NetRequest::Query {
+                        pattern: key,
+                        out: relic_spec::ColSet::empty(),
+                    })
+                    .unwrap();
+            }
+            for (c, client) in clients.iter_mut().enumerate() {
+                match client.recv().unwrap() {
+                    NetResponse::Rows { tuples } => rows += tuples.len(),
+                    other => panic!("expected rows, got {other:?}"),
+                }
+                samples.push(sent[c].elapsed().as_nanos() as f64);
+            }
+        }
+        assert_eq!(rows, wave_conns * rounds, "every point query found its row");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let pct = |p: usize| samples[(samples.len() - 1) * p / 100];
+        out.push(("serving/open_loop_conns".to_string(), wave_conns as f64));
+        out.push(("serving/open_loop_p50_ns".to_string(), pct(50)));
+        out.push(("serving/open_loop_p99_ns".to_string(), pct(99)));
+        drop(clients);
+        server.stop().unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 fn main() {
     let mut quick = false;
     let mut only: Option<String> = None;
     let mut cores: Option<usize> = None;
     let mut expect_only = false;
     let mut expect_cores = false;
-    let mut out_path = "BENCH_8.json".to_string();
+    let mut out_path = "BENCH_9.json".to_string();
     for arg in std::env::args().skip(1) {
         if expect_only {
             only = Some(arg);
@@ -1234,7 +1417,7 @@ fn main() {
             out_path = arg;
         }
     }
-    const FAMILIES: [&str; 11] = [
+    const FAMILIES: [&str; 12] = [
         "micro_cache",
         "micro_scheduler",
         "query_hot_path",
@@ -1246,6 +1429,7 @@ fn main() {
         "writer_scaling",
         "wal_commit",
         "replication",
+        "serving",
     ];
     if expect_only {
         eprintln!("--only requires a workload family: one of {FAMILIES:?}");
@@ -1296,6 +1480,9 @@ fn main() {
     if run("replication") {
         bench_replication(&mut results, quick);
     }
+    if run("serving") {
+        bench_serving(&mut results, quick);
+    }
     // Timings are only comparable within one machine + toolchain, so the
     // header records both — plus the thread-honesty fields: `cpus` is what
     // the machine really has, `cores_requested` the `--cores` cap (null
@@ -1331,7 +1518,7 @@ fn main() {
     let cores_json = cores.map_or("null".to_string(), |c| c.to_string());
     let rustc = env!("RELIC_BENCH_RUSTC");
     let mut json = format!(
-        "{{\n  \"schema\": \"relic-bench-smoke-v8\",\n  \"quick\": {quick},\n  \
+        "{{\n  \"schema\": \"relic-bench-smoke-v9\",\n  \"quick\": {quick},\n  \
          \"cpus\": {cpus},\n  \"cores_requested\": {cores_json},\n  \
          \"oversubscribed\": {oversubscribed},\n  \"rustc\": \"{rustc}\",\n  \"results\": {{\n"
     );

@@ -177,6 +177,24 @@ impl From<BuildError> for ConcurrentBuildError {
     }
 }
 
+/// A coherent reading of the reclamation-pressure gauges, collected by
+/// [`ConcurrentRelation::pressure`] in one pass. A serving front end's
+/// admission control sheds writes when these cross its thresholds:
+/// applying more mutations while readers pin old epochs only grows the
+/// limbo lists it cannot drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryPressure {
+    /// Estimated heap bytes parked on the limbo lists
+    /// (see [`ConcurrentRelation::limbo_bytes`]).
+    pub limbo_bytes: usize,
+    /// Retired snapshots currently parked
+    /// (see [`ConcurrentRelation::limbo_len`]).
+    pub limbo_len: usize,
+    /// Publish epochs the slowest pinned reader trails by
+    /// (see [`ConcurrentRelation::pinned_epoch_lag`]).
+    pub pinned_epoch_lag: u64,
+}
+
 /// One shard's publish slot: the frozen snapshot readers collect, paired
 /// with the *writer stamp* of the last stamped publish.
 ///
@@ -1049,6 +1067,25 @@ impl ConcurrentRelation {
             })
             .max()
             .unwrap_or(0)
+    }
+
+    /// One coherent snapshot of the reclamation-pressure gauges
+    /// ([`limbo_bytes`](ConcurrentRelation::limbo_bytes),
+    /// [`limbo_len`](ConcurrentRelation::limbo_len),
+    /// [`pinned_epoch_lag`](ConcurrentRelation::pinned_epoch_lag)) — the
+    /// per-worker admission-control probe of a serving front end, which
+    /// wants all three without three separate shard walks.
+    pub fn pressure(&self) -> MemoryPressure {
+        let (mut bytes, mut len) = (0usize, 0usize);
+        for l in self.limbo.iter() {
+            bytes += l.bytes();
+            len += l.len();
+        }
+        MemoryPressure {
+            limbo_bytes: bytes,
+            limbo_len: len,
+            pinned_epoch_lag: self.pinned_epoch_lag(),
+        }
     }
 
     /// Arms or disarms whole-store deep-clone-on-write in every shard (see

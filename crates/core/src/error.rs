@@ -131,6 +131,16 @@ pub enum OpError {
         /// The column whose value had the wrong shape.
         col: ColId,
     },
+    /// The operation is too large to process as one unit — e.g. a logged
+    /// partition transaction whose encoded record would overflow the WAL
+    /// frame cap. The operation is refused *before* any state changes, so
+    /// the relation and the log stay consistent.
+    TooLarge {
+        /// The offending encoded size, in bytes.
+        len: usize,
+        /// The largest size accepted.
+        max: usize,
+    },
 }
 
 impl fmt::Display for OpError {
@@ -158,6 +168,9 @@ impl fmt::Display for OpError {
             OpError::Plan(e) => write!(f, "{e}"),
             OpError::MalformedRow { col } => {
                 write!(f, "stored row has a malformed value in column {col:?}")
+            }
+            OpError::TooLarge { len, max } => {
+                write!(f, "operation encodes to {len} bytes, over the {max}-byte limit")
             }
         }
     }

@@ -28,6 +28,7 @@ mod alpha;
 mod error;
 mod exec;
 mod instance;
+pub mod netmsg;
 mod profile;
 mod relation;
 pub(crate) mod snapshot;

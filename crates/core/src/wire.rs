@@ -230,14 +230,21 @@ pub fn put_tuple(out: &mut Vec<u8>, t: &Tuple) {
 ///
 /// # Errors
 ///
-/// As for [`take_value`].
+/// As for [`take_value`], plus [`WireError::Arity`] if the value list
+/// cannot be paired with the decoded domain — decoders never panic on
+/// untrusted bytes, so the tuple is rebuilt through the fallible
+/// constructor rather than the asserting one.
 pub fn take_tuple(r: &mut Reader<'_>) -> Result<Tuple, WireError> {
     let cols = ColSet::from_bits(r.take_u64()?);
     let mut vals = Vec::with_capacity(cols.len());
     for _ in 0..cols.len() {
         vals.push(take_value(r)?);
     }
-    Ok(Tuple::from_parts(cols, vals))
+    let vals_len = vals.len();
+    Tuple::try_from_parts(cols, vals).map_err(|_| WireError::Arity {
+        cols: cols.len(),
+        vals: vals_len,
+    })
 }
 
 /// Appends a `u32`-count-prefixed tuple batch.

@@ -48,7 +48,7 @@
 //! the log prefix the checkpoint covers.
 
 use crate::checkpoint::{read_checkpoint, write_checkpoint, Checkpoint};
-use crate::wal::{read_wal, GroupCommitPolicy, TailRead, Wal, WalRecord};
+use crate::wal::{read_wal, GroupCommitPolicy, TailRead, TxnBuilder, Wal, WalRecord, MAX_PAYLOAD};
 use crate::{DurableSchema, PersistError};
 use relic_concurrent::{ConcurrentRelation, ReadHandle, ReadView};
 use relic_core::wire::WireError;
@@ -250,9 +250,11 @@ impl DurableRelation {
     /// threshold group commit fails.
     pub fn insert(&self, t: Tuple) -> Result<bool, PersistError> {
         let i = self.rel.owning_shard(&t);
-        let rec = WalRecord::Insert(t.clone());
+        // Encode (and size-check) outside the lock: the in-lock append is
+        // then infallible, so a refused record changes no state.
+        let rec = Wal::encode_record(&WalRecord::Insert(t.clone()))?;
         let res = self.rel.with_shard_mut_stamped(i, |shard| {
-            let seq = self.wal.append(&rec);
+            let seq = self.wal.append_encoded(&rec);
             (shard.insert(t), Some(seq))
         });
         self.wal.maybe_commit()?;
@@ -268,16 +270,16 @@ impl DurableRelation {
     /// As for [`SynthRelation::remove`], wrapped in
     /// [`PersistError::Op`].
     pub fn remove(&self, pattern: &Tuple) -> Result<usize, PersistError> {
-        let rec = WalRecord::Remove(pattern.clone());
+        let rec = Wal::encode_record(&WalRecord::Remove(pattern.clone()))?;
         let res = if self.pins(pattern.dom()) {
             let i = self.rel.owning_shard(pattern);
             self.rel.with_shard_mut_stamped(i, |shard| {
-                let seq = self.wal.append(&rec);
+                let seq = self.wal.append_encoded(&rec);
                 (shard.remove(pattern), Some(seq))
             })
         } else {
             self.rel.with_all_shards_mut_stamped(|shards| {
-                let seq = self.wal.append(&rec);
+                let seq = self.wal.append_encoded(&rec);
                 let mut n = 0;
                 for s in shards.iter_mut() {
                     match s.remove(pattern) {
@@ -335,11 +337,18 @@ impl DurableRelation {
             if group.is_empty() {
                 continue;
             }
+            // The record is serialized straight from the group (no owned
+            // WalRecord clone) and size-checked before the shard lock is
+            // taken; the group then moves into the shard's batch engine.
+            let rec = match Wal::encode_insert_batch(bulk, &group) {
+                Ok(rec) => rec,
+                Err(e) => {
+                    self.wal.maybe_commit()?;
+                    return Err(e);
+                }
+            };
             let res = self.rel.with_shard_mut_stamped(i, |shard| {
-                // The record is serialized straight from the group (no
-                // owned WalRecord clone) before the group moves into the
-                // shard's batch engine.
-                let seq = self.wal.append_insert_batch(bulk, &group);
+                let seq = self.wal.append_encoded(&rec);
                 let r = if bulk {
                     shard.bulk_load(group)
                 } else {
@@ -368,9 +377,9 @@ impl DurableRelation {
     /// As for [`SynthRelation::remove_many`], wrapped in
     /// [`PersistError::Op`].
     pub fn remove_many(&self, patterns: &[Tuple]) -> Result<usize, PersistError> {
-        let rec = WalRecord::RemoveMany(patterns.to_vec());
+        let rec = Wal::encode_record(&WalRecord::RemoveMany(patterns.to_vec()))?;
         let res = self.rel.with_all_shards_mut_stamped(|shards| {
-            let seq = self.wal.append(&rec);
+            let seq = self.wal.append_encoded(&rec);
             let mut n = 0;
             for s in shards.iter_mut() {
                 match s.remove_many(patterns.iter()) {
@@ -394,8 +403,10 @@ impl DurableRelation {
     /// As for [`ConcurrentRelation::migrate_to`], wrapped in
     /// [`PersistError::Migrate`].
     pub fn migrate_to(&self, d: Decomposition) -> Result<(), PersistError> {
-        let rec = WalRecord::MigrationEpoch(d.to_let_notation(&self.cat));
-        let res = self.rel.migrate_to_stamped(d, || self.wal.append(&rec));
+        let rec = Wal::encode_record(&WalRecord::MigrationEpoch(d.to_let_notation(&self.cat)))?;
+        let res = self
+            .rel
+            .migrate_to_stamped(d, || self.wal.append_encoded(&rec));
         self.wal.maybe_commit()?;
         res.map_err(PersistError::Migrate)
     }
@@ -429,19 +440,21 @@ impl DurableRelation {
         );
         let i = self.rel.owning_shard(key);
         let out = self.rel.with_shard_mut_stamped(i, |shard| {
-            let mut ops = Vec::new();
+            let mut txn = TxnBuilder::default();
             let r = {
                 let mut p = DurablePartition {
                     shard,
                     shard_cols: self.shard_cols,
-                    ops: &mut ops,
+                    txn: &mut txn,
                 };
                 f(&mut p)
             };
-            let stamp = if ops.is_empty() {
+            let stamp = if txn.is_empty() {
                 None // read-only closure: nothing to log or re-stamp
             } else {
-                Some(self.wal.append(&WalRecord::Txn(ops)))
+                // Infallible: every op was size-checked (and encoded) by
+                // the builder before it was applied to the shard.
+                Some(self.wal.append_encoded(&txn.finish()))
             };
             (r, stamp)
         });
@@ -518,6 +531,21 @@ impl DurableRelation {
     /// The highest log sequence number known durable.
     pub fn durable_seq(&self) -> u64 {
         self.wal.durable_seq()
+    }
+
+    /// Bytes appended to the log but not yet flushed — the group-commit
+    /// flush lag ([`Wal::pending_bytes`]). A serving front end's admission
+    /// control watches this: past its threshold it forces a commit (or
+    /// delays new frames) instead of letting the unflushed segment grow
+    /// without bound.
+    pub fn wal_pending_bytes(&self) -> usize {
+        self.wal.pending_bytes()
+    }
+
+    /// Records appended to the log but not yet flushed
+    /// ([`Wal::pending_records`]).
+    pub fn wal_pending_records(&self) -> usize {
+        self.wal.pending_records()
     }
 
     // -- replication hooks --------------------------------------------------
@@ -823,11 +851,16 @@ pub fn replay_record(
 /// the closure ends — the sub-operations replay in order against the same
 /// per-shard state they originally saw, so outcomes — including rejected
 /// writes — reproduce exactly).
+///
+/// Each write is encoded into the transaction frame *before* it is
+/// applied; a write that would overflow the frame cap is refused with
+/// [`OpError::TooLarge`] and changes nothing, so an oversized sequence can
+/// never end up applied to the shard but unloggable.
 #[derive(Debug)]
 pub struct DurablePartition<'a> {
     shard: &'a mut SynthRelation,
     shard_cols: ColSet,
-    ops: &'a mut Vec<WalRecord>,
+    txn: &'a mut TxnBuilder,
 }
 
 impl DurablePartition<'_> {
@@ -849,9 +882,13 @@ impl DurablePartition<'_> {
     ///
     /// # Errors
     ///
-    /// As for [`SynthRelation::insert`].
+    /// As for [`SynthRelation::insert`], plus [`OpError::TooLarge`] if the
+    /// write would overflow the transaction's log frame (refused before
+    /// applying).
     pub fn insert(&mut self, t: Tuple) -> Result<bool, OpError> {
-        self.ops.push(WalRecord::Insert(t.clone()));
+        self.txn
+            .push(&WalRecord::Insert(t.clone()))
+            .map_err(frame_cap_to_op)?;
         self.shard.insert(t)
     }
 
@@ -861,7 +898,9 @@ impl DurablePartition<'_> {
     ///
     /// # Errors
     ///
-    /// As for [`SynthRelation::remove`].
+    /// As for [`SynthRelation::remove`], plus [`OpError::TooLarge`] if the
+    /// write would overflow the transaction's log frame (refused before
+    /// applying).
     ///
     /// # Panics
     ///
@@ -871,8 +910,23 @@ impl DurablePartition<'_> {
             self.shard_cols.is_subset(pattern.dom()),
             "partition removals must pin the shard columns"
         );
-        self.ops.push(WalRecord::Remove(pattern.clone()));
+        self.txn
+            .push(&WalRecord::Remove(pattern.clone()))
+            .map_err(frame_cap_to_op)?;
         self.shard.remove(pattern)
+    }
+}
+
+/// Maps [`TxnBuilder::push`]'s cap refusal into the operation-level error
+/// a partition closure's caller sees.
+fn frame_cap_to_op(e: PersistError) -> OpError {
+    match e {
+        PersistError::FrameTooLarge { len, max } => OpError::TooLarge { len, max },
+        // push only ever reports FrameTooLarge; keep a sane fallback.
+        _ => OpError::TooLarge {
+            len: usize::MAX,
+            max: MAX_PAYLOAD as usize,
+        },
     }
 }
 

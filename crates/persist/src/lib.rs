@@ -53,13 +53,15 @@
 
 pub mod checkpoint;
 pub mod durable;
+pub mod frame;
 pub mod wal;
 
 pub use checkpoint::{read_checkpoint, write_checkpoint, Checkpoint};
 pub use durable::{replay_record, DurablePartition, DurableRelation};
+pub use frame::{frame_message, FrameReader, MAX_FRAME_PAYLOAD};
 pub use wal::{
-    crc32, decode_frame, read_wal, GroupCommitPolicy, ScannedWal, TailRead, Wal, WalEntry,
-    WalRecord,
+    crc32, decode_frame, read_wal, Crc32, EncodedRecord, GroupCommitPolicy, ScannedWal, TailRead,
+    TxnBuilder, Wal, WalEntry, WalRecord, MAX_PAYLOAD,
 };
 
 use relic_concurrent::ConcurrentBuildError;
@@ -87,6 +89,16 @@ pub enum PersistError {
     /// The on-disk state is unusable: a required checkpoint is missing or
     /// unreadable, or the log is internally inconsistent.
     Corrupt(String),
+    /// A record or batch too large to frame: its byte length (or element
+    /// count) does not fit the wire's `u32` prefix / the frame cap. The
+    /// refusal replaces an unchecked `as u32` cast that silently truncated
+    /// the length prefix and corrupted everything after it in the stream.
+    FrameTooLarge {
+        /// The offending length (bytes, or elements for a count prefix).
+        len: usize,
+        /// The largest length a frame accepts.
+        max: usize,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -98,6 +110,9 @@ impl fmt::Display for PersistError {
             PersistError::Build(e) => write!(f, "recovered relation failed to build: {e}"),
             PersistError::Migrate(e) => write!(f, "{e}"),
             PersistError::Corrupt(m) => write!(f, "persistent state corrupt: {m}"),
+            PersistError::FrameTooLarge { len, max } => {
+                write!(f, "record of length {len} exceeds the frame cap {max}")
+            }
         }
     }
 }
@@ -111,6 +126,7 @@ impl std::error::Error for PersistError {
             PersistError::Build(e) => Some(e),
             PersistError::Migrate(e) => Some(e),
             PersistError::Corrupt(_) => None,
+            PersistError::FrameTooLarge { .. } => None,
         }
     }
 }

@@ -72,11 +72,43 @@ static CRC_TABLE: [u32; 256] = crc32_table();
 
 /// The IEEE CRC-32 of `bytes`.
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = !0u32;
-    for &b in bytes {
-        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+/// An incremental IEEE CRC-32: feed slices with [`update`](Crc32::update),
+/// read the digest with [`finish`](Crc32::finish). Lets the append path
+/// checksum a frame's seq prefix and pre-encoded body without first
+/// concatenating them.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    c: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
     }
-    !c
+}
+
+impl Crc32 {
+    /// A fresh digest (equal to `crc32(b"")` if finished immediately).
+    pub fn new() -> Crc32 {
+        Crc32 { c: !0 }
+    }
+
+    /// Feeds `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.c = CRC_TABLE[((self.c ^ b as u32) & 0xFF) as usize] ^ (self.c >> 8);
+        }
+    }
+
+    /// The digest of everything fed so far.
+    pub fn finish(&self) -> u32 {
+        !self.c
+    }
 }
 
 /// Frame header size: `len: u32` + `crc: u32`.
@@ -85,7 +117,43 @@ const HEADER: usize = 8;
 const PAYLOAD_PREFIX: usize = 9;
 /// Upper bound on a single frame's payload — anything larger is treated as
 /// corruption by the scan (a real batch record tops out far below this).
-const MAX_PAYLOAD: u32 = 1 << 30;
+///
+/// The bound is enforced symmetrically: writers *refuse* to frame a larger
+/// payload ([`PersistError::FrameTooLarge`]) and readers treat a larger
+/// length prefix as corruption. Before the write-side check existed, a
+/// payload past `u32::MAX` silently truncated its own length prefix (`as
+/// u32`) and everything after it in the stream misparsed.
+pub const MAX_PAYLOAD: u32 = 1 << 30;
+
+/// Checks that a frame payload of `len` bytes is frameable (fits the `u32`
+/// length prefix *and* the scanner's sanity cap).
+///
+/// # Errors
+///
+/// [`PersistError::FrameTooLarge`] when it is not.
+pub(crate) fn check_payload_len(len: usize) -> Result<u32, PersistError> {
+    match u32::try_from(len) {
+        Ok(l) if l <= MAX_PAYLOAD => Ok(l),
+        _ => Err(PersistError::FrameTooLarge {
+            len,
+            max: MAX_PAYLOAD as usize,
+        }),
+    }
+}
+
+/// Checks that an element count fits its `u32` wire prefix.
+///
+/// # Errors
+///
+/// [`PersistError::FrameTooLarge`] when it does not (the error's `len` is
+/// the element count — far past the byte cap anyway, since every element
+/// encodes to at least one byte).
+fn check_count(n: usize) -> Result<u32, PersistError> {
+    u32::try_from(n).map_err(|_| PersistError::FrameTooLarge {
+        len: n,
+        max: u32::MAX as usize,
+    })
+}
 
 const KIND_META: u8 = 0;
 const KIND_INSERT: u8 = 1;
@@ -158,7 +226,7 @@ impl WalRecord {
         }
     }
 
-    fn encode_body(&self, out: &mut Vec<u8>) {
+    fn encode_body(&self, out: &mut Vec<u8>) -> Result<(), PersistError> {
         match self {
             WalRecord::Meta {
                 schema,
@@ -171,22 +239,27 @@ impl WalRecord {
             }
             WalRecord::Insert(t) | WalRecord::Remove(t) => wire::put_tuple(out, t),
             WalRecord::InsertMany(ts) | WalRecord::BulkLoad(ts) | WalRecord::RemoveMany(ts) => {
-                wire::put_tuples(out, ts)
+                // The count prefix is a `u32`: a larger batch must be
+                // refused, not silently truncated (`as u32`) into a frame
+                // whose count disagrees with its contents.
+                check_count(ts.len())?;
+                wire::put_tuples(out, ts);
             }
             WalRecord::MigrationEpoch(src) => wire::put_str(out, src),
             WalRecord::Txn(ops) => {
-                wire::put_u32(out, ops.len() as u32);
+                wire::put_u32(out, check_count(ops.len())?);
                 for op in ops {
                     debug_assert!(
                         matches!(op, WalRecord::Insert(_) | WalRecord::Remove(_)),
                         "transactions hold only single-tuple writes"
                     );
                     out.push(op.kind());
-                    op.encode_body(out);
+                    op.encode_body(out)?;
                 }
             }
             WalRecord::TermBump(term) => wire::put_u64(out, *term),
         }
+        Ok(())
     }
 
     fn decode(kind: u8, r: &mut Reader<'_>) -> Result<WalRecord, wire::WireError> {
@@ -227,14 +300,96 @@ impl WalRecord {
 }
 
 /// Encodes one complete frame (header + payload) for `rec` at `seq`.
-fn encode_frame(out: &mut Vec<u8>, seq: u64, rec: &WalRecord) {
+///
+/// # Errors
+///
+/// [`PersistError::FrameTooLarge`] if the payload exceeds the frame cap —
+/// the unchecked cast this replaces wrote a wrapped length prefix instead,
+/// corrupting every frame after it.
+fn encode_frame(out: &mut Vec<u8>, seq: u64, rec: &WalRecord) -> Result<(), PersistError> {
     let mut payload = Vec::with_capacity(64);
     wire::put_u64(&mut payload, seq);
     payload.push(rec.kind());
-    rec.encode_body(&mut payload);
-    wire::put_u32(out, payload.len() as u32);
+    rec.encode_body(&mut payload)?;
+    wire::put_u32(out, check_payload_len(payload.len())?);
     wire::put_u32(out, crc32(&payload));
     out.extend_from_slice(&payload);
+    Ok(())
+}
+
+/// A record pre-encoded (`kind` byte + body) and length-validated, ready
+/// for an **infallible** append inside a shard's critical section.
+///
+/// Encoding and the [`MAX_PAYLOAD`] check both happen in
+/// [`Wal::encode_record`] / [`Wal::encode_insert_batch`], *outside* any
+/// lock — so an oversized record is refused before any shard state
+/// changes, and the append under the lock is pure memory movement.
+#[derive(Debug)]
+pub struct EncodedRecord {
+    /// `kind` byte followed by the record body (everything after the
+    /// payload's seq prefix).
+    bytes: Vec<u8>,
+}
+
+impl EncodedRecord {
+    /// The record's kind byte.
+    fn kind(&self) -> u8 {
+        self.bytes[0]
+    }
+}
+
+/// Incrementally builds the encoded form of a [`WalRecord::Txn`] as a
+/// partition critical section runs, enforcing the frame cap **per
+/// operation**: [`push`](TxnBuilder::push) refuses the op that would
+/// overflow the frame *before* the caller applies it to the shard, so an
+/// oversized transaction can never end up applied-but-unloggable.
+#[derive(Debug, Default)]
+pub struct TxnBuilder {
+    count: u32,
+    ops: Vec<u8>,
+}
+
+impl TxnBuilder {
+    /// Encodes `op` into the transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::FrameTooLarge`] if adding `op` would overflow the
+    /// frame cap — the builder is left exactly as it was (the refused op
+    /// must not be applied).
+    pub fn push(&mut self, op: &WalRecord) -> Result<(), PersistError> {
+        let start = self.ops.len();
+        self.ops.push(op.kind());
+        op.encode_body(&mut self.ops)?;
+        // Final payload shape: seq(8) + kind(1) + count(4) + ops.
+        match check_payload_len(13 + self.ops.len()) {
+            Ok(_) => {
+                // Can't overflow: each op adds ≥ 1 byte and the byte cap
+                // is far below u32::MAX ops.
+                self.count += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.ops.truncate(start);
+                Err(e)
+            }
+        }
+    }
+
+    /// Has nothing been pushed?
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Finishes into an appendable record (encoding-identical to
+    /// `Wal::encode_record(&WalRecord::Txn(ops))`).
+    pub fn finish(self) -> EncodedRecord {
+        let mut bytes = Vec::with_capacity(5 + self.ops.len());
+        bytes.push(KIND_TXN);
+        bytes.extend_from_slice(&self.count.to_le_bytes());
+        bytes.extend_from_slice(&self.ops);
+        EncodedRecord { bytes }
+    }
 }
 
 /// A raw frame located by the scanner (payload not yet decoded).
@@ -527,14 +682,14 @@ impl Wal {
     ///
     /// # Errors
     ///
-    /// [`std::io::Error`] on file creation or the initial write.
+    /// [`PersistError::Io`] on file creation or the initial write.
     pub fn create(
         path: &Path,
         policy: GroupCommitPolicy,
         schema: &DurableSchema,
         base_seq: u64,
         term: u64,
-    ) -> std::io::Result<Wal> {
+    ) -> Result<Wal, PersistError> {
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -550,7 +705,7 @@ impl Wal {
                 base_seq,
                 term,
             },
-        );
+        )?;
         file.write_all(&buf)?;
         file.sync_data()?;
         let index = vec![FrameLoc {
@@ -633,54 +788,89 @@ impl Wal {
         })
     }
 
-    /// Appends `rec` to the in-memory segment and returns its sequence
-    /// number. No I/O: safe to call inside a shard critical section. The
-    /// record reaches disk at the next flush ([`commit`](Wal::commit), or
-    /// [`maybe_commit`](Wal::maybe_commit) past the policy thresholds).
-    pub fn append(&self, rec: &WalRecord) -> u64 {
-        self.append_with(|payload| {
-            payload.push(rec.kind());
-            rec.encode_body(payload);
-        })
+    /// Encodes and length-validates `rec` for a later
+    /// [`append_encoded`](Wal::append_encoded) — call this *outside* any
+    /// shard critical section, so oversized records are refused before any
+    /// state changes and no serialization work happens under a lock.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::FrameTooLarge`] if the record would not fit a frame.
+    pub fn encode_record(rec: &WalRecord) -> Result<EncodedRecord, PersistError> {
+        let mut bytes = Vec::with_capacity(64);
+        bytes.push(rec.kind());
+        rec.encode_body(&mut bytes)?;
+        // The framed payload carries an 8-byte seq prefix ahead of these
+        // bytes; validate the final size now so the append cannot fail.
+        check_payload_len(8 + bytes.len())?;
+        Ok(EncodedRecord { bytes })
     }
 
-    /// Appends a per-shard batch record ([`WalRecord::BulkLoad`] when
+    /// Encodes a per-shard batch record ([`WalRecord::BulkLoad`] when
     /// `bulk`, [`WalRecord::InsertMany`] otherwise) serialized straight
     /// from the borrowed slice — the zero-clone path for the bulk-ingest
     /// hot loop, where building an owned record would double peak memory.
-    pub fn append_insert_batch(&self, bulk: bool, tuples: &[Tuple]) -> u64 {
-        self.append_with(|payload| {
-            payload.push(if bulk {
-                KIND_BULK_LOAD
-            } else {
-                KIND_INSERT_MANY
-            });
-            wire::put_tuples(payload, tuples);
-        })
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::FrameTooLarge`] if the batch would not fit a frame.
+    pub fn encode_insert_batch(
+        bulk: bool,
+        tuples: &[Tuple],
+    ) -> Result<EncodedRecord, PersistError> {
+        check_count(tuples.len())?;
+        let mut bytes = Vec::with_capacity(64);
+        bytes.push(if bulk {
+            KIND_BULK_LOAD
+        } else {
+            KIND_INSERT_MANY
+        });
+        wire::put_tuples(&mut bytes, tuples);
+        check_payload_len(8 + bytes.len())?;
+        Ok(EncodedRecord { bytes })
     }
 
-    /// The shared append core: assigns the next sequence number and frames
-    /// a payload written by `body` (which must emit `kind` byte + body,
-    /// matching [`WalRecord::decode`]).
-    fn append_with(&self, body: impl FnOnce(&mut Vec<u8>)) -> u64 {
+    /// Appends `rec` to the in-memory segment and returns its sequence
+    /// number.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::FrameTooLarge`] if the record would not fit a
+    /// frame. Callers that append inside a shard critical section should
+    /// [`encode_record`](Wal::encode_record) first and use the infallible
+    /// [`append_encoded`](Wal::append_encoded) under the lock instead.
+    pub fn append(&self, rec: &WalRecord) -> Result<u64, PersistError> {
+        Ok(self.append_encoded(&Self::encode_record(rec)?))
+    }
+
+    /// Appends a pre-validated record to the in-memory segment and returns
+    /// its sequence number. Infallible and I/O-free: safe to call inside a
+    /// shard critical section. The record reaches disk at the next flush
+    /// ([`commit`](Wal::commit), or [`maybe_commit`](Wal::maybe_commit)
+    /// past the policy thresholds).
+    pub fn append_encoded(&self, rec: &EncodedRecord) -> u64 {
         let mut inner = self.lock();
         let seq = inner.next_seq;
         inner.next_seq += 1;
-        let mut payload = Vec::with_capacity(64);
-        payload.extend_from_slice(&seq.to_le_bytes());
-        body(&mut payload);
+        let payload_len = 8 + rec.bytes.len();
         let mut header = [0u8; HEADER];
-        header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-        header[4..].copy_from_slice(&crc32(&payload).to_le_bytes());
+        // Validated by encode_record/encode_insert_batch: fits u32 and the
+        // scanner's cap.
+        header[..4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+        let mut crc = Crc32::new();
+        crc.update(&seq.to_le_bytes());
+        crc.update(&rec.bytes);
+        header[4..].copy_from_slice(&crc.finish().to_le_bytes());
         let start = inner.file_len + inner.buf.len() as u64;
         inner.index.push(FrameLoc {
             seq,
-            kind: payload[8],
+            kind: rec.kind(),
             start,
-            end: start + (HEADER + payload.len()) as u64,
+            end: start + (HEADER + payload_len) as u64,
         });
         inner.buf.extend_from_slice(&header);
-        inner.buf.extend_from_slice(&payload);
+        inner.buf.extend_from_slice(&seq.to_le_bytes());
+        inner.buf.extend_from_slice(&rec.bytes);
         inner.pending += 1;
         seq
     }
@@ -732,6 +922,21 @@ impl Wal {
         self.lock().next_seq
     }
 
+    /// Bytes sitting in the in-memory segment, appended but not yet
+    /// flushed — the WAL flush lag. A serving front end uses this (plus
+    /// [`pending_records`](Wal::pending_records)) for admission control:
+    /// when the lag crosses a threshold, new mutation frames are delayed
+    /// or shed instead of growing the unflushed window without bound.
+    pub fn pending_bytes(&self) -> usize {
+        self.lock().buf.len()
+    }
+
+    /// Records sitting in the in-memory segment, appended but not yet
+    /// flushed.
+    pub fn pending_records(&self) -> usize {
+        self.lock().pending
+    }
+
     /// The current segment's base sequence number (frames in the file have
     /// strictly greater sequence numbers).
     pub fn base_seq(&self) -> u64 {
@@ -764,7 +969,7 @@ impl Wal {
         let seq = inner.next_seq;
         inner.next_seq += 1;
         let mut frame = Vec::with_capacity(HEADER + PAYLOAD_PREFIX + 8);
-        encode_frame(&mut frame, seq, &WalRecord::TermBump(new_term));
+        encode_frame(&mut frame, seq, &WalRecord::TermBump(new_term))?;
         let start = inner.file_len + inner.buf.len() as u64;
         inner.index.push(FrameLoc {
             seq,
@@ -841,8 +1046,8 @@ impl Wal {
     ///
     /// # Errors
     ///
-    /// [`std::io::Error`] from any of the file operations.
-    pub fn rotate(&self, keep_after: u64, schema: &DurableSchema) -> std::io::Result<()> {
+    /// [`PersistError::Io`] from any of the file operations.
+    pub fn rotate(&self, keep_after: u64, schema: &DurableSchema) -> Result<(), PersistError> {
         let mut inner = self.lock();
         Self::flush_locked(&mut inner)?;
         let bytes = std::fs::read(&self.path)?;
@@ -857,7 +1062,7 @@ impl Wal {
                 base_seq: keep_after,
                 term: inner.term,
             },
-        );
+        )?;
         index.push(FrameLoc {
             seq: keep_after,
             kind: KIND_META,
@@ -946,6 +1151,41 @@ mod tests {
     }
 
     #[test]
+    fn txn_builder_matches_whole_record_encoding() {
+        let s = schema();
+        let cat = s.catalog.clone();
+        let ops = vec![
+            WalRecord::Remove(tup(&cat, 4, 40)),
+            WalRecord::Insert(tup(&cat, 4, 41)),
+        ];
+        let mut b = TxnBuilder::default();
+        for op in &ops {
+            b.push(op).unwrap();
+        }
+        assert!(!b.is_empty());
+        let whole = Wal::encode_record(&WalRecord::Txn(ops)).unwrap();
+        assert_eq!(b.finish().bytes, whole.bytes);
+    }
+
+    #[test]
+    fn oversized_payloads_are_refused_not_truncated() {
+        assert!(check_payload_len(MAX_PAYLOAD as usize).is_ok());
+        // Both past-the-cap and past-u32 sizes must come back as the typed
+        // error — the old `as u32` cast wrapped the second case silently.
+        for n in [MAX_PAYLOAD as usize + 1, u32::MAX as usize + 1] {
+            match check_payload_len(n) {
+                Err(PersistError::FrameTooLarge { len, .. }) => assert_eq!(len, n),
+                other => panic!("expected FrameTooLarge, got {other:?}"),
+            }
+        }
+        assert!(check_count(u32::MAX as usize).is_ok());
+        assert!(matches!(
+            check_count(u32::MAX as usize + 1),
+            Err(PersistError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
     fn append_commit_read_round_trip() {
         let dir = tmpdir("round_trip");
         let path = dir.join("wal.log");
@@ -965,7 +1205,7 @@ mod tests {
             ]),
         ];
         for (i, r) in recs.iter().enumerate() {
-            assert_eq!(wal.append(r), i as u64 + 1);
+            assert_eq!(wal.append(r).unwrap(), i as u64 + 1);
         }
         // Nothing durable until the group commit.
         assert_eq!(wal.durable_seq(), 0);
@@ -990,7 +1230,8 @@ mod tests {
         let cat = s.catalog.clone();
         let wal = Wal::create(&path, GroupCommitPolicy::manual(), &s, 0, 0).unwrap();
         for i in 0..5i64 {
-            wal.append(&WalRecord::Insert(tup(&cat, i, i * 10)));
+            wal.append(&WalRecord::Insert(tup(&cat, i, i * 10)))
+                .unwrap();
         }
         wal.commit().unwrap();
         let full = std::fs::read(&path).unwrap();
@@ -1034,10 +1275,10 @@ mod tests {
             0,
         )
         .unwrap();
-        wal.append(&WalRecord::Insert(tup(&cat, 1, 1)));
+        wal.append(&WalRecord::Insert(tup(&cat, 1, 1))).unwrap();
         assert!(wal.maybe_commit().unwrap().is_none());
-        wal.append(&WalRecord::Insert(tup(&cat, 2, 2)));
-        wal.append(&WalRecord::Insert(tup(&cat, 3, 3)));
+        wal.append(&WalRecord::Insert(tup(&cat, 2, 2))).unwrap();
+        wal.append(&WalRecord::Insert(tup(&cat, 3, 3))).unwrap();
         assert_eq!(wal.maybe_commit().unwrap(), Some(3));
         assert_eq!(read_wal(&path).unwrap().entries.len(), 3);
         let _ = std::fs::remove_dir_all(&dir);
@@ -1051,7 +1292,7 @@ mod tests {
         let cat = s.catalog.clone();
         let wal = Wal::create(&path, GroupCommitPolicy::manual(), &s, 0, 0).unwrap();
         for i in 0..10i64 {
-            wal.append(&WalRecord::Insert(tup(&cat, i, i)));
+            wal.append(&WalRecord::Insert(tup(&cat, i, i))).unwrap();
         }
         // Rotation flushes pending records itself.
         wal.rotate(7, &s).unwrap();
@@ -1061,7 +1302,10 @@ mod tests {
         let seqs: Vec<u64> = scanned.entries.iter().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![8, 9, 10]);
         // Appends continue past rotation with consecutive seqs.
-        assert_eq!(wal.append(&WalRecord::Insert(tup(&cat, 99, 99))), 11);
+        assert_eq!(
+            wal.append(&WalRecord::Insert(tup(&cat, 99, 99))).unwrap(),
+            11
+        );
         wal.commit().unwrap();
         let scanned = read_wal(&path).unwrap();
         assert_eq!(

@@ -10,6 +10,7 @@
 
 use crate::ReplicaError;
 use relic_core::wire::{self, Reader};
+use relic_persist::PersistError;
 
 const REQ_FETCH: u8 = 1;
 const REQ_FETCH_CHECKPOINT: u8 = 2;
@@ -119,7 +120,15 @@ pub enum Response {
 
 impl Response {
     /// Serializes the response.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::Persist`] with
+    /// [`PersistError::FrameTooLarge`] if a batch's frame count does not
+    /// fit its `u32` wire prefix — the unchecked `as u32` cast this
+    /// replaces encoded a wrapped count that disagreed with the actual
+    /// frames and desynced the decoder.
+    pub fn encode(&self) -> Result<Vec<u8>, ReplicaError> {
         let mut out = Vec::with_capacity(32);
         match self {
             Response::Frames {
@@ -130,7 +139,13 @@ impl Response {
                 out.push(RESP_FRAMES);
                 wire::put_u64(&mut out, *term);
                 wire::put_u64(&mut out, *frontier);
-                wire::put_u32(&mut out, frames.len() as u32);
+                let n = u32::try_from(frames.len()).map_err(|_| {
+                    ReplicaError::Persist(PersistError::FrameTooLarge {
+                        len: frames.len(),
+                        max: u32::MAX as usize,
+                    })
+                })?;
+                wire::put_u32(&mut out, n);
                 for f in frames {
                     wire::put_bytes(&mut out, f);
                 }
@@ -150,7 +165,7 @@ impl Response {
                 wire::put_u64(&mut out, *term);
             }
         }
-        out
+        Ok(out)
     }
 
     /// Deserializes a response, rejecting unknown tags and trailing bytes.
@@ -225,7 +240,7 @@ mod tests {
             },
             Response::Fenced { term: 9 },
         ] {
-            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+            assert_eq!(Response::decode(&resp.encode().unwrap()).unwrap(), resp);
         }
     }
 
@@ -239,7 +254,7 @@ mod tests {
         let mut ok = Request::Fetch { term: 1, after: 2 }.encode();
         ok.push(0);
         assert!(matches!(Request::decode(&ok), Err(ReplicaError::Wire(_))));
-        let mut ok = Response::Fenced { term: 1 }.encode();
+        let mut ok = Response::Fenced { term: 1 }.encode().unwrap();
         ok.push(0);
         assert!(matches!(Response::decode(&ok), Err(ReplicaError::Wire(_))));
     }

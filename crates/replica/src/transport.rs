@@ -20,8 +20,8 @@ use crate::fault::FaultPlan;
 use crate::msg::{Request, Response};
 use crate::primary::Primary;
 use crate::ReplicaError;
-use relic_persist::wal::crc32;
-use std::io::{ErrorKind, Read, Write};
+use relic_persist::{frame_message, FrameReader};
+use std::io::{ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -80,7 +80,7 @@ impl Transport for InProcTransport {
         // same codec paths as the socket transport.
         let req = Request::decode(&req.encode())?;
         let resp = self.primary.handle(&req)?;
-        let mut resp = Response::decode(&resp.encode())?;
+        let mut resp = Response::decode(&resp.encode()?)?;
         if let Response::Frames { frames, .. } = &mut resp {
             self.plan.mangle(frames);
         }
@@ -90,30 +90,33 @@ impl Transport for InProcTransport {
 
 // -- socket ------------------------------------------------------------------
 
-fn write_msg(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
+fn write_msg(stream: &mut TcpStream, payload: &[u8]) -> Result<(), ReplicaError> {
     let mut buf = Vec::with_capacity(payload.len() + 8);
-    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    buf.extend_from_slice(&crc32(payload).to_le_bytes());
-    buf.extend_from_slice(payload);
-    stream.write_all(&buf)
+    frame_message(&mut buf, payload, MAX_MSG)?;
+    stream.write_all(&buf)?;
+    Ok(())
 }
 
-fn read_msg(stream: &mut TcpStream) -> Result<Vec<u8>, ReplicaError> {
-    let mut header = [0u8; 8];
-    stream.read_exact(&mut header)?;
-    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
-    let crc = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
-    if len > MAX_MSG {
-        return Err(ReplicaError::Corrupt(format!(
-            "message length {len} exceeds the {MAX_MSG}-byte cap"
-        )));
+/// Blocks until one complete frame arrives through `reader`.
+///
+/// All framing state lives in the [`FrameReader`], never in the stream:
+/// a read timeout or `WouldBlock` mid-frame leaves the partial bytes
+/// buffered, so the next call resumes exactly where the stream stopped.
+/// (The `read_exact`-based predecessor lost those bytes and desynced the
+/// connection — the framing bug this reader exists to fix.)
+fn read_msg(stream: &mut TcpStream, reader: &mut FrameReader) -> Result<Vec<u8>, ReplicaError> {
+    loop {
+        if let Some(payload) = reader.next_frame()? {
+            return Ok(payload);
+        }
+        if reader.fill(stream)? == 0 {
+            return Err(if reader.mid_frame() {
+                ReplicaError::Corrupt("peer closed mid-frame".into())
+            } else {
+                ReplicaError::Io(ErrorKind::UnexpectedEof.into())
+            });
+        }
     }
-    let mut payload = vec![0u8; len as usize];
-    stream.read_exact(&mut payload)?;
-    if crc32(&payload) != crc {
-        return Err(ReplicaError::Corrupt("message checksum mismatch".into()));
-    }
-    Ok(payload)
 }
 
 /// A reconnecting TCP client transport.
@@ -125,7 +128,10 @@ fn read_msg(stream: &mut TcpStream) -> Result<Vec<u8>, ReplicaError> {
 /// keep polling).
 pub struct TcpTransport {
     addr: SocketAddr,
-    conn: Option<TcpStream>,
+    /// The live connection and its frame reassembly state — dropped (and
+    /// re-created together) on any connection-level failure, so a redial
+    /// never inherits a half-read frame.
+    conn: Option<(TcpStream, FrameReader)>,
     /// Reconnect attempts per request before reporting disconnection.
     pub max_retries: u32,
     /// Base backoff between reconnect attempts (grows linearly).
@@ -143,19 +149,19 @@ impl TcpTransport {
         }
     }
 
-    fn stream(&mut self) -> std::io::Result<&mut TcpStream> {
+    fn conn(&mut self) -> std::io::Result<&mut (TcpStream, FrameReader)> {
         if self.conn.is_none() {
             let s = TcpStream::connect(self.addr)?;
             s.set_nodelay(true).ok();
-            self.conn = Some(s);
+            self.conn = Some((s, FrameReader::with_max_payload(MAX_MSG)));
         }
         Ok(self.conn.as_mut().expect("just connected"))
     }
 
     fn try_once(&mut self, req_bytes: &[u8]) -> Result<Vec<u8>, ReplicaError> {
-        let stream = self.stream()?;
+        let (stream, reader) = self.conn()?;
         write_msg(stream, req_bytes)?;
-        read_msg(stream)
+        read_msg(stream, reader)
     }
 }
 
@@ -229,19 +235,33 @@ pub fn serve_tcp(
 fn serve_conn(primary: &Primary, mut stream: TcpStream, stop: &AtomicBool) {
     stream.set_nodelay(true).ok();
     // A read timeout keeps the worker responsive to the stop flag even on
-    // an idle connection.
+    // an idle connection. The frame reader makes the timeout safe: bytes
+    // consumed before a timeout stay buffered in the reader, so a slow
+    // writer trickling a frame across many timeout windows still parses
+    // (the old `read_exact` path lost those bytes and desynced).
     stream
         .set_read_timeout(Some(Duration::from_millis(100)))
         .ok();
+    let mut reader = FrameReader::with_max_payload(MAX_MSG);
     while !stop.load(Ordering::Acquire) {
-        let payload = match read_msg(&mut stream) {
-            Ok(p) => p,
-            Err(ReplicaError::Io(e))
-                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
-            {
-                continue; // idle: re-check the stop flag
-            }
-            Err(ReplicaError::Io(e)) if e.kind() == ErrorKind::UnexpectedEof => return,
+        let payload = match reader.next_frame() {
+            Ok(Some(p)) => p,
+            Ok(None) => match reader.fill(&mut stream) {
+                Ok(0) => {
+                    if reader.mid_frame() {
+                        eprintln!("replication peer closed mid-frame");
+                    }
+                    return;
+                }
+                Ok(_) => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    continue; // idle: re-check the stop flag
+                }
+                Err(e) => {
+                    eprintln!("replication connection error: {e}");
+                    return;
+                }
+            },
             Err(e) => {
                 eprintln!("replication connection error: {e}");
                 return;
@@ -254,7 +274,14 @@ fn serve_conn(primary: &Primary, mut stream: TcpStream, stop: &AtomicBool) {
                 return;
             }
         };
-        if write_msg(&mut stream, &resp.encode()).is_err() {
+        let bytes = match resp.encode() {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("replication response encode error: {e}");
+                return;
+            }
+        };
+        if write_msg(&mut stream, &bytes).is_err() {
             return;
         }
     }

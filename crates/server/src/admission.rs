@@ -1,0 +1,171 @@
+//! Admission control: when the server stops saying yes.
+//!
+//! The write path has two ways of silently falling behind, and each has a
+//! gauge:
+//!
+//! * **Flush lag** — the group-commit segment
+//!   ([`DurableRelation::wal_pending_bytes`]) grows until someone
+//!   commits. Unbounded, it turns "one fsync amortized over many
+//!   requests" into "one giant write at the worst moment"; a crash then
+//!   loses everything in it.
+//! * **Reclamation pressure** — retired snapshots pinned by lagging
+//!   readers ([`MemoryPressure`]). Applying more mutations while limbo
+//!   cannot drain converts client load directly into unreclaimable heap.
+//!
+//! The policy distinguishes the two because their remedies differ. Flush
+//! lag is the server's own debt: the worker can pay it down *right now*
+//! by committing, so the verdict is [`Admission::Delay`] — flush, then
+//! accept. Reclamation pressure is a reader's debt: no amount of
+//! worker effort drains a limbo list some pinned [`ReadHandle`](relic_concurrent::ReadHandle) holds, so
+//! the verdict is [`Admission::Shed`] — tell the client to back off
+//! ([`NetResponse::Busy`](relic_core::netmsg::NetResponse::Busy)) and let
+//! the reader catch up.
+
+use relic_concurrent::MemoryPressure;
+use relic_persist::DurableRelation;
+
+/// Admission-control thresholds. Defaults are sized for the bench/test
+/// workloads (megabytes, not gigabytes); a deployment tunes them to its
+/// memory budget.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Unflushed write-ahead-log bytes above which new mutation frames
+    /// are delayed behind a forced commit.
+    pub max_wal_pending_bytes: usize,
+    /// Limbo bytes above which new mutations are shed.
+    pub shed_limbo_bytes: usize,
+    /// Pinned-reader epoch lag above which new mutations are shed.
+    pub shed_epoch_lag: u64,
+    /// The backoff hint carried by [`Admission::Shed`], in milliseconds.
+    pub retry_ms: u32,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_wal_pending_bytes: 8 << 20,
+            shed_limbo_bytes: 64 << 20,
+            shed_epoch_lag: 4096,
+            retry_ms: 20,
+        }
+    }
+}
+
+/// The verdict on one incoming mutation frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Under every threshold: take the frame.
+    Accept,
+    /// Flush lag over threshold: commit the pending segment, then take
+    /// the frame.
+    Delay,
+    /// Reclamation pressure over threshold: refuse the frame with a
+    /// backoff hint.
+    Shed {
+        /// Suggested client backoff in milliseconds.
+        retry_ms: u32,
+    },
+}
+
+impl AdmissionConfig {
+    /// Decides admission for one mutation against the relation's current
+    /// gauges. Shedding outranks delaying: if both trip, the client backs
+    /// off (committing would not shrink limbo).
+    pub fn decide(&self, rel: &DurableRelation) -> Admission {
+        let MemoryPressure {
+            limbo_bytes,
+            pinned_epoch_lag,
+            ..
+        } = rel.relation().pressure();
+        if limbo_bytes > self.shed_limbo_bytes || pinned_epoch_lag > self.shed_epoch_lag {
+            return Admission::Shed {
+                retry_ms: self.retry_ms,
+            };
+        }
+        if rel.wal_pending_bytes() > self.max_wal_pending_bytes {
+            return Admission::Delay;
+        }
+        Admission::Accept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relic_persist::GroupCommitPolicy;
+    use relic_spec::{Catalog, RelSpec, Tuple, Value};
+
+    fn tmp_rel(name: &str) -> DurableRelation {
+        let dir =
+            std::env::temp_dir().join(format!("relic_admission_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cat = Catalog::new();
+        let k = cat.intern("k");
+        let v = cat.intern("v");
+        let spec = RelSpec::new(k | v).with_fd(k.set(), v.set());
+        let d = relic_decomp::parse(
+            &mut cat,
+            "let u : {k} . {v} = unit {v} in
+             let x : {} . {k,v} = {k} -[htable]-> u in x",
+        )
+        .unwrap();
+        DurableRelation::create(
+            &dir,
+            &cat,
+            spec,
+            d,
+            k.set(),
+            2,
+            true,
+            GroupCommitPolicy::manual(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn flush_lag_delays_and_reclamation_sheds() {
+        let rel = tmp_rel("verdicts");
+        let cat = rel.catalog().clone();
+        let (k, v) = (cat.col("k").unwrap(), cat.col("v").unwrap());
+        let cfg = AdmissionConfig {
+            max_wal_pending_bytes: 64,
+            shed_limbo_bytes: usize::MAX,
+            shed_epoch_lag: u64::MAX,
+            retry_ms: 7,
+        };
+        assert_eq!(cfg.decide(&rel), Admission::Accept);
+        for i in 0..16i64 {
+            rel.insert(Tuple::from_pairs([
+                (k, Value::from(i)),
+                (v, Value::from(i)),
+            ]))
+            .unwrap();
+        }
+        assert!(rel.wal_pending_bytes() > 64);
+        assert_eq!(cfg.decide(&rel), Admission::Delay);
+        rel.commit().unwrap();
+        assert_eq!(cfg.decide(&rel), Admission::Accept);
+
+        // A zero shed threshold with a pinned stale reader trips Shed —
+        // and Shed outranks Delay.
+        let strict = AdmissionConfig {
+            max_wal_pending_bytes: 0,
+            shed_limbo_bytes: 0,
+            shed_epoch_lag: 0,
+            retry_ms: 9,
+        };
+        let handle = rel.read_handle();
+        for i in 16..32i64 {
+            rel.insert(Tuple::from_pairs([
+                (k, Value::from(i)),
+                (v, Value::from(i)),
+            ]))
+            .unwrap();
+        }
+        // The stale handle pins the pre-insert epochs, so lag > 0.
+        assert!(rel.relation().pinned_epoch_lag() > 0);
+        assert_eq!(strict.decide(&rel), Admission::Shed { retry_ms: 9 });
+        drop(handle);
+        let _ = std::fs::remove_dir_all(rel.dir());
+    }
+}

@@ -1,0 +1,168 @@
+//! Per-connection state: one nonblocking socket, one resumable frame
+//! reader, one ordered output queue.
+//!
+//! The inbound half wraps the shared [`FrameReader`] — the same resumable
+//! reassembly the replication transport uses — so a request split across
+//! any number of TCP segments is reassembled without ever losing buffered
+//! bytes to a `WouldBlock`. The outbound half is a byte queue with a write
+//! cursor: responses are framed into it in request order, and
+//! `flush_writes` pushes as much as the socket will
+//! take, tracking partial writes so a slow reader never desyncs its own
+//! response stream (the client-side mirror of the slow-*writer* framing
+//! fix in the replica transport).
+
+use relic_core::netmsg::NetResponse;
+use relic_persist::{frame_message, FrameReader, PersistError, MAX_FRAME_PAYLOAD};
+use std::io::{ErrorKind, Write};
+use std::net::TcpStream;
+
+/// What one nonblocking read pass against a connection produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReadPass {
+    /// New bytes were buffered.
+    Data,
+    /// Nothing to read right now (`WouldBlock`).
+    Empty,
+    /// The peer closed (or the socket failed); the connection is dead.
+    Closed,
+}
+
+/// One client connection owned by one worker.
+#[derive(Debug)]
+pub(crate) struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Framed responses not yet fully written, in request order.
+    out: Vec<u8>,
+    /// How much of `out` has already reached the socket.
+    out_pos: usize,
+    /// Set on EOF or socket error: reap after draining any backlog.
+    pub(crate) dead: bool,
+    /// Set on a framing violation (oversized length prefix, bad checksum,
+    /// mid-frame EOF): the byte stream can no longer be trusted, so the
+    /// worker stops reading and closes once the error response drains.
+    pub(crate) corrupt: bool,
+}
+
+impl Conn {
+    /// Adopts an accepted stream, switching it to nonblocking mode.
+    pub(crate) fn new(stream: TcpStream) -> std::io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            stream,
+            reader: FrameReader::with_max_payload(MAX_FRAME_PAYLOAD),
+            out: Vec::new(),
+            out_pos: 0,
+            dead: false,
+            corrupt: false,
+        })
+    }
+
+    /// One nonblocking read pass: buffer whatever the socket has.
+    pub(crate) fn read_pass(&mut self) -> ReadPass {
+        if self.dead || self.corrupt {
+            return ReadPass::Empty;
+        }
+        let mut got_any = false;
+        loop {
+            match self.reader.fill(&mut self.stream) {
+                Ok(0) => {
+                    // EOF: a mid-frame close means the peer died while a
+                    // request was in flight — nothing to answer either way.
+                    self.dead = true;
+                    return if got_any {
+                        ReadPass::Data
+                    } else {
+                        ReadPass::Closed
+                    };
+                }
+                Ok(_) => got_any = true,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    return if got_any {
+                        ReadPass::Data
+                    } else {
+                        ReadPass::Empty
+                    };
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return ReadPass::Closed;
+                }
+            }
+        }
+    }
+
+    /// The next complete request frame, if one is buffered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the frame reader's refusals (oversized frame, checksum
+    /// mismatch) — the caller marks the connection corrupt.
+    pub(crate) fn next_frame(&mut self) -> Result<Option<Vec<u8>>, PersistError> {
+        if self.corrupt {
+            return Ok(None);
+        }
+        self.reader.next_frame()
+    }
+
+    /// Queues a response behind everything already queued. Responses are
+    /// written strictly in the order they are pushed.
+    pub(crate) fn push_response(&mut self, resp: &NetResponse) {
+        let payload = resp.encode();
+        if frame_message(&mut self.out, &payload, MAX_FRAME_PAYLOAD).is_err() {
+            // The result set outgrew the frame cap. Substitute a typed
+            // error so the slot in the response order is still filled.
+            let err = NetResponse::Err {
+                message: format!(
+                    "response of {} bytes exceeds the {} byte frame cap",
+                    payload.len(),
+                    MAX_FRAME_PAYLOAD
+                ),
+            };
+            frame_message(&mut self.out, &err.encode(), MAX_FRAME_PAYLOAD)
+                .expect("error response fits any sane frame cap");
+        }
+    }
+
+    /// Pushes queued bytes at the socket until it blocks or empties.
+    /// Returns whether any bytes moved.
+    pub(crate) fn flush_writes(&mut self) -> bool {
+        let mut progressed = false;
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.out_pos += n;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if self.out_pos == self.out.len() && !self.out.is_empty() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        progressed
+    }
+
+    /// Whether responses are still queued (fully or partially unwritten).
+    pub(crate) fn has_backlog(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    /// Whether this connection should be reaped: dead, or corrupt with its
+    /// final error response already drained.
+    pub(crate) fn reapable(&self) -> bool {
+        self.dead || (self.corrupt && !self.has_backlog())
+    }
+}

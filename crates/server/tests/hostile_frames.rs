@@ -1,0 +1,242 @@
+//! Hostile bytes against a live server socket: the serving twin of the
+//! replica transport's fuzz suite. A peer that lies in its length prefix,
+//! truncates mid-frame, flips bytes, or ships well-framed garbage must
+//! never take the server down — at worst it loses its own connection,
+//! with a typed error on the way out, while other connections keep being
+//! served.
+
+use proptest::prelude::*;
+use relic_core::netmsg::{NetRequest, NetResponse};
+use relic_persist::{crc32, frame_message, DurableRelation, GroupCommitPolicy, MAX_FRAME_PAYLOAD};
+use relic_server::{Client, ServeHandle, ServerConfig};
+use relic_spec::{Catalog, ColSet, RelSpec, Tuple, Value};
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn case_dir(tag: &str) -> PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("relic_hostile_{tag}_{}_{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spawn_kv(dir: &Path) -> (Arc<DurableRelation>, ServeHandle) {
+    let mut cat = Catalog::new();
+    let k = cat.intern("k");
+    let v = cat.intern("v");
+    let spec = RelSpec::new(k | v).with_fd(k.set(), v.set());
+    let d = relic_decomp::parse(
+        &mut cat,
+        "let u : {k} . {v} = unit {v} in
+         let x : {} . {k,v} = {k} -[htable]-> u in x",
+    )
+    .unwrap();
+    let rel = Arc::new(
+        DurableRelation::create(
+            dir,
+            &cat,
+            spec,
+            d,
+            k.set(),
+            2,
+            true,
+            GroupCommitPolicy::manual(),
+        )
+        .unwrap(),
+    );
+    let server = ServeHandle::spawn(Arc::clone(&rel), ServerConfig::default()).unwrap();
+    (rel, server)
+}
+
+/// After feeding an attacker's bytes, the server must still answer a
+/// well-behaved client correctly.
+fn assert_still_serving(server: &ServeHandle, tag: i64) {
+    let mut c = Client::connect(server.addr()).unwrap();
+    let (cat, _) = c.catalog().unwrap();
+    let (ck, cv) = (cat.col("k").unwrap(), cat.col("v").unwrap());
+    c.insert(Tuple::from_pairs([
+        (ck, Value::from(tag)),
+        (cv, Value::from(tag)),
+    ]))
+    .unwrap();
+    let rows = c
+        .query(Tuple::from_pairs([(ck, Value::from(tag))]), ColSet::empty())
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+}
+
+/// Reads frames until the peer closes; returns decoded responses.
+fn drain_responses(stream: &mut TcpStream) -> Vec<NetResponse> {
+    let mut reader = relic_persist::FrameReader::new();
+    let mut out = Vec::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    loop {
+        match reader.next_frame() {
+            Ok(Some(frame)) => {
+                if let Ok(resp) = NetResponse::decode(&frame) {
+                    out.push(resp);
+                }
+            }
+            Ok(None) => match reader.fill(stream) {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(_) => break,
+            },
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+#[test]
+fn oversized_length_prefix_drops_only_that_connection() {
+    let dir = case_dir("oversized");
+    let (_rel, server) = spawn_kv(&dir);
+
+    let mut attacker = TcpStream::connect(server.addr()).unwrap();
+    // A length prefix over the cap — the classic unbounded-allocation
+    // probe. The server must refuse without allocating the claimed size.
+    let mut evil = Vec::new();
+    evil.extend_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+    evil.extend_from_slice(&0u32.to_le_bytes());
+    evil.extend_from_slice(&[0xAB; 64]);
+    attacker.write_all(&evil).unwrap();
+    let _ = attacker.flush();
+
+    // The dying connection gets a typed framing error first.
+    let resps = drain_responses(&mut attacker);
+    assert!(
+        matches!(resps.last(), Some(NetResponse::Err { message }) if message.contains("framing")),
+        "expected a framing error before the close, got {resps:?}"
+    );
+
+    assert_still_serving(&server, 1);
+    let stats = server.stop().unwrap();
+    assert!(stats.frame_errors >= 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_frame_then_close_is_harmless() {
+    let dir = case_dir("truncated");
+    let (_rel, server) = spawn_kv(&dir);
+    for keep in [1usize, 4, 7, 8, 9] {
+        let mut attacker = TcpStream::connect(server.addr()).unwrap();
+        let mut buf = Vec::new();
+        frame_message(&mut buf, &NetRequest::Stats.encode(), MAX_FRAME_PAYLOAD).unwrap();
+        attacker.write_all(&buf[..keep.min(buf.len() - 1)]).unwrap();
+        drop(attacker); // close mid-frame
+    }
+    assert_still_serving(&server, 2);
+    server.stop().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary byte flips in a valid request frame: the server answers
+    /// every frame it can still parse (possibly with an error response),
+    /// drops the connection on framing violations, and never stops
+    /// serving others. One server instance per case keeps this fast.
+    #[test]
+    fn byte_flipped_frames_never_take_the_server_down(
+        at in 0usize..64,
+        flip in 1u8..=255,
+        tag in 0i64..1000,
+    ) {
+        let dir = case_dir("flip");
+        let (_rel, server) = spawn_kv(&dir);
+        let mut attacker = TcpStream::connect(server.addr()).unwrap();
+        let mut buf = Vec::new();
+        frame_message(&mut buf, &NetRequest::Stats.encode(), MAX_FRAME_PAYLOAD).unwrap();
+        let at = at % buf.len();
+        buf[at] ^= flip;
+        attacker.write_all(&buf).unwrap();
+        let _ = attacker.flush();
+        // Whatever happened to the attacker, service continues.
+        assert_still_serving(&server, tag);
+        drop(attacker);
+        server.stop().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Well-framed garbage payloads (valid length, valid checksum, junk
+    /// content) are answered with typed error responses on a connection
+    /// that stays up.
+    #[test]
+    fn sealed_garbage_payloads_get_typed_errors(
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        // Skip payloads that happen to decode as real requests.
+        prop_assume!(NetRequest::decode(&payload).is_err());
+        let dir = case_dir("garbage");
+        let (_rel, server) = spawn_kv(&dir);
+        let mut attacker = TcpStream::connect(server.addr()).unwrap();
+        let mut evil = Vec::new();
+        evil.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        evil.extend_from_slice(&crc32(&payload).to_le_bytes());
+        evil.extend_from_slice(&payload);
+        // Then a real request on the SAME connection: the checksummed
+        // garbage must not desync the stream.
+        frame_message(&mut evil, &NetRequest::Stats.encode(), MAX_FRAME_PAYLOAD).unwrap();
+        attacker.write_all(&evil).unwrap();
+        let _ = attacker.flush();
+
+        let mut reader = relic_persist::FrameReader::new();
+        attacker.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            match reader.next_frame().unwrap() {
+                Some(frame) => got.push(NetResponse::decode(&frame).unwrap()),
+                None => {
+                    if reader.fill(&mut attacker).unwrap() == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(got.len(), 2, "both frames answered in order");
+        prop_assert!(matches!(got[0], NetResponse::Err { .. }), "garbage gets a typed error");
+        prop_assert!(matches!(got[1], NetResponse::Stats(_)), "stream stays in sync");
+        drop(attacker);
+        server.stop().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn slow_byte_by_byte_writer_is_reassembled_not_desynced() {
+    // The serving twin of the replica slow-writer regression: a request
+    // dribbled one byte at a time (with pauses) must be reassembled into
+    // exactly one request, answered once.
+    let dir = case_dir("slow");
+    let (_rel, server) = spawn_kv(&dir);
+    let mut slow = TcpStream::connect(server.addr()).unwrap();
+    let mut buf = Vec::new();
+    frame_message(&mut buf, &NetRequest::Stats.encode(), MAX_FRAME_PAYLOAD).unwrap();
+    for chunk in buf.chunks(1) {
+        slow.write_all(chunk).unwrap();
+        slow.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mut reader = relic_persist::FrameReader::new();
+    slow.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let resp = loop {
+        if let Some(frame) = reader.next_frame().unwrap() {
+            break NetResponse::decode(&frame).unwrap();
+        }
+        assert_ne!(reader.fill(&mut slow).unwrap(), 0, "server closed early");
+    };
+    assert!(matches!(resp, NetResponse::Stats(_)));
+    server.stop().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -11,6 +11,13 @@ pub enum SpecError {
     DuplicateColumn(usize),
     /// A tuple was missing a required column (by index).
     MissingColumn(usize),
+    /// A domain and value list of different lengths were paired.
+    Arity {
+        /// Columns in the domain.
+        cols: usize,
+        /// Values supplied.
+        vals: usize,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -18,6 +25,9 @@ impl fmt::Display for SpecError {
         match self {
             SpecError::DuplicateColumn(i) => write!(f, "duplicate column #{i} in tuple"),
             SpecError::MissingColumn(i) => write!(f, "missing column #{i} in tuple"),
+            SpecError::Arity { cols, vals } => {
+                write!(f, "tuple arity mismatch: {cols} columns vs {vals} values")
+            }
         }
     }
 }

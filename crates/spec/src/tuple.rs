@@ -63,19 +63,29 @@ impl Tuple {
     ///
     /// # Panics
     ///
-    /// Panics if `vals.len() != cols.len()`.
+    /// Panics if `vals.len() != cols.len()`. Use [`Tuple::try_from_parts`]
+    /// for a fallible variant (decoders working on untrusted bytes must).
     pub fn from_parts(cols: ColSet, vals: Vec<Value>) -> Self {
-        assert_eq!(
-            cols.len(),
-            vals.len(),
-            "tuple arity mismatch: {} columns vs {} values",
-            cols.len(),
-            vals.len()
-        );
-        Tuple {
+        Tuple::try_from_parts(cols, vals).expect("tuple arity mismatch")
+    }
+
+    /// Reconstructs a tuple from a domain and values in ascending column
+    /// order, failing instead of panicking on an arity mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Arity`] if `vals.len() != cols.len()`.
+    pub fn try_from_parts(cols: ColSet, vals: Vec<Value>) -> Result<Self, SpecError> {
+        if cols.len() != vals.len() {
+            return Err(SpecError::Arity {
+                cols: cols.len(),
+                vals: vals.len(),
+            });
+        }
+        Ok(Tuple {
             cols,
             vals: vals.into_boxed_slice(),
-        }
+        })
     }
 
     /// Decomposes the tuple into its domain and values (ascending column

@@ -1,0 +1,118 @@
+//! Malformed-input properties: the spec layer's parsers and fallible
+//! constructors return typed errors on arbitrary garbage — they never
+//! panic. These pin the unwrap sweep that replaced the asserting
+//! constructors on untrusted paths.
+
+use proptest::prelude::*;
+use relic_spec::{parse_pattern, Catalog, ColSet, SpecError, Tuple, Value};
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    for name in ["host", "ts", "bytes", "name", "ok"] {
+        cat.intern(name);
+    }
+    cat
+}
+
+/// Tokens that keep random inputs *near* the pattern grammar, so the
+/// generator reaches deep parser states (operators, `between … and`,
+/// literals) instead of dying at the first lexer error.
+const TOKENS: &[&str] = &[
+    "host",
+    "ts",
+    "zap",
+    "between",
+    "and",
+    "true",
+    "false",
+    "=",
+    "!=",
+    "≠",
+    "<",
+    "<=",
+    "≤",
+    ">",
+    ">=",
+    "≥",
+    ",",
+    "\"x\"",
+    "\"",
+    "-",
+    "7",
+    "-12",
+    "9999999999999999999999",
+    "~",
+    "(",
+    "_a1",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup (lossily decoded) never panics the parser.
+    #[test]
+    fn parse_pattern_never_panics_on_arbitrary_strings(
+        bytes in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..64),
+    ) {
+        let input = String::from_utf8_lossy(&bytes);
+        let _ = parse_pattern(&catalog(), &input);
+    }
+
+    /// Random token sequences near the grammar never panic either; every
+    /// failure is a typed `ParsePatternError`.
+    #[test]
+    fn parse_pattern_never_panics_on_near_grammar_strings(
+        picks in proptest::collection::vec(0usize..TOKENS.len(), 0..16),
+    ) {
+        let input = picks
+            .iter()
+            .map(|&i| TOKENS[i])
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = parse_pattern(&catalog(), &input);
+    }
+
+    /// `try_from_parts` reports arity mismatches as a typed error.
+    #[test]
+    fn try_from_parts_reports_arity_not_panic(
+        bits in proptest::arbitrary::any::<u64>(),
+        nvals in 0usize..8,
+    ) {
+        let cols = ColSet::from_bits(bits & 0x1f);
+        let vals: Vec<Value> = (0..nvals as i64).map(Value::from).collect();
+        match Tuple::try_from_parts(cols, vals) {
+            Ok(t) => prop_assert_eq!(t.len(), cols.len()),
+            Err(SpecError::Arity { cols: c, vals: v }) => {
+                prop_assert_eq!(c, cols.len());
+                prop_assert_eq!(v, nvals);
+                prop_assert_ne!(c, v);
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+    }
+
+    /// `try_from_pairs` reports duplicates as a typed error.
+    #[test]
+    fn try_from_pairs_reports_duplicates_not_panic(
+        picks in proptest::collection::vec(0usize..5, 0..10),
+    ) {
+        let cat = catalog();
+        let names = ["host", "ts", "bytes", "name", "ok"];
+        let pairs: Vec<_> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (cat.col(names[p]).unwrap(), Value::from(i as i64)))
+            .collect();
+        let distinct = pairs.len()
+            == pairs
+                .iter()
+                .map(|(c, _)| c)
+                .collect::<std::collections::BTreeSet<_>>()
+                .len();
+        match Tuple::try_from_pairs(pairs) {
+            Ok(_) => prop_assert!(distinct),
+            Err(SpecError::DuplicateColumn(_)) => prop_assert!(!distinct),
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+    }
+}

@@ -28,6 +28,7 @@ pub mod adaptive;
 pub mod graph;
 pub mod ipcap;
 pub mod loc;
+pub mod served;
 pub mod thttpd;
 pub mod zipf;
 pub mod ztopo;
