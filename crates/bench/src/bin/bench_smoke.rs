@@ -4,7 +4,7 @@
 //! against the recorded `BENCH_*.json` files.
 //!
 //! Usage: `cargo run --release --bin bench_smoke [-- [--quick] [--cores N]
-//! [--only FAMILY] [OUTPUT.json]]` (default output path: `BENCH_9.json` in
+//! [--only FAMILY] [OUTPUT.json]]` (default output path: `BENCH_10.json` in
 //! the current directory).
 //! `--quick` shrinks sizes and repetition counts to a compile-and-run smoke
 //! check for CI — its timings are not comparable to full runs. **Every**
@@ -1383,13 +1383,125 @@ fn bench_serving(out: &mut Vec<(String, f64)>, quick: bool) {
     let _ = std::fs::remove_dir_all(&base);
 }
 
+/// §6 through the front door: the flows ⋈ addrs aggregate of the shell
+/// demo, once through `relic_shell` (parse → cost-model plan → zero-alloc
+/// streaming execute, all per repetition — nothing is pre-compiled) and
+/// once as the hand-written Rust a programmer would write instead (a
+/// `HashMap` address index probed from a flow `Vec`). Both arms fold the
+/// same `count/sum/max` over the same TSV-loaded data and must agree
+/// exactly; the ratio prices the whole front door, not just execution.
+fn bench_shell(out: &mut Vec<(String, f64)>, quick: bool) {
+    use relic_shell::{Outcome, Session};
+    use relic_systems::ipcap::{addrs_tsv, flows_tsv, packet_trace};
+    use std::collections::HashMap;
+
+    let packets = if quick { 2_000 } else { 200_000 };
+    let (locals, remotes) = (64, 512);
+    let (warmup, reps) = if quick { (1, 1) } else { (2, 5) };
+
+    let dir = std::env::temp_dir().join(format!("relic_bench_shell_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let flows_path = dir.join("flows.tsv");
+    let addrs_path = dir.join("addrs.tsv");
+    let flows_text = flows_tsv(&packet_trace(packets, locals, remotes, 0xbe));
+    let addrs_text = addrs_tsv(locals);
+    std::fs::write(&flows_path, &flows_text).unwrap();
+    std::fs::write(&addrs_path, &addrs_text).unwrap();
+
+    let mut s = Session::new();
+    for line in [
+        "create relation flows(local:16, remote:16, bytes, pkts) \
+         fd local, remote -> bytes, pkts"
+            .to_string(),
+        "create relation addrs(local:16, owner, tier:8) fd local -> owner, tier".to_string(),
+        format!("load flows from \"{}\"", flows_path.display()),
+        format!("load addrs from \"{}\"", addrs_path.display()),
+    ] {
+        if let Err(e) = s.eval(&line) {
+            panic!("{}", e.render(&line));
+        }
+    }
+    const QUERY: &str =
+        "select count(*), sum(bytes), max(pkts) from flows join addrs where tier = 0";
+    let run_shell = |s: &mut Session| match s.eval(QUERY) {
+        Ok(Outcome::Text(t)) => t,
+        other => panic!("shell query failed: {other:?}"),
+    };
+    let expect = run_shell(&mut s);
+    for _ in 0..warmup {
+        run_shell(&mut s);
+    }
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        assert_eq!(run_shell(&mut s), expect, "shell result drifted");
+    }
+    let shell_ns = t0.elapsed().as_nanos() as f64 / reps as f64;
+
+    // The hand-written arm starts from the same parsed-and-indexed state a
+    // bespoke daemon would hold in memory (building it is untimed, exactly
+    // as the shell's `load` is).
+    let flow_rows: Vec<(i64, i64, i64)> = flows_text
+        .lines()
+        .skip(1)
+        .map(|l| {
+            let mut f = l.split('\t');
+            let local = f.next().unwrap().parse().unwrap();
+            let _remote: i64 = f.next().unwrap().parse().unwrap();
+            let bytes = f.next().unwrap().parse().unwrap();
+            let pkts = f.next().unwrap().parse().unwrap();
+            (local, bytes, pkts)
+        })
+        .collect();
+    let tier0: HashMap<i64, ()> = addrs_text
+        .lines()
+        .skip(1)
+        .filter_map(|l| {
+            let mut f = l.split('\t');
+            let local: i64 = f.next().unwrap().parse().unwrap();
+            let _owner = f.next().unwrap();
+            let tier: i64 = f.next().unwrap().parse().unwrap();
+            (tier == 0).then_some((local, ()))
+        })
+        .collect();
+    let run_hand = || {
+        let (mut count, mut sum, mut max) = (0u64, 0i64, i64::MIN);
+        for &(local, bytes, pkts) in &flow_rows {
+            if tier0.contains_key(&local) {
+                count += 1;
+                sum += bytes;
+                max = max.max(pkts);
+            }
+        }
+        format!("count(*)\tsum(bytes)\tmax(pkts)\n{count}\t{sum}\t{max}")
+    };
+    assert_eq!(run_hand(), expect, "hand-written arm disagrees with shell");
+    for _ in 0..warmup {
+        run_hand();
+    }
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        run_hand();
+    }
+    let hand_ns = t0.elapsed().as_nanos() as f64 / reps as f64;
+
+    out.push((
+        "shell/join_rows".to_string(),
+        (flows_text.lines().count() - 1) as f64,
+    ));
+    out.push(("shell/join_agg_shell_ns".to_string(), shell_ns));
+    out.push(("shell/join_agg_handwritten_ns".to_string(), hand_ns));
+    out.push(("shell/shell_vs_hand_x".to_string(), shell_ns / hand_ns));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn main() {
     let mut quick = false;
     let mut only: Option<String> = None;
     let mut cores: Option<usize> = None;
     let mut expect_only = false;
     let mut expect_cores = false;
-    let mut out_path = "BENCH_9.json".to_string();
+    let mut out_path = "BENCH_10.json".to_string();
     for arg in std::env::args().skip(1) {
         if expect_only {
             only = Some(arg);
@@ -1417,7 +1529,7 @@ fn main() {
             out_path = arg;
         }
     }
-    const FAMILIES: [&str; 12] = [
+    const FAMILIES: [&str; 13] = [
         "micro_cache",
         "micro_scheduler",
         "query_hot_path",
@@ -1430,6 +1542,7 @@ fn main() {
         "wal_commit",
         "replication",
         "serving",
+        "shell",
     ];
     if expect_only {
         eprintln!("--only requires a workload family: one of {FAMILIES:?}");
@@ -1483,6 +1596,9 @@ fn main() {
     if run("serving") {
         bench_serving(&mut results, quick);
     }
+    if run("shell") {
+        bench_shell(&mut results, quick);
+    }
     // Timings are only comparable within one machine + toolchain, so the
     // header records both — plus the thread-honesty fields: `cpus` is what
     // the machine really has, `cores_requested` the `--cores` cap (null
@@ -1518,7 +1634,7 @@ fn main() {
     let cores_json = cores.map_or("null".to_string(), |c| c.to_string());
     let rustc = env!("RELIC_BENCH_RUSTC");
     let mut json = format!(
-        "{{\n  \"schema\": \"relic-bench-smoke-v9\",\n  \"quick\": {quick},\n  \
+        "{{\n  \"schema\": \"relic-bench-smoke-v10\",\n  \"quick\": {quick},\n  \
          \"cpus\": {cpus},\n  \"cores_requested\": {cores_json},\n  \
          \"oversubscribed\": {oversubscribed},\n  \"rustc\": \"{rustc}\",\n  \"results\": {{\n"
     );

@@ -214,6 +214,35 @@ impl ReadView {
         }
     }
 
+    /// Raw streaming comparison queries: the wait-free analog of
+    /// [`relic_core::Snapshot::query_where_for_each_bindings`], routed to
+    /// one shard when the equality part of `P` pins the shard columns and
+    /// streamed shard by shard otherwise. With a reused `scratch` this is
+    /// the zero-allocation-per-emitted-tuple path over a frozen view —
+    /// what a streaming join executor runs its durable legs through.
+    ///
+    /// # Errors
+    ///
+    /// As for [`relic_core::Snapshot::query_where_for_each_bindings`].
+    pub fn query_where_for_each_bindings(
+        &self,
+        scratch: &mut Bindings,
+        pattern: &Pattern,
+        out: ColSet,
+        mut f: impl FnMut(&Bindings),
+    ) -> Result<(), OpError> {
+        let eq = pattern.eq_tuple();
+        if self.pins(eq.dom()) {
+            self.routed(&eq)
+                .query_where_for_each_bindings(scratch, pattern, out, f)
+        } else {
+            for s in &self.shards {
+                s.query_where_for_each_bindings(scratch, pattern, out, &mut f)?;
+            }
+            Ok(())
+        }
+    }
+
     /// Does any tuple in the view extend `pattern`? Routed like
     /// [`query`](ReadView::query).
     ///
@@ -415,6 +444,30 @@ impl<'a> ReadHandle<'a> {
             self.view.shards[i].query_where(pattern, out)
         } else {
             self.view().query_where(pattern, out)
+        }
+    }
+
+    /// The raw zero-allocation streaming path for comparison queries
+    /// (pinned fast path when the equality part of `P` pins the shard
+    /// columns).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ReadView::query_where_for_each_bindings`].
+    pub fn query_where_for_each_bindings(
+        &mut self,
+        scratch: &mut Bindings,
+        pattern: &Pattern,
+        out: ColSet,
+        f: impl FnMut(&Bindings),
+    ) -> Result<(), OpError> {
+        let eq = pattern.eq_tuple();
+        if self.view.pins(eq.dom()) {
+            let i = self.pinned_shard(&eq);
+            self.view.shards[i].query_where_for_each_bindings(scratch, pattern, out, f)
+        } else {
+            self.view()
+                .query_where_for_each_bindings(scratch, pattern, out, f)
         }
     }
 
@@ -630,6 +683,46 @@ mod tests {
             r.query_where(&p, ts.set()).unwrap()
         );
         assert!(view.contains_matching(&pat).unwrap());
+    }
+
+    #[test]
+    fn where_bindings_stream_matches_collected_query_where() {
+        let (cat, r) = setup(4);
+        let host = cat.col("host").unwrap();
+        let ts = cat.col("ts").unwrap();
+        let bytes = cat.col("bytes").unwrap();
+        for h in 0..5i64 {
+            for t in 0..8i64 {
+                r.insert(tup(&cat, h, t, h * 10 + t)).unwrap();
+            }
+        }
+        let mut scratch = Bindings::new();
+        for p in [
+            // Pinned: equality on the shard column + a range.
+            Pattern::new()
+                .with(host, Pred::Eq(Value::from(2)))
+                .with(ts, Pred::Between(Value::from(1), Value::from(5))),
+            // Unpinned: range only, streamed across every shard.
+            Pattern::new().with(ts, Pred::Ge(Value::from(6))),
+        ] {
+            let out = host | ts | bytes;
+            let want = r.query_where(&p, out).unwrap();
+            let view = r.read_view();
+            let mut got = BTreeSet::new();
+            view.query_where_for_each_bindings(&mut scratch, &p, out, |b| {
+                got.insert(b.project(out));
+            })
+            .unwrap();
+            assert_eq!(got.into_iter().collect::<Vec<_>>(), want);
+            let mut handle = r.read_handle();
+            let mut got = BTreeSet::new();
+            handle
+                .query_where_for_each_bindings(&mut scratch, &p, out, |b| {
+                    got.insert(b.project(out));
+                })
+                .unwrap();
+            assert_eq!(got.into_iter().collect::<Vec<_>>(), want);
+        }
     }
 
     #[test]

@@ -184,7 +184,12 @@ impl<'a> Lexer<'a> {
                         break;
                     }
                 }
-                let word = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                // The loop above only accepts ASCII identifier bytes, so the
+                // slice is valid UTF-8 by construction — but the tokenizer
+                // runs over untrusted input, so decode failure is a typed
+                // diagnostic, never a panic.
+                let word = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| ParseError::new(line, col, "identifier is not valid UTF-8"))?;
                 match word {
                     "let" => Tok::Let,
                     "in" => Tok::In,

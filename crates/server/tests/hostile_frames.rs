@@ -8,7 +8,7 @@
 use proptest::prelude::*;
 use relic_core::netmsg::{NetRequest, NetResponse};
 use relic_persist::{crc32, frame_message, DurableRelation, GroupCommitPolicy, MAX_FRAME_PAYLOAD};
-use relic_server::{Client, ServeHandle, ServerConfig};
+use relic_server::{Client, ServeHandle, ServerConfig, ServerError};
 use relic_spec::{Catalog, ColSet, RelSpec, Tuple, Value};
 use std::io::Write;
 use std::net::TcpStream;
@@ -31,6 +31,9 @@ fn spawn_kv(dir: &Path) -> (Arc<DurableRelation>, ServeHandle) {
     let k = cat.intern("k");
     let v = cat.intern("v");
     let spec = RelSpec::new(k | v).with_fd(k.set(), v.set());
+    // A declared width on `v` so hostile QueryWhere patterns can probe the
+    // out-of-width refusal path server-side.
+    cat.declare_bit_width(v, 16);
     let d = relic_decomp::parse(
         &mut cat,
         "let u : {k} . {v} = unit {v} in
@@ -211,6 +214,59 @@ proptest! {
         server.stop().unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+#[test]
+fn malformed_query_where_answers_typed_error_and_stays_in_sync() {
+    // Regression for the QueryWhere error path: a pattern the server-side
+    // parser refuses must come back as a typed `NetResponse::Err` carrying
+    // the parse diagnostic — and the SAME connection must keep answering
+    // subsequent requests, proving the frame stream never desynced.
+    let dir = case_dir("querywhere");
+    let (_rel, server) = spawn_kv(&dir);
+    let mut c = Client::connect(server.addr()).unwrap();
+    let (cat, _) = c.catalog().unwrap();
+    let (ck, cv) = (cat.col("k").unwrap(), cat.col("v").unwrap());
+    c.insert(Tuple::from_pairs([
+        (ck, Value::from(7)),
+        (cv, Value::from(70)),
+    ]))
+    .unwrap();
+
+    for (pattern, needle) in [
+        // Unknown column.
+        ("zap = 1", "unknown column"),
+        // Duplicate constraint.
+        ("k = 1, k < 2", "constrained more than once"),
+        // Operator soup.
+        ("k ~ 1", "syntax error"),
+        // Unterminated string literal.
+        ("k = \"unterminated", "malformed value"),
+        // i64 overflow, one past MAX — typed refusal, no wrap.
+        ("k = 9223372036854775808", "malformed value"),
+        // Literals outside `v`'s declared 16-bit domain.
+        ("v = 65536", "16-bit"),
+        ("v between -1 and 10", "16-bit"),
+    ] {
+        match c.query_where(pattern, ColSet::empty()) {
+            Err(ServerError::Remote(msg)) => assert!(
+                msg.contains(needle),
+                "{pattern}: diagnostic {msg:?} missing {needle:?}"
+            ),
+            other => panic!("{pattern}: expected a typed remote error, got {other:?}"),
+        }
+        // Same connection, next frame: still served, still correct.
+        let rows = c.query_where("k = 7", cv.set()).unwrap();
+        assert_eq!(rows.len(), 1, "{pattern}: stream desynced");
+        assert_eq!(rows[0].get(cv), Some(&Value::from(70)));
+    }
+
+    // A parallel well-behaved client was never affected either.
+    assert_still_serving(&server, 3);
+    let stats = server.stop().unwrap();
+    // Parse refusals are application-level errors, not framing errors.
+    assert_eq!(stats.frame_errors, 0);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -1,0 +1,44 @@
+//! The `relic_shell` binary: batch runner and REPL.
+//!
+//! With a file argument, runs it as a script and prints the transcript
+//! (the same format the golden tests snapshot). Without one, reads lines
+//! from stdin with a `relic> ` prompt on stderr — so piped input produces
+//! clean, prompt-free output.
+
+use relic_shell::{Outcome, Session};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut session = Session::new();
+    match args.next() {
+        Some(path) => {
+            let script = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot read `{path}`: {e}");
+                    std::process::exit(2);
+                }
+            };
+            print!("{}", session.run_script(&script));
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let mut lines = stdin.lock().lines();
+            loop {
+                eprint!("relic> ");
+                let _ = std::io::stderr().flush();
+                let Some(Ok(line)) = lines.next() else { break };
+                match session.eval(&line) {
+                    Ok(Outcome::Quit) => break,
+                    Ok(Outcome::Text(t)) => {
+                        if !t.is_empty() {
+                            println!("{t}");
+                        }
+                    }
+                    Err(d) => println!("{}", d.render(&line)),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Typed, span-carrying diagnostics with caret rendering.
+//!
+//! Every error the shell surfaces — lexer, line parser, compiler, executor
+//! — is a [`Diag`]: a message plus an optional byte-offset [`Span`] into
+//! the offending source line. [`Diag::render`] draws the classic
+//! compiler-style caret:
+//!
+//! ```text
+//! error: unknown column `zap`
+//!   select * from flows where zap = 1
+//!                             ^^^
+//! ```
+//!
+//! Diagnostics are values, never panics: the shell's contract is that *no
+//! input*, interactive or scripted, can take the process down.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into one source line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first highlighted byte.
+    pub start: usize,
+    /// Byte offset one past the last highlighted byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span {
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// A single-position span (rendered as one caret).
+    pub fn point(at: usize) -> Self {
+        Span { start: at, end: at }
+    }
+
+    /// The union of two spans.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// A shell diagnostic: what went wrong, and (when known) where in the
+/// source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// The highlighted source range, if the failure has a location.
+    pub span: Option<Span>,
+}
+
+impl Diag {
+    /// A diagnostic without a source location (e.g. a backend I/O error).
+    pub fn new(message: impl Into<String>) -> Self {
+        Diag {
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// A diagnostic anchored at `span`.
+    pub fn at(span: Span, message: impl Into<String>) -> Self {
+        Diag {
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// Renders the diagnostic against its source line, with a caret line
+    /// under the highlighted span. Display columns are counted in
+    /// characters, so multi-byte input underlines correctly.
+    pub fn render(&self, src: &str) -> String {
+        let mut out = format!("error: {}", self.message);
+        let Some(span) = self.span else {
+            return out;
+        };
+        // Clamp to the line and snap to char boundaries so hostile spans
+        // (or spans into multi-byte sequences) can never slice mid-char.
+        let start = floor_char_boundary(src, span.start.min(src.len()));
+        let end = floor_char_boundary(src, span.end.clamp(start, src.len()));
+        let lead = src[..start].chars().count();
+        let width = src[start..end].chars().count().max(1);
+        out.push_str("\n  ");
+        out.push_str(src);
+        out.push_str("\n  ");
+        out.extend(std::iter::repeat_n(' ', lead));
+        out.extend(std::iter::repeat_n('^', width));
+        out
+    }
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Diag {}
+
+/// The largest char boundary `<= at` (stable-Rust stand-in for
+/// `str::floor_char_boundary`).
+fn floor_char_boundary(s: &str, mut at: usize) -> usize {
+    while at > 0 && !s.is_char_boundary(at) {
+        at -= 1;
+    }
+    at
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_caret_under_span() {
+        let src = "select * from zap";
+        let d = Diag::at(Span::new(14, 17), "unknown relation `zap`");
+        assert_eq!(
+            d.render(src),
+            "error: unknown relation `zap`\n  select * from zap\n                ^^^"
+        );
+    }
+
+    #[test]
+    fn spanless_renders_message_only() {
+        assert_eq!(Diag::new("io error").render("x"), "error: io error");
+    }
+
+    #[test]
+    fn multibyte_input_counts_display_columns() {
+        let src = "sélect é";
+        // Span over the trailing `é` (2 bytes at byte offset 8..10).
+        let d = Diag::at(Span::new(8, 10), "bad");
+        let rendered = d.render(src);
+        let caret_line = rendered.lines().last().unwrap();
+        assert_eq!(caret_line.chars().filter(|&c| c == '^').count(), 1);
+        // 2 indent + 7 display columns before the char.
+        assert_eq!(caret_line.find('^').unwrap(), 2 + 7);
+    }
+
+    #[test]
+    fn hostile_spans_never_panic() {
+        for (start, end) in [(0, 999), (999, 1000), (5, 2), (1, 1)] {
+            let _ = Diag::at(Span::new(start, end), "x").render("héllo");
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! The executor: streams a [`CompiledSelect`] through its legs.
+//!
+//! Each leg is driven through the library's zero-allocation streaming
+//! entry points: outer legs with no join columns run their whole `where`
+//! pattern through `query_where_for_each_bindings` (so the planner can
+//! use range scans), inner legs are probed with a reusable equality
+//! [`Tuple`] via `query_for_each_bindings` — the probe's join values are
+//! overwritten in place with [`Tuple::set`] per outer row, and non-
+//! equality predicates are checked against the emitted accumulator. On a
+//! warm plan cache a join over memory-backed legs performs **no heap
+//! allocation per emitted row**: slot writes are `Value` clones (integer
+//! copies or `Arc` bumps) and aggregate folds are in-place.
+//!
+//! Remote legs necessarily materialize: each probe becomes a
+//! `query_where` round trip whose predicate text is the user's own
+//! constraint chunks plus `col = value` equations for the join columns —
+//! the same concrete syntax the server parses, so in-process and
+//! connect-to-server runs produce identical rows.
+
+use crate::backend::{op_err, server_err, value_literal, Backend};
+use crate::compiler::{CompiledSelect, Leg, Output};
+use crate::diag::Diag;
+use relic_concurrent::ReadView;
+use relic_core::Bindings;
+use relic_spec::{ColSet, Tuple, Value};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// The aggregate accumulators, folded in place (no per-row allocation).
+enum Fold {
+    Count(u64),
+    Sum(i64),
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+/// One leg's runtime state.
+struct LegExec<'a> {
+    backend: &'a Backend,
+    /// Detached snapshot for durable legs, captured once per query.
+    view: Option<ReadView>,
+    /// Reusable equality probe (join path); `None` on the static path.
+    probe: Option<Tuple>,
+    leg: &'a Leg,
+    scratch: Bindings,
+}
+
+/// Runs a compiled query and renders its result block (header + rows, or
+/// aggregate line) — sorted and deduplicated for projections, so output
+/// is deterministic across backends and join orders.
+///
+/// # Errors
+///
+/// A spanless [`Diag`] on backend failures, `sum` overflow, or non-
+/// integer `sum` input.
+pub fn execute(rels: &BTreeMap<String, Backend>, q: &CompiledSelect) -> Result<String, Diag> {
+    let mut legs = prepare(rels, q)?;
+    let mut slots: Vec<Value> = vec![Value::from(false); q.n_slots];
+
+    match &q.output {
+        Output::Cols(keep) => {
+            let mut rows: BTreeSet<Vec<Value>> = BTreeSet::new();
+            run(&mut legs, &mut slots, &mut |s| {
+                rows.insert(keep.iter().map(|&i| s[i].clone()).collect());
+                Ok(())
+            })?;
+            let mut out = String::new();
+            out.push_str(
+                &keep
+                    .iter()
+                    .map(|&i| q.slot_names[i].as_str())
+                    .collect::<Vec<_>>()
+                    .join("\t"),
+            );
+            for row in &rows {
+                out.push('\n');
+                let mut first = true;
+                for v in row {
+                    if !first {
+                        out.push('\t');
+                    }
+                    first = false;
+                    out.push_str(&v.to_string());
+                }
+            }
+            out.push_str(&format!("\n({} rows)", rows.len()));
+            Ok(out)
+        }
+        Output::Aggs(aggs) => {
+            let mut folds: Vec<Fold> = aggs
+                .iter()
+                .map(|(k, _, _)| match k {
+                    crate::ast::AggKind::Count => Fold::Count(0),
+                    crate::ast::AggKind::Sum => Fold::Sum(0),
+                    crate::ast::AggKind::Min => Fold::Min(None),
+                    crate::ast::AggKind::Max => Fold::Max(None),
+                })
+                .collect();
+            run(&mut legs, &mut slots, &mut |s| {
+                for ((_, slot, label), fold) in aggs.iter().zip(folds.iter_mut()) {
+                    match fold {
+                        Fold::Count(n) => *n += 1,
+                        Fold::Sum(acc) => {
+                            let i = slot.expect("sum always has a column");
+                            let Value::Int(v) = &s[i] else {
+                                return Err(Diag::new(format!(
+                                    "{label}: non-integer value {}",
+                                    s[i]
+                                )));
+                            };
+                            *acc = acc
+                                .checked_add(*v)
+                                .ok_or_else(|| Diag::new(format!("{label}: integer overflow")))?;
+                        }
+                        Fold::Min(m) => {
+                            let v = &s[slot.expect("min always has a column")];
+                            if m.as_ref().is_none_or(|cur| v < cur) {
+                                *m = Some(v.clone());
+                            }
+                        }
+                        Fold::Max(m) => {
+                            let v = &s[slot.expect("max always has a column")];
+                            if m.as_ref().is_none_or(|cur| v > cur) {
+                                *m = Some(v.clone());
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            })?;
+            let header = aggs
+                .iter()
+                .map(|(_, _, l)| l.as_str())
+                .collect::<Vec<_>>()
+                .join("\t");
+            let vals = folds
+                .iter()
+                .map(|f| match f {
+                    Fold::Count(n) => n.to_string(),
+                    Fold::Sum(n) => n.to_string(),
+                    Fold::Min(v) | Fold::Max(v) => {
+                        v.as_ref().map_or("-".to_string(), |v| v.to_string())
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\t");
+            Ok(format!("{header}\n{vals}"))
+        }
+    }
+}
+
+/// Renders the execution plan (`plan select ...`) without running it.
+pub fn explain(q: &CompiledSelect) -> String {
+    let mut out = String::new();
+    for (i, leg) in q.legs.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&format!("leg {}: {}", i + 1, leg.plan_note));
+    }
+    out
+}
+
+fn prepare<'a>(
+    rels: &'a BTreeMap<String, Backend>,
+    q: &'a CompiledSelect,
+) -> Result<Vec<LegExec<'a>>, Diag> {
+    q.legs
+        .iter()
+        .map(|leg| {
+            let backend = rels
+                .get(&leg.rel)
+                .ok_or_else(|| Diag::new(format!("relation `{}` vanished mid-query", leg.rel)))?;
+            let view = match backend {
+                Backend::Durable(r) => Some(r.read_view()),
+                _ => None,
+            };
+            // Remote legs ship predicate text instead of probing locally.
+            let no_probe = (leg.probe_fill.is_empty() && leg.probe_const.is_empty())
+                || matches!(backend, Backend::Remote(_));
+            let probe = if no_probe {
+                None
+            } else {
+                // Domain = join columns + equality constants; join values
+                // are placeholders overwritten per outer row.
+                let pairs = leg
+                    .probe_fill
+                    .iter()
+                    .map(|(c, _, _)| (*c, Value::from(false)))
+                    .chain(leg.probe_const.iter().cloned());
+                Some(Tuple::from_pairs(pairs))
+            };
+            Ok(LegExec {
+                backend,
+                view,
+                probe,
+                leg,
+                scratch: Bindings::new(),
+            })
+        })
+        .collect()
+}
+
+/// Recursively streams legs; `sink` sees the slot array once per joined
+/// row. Errors raised inside library callbacks (which return `()`) are
+/// parked in a local and re-raised at the call boundary.
+fn run(
+    legs: &mut [LegExec<'_>],
+    slots: &mut Vec<Value>,
+    sink: &mut dyn FnMut(&[Value]) -> Result<(), Diag>,
+) -> Result<(), Diag> {
+    let Some((head, rest)) = legs.split_first_mut() else {
+        return sink(slots);
+    };
+    let leg = head.leg;
+
+    // Fill the probe's join columns from the already-bound slots.
+    if let Some(probe) = &mut head.probe {
+        for (c, _, slot) in &leg.probe_fill {
+            probe.set(*c, slots[*slot].clone());
+        }
+    }
+
+    match head.backend {
+        Backend::Remote(r) => {
+            let mut text = String::new();
+            for chunk in &leg.ship_chunks {
+                if !text.is_empty() {
+                    text.push_str(", ");
+                }
+                text.push_str(chunk);
+            }
+            for (_, name, slot) in &leg.probe_fill {
+                if !text.is_empty() {
+                    text.push_str(", ");
+                }
+                text.push_str(name);
+                text.push_str(" = ");
+                text.push_str(&value_literal(&slots[*slot]));
+            }
+            let mut client = r.client.try_borrow_mut().map_err(|_| {
+                Diag::new(
+                    "remote connection is busy (self-join on a remote relation is not supported)",
+                )
+            })?;
+            let tuples = if text.is_empty() {
+                client
+                    .query(Tuple::empty(), ColSet::EMPTY)
+                    .map_err(server_err)?
+            } else {
+                client
+                    .query_where(&text, ColSet::EMPTY)
+                    .map_err(server_err)?
+            };
+            drop(client);
+            'tuples: for t in tuples {
+                for (c, p) in &leg.residual {
+                    match t.get(*c) {
+                        Some(v) if p.accepts(v) => {}
+                        _ => continue 'tuples,
+                    }
+                }
+                for (c, slot) in &leg.bind {
+                    let Some(v) = t.get(*c) else {
+                        return Err(Diag::new(format!(
+                            "server for `{}` returned a row missing a column",
+                            leg.rel
+                        )));
+                    };
+                    slots[*slot] = v.clone();
+                }
+                run(rest, slots, sink)?;
+            }
+            Ok(())
+        }
+        Backend::Mem(rel) => {
+            let mut parked: Option<Diag> = None;
+            let res = match &head.probe {
+                Some(probe) => {
+                    rel.query_for_each_bindings(&mut head.scratch, probe, leg.out, |b| {
+                        emit(leg, b, slots, rest, sink, &mut parked);
+                    })
+                }
+                None => rel.query_where_for_each_bindings(
+                    &mut head.scratch,
+                    &leg.pattern,
+                    leg.out,
+                    |b| {
+                        emit(leg, b, slots, rest, sink, &mut parked);
+                    },
+                ),
+            };
+            res.map_err(op_err)?;
+            parked.map_or(Ok(()), Err)
+        }
+        Backend::Durable(_) => {
+            let view = head.view.as_ref().expect("durable legs capture a view");
+            let mut parked: Option<Diag> = None;
+            let res = match &head.probe {
+                Some(probe) => {
+                    view.query_for_each_bindings(&mut head.scratch, probe, leg.out, |b| {
+                        emit(leg, b, slots, rest, sink, &mut parked);
+                    })
+                }
+                None => view.query_where_for_each_bindings(
+                    &mut head.scratch,
+                    &leg.pattern,
+                    leg.out,
+                    |b| {
+                        emit(leg, b, slots, rest, sink, &mut parked);
+                    },
+                ),
+            };
+            res.map_err(op_err)?;
+            parked.map_or(Ok(()), Err)
+        }
+    }
+}
+
+/// The shared emit path for local legs: residual checks, slot binding,
+/// recursion into the remaining legs. Never allocates on the accept path
+/// beyond `Value` clones into pre-sized slots.
+fn emit(
+    leg: &Leg,
+    b: &Bindings,
+    slots: &mut Vec<Value>,
+    rest: &mut [LegExec<'_>],
+    sink: &mut dyn FnMut(&[Value]) -> Result<(), Diag>,
+    parked: &mut Option<Diag>,
+) {
+    if parked.is_some() {
+        return;
+    }
+    for (c, p) in &leg.residual {
+        match b.get(*c) {
+            Some(v) if p.accepts(v) => {}
+            Some(_) => return,
+            None => {
+                *parked = Some(Diag::new(format!(
+                    "`{}`: plan did not bind a filtered column",
+                    leg.rel
+                )));
+                return;
+            }
+        }
+    }
+    for (c, slot) in &leg.bind {
+        let Some(v) = b.get(*c) else {
+            *parked = Some(Diag::new(format!(
+                "`{}`: plan did not bind an output column",
+                leg.rel
+            )));
+            return;
+        };
+        slots[*slot] = v.clone();
+    }
+    if let Err(e) = run(rest, slots, sink) {
+        *parked = Some(e);
+    }
+}

@@ -1,0 +1,96 @@
+//! Allocation accounting for warm shell queries: a multi-relation
+//! aggregate join streamed through `query_for_each_bindings` must not
+//! allocate per emitted row. The test can't demand literally zero
+//! allocations per *query* (parsing the line and compiling the plan
+//! allocate by design) — instead it runs the same warm query over a 10×
+//! larger dataset and requires the allocation count to stay flat, which
+//! is only possible if the per-row path is allocation-free.
+
+use relic_shell::{Outcome, Session};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+const QUERY: &str = "select count(*), sum(bytes), max(bytes) from flows join addrs where tier = 0";
+
+/// Builds a session with `flows` rows spread over 4 local addresses.
+fn session(flows: usize) -> Session {
+    let mut s = Session::new();
+    s.eval("create relation flows(local:16, remote:16, bytes) fd local, remote -> bytes")
+        .unwrap();
+    s.eval("create relation addrs(local:16, owner, tier) fd local -> owner, tier")
+        .unwrap();
+    for h in 0..4 {
+        s.eval(&format!(
+            "insert addrs local = {h}, owner = \"team-{}\", tier = {}",
+            h % 2,
+            h % 2
+        ))
+        .unwrap();
+    }
+    for i in 0..flows {
+        s.eval(&format!(
+            "insert flows local = {}, remote = {}, bytes = {}",
+            i % 4,
+            100 + i,
+            i
+        ))
+        .unwrap();
+    }
+    s
+}
+
+/// Allocation count of one warm run of [`QUERY`].
+fn warm_query_allocs(s: &mut Session) -> u64 {
+    let expected = match s.eval(QUERY).unwrap() {
+        Outcome::Text(t) => t,
+        other => panic!("unexpected outcome {other:?}"),
+    };
+    // Warm again so every lazily-built cache (plans, binding pools) has
+    // seen this exact query shape.
+    s.eval(QUERY).unwrap();
+    let before = allocs();
+    let got = s.eval(QUERY).unwrap();
+    let delta = allocs() - before;
+    assert_eq!(got, Outcome::Text(expected));
+    delta
+}
+
+#[test]
+fn warm_join_aggregates_do_not_allocate_per_row() {
+    let mut small = session(100);
+    let mut large = session(1000);
+    let a_small = warm_query_allocs(&mut small);
+    let a_large = warm_query_allocs(&mut large);
+    // 10× the rows, same allocation count: nothing allocates per row.
+    assert_eq!(
+        a_small, a_large,
+        "warm query allocations scale with data: {a_small} (100 rows) vs {a_large} (1000 rows)"
+    );
+}

@@ -5,6 +5,7 @@
 //! represent column sets as `u64` bitsets. This makes the functional
 //! dependency closure and the adequacy judgment pure bit arithmetic.
 
+use crate::Value;
 use std::collections::HashMap;
 use std::fmt;
 use std::ops::{BitAnd, BitOr, Sub};
@@ -346,6 +347,24 @@ impl Catalog {
         match self.widths[c.0 as usize] {
             0 => None,
             w => Some(w as u32),
+        }
+    }
+
+    /// Does `v` satisfy column `c`'s declared-width obligation?
+    ///
+    /// Columns without a declared width accept every value, as do
+    /// non-integer values (widths only constrain integers). For a declared
+    /// width `w`, integers must lie in `[0, 2^w)` — the range the packed
+    /// order-preserving `u64` key representation is sound for. Front ends
+    /// (the pattern parser, the shell's literal coercion) check this so an
+    /// out-of-width literal is a typed diagnostic instead of silently
+    /// packing into the wrong key. Never panics, even on a foreign `ColId`.
+    pub fn value_fits_width(&self, c: ColId, v: &Value) -> bool {
+        let Some(n) = v.as_int() else { return true };
+        match self.widths.get(c.0 as usize).copied().unwrap_or(0) {
+            0 => true,
+            64 => n >= 0,
+            w => n >= 0 && n < (1i64 << w),
         }
     }
 

@@ -11,6 +11,10 @@
 //! op         := '=' | '!=' | '≠' | '<' | '<=' | '≤' | '>' | '>=' | '≥'
 //! value      := integer | '"' chars '"' | 'true' | 'false'
 //! ```
+//!
+//! Integer literals take an optional sign (`+7`, `-7`) and cover the full
+//! `i64` range (`i64::MIN` included); out-of-range literals and literals
+//! outside a column's declared bit width are typed errors, never wrapped.
 
 use crate::{Catalog, Pattern, Pred, Value};
 use std::error::Error;
@@ -28,6 +32,19 @@ pub enum ParsePatternError {
     BadOperator(String),
     /// A malformed value literal.
     BadValue(String),
+    /// An integer literal outside a column's declared bit width
+    /// ([`Catalog::declare_bit_width`]): the packed order-preserving key
+    /// representation is only sound for values in `[0, 2^bits)`, so an
+    /// out-of-width literal is refused here instead of silently packing
+    /// into the wrong key downstream.
+    OutOfWidth {
+        /// The constrained column.
+        column: String,
+        /// The offending literal.
+        value: i64,
+        /// The column's declared width.
+        bits: u32,
+    },
     /// Trailing or missing input at the given description.
     Syntax(String),
 }
@@ -41,6 +58,14 @@ impl fmt::Display for ParsePatternError {
             }
             ParsePatternError::BadOperator(o) => write!(f, "unrecognized operator `{o}`"),
             ParsePatternError::BadValue(v) => write!(f, "malformed value `{v}`"),
+            ParsePatternError::OutOfWidth {
+                column,
+                value,
+                bits,
+            } => write!(
+                f,
+                "literal {value} is outside column `{column}`'s declared {bits}-bit range [0, 2^{bits})"
+            ),
             ParsePatternError::Syntax(s) => write!(f, "syntax error: {s}"),
         }
     }
@@ -95,7 +120,7 @@ impl<'a> Lexer<'a> {
                 self.rest = &self.rest[len..];
                 Ok(Some(Tok::Op(op)))
             }
-            c if c.is_ascii_digit() || c == '-' => {
+            c if c.is_ascii_digit() || c == '-' || c == '+' => {
                 let end = self.rest[1..]
                     .find(|ch: char| !ch.is_ascii_digit())
                     .map(|i| i + 1)
@@ -158,6 +183,26 @@ fn value_of(tok: Tok) -> Result<Value, ParsePatternError> {
 /// # Ok::<(), relic_spec::ParsePatternError>(())
 /// ```
 pub fn parse_pattern(cat: &Catalog, input: &str) -> Result<Pattern, ParsePatternError> {
+    // Every literal compared against a declared-width column must lie in
+    // the column's domain `[0, 2^bits)` — the range the packed key layout
+    // is sound for. Checked uniformly across all operators so the contract
+    // doesn't depend on which plan the query later lowers to.
+    fn check_width(
+        cat: &Catalog,
+        col: crate::ColId,
+        name: &str,
+        v: &Value,
+    ) -> Result<(), ParsePatternError> {
+        if cat.value_fits_width(col, v) {
+            Ok(())
+        } else {
+            Err(ParsePatternError::OutOfWidth {
+                column: name.to_string(),
+                value: v.as_int().unwrap_or(0),
+                bits: cat.bit_width(col).unwrap_or(64),
+            })
+        }
+    }
     let mut lex = Lexer::new(input);
     let mut pattern = Pattern::new();
     let mut first = true;
@@ -208,12 +253,15 @@ pub fn parse_pattern(cat: &Catalog, input: &str) -> Result<Pattern, ParsePattern
                 let hi = value_of(lex.next_tok()?.ok_or_else(|| {
                     ParsePatternError::Syntax("missing upper bound".to_string())
                 })?)?;
+                check_width(cat, col, &name, &lo)?;
+                check_width(cat, col, &name, &hi)?;
                 Pred::Between(lo, hi)
             }
             Tok::Op(sym) => {
                 let v = value_of(lex.next_tok()?.ok_or_else(|| {
                     ParsePatternError::Syntax(format!("missing value after `{sym}`"))
                 })?)?;
+                check_width(cat, col, &name, &v)?;
                 match sym.as_str() {
                     "=" => Pred::Eq(v),
                     "!=" | "≠" => Pred::Ne(v),
@@ -326,6 +374,79 @@ mod tests {
         assert!(matches!(
             parse_pattern(&cat, "ts = 1 host = 2"),
             Err(ParsePatternError::Syntax(_))
+        ));
+    }
+
+    #[test]
+    fn integer_literal_boundaries() {
+        let cat = cat();
+        let ts = cat.col("ts").unwrap();
+        // Full i64 range parses, including the value whose magnitude has
+        // no positive counterpart.
+        let p = parse_pattern(&cat, &format!("ts = {}", i64::MIN)).unwrap();
+        assert_eq!(p.pred(ts), Some(&Pred::Eq(Value::from(i64::MIN))));
+        let p = parse_pattern(&cat, &format!("ts = {}", i64::MAX)).unwrap();
+        assert_eq!(p.pred(ts), Some(&Pred::Eq(Value::from(i64::MAX))));
+        // One past either end is a typed error, not a wrap or a panic.
+        assert!(matches!(
+            parse_pattern(&cat, "ts = 9223372036854775808"),
+            Err(ParsePatternError::BadValue(_))
+        ));
+        assert!(matches!(
+            parse_pattern(&cat, "ts = -9223372036854775809"),
+            Err(ParsePatternError::BadValue(_))
+        ));
+        // Explicit leading `+` is accepted.
+        let p = parse_pattern(&cat, "ts = +5").unwrap();
+        assert_eq!(p.pred(ts), Some(&Pred::Eq(Value::from(5))));
+        // A bare sign is not a number.
+        assert!(matches!(
+            parse_pattern(&cat, "ts = +"),
+            Err(ParsePatternError::BadValue(_))
+        ));
+        assert!(matches!(
+            parse_pattern(&cat, "ts = -"),
+            Err(ParsePatternError::BadValue(_))
+        ));
+    }
+
+    #[test]
+    fn declared_width_bounds_literals() {
+        let mut cat = cat();
+        let ts = cat.col("ts").unwrap();
+        cat.declare_bit_width(ts, 16);
+        // In-domain endpoints are fine.
+        for src in ["ts = 0", "ts = 65535", "ts between 0 and 65535"] {
+            parse_pattern(&cat, src).unwrap_or_else(|e| panic!("{src}: {e}"));
+        }
+        // Out-of-domain literals are typed errors carrying the diagnosis,
+        // for every operator shape — no silent masking into a packed key.
+        for src in [
+            "ts = 65536",
+            "ts = -1",
+            "ts != 65536",
+            "ts < 65536",
+            "ts >= -1",
+            "ts between -1 and 10",
+            "ts between 0 and 65536",
+        ] {
+            match parse_pattern(&cat, src) {
+                Err(ParsePatternError::OutOfWidth { column, bits, .. }) => {
+                    assert_eq!(column, "ts", "{src}");
+                    assert_eq!(bits, 16, "{src}");
+                }
+                other => panic!("{src}: expected OutOfWidth, got {other:?}"),
+            }
+        }
+        // Undeclared columns keep the full i64 domain.
+        parse_pattern(&cat, "host = -12345").unwrap();
+        // A 64-bit declaration still rejects negatives (packed keys are
+        // unsigned) but admits the full non-negative range.
+        cat.declare_bit_width(cat.col("host").unwrap(), 64);
+        parse_pattern(&cat, &format!("host = {}", i64::MAX)).unwrap();
+        assert!(matches!(
+            parse_pattern(&cat, "host = -1"),
+            Err(ParsePatternError::OutOfWidth { .. })
         ));
     }
 

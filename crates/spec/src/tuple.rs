@@ -180,6 +180,26 @@ impl Tuple {
         );
     }
 
+    /// Overwrites the value of column `c` in place, leaving the domain
+    /// unchanged — the allocation-free mutation hook for *reusable probe
+    /// tuples*: a caller that issues many point queries whose pattern
+    /// columns are fixed but whose values vary (e.g. the inner legs of a
+    /// streaming join) builds the tuple once and re-`set`s values per
+    /// probe, paying only a [`Value`] move (never a domain rebuild).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c ∉ dom t` — changing the domain would reallocate, which
+    /// is exactly what this hook exists to avoid; build a new tuple
+    /// instead.
+    pub fn set(&mut self, c: ColId, v: Value) {
+        let i = self
+            .cols
+            .rank(c)
+            .expect("Tuple::set column must be in the tuple's domain");
+        self.vals[i] = v;
+    }
+
     /// `t ⊇ s`: does `self` extend `s` (agreeing on all of `s`'s columns)?
     pub fn extends(&self, s: &Tuple) -> bool {
         if !s.cols.is_subset(self.cols) {
@@ -335,6 +355,26 @@ mod tests {
         let (_, ns, pid, _, _) = cols();
         let t = Tuple::from_pairs([(ns, Value::from(1))]);
         let _ = t.key_for(ns | pid);
+    }
+
+    #[test]
+    fn set_overwrites_in_place() {
+        let (_, ns, pid, state, cpu) = cols();
+        let mut t = proc1(ns, pid, state, cpu);
+        t.set(cpu, Value::from(42));
+        t.set(state, Value::from("R"));
+        assert_eq!(t.get(cpu), Some(&Value::from(42)));
+        assert_eq!(t.get(state), Some(&Value::from("R")));
+        assert_eq!(t.dom(), ns | pid | state | cpu);
+        assert_eq!(t.get(ns), Some(&Value::from(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "Tuple::set column")]
+    fn set_outside_domain_panics() {
+        let (_, ns, pid, _, _) = cols();
+        let mut t = Tuple::from_pairs([(ns, Value::from(1))]);
+        t.set(pid, Value::from(2));
     }
 
     #[test]

@@ -179,6 +179,87 @@ pub fn flow_spec() -> (Catalog, FlowCols, RelSpec) {
     (cat, cols, spec)
 }
 
+/// Column handles for the address-metadata relation.
+///
+/// The gateway's side table: who owns each local host and which service
+/// tier it belongs to — `addrs⟨local, owner, tier⟩` with `local → owner,
+/// tier`. Joining it against the flow table (on the shared `local`
+/// column) is the canonical multi-relation query of the shell demo:
+/// "bytes per owner", "flows of tier-0 hosts", and so on.
+#[derive(Debug, Clone, Copy)]
+pub struct AddrCols {
+    /// Local host id (the join column with the flow relation).
+    pub local: ColId,
+    /// Owning team name.
+    pub owner: ColId,
+    /// Service tier (0 = most critical).
+    pub tier: ColId,
+}
+
+/// Creates the address-metadata relation's catalog, columns and
+/// specification.
+pub fn addr_spec() -> (Catalog, AddrCols, RelSpec) {
+    let mut cat = Catalog::new();
+    let cols = AddrCols {
+        local: cat.intern("local"),
+        owner: cat.intern("owner"),
+        tier: cat.intern("tier"),
+    };
+    let spec = RelSpec::new(cols.local | cols.owner | cols.tier)
+        .with_fd(cols.local.set(), cols.owner | cols.tier);
+    (cat, cols, spec)
+}
+
+/// The address table's decomposition: one hash level keyed by `local`.
+pub fn addr_decomposition(cat: &mut Catalog) -> Decomposition {
+    relic_decomp::parse(
+        cat,
+        "let u : {local} . {owner,tier} = unit {owner,tier} in
+         let x : {} . {local,owner,tier} = {local} -[htable]-> u in x",
+    )
+    .expect("address decomposition parses")
+}
+
+/// Renders an accounted packet trace as a TSV flow table (`local remote
+/// bytes pkts` header + one row per flow, sorted) — the `load`-able input
+/// of the relational shell's join demo.
+pub fn flows_tsv(trace: &[Packet]) -> String {
+    let mut base = BaselineFlows::new();
+    for p in trace {
+        base.account(*p).expect("baseline accounting never fails");
+    }
+    let mut flows: Vec<FlowRecord> = base
+        .table
+        .iter()
+        .map(|(&(local, remote), &(bytes, pkts))| FlowRecord {
+            local,
+            remote,
+            bytes,
+            pkts,
+        })
+        .collect();
+    flows.sort();
+    let mut out = String::from("local\tremote\tbytes\tpkts\n");
+    for f in flows {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\n",
+            f.local, f.remote, f.bytes, f.pkts
+        ));
+    }
+    out
+}
+
+/// Renders deterministic address metadata for local hosts `0..locals` as a
+/// TSV table (`local owner tier`): hosts rotate through four owning teams
+/// and three service tiers.
+pub fn addrs_tsv(locals: usize) -> String {
+    let mut out = String::from("local\towner\ttier\n");
+    for h in 0..locals as i64 {
+        out.push_str(&format!("{}\tteam-{}\t{}\n", h, h % 4, h % 3));
+    }
+    out
+}
+
 /// The default decomposition: hash locals, then hash remotes per local —
 /// the shape the paper found best ("a binary tree mapping local hosts to
 /// hash-tables of foreign hosts"; we default both levels to hash tables and

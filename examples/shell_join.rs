@@ -1,0 +1,39 @@
+//! The relational shell's join demo: load the IpCap packet trace and the
+//! gateway's address metadata into two shell relations, then run the
+//! multi-relation queries of §6.2 — join order picked by the cost model,
+//! rows streamed through the zero-allocation bindings path.
+//!
+//! ```sh
+//! cargo run --release --example shell_join
+//! ```
+
+use relic_shell::Session;
+use relic_systems::ipcap::{addrs_tsv, flows_tsv, packet_trace};
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("relic_shell_join_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let flows = dir.join("flows.tsv");
+    let addrs = dir.join("addrs.tsv");
+    let trace = packet_trace(20_000, 16, 256, 7);
+    std::fs::write(&flows, flows_tsv(&trace)).expect("write flows.tsv");
+    std::fs::write(&addrs, addrs_tsv(16)).expect("write addrs.tsv");
+
+    let script = format!(
+        "\
+create relation flows(local:16, remote:16, bytes, pkts) fd local, remote -> bytes, pkts
+create relation addrs(local:16, owner, tier:8) fd local -> owner, tier
+load flows from \"{}\"
+load addrs from \"{}\"
+show relations
+plan select local, owner, bytes from flows join addrs where tier = 0
+select count(*), sum(bytes), max(pkts) from flows join addrs where tier = 0
+select count(*), sum(bytes) from flows join addrs where owner = \"team-1\"
+select local, owner from flows join addrs where bytes >= 20000
+",
+        flows.display(),
+        addrs.display()
+    );
+    print!("{}", Session::new().run_script(&script));
+    let _ = std::fs::remove_dir_all(&dir);
+}
